@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Key Takeaway 4: D-LUT and DL-LUT for activation functions.
+ *
+ * tanh and GELU (1) need no range extension and (2) are approximately
+ * linear in most parts, which makes the direct float-conversion tables
+ * a great fit: this bench compares D-LUT / DL-LUT / L-LUT / M-LUT on
+ * tanh and GELU, and contrasts with sine - where the paper notes the
+ * direct tables are a poor fit - at matched table budgets.
+ */
+
+#include <cstdio>
+
+#include "transpim/harness.h"
+
+namespace {
+
+using namespace tpl::transpim;
+
+void
+runGroup(Function f)
+{
+    std::printf("--- %s ---\n", std::string(functionName(f)).c_str());
+    std::printf("%-24s %12s %14s %10s\n", "method", "rmse",
+                "cycles/elem", "bytes");
+    for (Method m :
+         {Method::DLut, Method::DlLut, Method::LLut, Method::MLut}) {
+        MethodSpec spec;
+        spec.method = m;
+        spec.interpolated = true;
+        spec.placement = Placement::Wram;
+        spec.log2Entries = 12;
+        spec.dlutMantBits = 7;
+        if (!FunctionEvaluator::supports(f, spec))
+            continue;
+        MicrobenchOptions opts;
+        opts.elements = 4096;
+        MicrobenchResult r = runMicrobench(f, spec, opts);
+        if (!r.feasible)
+            continue;
+        std::printf("%-24s %12.3e %14.1f %10u\n",
+                    methodLabel(spec).c_str(), r.error.rmse,
+                    r.cyclesPerElement, r.memoryBytes);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Key Takeaway 4: direct LUTs on activation "
+                "functions ===\n\n");
+    runGroup(Function::Tanh);
+    runGroup(Function::Gelu);
+    std::printf("# Contrast: sine (range-extended, highly nonlinear) "
+                "- direct tables lose their edge:\n\n");
+    runGroup(Function::Sin);
+    return 0;
+}

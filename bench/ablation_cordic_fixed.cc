@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation: fixed-point (Q3.28) vs floating-point CORDIC.
+ *
+ * The paper's Figure 3(a) pipeline converts inputs to Q3.28 before
+ * iterating; on a PIM core without an FPU a fixed-point iteration is
+ * two native shifts and three native adds, roughly an order of
+ * magnitude cheaper than the float iteration (three emulated float
+ * adds plus two ldexp). The tradeoff is the accuracy ceiling at the
+ * 2^-28 resolution. This bench quantifies both sides.
+ */
+
+#include <cstdio>
+
+#include "transpim/harness.h"
+
+int
+main()
+{
+    using namespace tpl::transpim;
+    std::printf("=== Ablation: fixed-point vs floating-point CORDIC "
+                "(sine) ===\n");
+    std::printf("%-14s %-8s %12s %14s\n", "engine", "iters", "rmse",
+                "cycles/elem");
+
+    for (uint32_t iters : {8u, 12u, 16u, 20u, 24u, 28u}) {
+        for (Method m : {Method::Cordic, Method::CordicFixed}) {
+            MethodSpec spec;
+            spec.method = m;
+            spec.iterations = iters;
+            spec.placement = Placement::Wram;
+            MicrobenchOptions opts;
+            opts.elements = 4096;
+            MicrobenchResult r =
+                runMicrobench(Function::Sin, spec, opts);
+            std::printf("%-14s %-8u %12.3e %14.1f\n",
+                        m == Method::Cordic ? "float" : "fixed Q3.28",
+                        iters, r.error.rmse, r.cyclesPerElement);
+        }
+    }
+    std::printf("\n# Fixed-point iterations are ~10x cheaper; their "
+                "accuracy saturates near the Q3.28 resolution.\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation: DPU clock frequency.
+ *
+ * The paper's system runs at 350 MHz but its Section 4.2.2 break-even
+ * computation assumes 425 MHz (the next UPMEM silicon speed grade).
+ * The cost model exposes the frequency as a parameter; this bench
+ * shows its effect on the Blackscholes Figure 9 row and on the
+ * CORDIC-vs-LUT setup break-even point, which shifts with the clock
+ * because setup happens on the host while evaluation happens on the
+ * PIM core.
+ */
+
+#include <cstdio>
+
+#include "transpim/harness.h"
+#include "workloads/blackscholes.h"
+
+int
+main()
+{
+    using namespace tpl;
+    using namespace tpl::transpim;
+
+    std::printf("=== Ablation: DPU clock frequency ===\n\n");
+
+    // Per-element kernel time of the interp. L-LUT sine across clocks.
+    MethodSpec spec;
+    spec.method = Method::LLut;
+    spec.interpolated = true;
+    spec.placement = Placement::Wram;
+    spec.log2Entries = 12;
+    MicrobenchOptions opts;
+    opts.elements = 4096;
+    MicrobenchResult r = runMicrobench(Function::Sin, spec, opts);
+
+    MethodSpec cordicSpec;
+    cordicSpec.method = Method::Cordic;
+    cordicSpec.iterations = 24;
+    MicrobenchResult rc = runMicrobench(Function::Sin, cordicSpec,
+                                        opts);
+
+    std::printf("%-10s %18s %18s %22s\n", "clock", "L-LUT ns/elem",
+                "CORDIC ns/elem", "setup break-even ops");
+    for (double mhz : {267.0, 350.0, 425.0}) {
+        double hz = mhz * 1e6;
+        double llutNs = r.cyclesPerElement / hz * 1e9;
+        double cordicNs = rc.cyclesPerElement / hz * 1e9;
+        // Break-even: setup-time gap divided by per-op PIM savings
+        // (Key Takeaway 2's calculation at this clock).
+        double setupGap = r.setupSeconds - rc.setupSeconds;
+        double perOpGain =
+            (rc.cyclesPerElement - r.cyclesPerElement) / hz;
+        double breakEven = setupGap / perOpGain;
+        std::printf("%6.0f MHz %18.1f %18.1f %22.0f\n", mhz, llutNs,
+                    cordicNs, breakEven);
+    }
+
+    std::printf("\n# Faster cores make LUT setup amortize later "
+                "(the per-op savings shrink in seconds\n# while host "
+                "setup time is unchanged): the paper's ~40-op "
+                "break-even assumed 425 MHz.\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation: tasklet scaling of the PIM pipeline model.
+ *
+ * The paper's substrate (the UPMEM DPU) dispatches one instruction per
+ * tasklet every 11 cycles, so a kernel needs >= 11 tasklets to saturate
+ * the pipeline. This bench sweeps the tasklet count for the
+ * interpolated L-LUT sine kernel and reports cycles per element plus
+ * the effective speedup over one tasklet - the latency-bound plateau
+ * below 11 tasklets and the issue-bound regime above it should be
+ * clearly visible.
+ */
+
+#include <cstdio>
+
+#include "transpim/harness.h"
+
+int
+main()
+{
+    using namespace tpl::transpim;
+
+    MethodSpec spec;
+    spec.method = Method::LLut;
+    spec.interpolated = true;
+    spec.placement = Placement::Wram;
+    spec.log2Entries = 12;
+
+    std::printf("=== Ablation: tasklet scaling (interp. L-LUT sine) "
+                "===\n");
+    std::printf("%-10s %14s %10s\n", "tasklets", "cycles/elem",
+                "speedup");
+
+    double base = 0.0;
+    for (uint32_t t : {1u, 2u, 4u, 8u, 11u, 12u, 16u, 20u, 24u}) {
+        MicrobenchOptions opts;
+        opts.elements = 4096;
+        opts.tasklets = t;
+        MicrobenchResult r = runMicrobench(Function::Sin, spec, opts);
+        if (t == 1)
+            base = r.cyclesPerElement;
+        std::printf("%-10u %14.1f %9.2fx\n", t, r.cyclesPerElement,
+                    base / r.cyclesPerElement);
+    }
+    std::printf("\n# Expect ~linear speedup up to 11 tasklets "
+                "(pipeline interval), then saturation.\n");
+    return 0;
+}

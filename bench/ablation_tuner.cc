@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: the auto-tuner's recommendations across the tradeoff
+ * space.
+ *
+ * Sweeps the accuracy target and the expected evaluation count and
+ * prints which method the tuner picks - a compact, machine-generated
+ * restatement of the paper's Key Takeaways: CORDIC for few
+ * evaluations (flat setup), interpolated/fixed L-LUT for streaming
+ * workloads, CORDIC-family again when the memory budget is tight at
+ * high accuracy.
+ */
+
+#include <cstdio>
+
+#include "transpim/tuner.h"
+
+namespace {
+
+using namespace tpl::transpim;
+
+void
+sweep(Function f, const char* title, TunerConstraints base)
+{
+    std::printf("--- %s ---\n", title);
+    std::printf("%-12s %-12s %-24s %12s %12s %10s\n", "targetRMSE",
+                "evals", "choice", "rmse", "instr/eval", "bytes");
+    for (double target : {1e-3, 1e-5, 1e-7}) {
+        for (uint64_t evals : {100ull, 1'000'000ull}) {
+            TunerConstraints c = base;
+            c.expectedEvaluations = evals;
+            auto rec = recommendSpec(f, target, c);
+            if (!rec) {
+                std::printf("%-12.0e %-12llu (no feasible method)\n",
+                            target, (unsigned long long)evals);
+                continue;
+            }
+            std::printf("%-12.0e %-12llu %-24s %12.2e %12.1f %10u\n",
+                        target, (unsigned long long)evals,
+                        methodLabel(rec->best.spec).c_str(),
+                        rec->best.rmse,
+                        rec->best.instructionsPerEval,
+                        rec->best.tableBytes);
+        }
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: auto-tuner recommendations ===\n\n");
+
+    TunerConstraints roomy;
+    roomy.maxTableBytes = 48 * 1024;
+    sweep(Function::Sin, "sine, 48 KB table budget", roomy);
+
+    TunerConstraints tight;
+    tight.maxTableBytes = 512;
+    sweep(Function::Sin, "sine, 512 B table budget (dataset-heavy "
+                         "kernel)", tight);
+
+    sweep(Function::Tanh, "tanh, 48 KB table budget", roomy);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 5: execution cycles per input element on one PIM core as a
+ * function of RMSE, for every TransPimLib implementation of sine.
+ *
+ * Reproduces the paper's microbenchmark: 16 PIM threads stream uniform
+ * inputs in [0, 2pi] from the DRAM bank, evaluate each element, and
+ * write results back; the cycle model converts the retired-instruction
+ * counts into core cycles. LUT series appear twice (WRAM and MRAM
+ * placement); configurations whose tables do not fit a placement are
+ * absent, which is itself one of the paper's observations.
+ */
+
+#include <cstdio>
+
+#include "sweep_common.h"
+
+int
+main()
+{
+    using namespace tpl::bench;
+    std::printf("=== Figure 5: execution cycles per element vs RMSE "
+                "(sine, %u elements, 16 tasklets) ===\n",
+                benchElements());
+    auto points = runMethodSweep(tpl::transpim::Function::Sin, true);
+    printHeader("cycles per element (lower-left is better)",
+                "cycles/elem");
+    for (const auto& p : points)
+        printRow(p, p.result.cyclesPerElement);
+
+    // The paper's Section 4.2.1 observations, verified numerically.
+    std::printf("\n# Shape checks (paper Section 4.2.1)\n");
+    auto find = [&](const char* series, bool best) {
+        const SweepPoint* pick = nullptr;
+        for (const auto& p : points) {
+            if (p.series.find(series) != 0)
+                continue;
+            if (p.series.find("fixed") != std::string::npos &&
+                std::string(series).find("fixed") == std::string::npos)
+                continue;
+            if (!pick ||
+                (best ? p.result.error.rmse < pick->result.error.rmse
+                      : false))
+                pick = &p;
+        }
+        return pick;
+    };
+    const SweepPoint* llutI = find("L-LUT interp.", true);
+    const SweepPoint* mlutI = find("M-LUT interp.", true);
+    const SweepPoint* llutP = find("L-LUT (", true);
+    const SweepPoint* mlutP = find("M-LUT (", true);
+    const SweepPoint* fixedI = find("L-LUT fixed interp.", true);
+    const SweepPoint* cordic = find("CORDIC", true);
+    if (llutI && mlutI && llutP && mlutP && fixedI && cordic) {
+        std::printf("interp   L-LUT / M-LUT cycle ratio: %.2f "
+                    "(paper: ~0.5)\n",
+                    llutI->result.cyclesPerElement /
+                        mlutI->result.cyclesPerElement);
+        std::printf("plain    L-LUT / M-LUT cycle ratio: %.2f "
+                    "(paper: ~0.2)\n",
+                    llutP->result.cyclesPerElement /
+                        mlutP->result.cyclesPerElement);
+        std::printf("fixed/float interp. L-LUT ratio:    %.2f "
+                    "(paper: ~0.5)\n",
+                    fixedI->result.cyclesPerElement /
+                        llutI->result.cyclesPerElement);
+        std::printf("CORDIC / interp. L-LUT at best acc: %.1fx "
+                    "(paper: CORDIC is several times slower)\n",
+                    cordic->result.cyclesPerElement /
+                        llutI->result.cyclesPerElement);
+    }
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 7: memory consumption per PIM core as a function of RMSE for
+ * every TransPimLib implementation of sine.
+ *
+ * The paper's observations: LUT memory grows exponentially with the
+ * accuracy target while CORDIC's angle table stays tiny and flat;
+ * interpolation buys orders of magnitude of accuracy at fixed table
+ * size; and the WRAM placement caps the reachable accuracy of
+ * non-interpolated methods (those configurations simply do not fit).
+ */
+
+#include <cstdio>
+
+#include "sweep_common.h"
+
+int
+main()
+{
+    using namespace tpl::bench;
+    std::printf(
+        "=== Figure 7: memory consumption per PIM core vs RMSE "
+        "(sine) ===\n");
+    auto points = runMethodSweep(tpl::transpim::Function::Sin, false);
+    printHeader("table bytes on the PIM core", "bytes");
+    for (const auto& p : points)
+        printRow(p, static_cast<double>(p.result.memoryBytes));
+
+    // Interpolation effectiveness: accuracy at equal memory.
+    std::printf("\n# Interpolation at equal memory (L-LUT 2^12):\n");
+    for (const auto& p : points) {
+        if (p.knob == "2^12" &&
+            p.series.find("L-LUT") == 0 &&
+            p.series.find("MRAM") != std::string::npos) {
+            std::printf("  %-28s rmse=%.3e bytes=%u\n",
+                        p.series.c_str(), p.result.error.rmse,
+                        p.result.memoryBytes);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 8: execution cycles per input element for the range
+ * reduction/extension of sin, exp, log and sqrt.
+ *
+ * Runs kernels that execute only the reduction step per element on a
+ * simulated PIM core, reproducing the paper's observation that the
+ * cost differs widely across functions: the trigonometric mod-2pi
+ * reduction needs real float arithmetic (multiplies and conversions),
+ * the exp split needs a multiply and a Cody-Waite subtract chain, and
+ * the log/sqrt splits are near-free exponent/mantissa bit surgery.
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "common/rng.h"
+#include "pimsim/dpu.h"
+#include "transpim/range.h"
+
+namespace {
+
+using namespace tpl;
+
+double
+cyclesPerElement(const std::function<void(float, InstrSink*)>& op,
+                 float lo, float hi)
+{
+    constexpr uint32_t elements = 4096;
+    auto inputs = uniformFloats(elements, lo, hi, 99);
+    sim::DpuCore dpu;
+    sim::LaunchStats stats =
+        dpu.launch(16, [&](sim::TaskletContext& ctx) {
+            for (uint32_t i = ctx.taskletId(); i < elements;
+                 i += ctx.numTasklets()) {
+                ctx.charge(3); // loop control
+                op(inputs[i], &ctx);
+            }
+        });
+    return static_cast<double>(stats.cycles) / elements;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace tpl::transpim;
+    std::printf("=== Figure 8: range reduction/extension cycles per "
+                "element ===\n");
+    std::printf("%-8s %14s\n", "function", "cycles/elem");
+
+    double sinC = cyclesPerElement(
+        [](float x, InstrSink* s) { reduceTwoPi(x, s); }, -100.0f,
+        100.0f);
+    double expC = cyclesPerElement(
+        [](float x, InstrSink* s) { splitExp(x, s); }, -10.0f, 10.0f);
+    double logC = cyclesPerElement(
+        [](float x, InstrSink* s) { splitLog(x, s); }, 0.001f, 100.0f);
+    double sqrtC = cyclesPerElement(
+        [](float x, InstrSink* s) { splitSqrt(x, s); }, 0.001f,
+        100.0f);
+
+    std::printf("%-8s %14.1f\n", "sin", sinC);
+    std::printf("%-8s %14.1f\n", "exp", expC);
+    std::printf("%-8s %14.1f\n", "log", logC);
+    std::printf("%-8s %14.1f\n", "sqrt", sqrtC);
+
+    std::printf("\n# Shape check: sin/exp reductions are float "
+                "arithmetic (expensive),\n# log/sqrt are bit surgery "
+                "(cheap). sin/log ratio: %.1fx\n",
+                sinC / logC);
+    return 0;
+}

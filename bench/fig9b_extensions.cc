@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Extension workloads beyond the paper's Figure 9: logistic-regression
+ * inference (the paper's own example application for sigmoid) and
+ * Phong ray shading (ray tracing is cited in the paper's introduction
+ * as a transcendental-heavy application).
+ *
+ * Same methodology as fig9_workloads: simulated per-core element
+ * shares projected to the 2545-DPU machine, measured CPU baselines.
+ */
+
+#include <cstdio>
+
+#include "workloads/logistic.h"
+#include "workloads/raytrace.h"
+
+namespace {
+
+using namespace tpl::work;
+
+void
+printRows(const std::vector<WorkloadResult>& rows)
+{
+    std::printf("%-26s %12s %12s %12s\n", "variant", "total_s",
+                "kernel_s", "maxerr");
+    for (const auto& r : rows) {
+        std::printf("%-26s %12.4f %12.4f %12.3e\n", r.variant.c_str(),
+                    r.seconds, r.pimKernelSeconds, r.maxAbsError);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Extension workloads (beyond the paper's "
+                "Figure 9) ===\n\n");
+
+    LogisticConfig logCfg;
+    logCfg.totalElements = 10'000'000;
+    logCfg.elementsPerSimDpu = 1024;
+    logCfg.simulatedDpus = 2;
+    logCfg.features = 16;
+    logCfg.cpuSampleElements = 500'000;
+    std::printf("--- Logistic regression (%llu rows, %u features) "
+                "---\n",
+                (unsigned long long)logCfg.totalElements,
+                logCfg.features);
+    printRows(runLogisticAll(logCfg));
+
+    WorkloadConfig rayCfg;
+    rayCfg.totalElements = 10'000'000;
+    rayCfg.elementsPerSimDpu = 2048;
+    rayCfg.simulatedDpus = 2;
+    rayCfg.cpuSampleElements = 500'000;
+    std::printf("--- Ray shading (%llu rays; rsqrt + sqrt + log2 + "
+                "exp2 per hit) ---\n",
+                (unsigned long long)rayCfg.totalElements);
+    printRows(runRaytraceAll(rayCfg));
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: host-side wall-clock throughput of
+ * every method's evaluation routine (no cost model, no simulation).
+ *
+ * These numbers measure the *simulator's* own speed, not the modeled
+ * PIM system - useful for tracking regressions in the numeric kernels
+ * and for sizing how many simulated elements a bench run can afford.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "transpim/evaluator.h"
+
+namespace {
+
+using namespace tpl::transpim;
+
+void
+runMethod(benchmark::State& state, Function f, Method m)
+{
+    MethodSpec spec;
+    spec.method = m;
+    spec.interpolated = true;
+    spec.placement = Placement::Host;
+    spec.log2Entries = 12;
+    spec.iterations = 24;
+    auto eval = FunctionEvaluator::create(f, spec);
+    float x = 0.37f;
+    for (auto _ : state) {
+        float y = eval.eval(x, nullptr);
+        benchmark::DoNotOptimize(y);
+        x += 0.001f;
+        if (x > 6.0f)
+            x = 0.1f;
+    }
+}
+
+void BM_Sin_Cordic(benchmark::State& s)
+{
+    runMethod(s, Function::Sin, Method::Cordic);
+}
+void BM_Sin_CordicLut(benchmark::State& s)
+{
+    runMethod(s, Function::Sin, Method::CordicLut);
+}
+void BM_Sin_MLut(benchmark::State& s)
+{
+    runMethod(s, Function::Sin, Method::MLut);
+}
+void BM_Sin_LLut(benchmark::State& s)
+{
+    runMethod(s, Function::Sin, Method::LLut);
+}
+void BM_Sin_LLutFixed(benchmark::State& s)
+{
+    runMethod(s, Function::Sin, Method::LLutFixed);
+}
+void BM_Sin_Poly(benchmark::State& s)
+{
+    runMethod(s, Function::Sin, Method::Poly);
+}
+void BM_Tanh_DLut(benchmark::State& s)
+{
+    runMethod(s, Function::Tanh, Method::DLut);
+}
+void BM_Tanh_DlLut(benchmark::State& s)
+{
+    runMethod(s, Function::Tanh, Method::DlLut);
+}
+void BM_Exp_LLut(benchmark::State& s)
+{
+    runMethod(s, Function::Exp, Method::LLut);
+}
+void BM_Gelu_DlLut(benchmark::State& s)
+{
+    runMethod(s, Function::Gelu, Method::DlLut);
+}
+
+BENCHMARK(BM_Sin_Cordic);
+BENCHMARK(BM_Sin_CordicLut);
+BENCHMARK(BM_Sin_MLut);
+BENCHMARK(BM_Sin_LLut);
+BENCHMARK(BM_Sin_LLutFixed);
+BENCHMARK(BM_Sin_Poly);
+BENCHMARK(BM_Tanh_DLut);
+BENCHMARK(BM_Tanh_DlLut);
+BENCHMARK(BM_Exp_LLut);
+BENCHMARK(BM_Gelu_DlLut);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Sweep implementation shared by the Figure 5/6/7 benches.
+ */
+
+#include "sweep_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+
+namespace tpl {
+namespace bench {
+
+using transpim::Function;
+using transpim::FunctionEvaluator;
+using transpim::Method;
+using transpim::MethodSpec;
+using transpim::MicrobenchOptions;
+using transpim::MicrobenchResult;
+using transpim::Placement;
+
+uint32_t
+benchElements()
+{
+    if (const char* env = std::getenv("TPL_BENCH_ELEMENTS"))
+        return static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+    return 4096;
+}
+
+namespace {
+
+MicrobenchResult
+runPoint(Function f, const MethodSpec& spec, bool simulateCycles)
+{
+    MicrobenchOptions opts;
+    opts.elements = benchElements();
+    if (simulateCycles)
+        return transpim::runMicrobench(f, spec, opts);
+
+    // Setup/memory/accuracy only: no DPU cycle simulation.
+    MicrobenchResult res;
+    res.function = f;
+    res.spec = spec;
+    res.elements = opts.elements;
+    try {
+        FunctionEvaluator eval = FunctionEvaluator::create(f, spec);
+        // Respect the placement's size limit so Figures 6/7 show the
+        // same feasibility cutoffs as Figure 5.
+        sim::DpuCore dpu;
+        eval.attach(dpu);
+        auto inputs = uniformFloats(
+            opts.elements,
+            static_cast<float>(transpim::functionDomain(f).lo),
+            static_cast<float>(transpim::functionDomain(f).hi),
+            opts.seed);
+        res.error = evaluateAccuracy(eval, inputs);
+        res.memoryBytes = eval.memoryBytes();
+        res.hostGenSeconds = eval.setupSeconds();
+        sim::PimSystem timing(1);
+        res.transferSeconds =
+            timing.serialTransferSeconds(eval.memoryBytes());
+        res.setupSeconds = res.hostGenSeconds + res.transferSeconds;
+    } catch (const std::bad_alloc&) {
+        res.feasible = false;
+    } catch (const transpim::UnsupportedCombination&) {
+        res.feasible = false;
+    }
+    return res;
+}
+
+void
+addLutSeries(std::vector<SweepPoint>& out, Function f, Method method,
+             bool interpolated, Placement placement,
+             const std::vector<uint32_t>& sizes, bool simulateCycles)
+{
+    for (uint32_t log2n : sizes) {
+        MethodSpec spec;
+        spec.method = method;
+        spec.interpolated = interpolated;
+        spec.placement = placement;
+        spec.log2Entries = log2n;
+        MicrobenchResult r = runPoint(f, spec, simulateCycles);
+        if (!r.feasible)
+            continue; // table does not fit this placement
+        SweepPoint p;
+        p.series = methodLabel(spec);
+        p.knob = "2^" + std::to_string(log2n);
+        p.result = r;
+        out.push_back(std::move(p));
+    }
+}
+
+void
+addCordicSeries(std::vector<SweepPoint>& out, Function f, Method method,
+                Placement placement, bool simulateCycles)
+{
+    for (uint32_t iters : {8u, 12u, 16u, 20u, 24u, 28u}) {
+        MethodSpec spec;
+        spec.method = method;
+        spec.placement = placement;
+        spec.iterations = iters;
+        spec.gridBits = 8;
+        MicrobenchResult r = runPoint(f, spec, simulateCycles);
+        if (!r.feasible)
+            continue;
+        SweepPoint p;
+        p.series = methodLabel(spec);
+        p.knob = std::to_string(iters) + " iters";
+        p.result = r;
+        out.push_back(std::move(p));
+    }
+}
+
+} // namespace
+
+std::vector<SweepPoint>
+runMethodSweep(Function f, bool simulateCycles)
+{
+    std::vector<SweepPoint> out;
+    const std::vector<uint32_t> plainSizes{8, 10, 12, 14, 16, 18, 20};
+    const std::vector<uint32_t> interpSizes{6, 8, 10, 12, 14, 16};
+
+    for (Placement pl : {Placement::Wram, Placement::Mram}) {
+        addLutSeries(out, f, Method::MLut, false, pl, plainSizes,
+                     simulateCycles);
+        addLutSeries(out, f, Method::MLut, true, pl, interpSizes,
+                     simulateCycles);
+        addLutSeries(out, f, Method::LLut, false, pl, plainSizes,
+                     simulateCycles);
+        addLutSeries(out, f, Method::LLut, true, pl, interpSizes,
+                     simulateCycles);
+        addLutSeries(out, f, Method::LLutFixed, false, pl, plainSizes,
+                     simulateCycles);
+        addLutSeries(out, f, Method::LLutFixed, true, pl, interpSizes,
+                     simulateCycles);
+    }
+    addCordicSeries(out, f, Method::Cordic, Placement::Wram,
+                    simulateCycles);
+    addCordicSeries(out, f, Method::CordicLut, Placement::Wram,
+                    simulateCycles);
+    return out;
+}
+
+namespace {
+
+/** CSV mode for plotting scripts: TPL_BENCH_CSV=1. */
+bool
+csvMode()
+{
+    const char* env = std::getenv("TPL_BENCH_CSV");
+    return env && env[0] == '1';
+}
+
+} // namespace
+
+void
+printHeader(const char* title, const char* valueColumn)
+{
+    if (csvMode()) {
+        std::printf("series,knob,rmse,%s\n", valueColumn);
+        return;
+    }
+    std::printf("# %s\n", title);
+    std::printf("%-28s %-12s %12s %16s\n", "series", "knob", "rmse",
+                valueColumn);
+}
+
+void
+printRow(const SweepPoint& p, double value)
+{
+    if (csvMode()) {
+        std::printf("%s,%s,%.6e,%.8g\n", p.series.c_str(),
+                    p.knob.c_str(), p.result.error.rmse, value);
+        return;
+    }
+    std::printf("%-28s %-12s %12.3e %16.6g\n", p.series.c_str(),
+                p.knob.c_str(), p.result.error.rmse, value);
+}
+
+} // namespace bench
+} // namespace tpl

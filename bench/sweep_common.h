@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared sweep infrastructure for the Figure 5/6/7 benches: runs every
+ * TransPimLib sine implementation across its accuracy-tuning knob
+ * (iterations for CORDIC, table size for LUTs) and both table
+ * placements, exactly the configuration matrix behind the paper's
+ * microbenchmark figures.
+ */
+
+#ifndef TPL_BENCH_SWEEP_COMMON_H
+#define TPL_BENCH_SWEEP_COMMON_H
+
+#include <string>
+#include <vector>
+
+#include "transpim/harness.h"
+
+namespace tpl {
+namespace bench {
+
+/** One (method-config, placement) point of the sine sweep. */
+struct SweepPoint
+{
+    std::string series; ///< e.g. "L-LUT interp."
+    std::string knob;   ///< e.g. "2^12 entries" / "16 iters"
+    transpim::MicrobenchResult result;
+};
+
+/** Number of elements each microbenchmark evaluates. */
+uint32_t benchElements();
+
+/**
+ * Run the full sine method sweep.
+ * @param function the function to sweep (Figures 5-7 use sine).
+ * @param simulateCycles when false, skips the DPU simulation and only
+ *        fills accuracy/memory/setup (enough for Figures 6 and 7).
+ */
+std::vector<SweepPoint> runMethodSweep(transpim::Function function,
+                                       bool simulateCycles);
+
+/** Print the standard sweep-table header. */
+void printHeader(const char* title, const char* valueColumn);
+
+/** Print one sweep row with the chosen value column. */
+void printRow(const SweepPoint& p, double value);
+
+} // namespace bench
+} // namespace tpl
+
+#endif // TPL_BENCH_SWEEP_COMMON_H

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Method explorer: an interactive tuning tool over the library's
+ * (function x method x configuration) space.
+ *
+ * Given a function and a method on the command line, sweeps the
+ * method's accuracy knob and prints the full tradeoff row the paper's
+ * Figures 5-7 plot: RMSE, PIM cycles per element, host setup time and
+ * PIM memory. Useful for picking a configuration before deploying a
+ * kernel.
+ *
+ * Usage:
+ *   method_explorer [function] [method]
+ *   method_explorer sin llut
+ *   method_explorer tanh dlut
+ *   method_explorer exp cordic
+ * With no arguments, explores sin with every method.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "transpim/transpimlib.h"
+
+namespace {
+
+using namespace tpl::transpim;
+
+std::optional<Function>
+parseFunction(const std::string& s)
+{
+    const std::pair<const char*, Function> table[] = {
+        {"sin", Function::Sin},       {"cos", Function::Cos},
+        {"tan", Function::Tan},       {"sinh", Function::Sinh},
+        {"cosh", Function::Cosh},     {"tanh", Function::Tanh},
+        {"exp", Function::Exp},       {"log", Function::Log},
+        {"sqrt", Function::Sqrt},     {"gelu", Function::Gelu},
+        {"sigmoid", Function::Sigmoid}, {"cndf", Function::Cndf},
+    };
+    for (auto& [name, f] : table) {
+        if (s == name)
+            return f;
+    }
+    return std::nullopt;
+}
+
+std::optional<Method>
+parseMethod(const std::string& s)
+{
+    const std::pair<const char*, Method> table[] = {
+        {"cordic", Method::Cordic},
+        {"cordicfixed", Method::CordicFixed},
+        {"cordiclut", Method::CordicLut},
+        {"mlut", Method::MLut},
+        {"llut", Method::LLut},
+        {"llutfixed", Method::LLutFixed},
+        {"dlut", Method::DLut},
+        {"dllut", Method::DlLut},
+        {"poly", Method::Poly},
+    };
+    for (auto& [name, m] : table) {
+        if (s == name)
+            return m;
+    }
+    return std::nullopt;
+}
+
+void
+explore(Function f, Method m)
+{
+    std::printf("\n=== %s via %s ===\n",
+                std::string(functionName(f)).c_str(),
+                std::string(methodName(m)).c_str());
+    MethodSpec probe;
+    probe.method = m;
+    if (!FunctionEvaluator::supports(f, probe)) {
+        std::printf("(not in the support matrix)\n");
+        return;
+    }
+    std::printf("%-16s %12s %14s %12s %10s\n", "config", "rmse",
+                "cycles/elem", "setup_s", "bytes");
+
+    bool cordicLike = m == Method::Cordic || m == Method::CordicFixed ||
+                      m == Method::CordicLut;
+    bool polyLike = m == Method::Poly;
+    std::vector<uint32_t> knobs;
+    if (cordicLike)
+        knobs = {8, 12, 16, 20, 24, 28};
+    else if (polyLike)
+        knobs = {3, 5, 7, 9, 11, 13};
+    else
+        knobs = {6, 8, 10, 12, 14, 16};
+
+    for (uint32_t knob : knobs) {
+        MethodSpec spec;
+        spec.method = m;
+        spec.interpolated = true;
+        spec.placement = Placement::Wram;
+        if (cordicLike)
+            spec.iterations = knob;
+        else if (polyLike)
+            spec.polyDegree = knob;
+        else
+            spec.log2Entries = knob;
+
+        MicrobenchOptions opts;
+        opts.elements = 2048;
+        MicrobenchResult r = runMicrobench(f, spec, opts);
+        std::string label =
+            cordicLike ? std::to_string(knob) + " iters"
+            : polyLike ? "degree " + std::to_string(knob)
+                       : "2^" + std::to_string(knob);
+        if (!r.feasible) {
+            std::printf("%-16s (does not fit WRAM)\n", label.c_str());
+            continue;
+        }
+        std::printf("%-16s %12.3e %14.1f %12.3e %10u\n", label.c_str(),
+                    r.error.rmse, r.cyclesPerElement, r.setupSeconds,
+                    r.memoryBytes);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::optional<Function> f;
+    std::optional<Method> m;
+    if (argc > 1)
+        f = parseFunction(argv[1]);
+    if (argc > 2)
+        m = parseMethod(argv[2]);
+    if (argc > 1 && !f) {
+        std::fprintf(stderr,
+                     "unknown function '%s'\nfunctions: sin cos tan "
+                     "sinh cosh tanh exp log sqrt gelu sigmoid cndf\n",
+                     argv[1]);
+        return 1;
+    }
+    if (argc > 2 && !m) {
+        std::fprintf(stderr,
+                     "unknown method '%s'\nmethods: cordic cordicfixed "
+                     "cordiclut mlut llut llutfixed dlut dllut poly\n",
+                     argv[2]);
+        return 1;
+    }
+
+    Function fn = f.value_or(Function::Sin);
+    if (m) {
+        explore(fn, *m);
+    } else {
+        for (Method mm : {Method::Cordic, Method::CordicLut,
+                          Method::MLut, Method::LLut,
+                          Method::LLutFixed, Method::DLut,
+                          Method::DlLut, Method::Poly}) {
+            explore(fn, mm);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: evaluate a transcendental function on a simulated PIM
+ * core with TransPimLib.
+ *
+ * Demonstrates the library's three-step usage model:
+ *   1. create()  - host-side setup (table generation, timed),
+ *   2. attach()  - transfer tables to the PIM core's memory,
+ *   3. eval()    - kernel-side evaluation, charging PIM instructions.
+ *
+ * Build & run:
+ *   cmake --build build && ./build/examples/quickstart
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "transpim/transpimlib.h"
+
+int
+main()
+{
+    using namespace tpl;
+    using namespace tpl::transpim;
+
+    // --- 1. Host-side setup: an interpolated L-LUT for sine. --------
+    MethodSpec spec;
+    spec.method = Method::LLut;      // ldexp-based fuzzy lookup table
+    spec.interpolated = true;        // blend adjacent entries
+    spec.placement = Placement::Wram; // table lives in the scratchpad
+    spec.log2Entries = 12;           // 4096-entry budget
+
+    FunctionEvaluator sine = FunctionEvaluator::create(Function::Sin,
+                                                       spec);
+    std::printf("setup: %u table bytes generated in %.3f ms\n",
+                sine.memoryBytes(), sine.setupSeconds() * 1e3);
+
+    // --- 2. Transfer the tables to a PIM core. -----------------------
+    sim::DpuCore dpu;
+    sine.attach(dpu);
+
+    // --- 3. Run a kernel: 16 tasklets evaluate a few angles. ---------
+    const float angles[] = {0.1f, 0.5f, 1.0f, 2.0f, 3.14159f, 5.5f};
+    sim::LaunchStats stats = dpu.launch(16, [&](sim::TaskletContext& t) {
+        for (size_t i = t.taskletId(); i < std::size(angles);
+             i += t.numTasklets()) {
+            float y = sine.eval(angles[i], &t);
+            std::printf("  tasklet %2u: sin(%.5f) = %+.6f  "
+                        "(libm %+.6f)\n",
+                        t.taskletId(), angles[i], y,
+                        std::sin(angles[i]));
+        }
+    });
+
+    std::printf("kernel: %llu modeled DPU cycles, %llu instructions\n",
+                (unsigned long long)stats.cycles,
+                (unsigned long long)stats.totalInstructions);
+
+    // --- Bonus: compare methods at a glance. --------------------------
+    std::printf("\nmethod comparison for sin(2.0):\n");
+    for (Method m : {Method::Cordic, Method::CordicLut, Method::MLut,
+                     Method::LLut, Method::LLutFixed, Method::Poly}) {
+        MethodSpec s;
+        s.method = m;
+        s.placement = Placement::Host;
+        FunctionEvaluator e = FunctionEvaluator::create(Function::Sin, s);
+        CountingSink cost;
+        float y = e.eval(2.0f, &cost);
+        std::printf("  %-14s -> %+.7f   (%4llu PIM instructions, "
+                    "%6u table bytes)\n",
+                    std::string(methodName(m)).c_str(), y,
+                    (unsigned long long)cost.total(), e.memoryBytes());
+    }
+    return 0;
+}

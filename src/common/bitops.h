@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bit-manipulation utilities shared across the TransPimLib reproduction.
+ *
+ * These helpers centralize the float<->integer bit reinterpretations and
+ * the small bit tricks (count-leading-zeros, masks) used by the soft-float
+ * implementation, the fixed-point type, and the LUT address generators.
+ */
+
+#ifndef TPL_COMMON_BITOPS_H
+#define TPL_COMMON_BITOPS_H
+
+#include <bit>
+#include <cstdint>
+
+namespace tpl {
+
+/** Reinterpret an IEEE-754 binary32 value as its raw bit pattern. */
+inline uint32_t
+floatBits(float value)
+{
+    return std::bit_cast<uint32_t>(value);
+}
+
+/** Reinterpret a raw 32-bit pattern as an IEEE-754 binary32 value. */
+inline float
+bitsToFloat(uint32_t bits)
+{
+    return std::bit_cast<float>(bits);
+}
+
+/** Number of leading zero bits; returns 32 for x == 0. */
+inline int
+countLeadingZeros32(uint32_t x)
+{
+    if (x == 0)
+        return 32;
+    return std::countl_zero(x);
+}
+
+/** Number of leading zero bits; returns 64 for x == 0. */
+inline int
+countLeadingZeros64(uint64_t x)
+{
+    if (x == 0)
+        return 64;
+    return std::countl_zero(x);
+}
+
+/** True when x is a power of two (x != 0 and has a single set bit). */
+inline bool
+isPowerOfTwo(uint32_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Integer base-2 logarithm of a power of two. */
+inline int
+log2Exact(uint32_t x)
+{
+    return 31 - countLeadingZeros32(x);
+}
+
+/** Sign bit (bit 31) of an IEEE-754 binary32 pattern. */
+inline uint32_t
+ieeeSign(uint32_t bits)
+{
+    return bits >> 31;
+}
+
+/** Biased 8-bit exponent field of an IEEE-754 binary32 pattern. */
+inline uint32_t
+ieeeExponent(uint32_t bits)
+{
+    return (bits >> 23) & 0xffu;
+}
+
+/** 23-bit mantissa (fraction) field of an IEEE-754 binary32 pattern. */
+inline uint32_t
+ieeeMantissa(uint32_t bits)
+{
+    return bits & 0x7fffffu;
+}
+
+/** Assemble an IEEE-754 binary32 pattern from its three fields. */
+inline uint32_t
+ieeePack(uint32_t sign, uint32_t exponent, uint32_t mantissa)
+{
+    return (sign << 31) | (exponent << 23) | mantissa;
+}
+
+/** IEEE-754 binary32 exponent bias. */
+inline constexpr int ieeeBias = 127;
+
+/** Quiet NaN bit pattern used as the canonical NaN result. */
+inline constexpr uint32_t ieeeQuietNan = 0x7fc00000u;
+
+/** Positive infinity bit pattern. */
+inline constexpr uint32_t ieeePosInf = 0x7f800000u;
+
+/** Negative infinity bit pattern. */
+inline constexpr uint32_t ieeeNegInf = 0xff800000u;
+
+} // namespace tpl
+
+#endif // TPL_COMMON_BITOPS_H

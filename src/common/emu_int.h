@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Emulated 32-bit integer multiplication and division with DPU-style
+ * instruction accounting.
+ *
+ * The UPMEM DPU has no 32x32 multiplier: it provides an 8x8 multiply
+ * step, and the compiler/runtime expand wider multiplies into shift-add
+ * sequences over the operand bytes. Division is a div_step loop. These
+ * helpers compute exact results on the host while charging instruction
+ * counts that follow the DPU expansion (data-dependent for multiply:
+ * all-zero operand bytes are skipped, matching the runtime's behaviour
+ * and the ~8-35 cycle range reported for 32-bit multiplies in the UPMEM
+ * characterization literature; division is a fixed-length loop).
+ */
+
+#ifndef TPL_COMMON_EMU_INT_H
+#define TPL_COMMON_EMU_INT_H
+
+#include <cstdint>
+
+#include "common/instr_sink.h"
+
+namespace tpl {
+
+/** Unsigned 32x32 -> 64 multiply, charging the shift-add expansion. */
+uint64_t emuMul32(uint32_t a, uint32_t b, InstrSink* sink);
+
+/** Signed 32x32 -> 64 multiply (sign handling adds a few instructions). */
+int64_t emuMulS32(int32_t a, int32_t b, InstrSink* sink);
+
+/**
+ * Unsigned 32/32 divide via a div_step loop.
+ * @param remainder optional out-parameter receiving a % b.
+ * @pre b != 0.
+ */
+uint32_t emuDiv32(uint32_t a, uint32_t b, InstrSink* sink,
+                  uint32_t* remainder = nullptr);
+
+/** Signed 32/32 divide (C truncation semantics). @pre b != 0. */
+int32_t emuDivS32(int32_t a, int32_t b, InstrSink* sink);
+
+} // namespace tpl
+
+#endif // TPL_COMMON_EMU_INT_H

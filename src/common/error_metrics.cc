@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Accuracy metric implementations.
+ */
+
+#include "common/error_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/bitops.h"
+
+namespace tpl {
+
+namespace {
+
+/** Map a float's bit pattern onto a monotonically ordered integer line. */
+int64_t
+orderedBits(float value)
+{
+    uint32_t bits = floatBits(value);
+    if (bits & 0x80000000u)
+        return -static_cast<int64_t>(bits & 0x7fffffffu);
+    return static_cast<int64_t>(bits);
+}
+
+} // namespace
+
+double
+ulpDistance(float a, float b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return std::numeric_limits<double>::infinity();
+    return static_cast<double>(std::llabs(orderedBits(a) - orderedBits(b)));
+}
+
+void
+ErrorAccumulator::add(double approx, double reference)
+{
+    double err = std::abs(approx - reference);
+    sumSq_ += err * err;
+    sumAbs_ += err;
+    maxAbs_ = std::max(maxAbs_, err);
+    maxUlp_ = std::max(maxUlp_, ulpDistance(static_cast<float>(approx),
+                                            static_cast<float>(reference)));
+    ++count_;
+}
+
+ErrorStats
+ErrorAccumulator::stats() const
+{
+    ErrorStats s;
+    s.count = count_;
+    if (count_ == 0)
+        return s;
+    s.rmse = std::sqrt(sumSq_ / static_cast<double>(count_));
+    s.meanAbs = sumAbs_ / static_cast<double>(count_);
+    s.maxAbs = maxAbs_;
+    s.maxUlp = maxUlp_;
+    return s;
+}
+
+ErrorStats
+computeErrorStats(std::span<const float> approx,
+                  std::span<const float> reference)
+{
+    ErrorAccumulator acc;
+    size_t n = std::min(approx.size(), reference.size());
+    for (size_t i = 0; i < n; ++i)
+        acc.add(approx[i], reference[i]);
+    return acc.stats();
+}
+
+} // namespace tpl

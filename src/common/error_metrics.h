@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Accuracy metrics used throughout the evaluation: root-mean-square
+ * absolute error (RMSE), maximum absolute error, and units-in-the-last-
+ * place (ULP) distance, exactly the three metrics the paper reports
+ * (Section 4.1.1).
+ */
+
+#ifndef TPL_COMMON_ERROR_METRICS_H
+#define TPL_COMMON_ERROR_METRICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace tpl {
+
+/** Aggregate error statistics between an approximation and a reference. */
+struct ErrorStats
+{
+    /** Root-mean-square absolute error. */
+    double rmse = 0.0;
+    /** Maximum absolute error. */
+    double maxAbs = 0.0;
+    /** Mean absolute error. */
+    double meanAbs = 0.0;
+    /** Maximum ULP distance (binary32 grid of the reference). */
+    double maxUlp = 0.0;
+    /** Number of samples the statistics cover. */
+    size_t count = 0;
+};
+
+/**
+ * Incremental accumulator for ErrorStats so evaluation loops do not need
+ * to materialize both arrays.
+ */
+class ErrorAccumulator
+{
+  public:
+    /** Record one (approximation, reference) pair. */
+    void add(double approx, double reference);
+
+    /** Finalize and return the aggregate statistics. */
+    ErrorStats stats() const;
+
+  private:
+    double sumSq_ = 0.0;
+    double sumAbs_ = 0.0;
+    double maxAbs_ = 0.0;
+    double maxUlp_ = 0.0;
+    size_t count_ = 0;
+};
+
+/** Compute error statistics over two equally-sized spans. */
+ErrorStats computeErrorStats(std::span<const float> approx,
+                             std::span<const float> reference);
+
+/**
+ * ULP distance between two binary32 values: the number of representable
+ * floats between them (0 when bit-identical, and by convention +inf is
+ * returned as a large sentinel when signs differ around non-zero values
+ * or when either input is NaN).
+ */
+double ulpDistance(float a, float b);
+
+} // namespace tpl
+
+#endif // TPL_COMMON_ERROR_METRICS_H

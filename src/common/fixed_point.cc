@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Q3.28 fixed-point conversions.
+ */
+
+#include "common/fixed_point.h"
+
+#include <cmath>
+
+namespace tpl {
+
+Fixed
+Fixed::fromDouble(double value)
+{
+    double scaled = value * static_cast<double>(1u << fracBits);
+    return fromRaw(static_cast<int32_t>(std::llround(scaled)));
+}
+
+Fixed
+Fixed::fromFloat(float value)
+{
+    return fromDouble(static_cast<double>(value));
+}
+
+double
+Fixed::toDouble() const
+{
+    return static_cast<double>(raw_) * resolution;
+}
+
+float
+Fixed::toFloat() const
+{
+    return static_cast<float>(toDouble());
+}
+
+Fixed
+Fixed::operator*(Fixed other) const
+{
+    int64_t product = static_cast<int64_t>(raw_) *
+                      static_cast<int64_t>(other.raw_);
+    return fromRaw(static_cast<int32_t>(product >> fracBits));
+}
+
+Fixed
+saturatingFromDouble(double value)
+{
+    double scaled = value * static_cast<double>(1u << Fixed::fracBits);
+    if (scaled >= 2147483647.0)
+        return Fixed::fromRaw(INT32_MAX);
+    if (scaled <= -2147483648.0)
+        return Fixed::fromRaw(INT32_MIN);
+    return Fixed::fromRaw(static_cast<int32_t>(std::llround(scaled)));
+}
+
+Fixed
+fixedPi()
+{
+    return Fixed::fromDouble(3.14159265358979323846);
+}
+
+Fixed
+fixedHalfPi()
+{
+    return Fixed::fromDouble(1.57079632679489661923);
+}
+
+Fixed
+fixedTwoPi()
+{
+    return Fixed::fromDouble(6.28318530717958647692);
+}
+
+} // namespace tpl

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Q3.28 signed fixed-point type used by TransPimLib's fixed-point method
+ * variants.
+ *
+ * The paper's fixed-point format uses 28 bits for the fractional part,
+ * 3 bits for the integer part (enough to represent up to 2*pi) and one
+ * sign bit, stored in a single 32-bit word. The resolution is
+ * 2^-28 ~= 3.7e-9, which matches the accuracy limit of binary32 inputs
+ * in [4, 8] and therefore does not constrain the library's accuracy.
+ *
+ * Arithmetic here is the *reference* (host-side) semantics. When fixed-
+ * point arithmetic runs inside a simulated PIM kernel, the kernel charges
+ * cycles through the pimsim cost model and uses these same value
+ * semantics, which is exactly what happens on real UPMEM hardware (the
+ * DPU executes native 32-bit integer instructions).
+ */
+
+#ifndef TPL_COMMON_FIXED_POINT_H
+#define TPL_COMMON_FIXED_POINT_H
+
+#include <cstdint>
+
+namespace tpl {
+
+/**
+ * Signed Q3.28 fixed-point value.
+ *
+ * The type is a thin, trivially-copyable wrapper over int32_t so that it
+ * can live in simulated WRAM/MRAM buffers and be transferred bytewise.
+ * All operations use two's-complement wrap-around, matching the DPU's
+ * 32-bit integer ALU; helpers for saturation are provided separately.
+ */
+class Fixed
+{
+  public:
+    /** Number of fractional bits in the representation. */
+    static constexpr int fracBits = 28;
+
+    /** Smallest positive increment, 2^-28. */
+    static constexpr double resolution = 1.0 / (1 << fracBits);
+
+    constexpr Fixed() : raw_(0) {}
+
+    /** Wrap an existing raw Q3.28 word. */
+    static constexpr Fixed
+    fromRaw(int32_t raw)
+    {
+        Fixed f;
+        f.raw_ = raw;
+        return f;
+    }
+
+    /** Convert a double to Q3.28 with round-to-nearest. */
+    static Fixed fromDouble(double value);
+
+    /** Convert a float to Q3.28 with round-to-nearest. */
+    static Fixed fromFloat(float value);
+
+    /** Raw two's-complement word. */
+    constexpr int32_t raw() const { return raw_; }
+
+    /** Exact value as a double (Q3.28 is a subset of binary64). */
+    double toDouble() const;
+
+    /** Value rounded to the nearest binary32. */
+    float toFloat() const;
+
+    constexpr Fixed
+    operator+(Fixed other) const
+    {
+        return fromRaw(static_cast<int32_t>(
+            static_cast<uint32_t>(raw_) + static_cast<uint32_t>(other.raw_)));
+    }
+
+    constexpr Fixed
+    operator-(Fixed other) const
+    {
+        return fromRaw(static_cast<int32_t>(
+            static_cast<uint32_t>(raw_) - static_cast<uint32_t>(other.raw_)));
+    }
+
+    constexpr Fixed operator-() const { return fromRaw(-raw_); }
+
+    /**
+     * Full-precision Q3.28 multiply: 32x32 -> 64-bit product, then an
+     * arithmetic shift right by fracBits. This mirrors the DPU sequence
+     * (emulated 64-bit multiply followed by a shift).
+     */
+    Fixed operator*(Fixed other) const;
+
+    /** Arithmetic shift right (divide by 2^n, rounding toward -inf). */
+    constexpr Fixed
+    shiftRight(int n) const
+    {
+        return fromRaw(raw_ >> n);
+    }
+
+    /** Shift left (multiply by 2^n, wrap-around on overflow). */
+    constexpr Fixed
+    shiftLeft(int n) const
+    {
+        return fromRaw(static_cast<int32_t>(
+            static_cast<uint32_t>(raw_) << n));
+    }
+
+    constexpr bool operator==(const Fixed&) const = default;
+
+    constexpr bool operator<(Fixed other) const { return raw_ < other.raw_; }
+    constexpr bool operator>(Fixed other) const { return raw_ > other.raw_; }
+    constexpr bool operator<=(Fixed other) const { return raw_ <= other.raw_; }
+    constexpr bool operator>=(Fixed other) const { return raw_ >= other.raw_; }
+
+  private:
+    int32_t raw_;
+};
+
+/** Convert with saturation instead of wrap-around. */
+Fixed saturatingFromDouble(double value);
+
+/** pi in Q3.28. */
+Fixed fixedPi();
+
+/** pi/2 in Q3.28. */
+Fixed fixedHalfPi();
+
+/** 2*pi in Q3.28. */
+Fixed fixedTwoPi();
+
+} // namespace tpl
+
+#endif // TPL_COMMON_FIXED_POINT_H

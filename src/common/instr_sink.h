@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Instruction-count sink interface.
+ *
+ * Every emulated operation in the reproduction (soft-float arithmetic,
+ * emulated integer multiply/divide, LUT address generation, ...) reports
+ * how many native DPU instructions it executed through this interface.
+ * The PIM simulator implements it to accumulate per-tasklet cycle
+ * counts; passing a null sink runs the same value semantics without
+ * accounting (useful on the host side and in pure-numerics tests).
+ */
+
+#ifndef TPL_COMMON_INSTR_SINK_H
+#define TPL_COMMON_INSTR_SINK_H
+
+#include <cstdint>
+
+namespace tpl {
+
+/**
+ * Classes of high-level operations the library executes. Emulated
+ * routines report one event per operation *in addition to* their
+ * instruction charge, so architecture studies can re-cost a method's
+ * operation mix under a different PIM processing element (e.g. an
+ * HBM-PIM-style PE with native floating point).
+ */
+enum class OpClass
+{
+    FloatAdd,  ///< add/sub (emulated on UPMEM, native elsewhere)
+    FloatMul,
+    FloatDiv,
+    FloatSqrt,
+    FloatCmp,
+    FloatConv, ///< float<->int/fixed conversions
+    Ldexp,     ///< exponent-add scaling
+    IntMul,    ///< emulated 32-bit integer multiply
+    IntDiv,
+    TableRead, ///< one LUT query
+};
+
+/** Number of OpClass enumerators (array sizing). */
+inline constexpr int numOpClasses = 10;
+
+/** Receiver for native-instruction counts of emulated operations. */
+class InstrSink
+{
+  public:
+    virtual ~InstrSink() = default;
+
+    /** Account for @p instructions retired native instructions. */
+    virtual void charge(uint32_t instructions) = 0;
+
+    /** Optional: one high-level operation of class @p op occurred. */
+    virtual void note(OpClass op) { (void)op; }
+};
+
+/** Charge helper tolerating a null sink. */
+inline void
+chargeInstr(InstrSink* sink, uint32_t instructions)
+{
+    if (sink)
+        sink->charge(instructions);
+}
+
+/** Note helper tolerating a null sink. */
+inline void
+noteOp(InstrSink* sink, OpClass op)
+{
+    if (sink)
+        sink->note(op);
+}
+
+/** Trivial sink that simply counts; used by tests and calibration. */
+class CountingSink : public InstrSink
+{
+  public:
+    void charge(uint32_t instructions) override { total_ += instructions; }
+
+    /** Total instructions charged so far. */
+    uint64_t total() const { return total_; }
+
+    /** Reset the counter to zero. */
+    void reset() { total_ = 0; }
+
+  private:
+    uint64_t total_ = 0;
+};
+
+} // namespace tpl
+
+#endif // TPL_COMMON_INSTR_SINK_H

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Workload input generation helpers.
+ */
+
+#include "common/rng.h"
+
+namespace tpl {
+
+std::vector<float>
+uniformFloats(size_t n, float lo, float hi, uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    std::vector<float> values(n);
+    for (auto& v : values)
+        v = rng.nextFloat(lo, hi);
+    return values;
+}
+
+} // namespace tpl

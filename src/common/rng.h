@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic pseudo-random input generation for tests and benchmarks.
+ *
+ * The paper's microbenchmarks use 2^16 uniformly distributed floating-
+ * point inputs (Section 4.1.1). Everything here is seeded and
+ * reproducible so benchmark rows are stable across runs.
+ */
+
+#ifndef TPL_COMMON_RNG_H
+#define TPL_COMMON_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tpl {
+
+/**
+ * SplitMix64 generator: tiny, fast, and good enough for uniform workload
+ * generation; avoids dragging <random> engine state into headers.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextUnitDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    nextFloat(float lo, float hi)
+    {
+        return lo + static_cast<float>(nextUnitDouble()) * (hi - lo);
+    }
+
+  private:
+    uint64_t state_;
+};
+
+/** Generate n uniform floats in [lo, hi) with the given seed. */
+std::vector<float> uniformFloats(size_t n, float lo, float hi,
+                                 uint64_t seed = 0x7ea9c0de);
+
+} // namespace tpl
+
+#endif // TPL_COMMON_RNG_H

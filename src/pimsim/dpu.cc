@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Simulated DPU implementation.
+ */
+
+#include "pimsim/dpu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace tpl {
+namespace sim {
+
+DpuCore::DpuCore(const CostModel& model)
+    : model_(model), mram_(model.mramBytes), wram_(model.wramBytes)
+{
+}
+
+void
+DpuCore::hostWriteMram(uint32_t addr, const void* src, uint32_t size)
+{
+    if (static_cast<uint64_t>(addr) + size > mram_.size())
+        throw std::out_of_range("hostWriteMram beyond MRAM bank");
+    std::memcpy(mram_.data() + addr, src, size);
+}
+
+void
+DpuCore::hostReadMram(uint32_t addr, void* dst, uint32_t size) const
+{
+    if (static_cast<uint64_t>(addr) + size > mram_.size())
+        throw std::out_of_range("hostReadMram beyond MRAM bank");
+    std::memcpy(dst, mram_.data() + addr, size);
+}
+
+namespace {
+
+uint32_t
+alignUp8(uint32_t v)
+{
+    return (v + 7u) & ~7u;
+}
+
+} // namespace
+
+uint32_t
+DpuCore::mramAlloc(uint32_t size)
+{
+    uint32_t addr = mramTop_;
+    uint32_t next = alignUp8(mramTop_ + size);
+    if (next > mram_.size())
+        throw std::bad_alloc();
+    mramTop_ = next;
+    return addr;
+}
+
+uint32_t
+DpuCore::wramAlloc(uint32_t size)
+{
+    uint32_t addr = wramTop_;
+    uint32_t next = alignUp8(wramTop_ + size);
+    if (next > wram_.size())
+        throw std::bad_alloc();
+    wramTop_ = next;
+    return addr;
+}
+
+void
+DpuCore::resetAllocators()
+{
+    mramTop_ = 0;
+    wramTop_ = 0;
+}
+
+uint64_t
+DpuCore::accountDma(uint32_t size)
+{
+    uint64_t engine = model_.dmaSetupCycles +
+        static_cast<uint64_t>(size * model_.dmaCyclesPerByte);
+    dmaEngineCycles_ += engine;
+    dmaBytes_ += size;
+    return model_.dmaLatencyCycles + engine;
+}
+
+LaunchStats
+DpuCore::launch(uint32_t numTasklets, const Kernel& kernel)
+{
+    assert(numTasklets >= 1 && numTasklets <= model_.maxTasklets);
+    dmaEngineCycles_ = 0;
+    dmaBytes_ = 0;
+
+    std::vector<TaskletContext> contexts;
+    contexts.reserve(numTasklets);
+    for (uint32_t t = 0; t < numTasklets; ++t)
+        contexts.emplace_back(*this, t, numTasklets);
+
+    for (auto& ctx : contexts)
+        kernel(ctx);
+
+    LaunchStats stats;
+    stats.tasklets = numTasklets;
+    stats.dmaEngineCycles = dmaEngineCycles_;
+    for (const auto& ctx : contexts) {
+        stats.totalInstructions += ctx.instructions();
+        uint64_t work = ctx.instructions() * model_.pipelineInterval +
+                        ctx.dmaStallCycles();
+        stats.maxTaskletWork = std::max(stats.maxTaskletWork, work);
+    }
+    stats.cycles = std::max({stats.totalInstructions,
+                             stats.maxTaskletWork,
+                             stats.dmaEngineCycles});
+    stats.dmaBytes = dmaBytes_;
+    stats.energyJoules =
+        (static_cast<double>(stats.totalInstructions) *
+             model_.instrEnergyPj +
+         static_cast<double>(dmaBytes_) * model_.dmaEnergyPerBytePj) *
+        1e-12;
+    last_ = stats;
+    return stats;
+}
+
+void
+TaskletContext::mramRead(uint32_t mramAddr, void* dst, uint32_t size)
+{
+    if (static_cast<uint64_t>(mramAddr) + size > core_.mram_.size())
+        throw std::out_of_range("mramRead beyond MRAM bank");
+    std::memcpy(dst, core_.mram_.data() + mramAddr, size);
+    dmaStall_ += core_.accountDma(size);
+    // Issuing the DMA costs a couple of instructions as well.
+    instructions_ += 2;
+}
+
+void
+TaskletContext::mramWrite(uint32_t mramAddr, const void* src, uint32_t size)
+{
+    if (static_cast<uint64_t>(mramAddr) + size > core_.mram_.size())
+        throw std::out_of_range("mramWrite beyond MRAM bank");
+    std::memcpy(core_.mram_.data() + mramAddr, src, size);
+    dmaStall_ += core_.accountDma(size);
+    instructions_ += 2;
+}
+
+void
+TaskletContext::chargeWramAccess(uint32_t accesses)
+{
+    instructions_ += accesses * core_.model_.wramAccessCost;
+}
+
+} // namespace sim
+} // namespace tpl

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Single simulated PIM core (UPMEM terminology: DPU).
+ *
+ * The model is an instruction-cost simulator, not a functional ISA
+ * interpreter: kernels are C-like C++ functions written against the
+ * primitive set a DPU offers (native 32-bit integer ops, emulated
+ * multiply/divide/floating point, WRAM accesses, MRAM DMA) and every
+ * primitive charges the native instructions it would retire. The DPU
+ * converts the per-tasklet instruction and DMA totals into cycles with
+ * the revolver-pipeline throughput model:
+ *
+ *   cycles = max( total instructions issued            (issue bound),
+ *                 max per-tasklet work * interval      (latency bound),
+ *                 DMA engine occupancy )                (DMA bound)
+ *
+ * which captures the two regimes the UPMEM literature documents: a
+ * single tasklet dispatches once per pipelineInterval cycles, and with
+ * >= pipelineInterval tasklets the core retires one instruction per
+ * cycle.
+ */
+
+#ifndef TPL_PIMSIM_DPU_H
+#define TPL_PIMSIM_DPU_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/instr_sink.h"
+#include "pimsim/cost_model.h"
+
+namespace tpl {
+namespace sim {
+
+class DpuCore;
+
+/**
+ * Per-tasklet execution context handed to kernels.
+ *
+ * Implements InstrSink so the soft-float and emulated-integer helpers
+ * can charge instructions directly. MRAM accesses go through the DMA
+ * model; WRAM is a flat byte array owned by the core.
+ */
+class TaskletContext : public InstrSink
+{
+  public:
+    TaskletContext(DpuCore& core, uint32_t id, uint32_t numTasklets)
+        : core_(core), id_(id), numTasklets_(numTasklets)
+    {}
+
+    /** SPMD rank of this tasklet within the DPU. */
+    uint32_t taskletId() const { return id_; }
+
+    /** Number of tasklets launched with the kernel. */
+    uint32_t numTasklets() const { return numTasklets_; }
+
+    /** Charge native instructions (loop control, addressing, ALU). */
+    void charge(uint32_t instructions) override
+    {
+        instructions_ += instructions;
+    }
+
+    /**
+     * DMA read from MRAM into a host-visible buffer (stands in for the
+     * tasklet's WRAM chunk). Charges engine occupancy and latency.
+     */
+    void mramRead(uint32_t mramAddr, void* dst, uint32_t size);
+
+    /** DMA write from a buffer into MRAM. */
+    void mramWrite(uint32_t mramAddr, const void* src, uint32_t size);
+
+    /** Charge one WRAM access (load or store). */
+    void chargeWramAccess(uint32_t accesses = 1);
+
+    /** Total native instructions this tasklet has retired. */
+    uint64_t instructions() const { return instructions_; }
+
+    /** Total DMA latency cycles this tasklet has stalled for. */
+    uint64_t dmaStallCycles() const { return dmaStall_; }
+
+    /** The owning core (for WRAM/MRAM region queries). */
+    DpuCore& core() { return core_; }
+
+  private:
+    friend class DpuCore;
+
+    DpuCore& core_;
+    uint32_t id_;
+    uint32_t numTasklets_;
+    uint64_t instructions_ = 0;
+    uint64_t dmaStall_ = 0;
+};
+
+/** Kernel body executed once per tasklet (SPMD). */
+using Kernel = std::function<void(TaskletContext&)>;
+
+/** Cycle breakdown of one kernel launch. */
+struct LaunchStats
+{
+    uint64_t cycles = 0;            ///< modeled DPU cycles
+    uint64_t totalInstructions = 0; ///< across all tasklets
+    uint64_t maxTaskletWork = 0;    ///< instr*interval + stalls, max
+    uint64_t dmaEngineCycles = 0;   ///< DMA engine occupancy
+    uint64_t dmaBytes = 0;          ///< bytes moved by the DMA engine
+    uint32_t tasklets = 0;          ///< tasklets launched
+    double energyJoules = 0.0;      ///< instruction + DMA energy
+};
+
+/**
+ * One simulated DPU: a 64-MB MRAM bank, a 64-KB WRAM scratchpad, bump
+ * allocators for both (the allocation totals feed the paper's memory-
+ * consumption figure), and the launch/cycle model.
+ */
+class DpuCore
+{
+  public:
+    explicit DpuCore(const CostModel& model = CostModel{});
+
+    /** Cost-model parameters in effect. */
+    const CostModel& model() const { return model_; }
+
+    /// @name Host-side MRAM access (CPU-DPU / DPU-CPU transfers).
+    /// @{
+    void hostWriteMram(uint32_t addr, const void* src, uint32_t size);
+    void hostReadMram(uint32_t addr, void* dst, uint32_t size) const;
+    /// @}
+
+    /**
+     * Allocate @p size bytes of MRAM (8-byte aligned bump allocator).
+     * @return the MRAM address of the allocation.
+     */
+    uint32_t mramAlloc(uint32_t size);
+
+    /** Allocate WRAM (8-byte aligned bump allocator). */
+    uint32_t wramAlloc(uint32_t size);
+
+    /** Reset both allocators (new kernel program). */
+    void resetAllocators();
+
+    /** Bytes of MRAM currently allocated (paper's Figure 7 metric). */
+    uint32_t mramAllocated() const { return mramTop_; }
+
+    /** Bytes of WRAM currently allocated. */
+    uint32_t wramAllocated() const { return wramTop_; }
+
+    /** Raw WRAM pointer (kernel-side scratchpad accesses). */
+    uint8_t* wramData() { return wram_.data(); }
+    const uint8_t* wramData() const { return wram_.data(); }
+
+    /** Raw MRAM pointer (used by the DMA model). */
+    uint8_t* mramData() { return mram_.data(); }
+
+    /**
+     * Run @p kernel once per tasklet and update the launch statistics.
+     * Tasklets execute sequentially in simulation; the cycle model
+     * reconstructs their interleaving analytically.
+     */
+    LaunchStats launch(uint32_t numTasklets, const Kernel& kernel);
+
+    /** Statistics of the most recent launch. */
+    const LaunchStats& lastLaunch() const { return last_; }
+
+  private:
+    friend class TaskletContext;
+
+    /** Account a DMA transfer on the engine; returns stall cycles. */
+    uint64_t accountDma(uint32_t size);
+
+    CostModel model_;
+    std::vector<uint8_t> mram_;
+    std::vector<uint8_t> wram_;
+    uint32_t mramTop_ = 0;
+    uint32_t wramTop_ = 0;
+    uint64_t dmaEngineCycles_ = 0; ///< accumulated during a launch
+    uint64_t dmaBytes_ = 0;        ///< accumulated during a launch
+    LaunchStats last_;
+};
+
+} // namespace sim
+} // namespace tpl
+
+#endif // TPL_PIMSIM_DPU_H

@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Assembler and interpreter for the miniature DPU ISA.
+ */
+
+#include "pimsim/isa.h"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "common/emu_int.h"
+
+namespace tpl {
+namespace sim {
+
+namespace {
+
+struct OpInfo
+{
+    Opcode op;
+    /** Operand pattern: 'd'=reg dest, 'a'/'b'=reg src, 'i'=immediate,
+     * 'l'=label. */
+    const char* operands;
+};
+
+const std::map<std::string, OpInfo>&
+opTable()
+{
+    static const std::map<std::string, OpInfo> table{
+        {"add", {Opcode::Add, "dab"}},
+        {"addi", {Opcode::Addi, "dai"}},
+        {"sub", {Opcode::Sub, "dab"}},
+        {"subi", {Opcode::Subi, "dai"}},
+        {"and", {Opcode::And, "dab"}},
+        {"andi", {Opcode::Andi, "dai"}},
+        {"or", {Opcode::Or, "dab"}},
+        {"ori", {Opcode::Ori, "dai"}},
+        {"xor", {Opcode::Xor, "dab"}},
+        {"xori", {Opcode::Xori, "dai"}},
+        {"sll", {Opcode::Sll, "dab"}},
+        {"slli", {Opcode::Slli, "dai"}},
+        {"srl", {Opcode::Srl, "dab"}},
+        {"srli", {Opcode::Srli, "dai"}},
+        {"sra", {Opcode::Sra, "dab"}},
+        {"srai", {Opcode::Srai, "dai"}},
+        {"mul", {Opcode::Mul, "dab"}},
+        {"mulh", {Opcode::Mulh, "dab"}},
+        {"movi", {Opcode::Movi, "di"}},
+        {"tid", {Opcode::Tid, "d"}},
+        {"ntask", {Opcode::Ntask, "d"}},
+        {"ldw", {Opcode::Ldw, "dai"}},
+        {"stw", {Opcode::Stw, "dai"}},
+        {"ldma", {Opcode::Ldma, "dab"}},
+        {"sdma", {Opcode::Sdma, "dab"}},
+        {"beq", {Opcode::Beq, "abl"}},
+        {"bne", {Opcode::Bne, "abl"}},
+        {"blt", {Opcode::Blt, "abl"}},
+        {"bge", {Opcode::Bge, "abl"}},
+        {"bltu", {Opcode::Bltu, "abl"}},
+        {"bgeu", {Opcode::Bgeu, "abl"}},
+        {"jmp", {Opcode::Jmp, "l"}},
+        {"halt", {Opcode::Halt, ""}},
+    };
+    return table;
+}
+
+[[noreturn]] void
+fail(uint32_t line, const std::string& msg)
+{
+    throw AsmError("asm line " + std::to_string(line) + ": " + msg);
+}
+
+uint8_t
+parseReg(const std::string& tok, uint32_t line)
+{
+    if (tok.size() < 2 || tok[0] != 'r')
+        fail(line, "expected register, got '" + tok + "'");
+    int n = 0;
+    for (size_t i = 1; i < tok.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            fail(line, "bad register '" + tok + "'");
+        n = n * 10 + (tok[i] - '0');
+    }
+    if (n < 0 || n >= 24)
+        fail(line, "register out of range '" + tok + "'");
+    return static_cast<uint8_t>(n);
+}
+
+int32_t
+parseImm(const std::string& tok, uint32_t line)
+{
+    try {
+        size_t pos = 0;
+        long long v = std::stoll(tok, &pos, 0);
+        if (pos != tok.size())
+            fail(line, "bad immediate '" + tok + "'");
+        return static_cast<int32_t>(v);
+    } catch (const AsmError&) {
+        throw;
+    } catch (...) {
+        fail(line, "bad immediate '" + tok + "'");
+    }
+}
+
+std::vector<std::string>
+tokenize(const std::string& text)
+{
+    std::vector<std::string> tokens;
+    std::string cur;
+    for (char c : text) {
+        if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+            if (!cur.empty()) {
+                tokens.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        tokens.push_back(cur);
+    return tokens;
+}
+
+} // namespace
+
+Program
+assemble(const std::string& source)
+{
+    // Pass 1: strip comments, record labels, collect raw statements.
+    struct Raw
+    {
+        std::vector<std::string> tokens;
+        uint32_t line;
+    };
+    std::vector<Raw> raws;
+    std::map<std::string, int32_t> labels;
+
+    std::istringstream in(source);
+    std::string lineText;
+    uint32_t lineNo = 0;
+    while (std::getline(in, lineText)) {
+        ++lineNo;
+        size_t hash = lineText.find('#');
+        if (hash != std::string::npos)
+            lineText.resize(hash);
+        auto tokens = tokenize(lineText);
+        while (!tokens.empty() && tokens.front().back() == ':') {
+            std::string label = tokens.front();
+            label.pop_back();
+            if (label.empty())
+                fail(lineNo, "empty label");
+            if (labels.count(label))
+                fail(lineNo, "duplicate label '" + label + "'");
+            labels[label] = static_cast<int32_t>(raws.size());
+            tokens.erase(tokens.begin());
+        }
+        if (tokens.empty())
+            continue;
+        raws.push_back({std::move(tokens), lineNo});
+    }
+
+    // Pass 2: encode.
+    Program prog;
+    for (const Raw& raw : raws) {
+        auto it = opTable().find(raw.tokens[0]);
+        if (it == opTable().end())
+            fail(raw.line, "unknown mnemonic '" + raw.tokens[0] + "'");
+        const OpInfo& info = it->second;
+        size_t expected = std::strlen(info.operands);
+        if (raw.tokens.size() != expected + 1) {
+            fail(raw.line, "expected " + std::to_string(expected) +
+                               " operands for '" + raw.tokens[0] + "'");
+        }
+        Instruction ins;
+        ins.op = info.op;
+        for (size_t i = 0; i < expected; ++i) {
+            const std::string& tok = raw.tokens[i + 1];
+            switch (info.operands[i]) {
+              case 'd':
+                ins.rd = parseReg(tok, raw.line);
+                break;
+              case 'a':
+                ins.ra = parseReg(tok, raw.line);
+                break;
+              case 'b':
+                ins.rb = parseReg(tok, raw.line);
+                break;
+              case 'i':
+                ins.imm = parseImm(tok, raw.line);
+                break;
+              case 'l': {
+                auto lit = labels.find(tok);
+                if (lit == labels.end())
+                    fail(raw.line, "unknown label '" + tok + "'");
+                ins.imm = lit->second;
+                break;
+              }
+            }
+        }
+        prog.code.push_back(ins);
+        prog.lines.push_back(raw.line);
+    }
+    return prog;
+}
+
+ExecResult
+execute(const Program& program, TaskletContext& ctx,
+        uint64_t maxInstructions)
+{
+    ExecResult res;
+    auto& r = res.registers;
+    r.fill(0);
+    DpuCore& core = ctx.core();
+    uint8_t* wram = core.wramData();
+    uint32_t wramSize = core.model().wramBytes;
+
+    auto wramCheck = [&](uint32_t addr, uint32_t size) {
+        if (static_cast<uint64_t>(addr) + size > wramSize) {
+            throw std::runtime_error(
+                "isa: WRAM access out of range at address " +
+                std::to_string(addr));
+        }
+    };
+
+    size_t pc = 0;
+    while (pc < program.code.size()) {
+        if (res.instructionsExecuted >= maxInstructions)
+            throw std::runtime_error("isa: instruction budget exceeded");
+        const Instruction& ins = program.code[pc];
+        ++res.instructionsExecuted;
+        ++pc;
+        uint32_t ua = static_cast<uint32_t>(r[ins.ra]);
+        uint32_t ub = static_cast<uint32_t>(r[ins.rb]);
+        switch (ins.op) {
+          case Opcode::Add:
+            ctx.charge(1);
+            r[ins.rd] = static_cast<int32_t>(ua + ub);
+            break;
+          case Opcode::Addi:
+            ctx.charge(1);
+            r[ins.rd] = static_cast<int32_t>(
+                ua + static_cast<uint32_t>(ins.imm));
+            break;
+          case Opcode::Sub:
+            ctx.charge(1);
+            r[ins.rd] = static_cast<int32_t>(ua - ub);
+            break;
+          case Opcode::Subi:
+            ctx.charge(1);
+            r[ins.rd] = static_cast<int32_t>(
+                ua - static_cast<uint32_t>(ins.imm));
+            break;
+          case Opcode::And:
+            ctx.charge(1);
+            r[ins.rd] = static_cast<int32_t>(ua & ub);
+            break;
+          case Opcode::Andi:
+            ctx.charge(1);
+            r[ins.rd] = static_cast<int32_t>(
+                ua & static_cast<uint32_t>(ins.imm));
+            break;
+          case Opcode::Or:
+            ctx.charge(1);
+            r[ins.rd] = static_cast<int32_t>(ua | ub);
+            break;
+          case Opcode::Ori:
+            ctx.charge(1);
+            r[ins.rd] = static_cast<int32_t>(
+                ua | static_cast<uint32_t>(ins.imm));
+            break;
+          case Opcode::Xor:
+            ctx.charge(1);
+            r[ins.rd] = static_cast<int32_t>(ua ^ ub);
+            break;
+          case Opcode::Xori:
+            ctx.charge(1);
+            r[ins.rd] = static_cast<int32_t>(
+                ua ^ static_cast<uint32_t>(ins.imm));
+            break;
+          case Opcode::Sll:
+            ctx.charge(1);
+            r[ins.rd] = static_cast<int32_t>(ua << (ub & 31));
+            break;
+          case Opcode::Slli:
+            ctx.charge(1);
+            r[ins.rd] = static_cast<int32_t>(ua << (ins.imm & 31));
+            break;
+          case Opcode::Srl:
+            ctx.charge(1);
+            r[ins.rd] = static_cast<int32_t>(ua >> (ub & 31));
+            break;
+          case Opcode::Srli:
+            ctx.charge(1);
+            r[ins.rd] = static_cast<int32_t>(ua >> (ins.imm & 31));
+            break;
+          case Opcode::Sra:
+            ctx.charge(1);
+            r[ins.rd] = r[ins.ra] >> (ub & 31);
+            break;
+          case Opcode::Srai:
+            ctx.charge(1);
+            r[ins.rd] = r[ins.ra] >> (ins.imm & 31);
+            break;
+          case Opcode::Mul: {
+            // Runtime multiply expansion: value now, cost via the
+            // same emulated-multiplier model as the high-level tier.
+            int64_t prod = emuMulS32(r[ins.ra], r[ins.rb], &ctx);
+            r[ins.rd] = static_cast<int32_t>(prod);
+            break;
+          }
+          case Opcode::Mulh: {
+            int64_t prod = emuMulS32(r[ins.ra], r[ins.rb], &ctx);
+            r[ins.rd] = static_cast<int32_t>(prod >> 32);
+            break;
+          }
+          case Opcode::Movi:
+            ctx.charge(1);
+            r[ins.rd] = ins.imm;
+            break;
+          case Opcode::Tid:
+            ctx.charge(1);
+            r[ins.rd] = static_cast<int32_t>(ctx.taskletId());
+            break;
+          case Opcode::Ntask:
+            ctx.charge(1);
+            r[ins.rd] = static_cast<int32_t>(ctx.numTasklets());
+            break;
+          case Opcode::Ldw: {
+            ctx.charge(1);
+            uint32_t addr = ua + static_cast<uint32_t>(ins.imm);
+            wramCheck(addr, 4);
+            int32_t v;
+            std::memcpy(&v, wram + addr, 4);
+            r[ins.rd] = v;
+            break;
+          }
+          case Opcode::Stw: {
+            ctx.charge(1);
+            uint32_t addr = ua + static_cast<uint32_t>(ins.imm);
+            wramCheck(addr, 4);
+            std::memcpy(wram + addr, &r[ins.rd], 4);
+            break;
+          }
+          case Opcode::Ldma: {
+            uint32_t wa = static_cast<uint32_t>(r[ins.rd]);
+            uint32_t ma = ua;
+            uint32_t size = ub;
+            wramCheck(wa, size);
+            ctx.mramRead(ma, wram + wa, size);
+            break;
+          }
+          case Opcode::Sdma: {
+            uint32_t wa = static_cast<uint32_t>(r[ins.rd]);
+            uint32_t ma = ua;
+            uint32_t size = ub;
+            wramCheck(wa, size);
+            ctx.mramWrite(ma, wram + wa, size);
+            break;
+          }
+          case Opcode::Beq:
+            ctx.charge(1);
+            if (r[ins.ra] == r[ins.rb])
+                pc = static_cast<size_t>(ins.imm);
+            break;
+          case Opcode::Bne:
+            ctx.charge(1);
+            if (r[ins.ra] != r[ins.rb])
+                pc = static_cast<size_t>(ins.imm);
+            break;
+          case Opcode::Blt:
+            ctx.charge(1);
+            if (r[ins.ra] < r[ins.rb])
+                pc = static_cast<size_t>(ins.imm);
+            break;
+          case Opcode::Bge:
+            ctx.charge(1);
+            if (r[ins.ra] >= r[ins.rb])
+                pc = static_cast<size_t>(ins.imm);
+            break;
+          case Opcode::Bltu:
+            ctx.charge(1);
+            if (ua < ub)
+                pc = static_cast<size_t>(ins.imm);
+            break;
+          case Opcode::Bgeu:
+            ctx.charge(1);
+            if (ua >= ub)
+                pc = static_cast<size_t>(ins.imm);
+            break;
+          case Opcode::Jmp:
+            ctx.charge(1);
+            pc = static_cast<size_t>(ins.imm);
+            break;
+          case Opcode::Halt:
+            ctx.charge(1);
+            return res;
+        }
+    }
+    return res;
+}
+
+} // namespace sim
+} // namespace tpl

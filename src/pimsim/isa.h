@@ -1,0 +1,121 @@
+/**
+ * @file
+ * A miniature DPU instruction set with assembler and interpreter.
+ *
+ * Purpose: *validate the cost model bottom-up*. The rest of the
+ * simulator charges instruction counts at the level of emulated
+ * operations ("this fixed-point interpolated LUT query retires ~40
+ * native instructions"). This module lets a kernel be written
+ * instruction by instruction in a RISC-style assembly resembling the
+ * DPU ISA (32-bit integer ALU, WRAM loads/stores, MRAM DMA, an
+ * emulated multiply); executing it on the same DpuCore retires exactly
+ * one charge per instruction, so the test suite can compare the
+ * hand-written kernel's instruction count and *outputs* against the
+ * high-level model (tests/isa_test.cc).
+ *
+ * The ISA is deliberately small: enough to express the fixed-point
+ * L-LUT and fixed-point CORDIC kernels (pure integer code, like real
+ * TransPimLib DPU kernels in their hot loops).
+ *
+ * Registers: r0..r23 general purpose (r0 is NOT hardwired to zero),
+ * plus the tasklet id readable via TID.
+ *
+ * Assembly syntax, one instruction per line ('#' comments):
+ *   label:
+ *   addi  r1, r2, 42       # r1 = r2 + 42
+ *   add   r1, r2, r3
+ *   sub/and/or/xor/sll/srl/sra  (register and 'i' immediate forms)
+ *   mul   r1, r2, r3       # 32x32->32 low product (runtime expansion)
+ *   mulh  r1, r2, r3       # high 32 bits of the signed 64-bit product
+ *   movi  r1, 0x12345678   # load 32-bit immediate
+ *   tid   r1               # r1 = tasklet id
+ *   ntask r1               # r1 = number of tasklets
+ *   ldw   r1, r2, 4        # r1 = WRAM[r2 + 4]
+ *   stw   r1, r2, 4        # WRAM[r2 + 4] = r1
+ *   ldma  r1, r2, r3       # DMA MRAM[r2 .. r2+r3) -> WRAM[r1 ..)
+ *   sdma  r1, r2, r3       # DMA WRAM[r1 ..) -> MRAM[r2 .. r2+r3)
+ *   beq/bne/blt/bge  r1, r2, label   (signed compares)
+ *   bltu/bgeu        r1, r2, label   (unsigned compares)
+ *   jmp   label
+ *   halt
+ */
+
+#ifndef TPL_PIMSIM_ISA_H
+#define TPL_PIMSIM_ISA_H
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pimsim/dpu.h"
+
+namespace tpl {
+namespace sim {
+
+/** Opcodes of the miniature ISA. */
+enum class Opcode
+{
+    Add, Addi, Sub, Subi, And, Andi, Or, Ori, Xor, Xori,
+    Sll, Slli, Srl, Srli, Sra, Srai,
+    Mul, Mulh,
+    Movi, Tid, Ntask,
+    Ldw, Stw, Ldma, Sdma,
+    Beq, Bne, Blt, Bge, Bltu, Bgeu, Jmp,
+    Halt,
+};
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op;
+    uint8_t rd = 0;  ///< destination (or DMA wram-addr register)
+    uint8_t ra = 0;  ///< first source
+    uint8_t rb = 0;  ///< second source
+    int32_t imm = 0; ///< immediate / branch target (instruction index)
+};
+
+/** An assembled program. */
+struct Program
+{
+    std::vector<Instruction> code;
+    /** Source line for each instruction (diagnostics). */
+    std::vector<uint32_t> lines;
+};
+
+/** Thrown on assembly errors, with a line number in the message. */
+class AsmError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Assemble source text into a program. @throws AsmError. */
+Program assemble(const std::string& source);
+
+/** Result of one tasklet's execution. */
+struct ExecResult
+{
+    uint64_t instructionsExecuted = 0;
+    std::array<int32_t, 24> registers{};
+};
+
+/**
+ * Execute @p program on a tasklet. Each retired instruction charges
+ * one native instruction (the Mul/Mulh pseudo-instructions charge
+ * their runtime-expansion cost; DMA instructions additionally go
+ * through the DMA model). WRAM accesses address the core's scratchpad
+ * directly.
+ *
+ * @param maxInstructions runaway guard.
+ * @throws std::runtime_error on invalid memory access or fuel
+ *         exhaustion.
+ */
+ExecResult execute(const Program& program, TaskletContext& ctx,
+                   uint64_t maxInstructions = 10'000'000);
+
+} // namespace sim
+} // namespace tpl
+
+#endif // TPL_PIMSIM_ISA_H

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Multi-DPU system implementation.
+ */
+
+#include "pimsim/system.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tpl {
+namespace sim {
+
+PimSystem::PimSystem(uint32_t numDpus, const CostModel& model)
+    : model_(model)
+{
+    dpus_.reserve(numDpus);
+    for (uint32_t i = 0; i < numDpus; ++i)
+        dpus_.push_back(std::make_unique<DpuCore>(model));
+}
+
+double
+PimSystem::parallelTransferSeconds(uint64_t totalBytes) const
+{
+    // Parallel transfers stream at the per-rank bandwidth, overlapped
+    // across ranks, capped by host memory bandwidth.
+    uint32_t ranks = std::max(1u, numDpus() / model_.dpusPerRank);
+    double bw = std::min(model_.hostParallelBandwidth * ranks,
+                         model_.hostAggregateBandwidthCap);
+    return static_cast<double>(totalBytes) / bw;
+}
+
+double
+PimSystem::serialTransferSeconds(uint64_t totalBytes) const
+{
+    return static_cast<double>(totalBytes) / model_.hostSerialBandwidth;
+}
+
+double
+PimSystem::broadcastToMram(uint32_t mramAddr, const void* src,
+                           uint32_t size)
+{
+    for (auto& dpu : dpus_)
+        dpu->hostWriteMram(mramAddr, src, size);
+    // Broadcast writes the same buffer to each rank in parallel; the
+    // stream itself costs one parallel pass of the table bytes.
+    return parallelTransferSeconds(size);
+}
+
+double
+PimSystem::scatterToMram(uint32_t mramAddr, const void* data,
+                         uint32_t bytesPerDpu)
+{
+    const uint8_t* bytes = static_cast<const uint8_t*>(data);
+    for (uint32_t i = 0; i < numDpus(); ++i) {
+        dpus_[i]->hostWriteMram(mramAddr,
+                                bytes + static_cast<uint64_t>(i) *
+                                            bytesPerDpu,
+                                bytesPerDpu);
+    }
+    return parallelTransferSeconds(static_cast<uint64_t>(bytesPerDpu) *
+                                   numDpus());
+}
+
+double
+PimSystem::gatherFromMram(uint32_t mramAddr, void* data,
+                          uint32_t bytesPerDpu)
+{
+    uint8_t* bytes = static_cast<uint8_t*>(data);
+    for (uint32_t i = 0; i < numDpus(); ++i) {
+        dpus_[i]->hostReadMram(mramAddr,
+                               bytes + static_cast<uint64_t>(i) *
+                                           bytesPerDpu,
+                               bytesPerDpu);
+    }
+    return parallelTransferSeconds(static_cast<uint64_t>(bytesPerDpu) *
+                                   numDpus());
+}
+
+double
+PimSystem::launchAll(uint32_t numTasklets, const Kernel& kernel)
+{
+    uint64_t maxCycles = 0;
+    for (auto& dpu : dpus_) {
+        LaunchStats stats = dpu->launch(numTasklets, kernel);
+        maxCycles = std::max(maxCycles, stats.cycles);
+    }
+    lastMaxCycles_ = maxCycles;
+    return static_cast<double>(maxCycles) / model_.frequencyHz;
+}
+
+double
+PimSystem::projectedSystemSeconds(uint64_t perDpuCycles,
+                                  uint64_t simulatedElementsPerDpu,
+                                  uint64_t totalElements,
+                                  uint32_t systemDpus) const
+{
+    if (simulatedElementsPerDpu == 0 || systemDpus == 0)
+        return 0.0;
+    double cyclesPerElement = static_cast<double>(perDpuCycles) /
+                              static_cast<double>(simulatedElementsPerDpu);
+    uint64_t elementsPerDpu =
+        (totalElements + systemDpus - 1) / systemDpus;
+    return cyclesPerElement * static_cast<double>(elementsPerDpu) /
+           model_.frequencyHz;
+}
+
+} // namespace sim
+} // namespace tpl

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Multi-DPU PIM system with a host-transfer timing model.
+ *
+ * Mirrors the structure in Figure 2 of the paper: a host CPU that can
+ * copy buffers to/from the MRAM bank of every PIM core, launch the same
+ * SPMD kernel on all cores, and gather results. There is no direct
+ * PIM-to-PIM channel — inter-core communication happens through the
+ * host, as on all five real PIM systems the paper surveys.
+ *
+ * Transfer timing follows the UPMEM characterization: transfers execute
+ * in parallel across DPUs when every DPU sends/receives a buffer of the
+ * same size, and serialize otherwise. The model exposes both so the
+ * workload harness can account setup and result movement the way the
+ * paper does.
+ */
+
+#ifndef TPL_PIMSIM_SYSTEM_H
+#define TPL_PIMSIM_SYSTEM_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "pimsim/dpu.h"
+
+namespace tpl {
+namespace sim {
+
+/** Accumulated timing of one offloaded phase. */
+struct PhaseTiming
+{
+    double hostToPimSeconds = 0.0; ///< CPU -> MRAM transfers
+    double pimSeconds = 0.0;       ///< slowest DPU kernel time
+    double pimToHostSeconds = 0.0; ///< MRAM -> CPU transfers
+    double setupSeconds = 0.0;     ///< host-side table generation etc.
+
+    /** End-to-end time of the phase. */
+    double
+    total() const
+    {
+        return hostToPimSeconds + pimSeconds + pimToHostSeconds +
+               setupSeconds;
+    }
+};
+
+/**
+ * A set of simulated DPUs plus the host-side runtime.
+ *
+ * The number of *simulated* cores is deliberately decoupled from the
+ * number of cores of the *modeled* machine: microbenchmarks simulate a
+ * single DPU (as in the paper), while the workload experiments simulate
+ * a handful of DPUs executing their exact per-core element share and
+ * project to the full 2545-DPU system (see projectedSystemSeconds).
+ */
+class PimSystem
+{
+  public:
+    /**
+     * @param numDpus simulated DPU count.
+     * @param model cost-model parameters (shared by all cores).
+     */
+    explicit PimSystem(uint32_t numDpus,
+                       const CostModel& model = CostModel{});
+
+    uint32_t numDpus() const { return static_cast<uint32_t>(dpus_.size()); }
+
+    DpuCore& dpu(uint32_t i) { return *dpus_[i]; }
+    const DpuCore& dpu(uint32_t i) const { return *dpus_[i]; }
+
+    const CostModel& model() const { return model_; }
+
+    /**
+     * Broadcast the same buffer into every DPU at @p mramAddr.
+     * @return modeled transfer seconds (parallel transfer: the same
+     * bytes stream once per rank, overlapped across ranks).
+     */
+    double broadcastToMram(uint32_t mramAddr, const void* src,
+                           uint32_t size);
+
+    /**
+     * Scatter equal-size slices of @p data across the DPUs.
+     * Slice i (size bytesPerDpu) lands at @p mramAddr of DPU i.
+     * @return modeled transfer seconds (parallel).
+     */
+    double scatterToMram(uint32_t mramAddr, const void* data,
+                         uint32_t bytesPerDpu);
+
+    /** Gather equal-size slices back from the DPUs (parallel). */
+    double gatherFromMram(uint32_t mramAddr, void* data,
+                          uint32_t bytesPerDpu);
+
+    /**
+     * Launch the same kernel on every simulated DPU.
+     * @return seconds of the slowest DPU (they run concurrently).
+     */
+    double launchAll(uint32_t numTasklets, const Kernel& kernel);
+
+    /** Cycles of the slowest DPU in the last launchAll. */
+    uint64_t lastMaxCycles() const { return lastMaxCycles_; }
+
+    /** Seconds a transfer of @p totalBytes takes in parallel mode. */
+    double parallelTransferSeconds(uint64_t totalBytes) const;
+
+    /** Seconds a transfer of @p totalBytes takes in serial mode. */
+    double serialTransferSeconds(uint64_t totalBytes) const;
+
+    /**
+     * Project a per-DPU cycle count measured on the simulated cores to
+     * a full system of @p systemDpus cores processing @p totalElements
+     * elements, assuming the measured kernel processed
+     * @p simulatedElements elements per core (linear in elements, which
+     * holds for the streaming element-wise kernels evaluated here).
+     */
+    double projectedSystemSeconds(uint64_t perDpuCycles,
+                                  uint64_t simulatedElementsPerDpu,
+                                  uint64_t totalElements,
+                                  uint32_t systemDpus) const;
+
+  private:
+    CostModel model_;
+    std::vector<std::unique_ptr<DpuCore>> dpus_;
+    uint64_t lastMaxCycles_ = 0;
+};
+
+} // namespace sim
+} // namespace tpl
+
+#endif // TPL_PIMSIM_SYSTEM_H

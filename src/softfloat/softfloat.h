@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bit-exact IEEE-754 binary32 software floating point, instrumented with
+ * native-instruction counts.
+ *
+ * The UPMEM DPU has no floating-point unit: the vendor runtime emulates
+ * every float operation in software on the 32-bit integer ALU, which is
+ * why float multiplication and division are so costly on that system
+ * (the effect TransPimLib's L-LUT methods exploit). This module plays
+ * the role of that runtime in the reproduction. All operations:
+ *
+ *  - compute results that are bit-identical to host IEEE-754 binary32
+ *    arithmetic under round-to-nearest-even (verified exhaustively in
+ *    tests/softfloat_test.cc), and
+ *  - report how many native integer instructions the emulation executes
+ *    through an InstrSink, so the relative costs of float add / mul /
+ *    div *emerge* from their instruction mixes instead of being baked-in
+ *    magic numbers.
+ *
+ * NaN convention: any NaN operand or invalid operation produces the
+ * canonical quiet NaN (0x7fc00000). Signaling-NaN propagation details
+ * are not modeled (the evaluation never produces NaNs).
+ */
+
+#ifndef TPL_SOFTFLOAT_SOFTFLOAT_H
+#define TPL_SOFTFLOAT_SOFTFLOAT_H
+
+#include <cstdint>
+
+#include "common/fixed_point.h"
+#include "common/instr_sink.h"
+
+namespace tpl {
+namespace sf {
+
+/** Emulated binary32 addition (round-to-nearest-even). */
+float add(float a, float b, InstrSink* sink = nullptr);
+
+/** Emulated binary32 subtraction. */
+float sub(float a, float b, InstrSink* sink = nullptr);
+
+/** Emulated binary32 multiplication. */
+float mul(float a, float b, InstrSink* sink = nullptr);
+
+/** Emulated binary32 division. */
+float div(float a, float b, InstrSink* sink = nullptr);
+
+/** Emulated binary32 square root (digit-recurrence). */
+float sqrt(float a, InstrSink* sink = nullptr);
+
+/** Sign flip; one instruction on the DPU (xor with sign mask). */
+float neg(float a, InstrSink* sink = nullptr);
+
+/** Absolute value; one instruction (and with ~sign mask). */
+float abs(float a, InstrSink* sink = nullptr);
+
+/** Emulated ordered comparison a < b. */
+bool lt(float a, float b, InstrSink* sink = nullptr);
+
+/** Emulated ordered comparison a <= b. */
+bool le(float a, float b, InstrSink* sink = nullptr);
+
+/** Emulated equality comparison (0 == -0, NaN != NaN). */
+bool eq(float a, float b, InstrSink* sink = nullptr);
+
+/** Convert float to int32 truncating toward zero (C cast semantics). */
+int32_t toI32Trunc(float a, InstrSink* sink = nullptr);
+
+/** Convert float to int32 rounding toward negative infinity. */
+int32_t toI32Floor(float a, InstrSink* sink = nullptr);
+
+/** Convert float to int32 rounding to nearest (ties away from zero). */
+int32_t toI32Round(float a, InstrSink* sink = nullptr);
+
+/** Convert int32 to the nearest binary32. */
+float fromI32(int32_t a, InstrSink* sink = nullptr);
+
+/**
+ * Convert a binary32 value to Q3.28 fixed point (round to nearest).
+ * Values outside the representable range wrap, as the DPU sequence
+ * would; the library's range-reduction steps guarantee in-range inputs.
+ */
+Fixed toFixed(float a, InstrSink* sink = nullptr);
+
+/** Convert a Q3.28 fixed-point value to the nearest binary32. */
+float fromFixed(Fixed a, InstrSink* sink = nullptr);
+
+} // namespace sf
+} // namespace tpl
+
+#endif // TPL_SOFTFLOAT_SOFTFLOAT_H

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Binary16 software floating point implementation.
+ */
+
+#include "softfloat/softfloat16.h"
+
+#include "common/bitops.h"
+#include "softfloat/softfloat.h"
+
+namespace tpl {
+namespace sf {
+
+namespace {
+
+/// @name Cost calibration: half-width emulated routines on a 32-bit
+/// core (single-word significand handling throughout, an 11x11
+/// product in one hardware multiply step).
+/// @{
+constexpr uint32_t addCost16 = 40;
+constexpr uint32_t mulCost16 = 80;
+constexpr uint32_t divCost16 = 150;
+constexpr uint32_t convCost16 = 12;
+/// @}
+
+constexpr uint16_t kNan16 = 0x7e00;
+constexpr uint16_t kInf16 = 0x7c00;
+
+} // namespace
+
+Half
+toF16(float a, InstrSink* sink)
+{
+    chargeInstr(sink, convCost16);
+    noteOp(sink, OpClass::FloatConv);
+    uint32_t bits = floatBits(a);
+    uint32_t sign16 = (bits >> 16) & 0x8000u;
+    uint32_t e32 = ieeeExponent(bits);
+    uint32_t m = ieeeMantissa(bits);
+
+    if (e32 == 0xff) {
+        if (m != 0)
+            return {kNan16};
+        return {static_cast<uint16_t>(sign16 | kInf16)};
+    }
+    if (e32 == 0) {
+        // Binary32 subnormals are far below the binary16 grid.
+        return {static_cast<uint16_t>(sign16)};
+    }
+
+    int e16 = static_cast<int>(e32) - 127 + 15;
+    if (e16 >= 31)
+        return {static_cast<uint16_t>(sign16 | kInf16)};
+
+    uint32_t sig = m | 0x800000u;
+    if (e16 >= 1) {
+        uint32_t keep = sig >> 13;
+        uint32_t rem = sig & 0x1fffu;
+        if (rem > 0x1000u || (rem == 0x1000u && (keep & 1u)))
+            ++keep;
+        if (keep == 0x800u) {
+            keep = 0x400u;
+            ++e16;
+            if (e16 >= 31)
+                return {static_cast<uint16_t>(sign16 | kInf16)};
+        }
+        return {static_cast<uint16_t>(
+            sign16 | (static_cast<uint32_t>(e16) << 10) |
+            (keep & 0x3ffu))};
+    }
+
+    // Subnormal binary16 result: shift further with RNE.
+    int rshift = 13 + (1 - e16);
+    if (rshift > 26)
+        return {static_cast<uint16_t>(sign16)};
+    uint32_t keep = sig >> rshift;
+    uint32_t rem = sig & ((1u << rshift) - 1u);
+    uint32_t half = 1u << (rshift - 1);
+    if (rem > half || (rem == half && (keep & 1u)))
+        ++keep;
+    // A carry into bit 10 lands in the exponent field = smallest
+    // normal, which is exactly right.
+    return {static_cast<uint16_t>(sign16 | keep)};
+}
+
+float
+fromF16(Half a, InstrSink* sink)
+{
+    chargeInstr(sink, convCost16);
+    noteOp(sink, OpClass::FloatConv);
+    uint32_t sign = (a.bits & 0x8000u) << 16;
+    uint32_t e = (a.bits >> 10) & 0x1fu;
+    uint32_t m = a.bits & 0x3ffu;
+    if (e == 31) {
+        if (m != 0)
+            return bitsToFloat(ieeeQuietNan);
+        return bitsToFloat(sign | ieeePosInf);
+    }
+    if (e == 0) {
+        if (m == 0)
+            return bitsToFloat(sign);
+        // Subnormal half: normalize into a binary32 normal.
+        int s = countLeadingZeros32(m) - 21; // bit 10 target
+        m <<= s;
+        uint32_t exp32 = 127 - 15 - s + 1;
+        return bitsToFloat(sign | (exp32 << 23) |
+                           ((m & 0x3ffu) << 13));
+    }
+    return bitsToFloat(sign | ((e - 15 + 127) << 23) | (m << 13));
+}
+
+namespace {
+
+/** Widen, run the binary32 op (values only), round back, charge. */
+template <typename Op>
+Half
+via32(Half a, Half b, uint32_t cost, OpClass opClass, InstrSink* sink,
+      Op&& op)
+{
+    // Correctly rounded: binary32 carries > 2*11 + 2 significand bits,
+    // so rounding the binary32 result to binary16 equals rounding the
+    // exact result.
+    chargeInstr(sink, cost);
+    noteOp(sink, opClass);
+    float fa = fromF16(a, nullptr);
+    float fb = fromF16(b, nullptr);
+    float r = op(fa, fb);
+    return toF16(r, nullptr);
+}
+
+} // namespace
+
+Half
+add16(Half a, Half b, InstrSink* sink)
+{
+    return via32(a, b, addCost16, OpClass::FloatAdd, sink,
+                 [](float x, float y) { return sf::add(x, y); });
+}
+
+Half
+sub16(Half a, Half b, InstrSink* sink)
+{
+    return via32(a, b, addCost16, OpClass::FloatAdd, sink,
+                 [](float x, float y) { return sf::sub(x, y); });
+}
+
+Half
+mul16(Half a, Half b, InstrSink* sink)
+{
+    return via32(a, b, mulCost16, OpClass::FloatMul, sink,
+                 [](float x, float y) { return sf::mul(x, y); });
+}
+
+Half
+div16(Half a, Half b, InstrSink* sink)
+{
+    return via32(a, b, divCost16, OpClass::FloatDiv, sink,
+                 [](float x, float y) { return sf::div(x, y); });
+}
+
+} // namespace sf
+} // namespace tpl

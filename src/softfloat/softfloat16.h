@@ -1,0 +1,62 @@
+/**
+ * @file
+ * IEEE-754 binary16 (half precision) software floating point.
+ *
+ * HBM-PIM's processing elements compute natively in FP16; this tier
+ * lets the precision ladder run in both directions from the paper's
+ * binary32 (see ablation_precision): binary16 tables halve the memory
+ * and cheapen the emulated arithmetic, at an accuracy floor around the
+ * 2^-11 half grid.
+ *
+ * Representation: a `Half` is the raw 16-bit pattern. Arithmetic is
+ * performed by widening to the (bit-exact) binary32 tier and rounding
+ * the result back to binary16 - correctly rounded, because binary32's
+ * 24-bit significand exceeds 2x11+2 bits, so no double-rounding error
+ * can occur (verified against the compiler's _Float16 arithmetic in
+ * tests/softfloat16_test.cc).
+ *
+ * Instruction charges reflect a 32-bit core where 16-bit emulated
+ * float routines shuffle half-width significands: cheaper than the
+ * binary32 tier by roughly the significand-width ratio.
+ */
+
+#ifndef TPL_SOFTFLOAT_SOFTFLOAT16_H
+#define TPL_SOFTFLOAT_SOFTFLOAT16_H
+
+#include <cstdint>
+
+#include "common/instr_sink.h"
+
+namespace tpl {
+namespace sf {
+
+/** Raw binary16 value. */
+struct Half
+{
+    uint16_t bits = 0;
+
+    constexpr bool operator==(const Half&) const = default;
+};
+
+/** Convert binary32 to binary16 (round-to-nearest-even). */
+Half toF16(float a, InstrSink* sink = nullptr);
+
+/** Convert binary16 to binary32 (exact). */
+float fromF16(Half a, InstrSink* sink = nullptr);
+
+/** Emulated binary16 addition (correctly rounded). */
+Half add16(Half a, Half b, InstrSink* sink = nullptr);
+
+/** Emulated binary16 subtraction. */
+Half sub16(Half a, Half b, InstrSink* sink = nullptr);
+
+/** Emulated binary16 multiplication. */
+Half mul16(Half a, Half b, InstrSink* sink = nullptr);
+
+/** Emulated binary16 division. */
+Half div16(Half a, Half b, InstrSink* sink = nullptr);
+
+} // namespace sf
+} // namespace tpl
+
+#endif // TPL_SOFTFLOAT_SOFTFLOAT16_H

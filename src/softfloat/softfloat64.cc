@@ -1,0 +1,441 @@
+/**
+ * @file
+ * IEEE-754 binary64 software floating point.
+ *
+ * Internal representation mirrors the binary32 module one word wider:
+ *
+ *   value = (-1)^sign * sig / 2^62 * 2^(exp - 1023)
+ *
+ * with a non-zero sig normalized so bit 62 is set and bits 9..0 acting
+ * as guard/round/sticky precision. The 53x53-bit significand product
+ * and the 115-bit division use the compiler's 128-bit integers; their
+ * instruction charges model the four-partial-product expansion a
+ * 32-bit DPU executes.
+ */
+
+#include "softfloat/softfloat64.h"
+
+#include <bit>
+#include <utility>
+
+#include "common/bitops.h"
+
+namespace tpl {
+namespace sf {
+
+namespace {
+
+/// @name Cost calibration.
+/// Binary64 emulation on a 32-bit core roughly doubles the add cost
+/// (double-word alignment/normalization) and quadruples the multiply
+/// (four 32x32 partial products with 128-bit accumulation); division
+/// runs a 63-step quotient loop. Ratios track the PrIM double-vs-float
+/// measurements.
+/// @{
+constexpr uint32_t callOverhead64 = 36;
+constexpr uint32_t unpackCost64 = 6;
+constexpr uint32_t specialsCost64 = 4;
+constexpr uint32_t roundPackCost64 = 14;
+constexpr uint32_t addCoreCost64 = 28;
+constexpr uint32_t mulCoreCost64 = 330;
+constexpr uint32_t divCoreCost64 = 640;
+constexpr uint32_t convertCost64 = 40;
+/// @}
+
+constexpr int kBias64 = 1023;
+constexpr uint64_t kQuietNan64 = 0x7ff8000000000000ull;
+
+uint64_t
+bits64(double v)
+{
+    return std::bit_cast<uint64_t>(v);
+}
+
+double
+fromBits64(uint64_t b)
+{
+    return std::bit_cast<double>(b);
+}
+
+uint64_t
+exponent64(uint64_t b)
+{
+    return (b >> 52) & 0x7ffull;
+}
+
+uint64_t
+mantissa64(uint64_t b)
+{
+    return b & 0xfffffffffffffull;
+}
+
+uint64_t
+pack64(uint64_t sign, uint64_t exp, uint64_t mant)
+{
+    return (sign << 63) | (exp << 52) | mant;
+}
+
+struct Unpacked64
+{
+    uint64_t sign;
+    int exp;      ///< biased; may be <= 0 for subnormals
+    uint64_t sig; ///< bit 62 set when non-zero; bits 9..0 precision
+    bool isZero;
+    bool isInf;
+    bool isNan;
+};
+
+Unpacked64
+unpack64(uint64_t b)
+{
+    Unpacked64 u{};
+    u.sign = b >> 63;
+    uint64_t e = exponent64(b);
+    uint64_t m = mantissa64(b);
+    if (e == 0x7ff) {
+        u.isInf = (m == 0);
+        u.isNan = (m != 0);
+        u.exp = 0x7ff;
+        return u;
+    }
+    if (e == 0) {
+        if (m == 0) {
+            u.isZero = true;
+            return u;
+        }
+        // Subnormal: value = m * 2^-1074; normalize so bit 62 is set.
+        int s = countLeadingZeros64(m) - 1;
+        u.sig = m << s;
+        u.exp = 11 - s;
+        return u;
+    }
+    u.sig = (m | (1ull << 52)) << 10;
+    u.exp = static_cast<int>(e);
+    return u;
+}
+
+uint64_t
+shiftRightJam64(uint64_t a, int dist)
+{
+    if (dist <= 0)
+        return a;
+    if (dist >= 63)
+        return a != 0 ? 1 : 0;
+    uint64_t shifted = a >> dist;
+    uint64_t lost = a << (64 - dist);
+    return shifted | (lost != 0 ? 1 : 0);
+}
+
+double
+roundPack64(uint64_t sign, int exp, uint64_t sig)
+{
+    if (sig == 0)
+        return fromBits64(sign << 63);
+    if (exp <= 0) {
+        sig = shiftRightJam64(sig, 1 - exp);
+        exp = 0;
+    }
+    uint64_t roundBits = sig & 0x3ffull;
+    uint64_t rounded = (sig + 0x200ull) >> 10;
+    if (roundBits == 0x200ull)
+        rounded &= ~1ull; // tie to even
+    if (rounded & (1ull << 53)) {
+        rounded >>= 1;
+        ++exp;
+    }
+    if (exp == 0 && (rounded & (1ull << 52)))
+        exp = 1; // rounded up to the smallest normal
+    if (exp >= 0x7ff)
+        return fromBits64(pack64(sign, 0x7ff, 0)); // overflow
+    if (rounded == 0)
+        return fromBits64(sign << 63);
+    return fromBits64(pack64(sign, static_cast<uint64_t>(exp),
+                             rounded & 0xfffffffffffffull));
+}
+
+double
+quietNan64()
+{
+    return fromBits64(kQuietNan64);
+}
+
+double
+addMags64(uint64_t sign, Unpacked64 a, Unpacked64 b)
+{
+    if (a.exp < b.exp || (a.exp == b.exp && a.sig < b.sig))
+        std::swap(a, b);
+    uint64_t sigB = shiftRightJam64(b.sig, a.exp - b.exp);
+    uint64_t sum = a.sig + sigB;
+    int exp = a.exp;
+    if (sum & (1ull << 63)) {
+        sum = shiftRightJam64(sum, 1);
+        ++exp;
+    }
+    return roundPack64(sign, exp, sum);
+}
+
+double
+subMags64(uint64_t sign, Unpacked64 a, Unpacked64 b)
+{
+    if (a.exp < b.exp || (a.exp == b.exp && a.sig < b.sig)) {
+        std::swap(a, b);
+        sign ^= 1ull;
+    }
+    if (a.exp == b.exp && a.sig == b.sig)
+        return 0.0;
+    uint64_t sigB = shiftRightJam64(b.sig, a.exp - b.exp);
+    uint64_t diff = a.sig - sigB;
+    int exp = a.exp;
+    int s = countLeadingZeros64(diff) - 1;
+    diff <<= s;
+    exp -= s;
+    return roundPack64(sign, exp, diff);
+}
+
+} // namespace
+
+double
+add64(double fa, double fb, InstrSink* sink)
+{
+    chargeInstr(sink, callOverhead64 + 2 * unpackCost64 +
+                          specialsCost64 + addCoreCost64 +
+                          roundPackCost64);
+    noteOp(sink, OpClass::FloatAdd);
+    uint64_t ba = bits64(fa);
+    uint64_t bb = bits64(fb);
+    Unpacked64 a = unpack64(ba);
+    Unpacked64 b = unpack64(bb);
+    if (a.isNan || b.isNan)
+        return quietNan64();
+    if (a.isInf) {
+        if (b.isInf && a.sign != b.sign)
+            return quietNan64();
+        return fa;
+    }
+    if (b.isInf)
+        return fb;
+    if (a.isZero && b.isZero)
+        return fromBits64((a.sign & b.sign) << 63);
+    if (a.isZero)
+        return fb;
+    if (b.isZero)
+        return fa;
+    if (a.sign == b.sign)
+        return addMags64(a.sign, a, b);
+    return subMags64(a.sign, a, b);
+}
+
+double
+sub64(double fa, double fb, InstrSink* sink)
+{
+    chargeInstr(sink, 1);
+    return add64(fa, fromBits64(bits64(fb) ^ (1ull << 63)), sink);
+}
+
+double
+mul64(double fa, double fb, InstrSink* sink)
+{
+    chargeInstr(sink, callOverhead64 + 2 * unpackCost64 +
+                          specialsCost64 + mulCoreCost64 +
+                          roundPackCost64);
+    noteOp(sink, OpClass::FloatMul);
+    Unpacked64 a = unpack64(bits64(fa));
+    Unpacked64 b = unpack64(bits64(fb));
+    uint64_t sign = a.sign ^ b.sign;
+    if (a.isNan || b.isNan)
+        return quietNan64();
+    if (a.isInf || b.isInf) {
+        if (a.isZero || b.isZero)
+            return quietNan64();
+        return fromBits64(pack64(sign, 0x7ff, 0));
+    }
+    if (a.isZero || b.isZero)
+        return fromBits64(sign << 63);
+
+    uint64_t a53 = a.sig >> 10;
+    uint64_t b53 = b.sig >> 10;
+    unsigned __int128 prod =
+        static_cast<unsigned __int128>(a53) * b53;
+    // prod in [2^104, 2^106); normalize to bit 62 with sticky.
+    int exp;
+    uint64_t sig;
+    if (prod & (static_cast<unsigned __int128>(1) << 105)) {
+        sig = static_cast<uint64_t>(prod >> 43);
+        if (static_cast<uint64_t>(prod) & ((1ull << 43) - 1))
+            sig |= 1;
+        exp = a.exp + b.exp - 1022;
+    } else {
+        sig = static_cast<uint64_t>(prod >> 42);
+        if (static_cast<uint64_t>(prod) & ((1ull << 42) - 1))
+            sig |= 1;
+        exp = a.exp + b.exp - 1023;
+    }
+    return roundPack64(sign, exp, sig);
+}
+
+double
+div64(double fa, double fb, InstrSink* sink)
+{
+    chargeInstr(sink, callOverhead64 + 2 * unpackCost64 +
+                          specialsCost64 + divCoreCost64 +
+                          roundPackCost64);
+    noteOp(sink, OpClass::FloatDiv);
+    Unpacked64 a = unpack64(bits64(fa));
+    Unpacked64 b = unpack64(bits64(fb));
+    uint64_t sign = a.sign ^ b.sign;
+    if (a.isNan || b.isNan)
+        return quietNan64();
+    if (a.isInf) {
+        if (b.isInf)
+            return quietNan64();
+        return fromBits64(pack64(sign, 0x7ff, 0));
+    }
+    if (b.isInf)
+        return fromBits64(sign << 63);
+    if (b.isZero) {
+        if (a.isZero)
+            return quietNan64();
+        return fromBits64(pack64(sign, 0x7ff, 0));
+    }
+    if (a.isZero)
+        return fromBits64(sign << 63);
+
+    uint64_t a53 = a.sig >> 10;
+    uint64_t b53 = b.sig >> 10;
+    int exp = a.exp - b.exp + kBias64;
+    if (a53 < b53) {
+        a53 <<= 1;
+        --exp;
+    }
+    unsigned __int128 num = static_cast<unsigned __int128>(a53) << 62;
+    uint64_t q = static_cast<uint64_t>(num / b53);
+    uint64_t rem = static_cast<uint64_t>(num % b53);
+    uint64_t sig = q | (rem != 0 ? 1ull : 0ull);
+    return roundPack64(sign, exp, sig);
+}
+
+double
+fromF32(float a, InstrSink* sink)
+{
+    chargeInstr(sink, convertCost64 / 2);
+    noteOp(sink, OpClass::FloatConv);
+    uint32_t b = floatBits(a);
+    uint64_t sign = static_cast<uint64_t>(b >> 31);
+    uint32_t e = ieeeExponent(b);
+    uint32_t m = ieeeMantissa(b);
+    if (e == 0xff) {
+        return fromBits64(pack64(sign, 0x7ff,
+                                 m ? (1ull << 51) : 0ull));
+    }
+    if (e == 0) {
+        if (m == 0)
+            return fromBits64(sign << 63);
+        // Subnormal float becomes a normal double: after shifting the
+        // mantissa up to bit 23 its value is (m/2^23) * 2^(-126-s).
+        int s = countLeadingZeros32(m) - 8;
+        m <<= s;
+        int exp = -126 - s + kBias64;
+        return fromBits64(pack64(
+            sign, static_cast<uint64_t>(exp),
+            (static_cast<uint64_t>(m) & 0x7fffffull) << 29));
+    }
+    return fromBits64(pack64(sign,
+                             static_cast<uint64_t>(e) - 127 + kBias64,
+                             static_cast<uint64_t>(m) << 29));
+}
+
+float
+toF32(double a, InstrSink* sink)
+{
+    chargeInstr(sink, convertCost64);
+    noteOp(sink, OpClass::FloatConv);
+    uint64_t b = bits64(a);
+    Unpacked64 u = unpack64(b);
+    if (u.isNan)
+        return bitsToFloat(ieeeQuietNan);
+    if (u.isInf)
+        return bitsToFloat(ieeePack(static_cast<uint32_t>(u.sign),
+                                    0xff, 0));
+    if (u.isZero)
+        return bitsToFloat(static_cast<uint32_t>(u.sign) << 31);
+
+    // Re-round the 63-bit significand to the binary32 grid: bit 62
+    // becomes bit 30 (jam the lost 32 bits into stickiness).
+    uint32_t sig32 = static_cast<uint32_t>(u.sig >> 32);
+    if (u.sig & 0xffffffffull)
+        sig32 |= 1;
+    int exp32 = u.exp - kBias64 + ieeeBias;
+
+    // Inline binary32 round-pack (same scheme as the sf32 module).
+    if (exp32 <= 0) {
+        sig32 = static_cast<uint32_t>(
+            shiftRightJam64(sig32, 1 - exp32));
+        exp32 = 0;
+    }
+    uint32_t roundBits = sig32 & 0x7fu;
+    uint32_t rounded = (sig32 + 0x40u) >> 7;
+    if (roundBits == 0x40u)
+        rounded &= ~1u;
+    if (rounded & 0x1000000u) {
+        rounded >>= 1;
+        ++exp32;
+    }
+    if (exp32 == 0 && (rounded & 0x800000u))
+        exp32 = 1;
+    if (exp32 >= 0xff)
+        return bitsToFloat(
+            ieeePack(static_cast<uint32_t>(u.sign), 0xff, 0));
+    if (rounded == 0)
+        return bitsToFloat(static_cast<uint32_t>(u.sign) << 31);
+    return bitsToFloat(ieeePack(static_cast<uint32_t>(u.sign),
+                                static_cast<uint32_t>(exp32),
+                                rounded & 0x7fffffu));
+}
+
+double
+fromI32asF64(int32_t a, InstrSink* sink)
+{
+    chargeInstr(sink, convertCost64 / 2);
+    noteOp(sink, OpClass::FloatConv);
+    // Every int32 is exactly representable in binary64.
+    if (a == 0)
+        return 0.0;
+    uint64_t sign = a < 0 ? 1ull : 0ull;
+    uint64_t mag = a < 0 ? static_cast<uint64_t>(-(int64_t)a)
+                         : static_cast<uint64_t>(a);
+    int p = 63 - countLeadingZeros64(mag);
+    uint64_t mant = (mag << (52 - p)) & 0xfffffffffffffull;
+    return fromBits64(pack64(sign,
+                             static_cast<uint64_t>(kBias64 + p), mant));
+}
+
+int32_t
+f64ToI32Floor(double a, InstrSink* sink)
+{
+    chargeInstr(sink, convertCost64);
+    noteOp(sink, OpClass::FloatConv);
+    uint64_t b = bits64(a);
+    Unpacked64 u = unpack64(b);
+    if (u.isNan)
+        return 0;
+    if (u.isInf)
+        return u.sign ? INT32_MIN : INT32_MAX;
+    int e = u.exp - kBias64;
+    if (e < 0)
+        return u.sign && !u.isZero ? -1 : 0;
+    if (e >= 31)
+        return u.sign ? INT32_MIN : INT32_MAX;
+    uint64_t sig53 = u.sig >> 10;
+    uint64_t mag = sig53 >> (52 - e);
+    bool frac = (sig53 & ((1ull << (52 - e)) - 1)) != 0 ||
+                (u.sig & 0x3ffull) != 0;
+    if (!u.sign)
+        return static_cast<int32_t>(mag);
+    int64_t v = -static_cast<int64_t>(mag);
+    if (frac)
+        --v;
+    return static_cast<int32_t>(v);
+}
+
+} // namespace sf
+} // namespace tpl

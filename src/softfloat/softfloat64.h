@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Bit-exact IEEE-754 binary64 software floating point, instrumented.
+ *
+ * The UPMEM runtime also emulates double precision (at roughly 2-4x
+ * the cost of the binary32 routines: double-word significands, a
+ * 53x53-bit product from four 32-bit multiplies). This module provides
+ * that tier so experiments can ask what double-precision tables and
+ * arithmetic would buy - e.g. the paper's observation 5 (the accuracy
+ * floor near RMSE 1e-8 comes from binary32) is probed directly by the
+ * ablation_precision bench.
+ *
+ * Same conventions as the binary32 module: results bit-identical to
+ * host IEEE-754 binary64 under round-to-nearest-even (verified in
+ * tests/softfloat64_test.cc), canonical quiet NaNs, and per-operation
+ * instruction charges through InstrSink.
+ */
+
+#ifndef TPL_SOFTFLOAT_SOFTFLOAT64_H
+#define TPL_SOFTFLOAT_SOFTFLOAT64_H
+
+#include <cstdint>
+
+#include "common/instr_sink.h"
+
+namespace tpl {
+namespace sf {
+
+/** Emulated binary64 addition (round-to-nearest-even). */
+double add64(double a, double b, InstrSink* sink = nullptr);
+
+/** Emulated binary64 subtraction. */
+double sub64(double a, double b, InstrSink* sink = nullptr);
+
+/** Emulated binary64 multiplication. */
+double mul64(double a, double b, InstrSink* sink = nullptr);
+
+/** Emulated binary64 division. */
+double div64(double a, double b, InstrSink* sink = nullptr);
+
+/** Widen binary32 to binary64 (exact). */
+double fromF32(float a, InstrSink* sink = nullptr);
+
+/** Narrow binary64 to binary32 (round-to-nearest-even). */
+float toF32(double a, InstrSink* sink = nullptr);
+
+/** Convert int32 to binary64 (exact). */
+double fromI32asF64(int32_t a, InstrSink* sink = nullptr);
+
+/** Convert binary64 to int32, rounding toward negative infinity. */
+int32_t f64ToI32Floor(double a, InstrSink* sink = nullptr);
+
+} // namespace sf
+} // namespace tpl
+
+#endif // TPL_SOFTFLOAT_SOFTFLOAT64_H

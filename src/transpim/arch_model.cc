@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Cross-architecture re-costing implementation.
+ */
+
+#include "transpim/arch_model.h"
+
+#include <algorithm>
+
+#include "common/emu_int.h"
+#include "softfloat/softfloat.h"
+#include "transpim/ldexp.h"
+
+namespace tpl {
+namespace transpim {
+
+OpTally&
+OpTally::operator+=(const OpTally& other)
+{
+    for (int i = 0; i < numOpClasses; ++i)
+        counts[i] += other.counts[i];
+    instructions += other.instructions;
+    return *this;
+}
+
+std::string_view
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::FloatAdd: return "fadd";
+      case OpClass::FloatMul: return "fmul";
+      case OpClass::FloatDiv: return "fdiv";
+      case OpClass::FloatSqrt: return "fsqrt";
+      case OpClass::FloatCmp: return "fcmp";
+      case OpClass::FloatConv: return "fconv";
+      case OpClass::Ldexp: return "ldexp";
+      case OpClass::IntMul: return "imul";
+      case OpClass::IntDiv: return "idiv";
+      case OpClass::TableRead: return "read";
+    }
+    return "?";
+}
+
+std::array<double, numOpClasses>
+measureUpmemOpCosts()
+{
+    std::array<double, numOpClasses> costs{};
+    auto measure = [](auto&& fn) {
+        CountingSink sink;
+        constexpr int reps = 64;
+        for (int i = 0; i < reps; ++i)
+            fn(&sink);
+        return static_cast<double>(sink.total()) / reps;
+    };
+    costs[static_cast<int>(OpClass::FloatAdd)] = measure(
+        [](InstrSink* s) { sf::add(1.25f, 2.5f, s); });
+    costs[static_cast<int>(OpClass::FloatMul)] = measure(
+        [](InstrSink* s) { sf::mul(1.25f, 2.5f, s); });
+    costs[static_cast<int>(OpClass::FloatDiv)] = measure(
+        [](InstrSink* s) { sf::div(1.25f, 2.5f, s); });
+    costs[static_cast<int>(OpClass::FloatSqrt)] = measure(
+        [](InstrSink* s) { sf::sqrt(2.5f, s); });
+    costs[static_cast<int>(OpClass::FloatCmp)] = measure(
+        [](InstrSink* s) { sf::lt(1.25f, 2.5f, s); });
+    costs[static_cast<int>(OpClass::FloatConv)] = measure(
+        [](InstrSink* s) { sf::toI32Floor(2.5f, s); });
+    costs[static_cast<int>(OpClass::Ldexp)] = measure(
+        [](InstrSink* s) { pimLdexp(1.25f, 3, s); });
+    costs[static_cast<int>(OpClass::IntMul)] = measure(
+        [](InstrSink* s) { emuMulS32(123456, 654321, s); });
+    costs[static_cast<int>(OpClass::IntDiv)] = measure(
+        [](InstrSink* s) { emuDivS32(123456, 321, s); });
+    // A table read charges ~2 instructions of addressing (the DMA
+    // stall of MRAM placement is accounted separately by the DPU).
+    costs[static_cast<int>(OpClass::TableRead)] = 2.0;
+    return costs;
+}
+
+ArchProfile
+upmemProfile()
+{
+    // Self-consistent baseline: per-op cost equals the measured
+    // emulation cost, so recost == raw instruction count.
+    ArchProfile p;
+    p.name = "UPMEM-like DPU";
+    p.opCycles = measureUpmemOpCosts();
+    p.otherInstrScale = 1.0;
+    return p;
+}
+
+ArchProfile
+hbmPimLikeProfile()
+{
+    // HBM-PIM / AiM-class PE: the SIMD datapath executes float
+    // add/mul (MAC) natively and pipelined; divide/sqrt are iterative
+    // microcode; conversions and shifts are one-cycle ALU work. The
+    // integer multiplier serves addressing.
+    ArchProfile p;
+    p.name = "HBM-PIM-like PE";
+    p.opCycles[static_cast<int>(OpClass::FloatAdd)] = 1.0;
+    p.opCycles[static_cast<int>(OpClass::FloatMul)] = 1.0;
+    p.opCycles[static_cast<int>(OpClass::FloatDiv)] = 16.0;
+    p.opCycles[static_cast<int>(OpClass::FloatSqrt)] = 16.0;
+    p.opCycles[static_cast<int>(OpClass::FloatCmp)] = 1.0;
+    p.opCycles[static_cast<int>(OpClass::FloatConv)] = 2.0;
+    p.opCycles[static_cast<int>(OpClass::Ldexp)] = 1.0;
+    p.opCycles[static_cast<int>(OpClass::IntMul)] = 2.0;
+    p.opCycles[static_cast<int>(OpClass::IntDiv)] = 16.0;
+    p.opCycles[static_cast<int>(OpClass::TableRead)] = 2.0;
+    p.otherInstrScale = 1.0;
+    return p;
+}
+
+ArchProfile
+idealFpuProfile()
+{
+    ArchProfile p;
+    p.name = "ideal-FPU PE";
+    p.opCycles.fill(1.0);
+    p.opCycles[static_cast<int>(OpClass::TableRead)] = 1.0;
+    p.otherInstrScale = 1.0;
+    return p;
+}
+
+double
+recostCycles(const OpTally& tally, const ArchProfile& profile,
+             const std::array<double, numOpClasses>& upmemOpCosts)
+{
+    // Subtract the calibrated emulation cost of the noted operations;
+    // what remains is native integer work (addressing, loops, CORDIC
+    // shifts) that every architecture pays at ALU speed.
+    double emulated = 0.0;
+    double arch = 0.0;
+    for (int i = 0; i < numOpClasses; ++i) {
+        double n = static_cast<double>(tally.counts[i]);
+        emulated += n * upmemOpCosts[i];
+        arch += n * profile.opCycles[i];
+    }
+    double leftover =
+        std::max(0.0, static_cast<double>(tally.instructions) - emulated);
+    return leftover * profile.otherInstrScale + arch;
+}
+
+} // namespace transpim
+} // namespace tpl

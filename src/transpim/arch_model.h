@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Cross-architecture cost analysis (the paper's stated future work).
+ *
+ * Section 5.1 of the paper: "TransPimLib can be realized for any PIM
+ * architecture that supports addition, subtraction, multiplication,
+ * and division. As such, future work can implement new versions of
+ * TransPimLib's methods for other current and future PIM
+ * architectures."
+ *
+ * This module enables that analysis without re-implementing the
+ * numeric kernels: every emulated routine reports its high-level
+ * operation class (OpClass) alongside its UPMEM instruction charge, so
+ * a method evaluation yields an *operation tally*. Re-costing the
+ * tally under a different processing element's per-operation costs
+ * answers "what would this method cost on an HBM-PIM-style PE with a
+ * native FPU?" - where, notably, the L-LUT's no-multiply advantage
+ * evaporates while the LUT-vs-CORDIC tradeoff survives.
+ *
+ * The re-costing is: cycles = leftoverInstructions * otherScale +
+ * sum_op count(op) * archCost(op), where leftoverInstructions is the
+ * measured instruction total minus the calibrated UPMEM emulation cost
+ * of the noted operations (i.e. the native integer work of addressing,
+ * loops, CORDIC shifts, ...).
+ */
+
+#ifndef TPL_TRANSPIM_ARCH_MODEL_H
+#define TPL_TRANSPIM_ARCH_MODEL_H
+
+#include <array>
+#include <string>
+
+#include "common/instr_sink.h"
+
+namespace tpl {
+namespace transpim {
+
+/** Operation-class tally of one (or many) evaluations. */
+struct OpTally
+{
+    std::array<uint64_t, numOpClasses> counts{};
+    uint64_t instructions = 0;
+
+    OpTally& operator+=(const OpTally& other);
+};
+
+/** Sink that records both instruction totals and operation classes. */
+class OpTallySink : public InstrSink
+{
+  public:
+    void charge(uint32_t instructions) override
+    {
+        tally_.instructions += instructions;
+    }
+
+    void note(OpClass op) override
+    {
+        ++tally_.counts[static_cast<int>(op)];
+    }
+
+    const OpTally& tally() const { return tally_; }
+
+    void reset() { tally_ = OpTally{}; }
+
+  private:
+    OpTally tally_;
+};
+
+/** Display name of an operation class. */
+std::string_view opClassName(OpClass op);
+
+/** Per-operation cycle costs of a PIM processing element. */
+struct ArchProfile
+{
+    std::string name;
+    /** Cycles per operation, indexed by OpClass. */
+    std::array<double, numOpClasses> opCycles{};
+    /** Cycles per leftover native instruction. */
+    double otherInstrScale = 1.0;
+};
+
+/**
+ * The UPMEM-style DPU baseline: per-op costs measured from the
+ * emulation routines themselves, so re-costing under this profile
+ * reproduces the plain instruction count (self-consistency).
+ */
+ArchProfile upmemProfile();
+
+/**
+ * An HBM-PIM / AiM-style PE: native pipelined float add/mul (the SIMD
+ * MAC datapath), slow iterative divide, cheap conversions. Integer
+ * bit-twiddling is ordinary ALU work.
+ */
+ArchProfile hbmPimLikeProfile();
+
+/**
+ * A hypothetical PIM PE with a full FPU (add/mul/div/sqrt/conversions
+ * all pipelined) - the limit where method choice is dominated by
+ * memory behaviour alone.
+ */
+ArchProfile idealFpuProfile();
+
+/**
+ * Measure the UPMEM emulation cost of each operation class by running
+ * the emulated routines against a counting sink (calibration for the
+ * leftover-instruction subtraction).
+ */
+std::array<double, numOpClasses> measureUpmemOpCosts();
+
+/**
+ * Re-cost an operation tally under @p profile.
+ * @param upmemOpCosts calibration from measureUpmemOpCosts().
+ */
+double recostCycles(const OpTally& tally, const ArchProfile& profile,
+                    const std::array<double, numOpClasses>& upmemOpCosts);
+
+} // namespace transpim
+} // namespace tpl
+
+#endif // TPL_TRANSPIM_ARCH_MODEL_H

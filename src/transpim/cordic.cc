@@ -1,0 +1,209 @@
+/**
+ * @file
+ * CORDIC engine implementations.
+ */
+
+#include "transpim/cordic.h"
+
+#include <cmath>
+
+#include "common/bitops.h"
+#include "softfloat/softfloat.h"
+#include "transpim/ldexp.h"
+
+namespace tpl {
+namespace transpim {
+
+std::vector<uint32_t>
+cordicSchedule(CordicMode mode, uint32_t iterations)
+{
+    std::vector<uint32_t> schedule;
+    schedule.reserve(iterations);
+    if (mode == CordicMode::Circular) {
+        for (uint32_t i = 0; i < iterations; ++i)
+            schedule.push_back(i);
+        return schedule;
+    }
+    // Hyperbolic: indices start at 1 and repeat at 4, 13, 40, ... to
+    // guarantee convergence (each repeat index r satisfies
+    // r_next = 3r + 1).
+    uint32_t nextRepeat = 4;
+    uint32_t i = 1;
+    while (schedule.size() < iterations) {
+        schedule.push_back(i);
+        if (i == nextRepeat && schedule.size() < iterations) {
+            schedule.push_back(i);
+            nextRepeat = 3 * nextRepeat + 1;
+        }
+        ++i;
+    }
+    return schedule;
+}
+
+namespace {
+
+/** Instruction cost of the sign test + branch + loop control per step. */
+constexpr uint32_t iterControlCost = 4;
+
+/** Loop prologue: loading the start vector and constants. */
+constexpr uint32_t startupCost = 4;
+
+double
+scheduleGain(CordicMode mode, const std::vector<uint32_t>& schedule)
+{
+    double g = 1.0;
+    for (uint32_t i : schedule) {
+        double t = std::ldexp(1.0, -2 * static_cast<int>(i));
+        g *= mode == CordicMode::Circular ? std::sqrt(1.0 + t)
+                                          : std::sqrt(1.0 - t);
+    }
+    return g;
+}
+
+std::vector<float>
+angleTable(CordicMode mode, const std::vector<uint32_t>& schedule)
+{
+    std::vector<float> table;
+    table.reserve(schedule.size());
+    for (uint32_t i : schedule) {
+        double t = std::ldexp(1.0, -static_cast<int>(i));
+        double a = mode == CordicMode::Circular ? std::atan(t)
+                                                : std::atanh(t);
+        table.push_back(static_cast<float>(a));
+    }
+    return table;
+}
+
+} // namespace
+
+CordicEngine::CordicEngine(CordicMode mode, uint32_t iterations,
+                           Placement placement)
+    : mode_(mode), iterations_(iterations),
+      schedule_(cordicSchedule(mode, iterations)),
+      table_(angleTable(mode, schedule_), placement)
+{
+    double g = scheduleGain(mode, schedule_);
+    gain_ = static_cast<float>(g);
+    invGain_ = static_cast<float>(1.0 / g);
+}
+
+CordicEngine::Result
+CordicEngine::rotate(float z0, InstrSink* sink) const
+{
+    chargeInstr(sink, startupCost);
+    float x = invGain_;
+    float y = 0.0f;
+    float z = z0;
+    for (uint32_t k = 0; k < schedule_.size(); ++k) {
+        int i = static_cast<int>(schedule_[k]);
+        float xs = pimLdexp(x, -i, sink);
+        float ys = pimLdexp(y, -i, sink);
+        float ang = table_.read(k, sink);
+        chargeInstr(sink, iterControlCost);
+        bool positive = (floatBits(z) >> 31) == 0;
+        // Circular rotation: x -= s*ys; hyperbolic: x += s*ys.
+        bool xPlus = (mode_ == CordicMode::Hyperbolic) == positive;
+        x = xPlus ? sf::add(x, ys, sink) : sf::sub(x, ys, sink);
+        y = positive ? sf::add(y, xs, sink) : sf::sub(y, xs, sink);
+        z = positive ? sf::sub(z, ang, sink) : sf::add(z, ang, sink);
+    }
+    return {x, y, z};
+}
+
+CordicEngine::Result
+CordicEngine::vector(float x0, float y0, InstrSink* sink) const
+{
+    chargeInstr(sink, startupCost);
+    float x = x0;
+    float y = y0;
+    float z = 0.0f;
+    for (uint32_t k = 0; k < schedule_.size(); ++k) {
+        int i = static_cast<int>(schedule_[k]);
+        float xs = pimLdexp(x, -i, sink);
+        float ys = pimLdexp(y, -i, sink);
+        float ang = table_.read(k, sink);
+        chargeInstr(sink, iterControlCost);
+        // Vectoring drives y toward zero: s = -sign(y).
+        bool positive = (floatBits(y) >> 31) != 0;
+        bool xPlus = (mode_ == CordicMode::Hyperbolic) == positive;
+        x = xPlus ? sf::add(x, ys, sink) : sf::sub(x, ys, sink);
+        y = positive ? sf::add(y, xs, sink) : sf::sub(y, xs, sink);
+        z = positive ? sf::sub(z, ang, sink) : sf::add(z, ang, sink);
+    }
+    return {x, y, z};
+}
+
+namespace {
+
+std::vector<int32_t>
+fixedAngleTable(CordicMode mode, const std::vector<uint32_t>& schedule)
+{
+    std::vector<int32_t> table;
+    table.reserve(schedule.size());
+    for (uint32_t i : schedule) {
+        double t = std::ldexp(1.0, -static_cast<int>(i));
+        double a = mode == CordicMode::Circular ? std::atan(t)
+                                                : std::atanh(t);
+        table.push_back(Fixed::fromDouble(a).raw());
+    }
+    return table;
+}
+
+} // namespace
+
+CordicFixedEngine::CordicFixedEngine(CordicMode mode, uint32_t iterations,
+                                     Placement placement)
+    : mode_(mode), iterations_(iterations),
+      schedule_(cordicSchedule(mode, iterations)),
+      table_(fixedAngleTable(mode, schedule_), placement)
+{
+    invGain_ = Fixed::fromDouble(1.0 / scheduleGain(mode, schedule_));
+}
+
+CordicFixedEngine::Result
+CordicFixedEngine::rotate(Fixed z0, InstrSink* sink) const
+{
+    chargeInstr(sink, startupCost);
+    int32_t x = invGain_.raw();
+    int32_t y = 0;
+    int32_t z = z0.raw();
+    for (uint32_t k = 0; k < schedule_.size(); ++k) {
+        int i = static_cast<int>(schedule_[k]);
+        int32_t xs = x >> i;
+        int32_t ys = y >> i;
+        int32_t ang = table_.read(k, sink);
+        // Two shifts, three adds, sign test + loop control.
+        chargeInstr(sink, 2 + 3 + iterControlCost);
+        bool positive = z >= 0;
+        bool xPlus = (mode_ == CordicMode::Hyperbolic) == positive;
+        x = xPlus ? x + ys : x - ys;
+        y = positive ? y + xs : y - xs;
+        z = positive ? z - ang : z + ang;
+    }
+    return {Fixed::fromRaw(x), Fixed::fromRaw(y), Fixed::fromRaw(z)};
+}
+
+CordicFixedEngine::Result
+CordicFixedEngine::vector(Fixed x0, Fixed y0, InstrSink* sink) const
+{
+    chargeInstr(sink, startupCost);
+    int32_t x = x0.raw();
+    int32_t y = y0.raw();
+    int32_t z = 0;
+    for (uint32_t k = 0; k < schedule_.size(); ++k) {
+        int i = static_cast<int>(schedule_[k]);
+        int32_t xs = x >> i;
+        int32_t ys = y >> i;
+        int32_t ang = table_.read(k, sink);
+        chargeInstr(sink, 2 + 3 + iterControlCost);
+        bool positive = y < 0;
+        bool xPlus = (mode_ == CordicMode::Hyperbolic) == positive;
+        x = xPlus ? x + ys : x - ys;
+        y = positive ? y + xs : y - xs;
+        z = positive ? z - ang : z + ang;
+    }
+    return {Fixed::fromRaw(x), Fixed::fromRaw(y), Fixed::fromRaw(z)};
+}
+
+} // namespace transpim
+} // namespace tpl

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * CORDIC engines: circular and hyperbolic, rotation and vectoring.
+ *
+ * CORDIC (Volder 1959) computes trigonometric/hyperbolic values with
+ * one table lookup, two shifts and three additions per iteration; the
+ * error shrinks roughly by one bit per iteration. TransPimLib's CORDIC
+ * methods trade higher PIM-side cycle counts for near-zero host setup
+ * time and tiny, accuracy-independent tables (paper Sections 2.2.1,
+ * 3.1, 4.2.2).
+ *
+ * Two engines are provided:
+ *
+ *  - CordicEngine: arithmetic in emulated binary32 (the shift becomes a
+ *    pimLdexp). This is the paper's evaluated floating-point CORDIC;
+ *    on a PIM core without an FPU each iteration costs three emulated
+ *    float additions, which is what makes CORDIC so much more expensive
+ *    than L-LUT at high accuracy in Figure 5.
+ *
+ *  - CordicFixedEngine: arithmetic in Q3.28 with native integer ops
+ *    (an ablation: far cheaper per iteration, accuracy capped near the
+ *    2^-28 resolution).
+ */
+
+#ifndef TPL_TRANSPIM_CORDIC_H
+#define TPL_TRANSPIM_CORDIC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.h"
+#include "common/instr_sink.h"
+#include "transpim/placement.h"
+
+namespace tpl {
+namespace transpim {
+
+/** Rotation family (paper Table 1). */
+enum class CordicMode
+{
+    Circular,   ///< sin, cos, tan
+    Hyperbolic, ///< sinh, cosh, tanh, exp, and via vectoring log, sqrt
+};
+
+/**
+ * Floating-point CORDIC engine.
+ *
+ * Hosts the angle table (atan/atanh of 2^-i, including the convergence
+ * repeats at i = 4, 13, 40 for the hyperbolic mode) and the gain
+ * constants for the exact iteration schedule.
+ */
+class CordicEngine
+{
+  public:
+    /** (x, y, z) state after the final iteration. */
+    struct Result
+    {
+        float x;
+        float y;
+        float z;
+    };
+
+    /**
+     * Build an engine.
+     * @param mode rotation family.
+     * @param iterations number of CORDIC iterations (schedule length).
+     * @param placement where the angle table lives on the PIM core.
+     */
+    CordicEngine(CordicMode mode, uint32_t iterations,
+                 Placement placement);
+
+    /**
+     * Rotation mode: drive z to 0 starting from (invGain, 0, z0).
+     * Circular: returns (cos z0, sin z0, ~0).
+     * Hyperbolic: returns (cosh z0, sinh z0, ~0); requires |z0| < 1.11.
+     */
+    Result rotate(float z0, InstrSink* sink) const;
+
+    /**
+     * Vectoring mode: drive y to 0 starting from (x0, y0, 0).
+     * Hyperbolic: returns z = atanh(y0/x0) and x = gain*sqrt(x0^2-y0^2).
+     * Circular: returns z = atan(y0/x0) and x = gain*sqrt(x0^2+y0^2).
+     */
+    Result vector(float x0, float y0, InstrSink* sink) const;
+
+    CordicMode mode() const { return mode_; }
+
+    uint32_t iterations() const { return iterations_; }
+
+    /** 1/gain of the full schedule (rotation-mode start value). */
+    float invGain() const { return invGain_; }
+
+    /** Gain of the full schedule. */
+    float gain() const { return gain_; }
+
+    /** Bytes of PIM memory the angle table occupies. */
+    uint32_t memoryBytes() const { return table_.bytes(); }
+
+    /** Place the angle table on a simulated core. */
+    void attach(sim::DpuCore& core) { table_.attach(core); }
+
+    /** The iteration schedule (shift amounts, with hyperbolic repeats). */
+    const std::vector<uint32_t>& schedule() const { return schedule_; }
+
+  private:
+    CordicMode mode_;
+    uint32_t iterations_;
+    std::vector<uint32_t> schedule_;
+    LutStore<float> table_; ///< rotation angle per scheduled iteration
+    float invGain_ = 1.0f;
+    float gain_ = 1.0f;
+};
+
+/**
+ * Q3.28 fixed-point CORDIC engine (ablation).
+ *
+ * Same iteration schedule as CordicEngine, but the state is Q3.28 and
+ * each iteration costs two native shifts and three native adds, which
+ * is why this variant is roughly an order of magnitude cheaper per
+ * iteration than the float engine while capping accuracy near 2^-28.
+ */
+class CordicFixedEngine
+{
+  public:
+    struct Result
+    {
+        Fixed x;
+        Fixed y;
+        Fixed z;
+    };
+
+    CordicFixedEngine(CordicMode mode, uint32_t iterations,
+                      Placement placement);
+
+    /** Rotation mode on Q3.28 state; see CordicEngine::rotate. */
+    Result rotate(Fixed z0, InstrSink* sink) const;
+
+    /** Vectoring mode on Q3.28 state; see CordicEngine::vector. */
+    Result vector(Fixed x0, Fixed y0, InstrSink* sink) const;
+
+    uint32_t iterations() const { return iterations_; }
+
+    Fixed invGain() const { return invGain_; }
+
+    uint32_t memoryBytes() const { return table_.bytes(); }
+
+    void attach(sim::DpuCore& core) { table_.attach(core); }
+
+  private:
+    CordicMode mode_;
+    uint32_t iterations_;
+    std::vector<uint32_t> schedule_;
+    LutStore<int32_t> table_; ///< Q3.28 rotation angles
+    Fixed invGain_;
+};
+
+/**
+ * Build the iteration schedule for a mode: circular uses i = 0..n-1;
+ * hyperbolic uses i = 1..k with the standard convergence repeats at
+ * i = 4, 13, 40, truncated to @p iterations entries.
+ */
+std::vector<uint32_t> cordicSchedule(CordicMode mode, uint32_t iterations);
+
+} // namespace transpim
+} // namespace tpl
+
+#endif // TPL_TRANSPIM_CORDIC_H

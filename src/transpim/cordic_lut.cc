@@ -1,0 +1,96 @@
+/**
+ * @file
+ * CORDIC + LUT implementation.
+ */
+
+#include "transpim/cordic_lut.h"
+
+#include <cmath>
+
+#include "common/bitops.h"
+#include "softfloat/softfloat.h"
+#include "transpim/ldexp.h"
+
+namespace tpl {
+namespace transpim {
+
+CordicLutEngine::CordicLutEngine(CordicMode mode, uint32_t iterations,
+                                 uint32_t gridBits, double lo, double hi,
+                                 Placement placement)
+    : mode_(mode), gridBits_(gridBits), lo_(static_cast<float>(lo))
+{
+    // Tail: the scheduled iterations whose shift index is >= gridBits;
+    // the LUT resolves the angle to within 2^-(gridBits+1), which the
+    // tail can rotate away since sum(atan 2^-i, i >= g) > 2^-g.
+    for (uint32_t i : cordicSchedule(mode, iterations)) {
+        if (i >= gridBits)
+            tailSchedule_.push_back(i);
+    }
+
+    double tailGain = 1.0;
+    std::vector<float> angles;
+    angles.reserve(tailSchedule_.size());
+    for (uint32_t i : tailSchedule_) {
+        double t = std::ldexp(1.0, -static_cast<int>(i));
+        tailGain *= mode == CordicMode::Circular ? std::sqrt(1.0 + t * t)
+                                                 : std::sqrt(1.0 - t * t);
+        angles.push_back(static_cast<float>(
+            mode == CordicMode::Circular ? std::atan(t) : std::atanh(t)));
+    }
+    angleTable_ = LutStore<float>(std::move(angles), placement);
+
+    double spacing = std::ldexp(1.0, -static_cast<int>(gridBits));
+    uint32_t entries =
+        static_cast<uint32_t>(std::ceil((hi - lo) / spacing)) + 1;
+    std::vector<Entry> table(entries);
+    double invTailGain = 1.0 / tailGain;
+    for (uint32_t j = 0; j < entries; ++j) {
+        double a = lo + j * spacing;
+        double c = mode == CordicMode::Circular ? std::cos(a)
+                                                : std::cosh(a);
+        double s = mode == CordicMode::Circular ? std::sin(a)
+                                                : std::sinh(a);
+        table[j] = {static_cast<float>(c * invTailGain),
+                    static_cast<float>(s * invTailGain),
+                    static_cast<float>(a)};
+    }
+    entryTable_ = LutStore<Entry>(std::move(table), placement);
+}
+
+CordicLutEngine::Result
+CordicLutEngine::rotate(float z0, InstrSink* sink) const
+{
+    // L-LUT-style head: ldexp + round, no multiplication.
+    float t = z0;
+    if (lo_ != 0.0f)
+        t = sf::sub(z0, lo_, sink);
+    t = pimLdexp(t, static_cast<int>(gridBits_), sink);
+    int32_t j = sf::toI32Round(t, sink);
+    chargeInstr(sink, 2);
+    int32_t limit = static_cast<int32_t>(entryTable_.size()) - 1;
+    if (j < 0)
+        j = 0;
+    if (j > limit)
+        j = limit;
+    Entry e = entryTable_.read(static_cast<uint32_t>(j), sink);
+
+    float x = e.x;
+    float y = e.y;
+    float z = sf::sub(z0, e.a, sink);
+    for (uint32_t k = 0; k < tailSchedule_.size(); ++k) {
+        int i = static_cast<int>(tailSchedule_[k]);
+        float xs = pimLdexp(x, -i, sink);
+        float ys = pimLdexp(y, -i, sink);
+        float ang = angleTable_.read(k, sink);
+        chargeInstr(sink, 4);
+        bool positive = (floatBits(z) >> 31) == 0;
+        bool xPlus = (mode_ == CordicMode::Hyperbolic) == positive;
+        x = xPlus ? sf::add(x, ys, sink) : sf::sub(x, ys, sink);
+        y = positive ? sf::add(y, xs, sink) : sf::sub(y, xs, sink);
+        z = positive ? sf::sub(z, ang, sink) : sf::add(z, ang, sink);
+    }
+    return {x, y, z};
+}
+
+} // namespace transpim
+} // namespace tpl

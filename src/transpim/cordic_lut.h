@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Combined CORDIC + LUT method (Section 3.3.2 of the paper).
+ *
+ * The first iterations of CORDIC are replaced by one lookup: the table
+ * maps the leading bits of the input angle to a pre-rotated vector
+ * (x, y) - with the gain of the *remaining* iterations already folded
+ * in - plus the grid angle, so the engine only runs the tail
+ * iterations on the residual z. This buys a flexible tradeoff between
+ * computing cost, table size, and precision within the bounds of the
+ * pure CORDIC and pure LUT approaches. The address generation is
+ * L-LUT-style (ldexp + round), so the lookup adds no multiplication.
+ */
+
+#ifndef TPL_TRANSPIM_CORDIC_LUT_H
+#define TPL_TRANSPIM_CORDIC_LUT_H
+
+#include "transpim/cordic.h"
+#include "transpim/placement.h"
+
+namespace tpl {
+namespace transpim {
+
+/**
+ * CORDIC engine whose first iterations are a table lookup.
+ */
+class CordicLutEngine
+{
+  public:
+    /** One pre-rotated table entry. */
+    struct Entry
+    {
+        float x; ///< cos/cosh of the grid angle, tail-gain folded in
+        float y; ///< sin/sinh of the grid angle, tail-gain folded in
+        float a; ///< the grid angle itself (subtracted from z)
+    };
+
+    using Result = CordicEngine::Result;
+
+    /**
+     * @param mode rotation family.
+     * @param iterations total equivalent iterations n (accuracy ~2^-n).
+     * @param gridBits g: table grid spacing 2^-g radians; iterations
+     *        with shift index < g are replaced by the lookup.
+     * @param lo smallest angle the table covers.
+     * @param hi largest angle the table covers.
+     */
+    CordicLutEngine(CordicMode mode, uint32_t iterations,
+                    uint32_t gridBits, double lo, double hi,
+                    Placement placement);
+
+    /** Rotation with LUT head + CORDIC tail; z0 must be in [lo, hi]. */
+    Result rotate(float z0, InstrSink* sink) const;
+
+    /** Tail iterations actually executed. */
+    uint32_t tailIterations() const
+    {
+        return static_cast<uint32_t>(tailSchedule_.size());
+    }
+
+    uint32_t memoryBytes() const
+    {
+        return entryTable_.bytes() + angleTable_.bytes();
+    }
+
+    void
+    attach(sim::DpuCore& core)
+    {
+        entryTable_.attach(core);
+        angleTable_.attach(core);
+    }
+
+  private:
+    CordicMode mode_;
+    uint32_t gridBits_;
+    float lo_;
+    std::vector<uint32_t> tailSchedule_;
+    LutStore<Entry> entryTable_;
+    LutStore<float> angleTable_; ///< tail iteration angles
+};
+
+} // namespace transpim
+} // namespace tpl
+
+#endif // TPL_TRANSPIM_CORDIC_LUT_H

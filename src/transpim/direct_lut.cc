@@ -1,0 +1,148 @@
+/**
+ * @file
+ * D-LUT / DL-LUT implementations.
+ */
+
+#include "transpim/direct_lut.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.h"
+#include "softfloat/softfloat.h"
+#include "transpim/ldexp.h"
+
+namespace tpl {
+namespace transpim {
+
+namespace {
+
+/**
+ * Grid magnitude of positive-side entry @p i: the value whose float
+ * bits shift down to address base + i.
+ */
+double
+gridValue(const DLutSpec& spec, uint32_t i, double fracOffset)
+{
+    uint32_t perExp = 1u << spec.mantBits;
+    int e = spec.minExp + static_cast<int>(i >> spec.mantBits);
+    uint32_t frac = i & (perExp - 1);
+    double mant = 1.0 + (static_cast<double>(frac) + fracOffset) / perExp;
+    return std::ldexp(mant, e);
+}
+
+} // namespace
+
+DLut::DLut(const TableFn& f, const DLutSpec& spec, bool interpolated,
+           Placement placement)
+    : spec_(spec), interpolated_(interpolated)
+{
+    if (spec.maxExp < spec.minExp)
+        throw std::invalid_argument("DLut: empty exponent range");
+    if (spec.mantBits > 23)
+        throw std::invalid_argument("DLut: more than 23 mantissa bits");
+    shift_ = 23 - spec.mantBits;
+    base_ = static_cast<uint32_t>(spec.minExp + ieeeBias)
+            << spec.mantBits;
+    minMagBits_ =
+        static_cast<uint32_t>(spec.minExp + ieeeBias) << 23;
+    perSide_ =
+        static_cast<uint32_t>(spec.maxExp - spec.minExp + 1)
+        << spec.mantBits;
+
+    // Truncation addressing: a non-interpolated table stores f at the
+    // bucket midpoint, an interpolated one at the grid point itself.
+    double off = interpolated ? 0.0 : 0.5;
+    uint32_t total = spec.signedRange ? 2 * perSide_ : perSide_;
+    std::vector<float> table(total);
+    for (uint32_t i = 0; i < perSide_; ++i) {
+        double v = gridValue(spec, i, off);
+        table[i] = static_cast<float>(f(v));
+        if (spec.signedRange)
+            table[perSide_ + i] = static_cast<float>(f(-v));
+    }
+    table_ = LutStore<float>(std::move(table), placement);
+}
+
+float
+DLut::eval(float x, InstrSink* sink) const
+{
+    uint32_t bits = floatBits(x);
+    uint32_t sign = bits >> 31;
+    uint32_t mag = bits & 0x7fffffffu;
+
+    // Address generation: shift, subtract, two clamps, sign select.
+    chargeInstr(sink, 7);
+    bool below = mag < minMagBits_;
+    uint32_t idx;
+    if (below) {
+        idx = 0;
+    } else {
+        idx = (mag >> shift_) - base_;
+        if (idx >= perSide_)
+            idx = perSide_ - 1;
+    }
+    uint32_t sideOffset = (sign && spec_.signedRange) ? perSide_ : 0;
+
+    if (!interpolated_ || below) {
+        // Below-range inputs clamp to the first entry without
+        // interpolating: the delta bits would be meaningless there.
+        return table_.read(sideOffset + idx, sink);
+    }
+
+    // Delta from the truncated mantissa bits: uniform within a bucket.
+    chargeInstr(sink, 1);
+    uint32_t deltaBits = mag & ((1u << shift_) - 1u);
+    float fd = sf::fromI32(static_cast<int32_t>(deltaBits), sink);
+    float delta = pimLdexp(fd, -static_cast<int>(shift_), sink);
+
+    uint32_t i1 = idx + 1 < perSide_ ? idx + 1 : idx;
+    chargeInstr(sink, 2);
+    float l0 = table_.read(sideOffset + idx, sink);
+    float l1 = table_.read(sideOffset + i1, sink);
+    float d = sf::sub(l1, l0, sink);
+    return sf::add(l0, sf::mul(d, delta, sink), sink);
+}
+
+DlLut::DlLut(const TableFn& f, DLutSpec spec, uint32_t innerEntries,
+             bool interpolated, Placement placement)
+{
+    spec.minExp = 0; // the D-LUT half starts at |x| = 1
+    if (spec.maxExp < 0) {
+        // Domain entirely inside [-1, 1]: keep a minimal outer table
+        // (one exponent block) so clamped out-of-domain queries are
+        // still well-defined; in-domain inputs only hit the L-LUT.
+        spec.maxExp = 0;
+    }
+    double lo = spec.signedRange ? -1.0 : 0.0;
+    inner_ = std::make_unique<LLut>(f, lo, 1.0, innerEntries,
+                                    interpolated, placement);
+    outer_ = std::make_unique<DLut>(f, spec, interpolated, placement);
+}
+
+float
+DlLut::eval(float x, InstrSink* sink) const
+{
+    // One magnitude compare against 1.0f selects the half.
+    chargeInstr(sink, 3);
+    uint32_t mag = floatBits(x) & 0x7fffffffu;
+    if (mag < floatBits(1.0f))
+        return inner_->eval(x, sink);
+    return outer_->eval(x, sink);
+}
+
+uint32_t
+DlLut::memoryBytes() const
+{
+    return inner_->memoryBytes() + outer_->memoryBytes();
+}
+
+void
+DlLut::attach(sim::DpuCore& core)
+{
+    inner_->attach(core);
+    outer_->attach(core);
+}
+
+} // namespace transpim
+} // namespace tpl

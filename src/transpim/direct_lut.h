@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Direct float-conversion lookup tables: D-LUT and DL-LUT.
+ *
+ * D-LUT derives the table address directly from the input's IEEE-754
+ * bit pattern: shifting the bits right by s keeps the exponent and the
+ * top (23 - s) mantissa bits, which yields a pseudo-logarithmic entry
+ * spacing - dense near zero, coarse for large magnitudes - without a
+ * single arithmetic operation beyond shift/subtract (Section 3.2 of the
+ * paper). This matches functions that are approximately linear near
+ * zero and saturate for large inputs (tanh, GELU, sigmoid).
+ *
+ * The inherent limitation: there are no entries between zero and the
+ * smallest covered exponent, so inputs with |x| < 2^minExp clamp to the
+ * first entry. DL-LUT removes that blind spot by pairing a D-LUT (for
+ * |x| >= 1) with a uniformly spaced L-LUT (for |x| < 1), as in
+ * Section 3.3.1 / Figure 4(d).
+ */
+
+#ifndef TPL_TRANSPIM_DIRECT_LUT_H
+#define TPL_TRANSPIM_DIRECT_LUT_H
+
+#include <memory>
+
+#include "transpim/fuzzy_lut.h"
+#include "transpim/placement.h"
+
+namespace tpl {
+namespace transpim {
+
+/** Configuration of a D-LUT's coverage. */
+struct DLutSpec
+{
+    int minExp = -12;       ///< smallest covered exponent (2^minExp)
+    int maxExp = 3;         ///< largest covered exponent (up to 2^(maxExp+1))
+    uint32_t mantBits = 6;  ///< mantissa MSBs kept -> 2^mantBits entries/exp
+    bool signedRange = true; ///< cover negative inputs with a second half
+};
+
+/**
+ * Direct float-conversion fuzzy lookup table.
+ */
+class DLut
+{
+  public:
+    DLut(const TableFn& f, const DLutSpec& spec, bool interpolated,
+         Placement placement);
+
+    /**
+     * Approximate f(x). Inputs below the covered range clamp to the
+     * first entry of their sign's half; inputs above clamp to the last.
+     */
+    float eval(float x, InstrSink* sink) const;
+
+    uint32_t memoryBytes() const { return table_.bytes(); }
+
+    void attach(sim::DpuCore& core) { table_.attach(core); }
+
+    /** Entries per sign half. */
+    uint32_t entriesPerSide() const { return perSide_; }
+
+  private:
+    LutStore<float> table_;
+    DLutSpec spec_;
+    uint32_t shift_;     ///< 23 - mantBits
+    uint32_t base_;      ///< address of the smallest covered magnitude
+    uint32_t minMagBits_; ///< float bits of 2^minExp
+    uint32_t perSide_;
+    bool interpolated_;
+};
+
+/**
+ * Combined L-LUT + D-LUT (DL-LUT): uniform spacing below |x| = 1,
+ * pseudo-logarithmic above.
+ */
+class DlLut
+{
+  public:
+    /**
+     * @param f function to tabulate.
+     * @param spec D-LUT coverage for |x| >= 1 (minExp is forced to 0).
+     * @param innerEntries L-LUT entry budget for the [-1, 1] segment
+     *        (or [0, 1] when the spec is unsigned).
+     */
+    DlLut(const TableFn& f, DLutSpec spec, uint32_t innerEntries,
+          bool interpolated, Placement placement);
+
+    float eval(float x, InstrSink* sink) const;
+
+    uint32_t memoryBytes() const;
+
+    void attach(sim::DpuCore& core);
+
+  private:
+    std::unique_ptr<LLut> inner_;
+    std::unique_ptr<DLut> outer_;
+};
+
+} // namespace transpim
+} // namespace tpl
+
+#endif // TPL_TRANSPIM_DIRECT_LUT_H

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Analytic accuracy predictor implementation.
+ */
+
+#include "transpim/error_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tpl {
+namespace transpim {
+
+namespace {
+
+/** Binary32 output grid floor for O(1)-magnitude outputs. */
+constexpr double kFloatFloor = 2e-8;
+
+/** Table interval each (function, method family) uses internally. */
+void
+tableInterval(Function fn, bool directLut, double& lo, double& hi)
+{
+    Domain dom = functionDomain(fn);
+    if (directLut) {
+        lo = dom.lo;
+        hi = dom.hi;
+        return;
+    }
+    switch (fn) {
+      case Function::Sin:
+      case Function::Cos:
+      case Function::Tan:
+        lo = 0.0;
+        hi = 6.283185307179586;
+        return;
+      case Function::Exp:
+        lo = 0.0;
+        hi = 0.6931471805599453;
+        return;
+      case Function::Exp2:
+        lo = 0.0;
+        hi = 1.0;
+        return;
+      case Function::Log:
+      case Function::Log2:
+      case Function::Log10:
+        lo = 1.0;
+        hi = 2.0;
+        return;
+      case Function::Sqrt:
+      case Function::Rsqrt:
+        lo = 0.5;
+        hi = 2.0;
+        return;
+      default:
+        lo = dom.lo;
+        hi = dom.hi;
+        return;
+    }
+}
+
+/** The tabulated function (after range extension) for derivatives. */
+TableFn
+tabulated(Function fn)
+{
+    switch (fn) {
+      case Function::Tan: // sin table dominates the error
+        return [](double x) { return std::sin(x); };
+      default:
+        return [fn](double x) { return referenceValue(fn, x); };
+    }
+}
+
+} // namespace
+
+double
+rmsDerivative(const TableFn& f, double lo, double hi, int order,
+              int samples)
+{
+    double h = (hi - lo) / (samples + 4);
+    double sumSq = 0.0;
+    int n = 0;
+    for (int i = 2; i < samples + 2; ++i) {
+        double x = lo + i * h;
+        double d;
+        if (order == 1) {
+            d = (f(x + h) - f(x - h)) / (2 * h);
+        } else {
+            d = (f(x + h) - 2 * f(x) + f(x - h)) / (h * h);
+        }
+        if (!std::isfinite(d))
+            continue;
+        sumSq += d * d;
+        ++n;
+    }
+    return n ? std::sqrt(sumSq / n) : 0.0;
+}
+
+double
+predictRmse(Function fn, const MethodSpec& spec)
+{
+    switch (spec.method) {
+      case Method::Cordic:
+      case Method::CordicLut:
+        // One bit per iteration, floored by float accumulation noise.
+        return std::max(std::ldexp(1.0, -(int)spec.iterations), 1e-7);
+      case Method::CordicFixed:
+        return std::max(std::ldexp(1.0, -(int)spec.iterations), 2e-9);
+      case Method::Poly: {
+        // Taylor remainder on the reduced interval (r <= pi/2 for
+        // trig; tighter for the split-based functions).
+        double r;
+        switch (fn) {
+          case Function::Sin:
+          case Function::Cos:
+          case Function::Tan:
+            r = 1.5707963267948966;
+            break;
+          case Function::Exp:
+          case Function::Exp2:
+          case Function::Sinh:
+          case Function::Cosh:
+          case Function::Tanh:
+          case Function::Sigmoid:
+          case Function::Silu:
+          case Function::Softplus:
+            r = 0.6931471805599453;
+            break;
+          default:
+            r = 1.0 / 3.0; // log/sqrt-style series arguments
+            break;
+        }
+        double fact = 1.0;
+        for (uint32_t k = 2; k <= spec.polyDegree + 1; ++k)
+            fact *= k;
+        double rem = std::pow(r, spec.polyDegree + 1) / fact;
+        if (r < 0.5) // geometric-ish series (log/sqrt)
+            rem = std::pow(r, spec.polyDegree) / spec.polyDegree;
+        return std::max(rem, kFloatFloor);
+      }
+      default:
+        break;
+    }
+
+    // LUT families.
+    bool direct = spec.method == Method::DLut ||
+                  spec.method == Method::DlLut;
+    double lo, hi;
+    tableInterval(fn, direct, lo, hi);
+    TableFn f = tabulated(fn);
+
+    double spacing;
+    if (direct) {
+        // Spacing at magnitude ~1 (one entry per 2^-mantBits octave
+        // slice); the pseudo-log layout keeps the *relative* spacing
+        // constant, so this is representative for O(1) outputs.
+        spacing = std::ldexp(1.0, -(int)spec.dlutMantBits);
+    } else {
+        uint32_t entries = 1u << spec.log2Entries;
+        spacing = (hi - lo) / entries;
+        if (spec.method == Method::LLut ||
+            spec.method == Method::LLutFixed) {
+            // Power-of-two density: effective spacing within 2x.
+            spacing *= 1.5;
+        }
+    }
+
+    double rmse;
+    if (spec.interpolated) {
+        double f2 = rmsDerivative(f, lo, hi, 2);
+        rmse = spacing * spacing / std::sqrt(120.0) * f2;
+    } else {
+        double f1 = rmsDerivative(f, lo, hi, 1);
+        rmse = spacing / std::sqrt(12.0) * f1;
+    }
+    double floorV = spec.method == Method::LLutFixed
+                        ? 2e-9 // Q3.28 grid
+                        : kFloatFloor;
+    return std::max(rmse, floorV);
+}
+
+int
+predictLog2Entries(Function fn, double targetRmse)
+{
+    if (targetRmse < kFloatFloor)
+        return -1;
+    for (int log2n = 6; log2n <= 22; ++log2n) {
+        MethodSpec spec;
+        spec.method = Method::LLut;
+        spec.interpolated = true;
+        spec.log2Entries = static_cast<uint32_t>(log2n);
+        if (predictRmse(fn, spec) <= targetRmse)
+            return log2n;
+    }
+    return 22;
+}
+
+} // namespace transpim
+} // namespace tpl

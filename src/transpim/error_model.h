@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Analytic accuracy predictors for the implementation methods.
+ *
+ * Section 2.2.2 of the paper derives how table error behaves: for a
+ * round-to-nearest fuzzy LUT the error follows the spacing and the
+ * function's first derivative; with interpolation it follows the
+ * spacing squared and the second derivative; CORDIC converges roughly
+ * one bit per iteration. These closed forms predict a configuration's
+ * RMSE *before building it*:
+ *
+ *   non-interp:  RMSE ~ (s / sqrt(12)) * rms(f')      (s = spacing)
+ *   interp:      RMSE ~ (s^2 / sqrt(120)) * rms(f'')
+ *   CORDIC:      RMSE ~ 2^-(iterations)  (angle error propagated)
+ *
+ * all floored at the binary32 output grid. The predictors are verified
+ * against measured RMSE across the sweep in tests/error_model_test.cc
+ * (within a small constant factor - they are scaling laws, not exact),
+ * and serve as a fast pre-filter for the auto-tuner's knob search.
+ */
+
+#ifndef TPL_TRANSPIM_ERROR_MODEL_H
+#define TPL_TRANSPIM_ERROR_MODEL_H
+
+#include "transpim/evaluator.h"
+#include "transpim/fuzzy_lut.h"
+
+namespace tpl {
+namespace transpim {
+
+/** RMS of a function's k-th derivative over [lo, hi] (sampled). */
+double rmsDerivative(const TableFn& f, double lo, double hi, int order,
+                     int samples = 2048);
+
+/**
+ * Predicted RMSE of evaluating @p fn with @p spec over the function's
+ * native table interval. Conservative scaling law; the binary32
+ * output floor (~1e-8) is applied.
+ */
+double predictRmse(Function fn, const MethodSpec& spec);
+
+/**
+ * Smallest LUT entry budget (log2) predicted to achieve
+ * @p targetRmse for @p fn with an interpolated L-LUT, or -1 when the
+ * target sits below the binary32 floor.
+ */
+int predictLog2Entries(Function fn, double targetRmse);
+
+} // namespace transpim
+} // namespace tpl
+
+#endif // TPL_TRANSPIM_ERROR_MODEL_H

@@ -1,0 +1,1385 @@
+/**
+ * @file
+ * FunctionEvaluator construction: the (function x method) dispatch.
+ *
+ * Each builder assembles the kernel-side pipeline the paper describes
+ * for that combination - range reduction/extension where the function
+ * needs it, the core method over its native interval, and the output
+ * fixups (quadrant signs, ldexp rescaling, identities).
+ */
+
+#include "transpim/evaluator.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/bitops.h"
+#include "softfloat/softfloat.h"
+#include "transpim/cordic.h"
+#include "transpim/cordic_lut.h"
+#include "transpim/direct_lut.h"
+#include "transpim/fuzzy_lut.h"
+#include "transpim/ldexp.h"
+#include "transpim/poly.h"
+#include "transpim/range.h"
+
+namespace tpl {
+namespace transpim {
+
+namespace {
+
+constexpr double dTwoPi = 6.28318530717958647692;
+constexpr double dLn2 = 0.69314718055994530942;
+constexpr float fLn2 = 0.69314718055994530942f;
+constexpr float fInvSqrt2Pi = 0.39894228040143267794f;
+
+using Eval = std::function<float(float, InstrSink*)>;
+using Attach = std::function<void(sim::DpuCore&)>;
+
+/** Builder result before it is wrapped into a FunctionEvaluator. */
+struct Built
+{
+    Eval eval;
+    Attach attach;
+    uint32_t memoryBytes = 0;
+};
+
+TableFn
+refFn(Function f)
+{
+    return [f](double x) { return referenceValue(f, x); };
+}
+
+/** Negate with one sign-flip instruction. */
+float
+negate(float v, InstrSink* sink)
+{
+    return sf::neg(v, sink);
+}
+
+/** Quadrant output selection for sine. */
+float
+selectSin(const CordicEngine::Result& r, int q, InstrSink* sink)
+{
+    chargeInstr(sink, 2);
+    switch (q & 3) {
+      case 0: return r.y;
+      case 1: return r.x;
+      case 2: return negate(r.y, sink);
+      default: return negate(r.x, sink);
+    }
+}
+
+/** Quadrant output selection for cosine. */
+float
+selectCos(const CordicEngine::Result& r, int q, InstrSink* sink)
+{
+    chargeInstr(sink, 2);
+    switch (q & 3) {
+      case 0: return r.x;
+      case 1: return negate(r.y, sink);
+      case 2: return negate(r.x, sink);
+      default: return r.y;
+    }
+}
+
+// ---------------------------------------------------------------------
+// LUT-family builders (M-LUT, L-LUT, fixed L-LUT, D-LUT, DL-LUT)
+// ---------------------------------------------------------------------
+
+/** Uniform handle over the five table types. */
+struct AnyLut
+{
+    std::shared_ptr<MLut> m;
+    std::shared_ptr<LLut> l;
+    std::shared_ptr<LLutFixed> lf;
+    std::shared_ptr<DLut> d;
+    std::shared_ptr<DlLut> dl;
+
+    float
+    eval(float x, InstrSink* sink) const
+    {
+        if (m) return m->eval(x, sink);
+        if (l) return l->eval(x, sink);
+        if (lf) return lf->eval(x, sink);
+        if (d) return d->eval(x, sink);
+        return dl->eval(x, sink);
+    }
+
+    uint32_t
+    bytes() const
+    {
+        if (m) return m->memoryBytes();
+        if (l) return l->memoryBytes();
+        if (lf) return lf->memoryBytes();
+        if (d) return d->memoryBytes();
+        return dl->memoryBytes();
+    }
+
+    void
+    attach(sim::DpuCore& core) const
+    {
+        if (m) m->attach(core);
+        if (l) l->attach(core);
+        if (lf) lf->attach(core);
+        if (d) d->attach(core);
+        if (dl) dl->attach(core);
+    }
+};
+
+/**
+ * Build the configured table type for @p f over [lo, hi] (fuzzy LUTs)
+ * or @p dspec (direct LUTs).
+ */
+AnyLut
+makeLut(const MethodSpec& spec, const TableFn& f, double lo, double hi,
+        const DLutSpec& dspec)
+{
+    AnyLut lut;
+    uint32_t n = 1u << spec.log2Entries;
+    switch (spec.method) {
+      case Method::MLut:
+        lut.m = std::make_shared<MLut>(f, lo, hi, n, spec.interpolated,
+                                       spec.placement);
+        break;
+      case Method::LLut:
+        lut.l = std::make_shared<LLut>(f, lo, hi, n, spec.interpolated,
+                                       spec.placement);
+        break;
+      case Method::LLutFixed:
+        lut.lf = std::make_shared<LLutFixed>(f, lo, hi, n,
+                                             spec.interpolated,
+                                             spec.placement);
+        break;
+      case Method::DLut:
+        lut.d = std::make_shared<DLut>(f, dspec, spec.interpolated,
+                                       spec.placement);
+        break;
+      case Method::DlLut:
+        lut.dl = std::make_shared<DlLut>(f, dspec, n, spec.interpolated,
+                                         spec.placement);
+        break;
+      default:
+        throw std::logic_error("makeLut: not a LUT method");
+    }
+    return lut;
+}
+
+/** D-LUT coverage for each function's direct table. */
+DLutSpec
+dlutSpecFor(Function f, const MethodSpec& spec)
+{
+    DLutSpec d;
+    d.mantBits = spec.dlutMantBits;
+    d.minExp = spec.dlutMinExp;
+    switch (f) {
+      case Function::Sin:
+      case Function::Cos:
+      case Function::Tan:
+        d.signedRange = false;
+        d.maxExp = 2; // covers up to 8 > 2*pi
+        break;
+      case Function::Sinh:
+      case Function::Cosh:
+        d.signedRange = true;
+        d.maxExp = 2; // +-[0, 8)
+        break;
+      case Function::Tanh:
+      case Function::Gelu:
+        d.signedRange = true;
+        d.maxExp = 3; // +-[0, 16); tanh/gelu saturate beyond
+        break;
+      case Function::Sigmoid:
+        d.signedRange = true;
+        d.maxExp = 4; // +-[0, 32)
+        break;
+      case Function::Cndf:
+        d.signedRange = true;
+        d.maxExp = 2; // +-[0, 8)
+        break;
+      case Function::Exp:
+      case Function::Exp2:
+        d.signedRange = true;
+        d.maxExp = 3; // +-[0, 16)
+        break;
+      case Function::Log:
+      case Function::Log2:
+      case Function::Log10:
+        d.signedRange = false;
+        d.maxExp = 6; // (0, 128)
+        break;
+      case Function::Sqrt:
+      case Function::Rsqrt:
+        d.signedRange = false;
+        d.maxExp = 6; // (0, 128)
+        break;
+      case Function::Atan:
+      case Function::Silu:
+        d.signedRange = true;
+        d.maxExp = 3; // +-[0, 16)
+        break;
+      case Function::Asin:
+      case Function::Acos:
+      case Function::Atanh:
+        d.signedRange = true;
+        d.maxExp = -1; // +-[0, 1)
+        break;
+      case Function::Erf:
+        d.signedRange = true;
+        d.maxExp = 2; // +-[0, 8)
+        break;
+      case Function::Softplus:
+        d.signedRange = true;
+        d.maxExp = 3; // +-[0, 16)
+        break;
+    }
+    return d;
+}
+
+/** True when the method family uses a direct (no-extension) table. */
+bool
+isDirectLut(Method m)
+{
+    return m == Method::DLut || m == Method::DlLut;
+}
+
+Built
+buildTableMethod(Function f, const MethodSpec& spec)
+{
+    Built out;
+    DLutSpec dspec = dlutSpecFor(f, spec);
+    Domain dom = functionDomain(f);
+
+    switch (f) {
+      case Function::Sin:
+      case Function::Cos: {
+        auto lut = std::make_shared<AnyLut>(
+            makeLut(spec, refFn(f), 0.0, dTwoPi, dspec));
+        bool reduce = spec.reduceRange;
+        out.eval = [lut, reduce](float x, InstrSink* sink) {
+            if (reduce)
+                x = reduceTwoPi(x, sink);
+            return lut->eval(x, sink);
+        };
+        out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
+        out.memoryBytes = lut->bytes();
+        return out;
+      }
+      case Function::Tan: {
+        if (spec.shareTrigTables && !isDirectLut(spec.method)) {
+            // One sine table over [0, 2pi + pi/2]; the cosine query
+            // reuses it shifted by a quarter period.
+            const double dHalfPi = 1.5707963267948966;
+            auto lut = std::make_shared<AnyLut>(
+                makeLut(spec, refFn(Function::Sin), 0.0,
+                        dTwoPi + dHalfPi, dspec));
+            bool reduce = spec.reduceRange;
+            const float fHalfPi = 1.57079632679489661923f;
+            out.eval = [lut, reduce, fHalfPi](float x,
+                                              InstrSink* sink) {
+                if (reduce)
+                    x = reduceTwoPi(x, sink);
+                float s = lut->eval(x, sink);
+                float c = lut->eval(sf::add(x, fHalfPi, sink), sink);
+                return sf::div(s, c, sink);
+            };
+            out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
+            out.memoryBytes = lut->bytes();
+            return out;
+        }
+        // tan = sin/cos: two tables plus one float division, the
+        // 2-3x cost the paper reports for tangent (Section 4.2.4).
+        auto sinL = std::make_shared<AnyLut>(makeLut(
+            spec, refFn(Function::Sin), 0.0, dTwoPi, dspec));
+        auto cosL = std::make_shared<AnyLut>(makeLut(
+            spec, refFn(Function::Cos), 0.0, dTwoPi, dspec));
+        bool reduce = spec.reduceRange;
+        out.eval = [sinL, cosL, reduce](float x, InstrSink* sink) {
+            if (reduce)
+                x = reduceTwoPi(x, sink);
+            float s = sinL->eval(x, sink);
+            float c = cosL->eval(x, sink);
+            return sf::div(s, c, sink);
+        };
+        out.attach = [sinL, cosL](sim::DpuCore& c) {
+            sinL->attach(c);
+            cosL->attach(c);
+        };
+        out.memoryBytes = sinL->bytes() + cosL->bytes();
+        return out;
+      }
+      case Function::Sinh:
+      case Function::Cosh:
+      case Function::Tanh:
+      case Function::Gelu:
+      case Function::Sigmoid:
+      case Function::Cndf:
+      case Function::Atan:
+      case Function::Asin:
+      case Function::Acos:
+      case Function::Atanh:
+      case Function::Erf:
+      case Function::Silu:
+      case Function::Softplus: {
+        // Direct tables over the evaluation domain; these functions
+        // need no range extension (Key Takeaway 4 territory).
+        auto lut = std::make_shared<AnyLut>(
+            makeLut(spec, refFn(f), dom.lo, dom.hi, dspec));
+        out.eval = [lut](float x, InstrSink* sink) {
+            return lut->eval(x, sink);
+        };
+        out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
+        out.memoryBytes = lut->bytes();
+        return out;
+      }
+      case Function::Exp: {
+        if (isDirectLut(spec.method)) {
+            auto lut = std::make_shared<AnyLut>(
+                makeLut(spec, refFn(f), dom.lo, dom.hi, dspec));
+            out.eval = [lut](float x, InstrSink* sink) {
+                return lut->eval(x, sink);
+            };
+            out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
+            out.memoryBytes = lut->bytes();
+            return out;
+        }
+        // Range extension: e^x = 2^k * e^r, r in [0, ln2).
+        auto lut = std::make_shared<AnyLut>(
+            makeLut(spec, refFn(f), 0.0, dLn2, dspec));
+        out.eval = [lut](float x, InstrSink* sink) {
+            ExpSplit s = splitExp(x, sink);
+            float y = lut->eval(s.r, sink);
+            return pimLdexp(y, s.k, sink);
+        };
+        out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
+        out.memoryBytes = lut->bytes();
+        return out;
+      }
+      case Function::Log: {
+        if (isDirectLut(spec.method)) {
+            auto lut = std::make_shared<AnyLut>(
+                makeLut(spec, refFn(f), dom.lo, dom.hi, dspec));
+            out.eval = [lut](float x, InstrSink* sink) {
+                return lut->eval(x, sink);
+            };
+            out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
+            out.memoryBytes = lut->bytes();
+            return out;
+        }
+        // log x = k*ln2 + log m, m in [1, 2).
+        auto lut = std::make_shared<AnyLut>(
+            makeLut(spec, refFn(f), 1.0, 2.0, dspec));
+        out.eval = [lut](float x, InstrSink* sink) {
+            LogSplit s = splitLog(x, sink);
+            float y = lut->eval(s.m, sink);
+            float kf = sf::fromI32(s.k, sink);
+            return sf::add(y, sf::mul(kf, fLn2, sink), sink);
+        };
+        out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
+        out.memoryBytes = lut->bytes();
+        return out;
+      }
+      case Function::Sqrt: {
+        if (isDirectLut(spec.method)) {
+            auto lut = std::make_shared<AnyLut>(
+                makeLut(spec, refFn(f), dom.lo, dom.hi, dspec));
+            out.eval = [lut](float x, InstrSink* sink) {
+                return lut->eval(x, sink);
+            };
+            out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
+            out.memoryBytes = lut->bytes();
+            return out;
+        }
+        // sqrt x = 2^k * sqrt m, m in [0.5, 2).
+        auto lut = std::make_shared<AnyLut>(
+            makeLut(spec, refFn(f), 0.5, 2.0, dspec));
+        out.eval = [lut](float x, InstrSink* sink) {
+            chargeInstr(sink, 2); // zero guard
+            if (floatBits(x) == 0 || floatBits(x) == 0x80000000u)
+                return 0.0f;
+            SqrtSplit s = splitSqrt(x, sink);
+            float y = lut->eval(s.m, sink);
+            return pimLdexp(y, s.k, sink);
+        };
+        out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
+        out.memoryBytes = lut->bytes();
+        return out;
+      }
+      case Function::Log2:
+      case Function::Log10: {
+        if (isDirectLut(spec.method)) {
+            auto lut = std::make_shared<AnyLut>(
+                makeLut(spec, refFn(f), dom.lo, dom.hi, dspec));
+            out.eval = [lut](float x, InstrSink* sink) {
+                return lut->eval(x, sink);
+            };
+            out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
+            out.memoryBytes = lut->bytes();
+            return out;
+        }
+        // log2 x = k + log2 m: the exponent contributes *exactly*, so
+        // this is even cheaper than natural log (no k*ln2 multiply).
+        auto lut = std::make_shared<AnyLut>(makeLut(
+            spec, [](double m) { return std::log2(m); }, 1.0, 2.0,
+            dspec));
+        bool base10 = f == Function::Log10;
+        const float log10of2 = 0.30102999566398119521f;
+        out.eval = [lut, base10, log10of2](float x, InstrSink* sink) {
+            LogSplit s = splitLog(x, sink);
+            float y = lut->eval(s.m, sink);
+            float kf = sf::fromI32(s.k, sink);
+            float l2 = sf::add(y, kf, sink);
+            if (base10)
+                l2 = sf::mul(l2, log10of2, sink);
+            return l2;
+        };
+        out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
+        out.memoryBytes = lut->bytes();
+        return out;
+      }
+      case Function::Exp2: {
+        if (isDirectLut(spec.method)) {
+            auto lut = std::make_shared<AnyLut>(
+                makeLut(spec, refFn(f), dom.lo, dom.hi, dspec));
+            out.eval = [lut](float x, InstrSink* sink) {
+                return lut->eval(x, sink);
+            };
+            out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
+            out.memoryBytes = lut->bytes();
+            return out;
+        }
+        // 2^x = 2^k * 2^r with k = floor(x): no ln2 multiplies at all,
+        // the cheapest range extension in the library.
+        auto lut = std::make_shared<AnyLut>(makeLut(
+            spec, [](double r) { return std::exp2(r); }, 0.0, 1.0,
+            dspec));
+        out.eval = [lut](float x, InstrSink* sink) {
+            int32_t k = sf::toI32Floor(x, sink);
+            float kf = sf::fromI32(k, sink);
+            float r = sf::sub(x, kf, sink);
+            float y = lut->eval(r, sink);
+            return pimLdexp(y, k, sink);
+        };
+        out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
+        out.memoryBytes = lut->bytes();
+        return out;
+      }
+      case Function::Rsqrt: {
+        if (isDirectLut(spec.method)) {
+            auto lut = std::make_shared<AnyLut>(
+                makeLut(spec, refFn(f), dom.lo, dom.hi, dspec));
+            out.eval = [lut](float x, InstrSink* sink) {
+                return lut->eval(x, sink);
+            };
+            out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
+            out.memoryBytes = lut->bytes();
+            return out;
+        }
+        // 1/sqrt(m * 4^k) = 2^-k / sqrt(m), m in [0.5, 2).
+        auto lut = std::make_shared<AnyLut>(makeLut(
+            spec, [](double m) { return 1.0 / std::sqrt(m); }, 0.5,
+            2.0, dspec));
+        out.eval = [lut](float x, InstrSink* sink) {
+            SqrtSplit s = splitSqrt(x, sink);
+            float y = lut->eval(s.m, sink);
+            return pimLdexp(y, -s.k, sink);
+        };
+        out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
+        out.memoryBytes = lut->bytes();
+        return out;
+      }
+    }
+    throw std::logic_error("buildTableMethod: unhandled function");
+}
+
+// ---------------------------------------------------------------------
+// CORDIC builders
+// ---------------------------------------------------------------------
+
+/** e^x via split + hyperbolic rotation + ldexp. */
+float
+cordicExp(const CordicEngine& engine, float x, InstrSink* sink)
+{
+    ExpSplit s = splitExp(x, sink);
+    CordicEngine::Result r = engine.rotate(s.r, sink);
+    float e = sf::add(r.x, r.y, sink); // cosh + sinh
+    return pimLdexp(e, s.k, sink);
+}
+
+/** |x| <= 1 test: one bit-mask compare. */
+bool
+magnitudeBelowOne(float x, InstrSink* sink)
+{
+    chargeInstr(sink, 3);
+    return (floatBits(x) & 0x7fffffffu) < floatBits(1.0f);
+}
+
+Built
+buildCordic(Function f, const MethodSpec& spec)
+{
+    Built out;
+    bool reduce = spec.reduceRange;
+
+    switch (f) {
+      case Function::Sin:
+      case Function::Cos:
+      case Function::Tan: {
+        auto eng = std::make_shared<CordicEngine>(
+            CordicMode::Circular, spec.iterations, spec.placement);
+        out.eval = [eng, f, reduce](float x, InstrSink* sink) {
+            if (reduce)
+                x = reduceTwoPi(x, sink);
+            QuadrantReduced qr = reduceQuadrant(x, sink);
+            CordicEngine::Result r = eng->rotate(qr.r, sink);
+            if (f == Function::Sin)
+                return selectSin(r, qr.q, sink);
+            if (f == Function::Cos)
+                return selectCos(r, qr.q, sink);
+            float s = selectSin(r, qr.q, sink);
+            float c = selectCos(r, qr.q, sink);
+            return sf::div(s, c, sink);
+        };
+        out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
+        out.memoryBytes = eng->memoryBytes();
+        return out;
+      }
+      case Function::Sinh:
+      case Function::Cosh: {
+        auto eng = std::make_shared<CordicEngine>(
+            CordicMode::Hyperbolic, spec.iterations, spec.placement);
+        out.eval = [eng, f](float x, InstrSink* sink) {
+            if (magnitudeBelowOne(x, sink)) {
+                CordicEngine::Result r = eng->rotate(x, sink);
+                return f == Function::Sinh ? r.y : r.x;
+            }
+            // Outside the convergence range: exp identities.
+            float e = cordicExp(*eng, x, sink);
+            float ei = sf::div(1.0f, e, sink);
+            float t = f == Function::Sinh ? sf::sub(e, ei, sink)
+                                          : sf::add(e, ei, sink);
+            return pimLdexp(t, -1, sink);
+        };
+        out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
+        out.memoryBytes = eng->memoryBytes();
+        return out;
+      }
+      case Function::Tanh: {
+        auto eng = std::make_shared<CordicEngine>(
+            CordicMode::Hyperbolic, spec.iterations, spec.placement);
+        out.eval = [eng](float x, InstrSink* sink) {
+            if (magnitudeBelowOne(x, sink)) {
+                CordicEngine::Result r = eng->rotate(x, sink);
+                return sf::div(r.y, r.x, sink);
+            }
+            // tanh x = 1 - 2 / (e^(2x) + 1).
+            float e2 = cordicExp(*eng, pimLdexp(x, 1, sink), sink);
+            float d = sf::add(e2, 1.0f, sink);
+            float t = sf::div(2.0f, d, sink);
+            return sf::sub(1.0f, t, sink);
+        };
+        out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
+        out.memoryBytes = eng->memoryBytes();
+        return out;
+      }
+      case Function::Exp: {
+        auto eng = std::make_shared<CordicEngine>(
+            CordicMode::Hyperbolic, spec.iterations, spec.placement);
+        out.eval = [eng](float x, InstrSink* sink) {
+            return cordicExp(*eng, x, sink);
+        };
+        out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
+        out.memoryBytes = eng->memoryBytes();
+        return out;
+      }
+      case Function::Log: {
+        auto eng = std::make_shared<CordicEngine>(
+            CordicMode::Hyperbolic, spec.iterations, spec.placement);
+        out.eval = [eng](float x, InstrSink* sink) {
+            // log x = k*ln2 + 2*atanh((m-1)/(m+1)).
+            LogSplit s = splitLog(x, sink);
+            float x0 = sf::add(s.m, 1.0f, sink);
+            float y0 = sf::sub(s.m, 1.0f, sink);
+            CordicEngine::Result r = eng->vector(x0, y0, sink);
+            float lm = pimLdexp(r.z, 1, sink);
+            float kf = sf::fromI32(s.k, sink);
+            return sf::add(lm, sf::mul(kf, fLn2, sink), sink);
+        };
+        out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
+        out.memoryBytes = eng->memoryBytes();
+        return out;
+      }
+      case Function::Sqrt: {
+        auto eng = std::make_shared<CordicEngine>(
+            CordicMode::Hyperbolic, spec.iterations, spec.placement);
+        float invGain = eng->invGain();
+        out.eval = [eng, invGain](float x, InstrSink* sink) {
+            chargeInstr(sink, 2); // zero guard
+            if (floatBits(x) == 0 || floatBits(x) == 0x80000000u)
+                return 0.0f;
+            // sqrt x = 2^k * gain^-1 * x_n with (x_n, _) from
+            // vectoring (m + 1/4, m - 1/4).
+            SqrtSplit s = splitSqrt(x, sink);
+            float x0 = sf::add(s.m, 0.25f, sink);
+            float y0 = sf::sub(s.m, 0.25f, sink);
+            CordicEngine::Result r = eng->vector(x0, y0, sink);
+            float v = sf::mul(r.x, invGain, sink);
+            return pimLdexp(v, s.k, sink);
+        };
+        out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
+        out.memoryBytes = eng->memoryBytes();
+        return out;
+      }
+      case Function::Sigmoid:
+      case Function::Silu: {
+        auto eng = std::make_shared<CordicEngine>(
+            CordicMode::Hyperbolic, spec.iterations, spec.placement);
+        bool silu = f == Function::Silu;
+        out.eval = [eng, silu](float x, InstrSink* sink) {
+            float e = cordicExp(*eng, sf::neg(x, sink), sink);
+            float s = sf::div(1.0f, sf::add(1.0f, e, sink), sink);
+            if (silu)
+                s = sf::mul(x, s, sink);
+            return s;
+        };
+        out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
+        out.memoryBytes = eng->memoryBytes();
+        return out;
+      }
+      case Function::Atan: {
+        // Circular vectoring: z accumulates atan(y0/x0).
+        auto eng = std::make_shared<CordicEngine>(
+            CordicMode::Circular, spec.iterations, spec.placement);
+        out.eval = [eng](float x, InstrSink* sink) {
+            CordicEngine::Result r = eng->vector(1.0f, x, sink);
+            return r.z;
+        };
+        out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
+        out.memoryBytes = eng->memoryBytes();
+        return out;
+      }
+      case Function::Atanh: {
+        auto eng = std::make_shared<CordicEngine>(
+            CordicMode::Hyperbolic, spec.iterations, spec.placement);
+        out.eval = [eng](float x, InstrSink* sink) {
+            // Direct vectoring converges for |x| <= tanh(1.118); use
+            // atanh x = ln((1+x)/(1-x))/2 via the log path beyond.
+            chargeInstr(sink, 3);
+            if ((floatBits(x) & 0x7fffffffu) < floatBits(0.75f)) {
+                CordicEngine::Result r = eng->vector(1.0f, x, sink);
+                return r.z;
+            }
+            float u = sf::div(sf::add(1.0f, x, sink),
+                              sf::sub(1.0f, x, sink), sink);
+            LogSplit s = splitLog(u, sink);
+            float x0 = sf::add(s.m, 1.0f, sink);
+            float y0 = sf::sub(s.m, 1.0f, sink);
+            CordicEngine::Result r = eng->vector(x0, y0, sink);
+            float lm = pimLdexp(r.z, 1, sink);
+            float kf = sf::fromI32(s.k, sink);
+            float ln = sf::add(lm, sf::mul(kf, fLn2, sink), sink);
+            return pimLdexp(ln, -1, sink);
+        };
+        out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
+        out.memoryBytes = eng->memoryBytes();
+        return out;
+      }
+      case Function::Log2:
+      case Function::Log10: {
+        auto eng = std::make_shared<CordicEngine>(
+            CordicMode::Hyperbolic, spec.iterations, spec.placement);
+        bool base10 = f == Function::Log10;
+        const float log2e = 1.44269504088896340736f;
+        const float log10of2 = 0.30102999566398119521f;
+        out.eval = [eng, base10, log2e, log10of2](float x,
+                                                  InstrSink* sink) {
+            LogSplit s = splitLog(x, sink);
+            float x0 = sf::add(s.m, 1.0f, sink);
+            float y0 = sf::sub(s.m, 1.0f, sink);
+            CordicEngine::Result r = eng->vector(x0, y0, sink);
+            float lnm = pimLdexp(r.z, 1, sink);
+            float l2m = sf::mul(lnm, log2e, sink);
+            float kf = sf::fromI32(s.k, sink);
+            float l2 = sf::add(l2m, kf, sink);
+            if (base10)
+                l2 = sf::mul(l2, log10of2, sink);
+            return l2;
+        };
+        out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
+        out.memoryBytes = eng->memoryBytes();
+        return out;
+      }
+      case Function::Exp2: {
+        auto eng = std::make_shared<CordicEngine>(
+            CordicMode::Hyperbolic, spec.iterations, spec.placement);
+        out.eval = [eng](float x, InstrSink* sink) {
+            // 2^x = 2^k * e^(r*ln2), r = x - floor(x) in [0, 1).
+            int32_t k = sf::toI32Floor(x, sink);
+            float kf = sf::fromI32(k, sink);
+            float r = sf::sub(x, kf, sink);
+            float rl = sf::mul(r, fLn2, sink);
+            CordicEngine::Result rot = eng->rotate(rl, sink);
+            float e = sf::add(rot.x, rot.y, sink);
+            return pimLdexp(e, k, sink);
+        };
+        out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
+        out.memoryBytes = eng->memoryBytes();
+        return out;
+      }
+      case Function::Rsqrt: {
+        auto eng = std::make_shared<CordicEngine>(
+            CordicMode::Hyperbolic, spec.iterations, spec.placement);
+        float invGain = eng->invGain();
+        out.eval = [eng, invGain](float x, InstrSink* sink) {
+            SqrtSplit s = splitSqrt(x, sink);
+            float x0 = sf::add(s.m, 0.25f, sink);
+            float y0 = sf::sub(s.m, 0.25f, sink);
+            CordicEngine::Result r = eng->vector(x0, y0, sink);
+            float sq = sf::mul(r.x, invGain, sink);
+            float inv = sf::div(1.0f, sq, sink);
+            return pimLdexp(inv, -s.k, sink);
+        };
+        out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
+        out.memoryBytes = eng->memoryBytes();
+        return out;
+      }
+      case Function::Softplus: {
+        auto eng = std::make_shared<CordicEngine>(
+            CordicMode::Hyperbolic, spec.iterations, spec.placement);
+        out.eval = [eng](float x, InstrSink* sink) {
+            // ln(1 + e^x): exp path, then log path on the same engine.
+            float e = cordicExp(*eng, x, sink);
+            float u = sf::add(1.0f, e, sink);
+            LogSplit s = splitLog(u, sink);
+            float x0 = sf::add(s.m, 1.0f, sink);
+            float y0 = sf::sub(s.m, 1.0f, sink);
+            CordicEngine::Result r = eng->vector(x0, y0, sink);
+            float lm = pimLdexp(r.z, 1, sink);
+            float kf = sf::fromI32(s.k, sink);
+            return sf::add(lm, sf::mul(kf, fLn2, sink), sink);
+        };
+        out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
+        out.memoryBytes = eng->memoryBytes();
+        return out;
+      }
+      default:
+        break;
+    }
+    throw std::logic_error("buildCordic: unhandled function");
+}
+
+Built
+buildCordicFixed(Function f, const MethodSpec& spec)
+{
+    // Trigonometric ablation: the full fixed-point pipeline of the
+    // paper's Figure 3(a), with native integer iterations.
+    Built out;
+    auto eng = std::make_shared<CordicFixedEngine>(
+        CordicMode::Circular, spec.iterations, spec.placement);
+    bool reduce = spec.reduceRange;
+    out.eval = [eng, f, reduce](float x, InstrSink* sink) {
+        if (reduce)
+            x = reduceTwoPi(x, sink);
+        Fixed v = sf::toFixed(x, sink);
+        v = reduceTwoPiFixed(v, sink);
+        // Quadrant reduction by conditional subtraction.
+        chargeInstr(sink, 4);
+        int q = 0;
+        int32_t raw = v.raw();
+        if (raw >= fixedPi().raw()) {
+            raw -= fixedPi().raw();
+            q += 2;
+        }
+        if (raw >= fixedHalfPi().raw()) {
+            raw -= fixedHalfPi().raw();
+            q += 1;
+        }
+        CordicFixedEngine::Result r =
+            eng->rotate(Fixed::fromRaw(raw), sink);
+        chargeInstr(sink, 3); // quadrant select + conditional negate
+        Fixed sinV, cosV;
+        switch (q) {
+          case 0: sinV = r.y; cosV = r.x; break;
+          case 1: sinV = r.x; cosV = -r.y; break;
+          case 2: sinV = -r.y; cosV = -r.x; break;
+          default: sinV = -r.x; cosV = r.y; break;
+        }
+        if (f == Function::Sin)
+            return sf::fromFixed(sinV, sink);
+        if (f == Function::Cos)
+            return sf::fromFixed(cosV, sink);
+        float s = sf::fromFixed(sinV, sink);
+        float c = sf::fromFixed(cosV, sink);
+        return sf::div(s, c, sink);
+    };
+    out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
+    out.memoryBytes = eng->memoryBytes();
+    return out;
+}
+
+Built
+buildCordicLut(Function f, const MethodSpec& spec)
+{
+    Built out;
+    switch (f) {
+      case Function::Sin:
+      case Function::Cos:
+      case Function::Tan: {
+        auto eng = std::make_shared<CordicLutEngine>(
+            CordicMode::Circular, spec.iterations, spec.gridBits, 0.0,
+            1.5707963267948966, spec.placement);
+        bool reduce = spec.reduceRange;
+        out.eval = [eng, f, reduce](float x, InstrSink* sink) {
+            if (reduce)
+                x = reduceTwoPi(x, sink);
+            QuadrantReduced qr = reduceQuadrant(x, sink);
+            CordicEngine::Result r = eng->rotate(qr.r, sink);
+            if (f == Function::Sin)
+                return selectSin(r, qr.q, sink);
+            if (f == Function::Cos)
+                return selectCos(r, qr.q, sink);
+            float s = selectSin(r, qr.q, sink);
+            float c = selectCos(r, qr.q, sink);
+            return sf::div(s, c, sink);
+        };
+        out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
+        out.memoryBytes = eng->memoryBytes();
+        return out;
+      }
+      case Function::Exp:
+      case Function::Exp2:
+      case Function::Sinh:
+      case Function::Cosh:
+      case Function::Tanh:
+      case Function::Sigmoid:
+      case Function::Silu: {
+        // One hyperbolic engine covering [-1.12, 1.12] serves both the
+        // direct rotations and the e^r (r in [0, ln2)) extension path.
+        auto eng = std::make_shared<CordicLutEngine>(
+            CordicMode::Hyperbolic, spec.iterations, spec.gridBits,
+            -1.12, 1.12, spec.placement);
+        auto expEval = [eng](float x, InstrSink* sink) {
+            ExpSplit s = splitExp(x, sink);
+            CordicEngine::Result r = eng->rotate(s.r, sink);
+            float e = sf::add(r.x, r.y, sink);
+            return pimLdexp(e, s.k, sink);
+        };
+        switch (f) {
+          case Function::Exp:
+            out.eval = expEval;
+            break;
+          case Function::Exp2:
+            out.eval = [eng](float x, InstrSink* sink) {
+                const float ln2 = 0.69314718055994530942f;
+                int32_t k = sf::toI32Floor(x, sink);
+                float kf = sf::fromI32(k, sink);
+                float r = sf::sub(x, kf, sink);
+                float rl = sf::mul(r, ln2, sink);
+                CordicEngine::Result rot = eng->rotate(rl, sink);
+                float e = sf::add(rot.x, rot.y, sink);
+                return pimLdexp(e, k, sink);
+            };
+            break;
+          case Function::Silu:
+            out.eval = [expEval](float x, InstrSink* sink) {
+                float e = expEval(sf::neg(x, sink), sink);
+                float s =
+                    sf::div(1.0f, sf::add(1.0f, e, sink), sink);
+                return sf::mul(x, s, sink);
+            };
+            break;
+          case Function::Sinh:
+          case Function::Cosh:
+            out.eval = [eng, expEval, f](float x, InstrSink* sink) {
+                if (magnitudeBelowOne(x, sink)) {
+                    CordicEngine::Result r = eng->rotate(x, sink);
+                    return f == Function::Sinh ? r.y : r.x;
+                }
+                float e = expEval(x, sink);
+                float ei = sf::div(1.0f, e, sink);
+                float t = f == Function::Sinh ? sf::sub(e, ei, sink)
+                                              : sf::add(e, ei, sink);
+                return pimLdexp(t, -1, sink);
+            };
+            break;
+          case Function::Tanh:
+            out.eval = [eng, expEval](float x, InstrSink* sink) {
+                if (magnitudeBelowOne(x, sink)) {
+                    CordicEngine::Result r = eng->rotate(x, sink);
+                    return sf::div(r.y, r.x, sink);
+                }
+                float e2 = expEval(pimLdexp(x, 1, sink), sink);
+                float d = sf::add(e2, 1.0f, sink);
+                return sf::sub(1.0f, sf::div(2.0f, d, sink), sink);
+            };
+            break;
+          default: // Sigmoid
+            out.eval = [expEval](float x, InstrSink* sink) {
+                float e = expEval(sf::neg(x, sink), sink);
+                return sf::div(1.0f, sf::add(1.0f, e, sink), sink);
+            };
+            break;
+        }
+        out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
+        out.memoryBytes = eng->memoryBytes();
+        return out;
+      }
+      default:
+        break;
+    }
+    throw std::logic_error("buildCordicLut: unhandled function");
+}
+
+// ---------------------------------------------------------------------
+// Polynomial baseline builders
+// ---------------------------------------------------------------------
+
+Built
+buildPoly(Function f, const MethodSpec& spec)
+{
+    Built out;
+    out.attach = [](sim::DpuCore&) {}; // coefficients are immediates
+    uint32_t deg = spec.polyDegree;
+    bool reduce = spec.reduceRange;
+
+    auto expPoly = std::make_shared<Polynomial>(expTaylor(deg));
+    auto expEval = [expPoly](float x, InstrSink* sink) {
+        ExpSplit s = splitExp(x, sink);
+        float y = expPoly->eval(s.r, sink);
+        return pimLdexp(y, s.k, sink);
+    };
+
+    // Reusable sub-evaluators for the compositional functions.
+    auto logPoly = std::make_shared<Polynomial>(log1pTaylor(deg));
+    auto logEval = [logPoly](float x, InstrSink* sink) {
+        LogSplit s = splitLog(x, sink);
+        chargeInstr(sink, 3);
+        float m = s.m;
+        int k = s.k;
+        if (sf::le(4.0f / 3.0f, m, sink)) {
+            m = pimLdexp(m, -1, sink);
+            k += 1;
+        }
+        float u = sf::sub(m, 1.0f, sink);
+        float y = logPoly->eval(u, sink);
+        float kf = sf::fromI32(k, sink);
+        return sf::add(y, sf::mul(kf, fLn2, sink), sink);
+    };
+    auto sqrtPoly = std::make_shared<Polynomial>(sqrt1pSeries(deg));
+    auto sqrtEval = [sqrtPoly](float x, InstrSink* sink) {
+        chargeInstr(sink, 2);
+        if (floatBits(x) == 0 || floatBits(x) == 0x80000000u)
+            return 0.0f;
+        SqrtSplit s = splitSqrt(x, sink);
+        chargeInstr(sink, 3);
+        float m = s.m;
+        bool scaled = false;
+        if (sf::le(4.0f / 3.0f, m, sink)) {
+            m = pimLdexp(m, -1, sink);
+            scaled = true;
+        }
+        float u = sf::sub(m, 1.0f, sink);
+        float y = sqrtPoly->eval(u, sink);
+        if (scaled)
+            y = sf::mul(y, 1.41421356237309504880f, sink);
+        return pimLdexp(y, s.k, sink);
+    };
+    auto atanPoly = std::make_shared<Polynomial>(atanTaylor(deg));
+    auto atanEval = [atanPoly](float x, InstrSink* sink) {
+        // Octant reduction to |u| <= tan(pi/8) for fast convergence:
+        // sign fold, reciprocal fold, then the pi/4 rotation identity.
+        const float tanPi8 = 0.41421356237309504880f;
+        const float pi4 = 0.78539816339744830962f;
+        const float pi2 = 1.57079632679489661923f;
+        chargeInstr(sink, 3);
+        uint32_t sign = floatBits(x) >> 31;
+        float a = sf::abs(x, sink);
+        bool recip = false;
+        if (sf::le(1.0f, a, sink)) {
+            a = sf::div(1.0f, a, sink);
+            recip = true;
+        }
+        bool rotated = false;
+        if (sf::le(tanPi8, a, sink)) {
+            a = sf::div(sf::sub(a, 1.0f, sink),
+                        sf::add(a, 1.0f, sink), sink);
+            rotated = true;
+        }
+        float y = atanPoly->eval(a, sink);
+        if (rotated)
+            y = sf::add(y, pi4, sink);
+        if (recip)
+            y = sf::sub(pi2, y, sink);
+        if (sign)
+            y = sf::neg(y, sink);
+        return y;
+    };
+
+    switch (f) {
+      case Function::Sin:
+      case Function::Cos:
+      case Function::Tan: {
+        auto sinP = std::make_shared<Polynomial>(sinTaylor(deg));
+        auto cosP = std::make_shared<Polynomial>(cosTaylor(deg));
+        auto sinAt = [sinP, cosP](float r, int q, InstrSink* sink) {
+            chargeInstr(sink, 2);
+            switch (q & 3) {
+              case 0: return sinP->eval(r, sink);
+              case 1: return cosP->eval(r, sink);
+              case 2: return sf::neg(sinP->eval(r, sink), sink);
+              default: return sf::neg(cosP->eval(r, sink), sink);
+            }
+        };
+        out.eval = [sinAt, f, reduce](float x, InstrSink* sink) {
+            if (reduce)
+                x = reduceTwoPi(x, sink);
+            QuadrantReduced qr = reduceQuadrant(x, sink);
+            if (f == Function::Sin)
+                return sinAt(qr.r, qr.q, sink);
+            if (f == Function::Cos)
+                return sinAt(qr.r, qr.q + 1, sink);
+            float s = sinAt(qr.r, qr.q, sink);
+            float c = sinAt(qr.r, qr.q + 1, sink);
+            return sf::div(s, c, sink);
+        };
+        out.memoryBytes = 2 * (deg + 1) * sizeof(float);
+        return out;
+      }
+      case Function::Exp:
+        out.eval = expEval;
+        out.memoryBytes = (deg + 1) * sizeof(float);
+        return out;
+      case Function::Log:
+        out.eval = logEval;
+        out.memoryBytes = (deg + 1) * sizeof(float);
+        return out;
+      case Function::Sqrt:
+        out.eval = sqrtEval;
+        out.memoryBytes = (deg + 1) * sizeof(float);
+        return out;
+      case Function::Log2:
+      case Function::Log10: {
+        bool base10 = f == Function::Log10;
+        const float log2e = 1.44269504088896340736f;
+        const float log10e = 0.43429448190325182765f;
+        out.eval = [logEval, base10, log2e, log10e](float x,
+                                                    InstrSink* sink) {
+            float ln = logEval(x, sink);
+            return sf::mul(ln, base10 ? log10e : log2e, sink);
+        };
+        out.memoryBytes = (deg + 1) * sizeof(float);
+        return out;
+      }
+      case Function::Exp2:
+        out.eval = [expPoly](float x, InstrSink* sink) {
+            // 2^x = 2^k * e^(r*ln2), r = x - floor(x).
+            int32_t k = sf::toI32Floor(x, sink);
+            float kf = sf::fromI32(k, sink);
+            float r = sf::mul(sf::sub(x, kf, sink), fLn2, sink);
+            float y = expPoly->eval(r, sink);
+            return pimLdexp(y, k, sink);
+        };
+        out.memoryBytes = (deg + 1) * sizeof(float);
+        return out;
+      case Function::Rsqrt: {
+        auto rsP = std::make_shared<Polynomial>(rsqrt1pSeries(deg));
+        const float invSqrt2 = 0.70710678118654752440f;
+        out.eval = [rsP, invSqrt2](float x, InstrSink* sink) {
+            SqrtSplit s = splitSqrt(x, sink);
+            chargeInstr(sink, 3);
+            float m = s.m;
+            bool scaled = false;
+            if (sf::le(4.0f / 3.0f, m, sink)) {
+                m = pimLdexp(m, -1, sink);
+                scaled = true;
+            }
+            float u = sf::sub(m, 1.0f, sink);
+            float y = rsP->eval(u, sink);
+            if (scaled)
+                y = sf::mul(y, invSqrt2, sink);
+            return pimLdexp(y, -s.k, sink);
+        };
+        out.memoryBytes = (deg + 1) * sizeof(float);
+        return out;
+      }
+      case Function::Atan:
+        out.eval = atanEval;
+        out.memoryBytes = (deg + 1) * sizeof(float);
+        return out;
+      case Function::Asin:
+      case Function::Acos: {
+        // asin x = atan(x / sqrt(1 - x^2)); acos x = pi/2 - asin x.
+        bool acos = f == Function::Acos;
+        const float pi2 = 1.57079632679489661923f;
+        out.eval = [atanEval, sqrtEval, acos, pi2](float x,
+                                                   InstrSink* sink) {
+            float x2 = sf::mul(x, x, sink);
+            float den = sqrtEval(sf::sub(1.0f, x2, sink), sink);
+            float y = atanEval(sf::div(x, den, sink), sink);
+            if (acos)
+                y = sf::sub(pi2, y, sink);
+            return y;
+        };
+        out.memoryBytes = 2 * (deg + 1) * sizeof(float);
+        return out;
+      }
+      case Function::Atanh:
+        // atanh x = ln((1+x)/(1-x)) / 2.
+        out.eval = [logEval](float x, InstrSink* sink) {
+            float u = sf::div(sf::add(1.0f, x, sink),
+                              sf::sub(1.0f, x, sink), sink);
+            return pimLdexp(logEval(u, sink), -1, sink);
+        };
+        out.memoryBytes = (deg + 1) * sizeof(float);
+        return out;
+      case Function::Softplus:
+        // ln(1 + e^x).
+        out.eval = [expEval, logEval](float x, InstrSink* sink) {
+            float e = expEval(x, sink);
+            return logEval(sf::add(1.0f, e, sink), sink);
+        };
+        out.memoryBytes = 2 * (deg + 1) * sizeof(float);
+        return out;
+      case Function::Silu:
+        out.eval = [expEval](float x, InstrSink* sink) {
+            float e = expEval(sf::neg(x, sink), sink);
+            float s = sf::div(1.0f, sf::add(1.0f, e, sink), sink);
+            return sf::mul(x, s, sink);
+        };
+        out.memoryBytes = (deg + 1) * sizeof(float);
+        return out;
+      case Function::Sinh:
+      case Function::Cosh:
+        out.eval = [expEval, f](float x, InstrSink* sink) {
+            float e = expEval(x, sink);
+            float ei = sf::div(1.0f, e, sink);
+            float t = f == Function::Sinh ? sf::sub(e, ei, sink)
+                                          : sf::add(e, ei, sink);
+            return pimLdexp(t, -1, sink);
+        };
+        out.memoryBytes = (deg + 1) * sizeof(float);
+        return out;
+      case Function::Tanh:
+        out.eval = [expEval](float x, InstrSink* sink) {
+            float e2 = expEval(pimLdexp(x, 1, sink), sink);
+            float d = sf::add(e2, 1.0f, sink);
+            return sf::sub(1.0f, sf::div(2.0f, d, sink), sink);
+        };
+        out.memoryBytes = (deg + 1) * sizeof(float);
+        return out;
+      case Function::Sigmoid:
+        out.eval = [expEval](float x, InstrSink* sink) {
+            float e = expEval(sf::neg(x, sink), sink);
+            return sf::div(1.0f, sf::add(1.0f, e, sink), sink);
+        };
+        out.memoryBytes = (deg + 1) * sizeof(float);
+        return out;
+      case Function::Cndf:
+      case Function::Gelu:
+      case Function::Erf: {
+        // Abramowitz-Stegun 26.2.17 CNDF, the formulation the original
+        // Blackscholes benchmark uses: one exp, one divide, degree-5
+        // polynomial in t = 1/(1 + 0.2316419|x|).
+        auto tailP = std::make_shared<Polynomial>(std::vector<float>{
+            0.0f, 0.319381530f, -0.356563782f, 1.781477937f,
+            -1.821255978f, 1.330274429f});
+        auto cndf = [tailP, expEval](float x, InstrSink* sink) {
+            float ax = sf::abs(x, sink);
+            float t = sf::div(
+                1.0f,
+                sf::add(1.0f, sf::mul(0.2316419f, ax, sink), sink),
+                sink);
+            // phi(x) = exp(-x^2/2) / sqrt(2*pi)
+            float x2 = sf::mul(x, x, sink);
+            float e = expEval(sf::neg(pimLdexp(x2, -1, sink), sink),
+                              sink);
+            float phi = sf::mul(fInvSqrt2Pi, e, sink);
+            float tail = sf::mul(phi, tailP->eval(t, sink), sink);
+            float cnd = sf::sub(1.0f, tail, sink);
+            chargeInstr(sink, 2);
+            if (floatBits(x) >> 31)
+                cnd = sf::sub(1.0f, cnd, sink);
+            return cnd;
+        };
+        if (f == Function::Cndf) {
+            out.eval = cndf;
+        } else if (f == Function::Gelu) {
+            out.eval = [cndf](float x, InstrSink* sink) {
+                return sf::mul(x, cndf(x, sink), sink);
+            };
+        } else {
+            // erf x = 2 * cndf(x * sqrt(2)) - 1.
+            const float sqrt2 = 1.41421356237309504880f;
+            out.eval = [cndf, sqrt2](float x, InstrSink* sink) {
+                float c = cndf(sf::mul(x, sqrt2, sink), sink);
+                return sf::sub(pimLdexp(c, 1, sink), 1.0f, sink);
+            };
+        }
+        out.memoryBytes = (deg + 1 + 6) * sizeof(float);
+        return out;
+      }
+    }
+    throw std::logic_error("buildPoly: unhandled function");
+}
+
+/** The support matrix (paper Table 2 plus the workload functions). */
+bool
+supportsImpl(Function f, Method m)
+{
+    switch (m) {
+      case Method::MLut:
+      case Method::LLut:
+      case Method::DLut:
+      case Method::DlLut:
+      case Method::Poly:
+        return true;
+      case Method::LLutFixed:
+        // Inputs and outputs must fit Q3.28's [-8, 8) range.
+        switch (f) {
+          case Function::Sin:
+          case Function::Cos:
+          case Function::Tan:
+          case Function::Exp:
+          case Function::Exp2:
+          case Function::Tanh:
+          case Function::Gelu:
+          case Function::Cndf:
+          case Function::Atan:
+          case Function::Asin:
+          case Function::Acos:
+          case Function::Atanh:
+          case Function::Erf:
+          case Function::Silu:
+            return true;
+          default:
+            return false;
+        }
+      case Method::Cordic:
+        switch (f) {
+          case Function::Gelu:
+          case Function::Cndf:
+          case Function::Erf:
+          case Function::Asin:
+          case Function::Acos:
+            return false; // no CORDIC mode computes erf-family values
+          default:
+            return true;
+        }
+      case Method::CordicFixed:
+        return f == Function::Sin || f == Function::Cos ||
+               f == Function::Tan;
+      case Method::CordicLut:
+        switch (f) {
+          case Function::Sin:
+          case Function::Cos:
+          case Function::Tan:
+          case Function::Exp:
+          case Function::Exp2:
+          case Function::Sinh:
+          case Function::Cosh:
+          case Function::Tanh:
+          case Function::Sigmoid:
+          case Function::Silu:
+            return true;
+          default:
+            return false;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::string_view
+methodName(Method m)
+{
+    switch (m) {
+      case Method::Cordic: return "CORDIC";
+      case Method::CordicFixed: return "CORDIC fixed";
+      case Method::CordicLut: return "CORDIC+LUT";
+      case Method::MLut: return "M-LUT";
+      case Method::LLut: return "L-LUT";
+      case Method::LLutFixed: return "L-LUT fixed";
+      case Method::DLut: return "D-LUT";
+      case Method::DlLut: return "DL-LUT";
+      case Method::Poly: return "Poly";
+    }
+    return "?";
+}
+
+std::string
+methodLabel(const MethodSpec& spec)
+{
+    std::string label(methodName(spec.method));
+    bool isLut = spec.method == Method::MLut ||
+                 spec.method == Method::LLut ||
+                 spec.method == Method::LLutFixed ||
+                 spec.method == Method::DLut ||
+                 spec.method == Method::DlLut;
+    if (isLut && spec.interpolated)
+        label += " interp.";
+    if (isLut || spec.method == Method::CordicLut) {
+        label += " (";
+        label += placementName(spec.placement);
+        label += ")";
+    }
+    return label;
+}
+
+UnsupportedCombination::UnsupportedCombination(Function f,
+                                               const MethodSpec& spec)
+    : std::invalid_argument(std::string(functionName(f)) +
+                            " is not supported by " +
+                            std::string(methodName(spec.method)))
+{
+}
+
+bool
+FunctionEvaluator::supports(Function f, const MethodSpec& spec)
+{
+    return supportsImpl(f, spec.method);
+}
+
+FunctionEvaluator
+FunctionEvaluator::create(Function f, const MethodSpec& spec)
+{
+    if (!supportsImpl(f, spec.method))
+        throw UnsupportedCombination(f, spec);
+
+    auto start = std::chrono::steady_clock::now();
+    Built built;
+    switch (spec.method) {
+      case Method::MLut:
+      case Method::LLut:
+      case Method::LLutFixed:
+      case Method::DLut:
+      case Method::DlLut:
+        built = buildTableMethod(f, spec);
+        break;
+      case Method::Cordic:
+        built = buildCordic(f, spec);
+        break;
+      case Method::CordicFixed:
+        built = buildCordicFixed(f, spec);
+        break;
+      case Method::CordicLut:
+        built = buildCordicLut(f, spec);
+        break;
+      case Method::Poly:
+        built = buildPoly(f, spec);
+        break;
+    }
+    auto end = std::chrono::steady_clock::now();
+
+    FunctionEvaluator out;
+    out.fn_ = f;
+    out.spec_ = spec;
+    out.eval_ = std::move(built.eval);
+    out.attach_ = std::move(built.attach);
+    out.memoryBytes_ = built.memoryBytes;
+    out.setupSeconds_ =
+        std::chrono::duration<double>(end - start).count();
+    return out;
+}
+
+} // namespace transpim
+} // namespace tpl

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fuzzy lookup-table methods with uniform spacing: M-LUT and L-LUT.
+ *
+ * Both methods map an input x to a table address with an affine
+ * transform a(x) = round((x - p) * k) (Section 3.2 of the paper):
+ *
+ *  - M-LUT uses an arbitrary density k, paying one float multiplication
+ *    per query.
+ *  - L-LUT constrains k to a power of two so the multiplication becomes
+ *    an ldexp (exponent add) - losing some freedom in table design but
+ *    eliminating the multiply, which dominates query cost on a PIM core
+ *    without an FPU.
+ *
+ * Interpolated variants read two adjacent entries and blend them with
+ * delta = (x-p)*k - floor((x-p)*k), adding exactly one multiplication.
+ * The fixed-point L-LUT variant replaces the ldexp with a native shift
+ * on Q3.28 values and interpolates with one emulated integer multiply.
+ */
+
+#ifndef TPL_TRANSPIM_FUZZY_LUT_H
+#define TPL_TRANSPIM_FUZZY_LUT_H
+
+#include <functional>
+
+#include "common/fixed_point.h"
+#include "common/instr_sink.h"
+#include "transpim/placement.h"
+
+namespace tpl {
+namespace transpim {
+
+/** Real-valued function used to fill tables at setup time. */
+using TableFn = std::function<double(double)>;
+
+/**
+ * Multiplication-based fuzzy lookup table (M-LUT).
+ */
+class MLut
+{
+  public:
+    /**
+     * Build an M-LUT for @p f over [lo, hi] with @p entries entries.
+     * Interpolated tables store f on the grid points; non-interpolated
+     * tables also store f on the grid points, which is optimal for the
+     * round-to-nearest address function.
+     */
+    MLut(const TableFn& f, double lo, double hi, uint32_t entries,
+         bool interpolated, Placement placement);
+
+    /** Approximate f(x); x is clamped into [lo, hi]. */
+    float eval(float x, InstrSink* sink) const;
+
+    uint32_t memoryBytes() const { return table_.bytes(); }
+
+    void attach(sim::DpuCore& core) { table_.attach(core); }
+
+    /** Table density k (entries per unit input). */
+    float density() const { return k_; }
+
+  private:
+    LutStore<float> table_;
+    float p_;
+    float k_;
+    bool interpolated_;
+};
+
+/**
+ * LDEXP-based fuzzy lookup table (L-LUT): density constrained to 2^e.
+ */
+class LLut
+{
+  public:
+    /**
+     * Build an L-LUT for @p f over [lo, hi] using at most @p maxEntries
+     * entries; the actual density is the largest power of two that
+     * fits, so fewer entries may be allocated (the paper's [0,5] vs
+     * [0,6] example in Section 3.2.2).
+     */
+    LLut(const TableFn& f, double lo, double hi, uint32_t maxEntries,
+         bool interpolated, Placement placement);
+
+    float eval(float x, InstrSink* sink) const;
+
+    uint32_t memoryBytes() const { return table_.bytes(); }
+
+    void attach(sim::DpuCore& core) { table_.attach(core); }
+
+    /** log2 of the density (the ldexp shift amount). */
+    int densityLog2() const { return e_; }
+
+    uint32_t entries() const { return table_.size(); }
+
+  private:
+    LutStore<float> table_;
+    float p_;
+    int e_;
+    bool interpolated_;
+};
+
+/**
+ * Fixed-point L-LUT on Q3.28 values: native shifts for addressing, one
+ * emulated integer multiply for interpolation.
+ */
+class LLutFixed
+{
+  public:
+    LLutFixed(const TableFn& f, double lo, double hi, uint32_t maxEntries,
+              bool interpolated, Placement placement);
+
+    /** Q3.28 in, Q3.28 out (the fixed-point kernel pipeline). */
+    Fixed evalFixed(Fixed x, InstrSink* sink) const;
+
+    /** Float in, float out: converts at both ends, as a float kernel
+     * calling the fixed-point method would. */
+    float eval(float x, InstrSink* sink) const;
+
+    uint32_t memoryBytes() const { return table_.bytes(); }
+
+    void attach(sim::DpuCore& core) { table_.attach(core); }
+
+    int densityLog2() const { return e_; }
+
+    /** Host-side Q3.28 entries (e.g. for hand-written kernels). */
+    const std::vector<int32_t>& hostEntries() const
+    {
+        return table_.host();
+    }
+
+  private:
+    LutStore<int32_t> table_;
+    int32_t pRaw_;
+    int e_;      ///< log2 density
+    int shift_;  ///< fracBits - e_: right-shift from Q3.28 to address
+    bool interpolated_;
+};
+
+} // namespace transpim
+} // namespace tpl
+
+#endif // TPL_TRANSPIM_FUZZY_LUT_H

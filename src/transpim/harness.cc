@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Microbenchmark harness implementation.
+ */
+
+#include "transpim/harness.h"
+
+#include <algorithm>
+#include <new>
+
+#include "common/rng.h"
+
+namespace tpl {
+namespace transpim {
+
+std::vector<float>
+referenceOutputs(Function f, const std::vector<float>& inputs)
+{
+    std::vector<float> out(inputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i)
+        out[i] = static_cast<float>(
+            referenceValue(f, static_cast<double>(inputs[i])));
+    return out;
+}
+
+ErrorStats
+evaluateAccuracy(const FunctionEvaluator& eval,
+                 const std::vector<float>& inputs)
+{
+    ErrorAccumulator acc;
+    for (float x : inputs) {
+        float y = eval.eval(x, nullptr);
+        float ref = static_cast<float>(
+            referenceValue(eval.function(), static_cast<double>(x)));
+        acc.add(y, ref);
+    }
+    return acc.stats();
+}
+
+MicrobenchResult
+runMicrobench(Function f, const MethodSpec& spec,
+              const MicrobenchOptions& opts)
+{
+    MicrobenchResult res;
+    res.function = f;
+    res.spec = spec;
+    res.elements = opts.elements;
+    res.tasklets = opts.tasklets;
+
+    Domain dom = opts.domain ? *opts.domain : functionDomain(f);
+    std::vector<float> inputs =
+        uniformFloats(opts.elements, static_cast<float>(dom.lo),
+                      static_cast<float>(dom.hi), opts.seed);
+
+    FunctionEvaluator eval;
+    try {
+        eval = FunctionEvaluator::create(f, spec);
+    } catch (const UnsupportedCombination&) {
+        res.feasible = false;
+        return res;
+    }
+
+    sim::DpuCore dpu;
+    try {
+        eval.attach(dpu);
+    } catch (const std::bad_alloc&) {
+        res.feasible = false;
+        return res;
+    }
+
+    // Input and output arrays in the DRAM bank.
+    uint32_t bytes = opts.elements * sizeof(float);
+    uint32_t inAddr = dpu.mramAlloc(bytes);
+    uint32_t outAddr = dpu.mramAlloc(bytes);
+    dpu.hostWriteMram(inAddr, inputs.data(), bytes);
+
+    // The paper's microbenchmark kernel: each tasklet streams chunks
+    // from MRAM through a WRAM buffer and evaluates every element.
+    constexpr uint32_t chunkElems = 256;
+    sim::LaunchStats stats =
+        dpu.launch(opts.tasklets, [&](sim::TaskletContext& ctx) {
+            float buffer[chunkElems];
+            uint32_t perChunk = chunkElems;
+            uint32_t chunks =
+                (opts.elements + perChunk - 1) / perChunk;
+            for (uint32_t c = ctx.taskletId(); c < chunks;
+                 c += ctx.numTasklets()) {
+                uint32_t beg = c * perChunk;
+                uint32_t cnt =
+                    std::min(perChunk, opts.elements - beg);
+                ctx.mramRead(inAddr + beg * sizeof(float), buffer,
+                             cnt * sizeof(float));
+                for (uint32_t i = 0; i < cnt; ++i) {
+                    ctx.charge(4); // loop control + WRAM load/store
+                    buffer[i] = eval.eval(buffer[i], &ctx);
+                }
+                ctx.mramWrite(outAddr + beg * sizeof(float), buffer,
+                              cnt * sizeof(float));
+            }
+        });
+
+    std::vector<float> outputs(opts.elements);
+    dpu.hostReadMram(outAddr, outputs.data(), bytes);
+
+    ErrorAccumulator acc;
+    for (uint32_t i = 0; i < opts.elements; ++i) {
+        float ref = static_cast<float>(
+            referenceValue(f, static_cast<double>(inputs[i])));
+        acc.add(outputs[i], ref);
+    }
+
+    res.error = acc.stats();
+    res.cyclesPerElement =
+        static_cast<double>(stats.cycles) / opts.elements;
+    res.instructionsPerElement =
+        static_cast<double>(stats.totalInstructions) / opts.elements;
+    res.memoryBytes = eval.memoryBytes();
+    res.hostGenSeconds = eval.setupSeconds();
+
+    // Table transfer: a single-DPU setup streams the tables serially
+    // (they are one buffer, not a parallel per-DPU transfer).
+    sim::PimSystem timing(1);
+    res.transferSeconds =
+        timing.serialTransferSeconds(eval.memoryBytes());
+    res.setupSeconds = res.hostGenSeconds + res.transferSeconds;
+    return res;
+}
+
+} // namespace transpim
+} // namespace tpl

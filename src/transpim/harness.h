@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Microbenchmark harness: runs a FunctionEvaluator over an input array
+ * on a simulated PIM core and reports the four metrics of the paper's
+ * Section 4.2 - accuracy (RMSE / max error / ULP against the host
+ * libm), execution cycles per element, host setup time, and memory
+ * consumption.
+ *
+ * The kernel follows the paper's microbenchmark structure: the input
+ * array lives in the PIM core's DRAM bank, tasklets stream chunks into
+ * the scratchpad, evaluate every element, and write results back.
+ */
+
+#ifndef TPL_TRANSPIM_HARNESS_H
+#define TPL_TRANSPIM_HARNESS_H
+
+#include <optional>
+#include <vector>
+
+#include "common/error_metrics.h"
+#include "pimsim/system.h"
+#include "transpim/evaluator.h"
+
+namespace tpl {
+namespace transpim {
+
+/** Everything the paper's Figures 5-7 need, for one configuration. */
+struct MicrobenchResult
+{
+    Function function;
+    MethodSpec spec;
+    ErrorStats error;            ///< vs. host libm (float reference)
+    double cyclesPerElement = 0; ///< modeled DPU cycles / element
+    double instructionsPerElement = 0;
+    uint32_t memoryBytes = 0;    ///< tables on the PIM core (Figure 7)
+    double setupSeconds = 0;     ///< host generation + transfer model
+    double hostGenSeconds = 0;   ///< host generation only
+    double transferSeconds = 0;  ///< modeled table transfer
+    bool feasible = true;        ///< false if tables did not fit
+    uint32_t elements = 0;
+    uint32_t tasklets = 0;
+};
+
+/** Harness options. */
+struct MicrobenchOptions
+{
+    uint32_t elements = 1u << 14; ///< paper uses 2^16
+    uint32_t tasklets = 16;
+    uint64_t seed = 0x7ea9c0de;
+    /** Optional input domain override (defaults to functionDomain). */
+    std::optional<Domain> domain;
+};
+
+/**
+ * Run one (function, method) microbenchmark on a fresh simulated DPU.
+ * Infeasible configurations (tables exceeding WRAM/MRAM) return with
+ * feasible = false instead of throwing.
+ */
+MicrobenchResult runMicrobench(Function f, const MethodSpec& spec,
+                               const MicrobenchOptions& opts = {});
+
+/**
+ * Accuracy-only evaluation on the host (no DPU, no cycle model):
+ * used by tests and for quick table-size sweeps.
+ */
+ErrorStats evaluateAccuracy(const FunctionEvaluator& eval,
+                            const std::vector<float>& inputs);
+
+/** Reference outputs (host libm in double, rounded to float). */
+std::vector<float> referenceOutputs(Function f,
+                                    const std::vector<float>& inputs);
+
+} // namespace transpim
+} // namespace tpl
+
+#endif // TPL_TRANSPIM_HARNESS_H

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * C99-compliant ldexpf for the PIM core.
+ *
+ * The L-LUT family multiplies by powers of two during address
+ * generation. A general float multiply is very expensive on a PIM core
+ * without an FPU, but multiplying by 2^n only manipulates the exponent
+ * field. The UPMEM runtime does not provide ldexpf, so the paper
+ * implements it in accordance with the C99 standard (Section 3.2.2);
+ * this is that implementation, instrumented with its instruction count.
+ *
+ * Semantics match C99 ldexpf: NaN and infinity pass through, zero keeps
+ * its sign, overflow returns +-infinity, underflow produces subnormals
+ * or signed zero, and subnormal inputs scale exactly.
+ */
+
+#ifndef TPL_TRANSPIM_LDEXP_H
+#define TPL_TRANSPIM_LDEXP_H
+
+#include "common/instr_sink.h"
+
+namespace tpl {
+namespace transpim {
+
+/** Compute arg * 2^exp with C99 ldexpf semantics. */
+float pimLdexp(float arg, int exp, InstrSink* sink = nullptr);
+
+/** Binary64 variant: arg * 2^exp with C99 ldexp semantics. */
+double pimLdexp64(double arg, int exp, InstrSink* sink = nullptr);
+
+} // namespace transpim
+} // namespace tpl
+
+#endif // TPL_TRANSPIM_LDEXP_H

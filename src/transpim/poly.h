@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Polynomial-approximation baseline (Horner evaluation).
+ *
+ * The paper's PIM baseline implementations use polynomial approximation
+ * (Taylor / minimax, refs [67, 124]); on a PIM core each polynomial
+ * degree costs one emulated float multiply and one add, i.e. roughly
+ * one float multiplication per bit of precision - which is exactly the
+ * disadvantage TransPimLib's LUT methods remove (Section 4.2.1).
+ */
+
+#ifndef TPL_TRANSPIM_POLY_H
+#define TPL_TRANSPIM_POLY_H
+
+#include <vector>
+
+#include "common/instr_sink.h"
+
+namespace tpl {
+namespace transpim {
+
+/**
+ * Dense polynomial evaluated with Horner's rule in emulated binary32.
+ */
+class Polynomial
+{
+  public:
+    /** @param coeffs c0 + c1 x + c2 x^2 + ... (ascending order). */
+    explicit Polynomial(std::vector<float> coeffs)
+        : coeffs_(std::move(coeffs))
+    {}
+
+    /** Evaluate at @p x; degree() multiplies and adds. */
+    float eval(float x, InstrSink* sink) const;
+
+    uint32_t degree() const
+    {
+        return coeffs_.empty()
+                   ? 0
+                   : static_cast<uint32_t>(coeffs_.size()) - 1;
+    }
+
+    const std::vector<float>& coeffs() const { return coeffs_; }
+
+  private:
+    std::vector<float> coeffs_;
+};
+
+/// @name Coefficient builders (host-side setup).
+/// @{
+
+/** Taylor coefficients of sin around 0 (odd terms), up to @p degree. */
+Polynomial sinTaylor(uint32_t degree);
+
+/** Taylor coefficients of cos around 0 (even terms), up to @p degree. */
+Polynomial cosTaylor(uint32_t degree);
+
+/** Taylor coefficients of exp around 0, up to @p degree. */
+Polynomial expTaylor(uint32_t degree);
+
+/** Coefficients of log(1 + u) around 0, up to @p degree. */
+Polynomial log1pTaylor(uint32_t degree);
+
+/** Binomial-series coefficients of sqrt(1 + u), up to @p degree. */
+Polynomial sqrt1pSeries(uint32_t degree);
+
+/** Binomial-series coefficients of 1/sqrt(1 + u), up to @p degree. */
+Polynomial rsqrt1pSeries(uint32_t degree);
+
+/** Taylor coefficients of atan around 0 (odd terms), up to @p degree. */
+Polynomial atanTaylor(uint32_t degree);
+
+/// @}
+
+} // namespace transpim
+} // namespace tpl
+
+#endif // TPL_TRANSPIM_POLY_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * PimProgram implementation.
+ */
+
+#include "transpim/program.h"
+
+#include <stdexcept>
+
+namespace tpl {
+namespace transpim {
+
+void
+PimProgram::add(const std::string& name, FunctionEvaluator evaluator)
+{
+    if (evaluators_.count(name))
+        throw std::invalid_argument("PimProgram: duplicate name '" +
+                                    name + "'");
+    uint32_t wramAfter = wramTableBytes();
+    if (evaluator.spec().placement == Placement::Wram)
+        wramAfter += evaluator.memoryBytes();
+    if (wramAfter > wramBudget_) {
+        throw std::length_error(
+            "PimProgram: WRAM table budget exceeded by '" + name +
+            "' (" + std::to_string(wramAfter) + " > " +
+            std::to_string(wramBudget_) + " bytes)");
+    }
+    evaluators_.emplace(name, std::move(evaluator));
+}
+
+const FunctionEvaluator&
+PimProgram::get(const std::string& name) const
+{
+    auto it = evaluators_.find(name);
+    if (it == evaluators_.end())
+        throw std::out_of_range("PimProgram: no evaluator '" + name +
+                                "'");
+    return it->second;
+}
+
+uint32_t
+PimProgram::totalTableBytes() const
+{
+    uint32_t total = 0;
+    for (const auto& [name, eval] : evaluators_)
+        total += eval.memoryBytes();
+    return total;
+}
+
+uint32_t
+PimProgram::wramTableBytes() const
+{
+    uint32_t total = 0;
+    for (const auto& [name, eval] : evaluators_) {
+        if (eval.spec().placement == Placement::Wram)
+            total += eval.memoryBytes();
+    }
+    return total;
+}
+
+double
+PimProgram::totalSetupSeconds() const
+{
+    double total = 0.0;
+    for (const auto& [name, eval] : evaluators_)
+        total += eval.setupSeconds();
+    return total;
+}
+
+void
+PimProgram::attach(sim::DpuCore& core)
+{
+    for (auto& [name, eval] : evaluators_)
+        eval.attach(core);
+}
+
+double
+PimProgram::attachAll(sim::PimSystem& system)
+{
+    for (uint32_t d = 0; d < system.numDpus(); ++d)
+        attach(system.dpu(d));
+    return system.parallelTransferSeconds(totalTableBytes());
+}
+
+} // namespace transpim
+} // namespace tpl

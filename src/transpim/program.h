@@ -1,0 +1,96 @@
+/**
+ * @file
+ * PimProgram: deploy several function evaluators onto PIM cores as one
+ * unit.
+ *
+ * Real kernels rarely use a single transcendental: Blackscholes needs
+ * log, sqrt, exp and CNDF at once, and all their tables must share the
+ * core's scratchpad with the operand buffers. PimProgram manages that:
+ * it owns a set of named evaluators, checks their combined footprint
+ * against a memory budget *before* any transfer, attaches all of them
+ * to one core (or every core of a PimSystem) in one call, and reports
+ * aggregate setup time and transfer volume - the quantities the
+ * paper's Figures 6/7 track per method, rolled up per kernel.
+ */
+
+#ifndef TPL_TRANSPIM_PROGRAM_H
+#define TPL_TRANSPIM_PROGRAM_H
+
+#include <map>
+#include <string>
+
+#include "pimsim/system.h"
+#include "transpim/evaluator.h"
+
+namespace tpl {
+namespace transpim {
+
+/**
+ * A named bundle of evaluators deployed together.
+ */
+class PimProgram
+{
+  public:
+    /**
+     * @param wramBudget bytes of scratchpad the tables may use
+     *        (leaving the rest for operand buffers).
+     */
+    explicit PimProgram(uint32_t wramBudget = 48 * 1024)
+        : wramBudget_(wramBudget)
+    {}
+
+    /**
+     * Add an evaluator under @p name.
+     * @throws std::invalid_argument on duplicate names.
+     * @throws std::length_error when the WRAM budget would overflow
+     *         (MRAM-placed tables do not count against it).
+     */
+    void add(const std::string& name, FunctionEvaluator evaluator);
+
+    /** Build + add in one step. */
+    void
+    add(const std::string& name, Function f, const MethodSpec& spec)
+    {
+        add(name, FunctionEvaluator::create(f, spec));
+    }
+
+    /** Look up an evaluator by name. @throws std::out_of_range. */
+    const FunctionEvaluator& get(const std::string& name) const;
+
+    /** Shorthand for get(). */
+    const FunctionEvaluator&
+    operator[](const std::string& name) const
+    {
+        return get(name);
+    }
+
+    /** Number of evaluators in the program. */
+    size_t size() const { return evaluators_.size(); }
+
+    /** Combined table bytes (all placements). */
+    uint32_t totalTableBytes() const;
+
+    /** Combined table bytes destined for WRAM. */
+    uint32_t wramTableBytes() const;
+
+    /** Combined host-side setup seconds. */
+    double totalSetupSeconds() const;
+
+    /** Attach every evaluator to one core. */
+    void attach(sim::DpuCore& core);
+
+    /**
+     * Attach every evaluator to every core of a system.
+     * @return modeled broadcast-transfer seconds for the tables.
+     */
+    double attachAll(sim::PimSystem& system);
+
+  private:
+    uint32_t wramBudget_;
+    std::map<std::string, FunctionEvaluator> evaluators_;
+};
+
+} // namespace transpim
+} // namespace tpl
+
+#endif // TPL_TRANSPIM_PROGRAM_H

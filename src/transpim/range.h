@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Range reduction / extension operations (Section 2.2.3, Figure 8).
+ *
+ * Both CORDIC and lookup tables only cover limited input ranges; these
+ * helpers perform the per-function conversions that extend them:
+ * periodicity for trigonometric functions, exponent/mantissa splits for
+ * exp / log / sqrt. Their costs differ widely between functions - the
+ * trigonometric reduction needs real float arithmetic while the
+ * exponent splits are almost free bit manipulation - which is exactly
+ * what the paper's Figure 8 shows. Each helper is instrumented so the
+ * figure can be regenerated.
+ */
+
+#ifndef TPL_TRANSPIM_RANGE_H
+#define TPL_TRANSPIM_RANGE_H
+
+#include "common/fixed_point.h"
+#include "common/instr_sink.h"
+
+namespace tpl {
+namespace transpim {
+
+/** Reduce x into [0, 2*pi) using the function's periodicity. */
+float reduceTwoPi(float x, InstrSink* sink);
+
+/** Result of quadrant reduction for trigonometric CORDIC. */
+struct QuadrantReduced
+{
+    float r; ///< angle in [0, pi/2]
+    int q;   ///< quadrant 0..3
+};
+
+/**
+ * Reduce an angle in [0, 2*pi) to the first quadrant via conditional
+ * subtraction (cheaper than a multiply-based reduction on a PIM core).
+ */
+QuadrantReduced reduceQuadrant(float x, InstrSink* sink);
+
+/** Result of the exponential split x = k*ln2 + r. */
+struct ExpSplit
+{
+    int k;   ///< power-of-two exponent
+    float r; ///< residual in [0, ln2)
+};
+
+/** Split for exp: e^x = 2^k * e^r. */
+ExpSplit splitExp(float x, InstrSink* sink);
+
+/** Result of the logarithm split x = m * 2^k, m in [1, 2). */
+struct LogSplit
+{
+    int k;
+    float m;
+};
+
+/**
+ * Split for log: log x = k*ln2 + log m. Pure bit manipulation for
+ * normal inputs; subnormals are normalized first.
+ * @pre x > 0 and finite.
+ */
+LogSplit splitLog(float x, InstrSink* sink);
+
+/** Result of the square-root split x = m * 4^k, m in [0.5, 2). */
+struct SqrtSplit
+{
+    int k;
+    float m;
+};
+
+/**
+ * Split for sqrt: sqrt x = 2^k * sqrt m. The [0.5, 2) mantissa range
+ * keeps the hyperbolic-vectoring CORDIC within its convergence bound.
+ * @pre x > 0 and finite.
+ */
+SqrtSplit splitSqrt(float x, InstrSink* sink);
+
+/** Fixed-point reduction of x into [0, 2*pi) (Q3.28 pipeline). */
+Fixed reduceTwoPiFixed(Fixed x, InstrSink* sink);
+
+} // namespace transpim
+} // namespace tpl
+
+#endif // TPL_TRANSPIM_RANGE_H

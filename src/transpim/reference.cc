@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Reference oracle implementations.
+ */
+
+#include "transpim/reference.h"
+
+#include <cmath>
+
+namespace tpl {
+namespace transpim {
+
+std::string_view
+functionName(Function f)
+{
+    switch (f) {
+      case Function::Sin: return "sin";
+      case Function::Cos: return "cos";
+      case Function::Tan: return "tan";
+      case Function::Sinh: return "sinh";
+      case Function::Cosh: return "cosh";
+      case Function::Tanh: return "tanh";
+      case Function::Exp: return "exp";
+      case Function::Log: return "log";
+      case Function::Sqrt: return "sqrt";
+      case Function::Gelu: return "gelu";
+      case Function::Sigmoid: return "sigmoid";
+      case Function::Cndf: return "cndf";
+      case Function::Atan: return "atan";
+      case Function::Asin: return "asin";
+      case Function::Acos: return "acos";
+      case Function::Atanh: return "atanh";
+      case Function::Log2: return "log2";
+      case Function::Log10: return "log10";
+      case Function::Exp2: return "exp2";
+      case Function::Rsqrt: return "rsqrt";
+      case Function::Erf: return "erf";
+      case Function::Silu: return "silu";
+      case Function::Softplus: return "softplus";
+    }
+    return "?";
+}
+
+double
+geluReference(double x)
+{
+    return 0.5 * x * (1.0 + std::erf(x / std::sqrt(2.0)));
+}
+
+double
+sigmoidReference(double x)
+{
+    return 1.0 / (1.0 + std::exp(-x));
+}
+
+double
+cndfReference(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double
+referenceValue(Function f, double x)
+{
+    switch (f) {
+      case Function::Sin: return std::sin(x);
+      case Function::Cos: return std::cos(x);
+      case Function::Tan: return std::tan(x);
+      case Function::Sinh: return std::sinh(x);
+      case Function::Cosh: return std::cosh(x);
+      case Function::Tanh: return std::tanh(x);
+      case Function::Exp: return std::exp(x);
+      case Function::Log: return std::log(x);
+      case Function::Sqrt: return std::sqrt(x);
+      case Function::Gelu: return geluReference(x);
+      case Function::Sigmoid: return sigmoidReference(x);
+      case Function::Cndf: return cndfReference(x);
+      case Function::Atan: return std::atan(x);
+      case Function::Asin: return std::asin(x);
+      case Function::Acos: return std::acos(x);
+      case Function::Atanh: return std::atanh(x);
+      case Function::Log2: return std::log2(x);
+      case Function::Log10: return std::log10(x);
+      case Function::Exp2: return std::exp2(x);
+      case Function::Rsqrt: return 1.0 / std::sqrt(x);
+      case Function::Erf: return std::erf(x);
+      case Function::Silu: return x * sigmoidReference(x);
+      case Function::Softplus: return std::log1p(std::exp(x));
+    }
+    return 0.0;
+}
+
+Domain
+functionDomain(Function f)
+{
+    constexpr double twoPi = 6.28318530717958647692;
+    switch (f) {
+      case Function::Sin:
+      case Function::Cos:
+      case Function::Tan:
+        return {0.0, twoPi};
+      case Function::Sinh:
+      case Function::Cosh:
+        return {-4.0, 4.0};
+      case Function::Tanh:
+        return {-8.0, 8.0};
+      case Function::Gelu:
+        return {-8.0, 8.0};
+      case Function::Sigmoid:
+        return {-16.0, 16.0};
+      case Function::Cndf:
+        return {-6.0, 6.0};
+      case Function::Exp:
+        return {-10.0, 10.0};
+      case Function::Log:
+        return {0.001, 100.0};
+      case Function::Sqrt:
+        return {0.0, 100.0};
+      case Function::Atan:
+        return {-8.0, 8.0};
+      case Function::Asin:
+      case Function::Acos:
+        return {-0.99, 0.99};
+      case Function::Atanh:
+        return {-0.99, 0.99};
+      case Function::Log2:
+      case Function::Log10:
+        return {0.001, 100.0};
+      case Function::Exp2:
+        return {-10.0, 10.0};
+      case Function::Rsqrt:
+        return {0.01, 100.0};
+      case Function::Erf:
+        return {-4.0, 4.0};
+      case Function::Silu:
+        return {-8.0, 8.0};
+      case Function::Softplus:
+        return {-10.0, 10.0};
+    }
+    return {0.0, 1.0};
+}
+
+} // namespace transpim
+} // namespace tpl

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Double-precision reference implementations of every function the
+ * library supports.
+ *
+ * The paper's accuracy methodology compares PIM results against "the
+ * output of the host CPU, computed with the standard math library"
+ * (Section 4.1.1); these wrappers are that oracle, plus the derived
+ * functions (GELU, sigmoid, CNDF) the workloads use.
+ */
+
+#ifndef TPL_TRANSPIM_REFERENCE_H
+#define TPL_TRANSPIM_REFERENCE_H
+
+#include <string_view>
+
+namespace tpl {
+namespace transpim {
+
+/** Functions supported by the library (paper Table 2 plus workloads). */
+enum class Function
+{
+    Sin,
+    Cos,
+    Tan,
+    Sinh,
+    Cosh,
+    Tanh,
+    Exp,
+    Log,
+    Sqrt,
+    Gelu,
+    Sigmoid,
+    Cndf,
+    // Extensions beyond the paper's core set: the inverse functions
+    // its Table 1 CORDIC modes provide (arctan, atanh), base-2/10
+    // variants that exploit the exponent/mantissa split even harder,
+    // and further ML activation functions.
+    Atan,
+    Asin,
+    Acos,
+    Atanh,
+    Log2,
+    Log10,
+    Exp2,
+    Rsqrt,
+    Erf,
+    Silu,
+    Softplus,
+};
+
+/** Human-readable name of a function (for reports and benches). */
+std::string_view functionName(Function f);
+
+/** Double-precision reference value of @p f at @p x. */
+double referenceValue(Function f, double x);
+
+/**
+ * Default evaluation domain of a function: the interval microbenchmark
+ * inputs are drawn from (the paper uses [0, 2pi] for sine).
+ */
+struct Domain
+{
+    double lo;
+    double hi;
+};
+
+/** Microbenchmark input domain for @p f. */
+Domain functionDomain(Function f);
+
+/** GELU using the exact erf formulation (not the tanh approximation). */
+double geluReference(double x);
+
+/** Logistic sigmoid 1 / (1 + e^-x). */
+double sigmoidReference(double x);
+
+/** Cumulative normal distribution function. */
+double cndfReference(double x);
+
+} // namespace transpim
+} // namespace tpl
+
+#endif // TPL_TRANSPIM_REFERENCE_H

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Umbrella header: everything a user of the library needs.
+ *
+ * See README.md for a quickstart and examples/ for runnable programs.
+ */
+
+#ifndef TPL_TRANSPIM_TRANSPIMLIB_H
+#define TPL_TRANSPIM_TRANSPIMLIB_H
+
+#include "transpim/arch_model.h"
+#include "transpim/cordic.h"
+#include "transpim/cordic_lut.h"
+#include "transpim/direct_lut.h"
+#include "transpim/error_model.h"
+#include "transpim/evaluator.h"
+#include "transpim/fuzzy_lut.h"
+#include "transpim/harness.h"
+#include "transpim/ldexp.h"
+#include "transpim/placement.h"
+#include "transpim/poly.h"
+#include "transpim/program.h"
+#include "transpim/range.h"
+#include "transpim/reference.h"
+#include "transpim/tuner.h"
+
+#endif // TPL_TRANSPIM_TRANSPIMLIB_H

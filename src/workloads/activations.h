@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sigmoid and Softmax workloads (paper Section 4.1.2).
+ *
+ * Sigmoid is element-wise: S(x) = 1 / (1 + e^-x) over a 30M-element
+ * vector. Softmax normalizes the exponentials over the whole vector,
+ * which on a PIM system requires inter-core communication through the
+ * host (the per-DPU partial sums are reduced on the CPU and broadcast
+ * back), exactly the structure the paper's Figure 2 mandates.
+ *
+ * Variants: CPU 1T / 32T (libm, measured), PIM poly (polynomial
+ * baseline), PIM M-LUT / L-LUT (interpolated fuzzy LUTs).
+ */
+
+#ifndef TPL_WORKLOADS_ACTIVATIONS_H
+#define TPL_WORKLOADS_ACTIVATIONS_H
+
+#include <vector>
+
+#include "workloads/common.h"
+
+namespace tpl {
+namespace work {
+
+/** Variants shared by the Sigmoid and Softmax workloads. */
+enum class ActVariant
+{
+    CpuSingle,
+    CpuMulti,
+    PimPoly,
+    PimMLut,
+    PimLLut,
+};
+
+/** Run the Sigmoid workload in one variant. */
+WorkloadResult runSigmoid(ActVariant variant, const WorkloadConfig& cfg);
+
+/** Run the Softmax workload in one variant. */
+WorkloadResult runSoftmax(ActVariant variant, const WorkloadConfig& cfg);
+
+/** All variants of Sigmoid (one Figure 9 group). */
+std::vector<WorkloadResult> runSigmoidAll(const WorkloadConfig& cfg);
+
+/** All variants of Softmax (one Figure 9 group). */
+std::vector<WorkloadResult> runSoftmaxAll(const WorkloadConfig& cfg);
+
+} // namespace work
+} // namespace tpl
+
+#endif // TPL_WORKLOADS_ACTIVATIONS_H

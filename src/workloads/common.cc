@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Workload infrastructure implementation.
+ */
+
+#include "workloads/common.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace tpl {
+namespace work {
+
+double
+timeCpuBaseline(const WorkloadConfig& cfg, uint32_t threads,
+                const std::function<void(uint64_t, uint64_t)>& body)
+{
+    uint64_t sample =
+        std::min<uint64_t>(cfg.cpuSampleElements, cfg.totalElements);
+
+    uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+    bool canRunThreads = threads <= hw;
+    uint32_t runThreads = canRunThreads ? threads : 1;
+
+    auto start = std::chrono::steady_clock::now();
+    if (runThreads == 1) {
+        body(0, sample);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(runThreads);
+        uint64_t per = (sample + runThreads - 1) / runThreads;
+        for (uint32_t t = 0; t < runThreads; ++t) {
+            uint64_t beg = t * per;
+            uint64_t end = std::min(sample, beg + per);
+            if (beg >= end)
+                break;
+            pool.emplace_back(body, beg, end);
+        }
+        for (auto& th : pool)
+            th.join();
+    }
+    auto stop = std::chrono::steady_clock::now();
+    double measured = std::chrono::duration<double>(stop - start).count();
+
+    double full = measured * static_cast<double>(cfg.totalElements) /
+                  static_cast<double>(sample);
+    if (!canRunThreads && threads > 1) {
+        // Host cannot actually run the requested thread count: model
+        // the parallel speedup instead of oversubscribing.
+        full /= threads * cfg.cpuParallelEfficiency;
+    }
+    return full;
+}
+
+double
+projectPimSeconds(const WorkloadConfig& cfg, const sim::CostModel& model,
+                  uint64_t cyclesPerSimDpu)
+{
+    double cyclesPerElement =
+        static_cast<double>(cyclesPerSimDpu) /
+        static_cast<double>(cfg.elementsPerSimDpu);
+    uint64_t perSystemDpu =
+        (cfg.totalElements + cfg.systemDpus - 1) / cfg.systemDpus;
+    return cyclesPerElement * static_cast<double>(perSystemDpu) /
+           model.frequencyHz;
+}
+
+double
+fullTransferSeconds(const WorkloadConfig& cfg,
+                    const sim::CostModel& model, uint64_t totalBytes)
+{
+    uint32_t ranks = std::max(1u, cfg.systemDpus / model.dpusPerRank);
+    double bw = std::min(model.hostParallelBandwidth * ranks,
+                         model.hostAggregateBandwidthCap);
+    return static_cast<double>(totalBytes) / bw;
+}
+
+} // namespace work
+} // namespace tpl

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Cross-architecture re-costing tests: the op tally mechanism, the
+ * self-consistency of the UPMEM profile, and the headline architecture
+ * finding (native floats erase the L-LUT advantage; LUT-vs-CORDIC
+ * survives).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "softfloat/softfloat.h"
+#include "transpim/arch_model.h"
+#include "transpim/evaluator.h"
+#include "transpim/ldexp.h"
+
+namespace tpl {
+namespace transpim {
+namespace {
+
+TEST(OpTally, CountsOperations)
+{
+    OpTallySink sink;
+    sf::add(1.0f, 2.0f, &sink);
+    sf::mul(3.0f, 4.0f, &sink);
+    sf::mul(3.0f, 4.0f, &sink);
+    sf::div(1.0f, 3.0f, &sink);
+    pimLdexp(1.0f, 2, &sink);
+    const OpTally& t = sink.tally();
+    EXPECT_EQ(1u, t.counts[static_cast<int>(OpClass::FloatAdd)]);
+    EXPECT_EQ(2u, t.counts[static_cast<int>(OpClass::FloatMul)]);
+    EXPECT_EQ(1u, t.counts[static_cast<int>(OpClass::FloatDiv)]);
+    EXPECT_EQ(1u, t.counts[static_cast<int>(OpClass::Ldexp)]);
+    EXPECT_GT(t.instructions, 0u);
+}
+
+TEST(OpTally, Accumulates)
+{
+    OpTally a, b;
+    a.counts[0] = 3;
+    a.instructions = 100;
+    b.counts[0] = 2;
+    b.instructions = 50;
+    a += b;
+    EXPECT_EQ(5u, a.counts[0]);
+    EXPECT_EQ(150u, a.instructions);
+}
+
+TEST(OpTally, SubDelegatesToAddOnce)
+{
+    OpTallySink sink;
+    sf::sub(5.0f, 3.0f, &sink);
+    EXPECT_EQ(1u,
+              sink.tally().counts[static_cast<int>(OpClass::FloatAdd)]);
+}
+
+TEST(ArchModel, CalibrationMatchesDirectMeasurement)
+{
+    auto costs = measureUpmemOpCosts();
+    CountingSink direct;
+    sf::mul(1.25f, 2.5f, &direct);
+    EXPECT_NEAR(static_cast<double>(direct.total()),
+                costs[static_cast<int>(OpClass::FloatMul)], 1.0);
+    // Basic sanity of the cost landscape.
+    EXPECT_GT(costs[static_cast<int>(OpClass::FloatDiv)],
+              costs[static_cast<int>(OpClass::FloatMul)]);
+    EXPECT_GT(costs[static_cast<int>(OpClass::FloatMul)],
+              costs[static_cast<int>(OpClass::FloatAdd)]);
+    EXPECT_LT(costs[static_cast<int>(OpClass::Ldexp)],
+              costs[static_cast<int>(OpClass::FloatAdd)]);
+}
+
+TEST(ArchModel, UpmemProfileIsSelfConsistent)
+{
+    // Re-costing under the UPMEM profile must approximately reproduce
+    // the raw instruction count (leftover + emulated == total).
+    auto costs = measureUpmemOpCosts();
+    ArchProfile upmem = upmemProfile();
+    MethodSpec spec;
+    spec.method = Method::LLut;
+    spec.placement = Placement::Host;
+    auto eval = FunctionEvaluator::create(Function::Sin, spec);
+    OpTallySink tally;
+    auto inputs = uniformFloats(256, 0.0f, 6.28f, 3);
+    for (float x : inputs)
+        eval.eval(x, &tally);
+    double recost = recostCycles(tally.tally(), upmem, costs);
+    double raw = static_cast<double>(tally.tally().instructions);
+    EXPECT_NEAR(raw, recost, raw * 0.05);
+}
+
+TEST(ArchModel, NativeFloatsCloseTheLlutMlutGap)
+{
+    auto costs = measureUpmemOpCosts();
+    ArchProfile upmem = upmemProfile();
+    ArchProfile hbm = hbmPimLikeProfile();
+
+    auto tallyOf = [&](Method m) {
+        MethodSpec spec;
+        spec.method = m;
+        spec.interpolated = true;
+        spec.placement = Placement::Host;
+        spec.log2Entries = 12;
+        auto eval = FunctionEvaluator::create(Function::Sin, spec);
+        OpTallySink sink;
+        auto inputs = uniformFloats(256, 0.0f, 6.28f, 5);
+        for (float x : inputs)
+            eval.eval(x, &sink);
+        return sink.tally();
+    };
+    OpTally mlut = tallyOf(Method::MLut);
+    OpTally llut = tallyOf(Method::LLut);
+
+    double gapUpmem = recostCycles(mlut, upmem, costs) /
+                      recostCycles(llut, upmem, costs);
+    // On UPMEM the M-LUT pays a real penalty; with native floats the
+    // absolute gap shrinks dramatically (one cycle for the multiply).
+    EXPECT_GT(gapUpmem, 1.25);
+    double absGapHbm = (recostCycles(mlut, hbm, costs) -
+                        recostCycles(llut, hbm, costs)) /
+                       256.0;
+    EXPECT_LT(absGapHbm, 20.0);
+}
+
+TEST(ArchModel, CordicStaysExpensiveEverywhere)
+{
+    auto costs = measureUpmemOpCosts();
+    for (const ArchProfile& p :
+         {upmemProfile(), hbmPimLikeProfile(), idealFpuProfile()}) {
+        auto tallyOf = [&](Method m) {
+            MethodSpec spec;
+            spec.method = m;
+            spec.interpolated = true;
+            spec.placement = Placement::Host;
+            spec.iterations = 24;
+            spec.log2Entries = 12;
+            auto eval = FunctionEvaluator::create(Function::Sin, spec);
+            OpTallySink sink;
+            auto inputs = uniformFloats(128, 0.0f, 6.28f, 7);
+            for (float x : inputs)
+                eval.eval(x, &sink);
+            return sink.tally();
+        };
+        double cordic = recostCycles(tallyOf(Method::Cordic), p, costs);
+        double llut = recostCycles(tallyOf(Method::LLut), p, costs);
+        EXPECT_GT(cordic, 5.0 * llut) << p.name;
+    }
+}
+
+} // namespace
+} // namespace transpim
+} // namespace tpl

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Concurrency properties: FunctionEvaluator::eval is const and
+ * stateless after construction, so independent host threads may share
+ * one evaluator; separate DpuCore instances are fully independent.
+ * (TaskletContext itself is single-threaded by design - the simulator
+ * serializes tasklets and reconstructs their interleaving analytically.)
+ */
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "transpim/evaluator.h"
+
+namespace tpl {
+namespace transpim {
+namespace {
+
+TEST(Concurrency, SharedEvaluatorAcrossHostThreads)
+{
+    MethodSpec spec;
+    spec.method = Method::LLut;
+    spec.placement = Placement::Host;
+    spec.log2Entries = 12;
+    auto eval = FunctionEvaluator::create(Function::Sin, spec);
+
+    std::atomic<int> mismatches{0};
+    auto worker = [&](uint32_t seed) {
+        for (int i = 0; i < 5000; ++i) {
+            float x = 6.28f * ((seed * 2654435761u + i * 40503u) %
+                               10000u) /
+                      10000.0f;
+            float y = eval.eval(x, nullptr);
+            if (std::abs(y - std::sin((double)x)) > 1e-5)
+                ++mismatches;
+        }
+    };
+    std::vector<std::thread> pool;
+    for (uint32_t t = 0; t < 4; ++t)
+        pool.emplace_back(worker, t + 1);
+    for (auto& th : pool)
+        th.join();
+    EXPECT_EQ(0, mismatches.load());
+}
+
+TEST(Concurrency, IndependentDpusOnSeparateThreads)
+{
+    MethodSpec spec;
+    spec.method = Method::LLut;
+    spec.placement = Placement::Wram;
+    spec.log2Entries = 10;
+
+    std::atomic<int> failures{0};
+    auto worker = [&]() {
+        // Each thread owns its evaluator + core end to end.
+        auto eval = FunctionEvaluator::create(Function::Tanh, spec);
+        sim::DpuCore dpu;
+        eval.attach(dpu);
+        dpu.launch(4, [&](sim::TaskletContext& ctx) {
+            for (int i = 0; i < 200; ++i) {
+                float x = -4.0f + 8.0f * i / 200.0f;
+                float y = eval.eval(x, &ctx);
+                if (std::abs(y - std::tanh((double)x)) > 1e-3)
+                    ++failures;
+            }
+        });
+    };
+    std::vector<std::thread> pool;
+    for (int t = 0; t < 4; ++t)
+        pool.emplace_back(worker);
+    for (auto& th : pool)
+        th.join();
+    EXPECT_EQ(0, failures.load());
+}
+
+} // namespace
+} // namespace transpim
+} // namespace tpl

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * CORDIC engine tests: convergence of every mode, iteration/accuracy
+ * scaling, gain correctness, the hyperbolic repeat schedule, the
+ * fixed-point ablation engine, and the CORDIC+LUT combination.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "transpim/cordic.h"
+#include "transpim/cordic_lut.h"
+
+namespace tpl {
+namespace transpim {
+namespace {
+
+TEST(CordicSchedule, CircularIsSequential)
+{
+    auto s = cordicSchedule(CordicMode::Circular, 8);
+    std::vector<uint32_t> expect{0, 1, 2, 3, 4, 5, 6, 7};
+    EXPECT_EQ(expect, s);
+}
+
+TEST(CordicSchedule, HyperbolicRepeats)
+{
+    auto s = cordicSchedule(CordicMode::Hyperbolic, 16);
+    // Starts at 1; index 4 repeats; 13 repeats.
+    std::vector<uint32_t> expect{1, 2, 3, 4, 4, 5, 6, 7,
+                                 8, 9, 10, 11, 12, 13, 13, 14};
+    EXPECT_EQ(expect, s);
+}
+
+TEST(CordicEngine, CircularRotationComputesSinCos)
+{
+    CordicEngine eng(CordicMode::Circular, 24, Placement::Host);
+    SplitMix64 rng(41);
+    for (int i = 0; i < 2000; ++i) {
+        float z = rng.nextFloat(-1.5707f, 1.5707f);
+        auto r = eng.rotate(z, nullptr);
+        EXPECT_NEAR(std::cos(z), r.x, 2e-6) << z;
+        EXPECT_NEAR(std::sin(z), r.y, 2e-6) << z;
+    }
+}
+
+TEST(CordicEngine, AccuracyImprovesWithIterations)
+{
+    double prevErr = 1.0;
+    for (uint32_t n : {6u, 10u, 14u, 18u}) {
+        CordicEngine eng(CordicMode::Circular, n, Placement::Host);
+        double maxErr = 0.0;
+        SplitMix64 rng(42);
+        for (int i = 0; i < 500; ++i) {
+            float z = rng.nextFloat(0.0f, 1.5707f);
+            auto r = eng.rotate(z, nullptr);
+            maxErr = std::max(maxErr,
+                              std::abs(std::sin(z) - (double)r.y));
+        }
+        EXPECT_LT(maxErr, prevErr) << n;
+        // Error shrinks roughly one bit per iteration.
+        EXPECT_LT(maxErr, std::ldexp(4.0, -static_cast<int>(n))) << n;
+        prevErr = maxErr;
+    }
+}
+
+TEST(CordicEngine, HyperbolicRotationComputesSinhCosh)
+{
+    CordicEngine eng(CordicMode::Hyperbolic, 24, Placement::Host);
+    SplitMix64 rng(43);
+    for (int i = 0; i < 2000; ++i) {
+        float z = rng.nextFloat(-1.1f, 1.1f);
+        auto r = eng.rotate(z, nullptr);
+        EXPECT_NEAR(std::cosh(z), r.x, 4e-6) << z;
+        EXPECT_NEAR(std::sinh(z), r.y, 4e-6) << z;
+    }
+}
+
+TEST(CordicEngine, HyperbolicVectoringComputesAtanh)
+{
+    CordicEngine eng(CordicMode::Hyperbolic, 28, Placement::Host);
+    SplitMix64 rng(44);
+    for (int i = 0; i < 2000; ++i) {
+        // log-style inputs: x0 = m+1, y0 = m-1, m in [1, 2).
+        float m = rng.nextFloat(1.0f, 2.0f);
+        auto r = eng.vector(m + 1.0f, m - 1.0f, nullptr);
+        double expect = std::atanh((m - 1.0) / (m + 1.0));
+        EXPECT_NEAR(expect, r.z, 4e-6) << m;
+    }
+}
+
+TEST(CordicEngine, HyperbolicVectoringMagnitudeGain)
+{
+    CordicEngine eng(CordicMode::Hyperbolic, 28, Placement::Host);
+    SplitMix64 rng(45);
+    for (int i = 0; i < 2000; ++i) {
+        // sqrt-style inputs: m in [0.5, 2).
+        float m = rng.nextFloat(0.5f, 2.0f);
+        auto r = eng.vector(m + 0.25f, m - 0.25f, nullptr);
+        double expect = std::sqrt((double)m);
+        EXPECT_NEAR(expect, (double)r.x * eng.invGain(), 6e-6) << m;
+    }
+}
+
+TEST(CordicEngine, GainConstants)
+{
+    CordicEngine circ(CordicMode::Circular, 24, Placement::Host);
+    // The classic circular CORDIC gain.
+    EXPECT_NEAR(1.6467602, circ.gain(), 1e-5);
+    EXPECT_NEAR(0.6072529, circ.invGain(), 1e-5);
+    CordicEngine hyp(CordicMode::Hyperbolic, 24, Placement::Host);
+    EXPECT_LT(hyp.gain(), 1.0);
+    EXPECT_NEAR(1.0, hyp.gain() * hyp.invGain(), 1e-6);
+}
+
+TEST(CordicEngine, CostScalesWithIterations)
+{
+    CountingSink s8, s24;
+    CordicEngine e8(CordicMode::Circular, 8, Placement::Host);
+    CordicEngine e24(CordicMode::Circular, 24, Placement::Host);
+    e8.rotate(1.0f, &s8);
+    e24.rotate(1.0f, &s24);
+    EXPECT_GT(s24.total(), 2.5 * s8.total());
+    // Each float iteration costs ~3 emulated adds + 2 ldexp (~200).
+    double perIter = (double)(s24.total() - s8.total()) / 16.0;
+    EXPECT_GT(perIter, 120.0);
+    EXPECT_LT(perIter, 320.0);
+}
+
+TEST(CordicFixedEngine, RotationMatchesLibm)
+{
+    CordicFixedEngine eng(CordicMode::Circular, 28, Placement::Host);
+    SplitMix64 rng(46);
+    for (int i = 0; i < 2000; ++i) {
+        double z = rng.nextFloat(0.0f, 1.5707f);
+        auto r = eng.rotate(Fixed::fromDouble(z), nullptr);
+        EXPECT_NEAR(std::cos(z), r.x.toDouble(), 1e-7) << z;
+        EXPECT_NEAR(std::sin(z), r.y.toDouble(), 1e-7) << z;
+    }
+}
+
+TEST(CordicFixedEngine, MuchCheaperPerIterationThanFloat)
+{
+    CountingSink fixedSink, floatSink;
+    CordicFixedEngine fixedEng(CordicMode::Circular, 24,
+                               Placement::Host);
+    CordicEngine floatEng(CordicMode::Circular, 24, Placement::Host);
+    fixedEng.rotate(Fixed::fromDouble(1.0), &fixedSink);
+    floatEng.rotate(1.0f, &floatSink);
+    EXPECT_GT(floatSink.total(), 10 * fixedSink.total());
+}
+
+TEST(CordicFixedEngine, HyperbolicVectoring)
+{
+    CordicFixedEngine eng(CordicMode::Hyperbolic, 28, Placement::Host);
+    auto r = eng.vector(Fixed::fromDouble(1.5 + 1.0),
+                        Fixed::fromDouble(1.5 - 1.0), nullptr);
+    EXPECT_NEAR(std::atanh(0.5 / 2.5), r.z.toDouble(), 1e-7);
+}
+
+TEST(CordicLutEngine, MatchesFullCordicAccuracy)
+{
+    CordicLutEngine lutEng(CordicMode::Circular, 24, 8, 0.0,
+                           1.5707963267948966, Placement::Host);
+    SplitMix64 rng(47);
+    for (int i = 0; i < 2000; ++i) {
+        float z = rng.nextFloat(0.0f, 1.5707f);
+        auto r = lutEng.rotate(z, nullptr);
+        EXPECT_NEAR(std::sin(z), r.y, 4e-6) << z;
+        EXPECT_NEAR(std::cos(z), r.x, 4e-6) << z;
+    }
+}
+
+TEST(CordicLutEngine, FasterThanPureCordic)
+{
+    CordicEngine pure(CordicMode::Circular, 24, Placement::Host);
+    CordicLutEngine comb(CordicMode::Circular, 24, 8, 0.0,
+                         1.5707963267948966, Placement::Host);
+    CountingSink pureSink, combSink;
+    pure.rotate(1.0f, &pureSink);
+    comb.rotate(1.0f, &combSink);
+    EXPECT_LT(combSink.total(), 0.8 * pureSink.total());
+    EXPECT_EQ(24u - 8u, comb.tailIterations());
+}
+
+TEST(CordicLutEngine, HyperbolicMode)
+{
+    CordicLutEngine eng(CordicMode::Hyperbolic, 24, 7, -1.12, 1.12,
+                        Placement::Host);
+    SplitMix64 rng(48);
+    for (int i = 0; i < 1000; ++i) {
+        float z = rng.nextFloat(-1.1f, 1.1f);
+        auto r = eng.rotate(z, nullptr);
+        EXPECT_NEAR(std::cosh(z), r.x, 1e-5) << z;
+        EXPECT_NEAR(std::sinh(z), r.y, 1e-5) << z;
+    }
+}
+
+TEST(CordicEngine, TablePlacementOnDpu)
+{
+    sim::DpuCore dpu;
+    CordicEngine eng(CordicMode::Circular, 20, Placement::Wram);
+    eng.attach(dpu);
+    EXPECT_EQ(20u * 4u, eng.memoryBytes());
+    EXPECT_GE(dpu.wramAllocated(), eng.memoryBytes());
+    // Rotation still works against the attached table.
+    sim::LaunchStats stats = dpu.launch(1, [&](sim::TaskletContext& ctx) {
+        auto r = eng.rotate(0.5f, &ctx);
+        EXPECT_NEAR(std::sin(0.5), r.y, 1e-5);
+    });
+    EXPECT_GT(stats.totalInstructions, 0u);
+}
+
+} // namespace
+} // namespace transpim
+} // namespace tpl

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Analytic error-predictor validation: the closed-form scaling laws
+ * must track measured RMSE within a small constant factor across
+ * methods, table sizes, iteration counts and functions - exactly the
+ * relationships the paper's Section 2.2.2 derives.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "transpim/error_model.h"
+#include "transpim/harness.h"
+
+namespace tpl {
+namespace transpim {
+namespace {
+
+double
+measuredRmse(Function f, const MethodSpec& spec)
+{
+    auto eval = FunctionEvaluator::create(f, spec);
+    Domain dom = functionDomain(f);
+    auto inputs =
+        uniformFloats(4000, (float)dom.lo, (float)dom.hi, 0xacc);
+    return evaluateAccuracy(eval, inputs).rmse;
+}
+
+/** Assert prediction within a factor band of the measurement. */
+void
+expectWithinFactor(double predicted, double measured, double factor,
+                   const std::string& what)
+{
+    EXPECT_LT(measured, predicted * factor) << what;
+    EXPECT_GT(measured, predicted / factor) << what;
+}
+
+TEST(ErrorModel, RmsDerivativeSine)
+{
+    TableFn sine = [](double x) { return std::sin(x); };
+    // rms(sin') = rms(cos) = 1/sqrt(2) over a full period.
+    EXPECT_NEAR(0.7071, rmsDerivative(sine, 0, 6.2832, 1), 0.02);
+    EXPECT_NEAR(0.7071, rmsDerivative(sine, 0, 6.2832, 2), 0.02);
+}
+
+class LutPredictionTest
+    : public ::testing::TestWithParam<std::tuple<bool, uint32_t>>
+{
+};
+
+TEST_P(LutPredictionTest, SineLLutTracksMeasurement)
+{
+    auto [interp, log2n] = GetParam();
+    MethodSpec spec;
+    spec.method = Method::LLut;
+    spec.interpolated = interp;
+    spec.placement = Placement::Host;
+    spec.log2Entries = log2n;
+    double predicted = predictRmse(Function::Sin, spec);
+    double measured = measuredRmse(Function::Sin, spec);
+    if (measured < 5e-8)
+        return; // at the float floor, scaling laws no longer apply
+    expectWithinFactor(predicted, measured, 4.0,
+                       "interp=" + std::to_string(interp) + " 2^" +
+                           std::to_string(log2n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, LutPredictionTest,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(8u, 10u, 12u, 14u)));
+
+TEST(ErrorModel, CordicPrediction)
+{
+    for (uint32_t iters : {10u, 14u, 18u}) {
+        MethodSpec spec;
+        spec.method = Method::Cordic;
+        spec.iterations = iters;
+        spec.placement = Placement::Host;
+        double predicted = predictRmse(Function::Sin, spec);
+        double measured = measuredRmse(Function::Sin, spec);
+        expectWithinFactor(predicted, measured, 6.0,
+                           std::to_string(iters) + " iters");
+    }
+}
+
+TEST(ErrorModel, OtherFunctions)
+{
+    // The laws are function-generic via the derivative terms.
+    MethodSpec spec;
+    spec.method = Method::LLut;
+    spec.interpolated = true;
+    spec.placement = Placement::Host;
+    spec.log2Entries = 10;
+    for (Function f : {Function::Tanh, Function::Gelu,
+                       Function::Cndf}) {
+        double predicted = predictRmse(f, spec);
+        double measured = measuredRmse(f, spec);
+        expectWithinFactor(predicted, measured, 6.0,
+                           std::string(functionName(f)));
+    }
+}
+
+TEST(ErrorModel, PredictLog2Entries)
+{
+    for (double target : {1e-4, 1e-6}) {
+        int log2n = predictLog2Entries(Function::Sin, target);
+        ASSERT_GT(log2n, 0) << target;
+        MethodSpec spec;
+        spec.method = Method::LLut;
+        spec.interpolated = true;
+        spec.placement = Placement::Host;
+        spec.log2Entries = static_cast<uint32_t>(log2n);
+        // The predicted size must actually achieve the target (with
+        // the predictor's conservatism absorbing the slack).
+        EXPECT_LT(measuredRmse(Function::Sin, spec), target * 1.5)
+            << target;
+    }
+    // Below the binary32 floor: impossible.
+    EXPECT_EQ(-1, predictLog2Entries(Function::Sin, 1e-12));
+}
+
+TEST(ErrorModel, MonotoneInKnob)
+{
+    double prev = 1.0;
+    for (uint32_t log2n : {8u, 10u, 12u, 14u, 16u}) {
+        MethodSpec spec;
+        spec.method = Method::LLut;
+        spec.interpolated = true;
+        spec.log2Entries = log2n;
+        double p = predictRmse(Function::Sin, spec);
+        EXPECT_LE(p, prev) << log2n;
+        prev = p;
+    }
+}
+
+} // namespace
+} // namespace transpim
+} // namespace tpl

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * FunctionEvaluator tests: the full support matrix meets per-method
+ * accuracy bounds (parameterized sweep over every supported pair),
+ * unsupported pairs throw, range reduction composes, setup metadata is
+ * populated, and the paper's qualitative cost orderings hold at the
+ * evaluator level.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "transpim/evaluator.h"
+#include "transpim/harness.h"
+
+namespace tpl {
+namespace transpim {
+namespace {
+
+const std::vector<Function> kAllFunctions{
+    Function::Sin, Function::Cos, Function::Tan, Function::Sinh,
+    Function::Cosh, Function::Tanh, Function::Exp, Function::Log,
+    Function::Sqrt, Function::Gelu, Function::Sigmoid, Function::Cndf,
+    Function::Atan, Function::Asin, Function::Acos, Function::Atanh,
+    Function::Log2, Function::Log10, Function::Exp2, Function::Rsqrt,
+    Function::Erf, Function::Silu, Function::Softplus};
+
+const std::vector<Method> kAllMethods{
+    Method::Cordic, Method::CordicFixed, Method::CordicLut,
+    Method::MLut, Method::LLut, Method::LLutFixed, Method::DLut,
+    Method::DlLut, Method::Poly};
+
+MethodSpec
+defaultSpec(Method m)
+{
+    MethodSpec spec;
+    spec.method = m;
+    spec.interpolated = true;
+    spec.placement = Placement::Host;
+    spec.log2Entries = 14;
+    spec.iterations = 26;
+    spec.gridBits = 8;
+    spec.polyDegree = 13;
+    spec.dlutMantBits = 8;
+    return spec;
+}
+
+/**
+ * Accuracy bound for a (function, method) pair with the default spec.
+ * Relative bounds for functions with large outputs (exp/sinh/cosh).
+ */
+double
+accuracyBound(Function f, Method m)
+{
+    // Base bound by method class.
+    double base;
+    switch (m) {
+      case Method::Cordic:
+      case Method::CordicLut:
+        base = 5e-6;
+        break;
+      case Method::CordicFixed:
+        base = 1e-6;
+        break;
+      case Method::MLut:
+      case Method::LLut:
+        base = 1e-6;
+        break;
+      case Method::LLutFixed:
+        base = 5e-6;
+        break;
+      case Method::DLut:
+      case Method::DlLut:
+        base = 5e-5; // 8 mantissa bits -> coarser but relative-ish
+        break;
+      case Method::Poly:
+        base = 5e-5;
+        break;
+      default:
+        base = 1e-4;
+    }
+    // Functions whose outputs or derivatives are large are checked
+    // with a relative error (see relativeCheck), so their bound is the
+    // method base with headroom; tan gets absolute slack near poles.
+    switch (f) {
+      case Function::Exp:
+      case Function::Exp2:
+      case Function::Sinh:
+      case Function::Cosh:
+        return base * 60; // relative bound
+      case Function::Tan:
+        return 2e-2; // poles: bound checked away from them below
+      case Function::Log:
+      case Function::Log2:
+      case Function::Log10:
+        return base * 10;
+      case Function::Sqrt:
+        return base * 20;
+      case Function::Rsqrt:
+        return base * 40; // steep near the domain's low end
+      case Function::Atanh:
+        return base * 200; // derivative ~50 near +-0.99
+      case Function::Asin:
+      case Function::Acos:
+        return base * 60; // derivative ~7 near +-0.99
+      default:
+        return base * 4;
+    }
+}
+
+/** Functions whose error is judged relative to max(1, |reference|). */
+bool
+relativeCheck(Function f)
+{
+    return f == Function::Exp || f == Function::Exp2 ||
+           f == Function::Sinh || f == Function::Cosh;
+}
+
+/** Inputs for accuracy checks; avoids tan poles. */
+std::vector<float>
+testInputs(Function f)
+{
+    Domain dom = functionDomain(f);
+    auto v = uniformFloats(3000, (float)dom.lo, (float)dom.hi, 77);
+    if (f == Function::Tan) {
+        std::erase_if(v, [](float x) {
+            double c = std::cos((double)x);
+            return std::abs(c) < 0.1;
+        });
+    }
+    if (f == Function::Log || f == Function::Log2 ||
+        f == Function::Log10 || f == Function::Rsqrt) {
+        std::erase_if(v, [](float x) { return x < 0.01f; });
+    }
+    return v;
+}
+
+using Combo = std::tuple<Function, Method>;
+
+class SupportMatrixTest : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(SupportMatrixTest, MeetsAccuracyBound)
+{
+    auto [f, m] = GetParam();
+    MethodSpec spec = defaultSpec(m);
+    if (!FunctionEvaluator::supports(f, spec)) {
+        EXPECT_THROW(FunctionEvaluator::create(f, spec),
+                     UnsupportedCombination);
+        return;
+    }
+    FunctionEvaluator eval = FunctionEvaluator::create(f, spec);
+    double bound = accuracyBound(f, m);
+    double worst = 0.0;
+    float worstX = 0.0f;
+    bool relative = relativeCheck(f);
+    for (float x : testInputs(f)) {
+        double y = eval.eval(x, nullptr);
+        double ref = referenceValue(f, (double)x);
+        double err = std::abs(y - ref);
+        if (relative)
+            err /= std::max(1.0, std::abs(ref));
+        if (err > worst) {
+            worst = err;
+            worstX = x;
+        }
+    }
+    EXPECT_LT(worst, bound)
+        << functionName(f) << " via " << methodName(m) << " worst at x="
+        << worstX;
+}
+
+std::string
+comboName(const ::testing::TestParamInfo<Combo>& info)
+{
+    auto [f, m] = info.param;
+    std::string name(functionName(f));
+    name += "_";
+    for (char c : methodName(m)) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            name += c;
+    }
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, SupportMatrixTest,
+    ::testing::Combine(::testing::ValuesIn(kAllFunctions),
+                       ::testing::ValuesIn(kAllMethods)),
+    comboName);
+
+// ---------------------------------------------------------------------
+// Accuracy scaling sweeps (the backbone of Figure 5's x axis)
+// ---------------------------------------------------------------------
+
+class LutSizeSweepTest : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(LutSizeSweepTest, LLutErrorTracksTableSize)
+{
+    uint32_t log2n = GetParam();
+    MethodSpec spec = defaultSpec(Method::LLut);
+    spec.log2Entries = log2n;
+    auto eval = FunctionEvaluator::create(Function::Sin, spec);
+    auto inputs = testInputs(Function::Sin);
+    ErrorStats stats = evaluateAccuracy(eval, inputs);
+    // Interpolated error ~ spacing^2/8; density is 2^(log2n-3) for
+    // the [0, 2pi] sine table.
+    double spacing = 6.2832 / (1 << (log2n - 1));
+    EXPECT_LT(stats.rmse, spacing * spacing + 3e-8) << log2n;
+    EXPECT_GT(stats.count, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LutSizeSweepTest,
+                         ::testing::Values(8u, 10u, 12u, 14u, 16u));
+
+class CordicIterSweepTest : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(CordicIterSweepTest, ErrorHalvesPerIteration)
+{
+    uint32_t iters = GetParam();
+    MethodSpec spec = defaultSpec(Method::Cordic);
+    spec.iterations = iters;
+    auto eval = FunctionEvaluator::create(Function::Sin, spec);
+    auto inputs = testInputs(Function::Sin);
+    ErrorStats stats = evaluateAccuracy(eval, inputs);
+    EXPECT_LT(stats.rmse, std::ldexp(4.0, -(int)iters) + 1e-7) << iters;
+}
+
+INSTANTIATE_TEST_SUITE_P(Iters, CordicIterSweepTest,
+                         ::testing::Values(8u, 12u, 16u, 20u, 24u));
+
+// ---------------------------------------------------------------------
+// Composition and metadata
+// ---------------------------------------------------------------------
+
+TEST(Evaluator, RangeReductionComposes)
+{
+    MethodSpec spec = defaultSpec(Method::LLut);
+    spec.reduceRange = true;
+    auto eval = FunctionEvaluator::create(Function::Sin, spec);
+    SplitMix64 rng(78);
+    for (int i = 0; i < 2000; ++i) {
+        float x = rng.nextFloat(-50.0f, 50.0f);
+        EXPECT_NEAR(std::sin((double)x), eval.eval(x), 3e-4) << x;
+    }
+}
+
+TEST(Evaluator, SetupMetadataPopulated)
+{
+    MethodSpec spec = defaultSpec(Method::LLut);
+    spec.log2Entries = 16;
+    auto eval = FunctionEvaluator::create(Function::Sin, spec);
+    EXPECT_GT(eval.memoryBytes(), 1u << 16);
+    EXPECT_GT(eval.setupSeconds(), 0.0);
+    EXPECT_TRUE(eval.valid());
+}
+
+TEST(Evaluator, SetupTimeGrowsWithTableSize)
+{
+    MethodSpec small = defaultSpec(Method::MLut);
+    small.log2Entries = 8;
+    MethodSpec large = defaultSpec(Method::MLut);
+    large.log2Entries = 20;
+    double smallT = 0.0;
+    double largeT = 0.0;
+    // Median of several runs to de-noise timer jitter.
+    for (int i = 0; i < 3; ++i) {
+        smallT +=
+            FunctionEvaluator::create(Function::Sin, small).setupSeconds();
+        largeT +=
+            FunctionEvaluator::create(Function::Sin, large).setupSeconds();
+    }
+    EXPECT_GT(largeT, smallT);
+}
+
+TEST(Evaluator, CordicSetupFlat)
+{
+    // CORDIC's host setup is accuracy-independent (Key Takeaway 2).
+    MethodSpec a = defaultSpec(Method::Cordic);
+    a.iterations = 8;
+    MethodSpec b = defaultSpec(Method::Cordic);
+    b.iterations = 30;
+    auto ea = FunctionEvaluator::create(Function::Sin, a);
+    auto eb = FunctionEvaluator::create(Function::Sin, b);
+    EXPECT_LT(eb.memoryBytes(), 1024u);
+    EXPECT_LT(eb.memoryBytes() - ea.memoryBytes(), 512u);
+}
+
+TEST(Evaluator, TanCostsMoreThanSin)
+{
+    // Section 4.2.4: tangent = sine + cosine + float division.
+    MethodSpec spec = defaultSpec(Method::LLut);
+    auto sinE = FunctionEvaluator::create(Function::Sin, spec);
+    auto tanE = FunctionEvaluator::create(Function::Tan, spec);
+    CountingSink sSin, sTan;
+    sinE.eval(1.0f, &sSin);
+    tanE.eval(1.0f, &sTan);
+    EXPECT_GT(sTan.total(), 1.8 * sSin.total());
+    EXPECT_LT(sTan.total(), 6.0 * sSin.total());
+}
+
+TEST(Evaluator, FixedInterpolatedLLutFasterThanFloat)
+{
+    // Figure 5: the fixed-point interpolated L-LUT roughly doubles the
+    // performance of the float interpolated L-LUT.
+    MethodSpec fx = defaultSpec(Method::LLutFixed);
+    MethodSpec fl = defaultSpec(Method::LLut);
+    auto fixedE = FunctionEvaluator::create(Function::Sin, fx);
+    auto floatE = FunctionEvaluator::create(Function::Sin, fl);
+    CountingSink sFx, sFl;
+    fixedE.eval(3.0f, &sFx);
+    floatE.eval(3.0f, &sFl);
+    EXPECT_LT(sFx.total(), 0.75 * sFl.total());
+}
+
+TEST(Evaluator, CordicMuchSlowerThanLLutAtHighAccuracy)
+{
+    // The Figure 5 headline: at comparable accuracy, float CORDIC
+    // costs several times the interpolated L-LUT.
+    MethodSpec cordic = defaultSpec(Method::Cordic);
+    cordic.iterations = 28;
+    MethodSpec llut = defaultSpec(Method::LLut);
+    llut.log2Entries = 16;
+    auto cE = FunctionEvaluator::create(Function::Sin, cordic);
+    auto lE = FunctionEvaluator::create(Function::Sin, llut);
+    CountingSink sC, sL;
+    cE.eval(3.0f, &sC);
+    lE.eval(3.0f, &sL);
+    EXPECT_GT(sC.total(), 5 * sL.total());
+}
+
+TEST(Evaluator, DLutFastForActivationFunctions)
+{
+    // Key Takeaway 4: D-LUT beats interpolated L-LUT on tanh because
+    // it needs no range handling and its query is pure bit surgery.
+    MethodSpec dlut = defaultSpec(Method::DLut);
+    dlut.interpolated = false;
+    MethodSpec llut = defaultSpec(Method::LLut);
+    auto dE = FunctionEvaluator::create(Function::Tanh, dlut);
+    auto lE = FunctionEvaluator::create(Function::Tanh, llut);
+    CountingSink sD, sL;
+    dE.eval(1.5f, &sD);
+    lE.eval(1.5f, &sL);
+    EXPECT_LT(sD.total(), 0.5 * sL.total());
+}
+
+TEST(Evaluator, GeluViaDlLut)
+{
+    MethodSpec spec = defaultSpec(Method::DlLut);
+    auto eval = FunctionEvaluator::create(Function::Gelu, spec);
+    SplitMix64 rng(79);
+    for (int i = 0; i < 2000; ++i) {
+        float x = rng.nextFloat(-8.0f, 8.0f);
+        EXPECT_NEAR(geluReference((double)x), eval.eval(x), 5e-3) << x;
+    }
+}
+
+TEST(Evaluator, AttachPlacesAllTables)
+{
+    MethodSpec spec = defaultSpec(Method::LLut);
+    spec.placement = Placement::Mram;
+    auto eval = FunctionEvaluator::create(Function::Tan, spec);
+    sim::DpuCore dpu;
+    eval.attach(dpu);
+    EXPECT_GE(dpu.mramAllocated(), eval.memoryBytes());
+}
+
+TEST(Evaluator, MethodLabels)
+{
+    MethodSpec spec = defaultSpec(Method::LLut);
+    spec.placement = Placement::Wram;
+    EXPECT_EQ("L-LUT interp. (WRAM)", methodLabel(spec));
+    spec.interpolated = false;
+    spec.method = Method::MLut;
+    EXPECT_EQ("M-LUT (WRAM)", methodLabel(spec));
+    spec.method = Method::Cordic;
+    EXPECT_EQ("CORDIC", methodLabel(spec));
+}
+
+} // namespace
+} // namespace transpim
+} // namespace tpl

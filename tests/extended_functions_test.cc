@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Targeted tests for the extension functions (beyond the broad
+ * support-matrix sweep in evaluator_test): identities at special
+ * points, the argument reductions behind the compositional
+ * implementations, exactness properties of the base-2 paths, and
+ * inverse-function round trips.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "transpim/evaluator.h"
+
+namespace tpl {
+namespace transpim {
+namespace {
+
+MethodSpec
+lutSpec()
+{
+    MethodSpec spec;
+    spec.method = Method::LLut;
+    spec.interpolated = true;
+    spec.placement = Placement::Host;
+    spec.log2Entries = 14;
+    return spec;
+}
+
+MethodSpec
+polySpec()
+{
+    MethodSpec spec;
+    spec.method = Method::Poly;
+    spec.polyDegree = 13;
+    spec.placement = Placement::Host;
+    return spec;
+}
+
+MethodSpec
+cordicSpec()
+{
+    MethodSpec spec;
+    spec.method = Method::Cordic;
+    spec.iterations = 26;
+    spec.placement = Placement::Host;
+    return spec;
+}
+
+TEST(Atan, SpecialPoints)
+{
+    for (const MethodSpec& spec : {lutSpec(), polySpec(), cordicSpec()}) {
+        auto atanE = FunctionEvaluator::create(Function::Atan, spec);
+        EXPECT_NEAR(0.0, atanE.eval(0.0f), 2e-4);
+        EXPECT_NEAR(M_PI / 4, atanE.eval(1.0f), 2e-4);
+        EXPECT_NEAR(-M_PI / 4, atanE.eval(-1.0f), 2e-4);
+        EXPECT_NEAR(std::atan(7.5), atanE.eval(7.5f), 2e-4);
+    }
+}
+
+TEST(Atan, PolyOctantReductionSeams)
+{
+    // The poly implementation folds at |x| = tan(pi/8) and |x| = 1;
+    // check continuity right at the seams.
+    auto atanE = FunctionEvaluator::create(Function::Atan, polySpec());
+    for (float seam : {0.41421356f, 1.0f}) {
+        float below = atanE.eval(std::nextafter(seam, 0.0f));
+        float at = atanE.eval(seam);
+        float above = atanE.eval(std::nextafter(seam, 10.0f));
+        EXPECT_NEAR(below, at, 1e-5) << seam;
+        EXPECT_NEAR(at, above, 1e-5) << seam;
+    }
+}
+
+TEST(AsinAcos, ComplementaryIdentity)
+{
+    auto asinE = FunctionEvaluator::create(Function::Asin, polySpec());
+    auto acosE = FunctionEvaluator::create(Function::Acos, polySpec());
+    SplitMix64 rng(91);
+    for (int i = 0; i < 500; ++i) {
+        float x = rng.nextFloat(-0.98f, 0.98f);
+        EXPECT_NEAR(M_PI / 2, asinE.eval(x) + acosE.eval(x), 1e-4) << x;
+        EXPECT_NEAR(std::asin((double)x), asinE.eval(x), 5e-4) << x;
+    }
+}
+
+TEST(Atanh, InverseOfTanh)
+{
+    auto atanhE = FunctionEvaluator::create(Function::Atanh, lutSpec());
+    SplitMix64 rng(92);
+    for (int i = 0; i < 500; ++i) {
+        float x = rng.nextFloat(-3.0f, 3.0f);
+        float t = std::tanh(x);
+        if (std::abs(t) > 0.98f)
+            continue;
+        EXPECT_NEAR(x, atanhE.eval(t), 6e-3) << x;
+    }
+}
+
+TEST(Atanh, CordicIdentityPathSeam)
+{
+    // The CORDIC implementation switches from direct vectoring to the
+    // log identity at |x| = 0.75.
+    auto atanhE = FunctionEvaluator::create(Function::Atanh,
+                                            cordicSpec());
+    for (float x : {0.70f, 0.74f, 0.76f, 0.90f, -0.74f, -0.76f}) {
+        EXPECT_NEAR(std::atanh((double)x), atanhE.eval(x), 5e-5) << x;
+    }
+}
+
+TEST(Log2, ExponentContributionIsExact)
+{
+    // log2(2^k) must be exactly k: the split contributes the exponent
+    // as an integer and log2(m = 1) = 0 is a table endpoint.
+    auto log2E = FunctionEvaluator::create(Function::Log2, lutSpec());
+    for (int k = -10; k <= 10; ++k) {
+        float x = std::ldexp(1.0f, k);
+        EXPECT_NEAR((float)k, log2E.eval(x), 2e-5) << k;
+    }
+}
+
+TEST(Log2Log10, ConsistentWithLog)
+{
+    auto logE = FunctionEvaluator::create(Function::Log, lutSpec());
+    auto log2E = FunctionEvaluator::create(Function::Log2, lutSpec());
+    auto log10E = FunctionEvaluator::create(Function::Log10, lutSpec());
+    SplitMix64 rng(93);
+    for (int i = 0; i < 500; ++i) {
+        float x = rng.nextFloat(0.01f, 100.0f);
+        double ln = logE.eval(x);
+        EXPECT_NEAR(ln / std::log(2.0), log2E.eval(x), 2e-4) << x;
+        EXPECT_NEAR(ln / std::log(10.0), log10E.eval(x), 2e-4) << x;
+    }
+}
+
+TEST(Exp2, PowersOfTwoNearlyExact)
+{
+    auto exp2E = FunctionEvaluator::create(Function::Exp2, lutSpec());
+    for (int k = -8; k <= 8; ++k) {
+        float expect = std::ldexp(1.0f, k);
+        EXPECT_NEAR(expect, exp2E.eval((float)k), expect * 2e-5) << k;
+    }
+}
+
+TEST(Exp2, CheaperRangeExtensionThanExp)
+{
+    // 2^x splits with floor(x) alone; e^x needs two constant
+    // multiplies. The full evaluation must reflect that.
+    auto exp2E = FunctionEvaluator::create(Function::Exp2, lutSpec());
+    auto expE = FunctionEvaluator::create(Function::Exp, lutSpec());
+    CountingSink s2, se;
+    exp2E.eval(3.7f, &s2);
+    expE.eval(3.7f, &se);
+    EXPECT_LT(s2.total(), se.total());
+}
+
+TEST(Rsqrt, MatchesReferenceAcrossDecades)
+{
+    for (const MethodSpec& spec : {lutSpec(), polySpec(), cordicSpec()}) {
+        auto rsqrtE = FunctionEvaluator::create(Function::Rsqrt, spec);
+        for (float x : {0.01f, 0.1f, 0.5f, 1.0f, 2.0f, 10.0f, 100.0f}) {
+            double expect = 1.0 / std::sqrt((double)x);
+            EXPECT_NEAR(expect, rsqrtE.eval(x), expect * 2e-3)
+                << x << " " << methodLabel(spec);
+        }
+    }
+}
+
+TEST(Erf, OddSymmetryAndSaturation)
+{
+    auto erfE = FunctionEvaluator::create(Function::Erf, lutSpec());
+    SplitMix64 rng(94);
+    for (int i = 0; i < 500; ++i) {
+        float x = rng.nextFloat(0.0f, 4.0f);
+        EXPECT_NEAR(erfE.eval(x), -erfE.eval(-x), 2e-5) << x;
+    }
+    EXPECT_NEAR(1.0, erfE.eval(3.9f), 1e-4);
+    EXPECT_NEAR(0.0, erfE.eval(0.0f), 1e-5);
+}
+
+TEST(Silu, RelatesToSigmoid)
+{
+    auto siluE = FunctionEvaluator::create(Function::Silu, lutSpec());
+    auto sigE = FunctionEvaluator::create(Function::Sigmoid, lutSpec());
+    SplitMix64 rng(95);
+    for (int i = 0; i < 500; ++i) {
+        float x = rng.nextFloat(-7.9f, 7.9f);
+        EXPECT_NEAR(x * sigE.eval(x), siluE.eval(x), 5e-3) << x;
+    }
+}
+
+TEST(Softplus, DerivativeRelationships)
+{
+    // softplus(x) - softplus(-x) == x (exact identity).
+    auto spE = FunctionEvaluator::create(Function::Softplus, lutSpec());
+    SplitMix64 rng(96);
+    for (int i = 0; i < 500; ++i) {
+        float x = rng.nextFloat(-9.0f, 9.0f);
+        EXPECT_NEAR(x, spE.eval(x) - spE.eval(-x), 5e-4) << x;
+    }
+    EXPECT_NEAR(std::log(2.0), spE.eval(0.0f), 1e-4);
+}
+
+TEST(ExtendedSupport, FixedPointCells)
+{
+    MethodSpec fixed;
+    fixed.method = Method::LLutFixed;
+    EXPECT_TRUE(FunctionEvaluator::supports(Function::Atan, fixed));
+    EXPECT_TRUE(FunctionEvaluator::supports(Function::Erf, fixed));
+    EXPECT_TRUE(FunctionEvaluator::supports(Function::Exp2, fixed));
+    EXPECT_TRUE(FunctionEvaluator::supports(Function::Silu, fixed));
+    // Ranges that do not fit Q3.28 stay out.
+    EXPECT_FALSE(FunctionEvaluator::supports(Function::Softplus, fixed));
+    EXPECT_FALSE(FunctionEvaluator::supports(Function::Log2, fixed));
+    EXPECT_FALSE(FunctionEvaluator::supports(Function::Rsqrt, fixed));
+}
+
+TEST(ExtendedSupport, CordicCells)
+{
+    MethodSpec cordic;
+    cordic.method = Method::Cordic;
+    EXPECT_TRUE(FunctionEvaluator::supports(Function::Atan, cordic));
+    EXPECT_TRUE(FunctionEvaluator::supports(Function::Atanh, cordic));
+    EXPECT_TRUE(FunctionEvaluator::supports(Function::Softplus, cordic));
+    EXPECT_FALSE(FunctionEvaluator::supports(Function::Asin, cordic));
+    EXPECT_FALSE(FunctionEvaluator::supports(Function::Erf, cordic));
+}
+
+} // namespace
+} // namespace transpim
+} // namespace tpl

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Differential fuzzing across the whole library surface: random
+ * (function, method, configuration) combinations evaluated on random
+ * in-domain inputs must stay finite, stay within a conservative
+ * error envelope derived from the configuration, and never throw once
+ * construction succeeded. This is the broad safety net underneath the
+ * targeted suites.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "transpim/evaluator.h"
+
+namespace tpl {
+namespace transpim {
+namespace {
+
+const Function kFunctions[] = {
+    Function::Sin, Function::Cos, Function::Tan, Function::Sinh,
+    Function::Cosh, Function::Tanh, Function::Exp, Function::Log,
+    Function::Sqrt, Function::Gelu, Function::Sigmoid, Function::Cndf,
+    Function::Atan, Function::Asin, Function::Acos, Function::Atanh,
+    Function::Log2, Function::Log10, Function::Exp2, Function::Rsqrt,
+    Function::Erf, Function::Silu, Function::Softplus};
+
+const Method kMethods[] = {
+    Method::Cordic, Method::CordicFixed, Method::CordicLut,
+    Method::MLut, Method::LLut, Method::LLutFixed, Method::DLut,
+    Method::DlLut, Method::Poly};
+
+/** A generous error envelope: the fuzz only screens for blow-ups. */
+double
+fuzzBound(Function f, const MethodSpec& spec)
+{
+    double base;
+    switch (spec.method) {
+      case Method::DLut:
+      case Method::DlLut:
+        base = 0.2;
+        break;
+      case Method::Poly:
+        base = spec.polyDegree >= 9 ? 0.05 : 0.5;
+        break;
+      default:
+        base = spec.log2Entries <= 8 || spec.iterations <= 10 ? 0.2
+                                                              : 0.02;
+        break;
+    }
+    switch (f) {
+      case Function::Exp:
+      case Function::Exp2:
+      case Function::Sinh:
+      case Function::Cosh:
+        return base * 3e4; // large outputs: screened relatively below
+      case Function::Tan:
+        return 1e9; // poles: only finiteness is checked
+      default:
+        return base * 30;
+    }
+}
+
+TEST(DifferentialFuzz, RandomConfigurationsStaySane)
+{
+    SplitMix64 rng(0xf022);
+    int built = 0;
+    for (int trial = 0; trial < 400; ++trial) {
+        Function f = kFunctions[rng.next() % std::size(kFunctions)];
+        Method m = kMethods[rng.next() % std::size(kMethods)];
+        MethodSpec spec;
+        spec.method = m;
+        spec.interpolated = (rng.next() & 1) != 0;
+        spec.placement = Placement::Host;
+        spec.log2Entries = 7 + static_cast<uint32_t>(rng.next() % 9);
+        spec.iterations = 8 + static_cast<uint32_t>(rng.next() % 20);
+        spec.gridBits = 4 + static_cast<uint32_t>(rng.next() % 7);
+        spec.polyDegree = 5 + static_cast<uint32_t>(rng.next() % 10);
+        spec.dlutMantBits = 4 + static_cast<uint32_t>(rng.next() % 6);
+
+        if (!FunctionEvaluator::supports(f, spec)) {
+            EXPECT_THROW(FunctionEvaluator::create(f, spec),
+                         UnsupportedCombination);
+            continue;
+        }
+        FunctionEvaluator eval = FunctionEvaluator::create(f, spec);
+        ++built;
+
+        Domain dom = functionDomain(f);
+        double bound = fuzzBound(f, spec);
+        for (int i = 0; i < 50; ++i) {
+            float x = rng.nextFloat((float)dom.lo, (float)dom.hi);
+            float y = eval.eval(x, nullptr);
+            double ref = referenceValue(f, (double)x);
+            ASSERT_TRUE(std::isfinite(y))
+                << functionName(f) << "/" << methodName(m) << " at "
+                << x;
+            double err = std::abs((double)y - ref);
+            if (f == Function::Exp || f == Function::Exp2 ||
+                f == Function::Sinh || f == Function::Cosh) {
+                err /= std::max(1.0, std::abs(ref));
+                ASSERT_LT(err, 0.5)
+                    << functionName(f) << "/" << methodName(m)
+                    << " interp=" << spec.interpolated << " at " << x;
+            } else if (f != Function::Tan) {
+                ASSERT_LT(err, bound)
+                    << functionName(f) << "/" << methodName(m)
+                    << " interp=" << spec.interpolated << " at " << x;
+            }
+        }
+    }
+    // The sweep must actually exercise a healthy share of the matrix.
+    EXPECT_GT(built, 150);
+}
+
+TEST(DifferentialFuzz, OutOfDomainInputsNeverTrap)
+{
+    // Out-of-domain inputs may return clamped or extrapolated values,
+    // but must never throw or return NaN for table methods whose
+    // domain is the full real line conceptually (activations).
+    SplitMix64 rng(0xf023);
+    for (Method m : {Method::MLut, Method::LLut, Method::DLut,
+                     Method::DlLut}) {
+        MethodSpec spec;
+        spec.method = m;
+        spec.placement = Placement::Host;
+        spec.log2Entries = 10;
+        auto eval = FunctionEvaluator::create(Function::Tanh, spec);
+        for (int i = 0; i < 500; ++i) {
+            float x = rng.nextFloat(-1e6f, 1e6f);
+            float y = eval.eval(x, nullptr);
+            ASSERT_TRUE(std::isfinite(y)) << methodName(m) << " " << x;
+            ASSERT_LE(std::abs(y), 1.01f) << methodName(m) << " " << x;
+        }
+    }
+}
+
+TEST(DifferentialFuzz, SinkedAndSinklessEvalsAgree)
+{
+    // Charging must never change values: eval with a sink and without
+    // must produce identical bits.
+    SplitMix64 rng(0xf024);
+    for (int trial = 0; trial < 60; ++trial) {
+        Function f = kFunctions[rng.next() % std::size(kFunctions)];
+        Method m = kMethods[rng.next() % std::size(kMethods)];
+        MethodSpec spec;
+        spec.method = m;
+        spec.placement = Placement::Host;
+        if (!FunctionEvaluator::supports(f, spec))
+            continue;
+        auto eval = FunctionEvaluator::create(f, spec);
+        Domain dom = functionDomain(f);
+        CountingSink sink;
+        for (int i = 0; i < 30; ++i) {
+            float x = rng.nextFloat((float)dom.lo, (float)dom.hi);
+            float a = eval.eval(x, nullptr);
+            float b = eval.eval(x, &sink);
+            ASSERT_EQ(a, b)
+                << functionName(f) << "/" << methodName(m) << " " << x;
+        }
+    }
+}
+
+} // namespace
+} // namespace transpim
+} // namespace tpl

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Miniature DPU ISA tests: assembler parsing and errors, interpreter
+ * semantics, and - the point of the module - bottom-up validation of
+ * the cost model: hand-written assembly kernels for the fixed-point
+ * interpolated L-LUT and the fixed-point CORDIC must reproduce the
+ * high-level implementations' outputs *bit-exactly* and land within a
+ * tight band of their charged instruction counts.
+ */
+
+#include <cmath>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "pimsim/isa.h"
+#include "transpim/cordic.h"
+#include "transpim/fuzzy_lut.h"
+
+namespace tpl {
+namespace sim {
+namespace {
+
+/** Replace every occurrence of @p key with @p value. */
+std::string
+subst(std::string text, const std::string& key, int64_t value)
+{
+    std::string val = std::to_string(value);
+    size_t pos = 0;
+    while ((pos = text.find(key, pos)) != std::string::npos) {
+        text.replace(pos, key.size(), val);
+        pos += val.size();
+    }
+    return text;
+}
+
+ExecResult
+runOnce(const Program& prog, DpuCore& dpu,
+        const std::array<int32_t, 4>& args = {})
+{
+    ExecResult out;
+    dpu.launch(1, [&](TaskletContext& ctx) {
+        out = execute(prog, ctx);
+        (void)args;
+    });
+    return out;
+}
+
+TEST(Assembler, ParsesBasicProgram)
+{
+    Program p = assemble(R"(
+        # compute 6*7 the long way
+        movi r1, 6
+        movi r2, 7
+        mul  r3, r1, r2
+        halt
+    )");
+    EXPECT_EQ(4u, p.code.size());
+    EXPECT_EQ(Opcode::Mul, p.code[2].op);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Program p = assemble(R"(
+        movi r1, 0
+        movi r2, 5
+    loop:
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+    )");
+    // The branch target is the instruction index of 'loop'.
+    EXPECT_EQ(2, p.code[3].imm);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    EXPECT_THROW(assemble("bogus r1, r2\n"), AsmError);
+    EXPECT_THROW(assemble("add r1, r2\n"), AsmError); // missing operand
+    EXPECT_THROW(assemble("add r1, r2, r99\n"), AsmError);
+    EXPECT_THROW(assemble("jmp nowhere\n"), AsmError);
+    EXPECT_THROW(assemble("movi r1, zzz\n"), AsmError);
+    try {
+        assemble("movi r1, 1\nbogus\n");
+        FAIL();
+    } catch (const AsmError& e) {
+        EXPECT_NE(nullptr, std::strstr(e.what(), "line 2"));
+    }
+}
+
+TEST(Interpreter, ArithmeticSemantics)
+{
+    Program p = assemble(R"(
+        movi r1, -20
+        movi r2, 6
+        add  r3, r1, r2     # -14
+        sub  r4, r1, r2     # -26
+        mul  r5, r1, r2     # -120
+        mulh r6, r1, r2     # -1 (sign extension of small product)
+        srai r7, r1, 2      # -5
+        srli r8, r1, 28     # 15 (logical)
+        andi r9, r1, 0xff   # 0xec
+        halt
+    )");
+    DpuCore dpu;
+    ExecResult r = runOnce(p, dpu);
+    EXPECT_EQ(-14, r.registers[3]);
+    EXPECT_EQ(-26, r.registers[4]);
+    EXPECT_EQ(-120, r.registers[5]);
+    EXPECT_EQ(-1, r.registers[6]);
+    EXPECT_EQ(-5, r.registers[7]);
+    EXPECT_EQ(15, r.registers[8]);
+    EXPECT_EQ(0xec, r.registers[9]);
+}
+
+TEST(Interpreter, LoopAndWram)
+{
+    // Sum WRAM[0..9] into WRAM[40].
+    DpuCore dpu;
+    for (int32_t i = 0; i < 10; ++i)
+        std::memcpy(dpu.wramData() + 4 * i, &i, 4);
+    Program p = assemble(R"(
+        movi r1, 0      # i
+        movi r2, 10
+        movi r3, 0      # sum
+    loop:
+        bge  r1, r2, done
+        slli r4, r1, 2
+        ldw  r5, r4, 0
+        add  r3, r3, r5
+        addi r1, r1, 1
+        jmp  loop
+    done:
+        movi r6, 0
+        stw  r3, r6, 40
+        halt
+    )");
+    runOnce(p, dpu);
+    int32_t sum;
+    std::memcpy(&sum, dpu.wramData() + 40, 4);
+    EXPECT_EQ(45, sum);
+}
+
+TEST(Interpreter, DmaInstructions)
+{
+    DpuCore dpu;
+    std::vector<int32_t> data{11, 22, 33, 44};
+    dpu.hostWriteMram(1024, data.data(), 16);
+    Program p = assemble(R"(
+        movi r1, 0       # wram addr
+        movi r2, 1024    # mram addr
+        movi r3, 16      # bytes
+        ldma r1, r2, r3
+        ldw  r4, r1, 8   # third word
+        movi r5, 2048
+        sdma r1, r5, r3
+        halt
+    )");
+    ExecResult r = runOnce(p, dpu);
+    EXPECT_EQ(33, r.registers[4]);
+    std::vector<int32_t> back(4);
+    dpu.hostReadMram(2048, back.data(), 16);
+    EXPECT_EQ(data, back);
+}
+
+TEST(Interpreter, GuardsAndErrors)
+{
+    DpuCore dpu;
+    Program spin = assemble("loop: jmp loop\n");
+    EXPECT_THROW(dpu.launch(1,
+                            [&](TaskletContext& ctx) {
+                                execute(spin, ctx, 1000);
+                            }),
+                 std::runtime_error);
+    Program oob = assemble(R"(
+        movi r1, 0x7fffffff
+        ldw  r2, r1, 0
+        halt
+    )");
+    EXPECT_THROW(dpu.launch(1,
+                            [&](TaskletContext& ctx) {
+                                execute(oob, ctx);
+                            }),
+                 std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Bottom-up cost-model validation
+// ---------------------------------------------------------------------
+
+/**
+ * Hand-written fixed-point interpolated L-LUT kernel. Table and inputs
+ * are pre-placed in WRAM; constants are substituted into the source.
+ */
+constexpr const char* kLLutKernel = R"(
+        movi r1, 0          # element index
+        movi r2, @N
+        movi r5, @PRAW
+        movi r13, @MASK
+    loop:
+        bge  r1, r2, done
+        slli r3, r1, 2
+        ldw  r4, r3, @INP   # x (Q3.28 raw)
+        sub  r4, r4, r5     # t = x - p (unsigned wrap ok)
+        srli r6, r4, @SHIFT # index
+        and  r7, r4, r13    # delta bits
+        slli r8, r6, 2
+        ldw  r9, r8, @TBL   # l0
+        ldw  r10, r8, @TBLN # l1
+        sub  r10, r10, r9   # d
+        mul  r11, r10, r7   # low(d * delta)
+        mulh r12, r10, r7   # high(d * delta)
+        srli r11, r11, @SHIFT
+        slli r12, r12, @SHIFTC
+        or   r11, r11, r12  # (d*delta) >> shift, low 32 bits
+        add  r9, r9, r11    # l0 + correction
+        stw  r9, r3, @OUT
+        addi r1, r1, 1
+        jmp  loop
+    done:
+        halt
+)";
+
+TEST(CostModelValidation, FixedLLutKernelMatchesHighLevel)
+{
+    using transpim::LLutFixed;
+    using transpim::Placement;
+    constexpr double kTwoPi = 6.283185307179586;
+    constexpr uint32_t n = 256;
+
+    LLutFixed lut([](double x) { return std::sin(x); }, 0.0, kTwoPi,
+                  2048, true, Placement::Host);
+    int shift = Fixed::fracBits - lut.densityLog2();
+
+    // Layout: table at 0, inputs after it, outputs after that.
+    DpuCore dpu;
+    const auto& entries = lut.hostEntries();
+    uint32_t tblBytes = static_cast<uint32_t>(entries.size()) * 4;
+    std::memcpy(dpu.wramData(), entries.data(), tblBytes);
+    uint32_t inp = tblBytes;
+    uint32_t out = inp + n * 4;
+
+    std::vector<int32_t> inputs(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        double x = kTwoPi * (i + 0.37) / n;
+        inputs[i] = Fixed::fromDouble(x).raw();
+    }
+    std::memcpy(dpu.wramData() + inp, inputs.data(), n * 4);
+
+    std::string src = kLLutKernel;
+    src = subst(src, "@N", n);
+    src = subst(src, "@PRAW", 0); // table starts at 0.0
+    src = subst(src, "@MASK", (1 << shift) - 1);
+    src = subst(src, "@SHIFTC", 32 - shift);
+    src = subst(src, "@SHIFT", shift);
+    src = subst(src, "@INP", inp);
+    src = subst(src, "@TBLN", 4); // l1 offset = table base + 4
+    src = subst(src, "@TBL", 0);
+    src = subst(src, "@OUT", out);
+    Program prog = assemble(src);
+
+    LaunchStats asmStats;
+    dpu.launch(1, [&](TaskletContext& ctx) { execute(prog, ctx); });
+    asmStats = dpu.lastLaunch();
+
+    // Outputs must match the high-level evalFixed bit for bit.
+    CountingSink hlCost;
+    for (uint32_t i = 0; i < n; ++i) {
+        int32_t asmOut;
+        std::memcpy(&asmOut, dpu.wramData() + out + 4 * i, 4);
+        Fixed expect =
+            lut.evalFixed(Fixed::fromRaw(inputs[i]), &hlCost);
+        ASSERT_EQ(expect.raw(), asmOut) << "element " << i;
+    }
+
+    // And the high-level charge must track the instruction-by-
+    // instruction count (within a band covering loop overhead).
+    double asmPerElem =
+        static_cast<double>(asmStats.totalInstructions) / n;
+    double hlPerElem = static_cast<double>(hlCost.total()) / n;
+    EXPECT_GT(hlPerElem, 0.5 * asmPerElem);
+    EXPECT_LT(hlPerElem, 1.6 * asmPerElem);
+}
+
+/** Hand-written fixed-point circular CORDIC rotation (one angle). */
+constexpr const char* kCordicKernel = R"(
+        movi r1, @Z0        # z
+        movi r2, @INVGAIN   # x
+        movi r3, 0          # y
+        movi r4, 0          # k
+        movi r5, @NITER
+        movi r10, 0
+    loop:
+        bge  r4, r5, done
+        sra  r6, r2, r4     # xs = x >> k
+        sra  r7, r3, r4     # ys = y >> k
+        slli r8, r4, 2
+        ldw  r9, r8, @ATBL  # angle[k]
+        blt  r1, r10, neg
+        sub  r2, r2, r7
+        add  r3, r3, r6
+        sub  r1, r1, r9
+        jmp  next
+    neg:
+        add  r2, r2, r7
+        sub  r3, r3, r6
+        add  r1, r1, r9
+    next:
+        addi r4, r4, 1
+        jmp  loop
+    done:
+        halt
+)";
+
+TEST(CostModelValidation, FixedCordicKernelMatchesHighLevel)
+{
+    using transpim::CordicFixedEngine;
+    using transpim::CordicMode;
+    using transpim::Placement;
+    constexpr uint32_t iters = 24;
+
+    CordicFixedEngine eng(CordicMode::Circular, iters, Placement::Host);
+
+    // Angle table into WRAM at 0 (circular schedule: shift k = index).
+    DpuCore dpu;
+    std::vector<int32_t> angles(iters);
+    for (uint32_t k = 0; k < iters; ++k) {
+        angles[k] = Fixed::fromDouble(
+                        std::atan(std::ldexp(1.0, -(int)k)))
+                        .raw();
+    }
+    std::memcpy(dpu.wramData(), angles.data(), iters * 4);
+
+    for (double z : {0.1, 0.5, 1.0, 1.4}) {
+        std::string src = kCordicKernel;
+        src = subst(src, "@Z0", Fixed::fromDouble(z).raw());
+        src = subst(src, "@INVGAIN", eng.invGain().raw());
+        src = subst(src, "@NITER", iters);
+        src = subst(src, "@ATBL", 0);
+        Program prog = assemble(src);
+
+        ExecResult res;
+        dpu.launch(1, [&](TaskletContext& ctx) {
+            res = execute(prog, ctx);
+        });
+
+        CountingSink hlCost;
+        auto hl = eng.rotate(Fixed::fromDouble(z), &hlCost);
+        EXPECT_EQ(hl.x.raw(), res.registers[2]) << z;
+        EXPECT_EQ(hl.y.raw(), res.registers[3]) << z;
+
+        double asmInstr = static_cast<double>(res.instructionsExecuted);
+        EXPECT_GT(static_cast<double>(hlCost.total()),
+                  0.5 * asmInstr);
+        EXPECT_LT(static_cast<double>(hlCost.total()),
+                  1.6 * asmInstr);
+    }
+}
+
+} // namespace
+} // namespace sim
+} // namespace tpl

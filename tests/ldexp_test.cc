@@ -1,0 +1,103 @@
+/**
+ * @file
+ * C99 conformance tests for the PIM-side ldexpf against the host libm.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "transpim/ldexp.h"
+
+namespace tpl {
+namespace transpim {
+namespace {
+
+::testing::AssertionResult
+bitEqual(float expected, float actual)
+{
+    if (std::isnan(expected) && std::isnan(actual))
+        return ::testing::AssertionSuccess();
+    if (floatBits(expected) == floatBits(actual))
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "expected " << std::hexfloat << expected << " got "
+           << actual;
+}
+
+TEST(PimLdexp, PassThroughSpecials)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(bitEqual(inf, pimLdexp(inf, 10)));
+    EXPECT_TRUE(bitEqual(-inf, pimLdexp(-inf, -10)));
+    EXPECT_TRUE(std::isnan(pimLdexp(nan, 3)));
+    EXPECT_TRUE(bitEqual(0.0f, pimLdexp(0.0f, 100)));
+    EXPECT_TRUE(bitEqual(-0.0f, pimLdexp(-0.0f, -100)));
+}
+
+TEST(PimLdexp, PowersOfTwo)
+{
+    EXPECT_TRUE(bitEqual(8.0f, pimLdexp(1.0f, 3)));
+    EXPECT_TRUE(bitEqual(0.125f, pimLdexp(1.0f, -3)));
+    EXPECT_TRUE(bitEqual(-48.0f, pimLdexp(-3.0f, 4)));
+    EXPECT_TRUE(bitEqual(1.0f, pimLdexp(1.0f, 0)));
+}
+
+TEST(PimLdexp, OverflowToInfinity)
+{
+    EXPECT_TRUE(bitEqual(std::ldexp(1.0f, 200), pimLdexp(1.0f, 200)));
+    EXPECT_TRUE(bitEqual(std::ldexp(-1.5f, 300), pimLdexp(-1.5f, 300)));
+    float maxN = std::numeric_limits<float>::max();
+    EXPECT_TRUE(bitEqual(std::ldexp(maxN, 1), pimLdexp(maxN, 1)));
+}
+
+TEST(PimLdexp, UnderflowToSubnormalAndZero)
+{
+    EXPECT_TRUE(bitEqual(std::ldexp(1.0f, -127), pimLdexp(1.0f, -127)));
+    EXPECT_TRUE(bitEqual(std::ldexp(1.0f, -149), pimLdexp(1.0f, -149)));
+    EXPECT_TRUE(bitEqual(std::ldexp(1.0f, -150), pimLdexp(1.0f, -150)));
+    EXPECT_TRUE(bitEqual(std::ldexp(-1.0f, -200), pimLdexp(-1.0f, -200)));
+    EXPECT_TRUE(bitEqual(std::ldexp(1.75f, -149), pimLdexp(1.75f, -149)));
+}
+
+TEST(PimLdexp, SubnormalInputs)
+{
+    float den = std::numeric_limits<float>::denorm_min();
+    EXPECT_TRUE(bitEqual(std::ldexp(den, 30), pimLdexp(den, 30)));
+    EXPECT_TRUE(bitEqual(std::ldexp(den, 200), pimLdexp(den, 200)));
+    float sub = bitsToFloat(0x00400123u);
+    EXPECT_TRUE(bitEqual(std::ldexp(sub, 5), pimLdexp(sub, 5)));
+    EXPECT_TRUE(bitEqual(std::ldexp(sub, -5), pimLdexp(sub, -5)));
+}
+
+TEST(PimLdexp, RandomSweepMatchesLibm)
+{
+    SplitMix64 rng(31);
+    for (int i = 0; i < 200000; ++i) {
+        float a = bitsToFloat(static_cast<uint32_t>(rng.next()));
+        if (std::isnan(a))
+            continue;
+        int e = static_cast<int>(rng.next() % 700) - 350;
+        ASSERT_TRUE(bitEqual(std::ldexp(a, e), pimLdexp(a, e)))
+            << std::hexfloat << a << " exp " << e;
+    }
+}
+
+TEST(PimLdexp, ChargesFewInstructions)
+{
+    // The whole point of the L-LUT: ldexp must be far cheaper than an
+    // emulated float multiplication (~175 instructions).
+    CountingSink sink;
+    for (int i = 0; i < 1000; ++i)
+        pimLdexp(1.5f, (i % 40) - 20, &sink);
+    EXPECT_LT(sink.total() / 1000, 20u);
+    EXPECT_GT(sink.total() / 1000, 4u);
+}
+
+} // namespace
+} // namespace transpim
+} // namespace tpl

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Double-precision L-LUT tests: accuracy beyond the binary32 floor,
+ * interpolation order, addressing parity with the binary32 L-LUT,
+ * and instruction-cost relations between the tiers.
+ */
+
+#include <bit>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error_metrics.h"
+#include "common/rng.h"
+#include "transpim/fuzzy_lut.h"
+#include "transpim/ldexp.h"
+#include "transpim/llut64.h"
+
+namespace tpl {
+namespace transpim {
+namespace {
+
+constexpr double kTwoPi = 6.28318530717958647692;
+TableFn sine = [](double x) { return std::sin(x); };
+
+TEST(LLut64, BreaksBinary32Floor)
+{
+    LLut64 lut(sine, 0.0, kTwoPi, 1u << 18, true, Placement::Host);
+    ErrorAccumulator acc;
+    SplitMix64 rng(111);
+    for (int i = 0; i < 4000; ++i) {
+        double x = rng.nextUnitDouble() * kTwoPi;
+        acc.add(lut.eval(x, nullptr), std::sin(x));
+    }
+    // Far below what any binary32 method can reach (~2e-8).
+    EXPECT_LT(acc.stats().rmse, 1e-9);
+}
+
+TEST(LLut64, QuadraticErrorScaling)
+{
+    double prev = 1.0;
+    for (uint32_t log2n : {10u, 12u, 14u}) {
+        LLut64 lut(sine, 0.0, kTwoPi, 1u << log2n, true,
+                   Placement::Host);
+        ErrorAccumulator acc;
+        SplitMix64 rng(112);
+        for (int i = 0; i < 2000; ++i) {
+            double x = rng.nextUnitDouble() * kTwoPi;
+            acc.add(lut.eval(x, nullptr), std::sin(x));
+        }
+        double rmse = acc.stats().rmse;
+        // Four entries per doubling -> ~16x error reduction.
+        EXPECT_LT(rmse, prev / 8) << log2n;
+        prev = rmse;
+    }
+}
+
+TEST(LLut64, MatchesBinary32AddressingScheme)
+{
+    LLut f32(sine, 0.0, kTwoPi, 4096, true, Placement::Host);
+    LLut64 f64(sine, 0.0, kTwoPi, 4096, true, Placement::Host);
+    EXPECT_EQ(f32.densityLog2(), f64.densityLog2());
+    EXPECT_EQ(2u * f32.memoryBytes(), f64.memoryBytes());
+}
+
+TEST(LLut64, NonInterpolatedVariant)
+{
+    LLut64 lut(sine, 0.0, kTwoPi, 1u << 12, false, Placement::Host);
+    SplitMix64 rng(113);
+    for (int i = 0; i < 2000; ++i) {
+        double x = rng.nextUnitDouble() * kTwoPi;
+        EXPECT_NEAR(std::sin(x), lut.eval(x, nullptr), 2e-3) << x;
+    }
+}
+
+TEST(LLut64, CostsMoreThanBinary32)
+{
+    LLut f32(sine, 0.0, kTwoPi, 4096, true, Placement::Host);
+    LLut64 f64(sine, 0.0, kTwoPi, 4096, true, Placement::Host);
+    CountingSink c32, c64;
+    f32.eval(3.0f, &c32);
+    f64.eval(3.0, &c64);
+    EXPECT_GT(c64.total(), 1.3 * c32.total());
+    EXPECT_LT(c64.total(), 4.0 * c32.total());
+}
+
+TEST(PimLdexp64, MatchesLibm)
+{
+    SplitMix64 rng(114);
+    for (int i = 0; i < 100000; ++i) {
+        double a = std::bit_cast<double>(rng.next());
+        if (std::isnan(a))
+            continue;
+        int e = static_cast<int>(rng.next() % 4000) - 2000;
+        double expect = std::ldexp(a, e);
+        double got = pimLdexp64(a, e);
+        ASSERT_EQ(std::bit_cast<uint64_t>(expect),
+                  std::bit_cast<uint64_t>(got))
+            << std::hexfloat << a << " exp " << e;
+    }
+}
+
+} // namespace
+} // namespace transpim
+} // namespace tpl

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Property tests on LUT-based evaluators: structural invariants that
+ * must hold regardless of table size - monotonicity preservation by
+ * linear interpolation, symmetry of symmetric functions, out-of-domain
+ * clamping, continuity across bucket boundaries, and the shared
+ * trig-table tangent optimization.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "transpim/evaluator.h"
+
+namespace tpl {
+namespace transpim {
+namespace {
+
+MethodSpec
+lutSpec(Method m, uint32_t log2n)
+{
+    MethodSpec spec;
+    spec.method = m;
+    spec.interpolated = true;
+    spec.placement = Placement::Host;
+    spec.log2Entries = log2n;
+    spec.dlutMantBits = 7;
+    return spec;
+}
+
+class MonotonicityTest
+    : public ::testing::TestWithParam<std::tuple<Method, uint32_t>>
+{
+};
+
+TEST_P(MonotonicityTest, InterpolatedTanhIsMonotone)
+{
+    // Linear interpolation of a monotone function on a monotone table
+    // must stay monotone (no overshoot between entries).
+    auto [m, log2n] = GetParam();
+    auto eval = FunctionEvaluator::create(Function::Tanh,
+                                          lutSpec(m, log2n));
+    float prev = eval.eval(-8.0f);
+    for (int i = 1; i <= 4000; ++i) {
+        float x = -8.0f + 16.0f * i / 4000.0f;
+        float y = eval.eval(x);
+        ASSERT_GE(y + 1e-7f, prev) << "at x=" << x;
+        prev = y;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, MonotonicityTest,
+    ::testing::Combine(::testing::Values(Method::MLut, Method::LLut,
+                                         Method::LLutFixed,
+                                         Method::DLut, Method::DlLut),
+                       ::testing::Values(8u, 12u)));
+
+TEST(LutProperties, SigmoidBounded)
+{
+    // Interpolation between valid probabilities stays a probability.
+    for (Method m : {Method::LLut, Method::DlLut}) {
+        auto eval = FunctionEvaluator::create(Function::Sigmoid,
+                                              lutSpec(m, 10));
+        SplitMix64 rng(81);
+        for (int i = 0; i < 4000; ++i) {
+            float x = rng.nextFloat(-16.0f, 16.0f);
+            float y = eval.eval(x);
+            ASSERT_GE(y, 0.0f) << x;
+            ASSERT_LE(y, 1.0f) << x;
+        }
+    }
+}
+
+TEST(LutProperties, OutOfDomainClamps)
+{
+    // Inputs beyond the tabulated interval must clamp to the boundary
+    // entries, never index out of range or produce garbage.
+    auto tanh = FunctionEvaluator::create(Function::Tanh,
+                                          lutSpec(Method::LLut, 10));
+    EXPECT_NEAR(1.0f, tanh.eval(50.0f), 1e-3);
+    EXPECT_NEAR(-1.0f, tanh.eval(-50.0f), 1e-3);
+    auto dlut = FunctionEvaluator::create(Function::Tanh,
+                                          lutSpec(Method::DLut, 10));
+    EXPECT_NEAR(1.0f, dlut.eval(1e20f), 1e-3);
+    EXPECT_NEAR(-1.0f, dlut.eval(-1e20f), 1e-3);
+}
+
+TEST(LutProperties, ContinuityAcrossBuckets)
+{
+    // Walk a fine grid and bound the jump between adjacent samples:
+    // interpolated tables must be (numerically) continuous.
+    for (Method m : {Method::MLut, Method::LLut, Method::DLut}) {
+        auto eval = FunctionEvaluator::create(Function::Gelu,
+                                              lutSpec(m, 10));
+        float prev = eval.eval(-8.0f);
+        float maxJump = 0.0f;
+        for (int i = 1; i <= 20000; ++i) {
+            float x = -8.0f + 16.0f * i / 20000.0f;
+            float y = eval.eval(x);
+            maxJump = std::max(maxJump, std::abs(y - prev));
+            prev = y;
+        }
+        // gelu' <= ~1.1; step is 8e-4, so jumps beyond ~0.05 would
+        // indicate a table-boundary discontinuity.
+        EXPECT_LT(maxJump, 0.05f) << methodName(m);
+    }
+}
+
+TEST(LutProperties, SineOddSymmetryAboutPi)
+{
+    // sin(pi + d) = -sin(pi - d): tables built on [0, 2pi] should
+    // respect this to within their approximation error.
+    auto eval = FunctionEvaluator::create(Function::Sin,
+                                          lutSpec(Method::LLut, 12));
+    SplitMix64 rng(82);
+    for (int i = 0; i < 2000; ++i) {
+        float d = rng.nextFloat(0.0f, 3.0f);
+        float a = eval.eval(static_cast<float>(M_PI) + d);
+        float b = eval.eval(static_cast<float>(M_PI) - d);
+        EXPECT_NEAR(a, -b, 2e-5) << d;
+    }
+}
+
+TEST(SharedTrigTables, SameAccuracyClassAsTwoTables)
+{
+    MethodSpec two = lutSpec(Method::LLut, 12);
+    MethodSpec shared = lutSpec(Method::LLut, 12);
+    shared.shareTrigTables = true;
+    auto tanTwo = FunctionEvaluator::create(Function::Tan, two);
+    auto tanShared = FunctionEvaluator::create(Function::Tan, shared);
+    SplitMix64 rng(83);
+    for (int i = 0; i < 2000; ++i) {
+        float x = rng.nextFloat(0.0f, 6.28f);
+        if (std::abs(std::cos((double)x)) < 0.1)
+            continue;
+        double ref = std::tan((double)x);
+        EXPECT_NEAR(ref, tanShared.eval(x), 5e-4 + std::abs(ref) * 1e-3)
+            << x;
+        EXPECT_NEAR(tanTwo.eval(x), tanShared.eval(x),
+                    5e-4 + std::abs(ref) * 1e-3)
+            << x;
+    }
+}
+
+TEST(SharedTrigTables, SavesMemory)
+{
+    MethodSpec two = lutSpec(Method::LLut, 12);
+    MethodSpec shared = lutSpec(Method::LLut, 12);
+    shared.shareTrigTables = true;
+    auto tanTwo = FunctionEvaluator::create(Function::Tan, two);
+    auto tanShared = FunctionEvaluator::create(Function::Tan, shared);
+    // One [0, 2.5pi] table vs two [0, 2pi] tables: ~62%.
+    EXPECT_LT(tanShared.memoryBytes(), 0.7 * tanTwo.memoryBytes());
+    // At the price of one extra float addition per element.
+    CountingSink sTwo, sShared;
+    tanTwo.eval(1.0f, &sTwo);
+    tanShared.eval(1.0f, &sShared);
+    EXPECT_GT(sShared.total(), sTwo.total());
+    EXPECT_LT(sShared.total(), sTwo.total() + 120);
+}
+
+TEST(LutProperties, DeterministicAcrossRebuilds)
+{
+    auto a = FunctionEvaluator::create(Function::Exp,
+                                       lutSpec(Method::LLut, 12));
+    auto b = FunctionEvaluator::create(Function::Exp,
+                                       lutSpec(Method::LLut, 12));
+    SplitMix64 rng(84);
+    for (int i = 0; i < 1000; ++i) {
+        float x = rng.nextFloat(-10.0f, 10.0f);
+        ASSERT_EQ(a.eval(x), b.eval(x)) << x;
+    }
+}
+
+} // namespace
+} // namespace transpim
+} // namespace tpl

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * PimProgram tests: multi-evaluator deployment, budget enforcement,
+ * aggregate reporting, and end-to-end use inside a kernel.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "transpim/program.h"
+
+namespace tpl {
+namespace transpim {
+namespace {
+
+MethodSpec
+smallLut()
+{
+    MethodSpec spec;
+    spec.method = Method::LLut;
+    spec.interpolated = true;
+    spec.placement = Placement::Wram;
+    spec.log2Entries = 10;
+    return spec;
+}
+
+TEST(PimProgram, AddAndLookup)
+{
+    PimProgram prog;
+    prog.add("log", Function::Log, smallLut());
+    prog.add("exp", Function::Exp, smallLut());
+    EXPECT_EQ(2u, prog.size());
+    EXPECT_EQ(Function::Log, prog.get("log").function());
+    EXPECT_EQ(Function::Exp, prog["exp"].function());
+    EXPECT_THROW(prog.get("sqrt"), std::out_of_range);
+}
+
+TEST(PimProgram, DuplicateNamesRejected)
+{
+    PimProgram prog;
+    prog.add("f", Function::Sin, smallLut());
+    EXPECT_THROW(prog.add("f", Function::Cos, smallLut()),
+                 std::invalid_argument);
+}
+
+TEST(PimProgram, WramBudgetEnforced)
+{
+    PimProgram prog(8 * 1024); // 8 KB budget
+    MethodSpec big = smallLut();
+    big.log2Entries = 14; // ~49 KB sine table
+    EXPECT_THROW(prog.add("sin", Function::Sin, big),
+                 std::length_error);
+    // MRAM placement does not count against the WRAM budget.
+    big.placement = Placement::Mram;
+    EXPECT_NO_THROW(prog.add("sin", Function::Sin, big));
+}
+
+TEST(PimProgram, AggregateReporting)
+{
+    PimProgram prog;
+    prog.add("log", Function::Log, smallLut());
+    prog.add("exp", Function::Exp, smallLut());
+    MethodSpec mram = smallLut();
+    mram.placement = Placement::Mram;
+    prog.add("cndf", Function::Cndf, mram);
+
+    EXPECT_EQ(prog.get("log").memoryBytes() +
+                  prog.get("exp").memoryBytes() +
+                  prog.get("cndf").memoryBytes(),
+              prog.totalTableBytes());
+    EXPECT_EQ(prog.get("log").memoryBytes() +
+                  prog.get("exp").memoryBytes(),
+              prog.wramTableBytes());
+    EXPECT_GT(prog.totalSetupSeconds(), 0.0);
+}
+
+TEST(PimProgram, AttachAndRunKernel)
+{
+    PimProgram prog;
+    prog.add("log", Function::Log, smallLut());
+    prog.add("sqrt", Function::Sqrt, smallLut());
+
+    sim::DpuCore dpu;
+    prog.attach(dpu);
+    EXPECT_GE(dpu.wramAllocated(), prog.wramTableBytes());
+
+    float result = 0.0f;
+    dpu.launch(1, [&](sim::TaskletContext& ctx) {
+        // Geometric mean of 4 and 9 via log/sqrt: sqrt(4*9) = 6.
+        float l = prog["log"].eval(36.0f, &ctx);
+        (void)l;
+        result = prog["sqrt"].eval(36.0f, &ctx);
+    });
+    EXPECT_NEAR(6.0f, result, 1e-3);
+}
+
+TEST(PimProgram, AttachAllBroadcasts)
+{
+    PimProgram prog;
+    prog.add("tanh", Function::Tanh, smallLut());
+    sim::PimSystem sys(3);
+    double secs = prog.attachAll(sys);
+    EXPECT_GT(secs, 0.0);
+    // Every core can evaluate against its own copy.
+    for (uint32_t d = 0; d < sys.numDpus(); ++d)
+        EXPECT_GE(sys.dpu(d).wramAllocated(), prog.wramTableBytes());
+}
+
+} // namespace
+} // namespace transpim
+} // namespace tpl

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Range reduction / extension tests (the operations behind Figure 8).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "transpim/range.h"
+
+namespace tpl {
+namespace transpim {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+TEST(ReduceTwoPi, MapsIntoPeriod)
+{
+    SplitMix64 rng(61);
+    for (int i = 0; i < 20000; ++i) {
+        float x = rng.nextFloat(-100.0f, 100.0f);
+        float r = reduceTwoPi(x, nullptr);
+        EXPECT_GE(r, 0.0f) << x;
+        EXPECT_LT(r, (float)kTwoPi * 1.0001f) << x;
+        // sin must be preserved (up to reduction rounding).
+        EXPECT_NEAR(std::sin((double)x), std::sin((double)r), 2e-4) << x;
+    }
+}
+
+TEST(ReduceTwoPi, IdentityInRange)
+{
+    for (float x : {0.0f, 1.0f, 3.0f, 6.28f}) {
+        EXPECT_NEAR(x, reduceTwoPi(x, nullptr), 1e-6);
+    }
+}
+
+TEST(ReduceQuadrant, QuadrantsAndResiduals)
+{
+    auto q0 = reduceQuadrant(0.5f, nullptr);
+    EXPECT_EQ(0, q0.q);
+    EXPECT_FLOAT_EQ(0.5f, q0.r);
+
+    auto q1 = reduceQuadrant(2.0f, nullptr);
+    EXPECT_EQ(1, q1.q);
+    EXPECT_NEAR(2.0 - M_PI_2, q1.r, 1e-6);
+
+    auto q2 = reduceQuadrant(3.5f, nullptr);
+    EXPECT_EQ(2, q2.q);
+    EXPECT_NEAR(3.5 - M_PI, q2.r, 1e-6);
+
+    auto q3 = reduceQuadrant(5.5f, nullptr);
+    EXPECT_EQ(3, q3.q);
+    EXPECT_NEAR(5.5 - M_PI - M_PI_2, q3.r, 1e-6);
+}
+
+TEST(ReduceQuadrant, SinIdentityHolds)
+{
+    SplitMix64 rng(62);
+    for (int i = 0; i < 20000; ++i) {
+        float x = rng.nextFloat(0.0f, (float)kTwoPi);
+        auto qr = reduceQuadrant(x, nullptr);
+        double s;
+        switch (qr.q) {
+          case 0: s = std::sin((double)qr.r); break;
+          case 1: s = std::cos((double)qr.r); break;
+          case 2: s = -std::sin((double)qr.r); break;
+          default: s = -std::cos((double)qr.r); break;
+        }
+        EXPECT_NEAR(std::sin((double)x), s, 1e-5) << x;
+    }
+}
+
+TEST(SplitExp, ReconstructsExp)
+{
+    SplitMix64 rng(63);
+    for (int i = 0; i < 20000; ++i) {
+        float x = rng.nextFloat(-20.0f, 20.0f);
+        ExpSplit s = splitExp(x, nullptr);
+        EXPECT_GE(s.r, -1e-5f) << x;
+        EXPECT_LT(s.r, 0.6932f) << x;
+        double recon = std::ldexp(std::exp((double)s.r), s.k);
+        EXPECT_NEAR(std::exp((double)x), recon,
+                    std::exp((double)x) * 1e-5)
+            << x;
+    }
+}
+
+TEST(SplitLog, ExactMantissaExponent)
+{
+    SplitMix64 rng(64);
+    for (int i = 0; i < 20000; ++i) {
+        float x = rng.nextFloat(1e-3f, 1e3f);
+        LogSplit s = splitLog(x, nullptr);
+        EXPECT_GE(s.m, 1.0f);
+        EXPECT_LT(s.m, 2.0f);
+        // The split is exact bit surgery.
+        EXPECT_EQ((double)x, std::ldexp((double)s.m, s.k)) << x;
+    }
+}
+
+TEST(SplitLog, SubnormalInput)
+{
+    float sub = 1e-40f; // subnormal
+    LogSplit s = splitLog(sub, nullptr);
+    EXPECT_GE(s.m, 1.0f);
+    EXPECT_LT(s.m, 2.0f);
+    EXPECT_NEAR(std::log((double)sub),
+                std::log((double)s.m) + s.k * std::log(2.0), 1e-5);
+}
+
+TEST(SplitSqrt, MantissaInHalfToTwo)
+{
+    SplitMix64 rng(65);
+    for (int i = 0; i < 20000; ++i) {
+        float x = rng.nextFloat(1e-6f, 1e6f);
+        SqrtSplit s = splitSqrt(x, nullptr);
+        EXPECT_GE(s.m, 0.5f) << x;
+        EXPECT_LT(s.m, 2.0f) << x;
+        // x = m * 4^k exactly.
+        EXPECT_EQ((double)x, std::ldexp((double)s.m, 2 * s.k)) << x;
+    }
+}
+
+TEST(SplitSqrt, VectoringRatioWithinConvergence)
+{
+    // The whole point of [0.5, 2): the hyperbolic-vectoring ratio
+    // (m - 1/4)/(m + 1/4) stays below tanh(1.118).
+    SplitMix64 rng(66);
+    for (int i = 0; i < 5000; ++i) {
+        float x = rng.nextFloat(1e-6f, 1e6f);
+        SqrtSplit s = splitSqrt(x, nullptr);
+        double ratio = (s.m - 0.25) / (s.m + 0.25);
+        EXPECT_LT(std::abs(std::atanh(ratio)), 1.118) << x;
+    }
+}
+
+TEST(ReduceTwoPiFixed, ConditionalWrap)
+{
+    Fixed in = Fixed::fromDouble(7.0); // > 2*pi
+    Fixed out = reduceTwoPiFixed(in, nullptr);
+    EXPECT_NEAR(7.0 - kTwoPi, out.toDouble(), 1e-7);
+    Fixed neg = Fixed::fromDouble(-1.0);
+    EXPECT_NEAR(kTwoPi - 1.0, reduceTwoPiFixed(neg, nullptr).toDouble(),
+                1e-7);
+    Fixed ok = Fixed::fromDouble(3.0);
+    EXPECT_EQ(ok.raw(), reduceTwoPiFixed(ok, nullptr).raw());
+}
+
+TEST(RangeCosts, OrderingMatchesFigure8)
+{
+    // Figure 8 shape: trig reduction (float mul/floor chain) is the
+    // most expensive, exp split close behind, log and sqrt splits are
+    // near-free bit surgery.
+    CountingSink sinS, expS, logS, sqrtS;
+    for (int i = 0; i < 100; ++i) {
+        reduceTwoPi(50.0f + i, &sinS);
+        splitExp(5.0f + i * 0.1f, &expS);
+        splitLog(3.0f + i, &logS);
+        splitSqrt(3.0f + i, &sqrtS);
+    }
+    EXPECT_GT(sinS.total(), expS.total() / 2);
+    EXPECT_GT(expS.total(), 10 * logS.total());
+    EXPECT_GT(expS.total(), 10 * sqrtS.total());
+    EXPECT_LT(logS.total() / 100, 30u);
+    EXPECT_LT(sqrtS.total() / 100, 30u);
+}
+
+} // namespace
+} // namespace transpim
+} // namespace tpl

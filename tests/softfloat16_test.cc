@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Binary16 tier tests: conversions and arithmetic validated bit-for-
+ * bit against the compiler's _Float16 (which lowers to correctly
+ * rounded IEEE binary16 operations), plus the half-precision L-LUT's
+ * accuracy floor and memory halving.
+ */
+
+#include <cmath>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/error_metrics.h"
+#include "common/rng.h"
+#include "softfloat/softfloat.h"
+#include "softfloat/softfloat16.h"
+#include "transpim/fuzzy_lut.h"
+#include "transpim/llut16.h"
+
+namespace tpl {
+namespace {
+
+uint16_t
+nativeBits(_Float16 v)
+{
+    uint16_t b;
+    std::memcpy(&b, &v, 2);
+    return b;
+}
+
+_Float16
+nativeFromBits(uint16_t b)
+{
+    _Float16 v;
+    std::memcpy(&v, &b, 2);
+    return v;
+}
+
+bool
+isNan16(uint16_t b)
+{
+    return (b & 0x7c00u) == 0x7c00u && (b & 0x3ffu) != 0;
+}
+
+TEST(SoftFloat16Convert, ToF16MatchesCompiler)
+{
+    SplitMix64 rng(141);
+    for (int i = 0; i < 200000; ++i) {
+        float a = bitsToFloat(static_cast<uint32_t>(rng.next()));
+        uint16_t expect = nativeBits(static_cast<_Float16>(a));
+        uint16_t got = sf::toF16(a).bits;
+        if (isNan16(expect)) {
+            ASSERT_TRUE(isNan16(got)) << std::hexfloat << a;
+            continue;
+        }
+        ASSERT_EQ(expect, got) << std::hexfloat << a;
+    }
+}
+
+TEST(SoftFloat16Convert, FromF16MatchesCompiler)
+{
+    for (uint32_t b = 0; b < 0x10000u; ++b) {
+        uint16_t bits = static_cast<uint16_t>(b);
+        float expect =
+            static_cast<float>(nativeFromBits(bits));
+        float got = sf::fromF16(sf::Half{bits});
+        if (std::isnan(expect)) {
+            ASSERT_TRUE(std::isnan(got)) << b;
+            continue;
+        }
+        ASSERT_EQ(floatBits(expect), floatBits(got)) << b;
+    }
+}
+
+TEST(SoftFloat16Arith, AddMulDivMatchCompiler)
+{
+    // Random half pairs, exhaustive-ish: the operand space is small.
+    SplitMix64 rng(142);
+    for (int i = 0; i < 300000; ++i) {
+        uint16_t ba = static_cast<uint16_t>(rng.next());
+        uint16_t bb = static_cast<uint16_t>(rng.next());
+        _Float16 na = nativeFromBits(ba);
+        _Float16 nb = nativeFromBits(bb);
+        sf::Half ha{ba}, hb{bb};
+
+        uint16_t eAdd = nativeBits(static_cast<_Float16>(na + nb));
+        uint16_t gAdd = sf::add16(ha, hb).bits;
+        if (isNan16(eAdd))
+            ASSERT_TRUE(isNan16(gAdd)) << ba << " " << bb;
+        else
+            ASSERT_EQ(eAdd, gAdd) << ba << " " << bb;
+
+        uint16_t eMul = nativeBits(static_cast<_Float16>(na * nb));
+        uint16_t gMul = sf::mul16(ha, hb).bits;
+        if (isNan16(eMul))
+            ASSERT_TRUE(isNan16(gMul)) << ba << " " << bb;
+        else
+            ASSERT_EQ(eMul, gMul) << ba << " " << bb;
+
+        uint16_t eDiv = nativeBits(static_cast<_Float16>(na / nb));
+        uint16_t gDiv = sf::div16(ha, hb).bits;
+        if (isNan16(eDiv))
+            ASSERT_TRUE(isNan16(gDiv)) << ba << " " << bb;
+        else
+            ASSERT_EQ(eDiv, gDiv) << ba << " " << bb;
+    }
+}
+
+TEST(SoftFloat16Cost, CheaperThanBinary32)
+{
+    CountingSink s16, s32;
+    sf::Half a = sf::toF16(1.25f);
+    sf::Half b = sf::toF16(2.5f);
+    for (int i = 0; i < 100; ++i) {
+        sf::add16(a, b, &s16);
+        sf::mul16(a, b, &s16);
+        sf::add(1.25f, 2.5f, &s32);
+        sf::mul(1.25f, 2.5f, &s32);
+    }
+    EXPECT_LT(s16.total(), 0.8 * s32.total());
+}
+
+TEST(LLut16, AccuracyFloorsNearHalfGrid)
+{
+    using transpim::LLut16;
+    using transpim::Placement;
+    constexpr double kTwoPi = 6.283185307179586;
+    transpim::TableFn sine = [](double x) { return std::sin(x); };
+
+    double prev = 1.0;
+    double floorRmse = 0.0;
+    for (uint32_t log2n : {8u, 10u, 12u, 14u}) {
+        LLut16 lut(sine, 0.0, kTwoPi, 1u << log2n, true,
+                   Placement::Host);
+        ErrorAccumulator acc;
+        SplitMix64 rng(143);
+        for (int i = 0; i < 3000; ++i) {
+            float x = rng.nextFloat(0.0f, (float)kTwoPi);
+            acc.add(lut.eval(x, nullptr), std::sin((double)x));
+        }
+        double rmse = acc.stats().rmse;
+        EXPECT_LE(rmse, prev * 1.1) << log2n;
+        prev = rmse;
+        floorRmse = rmse;
+    }
+    // The half grid (2^-11 ~ 5e-4) bounds the floor.
+    EXPECT_LT(floorRmse, 5e-4);
+    EXPECT_GT(floorRmse, 5e-6);
+}
+
+TEST(LLut16, HalvesTheMemory)
+{
+    using transpim::LLut;
+    using transpim::LLut16;
+    using transpim::Placement;
+    transpim::TableFn sine = [](double x) { return std::sin(x); };
+    LLut f32(sine, 0.0, 6.2832, 4096, true, Placement::Host);
+    LLut16 f16(sine, 0.0, 6.2832, 4096, true, Placement::Host);
+    EXPECT_EQ(f32.memoryBytes(), 2 * f16.memoryBytes());
+    EXPECT_EQ(f32.densityLog2(), f16.densityLog2());
+}
+
+} // namespace
+} // namespace tpl

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Bit-exactness tests for the binary64 soft-float tier against the
+ * host FPU: directed specials, random bit-pattern sweeps, cancellation
+ * and subnormal grids, float<->double conversions, and the cost ratios
+ * vs the binary32 tier.
+ */
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "softfloat/softfloat.h"
+#include "softfloat/softfloat64.h"
+
+namespace tpl {
+namespace {
+
+::testing::AssertionResult
+bitEqual64(double expected, double actual)
+{
+    if (std::isnan(expected) && std::isnan(actual))
+        return ::testing::AssertionSuccess();
+    if (std::bit_cast<uint64_t>(expected) ==
+        std::bit_cast<uint64_t>(actual))
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << std::hexfloat << "expected " << expected << " got "
+           << actual;
+}
+
+double
+randomDoubleBits(SplitMix64& rng)
+{
+    return std::bit_cast<double>(rng.next());
+}
+
+constexpr int sweepIters = 200000;
+
+TEST(SoftFloat64Add, DirectedEdgeCases)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double den = std::numeric_limits<double>::denorm_min();
+    const double maxN = std::numeric_limits<double>::max();
+    EXPECT_TRUE(bitEqual64(0.0 + -0.0, sf::add64(0.0, -0.0)));
+    EXPECT_TRUE(bitEqual64(-0.0 + -0.0, sf::add64(-0.0, -0.0)));
+    EXPECT_TRUE(bitEqual64(1.0 + 2.0, sf::add64(1.0, 2.0)));
+    EXPECT_TRUE(std::isnan(sf::add64(inf, -inf)));
+    EXPECT_TRUE(bitEqual64(inf + 1.0, sf::add64(inf, 1.0)));
+    EXPECT_TRUE(bitEqual64(maxN + maxN, sf::add64(maxN, maxN)));
+    EXPECT_TRUE(bitEqual64(den + den, sf::add64(den, den)));
+    double b = -std::nextafter(1.0, 2.0);
+    EXPECT_TRUE(bitEqual64(1.0 + b, sf::add64(1.0, b)));
+}
+
+TEST(SoftFloat64Add, RandomBitPatternSweep)
+{
+    SplitMix64 rng(101);
+    for (int i = 0; i < sweepIters; ++i) {
+        double a = randomDoubleBits(rng);
+        double b = randomDoubleBits(rng);
+        ASSERT_TRUE(bitEqual64(a + b, sf::add64(a, b)))
+            << std::hexfloat << a << " + " << b;
+        ASSERT_TRUE(bitEqual64(a - b, sf::sub64(a, b)))
+            << std::hexfloat << a << " - " << b;
+    }
+}
+
+TEST(SoftFloat64Add, CancellationSweep)
+{
+    SplitMix64 rng(102);
+    for (int i = 0; i < sweepIters; ++i) {
+        uint64_t bits = rng.next() & 0x7fffffffffffffffull;
+        double a = std::bit_cast<double>(bits);
+        if (!std::isfinite(a))
+            continue;
+        int nudge = static_cast<int>(rng.next() % 5) - 2;
+        int64_t exp =
+            static_cast<int64_t>((bits >> 52) & 0x7ff) + nudge;
+        if (exp < 0 || exp > 0x7fe)
+            continue;
+        uint64_t mant = rng.next() & 0xfffffffffffffull;
+        double b = std::bit_cast<double>(
+            (1ull << 63) | (static_cast<uint64_t>(exp) << 52) | mant);
+        ASSERT_TRUE(bitEqual64(a + b, sf::add64(a, b)))
+            << std::hexfloat << a << " + " << b;
+    }
+}
+
+TEST(SoftFloat64Mul, DirectedAndSweep)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_TRUE(std::isnan(sf::mul64(inf, 0.0)));
+    EXPECT_TRUE(bitEqual64(2.0 * 3.0, sf::mul64(2.0, 3.0)));
+    EXPECT_TRUE(bitEqual64(
+        std::numeric_limits<double>::max() * 2.0,
+        sf::mul64(std::numeric_limits<double>::max(), 2.0)));
+    EXPECT_TRUE(bitEqual64(
+        std::numeric_limits<double>::min() * 0.5,
+        sf::mul64(std::numeric_limits<double>::min(), 0.5)));
+    SplitMix64 rng(103);
+    for (int i = 0; i < sweepIters; ++i) {
+        double a = randomDoubleBits(rng);
+        double b = randomDoubleBits(rng);
+        ASSERT_TRUE(bitEqual64(a * b, sf::mul64(a, b)))
+            << std::hexfloat << a << " * " << b;
+    }
+}
+
+TEST(SoftFloat64Mul, SubnormalBoundary)
+{
+    SplitMix64 rng(104);
+    for (int i = 0; i < 50000; ++i) {
+        int ea = -600 + static_cast<int>(rng.next() % 200);
+        int eb = -1022 - ea - 3 + static_cast<int>(rng.next() % 6);
+        double a = std::ldexp(1.0 + 1e-3 * (rng.next() % 1000), ea);
+        double b = std::ldexp(1.0 + 1e-3 * (rng.next() % 1000), eb);
+        ASSERT_TRUE(bitEqual64(a * b, sf::mul64(a, b)))
+            << std::hexfloat << a << " * " << b;
+    }
+}
+
+TEST(SoftFloat64Div, DirectedAndSweep)
+{
+    EXPECT_TRUE(bitEqual64(1.0 / 3.0, sf::div64(1.0, 3.0)));
+    EXPECT_TRUE(std::isnan(sf::div64(0.0, 0.0)));
+    EXPECT_TRUE(bitEqual64(1.0 / 0.0, sf::div64(1.0, 0.0)));
+    EXPECT_TRUE(bitEqual64(-1.0 / 0.0, sf::div64(-1.0, 0.0)));
+    SplitMix64 rng(105);
+    for (int i = 0; i < sweepIters; ++i) {
+        double a = randomDoubleBits(rng);
+        double b = randomDoubleBits(rng);
+        ASSERT_TRUE(bitEqual64(a / b, sf::div64(a, b)))
+            << std::hexfloat << a << " / " << b;
+    }
+}
+
+TEST(SoftFloat64Convert, WideningIsExact)
+{
+    SplitMix64 rng(106);
+    for (int i = 0; i < sweepIters; ++i) {
+        float a = bitsToFloat(static_cast<uint32_t>(rng.next()));
+        if (std::isnan(a)) {
+            EXPECT_TRUE(std::isnan(sf::fromF32(a)));
+            continue;
+        }
+        ASSERT_TRUE(bitEqual64(static_cast<double>(a), sf::fromF32(a)))
+            << std::hexfloat << a;
+    }
+    // Subnormal floats widen to normal doubles.
+    float den = std::numeric_limits<float>::denorm_min();
+    EXPECT_TRUE(bitEqual64(static_cast<double>(den), sf::fromF32(den)));
+    EXPECT_TRUE(
+        bitEqual64(static_cast<double>(-den), sf::fromF32(-den)));
+}
+
+TEST(SoftFloat64Convert, NarrowingRoundsCorrectly)
+{
+    SplitMix64 rng(107);
+    for (int i = 0; i < sweepIters; ++i) {
+        double a = randomDoubleBits(rng);
+        float expect = static_cast<float>(a);
+        float got = sf::toF32(a);
+        if (std::isnan(expect)) {
+            ASSERT_TRUE(std::isnan(got)) << std::hexfloat << a;
+            continue;
+        }
+        ASSERT_EQ(floatBits(expect), floatBits(got))
+            << std::hexfloat << a;
+    }
+}
+
+TEST(SoftFloat64Convert, Int32RoundTrips)
+{
+    SplitMix64 rng(108);
+    for (int i = 0; i < 50000; ++i) {
+        int32_t v = static_cast<int32_t>(rng.next());
+        ASSERT_TRUE(bitEqual64(static_cast<double>(v),
+                               sf::fromI32asF64(v)))
+            << v;
+    }
+    for (int i = 0; i < 50000; ++i) {
+        double a = rng.nextFloat(-1e6f, 1e6f);
+        ASSERT_EQ(static_cast<int32_t>(std::floor(a)),
+                  sf::f64ToI32Floor(a))
+            << std::hexfloat << a;
+    }
+    EXPECT_EQ(0, sf::f64ToI32Floor(0.5));
+    EXPECT_EQ(-1, sf::f64ToI32Floor(-0.5));
+    EXPECT_EQ(3, sf::f64ToI32Floor(3.0));
+}
+
+TEST(SoftFloat64Cost, DoubleTierCostsMore)
+{
+    CountingSink s32, s64;
+    for (int i = 0; i < 100; ++i) {
+        sf::add(1.5f, 2.5f, &s32);
+        sf::mul(1.5f, 2.5f, &s32);
+        sf::add64(1.5, 2.5, &s64);
+        sf::mul64(1.5, 2.5, &s64);
+    }
+    // Double emulation costs roughly 2-4x the float tier.
+    EXPECT_GT(s64.total(), 1.8 * s32.total());
+    EXPECT_LT(s64.total(), 6.0 * s32.total());
+}
+
+} // namespace
+} // namespace tpl

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Soft-float hardening: systematic boundary-grid sweeps beyond the
+ * random testing in softfloat_test.cc.
+ *
+ * The accuracy claims of the whole library rest on the soft-float
+ * layer being bit-exact, so these tests walk structured grids designed
+ * to hit every rounding/normalization corner: all exponent-difference
+ * classes for add/sub, products that straddle the subnormal boundary
+ * and the overflow boundary, quotients around power-of-two edges, and
+ * mantissa patterns that force carries out of rounding.
+ */
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "softfloat/softfloat.h"
+
+namespace tpl {
+namespace {
+
+::testing::AssertionResult
+bitEqual(float expected, float actual)
+{
+    if (std::isnan(expected) && std::isnan(actual))
+        return ::testing::AssertionSuccess();
+    if (floatBits(expected) == floatBits(actual))
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << std::hexfloat << "expected " << expected << " got "
+           << actual;
+}
+
+/** Mantissa patterns that exercise rounding carries and ties. */
+constexpr uint32_t kMantissas[] = {
+    0x000000, 0x000001, 0x3fffff, 0x400000, 0x400001,
+    0x7ffffe, 0x7fffff, 0x555555, 0x2aaaaa, 0x000002,
+};
+
+class ExponentPairTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ExponentPairTest, AddSubGrid)
+{
+    auto [ea, eb] = GetParam();
+    for (uint32_t ma : kMantissas) {
+        for (uint32_t mb : kMantissas) {
+            for (uint32_t signs = 0; signs < 4; ++signs) {
+                float a = bitsToFloat(ieeePack(
+                    signs & 1, static_cast<uint32_t>(ea), ma));
+                float b = bitsToFloat(ieeePack(
+                    (signs >> 1) & 1, static_cast<uint32_t>(eb), mb));
+                ASSERT_TRUE(bitEqual(a + b, sf::add(a, b)))
+                    << std::hexfloat << a << " + " << b;
+                ASSERT_TRUE(bitEqual(a - b, sf::sub(a, b)))
+                    << std::hexfloat << a << " - " << b;
+            }
+        }
+    }
+}
+
+// Exponent pairs: equal, adjacent (massive cancellation), a few apart
+// (guard-bit rounding), far apart (absorption), and subnormal edges.
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, ExponentPairTest,
+    ::testing::Values(std::make_tuple(127, 127),
+                      std::make_tuple(127, 126),
+                      std::make_tuple(127, 125),
+                      std::make_tuple(127, 120),
+                      std::make_tuple(127, 103),
+                      std::make_tuple(127, 102),
+                      std::make_tuple(127, 30),
+                      std::make_tuple(1, 0),   // smallest normal + sub
+                      std::make_tuple(0, 0),   // both subnormal
+                      std::make_tuple(2, 1),
+                      std::make_tuple(254, 254), // near overflow
+                      std::make_tuple(254, 253)));
+
+TEST(SoftFloatHardening, MulSubnormalBoundaryGrid)
+{
+    // Products with result exponents sweeping across the subnormal
+    // boundary (sum of unbiased exponents near -126).
+    for (int ea = -80; ea <= -40; ++ea) {
+        int eb = -126 - ea; // product magnitude near 2^-126
+        for (int shift = -3; shift <= 3; ++shift) {
+            for (uint32_t ma : kMantissas) {
+                float a = bitsToFloat(ieeePack(
+                    0, static_cast<uint32_t>(ea + 127), ma));
+                float b = bitsToFloat(ieeePack(
+                    0, static_cast<uint32_t>(eb + shift + 127),
+                    0x31415a & 0x7fffff));
+                ASSERT_TRUE(bitEqual(a * b, sf::mul(a, b)))
+                    << std::hexfloat << a << " * " << b;
+            }
+        }
+    }
+}
+
+TEST(SoftFloatHardening, MulOverflowBoundaryGrid)
+{
+    for (int ea = 120; ea <= 127; ++ea) {
+        for (int eb = 0; eb <= 8; ++eb) {
+            for (uint32_t ma : kMantissas) {
+                float a = bitsToFloat(ieeePack(
+                    0, static_cast<uint32_t>(ea + 127), ma));
+                float b = bitsToFloat(ieeePack(
+                    1, static_cast<uint32_t>(eb + 127), 0x7fffff));
+                ASSERT_TRUE(bitEqual(a * b, sf::mul(a, b)))
+                    << std::hexfloat << a << " * " << b;
+            }
+        }
+    }
+}
+
+TEST(SoftFloatHardening, DivPowerOfTwoEdges)
+{
+    // Quotients landing exactly at or next to powers of two stress
+    // the quotient normalization step.
+    for (uint32_t ma : kMantissas) {
+        for (uint32_t mb : kMantissas) {
+            float a = bitsToFloat(ieeePack(0, 127, ma));
+            float b = bitsToFloat(ieeePack(0, 127, mb));
+            ASSERT_TRUE(bitEqual(a / b, sf::div(a, b)))
+                << std::hexfloat << a << " / " << b;
+            ASSERT_TRUE(bitEqual(b / a, sf::div(b, a)))
+                << std::hexfloat << b << " / " << a;
+        }
+    }
+}
+
+TEST(SoftFloatHardening, DivSubnormalOperands)
+{
+    SplitMix64 rng(71);
+    for (int i = 0; i < 50000; ++i) {
+        // Subnormal / normal and normal / large -> subnormal result.
+        float a = bitsToFloat(static_cast<uint32_t>(rng.next()) &
+                              0x007fffffu); // subnormal
+        float b = bitsToFloat(ieeePack(
+            rng.next() & 1,
+            1 + static_cast<uint32_t>(rng.next() % 120),
+            static_cast<uint32_t>(rng.next()) & 0x7fffffu));
+        ASSERT_TRUE(bitEqual(a / b, sf::div(a, b)))
+            << std::hexfloat << a << " / " << b;
+        ASSERT_TRUE(bitEqual(b / a, sf::div(b, a)))
+            << std::hexfloat << b << " / " << a;
+    }
+}
+
+TEST(SoftFloatHardening, SqrtExponentSweep)
+{
+    // Every exponent with tie-prone mantissas.
+    for (int e = 0; e <= 254; ++e) {
+        for (uint32_t m : kMantissas) {
+            float a = bitsToFloat(ieeePack(0, static_cast<uint32_t>(e),
+                                           m));
+            ASSERT_TRUE(bitEqual(std::sqrt(a), sf::sqrt(a)))
+                << std::hexfloat << a;
+        }
+    }
+}
+
+TEST(SoftFloatHardening, RoundToNearestEvenTies)
+{
+    // Construct additions whose exact result sits exactly halfway
+    // between representable values: a = 1.0, b = ulp/2 * odd.
+    float one = 1.0f;
+    float halfUlp = std::ldexp(1.0f, -24);
+    ASSERT_TRUE(bitEqual(one + halfUlp, sf::add(one, halfUlp)));
+    // 1.0 + 1.5*ulp/2 rounds up; 1.0 + 0.5*ulp stays (ties to even).
+    float u = std::ldexp(1.0f, -23);
+    float x = 1.0f + u; // odd mantissa LSB
+    ASSERT_TRUE(bitEqual(x + halfUlp, sf::add(x, halfUlp)));
+}
+
+TEST(SoftFloatHardening, ConversionBoundaryIntegers)
+{
+    for (int32_t v : {0, 1, -1, 2, -2, 0x7fffff, 0x800000, 0x800001,
+                      0x1000000, 0x1000001, INT32_MAX, INT32_MIN,
+                      INT32_MAX - 1, INT32_MIN + 1}) {
+        ASSERT_TRUE(bitEqual(static_cast<float>(v), sf::fromI32(v)))
+            << v;
+    }
+    // Floats exactly at integer boundaries.
+    for (float f : {8388608.0f, 8388609.0f, 16777216.0f,
+                    2147483520.0f, -2147483520.0f}) {
+        ASSERT_EQ(static_cast<int32_t>(f), sf::toI32Trunc(f)) << f;
+    }
+}
+
+TEST(SoftFloatHardening, FixedConversionEdges)
+{
+    // Q3.28 boundaries: the largest representable value, resolution
+    // steps, and negative extremes.
+    EXPECT_EQ(Fixed::fromFloat(7.99999f).raw(),
+              sf::toFixed(7.99999f).raw());
+    EXPECT_EQ(Fixed::fromFloat(-8.0f).raw(), sf::toFixed(-8.0f).raw());
+    float eps = std::ldexp(1.0f, -28);
+    EXPECT_EQ(1, sf::toFixed(eps).raw());
+    EXPECT_EQ(-1, sf::toFixed(-eps).raw());
+    EXPECT_EQ(1, sf::toFixed(eps * 0.75f).raw()); // rounds to nearest
+    EXPECT_EQ(0, sf::toFixed(eps * 0.25f).raw());
+}
+
+} // namespace
+} // namespace tpl

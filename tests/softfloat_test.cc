@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Bit-exactness tests for the instrumented soft-float implementation.
+ *
+ * The reproduction's accuracy results are only trustworthy if the
+ * emulated float arithmetic matches host IEEE-754 binary32 (round to
+ * nearest even) bit for bit, so these tests compare against the host
+ * FPU over directed edge cases and large randomized sweeps covering
+ * normals, subnormals, massive cancellation, overflow and underflow.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "softfloat/softfloat.h"
+
+namespace tpl {
+namespace {
+
+/** Compare two floats bitwise, canonicalizing NaNs. */
+::testing::AssertionResult
+bitEqual(float expected, float actual)
+{
+    uint32_t be = floatBits(expected);
+    uint32_t ba = floatBits(actual);
+    bool nanE = std::isnan(expected);
+    bool nanA = std::isnan(actual);
+    if (nanE && nanA)
+        return ::testing::AssertionSuccess();
+    if (be == ba)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "expected " << expected << " (0x" << std::hex << be
+           << ") got " << actual << " (0x" << ba << ")";
+}
+
+float
+randomFloatBits(SplitMix64& rng)
+{
+    // Random bit patterns: covers all exponents including specials.
+    return bitsToFloat(static_cast<uint32_t>(rng.next()));
+}
+
+float
+randomFiniteFloat(SplitMix64& rng)
+{
+    for (;;) {
+        float f = randomFloatBits(rng);
+        if (std::isfinite(f))
+            return f;
+    }
+}
+
+constexpr int sweepIters = 200000;
+
+TEST(SoftFloatAdd, DirectedEdgeCases)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const float maxN = std::numeric_limits<float>::max();
+    const float minN = std::numeric_limits<float>::min();
+    const float den = std::numeric_limits<float>::denorm_min();
+
+    EXPECT_TRUE(bitEqual(0.0f + 0.0f, sf::add(0.0f, 0.0f)));
+    EXPECT_TRUE(bitEqual(0.0f + -0.0f, sf::add(0.0f, -0.0f)));
+    EXPECT_TRUE(bitEqual(-0.0f + -0.0f, sf::add(-0.0f, -0.0f)));
+    EXPECT_TRUE(bitEqual(1.0f + 1.0f, sf::add(1.0f, 1.0f)));
+    EXPECT_TRUE(bitEqual(1.0f + -1.0f, sf::add(1.0f, -1.0f)));
+    EXPECT_TRUE(bitEqual(inf + 1.0f, sf::add(inf, 1.0f)));
+    EXPECT_TRUE(bitEqual(inf + inf, sf::add(inf, inf)));
+    EXPECT_TRUE(std::isnan(sf::add(inf, -inf)));
+    EXPECT_TRUE(std::isnan(sf::add(nan, 1.0f)));
+    EXPECT_TRUE(bitEqual(maxN + maxN, sf::add(maxN, maxN))); // -> inf
+    EXPECT_TRUE(bitEqual(den + den, sf::add(den, den)));
+    EXPECT_TRUE(bitEqual(minN + den, sf::add(minN, den)));
+    EXPECT_TRUE(bitEqual(minN + -den, sf::add(minN, -den)));
+    EXPECT_TRUE(bitEqual(1.0f + den, sf::add(1.0f, den)));
+    // Massive cancellation: adjacent values.
+    float a = 1.0f;
+    float b = -std::nextafter(1.0f, 2.0f);
+    EXPECT_TRUE(bitEqual(a + b, sf::add(a, b)));
+}
+
+TEST(SoftFloatAdd, RandomBitPatternSweep)
+{
+    SplitMix64 rng(1);
+    for (int i = 0; i < sweepIters; ++i) {
+        float a = randomFloatBits(rng);
+        float b = randomFloatBits(rng);
+        ASSERT_TRUE(bitEqual(a + b, sf::add(a, b)))
+            << "a=" << std::hexfloat << a << " b=" << b;
+    }
+}
+
+TEST(SoftFloatAdd, CancellationSweep)
+{
+    // Same-exponent and near-exponent opposite-sign pairs stress the
+    // subtract path's normalization.
+    SplitMix64 rng(2);
+    for (int i = 0; i < sweepIters; ++i) {
+        float a = randomFiniteFloat(rng);
+        int nudge = static_cast<int>(rng.next() % 5) - 2;
+        uint32_t bits = floatBits(a);
+        int exp = static_cast<int>(ieeeExponent(bits)) + nudge;
+        if (exp < 0 || exp > 0xfe)
+            continue;
+        uint32_t mant = static_cast<uint32_t>(rng.next()) & 0x7fffffu;
+        float b = bitsToFloat(
+            ieeePack(ieeeSign(bits) ^ 1u, static_cast<uint32_t>(exp), mant));
+        ASSERT_TRUE(bitEqual(a + b, sf::add(a, b)))
+            << "a=" << std::hexfloat << a << " b=" << b;
+    }
+}
+
+TEST(SoftFloatAdd, SubnormalSweep)
+{
+    SplitMix64 rng(3);
+    for (int i = 0; i < sweepIters; ++i) {
+        uint32_t ba = static_cast<uint32_t>(rng.next()) & 0x807fffffu;
+        uint32_t bb = static_cast<uint32_t>(rng.next()) & 0x80ffffffu;
+        float a = bitsToFloat(ba);
+        float b = bitsToFloat(bb);
+        ASSERT_TRUE(bitEqual(a + b, sf::add(a, b)))
+            << "a=" << std::hexfloat << a << " b=" << b;
+    }
+}
+
+TEST(SoftFloatAdd, Commutativity)
+{
+    SplitMix64 rng(4);
+    for (int i = 0; i < 10000; ++i) {
+        float a = randomFiniteFloat(rng);
+        float b = randomFiniteFloat(rng);
+        EXPECT_TRUE(bitEqual(sf::add(a, b), sf::add(b, a)));
+    }
+}
+
+TEST(SoftFloatSub, MatchesHost)
+{
+    SplitMix64 rng(5);
+    for (int i = 0; i < sweepIters; ++i) {
+        float a = randomFloatBits(rng);
+        float b = randomFloatBits(rng);
+        ASSERT_TRUE(bitEqual(a - b, sf::sub(a, b)))
+            << "a=" << std::hexfloat << a << " b=" << b;
+    }
+}
+
+TEST(SoftFloatMul, DirectedEdgeCases)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const float maxN = std::numeric_limits<float>::max();
+    const float minN = std::numeric_limits<float>::min();
+    const float den = std::numeric_limits<float>::denorm_min();
+
+    EXPECT_TRUE(bitEqual(0.0f * 0.0f, sf::mul(0.0f, 0.0f)));
+    EXPECT_TRUE(bitEqual(-0.0f * 0.0f, sf::mul(-0.0f, 0.0f)));
+    EXPECT_TRUE(bitEqual(2.0f * 3.0f, sf::mul(2.0f, 3.0f)));
+    EXPECT_TRUE(bitEqual(maxN * 2.0f, sf::mul(maxN, 2.0f))); // overflow
+    EXPECT_TRUE(bitEqual(minN * 0.5f, sf::mul(minN, 0.5f))); // subnormal
+    EXPECT_TRUE(bitEqual(den * 0.5f, sf::mul(den, 0.5f)));   // underflow
+    EXPECT_TRUE(std::isnan(sf::mul(inf, 0.0f)));
+    EXPECT_TRUE(std::isnan(sf::mul(nan, 1.0f)));
+    EXPECT_TRUE(bitEqual(inf * -2.0f, sf::mul(inf, -2.0f)));
+}
+
+TEST(SoftFloatMul, RandomBitPatternSweep)
+{
+    SplitMix64 rng(6);
+    for (int i = 0; i < sweepIters; ++i) {
+        float a = randomFloatBits(rng);
+        float b = randomFloatBits(rng);
+        ASSERT_TRUE(bitEqual(a * b, sf::mul(a, b)))
+            << "a=" << std::hexfloat << a << " b=" << b;
+    }
+}
+
+TEST(SoftFloatMul, SubnormalResultSweep)
+{
+    // Products that land in or near the subnormal range.
+    SplitMix64 rng(7);
+    for (int i = 0; i < sweepIters; ++i) {
+        uint32_t ea = 1 + static_cast<uint32_t>(rng.next() % 80);
+        uint32_t eb = 1 + static_cast<uint32_t>(rng.next() % 80);
+        float a = bitsToFloat(ieeePack(rng.next() & 1, ea,
+                              static_cast<uint32_t>(rng.next()) & 0x7fffffu));
+        float b = bitsToFloat(ieeePack(rng.next() & 1, eb,
+                              static_cast<uint32_t>(rng.next()) & 0x7fffffu));
+        ASSERT_TRUE(bitEqual(a * b, sf::mul(a, b)))
+            << "a=" << std::hexfloat << a << " b=" << b;
+    }
+}
+
+TEST(SoftFloatDiv, DirectedEdgeCases)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+
+    EXPECT_TRUE(bitEqual(1.0f / 3.0f, sf::div(1.0f, 3.0f)));
+    EXPECT_TRUE(bitEqual(1.0f / 0.0f, sf::div(1.0f, 0.0f)));
+    EXPECT_TRUE(bitEqual(-1.0f / 0.0f, sf::div(-1.0f, 0.0f)));
+    EXPECT_TRUE(bitEqual(0.0f / 5.0f, sf::div(0.0f, 5.0f)));
+    EXPECT_TRUE(std::isnan(sf::div(0.0f, 0.0f)));
+    EXPECT_TRUE(std::isnan(sf::div(inf, inf)));
+    EXPECT_TRUE(std::isnan(sf::div(nan, 1.0f)));
+    EXPECT_TRUE(bitEqual(inf / 2.0f, sf::div(inf, 2.0f)));
+    EXPECT_TRUE(bitEqual(2.0f / inf, sf::div(2.0f, inf)));
+}
+
+TEST(SoftFloatDiv, RandomBitPatternSweep)
+{
+    SplitMix64 rng(8);
+    for (int i = 0; i < sweepIters; ++i) {
+        float a = randomFloatBits(rng);
+        float b = randomFloatBits(rng);
+        ASSERT_TRUE(bitEqual(a / b, sf::div(a, b)))
+            << "a=" << std::hexfloat << a << " b=" << b;
+    }
+}
+
+TEST(SoftFloatSqrt, DirectedEdgeCases)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+
+    EXPECT_TRUE(bitEqual(std::sqrt(0.0f), sf::sqrt(0.0f)));
+    EXPECT_TRUE(bitEqual(-0.0f, sf::sqrt(-0.0f)));
+    EXPECT_TRUE(bitEqual(std::sqrt(4.0f), sf::sqrt(4.0f)));
+    EXPECT_TRUE(bitEqual(std::sqrt(2.0f), sf::sqrt(2.0f)));
+    EXPECT_TRUE(bitEqual(inf, sf::sqrt(inf)));
+    EXPECT_TRUE(std::isnan(sf::sqrt(-1.0f)));
+    EXPECT_TRUE(bitEqual(
+        std::sqrt(std::numeric_limits<float>::denorm_min()),
+        sf::sqrt(std::numeric_limits<float>::denorm_min())));
+}
+
+TEST(SoftFloatSqrt, RandomSweep)
+{
+    SplitMix64 rng(9);
+    for (int i = 0; i < sweepIters; ++i) {
+        float a = sf::abs(randomFiniteFloat(rng));
+        ASSERT_TRUE(bitEqual(std::sqrt(a), sf::sqrt(a)))
+            << "a=" << std::hexfloat << a;
+    }
+}
+
+TEST(SoftFloatCompare, MatchesHost)
+{
+    SplitMix64 rng(10);
+    for (int i = 0; i < sweepIters; ++i) {
+        float a = randomFloatBits(rng);
+        float b = randomFloatBits(rng);
+        ASSERT_EQ(a < b, sf::lt(a, b)) << a << " " << b;
+        ASSERT_EQ(a <= b, sf::le(a, b)) << a << " " << b;
+        ASSERT_EQ(a == b, sf::eq(a, b)) << a << " " << b;
+    }
+    EXPECT_TRUE(sf::eq(0.0f, -0.0f));
+    EXPECT_FALSE(sf::lt(0.0f, -0.0f));
+    EXPECT_TRUE(sf::le(-0.0f, 0.0f));
+}
+
+TEST(SoftFloatConvert, ToI32Trunc)
+{
+    SplitMix64 rng(11);
+    EXPECT_EQ(0, sf::toI32Trunc(0.5f));
+    EXPECT_EQ(0, sf::toI32Trunc(-0.5f));
+    EXPECT_EQ(3, sf::toI32Trunc(3.99f));
+    EXPECT_EQ(-3, sf::toI32Trunc(-3.99f));
+    EXPECT_EQ(INT32_MAX, sf::toI32Trunc(3e9f));
+    EXPECT_EQ(INT32_MIN, sf::toI32Trunc(-3e9f));
+    for (int i = 0; i < sweepIters; ++i) {
+        float a = rng.nextFloat(-2.1e9f, 2.1e9f);
+        if (a <= -2147483648.0f || a >= 2147483648.0f)
+            continue;
+        ASSERT_EQ(static_cast<int32_t>(a), sf::toI32Trunc(a))
+            << std::hexfloat << a;
+    }
+}
+
+TEST(SoftFloatConvert, ToI32Floor)
+{
+    SplitMix64 rng(12);
+    EXPECT_EQ(0, sf::toI32Floor(0.5f));
+    EXPECT_EQ(-1, sf::toI32Floor(-0.5f));
+    EXPECT_EQ(3, sf::toI32Floor(3.0f));
+    EXPECT_EQ(-4, sf::toI32Floor(-3.5f));
+    for (int i = 0; i < sweepIters; ++i) {
+        float a = rng.nextFloat(-1e6f, 1e6f);
+        ASSERT_EQ(static_cast<int32_t>(std::floor(a)), sf::toI32Floor(a))
+            << std::hexfloat << a;
+    }
+}
+
+TEST(SoftFloatConvert, ToI32Round)
+{
+    SplitMix64 rng(13);
+    EXPECT_EQ(1, sf::toI32Round(0.5f));
+    EXPECT_EQ(-1, sf::toI32Round(-0.5f));
+    EXPECT_EQ(0, sf::toI32Round(0.49f));
+    EXPECT_EQ(2, sf::toI32Round(1.5f));
+    for (int i = 0; i < sweepIters; ++i) {
+        float a = rng.nextFloat(-1e6f, 1e6f);
+        ASSERT_EQ(static_cast<int32_t>(std::llround(a)), sf::toI32Round(a))
+            << std::hexfloat << a;
+    }
+}
+
+TEST(SoftFloatConvert, FromI32)
+{
+    SplitMix64 rng(14);
+    EXPECT_TRUE(bitEqual(0.0f, sf::fromI32(0)));
+    EXPECT_TRUE(bitEqual(static_cast<float>(INT32_MIN),
+                         sf::fromI32(INT32_MIN)));
+    EXPECT_TRUE(bitEqual(static_cast<float>(INT32_MAX),
+                         sf::fromI32(INT32_MAX)));
+    for (int i = 0; i < sweepIters; ++i) {
+        int32_t v = static_cast<int32_t>(rng.next());
+        ASSERT_TRUE(bitEqual(static_cast<float>(v), sf::fromI32(v))) << v;
+    }
+}
+
+TEST(SoftFloatConvert, FixedRoundTrip)
+{
+    SplitMix64 rng(15);
+    for (int i = 0; i < sweepIters; ++i) {
+        float a = rng.nextFloat(-7.9f, 7.9f);
+        Fixed f = sf::toFixed(a);
+        Fixed ref = Fixed::fromFloat(a);
+        ASSERT_EQ(ref.raw(), f.raw()) << std::hexfloat << a;
+        float back = sf::fromFixed(f);
+        ASSERT_TRUE(bitEqual(f.toFloat(), back)) << std::hexfloat << a;
+    }
+}
+
+TEST(SoftFloatCost, RelativeCostsMatchUpmemShape)
+{
+    // The defining property of the UPMEM cost landscape exploited by
+    // the paper: div >> mul > add >> native integer add.
+    CountingSink addSink, mulSink, divSink, sqrtSink;
+    SplitMix64 rng(16);
+    for (int i = 0; i < 1000; ++i) {
+        float a = rng.nextFloat(0.1f, 100.0f);
+        float b = rng.nextFloat(0.1f, 100.0f);
+        sf::add(a, b, &addSink);
+        sf::mul(a, b, &mulSink);
+        sf::div(a, b, &divSink);
+        sf::sqrt(a, &sqrtSink);
+    }
+    EXPECT_GT(mulSink.total(), 2.0 * addSink.total());
+    EXPECT_GT(divSink.total(), 1.5 * mulSink.total());
+    EXPECT_GT(sqrtSink.total(), mulSink.total());
+    // Sanity bands (instructions per op), tracking the published UPMEM
+    // single-DPU throughput of emulated float add/mul/div.
+    EXPECT_GT(addSink.total() / 1000, 40u);
+    EXPECT_LT(addSink.total() / 1000, 120u);
+    EXPECT_GT(mulSink.total() / 1000, 120u);
+    EXPECT_LT(mulSink.total() / 1000, 250u);
+    EXPECT_GT(divSink.total() / 1000, 250u);
+    EXPECT_LT(divSink.total() / 1000, 450u);
+}
+
+} // namespace
+} // namespace tpl

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Auto-tuner tests: recommendations meet the accuracy target, respect
+ * memory budgets, and reproduce the paper's Key Takeaways (CORDIC for
+ * tight memory, LUT families for streaming kernels, setup dominating
+ * for tiny evaluation counts).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "transpim/harness.h"
+#include "transpim/tuner.h"
+
+namespace tpl {
+namespace transpim {
+namespace {
+
+TEST(Tuner, RecommendationMeetsTarget)
+{
+    for (double target : {1e-3, 1e-5, 1e-7}) {
+        auto rec = recommendSpec(Function::Sin, target);
+        ASSERT_TRUE(rec.has_value()) << target;
+        EXPECT_LE(rec->best.rmse, target);
+        // Independently validate with a fresh evaluator and inputs.
+        auto eval = FunctionEvaluator::create(Function::Sin,
+                                              rec->best.spec);
+        auto inputs = uniformFloats(3000, 0.0f, 6.2831853f, 555);
+        ErrorStats stats = evaluateAccuracy(eval, inputs);
+        EXPECT_LE(stats.rmse, target * 1.5) << methodLabel(rec->best.spec);
+    }
+}
+
+TEST(Tuner, CandidatesSortedByScore)
+{
+    auto rec = recommendSpec(Function::Sin, 1e-5);
+    ASSERT_TRUE(rec.has_value());
+    ASSERT_GE(rec->candidates.size(), 2u);
+    for (size_t i = 1; i < rec->candidates.size(); ++i) {
+        EXPECT_LE(rec->candidates[i - 1].secondsPerEval,
+                  rec->candidates[i].secondsPerEval);
+    }
+    EXPECT_EQ(rec->best.secondsPerEval,
+              rec->candidates.front().secondsPerEval);
+}
+
+TEST(Tuner, TightMemoryPrefersCordicFamily)
+{
+    // Key Takeaway 3: with the bank needed for data, only the flat-
+    // memory CORDIC methods reach high accuracy.
+    TunerConstraints tight;
+    tight.maxTableBytes = 512;
+    auto rec = recommendSpec(Function::Sin, 1e-7, tight);
+    ASSERT_TRUE(rec.has_value());
+    Method m = rec->best.spec.method;
+    EXPECT_TRUE(m == Method::Cordic || m == Method::CordicFixed ||
+                m == Method::CordicLut)
+        << methodLabel(rec->best.spec);
+    EXPECT_LE(rec->best.tableBytes, 512u);
+}
+
+TEST(Tuner, RoomyMemoryPrefersLutFamily)
+{
+    // Key Takeaway 1: with table room, an L-LUT variant wins the
+    // streaming case.
+    TunerConstraints roomy;
+    roomy.maxTableBytes = 1u << 20;
+    roomy.expectedEvaluations = 100'000'000;
+    auto rec = recommendSpec(Function::Sin, 1e-5, roomy);
+    ASSERT_TRUE(rec.has_value());
+    Method m = rec->best.spec.method;
+    EXPECT_TRUE(m == Method::LLut || m == Method::LLutFixed ||
+                m == Method::DlLut || m == Method::DLut)
+        << methodLabel(rec->best.spec);
+}
+
+TEST(Tuner, FixedPointCanBeDisabled)
+{
+    TunerConstraints c;
+    c.allowFixedPoint = false;
+    auto rec = recommendSpec(Function::Sin, 1e-5, c);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_NE(Method::LLutFixed, rec->best.spec.method);
+    for (const auto& cand : rec->candidates)
+        EXPECT_NE(Method::LLutFixed, cand.spec.method);
+}
+
+TEST(Tuner, MethodFilterRespected)
+{
+    TunerConstraints c;
+    c.methods = {Method::Cordic, Method::Poly};
+    auto rec = recommendSpec(Function::Sin, 1e-4, c);
+    ASSERT_TRUE(rec.has_value());
+    for (const auto& cand : rec->candidates) {
+        EXPECT_TRUE(cand.spec.method == Method::Cordic ||
+                    cand.spec.method == Method::Poly);
+    }
+}
+
+TEST(Tuner, SetupAmortizationShiftsScore)
+{
+    // With very few evaluations the setup share dominates the score,
+    // so the chosen candidate's setup must be no worse than what the
+    // streaming case picks.
+    TunerConstraints fewEvals;
+    fewEvals.expectedEvaluations = 10;
+    TunerConstraints manyEvals;
+    manyEvals.expectedEvaluations = 1'000'000'000;
+    auto few = recommendSpec(Function::Sin, 1e-6, fewEvals);
+    auto many = recommendSpec(Function::Sin, 1e-6, manyEvals);
+    ASSERT_TRUE(few.has_value());
+    ASSERT_TRUE(many.has_value());
+    EXPECT_LE(few->best.setupSeconds, many->best.setupSeconds * 1.01);
+    EXPECT_LE(many->best.instructionsPerEval,
+              few->best.instructionsPerEval * 1.01);
+}
+
+TEST(Tuner, UnreachableTargetReturnsNothing)
+{
+    TunerConstraints c;
+    c.maxTableBytes = 64; // essentially no tables
+    c.methods = {Method::MLut, Method::LLut};
+    auto rec = recommendSpec(Function::Sin, 1e-9, c);
+    EXPECT_FALSE(rec.has_value());
+}
+
+TEST(Tuner, WorksAcrossFunctions)
+{
+    for (Function f : {Function::Tanh, Function::Exp, Function::Log,
+                       Function::Gelu}) {
+        auto rec = recommendSpec(f, 1e-4);
+        ASSERT_TRUE(rec.has_value()) << functionName(f);
+        EXPECT_LE(rec->best.rmse, 1e-4) << functionName(f);
+    }
+}
+
+} // namespace
+} // namespace transpim
+} // namespace tpl
