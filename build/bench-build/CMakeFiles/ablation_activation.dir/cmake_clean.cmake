@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_activation"
+  "../bench/ablation_activation.pdb"
+  "CMakeFiles/ablation_activation.dir/ablation_activation.cc.o"
+  "CMakeFiles/ablation_activation.dir/ablation_activation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_amortization"
+  "../bench/ablation_amortization.pdb"
+  "CMakeFiles/ablation_amortization.dir/ablation_amortization.cc.o"
+  "CMakeFiles/ablation_amortization.dir/ablation_amortization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

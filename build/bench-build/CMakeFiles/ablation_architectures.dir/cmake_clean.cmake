@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_architectures"
+  "../bench/ablation_architectures.pdb"
+  "CMakeFiles/ablation_architectures.dir/ablation_architectures.cc.o"
+  "CMakeFiles/ablation_architectures.dir/ablation_architectures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cordic_fixed"
+  "../bench/ablation_cordic_fixed.pdb"
+  "CMakeFiles/ablation_cordic_fixed.dir/ablation_cordic_fixed.cc.o"
+  "CMakeFiles/ablation_cordic_fixed.dir/ablation_cordic_fixed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cordic_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

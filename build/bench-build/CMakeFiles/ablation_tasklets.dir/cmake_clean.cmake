@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tasklets"
+  "../bench/ablation_tasklets.pdb"
+  "CMakeFiles/ablation_tasklets.dir/ablation_tasklets.cc.o"
+  "CMakeFiles/ablation_tasklets.dir/ablation_tasklets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tasklets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_tuner.cc" "bench-build/CMakeFiles/ablation_tuner.dir/ablation_tuner.cc.o" "gcc" "bench-build/CMakeFiles/ablation_tuner.dir/ablation_tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transpim/CMakeFiles/tpl_transpim.dir/DependInfo.cmake"
+  "/root/repo/build/src/softfloat/CMakeFiles/tpl_softfloat.dir/DependInfo.cmake"
+  "/root/repo/build/src/pimsim/CMakeFiles/tpl_pimsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tpl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

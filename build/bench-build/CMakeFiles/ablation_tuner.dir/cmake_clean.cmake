@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tuner"
+  "../bench/ablation_tuner.pdb"
+  "CMakeFiles/ablation_tuner.dir/ablation_tuner.cc.o"
+  "CMakeFiles/ablation_tuner.dir/ablation_tuner.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_cycles"
+  "../bench/fig5_cycles.pdb"
+  "CMakeFiles/fig5_cycles.dir/fig5_cycles.cc.o"
+  "CMakeFiles/fig5_cycles.dir/fig5_cycles.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

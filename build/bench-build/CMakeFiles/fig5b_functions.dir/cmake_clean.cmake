@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5b_functions"
+  "../bench/fig5b_functions.pdb"
+  "CMakeFiles/fig5b_functions.dir/fig5b_functions.cc.o"
+  "CMakeFiles/fig5b_functions.dir/fig5b_functions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_setup"
+  "../bench/fig6_setup.pdb"
+  "CMakeFiles/fig6_setup.dir/fig6_setup.cc.o"
+  "CMakeFiles/fig6_setup.dir/fig6_setup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

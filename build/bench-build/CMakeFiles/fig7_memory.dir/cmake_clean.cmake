@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_memory"
+  "../bench/fig7_memory.pdb"
+  "CMakeFiles/fig7_memory.dir/fig7_memory.cc.o"
+  "CMakeFiles/fig7_memory.dir/fig7_memory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_range"
+  "../bench/fig8_range.pdb"
+  "CMakeFiles/fig8_range.dir/fig8_range.cc.o"
+  "CMakeFiles/fig8_range.dir/fig8_range.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_workloads"
+  "../bench/fig9_workloads.pdb"
+  "CMakeFiles/fig9_workloads.dir/fig9_workloads.cc.o"
+  "CMakeFiles/fig9_workloads.dir/fig9_workloads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9b_extensions"
+  "../bench/fig9b_extensions.pdb"
+  "CMakeFiles/fig9b_extensions.dir/fig9b_extensions.cc.o"
+  "CMakeFiles/fig9b_extensions.dir/fig9b_extensions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

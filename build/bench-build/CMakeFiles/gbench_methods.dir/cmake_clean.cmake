@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/gbench_methods"
+  "../bench/gbench_methods.pdb"
+  "CMakeFiles/gbench_methods.dir/gbench_methods.cc.o"
+  "CMakeFiles/gbench_methods.dir/gbench_methods.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

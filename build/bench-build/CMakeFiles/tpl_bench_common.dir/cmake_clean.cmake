@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpl_bench_common.dir/sweep_common.cc.o"
+  "CMakeFiles/tpl_bench_common.dir/sweep_common.cc.o.d"
+  "libtpl_bench_common.a"
+  "libtpl_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpl_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

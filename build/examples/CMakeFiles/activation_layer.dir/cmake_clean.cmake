@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activation_layer.dir/activation_layer.cpp.o"
+  "CMakeFiles/activation_layer.dir/activation_layer.cpp.o.d"
+  "activation_layer"
+  "activation_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activation_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_workflow.dir/tuning_workflow.cpp.o"
+  "CMakeFiles/tuning_workflow.dir/tuning_workflow.cpp.o.d"
+  "tuning_workflow"
+  "tuning_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

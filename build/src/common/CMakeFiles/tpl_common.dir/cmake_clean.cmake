@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpl_common.dir/emu_int.cc.o"
+  "CMakeFiles/tpl_common.dir/emu_int.cc.o.d"
+  "CMakeFiles/tpl_common.dir/error_metrics.cc.o"
+  "CMakeFiles/tpl_common.dir/error_metrics.cc.o.d"
+  "CMakeFiles/tpl_common.dir/fixed_point.cc.o"
+  "CMakeFiles/tpl_common.dir/fixed_point.cc.o.d"
+  "CMakeFiles/tpl_common.dir/rng.cc.o"
+  "CMakeFiles/tpl_common.dir/rng.cc.o.d"
+  "libtpl_common.a"
+  "libtpl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pimsim/dpu.cc" "src/pimsim/CMakeFiles/tpl_pimsim.dir/dpu.cc.o" "gcc" "src/pimsim/CMakeFiles/tpl_pimsim.dir/dpu.cc.o.d"
+  "/root/repo/src/pimsim/isa.cc" "src/pimsim/CMakeFiles/tpl_pimsim.dir/isa.cc.o" "gcc" "src/pimsim/CMakeFiles/tpl_pimsim.dir/isa.cc.o.d"
+  "/root/repo/src/pimsim/system.cc" "src/pimsim/CMakeFiles/tpl_pimsim.dir/system.cc.o" "gcc" "src/pimsim/CMakeFiles/tpl_pimsim.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tpl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

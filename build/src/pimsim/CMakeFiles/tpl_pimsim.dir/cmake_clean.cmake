@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpl_pimsim.dir/dpu.cc.o"
+  "CMakeFiles/tpl_pimsim.dir/dpu.cc.o.d"
+  "CMakeFiles/tpl_pimsim.dir/isa.cc.o"
+  "CMakeFiles/tpl_pimsim.dir/isa.cc.o.d"
+  "CMakeFiles/tpl_pimsim.dir/system.cc.o"
+  "CMakeFiles/tpl_pimsim.dir/system.cc.o.d"
+  "libtpl_pimsim.a"
+  "libtpl_pimsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpl_pimsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpl_softfloat.dir/softfloat.cc.o"
+  "CMakeFiles/tpl_softfloat.dir/softfloat.cc.o.d"
+  "CMakeFiles/tpl_softfloat.dir/softfloat16.cc.o"
+  "CMakeFiles/tpl_softfloat.dir/softfloat16.cc.o.d"
+  "CMakeFiles/tpl_softfloat.dir/softfloat64.cc.o"
+  "CMakeFiles/tpl_softfloat.dir/softfloat64.cc.o.d"
+  "libtpl_softfloat.a"
+  "libtpl_softfloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpl_softfloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transpim/arch_model.cc" "src/transpim/CMakeFiles/tpl_transpim.dir/arch_model.cc.o" "gcc" "src/transpim/CMakeFiles/tpl_transpim.dir/arch_model.cc.o.d"
+  "/root/repo/src/transpim/cordic.cc" "src/transpim/CMakeFiles/tpl_transpim.dir/cordic.cc.o" "gcc" "src/transpim/CMakeFiles/tpl_transpim.dir/cordic.cc.o.d"
+  "/root/repo/src/transpim/cordic_lut.cc" "src/transpim/CMakeFiles/tpl_transpim.dir/cordic_lut.cc.o" "gcc" "src/transpim/CMakeFiles/tpl_transpim.dir/cordic_lut.cc.o.d"
+  "/root/repo/src/transpim/direct_lut.cc" "src/transpim/CMakeFiles/tpl_transpim.dir/direct_lut.cc.o" "gcc" "src/transpim/CMakeFiles/tpl_transpim.dir/direct_lut.cc.o.d"
+  "/root/repo/src/transpim/error_model.cc" "src/transpim/CMakeFiles/tpl_transpim.dir/error_model.cc.o" "gcc" "src/transpim/CMakeFiles/tpl_transpim.dir/error_model.cc.o.d"
+  "/root/repo/src/transpim/evaluator.cc" "src/transpim/CMakeFiles/tpl_transpim.dir/evaluator.cc.o" "gcc" "src/transpim/CMakeFiles/tpl_transpim.dir/evaluator.cc.o.d"
+  "/root/repo/src/transpim/fuzzy_lut.cc" "src/transpim/CMakeFiles/tpl_transpim.dir/fuzzy_lut.cc.o" "gcc" "src/transpim/CMakeFiles/tpl_transpim.dir/fuzzy_lut.cc.o.d"
+  "/root/repo/src/transpim/harness.cc" "src/transpim/CMakeFiles/tpl_transpim.dir/harness.cc.o" "gcc" "src/transpim/CMakeFiles/tpl_transpim.dir/harness.cc.o.d"
+  "/root/repo/src/transpim/ldexp.cc" "src/transpim/CMakeFiles/tpl_transpim.dir/ldexp.cc.o" "gcc" "src/transpim/CMakeFiles/tpl_transpim.dir/ldexp.cc.o.d"
+  "/root/repo/src/transpim/llut16.cc" "src/transpim/CMakeFiles/tpl_transpim.dir/llut16.cc.o" "gcc" "src/transpim/CMakeFiles/tpl_transpim.dir/llut16.cc.o.d"
+  "/root/repo/src/transpim/llut64.cc" "src/transpim/CMakeFiles/tpl_transpim.dir/llut64.cc.o" "gcc" "src/transpim/CMakeFiles/tpl_transpim.dir/llut64.cc.o.d"
+  "/root/repo/src/transpim/poly.cc" "src/transpim/CMakeFiles/tpl_transpim.dir/poly.cc.o" "gcc" "src/transpim/CMakeFiles/tpl_transpim.dir/poly.cc.o.d"
+  "/root/repo/src/transpim/program.cc" "src/transpim/CMakeFiles/tpl_transpim.dir/program.cc.o" "gcc" "src/transpim/CMakeFiles/tpl_transpim.dir/program.cc.o.d"
+  "/root/repo/src/transpim/range.cc" "src/transpim/CMakeFiles/tpl_transpim.dir/range.cc.o" "gcc" "src/transpim/CMakeFiles/tpl_transpim.dir/range.cc.o.d"
+  "/root/repo/src/transpim/reference.cc" "src/transpim/CMakeFiles/tpl_transpim.dir/reference.cc.o" "gcc" "src/transpim/CMakeFiles/tpl_transpim.dir/reference.cc.o.d"
+  "/root/repo/src/transpim/tuner.cc" "src/transpim/CMakeFiles/tpl_transpim.dir/tuner.cc.o" "gcc" "src/transpim/CMakeFiles/tpl_transpim.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tpl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/softfloat/CMakeFiles/tpl_softfloat.dir/DependInfo.cmake"
+  "/root/repo/build/src/pimsim/CMakeFiles/tpl_pimsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

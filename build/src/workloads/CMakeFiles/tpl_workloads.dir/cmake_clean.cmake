@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpl_workloads.dir/activations.cc.o"
+  "CMakeFiles/tpl_workloads.dir/activations.cc.o.d"
+  "CMakeFiles/tpl_workloads.dir/blackscholes.cc.o"
+  "CMakeFiles/tpl_workloads.dir/blackscholes.cc.o.d"
+  "CMakeFiles/tpl_workloads.dir/common.cc.o"
+  "CMakeFiles/tpl_workloads.dir/common.cc.o.d"
+  "CMakeFiles/tpl_workloads.dir/logistic.cc.o"
+  "CMakeFiles/tpl_workloads.dir/logistic.cc.o.d"
+  "CMakeFiles/tpl_workloads.dir/raytrace.cc.o"
+  "CMakeFiles/tpl_workloads.dir/raytrace.cc.o.d"
+  "libtpl_workloads.a"
+  "libtpl_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpl_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtpl_workloads.a"
+)

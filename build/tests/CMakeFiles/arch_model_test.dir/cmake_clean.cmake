@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_model_test.dir/arch_model_test.cc.o"
+  "CMakeFiles/arch_model_test.dir/arch_model_test.cc.o.d"
+  "arch_model_test"
+  "arch_model_test.pdb"
+  "arch_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cordic_test.dir/cordic_test.cc.o"
+  "CMakeFiles/cordic_test.dir/cordic_test.cc.o.d"
+  "cordic_test"
+  "cordic_test.pdb"
+  "cordic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cordic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_functions_test.dir/extended_functions_test.cc.o"
+  "CMakeFiles/extended_functions_test.dir/extended_functions_test.cc.o.d"
+  "extended_functions_test"
+  "extended_functions_test.pdb"
+  "extended_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

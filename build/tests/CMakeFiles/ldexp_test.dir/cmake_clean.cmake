@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldexp_test.dir/ldexp_test.cc.o"
+  "CMakeFiles/ldexp_test.dir/ldexp_test.cc.o.d"
+  "ldexp_test"
+  "ldexp_test.pdb"
+  "ldexp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldexp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llut64_test.dir/llut64_test.cc.o"
+  "CMakeFiles/llut64_test.dir/llut64_test.cc.o.d"
+  "llut64_test"
+  "llut64_test.pdb"
+  "llut64_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llut64_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

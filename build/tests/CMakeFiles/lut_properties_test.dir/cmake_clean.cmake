@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lut_properties_test.dir/lut_properties_test.cc.o"
+  "CMakeFiles/lut_properties_test.dir/lut_properties_test.cc.o.d"
+  "lut_properties_test"
+  "lut_properties_test.pdb"
+  "lut_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lut_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lut_test.dir/lut_test.cc.o"
+  "CMakeFiles/lut_test.dir/lut_test.cc.o.d"
+  "lut_test"
+  "lut_test.pdb"
+  "lut_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

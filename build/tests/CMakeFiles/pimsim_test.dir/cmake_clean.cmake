@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimsim_test.dir/pimsim_test.cc.o"
+  "CMakeFiles/pimsim_test.dir/pimsim_test.cc.o.d"
+  "pimsim_test"
+  "pimsim_test.pdb"
+  "pimsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softfloat16_test.dir/softfloat16_test.cc.o"
+  "CMakeFiles/softfloat16_test.dir/softfloat16_test.cc.o.d"
+  "softfloat16_test"
+  "softfloat16_test.pdb"
+  "softfloat16_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softfloat16_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

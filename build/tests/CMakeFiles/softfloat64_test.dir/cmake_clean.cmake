@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softfloat64_test.dir/softfloat64_test.cc.o"
+  "CMakeFiles/softfloat64_test.dir/softfloat64_test.cc.o.d"
+  "softfloat64_test"
+  "softfloat64_test.pdb"
+  "softfloat64_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softfloat64_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

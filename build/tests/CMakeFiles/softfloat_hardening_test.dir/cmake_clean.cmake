@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softfloat_hardening_test.dir/softfloat_hardening_test.cc.o"
+  "CMakeFiles/softfloat_hardening_test.dir/softfloat_hardening_test.cc.o.d"
+  "softfloat_hardening_test"
+  "softfloat_hardening_test.pdb"
+  "softfloat_hardening_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softfloat_hardening_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

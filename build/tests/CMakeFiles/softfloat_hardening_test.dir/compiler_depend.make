@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for softfloat_hardening_test.
+# This may be replaced when dependencies are built.

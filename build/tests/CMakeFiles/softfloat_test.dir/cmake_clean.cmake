@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softfloat_test.dir/softfloat_test.cc.o"
+  "CMakeFiles/softfloat_test.dir/softfloat_test.cc.o.d"
+  "softfloat_test"
+  "softfloat_test.pdb"
+  "softfloat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softfloat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

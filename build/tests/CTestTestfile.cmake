@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/softfloat_test[1]_include.cmake")
+include("/root/repo/build/tests/pimsim_test[1]_include.cmake")
+include("/root/repo/build/tests/ldexp_test[1]_include.cmake")
+include("/root/repo/build/tests/cordic_test[1]_include.cmake")
+include("/root/repo/build/tests/lut_test[1]_include.cmake")
+include("/root/repo/build/tests/range_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluator_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/tuner_test[1]_include.cmake")
+include("/root/repo/build/tests/extended_functions_test[1]_include.cmake")
+include("/root/repo/build/tests/arch_model_test[1]_include.cmake")
+include("/root/repo/build/tests/softfloat_hardening_test[1]_include.cmake")
+include("/root/repo/build/tests/program_test[1]_include.cmake")
+include("/root/repo/build/tests/lut_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/softfloat64_test[1]_include.cmake")
+include("/root/repo/build/tests/llut64_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/error_model_test[1]_include.cmake")
+include("/root/repo/build/tests/softfloat16_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
