@@ -19,7 +19,10 @@ main()
 {
     using namespace tpl::bench;
     std::printf("=== Figure 6: host setup time vs RMSE (sine) ===\n");
-    auto points = runMethodSweep(tpl::transpim::Function::Sin, false);
+    // Serial sweep: this figure's metric is measured host wall-clock
+    // generation time, which concurrent points would inflate.
+    auto points =
+        runMethodSweep(tpl::transpim::Function::Sin, false, false);
     printHeader("setup seconds (generation + transfer)", "setup_s");
     for (const auto& p : points)
         printRow(p, p.result.setupSeconds);

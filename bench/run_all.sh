@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Run every bench binary and emit a consolidated BENCH_results.json
+# with wall-clock seconds per bench, so successive PRs have a perf
+# trajectory to compare against.
+#
+# Usage:
+#   bench/run_all.sh [BUILD_DIR] [OUT_JSON]
+#
+#   BUILD_DIR  cmake build tree (default: build). Bench binaries are
+#              expected under BUILD_DIR/bench/ (that is where the bench
+#              CMakeLists points RUNTIME_OUTPUT_DIRECTORY).
+#   OUT_JSON   output path (default: BENCH_results.json in the cwd).
+#
+# Environment:
+#   TPL_BENCH_ELEMENTS  forwarded to the benches (smaller = faster).
+#   TPL_SIM_THREADS     simulation parallelism (1 = serial reference).
+#   TPL_BENCH_FILTER    only run binaries whose name matches this
+#                       (grep -E) pattern.
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_results.json}"
+BENCH_DIR="$BUILD_DIR/bench"
+
+if [ ! -d "$BENCH_DIR" ]; then
+    echo "error: $BENCH_DIR not found (build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+fi
+
+now_ns() {
+    # date +%s%N is GNU; fall back to second resolution elsewhere.
+    local n
+    n=$(date +%s%N)
+    case "$n" in
+        *N) echo "$(date +%s)000000000" ;;
+        *) echo "$n" ;;
+    esac
+}
+
+entries=""
+failures=0
+for bin in "$BENCH_DIR"/*; do
+    [ -f "$bin" ] && [ -x "$bin" ] || continue
+    name=$(basename "$bin")
+    if [ -n "${TPL_BENCH_FILTER:-}" ] &&
+        ! echo "$name" | grep -Eq "${TPL_BENCH_FILTER}"; then
+        continue
+    fi
+    echo "== $name" >&2
+    start=$(now_ns)
+    if "$bin" > /dev/null 2>&1; then
+        status=0
+    else
+        status=$?
+        failures=$((failures + 1))
+        echo "   FAILED (exit $status)" >&2
+    fi
+    end=$(now_ns)
+    secs=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", (b - a) / 1e9 }')
+    echo "   ${secs}s" >&2
+    [ -n "$entries" ] && entries="$entries,"
+    entries="$entries
+    {\"bench\": \"$name\", \"seconds\": $secs, \"exit\": $status}"
+done
+
+{
+    echo "{"
+    echo "  \"sim_threads\": \"${TPL_SIM_THREADS:-default}\","
+    echo "  \"bench_elements\": \"${TPL_BENCH_ELEMENTS:-default}\","
+    echo "  \"results\": [$entries"
+    echo "  ]"
+    echo "}"
+} > "$OUT_JSON"
+
+echo "wrote $OUT_JSON" >&2
+exit "$failures"

@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "common/rng.h"
+#include "pimsim/thread_pool.h"
 
 namespace tpl {
 namespace bench {
@@ -70,76 +71,90 @@ runPoint(Function f, const MethodSpec& spec, bool simulateCycles)
     return res;
 }
 
+/** One pending point of the sweep matrix (spec + display knob). */
+struct SweepEntry
+{
+    MethodSpec spec;
+    std::string knob;
+};
+
 void
-addLutSeries(std::vector<SweepPoint>& out, Function f, Method method,
+addLutSeries(std::vector<SweepEntry>& out, Method method,
              bool interpolated, Placement placement,
-             const std::vector<uint32_t>& sizes, bool simulateCycles)
+             const std::vector<uint32_t>& sizes)
 {
     for (uint32_t log2n : sizes) {
-        MethodSpec spec;
-        spec.method = method;
-        spec.interpolated = interpolated;
-        spec.placement = placement;
-        spec.log2Entries = log2n;
-        MicrobenchResult r = runPoint(f, spec, simulateCycles);
-        if (!r.feasible)
-            continue; // table does not fit this placement
-        SweepPoint p;
-        p.series = methodLabel(spec);
-        p.knob = "2^" + std::to_string(log2n);
-        p.result = r;
-        out.push_back(std::move(p));
+        SweepEntry e;
+        e.spec.method = method;
+        e.spec.interpolated = interpolated;
+        e.spec.placement = placement;
+        e.spec.log2Entries = log2n;
+        e.knob = "2^" + std::to_string(log2n);
+        out.push_back(std::move(e));
     }
 }
 
 void
-addCordicSeries(std::vector<SweepPoint>& out, Function f, Method method,
-                Placement placement, bool simulateCycles)
+addCordicSeries(std::vector<SweepEntry>& out, Method method,
+                Placement placement)
 {
     for (uint32_t iters : {8u, 12u, 16u, 20u, 24u, 28u}) {
-        MethodSpec spec;
-        spec.method = method;
-        spec.placement = placement;
-        spec.iterations = iters;
-        spec.gridBits = 8;
-        MicrobenchResult r = runPoint(f, spec, simulateCycles);
-        if (!r.feasible)
-            continue;
-        SweepPoint p;
-        p.series = methodLabel(spec);
-        p.knob = std::to_string(iters) + " iters";
-        p.result = r;
-        out.push_back(std::move(p));
+        SweepEntry e;
+        e.spec.method = method;
+        e.spec.placement = placement;
+        e.spec.iterations = iters;
+        e.spec.gridBits = 8;
+        e.knob = std::to_string(iters) + " iters";
+        out.push_back(std::move(e));
     }
 }
 
 } // namespace
 
 std::vector<SweepPoint>
-runMethodSweep(Function f, bool simulateCycles)
+runMethodSweep(Function f, bool simulateCycles, bool parallelPoints)
 {
-    std::vector<SweepPoint> out;
+    // Build the full configuration matrix first, then run every point
+    // independently (each owns its evaluator and simulated core) and
+    // emit results in matrix order, so the output is identical no
+    // matter how many threads executed it.
+    std::vector<SweepEntry> entries;
     const std::vector<uint32_t> plainSizes{8, 10, 12, 14, 16, 18, 20};
     const std::vector<uint32_t> interpSizes{6, 8, 10, 12, 14, 16};
 
     for (Placement pl : {Placement::Wram, Placement::Mram}) {
-        addLutSeries(out, f, Method::MLut, false, pl, plainSizes,
-                     simulateCycles);
-        addLutSeries(out, f, Method::MLut, true, pl, interpSizes,
-                     simulateCycles);
-        addLutSeries(out, f, Method::LLut, false, pl, plainSizes,
-                     simulateCycles);
-        addLutSeries(out, f, Method::LLut, true, pl, interpSizes,
-                     simulateCycles);
-        addLutSeries(out, f, Method::LLutFixed, false, pl, plainSizes,
-                     simulateCycles);
-        addLutSeries(out, f, Method::LLutFixed, true, pl, interpSizes,
-                     simulateCycles);
+        addLutSeries(entries, Method::MLut, false, pl, plainSizes);
+        addLutSeries(entries, Method::MLut, true, pl, interpSizes);
+        addLutSeries(entries, Method::LLut, false, pl, plainSizes);
+        addLutSeries(entries, Method::LLut, true, pl, interpSizes);
+        addLutSeries(entries, Method::LLutFixed, false, pl, plainSizes);
+        addLutSeries(entries, Method::LLutFixed, true, pl, interpSizes);
     }
-    addCordicSeries(out, f, Method::Cordic, Placement::Wram,
-                    simulateCycles);
-    addCordicSeries(out, f, Method::CordicLut, Placement::Wram,
-                    simulateCycles);
+    addCordicSeries(entries, Method::Cordic, Placement::Wram);
+    addCordicSeries(entries, Method::CordicLut, Placement::Wram);
+
+    std::vector<MicrobenchResult> results(entries.size());
+    auto runOne = [&](uint64_t i) {
+        results[i] = runPoint(f, entries[i].spec, simulateCycles);
+    };
+    if (parallelPoints) {
+        sim::parallelFor(entries.size(), runOne);
+    } else {
+        for (uint64_t i = 0; i < entries.size(); ++i)
+            runOne(i);
+    }
+
+    std::vector<SweepPoint> out;
+    out.reserve(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+        if (!results[i].feasible)
+            continue; // table does not fit this placement
+        SweepPoint p;
+        p.series = methodLabel(entries[i].spec);
+        p.knob = entries[i].knob;
+        p.result = results[i];
+        out.push_back(std::move(p));
+    }
     return out;
 }
 

@@ -31,12 +31,27 @@ uint32_t benchElements();
 
 /**
  * Run the full sine method sweep.
+ *
+ * The configuration matrix is embarrassingly parallel: every point
+ * builds its own evaluator and simulated core, so by default the
+ * points run concurrently on the simulator's ThreadPool
+ * (TPL_SIM_THREADS controls the width). The returned vector is in the
+ * same deterministic series order regardless of thread count, and all
+ * modeled numbers (cycles, memory, accuracy) are bit-identical to a
+ * serial sweep.
+ *
  * @param function the function to sweep (Figures 5-7 use sine).
  * @param simulateCycles when false, skips the DPU simulation and only
  *        fills accuracy/memory/setup (enough for Figures 6 and 7).
+ * @param parallelPoints run sweep points concurrently. Pass false for
+ *        benches whose headline metric is measured host wall-clock
+ *        time (Figure 6's setup time): concurrent table generation on
+ *        an oversubscribed host would inflate each point's measured
+ *        seconds even though all modeled numbers stay exact.
  */
 std::vector<SweepPoint> runMethodSweep(transpim::Function function,
-                                       bool simulateCycles);
+                                       bool simulateCycles,
+                                       bool parallelPoints = true);
 
 /** Print the standard sweep-table header. */
 void printHeader(const char* title, const char* valueColumn);

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite.
+# With TPL_TIER1_TSAN=1, additionally build a ThreadSanitizer tree and
+# run the parallel-engine tests (thread pool + launchAll determinism)
+# under TSan — the cheap way to catch data races the determinism test
+# alone cannot see.
+#
+# Usage: scripts/tier1.sh [BUILD_DIR]
+set -eu
+
+BUILD_DIR="${1:-build}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR"
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+
+if [ "${TPL_TIER1_TSAN:-0}" = "1" ]; then
+    TSAN_DIR="${BUILD_DIR}-tsan"
+    cmake -B "$TSAN_DIR" -S "$SRC_DIR" -DTPL_SANITIZE=thread
+    cmake --build "$TSAN_DIR" -j --target concurrency_test
+    ctest --test-dir "$TSAN_DIR" --output-on-failure \
+        -R 'ThreadPool|Determinism|Concurrency'
+fi

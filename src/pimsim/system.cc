@@ -1,6 +1,12 @@
 /**
  * @file
  * Multi-DPU system implementation.
+ *
+ * All multi-DPU loops (kernel launches, bulk MRAM copies) run on the
+ * process-wide ThreadPool. Each DpuCore owns its entire state, so the
+ * loops are embarrassingly parallel and the modeled numbers they
+ * produce are independent of the thread count (see the determinism
+ * test in tests/concurrency_test.cc).
  */
 
 #include "pimsim/system.h"
@@ -8,8 +14,21 @@
 #include <algorithm>
 #include <cstring>
 
+#include "pimsim/thread_pool.h"
+
 namespace tpl {
 namespace sim {
+
+namespace {
+
+/**
+ * Per-DPU copies below this size are cheaper than a pool dispatch;
+ * run them serially. Launches always go parallel — a kernel launch is
+ * orders of magnitude more work than a pool handoff.
+ */
+constexpr uint64_t kParallelCopyThresholdBytes = 4096;
+
+} // namespace
 
 PimSystem::PimSystem(uint32_t numDpus, const CostModel& model)
     : model_(model)
@@ -19,20 +38,43 @@ PimSystem::PimSystem(uint32_t numDpus, const CostModel& model)
         dpus_.push_back(std::make_unique<DpuCore>(model));
 }
 
+void
+PimSystem::forEachDpu(const std::function<void(uint32_t)>& fn,
+                      uint64_t bytesPerDpu) const
+{
+    uint32_t n = numDpus();
+    bool serial = simThreads_ == 1 || n <= 1 ||
+                  bytesPerDpu < kParallelCopyThresholdBytes;
+    if (serial) {
+        for (uint32_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool& pool = pool_ ? *pool_ : ThreadPool::global();
+    pool.parallelFor(n,
+                     [&](uint64_t i) { fn(static_cast<uint32_t>(i)); });
+}
+
 double
 PimSystem::parallelTransferSeconds(uint64_t totalBytes) const
 {
     // Parallel transfers stream at the per-rank bandwidth, overlapped
     // across ranks, capped by host memory bandwidth.
-    uint32_t ranks = std::max(1u, numDpus() / model_.dpusPerRank);
+    uint32_t ranks = model_.dpusPerRank
+                         ? std::max(1u, numDpus() / model_.dpusPerRank)
+                         : 1u;
     double bw = std::min(model_.hostParallelBandwidth * ranks,
                          model_.hostAggregateBandwidthCap);
+    if (bw <= 0.0)
+        return 0.0;
     return static_cast<double>(totalBytes) / bw;
 }
 
 double
 PimSystem::serialTransferSeconds(uint64_t totalBytes) const
 {
+    if (model_.hostSerialBandwidth <= 0.0)
+        return 0.0;
     return static_cast<double>(totalBytes) / model_.hostSerialBandwidth;
 }
 
@@ -40,8 +82,9 @@ double
 PimSystem::broadcastToMram(uint32_t mramAddr, const void* src,
                            uint32_t size)
 {
-    for (auto& dpu : dpus_)
-        dpu->hostWriteMram(mramAddr, src, size);
+    forEachDpu(
+        [&](uint32_t i) { dpus_[i]->hostWriteMram(mramAddr, src, size); },
+        size);
     // Broadcast writes the same buffer to each rank in parallel; the
     // stream itself costs one parallel pass of the table bytes.
     return parallelTransferSeconds(size);
@@ -52,12 +95,14 @@ PimSystem::scatterToMram(uint32_t mramAddr, const void* data,
                          uint32_t bytesPerDpu)
 {
     const uint8_t* bytes = static_cast<const uint8_t*>(data);
-    for (uint32_t i = 0; i < numDpus(); ++i) {
-        dpus_[i]->hostWriteMram(mramAddr,
-                                bytes + static_cast<uint64_t>(i) *
-                                            bytesPerDpu,
-                                bytesPerDpu);
-    }
+    forEachDpu(
+        [&](uint32_t i) {
+            dpus_[i]->hostWriteMram(mramAddr,
+                                    bytes + static_cast<uint64_t>(i) *
+                                                bytesPerDpu,
+                                    bytesPerDpu);
+        },
+        bytesPerDpu);
     return parallelTransferSeconds(static_cast<uint64_t>(bytesPerDpu) *
                                    numDpus());
 }
@@ -67,12 +112,14 @@ PimSystem::gatherFromMram(uint32_t mramAddr, void* data,
                           uint32_t bytesPerDpu)
 {
     uint8_t* bytes = static_cast<uint8_t*>(data);
-    for (uint32_t i = 0; i < numDpus(); ++i) {
-        dpus_[i]->hostReadMram(mramAddr,
-                               bytes + static_cast<uint64_t>(i) *
-                                           bytesPerDpu,
-                               bytesPerDpu);
-    }
+    forEachDpu(
+        [&](uint32_t i) {
+            dpus_[i]->hostReadMram(mramAddr,
+                                   bytes + static_cast<uint64_t>(i) *
+                                               bytesPerDpu,
+                                   bytesPerDpu);
+        },
+        bytesPerDpu);
     return parallelTransferSeconds(static_cast<uint64_t>(bytesPerDpu) *
                                    numDpus());
 }
@@ -80,12 +127,28 @@ PimSystem::gatherFromMram(uint32_t mramAddr, void* data,
 double
 PimSystem::launchAll(uint32_t numTasklets, const Kernel& kernel)
 {
-    uint64_t maxCycles = 0;
-    for (auto& dpu : dpus_) {
-        LaunchStats stats = dpu->launch(numTasklets, kernel);
-        maxCycles = std::max(maxCycles, stats.cycles);
+    uint32_t n = numDpus();
+    // Per-DPU cycles land in a pre-sized slot each, then reduce
+    // sequentially: no cross-thread accumulation, so the result is
+    // identical to the serial loop bit for bit.
+    std::vector<uint64_t> cycles(n, 0);
+    auto runOne = [&](uint32_t i) {
+        cycles[i] = dpus_[i]->launch(numTasklets, kernel).cycles;
+    };
+    if (simThreads_ == 1 || n <= 1) {
+        for (uint32_t i = 0; i < n; ++i)
+            runOne(i);
+    } else {
+        ThreadPool& pool = pool_ ? *pool_ : ThreadPool::global();
+        pool.parallelFor(
+            n, [&](uint64_t i) { runOne(static_cast<uint32_t>(i)); });
     }
+    uint64_t maxCycles = 0;
+    for (uint64_t c : cycles)
+        maxCycles = std::max(maxCycles, c);
     lastMaxCycles_ = maxCycles;
+    if (model_.frequencyHz <= 0.0)
+        return 0.0;
     return static_cast<double>(maxCycles) / model_.frequencyHz;
 }
 
@@ -95,7 +158,8 @@ PimSystem::projectedSystemSeconds(uint64_t perDpuCycles,
                                   uint64_t totalElements,
                                   uint32_t systemDpus) const
 {
-    if (simulatedElementsPerDpu == 0 || systemDpus == 0)
+    if (simulatedElementsPerDpu == 0 || systemDpus == 0 ||
+        model_.frequencyHz <= 0.0)
         return 0.0;
     double cyclesPerElement = static_cast<double>(perDpuCycles) /
                               static_cast<double>(simulatedElementsPerDpu);

@@ -28,6 +28,8 @@
 namespace tpl {
 namespace sim {
 
+class ThreadPool;
+
 /** Accumulated timing of one offloaded phase. */
 struct PhaseTiming
 {
@@ -53,6 +55,21 @@ struct PhaseTiming
  * single DPU (as in the paper), while the workload experiments simulate
  * a handful of DPUs executing their exact per-core element share and
  * project to the full 2545-DPU system (see projectedSystemSeconds).
+ *
+ * Time domains: every `double` this class returns is **modeled time**
+ * (seconds of the modeled PIM machine, derived from cycle counts and
+ * bandwidth parameters of the CostModel), never host wall-clock time.
+ * The only wall-clock measurement in the stack is the host-side table
+ * generation (FunctionEvaluator::setupSeconds) and the CPU baselines
+ * (work::timeCpuBaseline).
+ *
+ * Parallel simulation: launchAll and the bulk transfer helpers execute
+ * across DPUs on the process-wide ThreadPool. Each DpuCore is fully
+ * self-contained (its own MRAM/WRAM arrays, per-tasklet instruction
+ * counters, per-core DMA accumulator), so modeled cycles, energy and
+ * memory numbers are pure functions of per-core state and the results
+ * are bit-identical for any thread count. Set TPL_SIM_THREADS=1 (or
+ * setSimThreads(1)) to force the serial reference path.
  */
 class PimSystem
 {
@@ -100,10 +117,36 @@ class PimSystem
     /** Cycles of the slowest DPU in the last launchAll. */
     uint64_t lastMaxCycles() const { return lastMaxCycles_; }
 
-    /** Seconds a transfer of @p totalBytes takes in parallel mode. */
+    /**
+     * Override the simulation parallelism for this system.
+     * 0 (default) uses the global ThreadPool (sized by TPL_SIM_THREADS,
+     * else hardware concurrency); 1 forces the serial reference path;
+     * any value > 1 runs on the global pool. Results are bit-identical
+     * either way — this knob exists for debugging and A/B timing.
+     */
+    void setSimThreads(uint32_t threads) { simThreads_ = threads; }
+    uint32_t simThreads() const { return simThreads_; }
+
+    /**
+     * Run this system's loops on @p pool instead of the global pool
+     * (nullptr restores the global pool). The pool must outlive the
+     * system. Used by tests that need guaranteed-threaded execution
+     * regardless of the host's core count / TPL_SIM_THREADS.
+     */
+    void setThreadPool(ThreadPool* pool) { pool_ = pool; }
+
+    /**
+     * Modeled seconds a transfer of @p totalBytes takes in parallel
+     * mode (same-size buffer per DPU, overlapped across ranks).
+     * Returns 0 if the model's bandwidth parameters are non-positive.
+     */
     double parallelTransferSeconds(uint64_t totalBytes) const;
 
-    /** Seconds a transfer of @p totalBytes takes in serial mode. */
+    /**
+     * Modeled seconds a transfer of @p totalBytes takes in serial mode
+     * (distinct buffer sizes serialize on the host interface).
+     * Returns 0 if the model's serial bandwidth is non-positive.
+     */
     double serialTransferSeconds(uint64_t totalBytes) const;
 
     /**
@@ -112,6 +155,9 @@ class PimSystem
      * elements, assuming the measured kernel processed
      * @p simulatedElements elements per core (linear in elements, which
      * holds for the streaming element-wise kernels evaluated here).
+     * Returns modeled seconds; 0 when any of the divisors
+     * (simulatedElementsPerDpu, systemDpus, frequencyHz) is not
+     * positive.
      */
     double projectedSystemSeconds(uint64_t perDpuCycles,
                                   uint64_t simulatedElementsPerDpu,
@@ -119,9 +165,15 @@ class PimSystem
                                   uint32_t systemDpus) const;
 
   private:
+    /** Run fn(d) for every DPU index, parallel when profitable. */
+    void forEachDpu(const std::function<void(uint32_t)>& fn,
+                    uint64_t bytesPerDpu) const;
+
     CostModel model_;
     std::vector<std::unique_ptr<DpuCore>> dpus_;
     uint64_t lastMaxCycles_ = 0;
+    uint32_t simThreads_ = 0;
+    ThreadPool* pool_ = nullptr; ///< nullptr = the global pool
 };
 
 } // namespace sim

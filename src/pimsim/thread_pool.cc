@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Thread-pool implementation.
+ */
+
+#include "pimsim/thread_pool.h"
+
+#include <cstdlib>
+
+namespace tpl {
+namespace sim {
+
+namespace {
+
+/** Set while a pool worker executes job indices; nested parallelFor
+ * calls detect it and run inline instead of re-entering the pool. */
+thread_local bool insideWorker = false;
+
+} // namespace
+
+uint32_t
+ThreadPool::defaultThreads()
+{
+    if (const char* env = std::getenv("TPL_SIM_THREADS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<uint32_t>(v);
+        return 1;
+    }
+    uint32_t hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool&
+ThreadPool::global()
+{
+    // Leaked on purpose: never runs the destructor, so parallelFor
+    // stays usable during static destruction and no join races with
+    // atexit handlers.
+    static ThreadPool* pool = new ThreadPool(0);
+    return *pool;
+}
+
+ThreadPool::ThreadPool(uint32_t threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    workers_.reserve(threads - 1);
+    for (uint32_t t = 0; t + 1 < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wakeCv_.notify_all();
+    for (auto& w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    insideWorker = true;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wakeCv_.wait(lock, [this] {
+                return stop_ || (job_ && job_->hasWork());
+            });
+            if (stop_)
+                return;
+            job = job_;
+        }
+        runIndices(*job);
+    }
+}
+
+void
+ThreadPool::runIndices(Job& job)
+{
+    job.active.fetch_add(1, std::memory_order_acq_rel);
+    for (;;) {
+        uint64_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.count)
+            break;
+        try {
+            (*job.fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!job.error)
+                job.error = std::current_exception();
+            // Cancel remaining indices; claimed ones still drain.
+            job.next.store(job.count, std::memory_order_relaxed);
+        }
+    }
+    if (job.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last participant out: wake the caller waiting in parallelFor.
+        std::lock_guard<std::mutex> lock(mutex_);
+        doneCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(uint64_t count,
+                        const std::function<void(uint64_t)>& fn)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty() || count == 1 || insideWorker) {
+        for (uint64_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->count = count;
+    job->fn = &fn;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = job;
+    }
+    wakeCv_.notify_all();
+
+    runIndices(*job); // the caller is a full participant
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        doneCv_.wait(lock, [&] {
+            return job->active.load(std::memory_order_acquire) == 0;
+        });
+        if (job_ == job)
+            job_.reset();
+        if (job->error)
+            std::rethrow_exception(job->error);
+    }
+}
+
+void
+parallelFor(uint64_t count, const std::function<void(uint64_t)>& fn)
+{
+    ThreadPool::global().parallelFor(count, fn);
+}
+
+} // namespace sim
+} // namespace tpl

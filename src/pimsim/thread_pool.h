@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Host-side parallel execution engine for the simulator.
+ *
+ * A deliberately simple, work-stealing-free thread pool: parallelFor
+ * posts one job (an index range plus a callable) and every participant
+ * — the calling thread included — claims indices from a shared atomic
+ * counter until the range is exhausted. There are no per-worker deques
+ * and no stealing; for the simulator's workloads (tens of DPUs, tens of
+ * sweep points, each index worth many microseconds) a single shared
+ * counter is contention-free in practice and much easier to reason
+ * about.
+ *
+ * Determinism contract: the pool schedules *which thread* runs an
+ * index, never *what* the index computes. Everything the simulator
+ * models (cycles, instructions, DMA bytes, energy) is a pure function
+ * of per-index state (one DPU, one sweep point), so results are
+ * bit-identical for any thread count. The `TPL_SIM_THREADS` environment
+ * variable (or ThreadPool::setDefaultThreads) forces a specific
+ * parallelism — `TPL_SIM_THREADS=1` is the serial escape hatch for
+ * debugging.
+ *
+ * Nested parallelFor calls from inside a worker run inline (serially on
+ * the calling worker): the pool never deadlocks and inner loops simply
+ * do not over-subscribe the machine.
+ */
+
+#ifndef TPL_PIMSIM_THREAD_POOL_H
+#define TPL_PIMSIM_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tpl {
+namespace sim {
+
+/** Fixed-size pool; the caller of parallelFor always participates. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total parallelism (callers + workers). 0 means
+     * "use the default" (TPL_SIM_THREADS, else hardware concurrency).
+     * The pool spawns threads-1 workers; the caller is the last lane.
+     */
+    explicit ThreadPool(uint32_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Total parallelism of the pool (>= 1). */
+    uint32_t threadCount() const
+    {
+        return static_cast<uint32_t>(workers_.size()) + 1;
+    }
+
+    /**
+     * Run fn(i) for every i in [0, count). Blocks until all indices
+     * finished. The first exception thrown by fn is rethrown on the
+     * calling thread (remaining unclaimed indices are skipped).
+     * Reentrant calls from inside a worker run inline.
+     */
+    void parallelFor(uint64_t count,
+                     const std::function<void(uint64_t)>& fn);
+
+    /**
+     * Process-wide shared pool, built on first use with
+     * defaultThreads() lanes. Never destroyed (workers are detached at
+     * exit by the OS), so it is safe to use from static destructors.
+     */
+    static ThreadPool& global();
+
+    /**
+     * Parallelism the global pool is built with: TPL_SIM_THREADS if
+     * set (clamped to >= 1), else std::thread::hardware_concurrency().
+     */
+    static uint32_t defaultThreads();
+
+  private:
+    struct Job
+    {
+        uint64_t count = 0;
+        const std::function<void(uint64_t)>* fn = nullptr;
+        std::atomic<uint64_t> next{0};
+        std::atomic<uint32_t> active{0};
+        std::exception_ptr error; ///< guarded by the pool mutex
+
+        bool hasWork() const { return next.load() < count; }
+    };
+
+    void workerLoop();
+    void runIndices(Job& job);
+
+    mutable std::mutex mutex_;
+    std::condition_variable wakeCv_; ///< workers: new job available
+    std::condition_variable doneCv_; ///< caller: job drained
+    std::shared_ptr<Job> job_;       ///< current job, if any
+    std::vector<std::thread> workers_;
+    bool stop_ = false;
+};
+
+/**
+ * Run fn(i) for i in [0, count) on the global pool (or inline when the
+ * pool is serial / count <= 1). The simulator's only parallel primitive.
+ */
+void parallelFor(uint64_t count, const std::function<void(uint64_t)>& fn);
+
+} // namespace sim
+} // namespace tpl
+
+#endif // TPL_PIMSIM_THREAD_POOL_H

@@ -95,7 +95,17 @@ struct WorkloadResult
 /**
  * Time @p body(begin, end) over a sample of @p cfg.cpuSampleElements
  * elements split across @p threads threads, and scale the measurement
- * to the full problem size. Returns modeled seconds for the full run.
+ * to the full problem size.
+ *
+ * Units: the measurement itself is host **wall-clock** time (this is
+ * the one real-hardware number in a workload row — the CPU baseline
+ * the PIM projection is compared against); the return value is that
+ * measurement linearly scaled to the full problem. The chunks run on
+ * the persistent simulator ThreadPool, so no thread spawn/join cost
+ * pollutes the timed region. When the host (or the pool, see
+ * TPL_SIM_THREADS) cannot provide @p threads lanes, the sample is
+ * timed single-threaded and divided by threads * cpuParallelEfficiency
+ * instead — a documented model, not a measurement.
  */
 double timeCpuBaseline(const WorkloadConfig& cfg, uint32_t threads,
                        const std::function<void(uint64_t, uint64_t)>& body);
@@ -103,12 +113,19 @@ double timeCpuBaseline(const WorkloadConfig& cfg, uint32_t threads,
 /**
  * Project per-DPU kernel cycles to the full system: the slowest DPU of
  * the modeled machine processes ceil(total/systemDpus) elements.
+ * Returns **modeled** seconds (pure function of cycle counts and the
+ * cost model — no wall-clock involved); 0 when elementsPerSimDpu,
+ * systemDpus, or frequencyHz is not positive.
  */
 double projectPimSeconds(const WorkloadConfig& cfg,
                          const sim::CostModel& model,
                          uint64_t cyclesPerSimDpu);
 
-/** Parallel host<->PIM transfer seconds for the full problem. */
+/**
+ * Parallel host<->PIM transfer seconds for the full problem.
+ * Returns **modeled** seconds; 0 when the model's bandwidth
+ * parameters are not positive.
+ */
 double fullTransferSeconds(const WorkloadConfig& cfg,
                            const sim::CostModel& model,
                            uint64_t totalBytes);

@@ -5,15 +5,27 @@
  * one evaluator; separate DpuCore instances are fully independent.
  * (TaskletContext itself is single-threaded by design - the simulator
  * serializes tasklets and reconstructs their interleaving analytically.)
+ *
+ * Also the home of the parallel-engine guarantees: ThreadPool
+ * correctness (full coverage, exception propagation, reentrancy) and
+ * the determinism contract of PimSystem::launchAll — a multi-DPU
+ * workload run with 1 simulation thread and with N threads must
+ * produce bit-identical LaunchStats per DPU.
  */
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "pimsim/system.h"
+#include "pimsim/thread_pool.h"
 #include "transpim/evaluator.h"
 
 namespace tpl {
@@ -75,6 +87,162 @@ TEST(Concurrency, IndependentDpusOnSeparateThreads)
     for (auto& th : pool)
         th.join();
     EXPECT_EQ(0, failures.load());
+}
+
+// ----------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    sim::ThreadPool pool(4);
+    constexpr uint64_t n = 10007;
+    std::vector<std::atomic<uint32_t>> hits(n);
+    pool.parallelFor(n, [&](uint64_t i) { ++hits[i]; });
+    for (uint64_t i = 0; i < n; ++i)
+        ASSERT_EQ(1u, hits[i].load()) << "index " << i;
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    sim::ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(
+                     100,
+                     [&](uint64_t i) {
+                         if (i == 42)
+                             throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error);
+    // The pool survives a failed job and runs the next one.
+    std::atomic<uint64_t> sum{0};
+    pool.parallelFor(100, [&](uint64_t i) { sum += i; });
+    EXPECT_EQ(4950u, sum.load());
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    sim::ThreadPool pool(4);
+    std::atomic<uint64_t> total{0};
+    pool.parallelFor(8, [&](uint64_t) {
+        // Reentrant call from a participant must not deadlock.
+        pool.parallelFor(16, [&](uint64_t) { ++total; });
+    });
+    EXPECT_EQ(8u * 16u, total.load());
+}
+
+TEST(ThreadPool, SerialPoolRunsInline)
+{
+    sim::ThreadPool pool(1);
+    uint64_t sum = 0; // no atomics needed: single-threaded by contract
+    pool.parallelFor(1000, [&](uint64_t i) { sum += i; });
+    EXPECT_EQ(499500u, sum);
+}
+
+// ----------------------------------------------- launchAll determinism
+
+namespace {
+
+/**
+ * Run the same multi-DPU streaming workload (scattered per-DPU inputs,
+ * evaluator-driven kernel, gathered outputs) on @p sys and return the
+ * gathered bytes. Per-DPU stats are left in each core's lastLaunch().
+ */
+std::vector<float>
+runDeterminismWorkload(sim::PimSystem& sys, uint32_t perDpu)
+{
+    MethodSpec spec;
+    spec.method = Method::LLut;
+    spec.placement = Placement::Wram;
+    spec.log2Entries = 10;
+    auto eval = FunctionEvaluator::create(Function::Sin, spec);
+
+    uint32_t inAddr = 0, outAddr = 0;
+    for (uint32_t d = 0; d < sys.numDpus(); ++d) {
+        eval.attach(sys.dpu(d));
+        inAddr = sys.dpu(d).mramAlloc(perDpu * sizeof(float));
+        outAddr = sys.dpu(d).mramAlloc(perDpu * sizeof(float));
+    }
+
+    // Distinct data per DPU: softfloat instruction counts are
+    // data-dependent, so any cross-core state mixup shows up in the
+    // per-DPU stats, not just in the bytes.
+    auto inputs = uniformFloats(
+        static_cast<uint64_t>(perDpu) * sys.numDpus(), 0.0f, 6.28f,
+        0xdecaf);
+    sys.scatterToMram(inAddr, inputs.data(), perDpu * sizeof(float));
+
+    sys.launchAll(8, [&](sim::TaskletContext& ctx) {
+        constexpr uint32_t chunk = 64;
+        float buf[chunk];
+        uint32_t chunks = (perDpu + chunk - 1) / chunk;
+        for (uint32_t c = ctx.taskletId(); c < chunks;
+             c += ctx.numTasklets()) {
+            uint32_t beg = c * chunk;
+            uint32_t cnt = std::min(chunk, perDpu - beg);
+            ctx.mramRead(inAddr + beg * sizeof(float), buf,
+                         cnt * sizeof(float));
+            for (uint32_t i = 0; i < cnt; ++i) {
+                ctx.charge(4);
+                buf[i] = eval.eval(buf[i], &ctx);
+            }
+            ctx.mramWrite(outAddr + beg * sizeof(float), buf,
+                          cnt * sizeof(float));
+        }
+    });
+
+    std::vector<float> out(static_cast<uint64_t>(perDpu) *
+                           sys.numDpus());
+    sys.gatherFromMram(outAddr, out.data(), perDpu * sizeof(float));
+    return out;
+}
+
+} // namespace
+
+TEST(Determinism, ParallelLaunchMatchesSerialBitForBit)
+{
+    constexpr uint32_t numDpus = 6;
+    constexpr uint32_t perDpu = 2048;
+
+    sim::PimSystem serial(numDpus);
+    serial.setSimThreads(1); // the serial reference path
+    std::vector<float> serialOut = runDeterminismWorkload(serial, perDpu);
+
+    // A dedicated 4-lane pool guarantees genuinely threaded execution
+    // even on single-core hosts / under TPL_SIM_THREADS=1.
+    sim::ThreadPool fourLanes(4);
+    sim::PimSystem parallel(numDpus);
+    parallel.setSimThreads(4);
+    parallel.setThreadPool(&fourLanes);
+    std::vector<float> parallelOut =
+        runDeterminismWorkload(parallel, perDpu);
+
+    ASSERT_EQ(serialOut.size(), parallelOut.size());
+    EXPECT_EQ(0, std::memcmp(serialOut.data(), parallelOut.data(),
+                             serialOut.size() * sizeof(float)));
+
+    EXPECT_EQ(serial.lastMaxCycles(), parallel.lastMaxCycles());
+    for (uint32_t d = 0; d < numDpus; ++d) {
+        const sim::LaunchStats& a = serial.dpu(d).lastLaunch();
+        const sim::LaunchStats& b = parallel.dpu(d).lastLaunch();
+        EXPECT_EQ(a.cycles, b.cycles) << "dpu " << d;
+        EXPECT_EQ(a.totalInstructions, b.totalInstructions)
+            << "dpu " << d;
+        EXPECT_EQ(a.maxTaskletWork, b.maxTaskletWork) << "dpu " << d;
+        EXPECT_EQ(a.dmaEngineCycles, b.dmaEngineCycles) << "dpu " << d;
+        EXPECT_EQ(a.dmaBytes, b.dmaBytes) << "dpu " << d;
+        EXPECT_EQ(a.tasklets, b.tasklets) << "dpu " << d;
+        // Bit-identical energy, not approximately-equal: the energy is
+        // a pure per-core function, so parallelism must not change it.
+        EXPECT_EQ(0, std::memcmp(&a.energyJoules, &b.energyJoules,
+                                 sizeof(double)))
+            << "dpu " << d;
+    }
+
+    // DPUs received distinct data, so the strongest form of the check
+    // is available: at least two DPUs must differ from each other.
+    bool anyDiffer = false;
+    for (uint32_t d = 1; d < numDpus; ++d)
+        anyDiffer |= serial.dpu(d).lastLaunch().totalInstructions !=
+                     serial.dpu(0).lastLaunch().totalInstructions;
+    EXPECT_TRUE(anyDiffer);
 }
 
 } // namespace
