@@ -22,3 +22,15 @@ if [ "${TPL_TIER1_TSAN:-0}" = "1" ]; then
     ctest --test-dir "$TSAN_DIR" --output-on-failure \
         -R 'ThreadPool|Determinism|Concurrency'
 fi
+
+# With TPL_TIER1_ASAN=1, build the whole tree under AddressSanitizer +
+# UndefinedBehaviorSanitizer and run the complete suite. Catches heap
+# misuse and UB (shifts, overflow, misaligned access) that the plain
+# build silently tolerates.
+if [ "${TPL_TIER1_ASAN:-0}" = "1" ]; then
+    ASAN_DIR="${BUILD_DIR}-asan"
+    cmake -B "$ASAN_DIR" -S "$SRC_DIR" \
+        -DTPL_SANITIZE=address,undefined
+    cmake --build "$ASAN_DIR" -j
+    ctest --test-dir "$ASAN_DIR" --output-on-failure -j
+fi

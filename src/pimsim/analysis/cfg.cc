@@ -1,0 +1,157 @@
+/**
+ * @file
+ * CFG construction over mini-ISA programs.
+ */
+
+#include "pimsim/analysis/cfg.h"
+
+#include <algorithm>
+#include <set>
+
+namespace tpl {
+namespace sim {
+namespace check {
+
+namespace {
+
+bool
+isCondBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+endsBlock(Opcode op)
+{
+    return isCondBranch(op) || op == Opcode::Jmp || op == Opcode::Halt;
+}
+
+} // namespace
+
+Cfg
+buildCfg(const Program& program)
+{
+    Cfg cfg;
+    const uint32_t n = static_cast<uint32_t>(program.code.size());
+    if (n == 0)
+        return cfg;
+
+    // Leaders: entry, every branch target inside the program, and the
+    // instruction after any control transfer.
+    std::set<uint32_t> leaders{0};
+    for (uint32_t i = 0; i < n; ++i) {
+        const Instruction& ins = program.code[i];
+        if (isCondBranch(ins.op) || ins.op == Opcode::Jmp) {
+            uint32_t target = static_cast<uint32_t>(ins.imm);
+            if (target < n)
+                leaders.insert(target);
+        }
+        if (endsBlock(ins.op) && i + 1 < n)
+            leaders.insert(i + 1);
+    }
+
+    cfg.blockOf.assign(n, 0);
+    for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+        auto next = std::next(it);
+        BasicBlock bb;
+        bb.first = *it;
+        bb.last = (next == leaders.end() ? n : *next) - 1;
+        uint32_t id = static_cast<uint32_t>(cfg.blocks.size());
+        for (uint32_t i = bb.first; i <= bb.last; ++i)
+            cfg.blockOf[i] = id;
+        cfg.blocks.push_back(std::move(bb));
+    }
+
+    auto blockOrExit = [&](uint32_t instr) {
+        return instr < n ? cfg.blockOf[instr] : Cfg::kExit;
+    };
+
+    for (BasicBlock& bb : cfg.blocks) {
+        const Instruction& tail = program.code[bb.last];
+        if (tail.op == Opcode::Halt) {
+            bb.succs.push_back(Cfg::kExit);
+        } else if (tail.op == Opcode::Jmp) {
+            bb.succs.push_back(blockOrExit(static_cast<uint32_t>(tail.imm)));
+        } else if (isCondBranch(tail.op)) {
+            bb.succs.push_back(blockOrExit(static_cast<uint32_t>(tail.imm)));
+            uint32_t fall = blockOrExit(bb.last + 1);
+            if (std::find(bb.succs.begin(), bb.succs.end(), fall) ==
+                bb.succs.end())
+                bb.succs.push_back(fall);
+        } else {
+            bb.succs.push_back(blockOrExit(bb.last + 1));
+        }
+    }
+
+    for (uint32_t id = 0; id < cfg.blocks.size(); ++id) {
+        for (uint32_t succ : cfg.blocks[id].succs) {
+            if (succ != Cfg::kExit)
+                cfg.blocks[succ].preds.push_back(id);
+        }
+    }
+    return cfg;
+}
+
+std::vector<bool>
+reachableBlocks(const Cfg& cfg)
+{
+    std::vector<bool> seen(cfg.blocks.size(), false);
+    if (cfg.blocks.empty())
+        return seen;
+    std::vector<uint32_t> stack{0};
+    seen[0] = true;
+    while (!stack.empty()) {
+        uint32_t id = stack.back();
+        stack.pop_back();
+        for (uint32_t succ : cfg.blocks[id].succs) {
+            if (succ != Cfg::kExit && !seen[succ]) {
+                seen[succ] = true;
+                stack.push_back(succ);
+            }
+        }
+    }
+    return seen;
+}
+
+std::vector<uint32_t>
+reversePostOrder(const Cfg& cfg)
+{
+    std::vector<uint32_t> order;
+    if (cfg.blocks.empty())
+        return order;
+    std::vector<uint8_t> visited(cfg.blocks.size(), 0);
+    // Iterative DFS emitting post-order, then reversed.
+    std::vector<std::pair<uint32_t, size_t>> stack{{0u, 0u}};
+    visited[0] = 1;
+    while (!stack.empty()) {
+        auto [id, idx] = stack.back();
+        const auto& succs = cfg.blocks[id].succs;
+        if (idx < succs.size()) {
+            ++stack.back().second;
+            uint32_t succ = succs[idx];
+            if (succ != Cfg::kExit && !visited[succ]) {
+                visited[succ] = 1;
+                stack.push_back({succ, 0});
+            }
+        } else {
+            order.push_back(id);
+            stack.pop_back();
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+} // namespace check
+} // namespace sim
+} // namespace tpl

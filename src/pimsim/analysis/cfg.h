@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Control-flow graph over an assembled mini-ISA program.
+ *
+ * Basic blocks are maximal straight-line instruction runs; block 0 is
+ * the entry. Program exit (falling off the end, a `halt`, or a branch
+ * to the label *after* the last instruction — which the assembler
+ * legally produces for a trailing `done:` label) is modeled as the
+ * pseudo-successor `Cfg::kExit` rather than a real block, so dataflow
+ * passes can treat "leaves the program" uniformly.
+ *
+ * The builder assumes branch targets are in range; `verify()` checks
+ * them first and refuses to build a CFG over a program with wild
+ * targets.
+ */
+
+#ifndef TPL_PIMSIM_ANALYSIS_CFG_H
+#define TPL_PIMSIM_ANALYSIS_CFG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "pimsim/isa.h"
+
+namespace tpl {
+namespace sim {
+namespace check {
+
+/** One basic block: instructions [first, last] inclusive. */
+struct BasicBlock
+{
+    uint32_t first = 0;
+    uint32_t last = 0;
+    /** Successor block ids; may contain Cfg::kExit. */
+    std::vector<uint32_t> succs;
+    /** Predecessor block ids (never contains kExit). */
+    std::vector<uint32_t> preds;
+};
+
+/** CFG of a program. */
+struct Cfg
+{
+    /** Pseudo block id meaning "program exit". */
+    static constexpr uint32_t kExit = 0xffffffffu;
+
+    std::vector<BasicBlock> blocks;
+    /** Block id containing each instruction. */
+    std::vector<uint32_t> blockOf;
+};
+
+/**
+ * Partition @p program into basic blocks and wire successor /
+ * predecessor edges. Requires all branch targets in
+ * [0, program.code.size()] (target == size is the exit label).
+ */
+Cfg buildCfg(const Program& program);
+
+/** Blocks reachable from the entry block, as a bitmap. */
+std::vector<bool> reachableBlocks(const Cfg& cfg);
+
+/**
+ * Reverse post-order of the reachable blocks (entry first) — the
+ * iteration order that makes the forward dataflow passes converge in
+ * few sweeps.
+ */
+std::vector<uint32_t> reversePostOrder(const Cfg& cfg);
+
+} // namespace check
+} // namespace sim
+} // namespace tpl
+
+#endif // TPL_PIMSIM_ANALYSIS_CFG_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Diagnostic formatting helpers.
+ */
+
+#include "pimsim/analysis/diag.h"
+
+#include <algorithm>
+
+namespace tpl {
+namespace sim {
+namespace check {
+
+const char*
+toString(CheckKind kind)
+{
+    switch (kind) {
+      case CheckKind::UninitRegister:      return "uninit-register";
+      case CheckKind::InvalidBranchTarget: return "invalid-branch-target";
+      case CheckKind::UnreachableCode:     return "unreachable-code";
+      case CheckKind::WramOutOfBounds:     return "wram-out-of-bounds";
+      case CheckKind::MramOutOfBounds:     return "mram-out-of-bounds";
+      case CheckKind::DmaBadAlignment:     return "dma-bad-alignment";
+      case CheckKind::DmaBadSize:          return "dma-bad-size";
+      case CheckKind::BarrierImbalance:    return "barrier-imbalance";
+      case CheckKind::UninitWramLoad:      return "uninit-wram-load";
+      case CheckKind::TaskletRace:         return "tasklet-race";
+    }
+    return "unknown";
+}
+
+const char*
+toString(Severity severity)
+{
+    return severity == Severity::Error ? "error" : "warning";
+}
+
+std::string
+format(const Diagnostic& diag)
+{
+    std::string out;
+    if (diag.line != 0)
+        out += "line " + std::to_string(diag.line) + ": ";
+    out += toString(diag.severity);
+    out += ": ";
+    out += diag.message;
+    out += " [";
+    out += toString(diag.kind);
+    out += "]";
+    return out;
+}
+
+bool
+hasErrors(const std::vector<Diagnostic>& diags)
+{
+    return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::Error;
+    });
+}
+
+size_t
+countOf(const std::vector<Diagnostic>& diags, CheckKind kind)
+{
+    return static_cast<size_t>(
+        std::count_if(diags.begin(), diags.end(),
+                      [kind](const Diagnostic& d) { return d.kind == kind; }));
+}
+
+} // namespace check
+} // namespace sim
+} // namespace tpl

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Diagnostics shared by the pimcheck static verifier and the runtime
+ * sanitizer.
+ *
+ * Every check in the analysis module reports through the same
+ * structured `Diagnostic` record (kind + severity + source line +
+ * human-readable message) so tests can assert on exactly which check
+ * fired and tools can format them uniformly.
+ */
+
+#ifndef TPL_PIMSIM_ANALYSIS_DIAG_H
+#define TPL_PIMSIM_ANALYSIS_DIAG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpl {
+namespace sim {
+namespace check {
+
+/** Which check produced a diagnostic. */
+enum class CheckKind
+{
+    // Static verifier (verify.h).
+    UninitRegister,      ///< register may be read before it is written
+    InvalidBranchTarget, ///< branch/jump outside the program
+    UnreachableCode,     ///< basic block no path from entry reaches
+    WramOutOfBounds,     ///< WRAM access beyond the scratchpad
+    MramOutOfBounds,     ///< MRAM access beyond the bank
+    DmaBadAlignment,     ///< DMA address not 8-byte aligned
+    DmaBadSize,          ///< DMA size zero, not a multiple of 8, or
+                         ///< above the per-transfer maximum
+    BarrierImbalance,    ///< paths reach a join / exit with differing
+                         ///< barrier counts (deadlock on hardware)
+    // Runtime sanitizer (sanitizer.h).
+    UninitWramLoad,      ///< load from WRAM bytes never stored to
+    TaskletRace,         ///< cross-tasklet WRAM conflict with no
+                         ///< separating barrier
+};
+
+/** Diagnostic severity. Errors fail `pimlint`; warnings do not. */
+enum class Severity
+{
+    Warning,
+    Error,
+};
+
+/** One finding, ready for asserting on or printing. */
+struct Diagnostic
+{
+    CheckKind kind;
+    Severity severity;
+    /** 1-based assembly source line, or 0 when no line is known
+     * (e.g. a DMA issued from a C++ kernel). */
+    uint32_t line;
+    std::string message;
+};
+
+/** Stable short name of a check kind, e.g. "uninit-register". */
+const char* toString(CheckKind kind);
+
+/** "warning" or "error". */
+const char* toString(Severity severity);
+
+/** Format as "line 12: error: <message> [uninit-register]". */
+std::string format(const Diagnostic& diag);
+
+/** True if any diagnostic in @p diags has Severity::Error. */
+bool hasErrors(const std::vector<Diagnostic>& diags);
+
+/** Count diagnostics of a given kind. */
+size_t countOf(const std::vector<Diagnostic>& diags, CheckKind kind);
+
+} // namespace check
+} // namespace sim
+} // namespace tpl
+
+#endif // TPL_PIMSIM_ANALYSIS_DIAG_H

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Runtime sanitizer implementation.
+ */
+
+#include "pimsim/analysis/sanitizer.h"
+
+#include <algorithm>
+
+namespace tpl {
+namespace sim {
+namespace check {
+
+Sanitizer::Sanitizer(uint32_t wramBytes, uint64_t mramBytes,
+                     const CheckConfig& config)
+    : config_(config), wramBytes_(wramBytes), mramBytes_(mramBytes),
+      shadowInit_(wramBytes, 0),
+      lastWriter_((wramBytes + 3) / 4)
+{
+}
+
+Sanitizer::Sanitizer(const DpuCore& core, const CheckConfig& config)
+    : Sanitizer(core.model().wramBytes, core.model().mramBytes, config)
+{
+}
+
+void
+Sanitizer::poisonWram()
+{
+    std::fill(shadowInit_.begin(), shadowInit_.end(), 0);
+}
+
+void
+Sanitizer::markWramInitialized(uint32_t addr, uint64_t size)
+{
+    if (addr >= wramBytes_)
+        return;
+    uint64_t end = std::min<uint64_t>(addr + size, wramBytes_);
+    std::fill(shadowInit_.begin() + addr, shadowInit_.begin() + end, 1);
+}
+
+void
+Sanitizer::beginLaunch(uint32_t numTasklets)
+{
+    epochs_.assign(numTasklets, 1);
+    std::fill(lastWriter_.begin(), lastWriter_.end(), Writer{});
+}
+
+void
+Sanitizer::report(CheckKind kind, uint32_t line, uint64_t dedupKey,
+                  std::string message)
+{
+    if (diags_.size() >= config_.maxDiagnostics)
+        return;
+    if (!reported_.insert({static_cast<int>(kind), line, dedupKey})
+             .second)
+        return;
+    diags_.push_back(
+        {kind, Severity::Error, line, std::move(message)});
+}
+
+void
+Sanitizer::raceCheck(uint32_t tasklet, uint32_t addr, uint32_t size,
+                     bool isWrite, uint32_t line)
+{
+    if (tasklet >= epochs_.size())
+        return; // access outside a launch (host staging)
+    uint32_t epoch = epochs_[tasklet];
+    uint64_t end = std::min<uint64_t>(static_cast<uint64_t>(addr) + size,
+                                      wramBytes_);
+    for (uint64_t w = addr / 4; w * 4 < end; ++w) {
+        Writer& lw = lastWriter_[w];
+        if (config_.detectRaces && lw.tasklet >= 0 &&
+            lw.tasklet != static_cast<int32_t>(tasklet) &&
+            lw.epoch >= epoch) {
+            report(CheckKind::TaskletRace, line, w,
+                   std::string("tasklet ") + std::to_string(tasklet) +
+                       (isWrite ? " writes" : " reads") + " WRAM[" +
+                       std::to_string(w * 4) +
+                       "] last written by tasklet " +
+                       std::to_string(lw.tasklet) +
+                       " with no barrier in between");
+        }
+        if (isWrite)
+            lw = {static_cast<int32_t>(tasklet), epoch};
+    }
+}
+
+void
+Sanitizer::onWramLoad(uint32_t tasklet, uint32_t addr, uint32_t size,
+                      uint32_t line)
+{
+    if (static_cast<uint64_t>(addr) + size > wramBytes_) {
+        if (config_.checkBounds) {
+            report(CheckKind::WramOutOfBounds, line, addr,
+                   "load of " + std::to_string(size) +
+                       " bytes at WRAM[" + std::to_string(addr) +
+                       "] beyond the " + std::to_string(wramBytes_) +
+                       "-byte scratchpad");
+        }
+        if (addr >= wramBytes_)
+            return;
+    }
+    uint64_t end = std::min<uint64_t>(static_cast<uint64_t>(addr) + size,
+                                      wramBytes_);
+    if (config_.poisonWram) {
+        for (uint64_t b = addr; b < end; ++b) {
+            if (!shadowInit_[b]) {
+                report(CheckKind::UninitWramLoad, line, addr,
+                       "load of " + std::to_string(size) +
+                           " bytes at WRAM[" + std::to_string(addr) +
+                           "] reads bytes never stored to");
+                break;
+            }
+        }
+        // Mark after reporting so each poisoned region reports once.
+        std::fill(shadowInit_.begin() + addr, shadowInit_.begin() + end,
+                  1);
+    }
+    raceCheck(tasklet, addr, static_cast<uint32_t>(end - addr), false,
+              line);
+}
+
+void
+Sanitizer::onWramStore(uint32_t tasklet, uint32_t addr, uint32_t size,
+                       uint32_t line)
+{
+    if (static_cast<uint64_t>(addr) + size > wramBytes_) {
+        if (config_.checkBounds) {
+            report(CheckKind::WramOutOfBounds, line, addr,
+                   "store of " + std::to_string(size) +
+                       " bytes at WRAM[" + std::to_string(addr) +
+                       "] beyond the " + std::to_string(wramBytes_) +
+                       "-byte scratchpad");
+        }
+        if (addr >= wramBytes_)
+            return;
+    }
+    uint64_t end = std::min<uint64_t>(static_cast<uint64_t>(addr) + size,
+                                      wramBytes_);
+    std::fill(shadowInit_.begin() + addr, shadowInit_.begin() + end, 1);
+    raceCheck(tasklet, addr, static_cast<uint32_t>(end - addr), true,
+              line);
+}
+
+void
+Sanitizer::onDma(uint32_t tasklet, uint64_t mramAddr, int64_t wramAddr,
+                 uint32_t size, uint32_t line)
+{
+    (void)tasklet;
+    if (config_.checkDma) {
+        if (size == 0 || size % 8 != 0 || size > config_.maxDmaBytes) {
+            report(CheckKind::DmaBadSize, line, size,
+                   "DMA transfer size " + std::to_string(size) +
+                       " must be a non-zero multiple of 8 and at most " +
+                       std::to_string(config_.maxDmaBytes) + " bytes");
+        }
+        if (mramAddr % 8 != 0) {
+            report(CheckKind::DmaBadAlignment, line, mramAddr,
+                   "DMA MRAM address " + std::to_string(mramAddr) +
+                       " is not 8-byte aligned");
+        }
+        if (wramAddr >= 0 && wramAddr % 8 != 0) {
+            report(CheckKind::DmaBadAlignment, line,
+                   static_cast<uint64_t>(wramAddr),
+                   "DMA WRAM address " + std::to_string(wramAddr) +
+                       " is not 8-byte aligned");
+        }
+    }
+    if (config_.checkBounds && mramAddr + size > mramBytes_) {
+        report(CheckKind::MramOutOfBounds, line, mramAddr,
+               "DMA MRAM range [" + std::to_string(mramAddr) + ", " +
+                   std::to_string(mramAddr + size) + ") beyond the " +
+                   std::to_string(mramBytes_) + "-byte bank");
+    }
+}
+
+void
+Sanitizer::onBarrier(uint32_t tasklet)
+{
+    if (tasklet < epochs_.size())
+        ++epochs_[tasklet];
+}
+
+void
+Sanitizer::clearDiagnostics()
+{
+    diags_.clear();
+    reported_.clear();
+}
+
+} // namespace check
+} // namespace sim
+} // namespace tpl

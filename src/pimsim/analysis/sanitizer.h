@@ -1,0 +1,143 @@
+/**
+ * @file
+ * pimcheck layer 2: opt-in runtime sanitizer for simulated kernels.
+ *
+ * The static verifier (verify.h) only sees statically-known addresses;
+ * the sanitizer watches the accesses a kernel *actually makes* while
+ * it runs on the simulator:
+ *
+ *  - **Shadow WRAM**: a byte-granular init bitmap, poisoned when the
+ *    sanitizer is attached. Host staging through
+ *    `DpuCore::hostWriteWram` and kernel stores / inbound DMA mark
+ *    bytes initialized; a load touching a poisoned byte reports
+ *    `UninitWramLoad`.
+ *  - **Bounds**: WRAM and MRAM accesses outside the scratchpad / bank
+ *    report structured diagnostics (in addition to the simulator's
+ *    hard exception).
+ *  - **DMA legality**: every simulated DMA is checked for the UPMEM
+ *    rules (8-byte aligned addresses, size a non-zero multiple of 8,
+ *    at most `maxDmaBytes` per transfer).
+ *  - **Race detection (happens-before-lite)**: per 4-byte WRAM word
+ *    the sanitizer records the last-writer tasklet and the barrier
+ *    epoch it wrote in. A read or write by a different tasklet races
+ *    unless the writer's epoch predates the accessor's current epoch,
+ *    i.e. unless a `barrier` separates the pair. Write-after-read
+ *    conflicts are not tracked (hence "lite").
+ *
+ * The sanitizer only observes: it charges no instructions and touches
+ * no cost counters, so modeled cycle/instruction/DMA statistics are
+ * bit-identical with and without it (asserted by a determinism test).
+ * It is attached to a `DpuCore` with `setSanitizer()` and is off by
+ * default.
+ */
+
+#ifndef TPL_PIMSIM_ANALYSIS_SANITIZER_H
+#define TPL_PIMSIM_ANALYSIS_SANITIZER_H
+
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "pimsim/analysis/diag.h"
+#include "pimsim/dpu.h"
+
+namespace tpl {
+namespace sim {
+namespace check {
+
+/** Which runtime checks are armed. All on by default. */
+struct CheckConfig
+{
+    bool poisonWram = true;  ///< uninitialized-load detection
+    bool checkBounds = true; ///< WRAM/MRAM bounds diagnostics
+    bool checkDma = true;    ///< DMA alignment/size legality
+    bool detectRaces = true; ///< cross-tasklet WRAM conflicts
+    uint32_t maxDmaBytes = 2048;  ///< UPMEM per-transfer cap
+    size_t maxDiagnostics = 256;  ///< flood guard
+};
+
+/**
+ * Runtime sanitizer state for one DpuCore. Attach with
+ * `core.setSanitizer(&sanitizer)`; the core does not own it.
+ */
+class Sanitizer
+{
+  public:
+    Sanitizer(uint32_t wramBytes, uint64_t mramBytes,
+              const CheckConfig& config = {});
+
+    /** Convenience: size the shadow from a core's cost model. */
+    explicit Sanitizer(const DpuCore& core,
+                       const CheckConfig& config = {});
+
+    const CheckConfig& config() const { return config_; }
+
+    /** Re-poison the whole WRAM shadow (fresh kernel program). */
+    void poisonWram();
+
+    /**
+     * Mark @p size bytes at @p addr as initialized — the host staged
+     * data there (DpuCore::hostWriteWram calls this).
+     */
+    void markWramInitialized(uint32_t addr, uint64_t size);
+
+    /**
+     * Called by DpuCore::launch: resets the race-detector state (the
+     * previous launch's completion is a synchronization point) and the
+     * per-tasklet barrier epochs. The init shadow persists — tables
+     * staged before the launch stay valid.
+     */
+    void beginLaunch(uint32_t numTasklets);
+
+    /// @name Access hooks (line 0 = no assembly line, e.g. C++ kernel)
+    /// @{
+    void onWramLoad(uint32_t tasklet, uint32_t addr, uint32_t size,
+                    uint32_t line);
+    void onWramStore(uint32_t tasklet, uint32_t addr, uint32_t size,
+                     uint32_t line);
+    /** @p wramAddr is the WRAM-side offset, or -1 when the buffer is
+     * host memory standing in for a tasklet's WRAM chunk. */
+    void onDma(uint32_t tasklet, uint64_t mramAddr, int64_t wramAddr,
+               uint32_t size, uint32_t line);
+    void onBarrier(uint32_t tasklet);
+    /// @}
+
+    /** Findings so far (ordered as they occurred). */
+    const std::vector<Diagnostic>& diagnostics() const
+    {
+        return diags_;
+    }
+
+    /** True when no diagnostic has been reported. */
+    bool clean() const { return diags_.empty(); }
+
+    void clearDiagnostics();
+
+  private:
+    struct Writer
+    {
+        int32_t tasklet = -1; ///< -1: no write recorded
+        uint32_t epoch = 0;
+    };
+
+    void report(CheckKind kind, uint32_t line, uint64_t dedupKey,
+                std::string message);
+    void raceCheck(uint32_t tasklet, uint32_t addr, uint32_t size,
+                   bool isWrite, uint32_t line);
+
+    CheckConfig config_;
+    uint32_t wramBytes_;
+    uint64_t mramBytes_;
+    std::vector<uint8_t> shadowInit_; ///< per WRAM byte, 1 = written
+    std::vector<Writer> lastWriter_;  ///< per 4-byte WRAM word
+    std::vector<uint32_t> epochs_;    ///< per tasklet barrier epoch
+    std::vector<Diagnostic> diags_;
+    std::set<std::tuple<int, uint32_t, uint64_t>> reported_;
+};
+
+} // namespace check
+} // namespace sim
+} // namespace tpl
+
+#endif // TPL_PIMSIM_ANALYSIS_SANITIZER_H

@@ -1,0 +1,622 @@
+/**
+ * @file
+ * Static verifier passes.
+ */
+
+#include "pimsim/analysis/verify.h"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+
+#include "pimsim/analysis/cfg.h"
+
+namespace tpl {
+namespace sim {
+namespace check {
+
+namespace {
+
+constexpr uint32_t kNumRegs = 24;
+constexpr uint32_t kAllRegs = (1u << kNumRegs) - 1;
+
+/** Source line of instruction @p i (hand-built programs may omit
+ * the line table; fall back to the instruction index). */
+uint32_t
+lineOf(const Program& program, uint32_t i)
+{
+    if (i < program.lines.size())
+        return program.lines[i];
+    return i + 1;
+}
+
+std::string
+regName(uint32_t reg)
+{
+    return "r" + std::to_string(reg);
+}
+
+bool
+isBranchOrJump(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu:
+      case Opcode::Jmp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass: branch-target validity
+// ---------------------------------------------------------------------
+
+bool
+checkBranchTargets(const Program& program, std::vector<Diagnostic>& diags)
+{
+    bool ok = true;
+    const auto n = static_cast<int64_t>(program.code.size());
+    for (uint32_t i = 0; i < program.code.size(); ++i) {
+        const Instruction& ins = program.code[i];
+        if (!isBranchOrJump(ins.op))
+            continue;
+        // Target == n is the label after the last instruction (a
+        // trailing "done:" label): a legal exit.
+        if (ins.imm < 0 || ins.imm > n) {
+            diags.push_back({CheckKind::InvalidBranchTarget,
+                             Severity::Error, lineOf(program, i),
+                             "branch target " + std::to_string(ins.imm) +
+                                 " outside program of " +
+                                 std::to_string(n) + " instructions"});
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+// ---------------------------------------------------------------------
+// Pass: unreachable code
+// ---------------------------------------------------------------------
+
+void
+checkUnreachable(const Program& program, const Cfg& cfg,
+                 const std::vector<bool>& reachable,
+                 std::vector<Diagnostic>& diags)
+{
+    for (uint32_t b = 0; b < cfg.blocks.size(); ++b) {
+        if (reachable[b])
+            continue;
+        const BasicBlock& bb = cfg.blocks[b];
+        diags.push_back({CheckKind::UnreachableCode, Severity::Warning,
+                         lineOf(program, bb.first),
+                         "unreachable code (" +
+                             std::to_string(bb.last - bb.first + 1) +
+                             " instruction(s) no path reaches)"});
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass: def-before-use (forward "definitely assigned" dataflow)
+// ---------------------------------------------------------------------
+
+void
+checkDefBeforeUse(const Program& program, const Cfg& cfg,
+                  const std::vector<bool>& reachable,
+                  const std::vector<uint32_t>& rpo,
+                  std::vector<Diagnostic>& diags)
+{
+    // OUT[b]: registers definitely written on every path through b.
+    // Initialized to "all" (top) so intersection over not-yet-visited
+    // loop back-edges is a no-op.
+    std::vector<uint32_t> out(cfg.blocks.size(), kAllRegs);
+    auto blockIn = [&](uint32_t b) {
+        uint32_t in = (b == 0) ? 0u : kAllRegs;
+        for (uint32_t pred : cfg.blocks[b].preds) {
+            if (reachable[pred])
+                in &= out[pred];
+        }
+        return in;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b : rpo) {
+            uint32_t defined = blockIn(b);
+            const BasicBlock& bb = cfg.blocks[b];
+            for (uint32_t i = bb.first; i <= bb.last; ++i)
+                defined |= regUse(program.code[i]).writes;
+            if (defined != out[b]) {
+                out[b] = defined;
+                changed = true;
+            }
+        }
+    }
+
+    for (uint32_t b : rpo) {
+        uint32_t defined = blockIn(b);
+        const BasicBlock& bb = cfg.blocks[b];
+        for (uint32_t i = bb.first; i <= bb.last; ++i) {
+            RegUse use = regUse(program.code[i]);
+            uint32_t undef = use.reads & ~defined;
+            for (uint32_t reg = 0; reg < kNumRegs; ++reg) {
+                if (undef & (1u << reg)) {
+                    diags.push_back(
+                        {CheckKind::UninitRegister, Severity::Error,
+                         lineOf(program, i),
+                         "register " + regName(reg) +
+                             " may be read before initialization"});
+                }
+            }
+            defined |= use.writes;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass: constant propagation + bounds / DMA legality
+// ---------------------------------------------------------------------
+
+/** Lattice value of one register: unknown or a known 32-bit constant. */
+using ConstVal = std::optional<int32_t>;
+using ConstState = std::array<ConstVal, kNumRegs>;
+
+ConstState
+meetStates(const ConstState& a, const ConstState& b)
+{
+    ConstState out;
+    for (uint32_t r = 0; r < kNumRegs; ++r) {
+        if (a[r] && b[r] && *a[r] == *b[r])
+            out[r] = a[r];
+        else
+            out[r] = std::nullopt;
+    }
+    return out;
+}
+
+/** Fold one instruction; returns the new value of rd if computable. */
+ConstVal
+foldValue(const Instruction& ins, const ConstState& st)
+{
+    auto ua = [&]() -> std::optional<uint32_t> {
+        if (st[ins.ra])
+            return static_cast<uint32_t>(*st[ins.ra]);
+        return std::nullopt;
+    }();
+    auto ub = [&]() -> std::optional<uint32_t> {
+        if (st[ins.rb])
+            return static_cast<uint32_t>(*st[ins.rb]);
+        return std::nullopt;
+    }();
+    uint32_t uimm = static_cast<uint32_t>(ins.imm);
+    auto wrap = [](uint32_t v) {
+        return ConstVal(static_cast<int32_t>(v));
+    };
+
+    switch (ins.op) {
+      case Opcode::Movi:
+        return ins.imm;
+      case Opcode::Add:
+        if (ua && ub) return wrap(*ua + *ub);
+        break;
+      case Opcode::Addi:
+        if (ua) return wrap(*ua + uimm);
+        break;
+      case Opcode::Sub:
+        if (ua && ub) return wrap(*ua - *ub);
+        break;
+      case Opcode::Subi:
+        if (ua) return wrap(*ua - uimm);
+        break;
+      case Opcode::And:
+        if (ua && ub) return wrap(*ua & *ub);
+        break;
+      case Opcode::Andi:
+        if (ua) return wrap(*ua & uimm);
+        break;
+      case Opcode::Or:
+        if (ua && ub) return wrap(*ua | *ub);
+        break;
+      case Opcode::Ori:
+        if (ua) return wrap(*ua | uimm);
+        break;
+      case Opcode::Xor:
+        if (ua && ub) return wrap(*ua ^ *ub);
+        break;
+      case Opcode::Xori:
+        if (ua) return wrap(*ua ^ uimm);
+        break;
+      case Opcode::Sll:
+        if (ua && ub) return wrap(*ua << (*ub & 31));
+        break;
+      case Opcode::Slli:
+        if (ua) return wrap(*ua << (ins.imm & 31));
+        break;
+      case Opcode::Srl:
+        if (ua && ub) return wrap(*ua >> (*ub & 31));
+        break;
+      case Opcode::Srli:
+        if (ua) return wrap(*ua >> (ins.imm & 31));
+        break;
+      case Opcode::Sra:
+        if (st[ins.ra] && ub)
+            return ConstVal(*st[ins.ra] >> (*ub & 31));
+        break;
+      case Opcode::Srai:
+        if (st[ins.ra])
+            return ConstVal(*st[ins.ra] >> (ins.imm & 31));
+        break;
+      case Opcode::Mul:
+        if (st[ins.ra] && st[ins.rb]) {
+            int64_t prod = static_cast<int64_t>(*st[ins.ra]) *
+                           static_cast<int64_t>(*st[ins.rb]);
+            return ConstVal(static_cast<int32_t>(prod));
+        }
+        break;
+      case Opcode::Mulh:
+        if (st[ins.ra] && st[ins.rb]) {
+            int64_t prod = static_cast<int64_t>(*st[ins.ra]) *
+                           static_cast<int64_t>(*st[ins.rb]);
+            return ConstVal(static_cast<int32_t>(prod >> 32));
+        }
+        break;
+      default:
+        break;
+    }
+    return std::nullopt;
+}
+
+void
+transferConst(const Instruction& ins, ConstState& st)
+{
+    RegUse use = regUse(ins);
+    if (use.writes == 0)
+        return;
+    st[ins.rd] = foldValue(ins, st);
+}
+
+void
+checkAccess(const Program& program, uint32_t i, const ConstState& st,
+            const VerifyOptions& opt, std::vector<Diagnostic>& diags)
+{
+    const Instruction& ins = program.code[i];
+    uint32_t line = lineOf(program, i);
+    auto report = [&](CheckKind kind, const std::string& msg) {
+        diags.push_back({kind, Severity::Error, line, msg});
+    };
+
+    switch (ins.op) {
+      case Opcode::Ldw:
+      case Opcode::Stw: {
+        if (!st[ins.ra])
+            return;
+        uint32_t addr = static_cast<uint32_t>(*st[ins.ra]) +
+                        static_cast<uint32_t>(ins.imm);
+        if (static_cast<uint64_t>(addr) + 4 > opt.wramBytes) {
+            report(CheckKind::WramOutOfBounds,
+                   std::string(ins.op == Opcode::Ldw ? "ldw" : "stw") +
+                       " accesses WRAM[" + std::to_string(addr) +
+                       "] beyond the " + std::to_string(opt.wramBytes) +
+                       "-byte scratchpad");
+        }
+        break;
+      }
+      case Opcode::Ldma:
+      case Opcode::Sdma: {
+        const char* mn = ins.op == Opcode::Ldma ? "ldma" : "sdma";
+        ConstVal wa = st[ins.rd];
+        ConstVal ma = st[ins.ra];
+        ConstVal sz = st[ins.rb];
+        if (sz) {
+            uint32_t size = static_cast<uint32_t>(*sz);
+            if (size == 0 || size % 8 != 0 || size > opt.maxDmaBytes) {
+                report(CheckKind::DmaBadSize,
+                       std::string(mn) + " transfer size " +
+                           std::to_string(size) +
+                           " must be a non-zero multiple of 8 and at"
+                           " most " +
+                           std::to_string(opt.maxDmaBytes) + " bytes");
+            }
+        }
+        if (wa) {
+            uint32_t addr = static_cast<uint32_t>(*wa);
+            if (addr % 8 != 0) {
+                report(CheckKind::DmaBadAlignment,
+                       std::string(mn) + " WRAM address " +
+                           std::to_string(addr) +
+                           " is not 8-byte aligned");
+            }
+            uint64_t end = static_cast<uint64_t>(addr) +
+                           (sz ? static_cast<uint32_t>(*sz) : 0);
+            if (end > opt.wramBytes || addr >= opt.wramBytes) {
+                report(CheckKind::WramOutOfBounds,
+                       std::string(mn) + " WRAM range [" +
+                           std::to_string(addr) + ", " +
+                           std::to_string(end) + ") beyond the " +
+                           std::to_string(opt.wramBytes) +
+                           "-byte scratchpad");
+            }
+        }
+        if (ma) {
+            uint32_t addr = static_cast<uint32_t>(*ma);
+            if (addr % 8 != 0) {
+                report(CheckKind::DmaBadAlignment,
+                       std::string(mn) + " MRAM address " +
+                           std::to_string(addr) +
+                           " is not 8-byte aligned");
+            }
+            uint64_t end = static_cast<uint64_t>(addr) +
+                           (sz ? static_cast<uint32_t>(*sz) : 0);
+            if (end > opt.mramBytes || addr >= opt.mramBytes) {
+                report(CheckKind::MramOutOfBounds,
+                       std::string(mn) + " MRAM range [" +
+                           std::to_string(addr) + ", " +
+                           std::to_string(end) + ") beyond the " +
+                           std::to_string(opt.mramBytes) +
+                           "-byte bank");
+            }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+void
+checkBoundsAndDma(const Program& program, const Cfg& cfg,
+                  const std::vector<bool>& reachable,
+                  const std::vector<uint32_t>& rpo,
+                  const VerifyOptions& opt,
+                  std::vector<Diagnostic>& diags)
+{
+    std::vector<ConstState> in(cfg.blocks.size());
+    std::vector<bool> inSet(cfg.blocks.size(), false);
+    ConstState entry{}; // all unknown: nothing is constant at entry
+    in[0] = entry;
+    inSet[0] = true;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b : rpo) {
+            if (!inSet[b])
+                continue;
+            ConstState st = in[b];
+            const BasicBlock& bb = cfg.blocks[b];
+            for (uint32_t i = bb.first; i <= bb.last; ++i)
+                transferConst(program.code[i], st);
+            for (uint32_t succ : cfg.blocks[b].succs) {
+                if (succ == Cfg::kExit || !reachable[succ])
+                    continue;
+                if (!inSet[succ]) {
+                    in[succ] = st;
+                    inSet[succ] = true;
+                    changed = true;
+                } else {
+                    ConstState met = meetStates(in[succ], st);
+                    if (met != in[succ]) {
+                        in[succ] = met;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    for (uint32_t b : rpo) {
+        if (!inSet[b])
+            continue;
+        ConstState st = in[b];
+        const BasicBlock& bb = cfg.blocks[b];
+        for (uint32_t i = bb.first; i <= bb.last; ++i) {
+            checkAccess(program, i, st, opt, diags);
+            transferConst(program.code[i], st);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass: barrier balance
+// ---------------------------------------------------------------------
+
+void
+checkBarrierBalance(const Program& program, const Cfg& cfg,
+                    const std::vector<bool>& reachable,
+                    const std::vector<uint32_t>& rpo,
+                    std::vector<Diagnostic>& diags)
+{
+    bool anyBarrier = false;
+    for (const Instruction& ins : program.code) {
+        if (ins.op == Opcode::Barrier) {
+            anyBarrier = true;
+            break;
+        }
+    }
+    if (!anyBarrier)
+        return;
+
+    constexpr int64_t kTop = -1;
+    constexpr int64_t kConflict = -2;
+    auto meet = [](int64_t a, int64_t b) {
+        if (a == kTop)
+            return b;
+        if (b == kTop)
+            return a;
+        if (a == kConflict || b == kConflict || a != b)
+            return kConflict;
+        return a;
+    };
+
+    std::vector<int64_t> in(cfg.blocks.size(), kTop);
+    in[0] = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b : rpo) {
+            int64_t count = in[b];
+            if (count == kTop)
+                continue;
+            if (count >= 0) {
+                const BasicBlock& bb = cfg.blocks[b];
+                for (uint32_t i = bb.first; i <= bb.last; ++i) {
+                    if (program.code[i].op == Opcode::Barrier)
+                        ++count;
+                }
+            }
+            for (uint32_t succ : cfg.blocks[b].succs) {
+                if (succ == Cfg::kExit || !reachable[succ])
+                    continue;
+                int64_t met = meet(in[succ], count);
+                if (met != in[succ]) {
+                    in[succ] = met;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Joins with conflicting counts.
+    for (uint32_t b : rpo) {
+        if (in[b] == kConflict) {
+            diags.push_back(
+                {CheckKind::BarrierImbalance, Severity::Error,
+                 lineOf(program, cfg.blocks[b].first),
+                 "paths reach this point having executed differing "
+                 "numbers of barriers (tasklets would deadlock at the "
+                 "rendezvous)"});
+        }
+    }
+
+    // Exits with differing counts: one tasklet returns while another
+    // still waits at a barrier.
+    int64_t exitCount = kTop;
+    for (uint32_t b : rpo) {
+        if (in[b] < 0)
+            continue;
+        bool exits = false;
+        for (uint32_t succ : cfg.blocks[b].succs)
+            exits |= (succ == Cfg::kExit);
+        if (!exits)
+            continue;
+        int64_t count = in[b];
+        const BasicBlock& bb = cfg.blocks[b];
+        for (uint32_t i = bb.first; i <= bb.last; ++i) {
+            if (program.code[i].op == Opcode::Barrier)
+                ++count;
+        }
+        if (exitCount == kTop) {
+            exitCount = count;
+        } else if (count != exitCount) {
+            diags.push_back(
+                {CheckKind::BarrierImbalance, Severity::Error,
+                 lineOf(program, bb.last),
+                 "program exits with " + std::to_string(count) +
+                     " barrier(s) on this path but " +
+                     std::to_string(exitCount) +
+                     " on another (tasklets would deadlock)"});
+        }
+    }
+}
+
+} // namespace
+
+RegUse
+regUse(const Instruction& ins)
+{
+    auto bit = [](uint8_t reg) { return 1u << reg; };
+    RegUse use;
+    switch (ins.op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Sra:
+      case Opcode::Mul:
+      case Opcode::Mulh:
+        use.reads = bit(ins.ra) | bit(ins.rb);
+        use.writes = bit(ins.rd);
+        break;
+      case Opcode::Addi:
+      case Opcode::Subi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slli:
+      case Opcode::Srli:
+      case Opcode::Srai:
+        use.reads = bit(ins.ra);
+        use.writes = bit(ins.rd);
+        break;
+      case Opcode::Movi:
+      case Opcode::Tid:
+      case Opcode::Ntask:
+        use.writes = bit(ins.rd);
+        break;
+      case Opcode::Ldw:
+        use.reads = bit(ins.ra);
+        use.writes = bit(ins.rd);
+        break;
+      case Opcode::Stw:
+        // Stores read both the address base and the stored value.
+        use.reads = bit(ins.ra) | bit(ins.rd);
+        break;
+      case Opcode::Ldma:
+      case Opcode::Sdma:
+        // WRAM address, MRAM address, and size are all inputs.
+        use.reads = bit(ins.rd) | bit(ins.ra) | bit(ins.rb);
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu:
+        use.reads = bit(ins.ra) | bit(ins.rb);
+        break;
+      case Opcode::Jmp:
+      case Opcode::Barrier:
+      case Opcode::Halt:
+        break;
+    }
+    return use;
+}
+
+std::vector<Diagnostic>
+verify(const Program& program, const VerifyOptions& options)
+{
+    std::vector<Diagnostic> diags;
+    if (program.code.empty())
+        return diags;
+
+    if (!checkBranchTargets(program, diags))
+        return diags; // CFG over wild targets would be meaningless
+
+    Cfg cfg = buildCfg(program);
+    std::vector<bool> reachable = reachableBlocks(cfg);
+    std::vector<uint32_t> rpo = reversePostOrder(cfg);
+
+    checkUnreachable(program, cfg, reachable, diags);
+    checkDefBeforeUse(program, cfg, reachable, rpo, diags);
+    checkBoundsAndDma(program, cfg, reachable, rpo, options, diags);
+    checkBarrierBalance(program, cfg, reachable, rpo, diags);
+
+    std::stable_sort(diags.begin(), diags.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                         return a.line < b.line;
+                     });
+    return diags;
+}
+
+} // namespace check
+} // namespace sim
+} // namespace tpl

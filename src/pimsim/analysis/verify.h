@@ -1,0 +1,73 @@
+/**
+ * @file
+ * pimcheck layer 1: static verifier for assembled mini-ISA programs.
+ *
+ * Real DPU kernels are hand-written integer code against a machine
+ * with no MMU and no hardware traps; the UPMEM literature documents
+ * unaligned MRAM DMA, silent WRAM overflows and tasklet races as the
+ * bugs that cost days on real hardware. `verify()` catches the
+ * statically decidable share of those *before* a kernel ever runs:
+ *
+ *  - def-before-use of registers (forward dataflow over the CFG; a
+ *    register read on some path before any write is an error — the
+ *    simulator zero-fills registers, real hardware does not)
+ *  - branch-target validity and unreachable basic blocks
+ *  - WRAM/MRAM bounds for statically-known addresses (constant
+ *    propagation; unknown addresses are left to the runtime sanitizer)
+ *  - UPMEM DMA legality: 8-byte aligned addresses, size a non-zero
+ *    multiple of 8, at most `maxDmaBytes` per transfer
+ *  - barrier balance: every path through the program must execute the
+ *    same number of `barrier` instructions (a mismatch deadlocks the
+ *    rendezvous on hardware); a barrier inside a data-dependent loop
+ *    is flagged for the same reason
+ *
+ * Diagnostics come back as a structured vector (see diag.h), sorted by
+ * source line, so tests can assert on exact findings and `pimlint`
+ * can print them.
+ */
+
+#ifndef TPL_PIMSIM_ANALYSIS_VERIFY_H
+#define TPL_PIMSIM_ANALYSIS_VERIFY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "pimsim/analysis/diag.h"
+#include "pimsim/isa.h"
+
+namespace tpl {
+namespace sim {
+namespace check {
+
+/** Machine parameters the bounds / DMA passes check against. */
+struct VerifyOptions
+{
+    uint32_t wramBytes = 64 * 1024;       ///< scratchpad size
+    uint64_t mramBytes = 64ull << 20;     ///< MRAM bank size
+    uint32_t maxDmaBytes = 2048;          ///< UPMEM per-transfer cap
+};
+
+/**
+ * Run every static pass over @p program.
+ * @return diagnostics sorted by source line (empty when clean).
+ */
+std::vector<Diagnostic> verify(const Program& program,
+                               const VerifyOptions& options = {});
+
+/**
+ * Registers an instruction reads / writes, as bitmasks over r0..r23.
+ * Exposed for the verifier tests; `Stw` reads both its address and its
+ * stored value, DMA instructions read all three operands.
+ */
+struct RegUse
+{
+    uint32_t reads = 0;
+    uint32_t writes = 0;
+};
+RegUse regUse(const Instruction& ins);
+
+} // namespace check
+} // namespace sim
+} // namespace tpl
+
+#endif // TPL_PIMSIM_ANALYSIS_VERIFY_H

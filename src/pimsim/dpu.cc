@@ -10,6 +10,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "pimsim/analysis/sanitizer.h"
+
 namespace tpl {
 namespace sim {
 
@@ -34,12 +36,43 @@ DpuCore::hostReadMram(uint32_t addr, void* dst, uint32_t size) const
     std::memcpy(dst, mram_.data() + addr, size);
 }
 
+void
+DpuCore::hostWriteWram(uint32_t addr, const void* src, uint32_t size)
+{
+    if (static_cast<uint64_t>(addr) + size > wram_.size())
+        throw std::out_of_range("hostWriteWram beyond scratchpad");
+    std::memcpy(wram_.data() + addr, src, size);
+    if (sanitizer_)
+        sanitizer_->markWramInitialized(addr, size);
+}
+
+void
+DpuCore::hostReadWram(uint32_t addr, void* dst, uint32_t size) const
+{
+    if (static_cast<uint64_t>(addr) + size > wram_.size())
+        throw std::out_of_range("hostReadWram beyond scratchpad");
+    std::memcpy(dst, wram_.data() + addr, size);
+}
+
 namespace {
 
 uint32_t
 alignUp8(uint32_t v)
 {
     return (v + 7u) & ~7u;
+}
+
+/** WRAM offset of @p p if [p, p+size) lies inside the scratchpad,
+ * else -1 (a host buffer standing in for a tasklet's WRAM chunk). */
+int64_t
+wramOffsetOf(const std::vector<uint8_t>& wram, const void* p,
+             uint32_t size)
+{
+    auto base = reinterpret_cast<uintptr_t>(wram.data());
+    auto ptr = reinterpret_cast<uintptr_t>(p);
+    if (ptr >= base && ptr + size <= base + wram.size())
+        return static_cast<int64_t>(ptr - base);
+    return -1;
 }
 
 } // namespace
@@ -89,6 +122,8 @@ DpuCore::launch(uint32_t numTasklets, const Kernel& kernel)
     assert(numTasklets >= 1 && numTasklets <= model_.maxTasklets);
     dmaEngineCycles_ = 0;
     dmaBytes_ = 0;
+    if (sanitizer_)
+        sanitizer_->beginLaunch(numTasklets);
 
     std::vector<TaskletContext> contexts;
     contexts.reserve(numTasklets);
@@ -123,6 +158,20 @@ DpuCore::launch(uint32_t numTasklets, const Kernel& kernel)
 void
 TaskletContext::mramRead(uint32_t mramAddr, void* dst, uint32_t size)
 {
+    mramReadAt(mramAddr, dst, size, 0);
+}
+
+void
+TaskletContext::mramReadAt(uint32_t mramAddr, void* dst, uint32_t size,
+                           uint32_t line)
+{
+    if (check::Sanitizer* san = core_.sanitizer_) {
+        int64_t wa = wramOffsetOf(core_.wram_, dst, size);
+        san->onDma(id_, mramAddr, wa, size, line);
+        if (wa >= 0)
+            san->onWramStore(id_, static_cast<uint32_t>(wa), size,
+                             line);
+    }
     if (static_cast<uint64_t>(mramAddr) + size > core_.mram_.size())
         throw std::out_of_range("mramRead beyond MRAM bank");
     std::memcpy(dst, core_.mram_.data() + mramAddr, size);
@@ -134,11 +183,32 @@ TaskletContext::mramRead(uint32_t mramAddr, void* dst, uint32_t size)
 void
 TaskletContext::mramWrite(uint32_t mramAddr, const void* src, uint32_t size)
 {
+    mramWriteAt(mramAddr, src, size, 0);
+}
+
+void
+TaskletContext::mramWriteAt(uint32_t mramAddr, const void* src,
+                            uint32_t size, uint32_t line)
+{
+    if (check::Sanitizer* san = core_.sanitizer_) {
+        int64_t wa = wramOffsetOf(core_.wram_, src, size);
+        san->onDma(id_, mramAddr, wa, size, line);
+        if (wa >= 0)
+            san->onWramLoad(id_, static_cast<uint32_t>(wa), size, line);
+    }
     if (static_cast<uint64_t>(mramAddr) + size > core_.mram_.size())
         throw std::out_of_range("mramWrite beyond MRAM bank");
     std::memcpy(core_.mram_.data() + mramAddr, src, size);
     dmaStall_ += core_.accountDma(size);
     instructions_ += 2;
+}
+
+void
+TaskletContext::barrier()
+{
+    charge(1);
+    if (core_.sanitizer_)
+        core_.sanitizer_->onBarrier(id_);
 }
 
 void

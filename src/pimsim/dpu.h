@@ -35,6 +35,10 @@ namespace sim {
 
 class DpuCore;
 
+namespace check {
+class Sanitizer; // pimsim/analysis/sanitizer.h
+} // namespace check
+
 /**
  * Per-tasklet execution context handed to kernels.
  *
@@ -69,6 +73,23 @@ class TaskletContext : public InstrSink
 
     /** DMA write from a buffer into MRAM. */
     void mramWrite(uint32_t mramAddr, const void* src, uint32_t size);
+
+    /// @name DMA variants carrying an assembly source line so an
+    /// attached sanitizer can place its diagnostics (ISA interpreter).
+    /// @{
+    void mramReadAt(uint32_t mramAddr, void* dst, uint32_t size,
+                    uint32_t line);
+    void mramWriteAt(uint32_t mramAddr, const void* src, uint32_t size,
+                     uint32_t line);
+    /// @}
+
+    /**
+     * Tasklet barrier (UPMEM barrier_wait): charges one issue slot.
+     * Tasklets execute sequentially in simulation, so the rendezvous
+     * itself is a no-op — but an attached sanitizer advances this
+     * tasklet's happens-before epoch here.
+     */
+    void barrier();
 
     /** Charge one WRAM access (load or store). */
     void chargeWramAccess(uint32_t accesses = 1);
@@ -126,6 +147,29 @@ class DpuCore
     void hostReadMram(uint32_t addr, void* dst, uint32_t size) const;
     /// @}
 
+    /// @name Host-side WRAM staging.
+    /// Bounds-checked, and — unlike raw `wramData()` pokes — marks the
+    /// bytes initialized in an attached sanitizer's shadow, the way a
+    /// real host copy to a WRAM symbol legitimately initializes it.
+    /// @{
+    void hostWriteWram(uint32_t addr, const void* src, uint32_t size);
+    void hostReadWram(uint32_t addr, void* dst, uint32_t size) const;
+    /// @}
+
+    /**
+     * Attach (or, with nullptr, detach) a runtime sanitizer. Off by
+     * default; the core does not own the sanitizer. While attached,
+     * every simulated WRAM/MRAM access and DMA is checked — purely
+     * observationally, so modeled statistics are unchanged.
+     */
+    void setSanitizer(check::Sanitizer* sanitizer)
+    {
+        sanitizer_ = sanitizer;
+    }
+
+    /** The attached sanitizer, or nullptr. */
+    check::Sanitizer* sanitizer() const { return sanitizer_; }
+
     /**
      * Allocate @p size bytes of MRAM (8-byte aligned bump allocator).
      * @return the MRAM address of the allocation.
@@ -174,6 +218,7 @@ class DpuCore
     uint32_t wramTop_ = 0;
     uint64_t dmaEngineCycles_ = 0; ///< accumulated during a launch
     uint64_t dmaBytes_ = 0;        ///< accumulated during a launch
+    check::Sanitizer* sanitizer_ = nullptr; ///< non-owning, opt-in
     LaunchStats last_;
 };
 

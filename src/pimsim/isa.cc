@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "common/emu_int.h"
+#include "pimsim/analysis/sanitizer.h"
 
 namespace tpl {
 namespace sim {
@@ -61,6 +62,7 @@ opTable()
         {"bltu", {Opcode::Bltu, "abl"}},
         {"bgeu", {Opcode::Bgeu, "abl"}},
         {"jmp", {Opcode::Jmp, "l"}},
+        {"barrier", {Opcode::Barrier, ""}},
         {"halt", {Opcode::Halt, ""}},
     };
     return table;
@@ -216,6 +218,13 @@ execute(const Program& program, TaskletContext& ctx,
     DpuCore& core = ctx.core();
     uint8_t* wram = core.wramData();
     uint32_t wramSize = core.model().wramBytes;
+    check::Sanitizer* san = core.sanitizer();
+    // Source line of the current instruction, for sanitizer
+    // diagnostics (pc already advanced when hooks run).
+    auto srcLine = [&](size_t pcNext) -> uint32_t {
+        size_t i = pcNext - 1;
+        return i < program.lines.size() ? program.lines[i] : 0;
+    };
 
     auto wramCheck = [&](uint32_t addr, uint32_t size) {
         if (static_cast<uint64_t>(addr) + size > wramSize) {
@@ -331,6 +340,8 @@ execute(const Program& program, TaskletContext& ctx,
           case Opcode::Ldw: {
             ctx.charge(1);
             uint32_t addr = ua + static_cast<uint32_t>(ins.imm);
+            if (san)
+                san->onWramLoad(ctx.taskletId(), addr, 4, srcLine(pc));
             wramCheck(addr, 4);
             int32_t v;
             std::memcpy(&v, wram + addr, 4);
@@ -340,6 +351,8 @@ execute(const Program& program, TaskletContext& ctx,
           case Opcode::Stw: {
             ctx.charge(1);
             uint32_t addr = ua + static_cast<uint32_t>(ins.imm);
+            if (san)
+                san->onWramStore(ctx.taskletId(), addr, 4, srcLine(pc));
             wramCheck(addr, 4);
             std::memcpy(wram + addr, &r[ins.rd], 4);
             break;
@@ -349,7 +362,7 @@ execute(const Program& program, TaskletContext& ctx,
             uint32_t ma = ua;
             uint32_t size = ub;
             wramCheck(wa, size);
-            ctx.mramRead(ma, wram + wa, size);
+            ctx.mramReadAt(ma, wram + wa, size, srcLine(pc));
             break;
           }
           case Opcode::Sdma: {
@@ -357,7 +370,7 @@ execute(const Program& program, TaskletContext& ctx,
             uint32_t ma = ua;
             uint32_t size = ub;
             wramCheck(wa, size);
-            ctx.mramWrite(ma, wram + wa, size);
+            ctx.mramWriteAt(ma, wram + wa, size, srcLine(pc));
             break;
           }
           case Opcode::Beq:
@@ -393,6 +406,10 @@ execute(const Program& program, TaskletContext& ctx,
           case Opcode::Jmp:
             ctx.charge(1);
             pc = static_cast<size_t>(ins.imm);
+            break;
+          case Opcode::Barrier:
+            // charge(1) + sanitizer epoch advance happen inside.
+            ctx.barrier();
             break;
           case Opcode::Halt:
             ctx.charge(1);

@@ -37,7 +37,16 @@
  *   beq/bne/blt/bge  r1, r2, label   (signed compares)
  *   bltu/bgeu        r1, r2, label   (unsigned compares)
  *   jmp   label
+ *   barrier                # all tasklets rendezvous
  *   halt
+ *
+ * `barrier` models UPMEM's barrier_wait(): all tasklets of the launch
+ * rendezvous. Tasklets execute sequentially in simulation, so the
+ * instruction only charges its issue slot functionally — but it is the
+ * synchronization the pimcheck race detector honors, and the static
+ * verifier's barrier-balance pass proves every tasklet reaches the
+ * same barrier count regardless of branching (a mismatch deadlocks
+ * real hardware).
  */
 
 #ifndef TPL_PIMSIM_ISA_H
@@ -63,6 +72,7 @@ enum class Opcode
     Movi, Tid, Ntask,
     Ldw, Stw, Ldma, Sdma,
     Beq, Bne, Blt, Bge, Bltu, Bgeu, Jmp,
+    Barrier,
     Halt,
 };
 

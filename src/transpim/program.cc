@@ -16,14 +16,20 @@ PimProgram::add(const std::string& name, FunctionEvaluator evaluator)
     if (evaluators_.count(name))
         throw std::invalid_argument("PimProgram: duplicate name '" +
                                     name + "'");
-    uint32_t wramAfter = wramTableBytes();
-    if (evaluator.spec().placement == Placement::Wram)
-        wramAfter += evaluator.memoryBytes();
-    if (wramAfter > wramBudget_) {
+    uint32_t wramUsed = wramTableBytes();
+    uint32_t requested = evaluator.spec().placement == Placement::Wram
+                             ? evaluator.memoryBytes()
+                             : 0;
+    if (wramUsed + requested > wramBudget_) {
+        uint32_t remaining =
+            wramBudget_ > wramUsed ? wramBudget_ - wramUsed : 0;
         throw std::length_error(
-            "PimProgram: WRAM table budget exceeded by '" + name +
-            "' (" + std::to_string(wramAfter) + " > " +
-            std::to_string(wramBudget_) + " bytes)");
+            "PimProgram: WRAM table budget exceeded adding '" + name +
+            "': requested " + std::to_string(requested) +
+            " bytes but only " + std::to_string(remaining) +
+            " of " + std::to_string(wramBudget_) +
+            " remain (" + std::to_string(wramUsed) +
+            " already committed)");
     }
     evaluators_.emplace(name, std::move(evaluator));
 }

@@ -17,21 +17,19 @@
 #include "transpim/cordic.h"
 #include "transpim/fuzzy_lut.h"
 
+#include "isa_kernels.h"
+
 namespace tpl {
 namespace sim {
 namespace {
+
+using testkernels::substConst;
 
 /** Replace every occurrence of @p key with @p value. */
 std::string
 subst(std::string text, const std::string& key, int64_t value)
 {
-    std::string val = std::to_string(value);
-    size_t pos = 0;
-    while ((pos = text.find(key, pos)) != std::string::npos) {
-        text.replace(pos, key.size(), val);
-        pos += val.size();
-    }
-    return text;
+    return substConst(std::move(text), key, value);
 }
 
 ExecResult
@@ -188,38 +186,9 @@ TEST(Interpreter, GuardsAndErrors)
 // Bottom-up cost-model validation
 // ---------------------------------------------------------------------
 
-/**
- * Hand-written fixed-point interpolated L-LUT kernel. Table and inputs
- * are pre-placed in WRAM; constants are substituted into the source.
- */
-constexpr const char* kLLutKernel = R"(
-        movi r1, 0          # element index
-        movi r2, @N
-        movi r5, @PRAW
-        movi r13, @MASK
-    loop:
-        bge  r1, r2, done
-        slli r3, r1, 2
-        ldw  r4, r3, @INP   # x (Q3.28 raw)
-        sub  r4, r4, r5     # t = x - p (unsigned wrap ok)
-        srli r6, r4, @SHIFT # index
-        and  r7, r4, r13    # delta bits
-        slli r8, r6, 2
-        ldw  r9, r8, @TBL   # l0
-        ldw  r10, r8, @TBLN # l1
-        sub  r10, r10, r9   # d
-        mul  r11, r10, r7   # low(d * delta)
-        mulh r12, r10, r7   # high(d * delta)
-        srli r11, r11, @SHIFT
-        slli r12, r12, @SHIFTC
-        or   r11, r11, r12  # (d*delta) >> shift, low 32 bits
-        add  r9, r9, r11    # l0 + correction
-        stw  r9, r3, @OUT
-        addi r1, r1, 1
-        jmp  loop
-    done:
-        halt
-)";
+// Hand-written fixed-point kernels shared with analysis_test.cc.
+using testkernels::kCordicKernel;
+using testkernels::kLLutKernel;
 
 TEST(CostModelValidation, FixedLLutKernelMatchesHighLevel)
 {
@@ -281,36 +250,6 @@ TEST(CostModelValidation, FixedLLutKernelMatchesHighLevel)
     EXPECT_GT(hlPerElem, 0.5 * asmPerElem);
     EXPECT_LT(hlPerElem, 1.6 * asmPerElem);
 }
-
-/** Hand-written fixed-point circular CORDIC rotation (one angle). */
-constexpr const char* kCordicKernel = R"(
-        movi r1, @Z0        # z
-        movi r2, @INVGAIN   # x
-        movi r3, 0          # y
-        movi r4, 0          # k
-        movi r5, @NITER
-        movi r10, 0
-    loop:
-        bge  r4, r5, done
-        sra  r6, r2, r4     # xs = x >> k
-        sra  r7, r3, r4     # ys = y >> k
-        slli r8, r4, 2
-        ldw  r9, r8, @ATBL  # angle[k]
-        blt  r1, r10, neg
-        sub  r2, r2, r7
-        add  r3, r3, r6
-        sub  r1, r1, r9
-        jmp  next
-    neg:
-        add  r2, r2, r7
-        sub  r3, r3, r6
-        add  r1, r1, r9
-    next:
-        addi r4, r4, 1
-        jmp  loop
-    done:
-        halt
-)";
 
 TEST(CostModelValidation, FixedCordicKernelMatchesHighLevel)
 {

@@ -56,6 +56,31 @@ TEST(PimProgram, WramBudgetEnforced)
     EXPECT_NO_THROW(prog.add("sin", Function::Sin, big));
 }
 
+TEST(PimProgram, BudgetOverflowMessageIsActionable)
+{
+    PimProgram prog(8 * 1024);
+    prog.add("warm", Function::Exp, smallLut()); // commits some WRAM
+    uint32_t committed = prog.wramTableBytes();
+    MethodSpec big = smallLut();
+    big.log2Entries = 14;
+    try {
+        prog.add("sin", Function::Sin, big);
+        FAIL() << "expected std::length_error";
+    } catch (const std::length_error& e) {
+        std::string msg = e.what();
+        // Names the offending evaluator, the requested size, and what
+        // remains of the budget.
+        EXPECT_NE(std::string::npos, msg.find("'sin'")) << msg;
+        EXPECT_NE(std::string::npos,
+                  msg.find(std::to_string(8 * 1024 - committed)))
+            << msg;
+        EXPECT_NE(std::string::npos, msg.find("requested")) << msg;
+        EXPECT_NE(std::string::npos,
+                  msg.find(std::to_string(committed)))
+            << msg;
+    }
+}
+
 TEST(PimProgram, AggregateReporting)
 {
     PimProgram prog;

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * pimlint: standalone static checker for mini-ISA assembly files.
+ *
+ * Assembles each input file and runs the full pimcheck static
+ * verifier over it (see src/pimsim/analysis/verify.h): uninitialized
+ * registers, branch validity, unreachable code, statically-known
+ * WRAM/MRAM bounds, DMA legality, and barrier balance.
+ *
+ *   pimlint [options] <file.s ...>      ('-' reads stdin)
+ *
+ * Options:
+ *   --wram BYTES      scratchpad size checked against (default 65536)
+ *   --mram BYTES      MRAM bank size (default 67108864)
+ *   --max-dma BYTES   per-transfer DMA cap (default 2048)
+ *   --werror          treat warnings as errors
+ *   -q, --quiet       suppress diagnostics, exit status only
+ *
+ * Exit status: 0 clean (warnings allowed unless --werror), 1 when any
+ * error diagnostic fired, 2 on usage / I/O / assembly errors.
+ */
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pimsim/analysis/verify.h"
+#include "pimsim/isa.h"
+
+namespace {
+
+void
+usage()
+{
+    std::cerr
+        << "usage: pimlint [--wram BYTES] [--mram BYTES]"
+           " [--max-dma BYTES] [--werror] [-q] <file.s ...|->\n";
+}
+
+bool
+parseBytes(const std::string& text, uint64_t& out)
+{
+    try {
+        size_t pos = 0;
+        unsigned long long v = std::stoull(text, &pos, 0);
+        if (pos != text.size())
+            return false;
+        out = v;
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace tpl::sim;
+
+    check::VerifyOptions options;
+    bool werror = false;
+    bool quiet = false;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto bytesArg = [&](uint64_t& out) {
+            if (i + 1 >= argc || !parseBytes(argv[++i], out)) {
+                usage();
+                std::exit(2);
+            }
+        };
+        if (arg == "--wram") {
+            uint64_t v = 0;
+            bytesArg(v);
+            options.wramBytes = static_cast<uint32_t>(v);
+        } else if (arg == "--mram") {
+            bytesArg(options.mramBytes);
+        } else if (arg == "--max-dma") {
+            uint64_t v = 0;
+            bytesArg(v);
+            options.maxDmaBytes = static_cast<uint32_t>(v);
+        } else if (arg == "--werror") {
+            werror = true;
+        } else if (arg == "-q" || arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            std::cerr << "pimlint: unknown option '" << arg << "'\n";
+            usage();
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty()) {
+        usage();
+        return 2;
+    }
+
+    bool anyError = false;
+    for (const std::string& file : files) {
+        std::string source;
+        if (file == "-") {
+            std::ostringstream buf;
+            buf << std::cin.rdbuf();
+            source = buf.str();
+        } else {
+            std::ifstream in(file);
+            if (!in) {
+                std::cerr << "pimlint: cannot open '" << file << "'\n";
+                return 2;
+            }
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            source = buf.str();
+        }
+
+        Program program;
+        try {
+            program = assemble(source);
+        } catch (const AsmError& e) {
+            std::cerr << file << ": " << e.what() << "\n";
+            return 2;
+        }
+
+        auto diags = check::verify(program, options);
+        for (const auto& diag : diags) {
+            if (!quiet)
+                std::cout << file << ": " << check::format(diag)
+                          << "\n";
+            if (diag.severity == check::Severity::Error ||
+                (werror && diag.severity == check::Severity::Warning))
+                anyError = true;
+        }
+    }
+    return anyError ? 1 : 0;
+}
