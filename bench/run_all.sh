@@ -16,6 +16,15 @@
 #   TPL_SIM_THREADS     simulation parallelism (1 = serial reference).
 #   TPL_BENCH_FILTER    only run binaries whose name matches this
 #                       (grep -E) pattern.
+#   TPL_BENCH_METRICS=1 arm the obs metrics registry per bench
+#                       (TPL_OBS_METRICS) and embed each bench's
+#                       registry dump as its "metrics" object.
+#
+# Each result entry records the bench name, wall seconds and exit
+# status; failed benches additionally carry the tail of their stderr
+# so a red trajectory point is diagnosable from the JSON alone. The
+# header records the git SHA and simulation thread count the numbers
+# were taken at.
 set -u
 
 BUILD_DIR="${1:-build}"
@@ -37,6 +46,18 @@ now_ns() {
     esac
 }
 
+# JSON-escape stdin into one string body: backslashes, quotes, tabs,
+# newlines; other control characters are dropped.
+json_escape() {
+    sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' -e 's/\t/\\t/g' |
+        tr -d '\000-\010\013-\037' | awk 'NR > 1 { printf "\\n" } { printf "%s", $0 }'
+}
+
+GIT_SHA=$(git -C "$(dirname "$0")/.." rev-parse HEAD 2>/dev/null || echo unknown)
+ERR_TMP=$(mktemp)
+METRICS_TMP=$(mktemp)
+trap 'rm -f "$ERR_TMP" "$METRICS_TMP"' EXIT
+
 entries=""
 failures=0
 for bin in "$BENCH_DIR"/*; do
@@ -47,24 +68,43 @@ for bin in "$BENCH_DIR"/*; do
         continue
     fi
     echo "== $name" >&2
+    : > "$ERR_TMP"
+    : > "$METRICS_TMP"
     start=$(now_ns)
-    if "$bin" > /dev/null 2>&1; then
-        status=0
-    else
+    if [ "${TPL_BENCH_METRICS:-0}" = "1" ]; then
+        TPL_OBS_METRICS="$METRICS_TMP" "$bin" > /dev/null 2> "$ERR_TMP"
         status=$?
-        failures=$((failures + 1))
-        echo "   FAILED (exit $status)" >&2
+    else
+        "$bin" > /dev/null 2> "$ERR_TMP"
+        status=$?
     fi
     end=$(now_ns)
+    if [ "$status" -ne 0 ]; then
+        failures=$((failures + 1))
+        echo "   FAILED (exit $status)" >&2
+        tail -5 "$ERR_TMP" >&2
+    fi
     secs=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", (b - a) / 1e9 }')
     echo "   ${secs}s" >&2
+
+    entry="{\"bench\": \"$name\", \"seconds\": $secs, \"exit\": $status"
+    if [ "$status" -ne 0 ]; then
+        stderr_tail=$(tail -5 "$ERR_TMP" | json_escape)
+        entry="$entry, \"stderr_tail\": \"$stderr_tail\""
+    fi
+    # Embed the bench's own metrics dump (valid JSON by construction).
+    if [ -s "$METRICS_TMP" ]; then
+        entry="$entry, \"metrics\": $(cat "$METRICS_TMP")"
+    fi
+    entry="$entry}"
     [ -n "$entries" ] && entries="$entries,"
     entries="$entries
-    {\"bench\": \"$name\", \"seconds\": $secs, \"exit\": $status}"
+    $entry"
 done
 
 {
     echo "{"
+    echo "  \"git_sha\": \"$GIT_SHA\","
     echo "  \"sim_threads\": \"${TPL_SIM_THREADS:-default}\","
     echo "  \"bench_elements\": \"${TPL_BENCH_ELEMENTS:-default}\","
     echo "  \"results\": [$entries"

@@ -34,3 +34,30 @@ if [ "${TPL_TIER1_ASAN:-0}" = "1" ]; then
     cmake --build "$ASAN_DIR" -j
     ctest --test-dir "$ASAN_DIR" --output-on-failure -j
 fi
+
+# With TPL_TIER1_TRACE=1, exercise the observability layer end to end:
+# pimtrace on one LUT-based and one CORDIC-based kernel, JSON round-
+# trip validation of the exported trace + metrics, and the determinism
+# test re-run with the obs layer armed process-wide (TPL_OBS_METRICS /
+# TPL_OBS_TRACE) to prove instrumentation never perturbs modeled stats.
+if [ "${TPL_TIER1_TRACE:-0}" = "1" ]; then
+    TRACE_TMP=$(mktemp -d)
+    trap 'rm -rf "$TRACE_TMP"' EXIT
+    for method in llut cordic; do
+        "$BUILD_DIR/tools/pimtrace" --function sin --method "$method" \
+            --elements 8192 \
+            --trace "$TRACE_TMP/$method.trace.json" \
+            --metrics "$TRACE_TMP/$method.metrics.json" > /dev/null
+        python3 -m json.tool "$TRACE_TMP/$method.trace.json" > /dev/null
+        python3 -m json.tool "$TRACE_TMP/$method.metrics.json" > /dev/null
+        echo "pimtrace sin/$method: trace + metrics JSON round-trip OK"
+    done
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'Determinism'
+    TPL_OBS_METRICS="$TRACE_TMP/determinism.metrics.json" \
+    TPL_OBS_TRACE="$TRACE_TMP/determinism.trace.json" \
+        ctest --test-dir "$BUILD_DIR" --output-on-failure \
+        -R 'Determinism'
+    python3 -m json.tool "$TRACE_TMP/determinism.metrics.json" > /dev/null
+    python3 -m json.tool "$TRACE_TMP/determinism.trace.json" > /dev/null
+    echo "obs-enabled determinism re-run + env-bootstrap dumps OK"
+fi

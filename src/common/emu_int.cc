@@ -49,7 +49,7 @@ emuMul32(uint32_t a, uint32_t b, InstrSink* sink)
     // as a strength-reducing compiler would for known-shape operands.
     uint32_t rows = nonZeroBytes(a) < nonZeroBytes(b) ? nonZeroBytes(a)
                                                       : nonZeroBytes(b);
-    chargeInstr(sink, mulBaseCost + rows * mulRowCost);
+    chargeClassed(sink, InstrClass::IntMulDiv, mulBaseCost + rows * mulRowCost);
     return static_cast<uint64_t>(a) * static_cast<uint64_t>(b);
 }
 
@@ -57,7 +57,7 @@ int64_t
 emuMulS32(int32_t a, int32_t b, InstrSink* sink)
 {
     // Sign handling: two conditional negations around the unsigned core.
-    chargeInstr(sink, 4);
+    chargeClassed(sink, InstrClass::IntMulDiv, 4);
     uint32_t ua = a < 0 ? static_cast<uint32_t>(-(int64_t)a)
                         : static_cast<uint32_t>(a);
     uint32_t ub = b < 0 ? static_cast<uint32_t>(-(int64_t)b)
@@ -72,7 +72,7 @@ emuMulS32(int32_t a, int32_t b, InstrSink* sink)
 uint32_t
 emuDiv32(uint32_t a, uint32_t b, InstrSink* sink, uint32_t* remainder)
 {
-    chargeInstr(sink, divBaseCost + divSteps * divStepCost / 2);
+    chargeClassed(sink, InstrClass::IntMulDiv, divBaseCost + divSteps * divStepCost / 2);
     if (remainder)
         *remainder = a % b;
     return a / b;
@@ -81,7 +81,7 @@ emuDiv32(uint32_t a, uint32_t b, InstrSink* sink, uint32_t* remainder)
 int32_t
 emuDivS32(int32_t a, int32_t b, InstrSink* sink)
 {
-    chargeInstr(sink, 4);
+    chargeClassed(sink, InstrClass::IntMulDiv, 4);
     uint32_t ua = a < 0 ? static_cast<uint32_t>(-(int64_t)a)
                         : static_cast<uint32_t>(a);
     uint32_t ub = b < 0 ? static_cast<uint32_t>(-(int64_t)b)

@@ -41,6 +41,64 @@ enum class OpClass
 /** Number of OpClass enumerators (array sizing). */
 inline constexpr int numOpClasses = 10;
 
+/** Stable short name of an operation class, e.g. "float_mul"
+ * (metric/JSON keys; transpim's opClassName has the display names). */
+inline const char*
+opClassSlug(OpClass op)
+{
+    switch (op) {
+      case OpClass::FloatAdd: return "float_add";
+      case OpClass::FloatMul: return "float_mul";
+      case OpClass::FloatDiv: return "float_div";
+      case OpClass::FloatSqrt: return "float_sqrt";
+      case OpClass::FloatCmp: return "float_cmp";
+      case OpClass::FloatConv: return "float_conv";
+      case OpClass::Ldexp: return "ldexp";
+      case OpClass::IntMul: return "int_mul";
+      case OpClass::IntDiv: return "int_div";
+      case OpClass::TableRead: return "table_read";
+    }
+    return "unknown";
+}
+
+/**
+ * Classes of *native instructions*, for cycle attribution. Where
+ * OpClass tallies high-level operations (one FloatMul event per
+ * multiply), InstrClass partitions the retired-instruction count
+ * itself: every instruction charged through an InstrSink belongs to
+ * exactly one class, so the per-class totals sum to the instruction
+ * total exactly. The simulator's LaunchStats exposes this partition
+ * per launch (plus a stall residual), which is what the obs layer and
+ * `pimtrace` break cycles down by.
+ */
+enum class InstrClass
+{
+    IntAlu,     ///< native integer ALU / control flow / addressing
+    IntMulDiv,  ///< emulated 32-bit multiply/divide expansion steps
+    SoftFloat,  ///< software floating-point emulation (tpl::sf)
+    WramAccess, ///< WRAM loads/stores
+    DmaIssue,   ///< instructions issuing MRAM<->WRAM DMA transfers
+    Barrier,    ///< barrier_wait issue slots
+};
+
+/** Number of InstrClass enumerators (array sizing). */
+inline constexpr int numInstrClasses = 6;
+
+/** Stable short name of an instruction class, e.g. "softfloat". */
+inline const char*
+instrClassName(InstrClass c)
+{
+    switch (c) {
+      case InstrClass::IntAlu: return "int_alu";
+      case InstrClass::IntMulDiv: return "int_muldiv";
+      case InstrClass::SoftFloat: return "softfloat";
+      case InstrClass::WramAccess: return "wram_access";
+      case InstrClass::DmaIssue: return "dma_issue";
+      case InstrClass::Barrier: return "barrier";
+    }
+    return "unknown";
+}
+
 /** Receiver for native-instruction counts of emulated operations. */
 class InstrSink
 {
@@ -49,6 +107,19 @@ class InstrSink
 
     /** Account for @p instructions retired native instructions. */
     virtual void charge(uint32_t instructions) = 0;
+
+    /**
+     * Account for @p instructions of class @p cls. The default folds
+     * into the untyped charge(), so sinks that do not attribute (the
+     * counting/tally sinks) see exactly the totals they always saw;
+     * the simulator's TaskletContext overrides this to keep the
+     * per-class partition.
+     */
+    virtual void chargeClass(InstrClass cls, uint32_t instructions)
+    {
+        (void)cls;
+        charge(instructions);
+    }
 
     /** Optional: one high-level operation of class @p op occurred. */
     virtual void note(OpClass op) { (void)op; }
@@ -60,6 +131,14 @@ chargeInstr(InstrSink* sink, uint32_t instructions)
 {
     if (sink)
         sink->charge(instructions);
+}
+
+/** Classed charge helper tolerating a null sink. */
+inline void
+chargeClassed(InstrSink* sink, InstrClass cls, uint32_t instructions)
+{
+    if (sink)
+        sink->chargeClass(cls, instructions);
 }
 
 /** Note helper tolerating a null sink. */

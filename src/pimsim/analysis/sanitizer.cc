@@ -6,6 +6,9 @@
 #include "pimsim/analysis/sanitizer.h"
 
 #include <algorithm>
+#include <string>
+
+#include "pimsim/obs/metrics.h"
 
 namespace tpl {
 namespace sim {
@@ -55,6 +58,13 @@ Sanitizer::report(CheckKind kind, uint32_t line, uint64_t dedupKey,
     if (!reported_.insert({static_cast<int>(kind), line, dedupKey})
              .second)
         return;
+    // Runtime findings surface in the same metrics dump as the cycle
+    // attribution, keyed by the diagnostic's stable kind name.
+    obs::Registry& reg = obs::Registry::global();
+    if (reg.enabled())
+        reg.counter(std::string("pimcheck/sanitizer/") +
+                    toString(kind))
+            .add(1);
     diags_.push_back(
         {kind, Severity::Error, line, std::move(message)});
 }

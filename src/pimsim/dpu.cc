@@ -9,8 +9,11 @@
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "pimsim/analysis/sanitizer.h"
+#include "pimsim/obs/metrics.h"
+#include "pimsim/obs/trace.h"
 
 namespace tpl {
 namespace sim {
@@ -130,27 +133,93 @@ DpuCore::launch(uint32_t numTasklets, const Kernel& kernel)
     for (uint32_t t = 0; t < numTasklets; ++t)
         contexts.emplace_back(*this, t, numTasklets);
 
-    for (auto& ctx : contexts)
-        kernel(ctx);
+    // Purely observational: wall-clock slices per tasklet when the
+    // tracer is on. Modeled statistics never depend on this branch.
+    obs::Tracer& tracer = obs::Tracer::global();
+    const bool tracing = tracer.enabled();
+    std::vector<std::pair<double, double>> slices;
+    if (tracing)
+        slices.reserve(numTasklets);
+    for (auto& ctx : contexts) {
+        if (tracing) {
+            double t0 = tracer.nowUs();
+            kernel(ctx);
+            slices.emplace_back(t0, tracer.nowUs() - t0);
+        } else {
+            kernel(ctx);
+        }
+    }
 
     LaunchStats stats;
     stats.tasklets = numTasklets;
     stats.dmaEngineCycles = dmaEngineCycles_;
+    stats.perTasklet.reserve(numTasklets);
     for (const auto& ctx : contexts) {
         stats.totalInstructions += ctx.instructions();
         uint64_t work = ctx.instructions() * model_.pipelineInterval +
                         ctx.dmaStallCycles();
         stats.maxTaskletWork = std::max(stats.maxTaskletWork, work);
+        TaskletStats ts;
+        ts.instructions = ctx.instructions();
+        ts.dmaStallCycles = ctx.dmaStallCycles();
+        ts.classInstructions = ctx.classInstructions();
+        stats.perTasklet.push_back(ts);
+        for (int c = 0; c < numInstrClasses; ++c)
+            stats.classInstructions[c] += ctx.classInstructions()[c];
+        for (int o = 0; o < numOpClasses; ++o)
+            stats.opCounts[o] += ctx.opCounts()[o];
     }
     stats.cycles = std::max({stats.totalInstructions,
                              stats.maxTaskletWork,
                              stats.dmaEngineCycles});
+    // Exact cycle partition: one issue slot per retired instruction,
+    // the binding constraint's slack is the stall residual.
+    stats.stallCycles = stats.cycles - stats.totalInstructions;
     stats.dmaBytes = dmaBytes_;
     stats.energyJoules =
         (static_cast<double>(stats.totalInstructions) *
              model_.instrEnergyPj +
          static_cast<double>(dmaBytes_) * model_.dmaEnergyPerBytePj) *
         1e-12;
+
+    if (tracing) {
+        for (uint32_t t = 0; t < numTasklets; ++t)
+            tracer.complete(
+                "tasklet " + std::to_string(t), "tasklet",
+                slices[t].first, slices[t].second,
+                obs::argsObject(
+                    {obs::argKv("instructions",
+                                stats.perTasklet[t].instructions),
+                     obs::argKv("dma_stall_cycles",
+                                stats.perTasklet[t].dmaStallCycles)}));
+    }
+
+    obs::Registry& reg = obs::Registry::global();
+    if (reg.enabled()) {
+        reg.counter("pimsim/dpu/launches").add(1);
+        reg.counter("pimsim/dpu/cycles").add(stats.cycles);
+        reg.counter("pimsim/dpu/instructions")
+            .add(stats.totalInstructions);
+        reg.counter("pimsim/dpu/stall_cycles").add(stats.stallCycles);
+        reg.counter("pimsim/dpu/dma/bytes").add(stats.dmaBytes);
+        reg.counter("pimsim/dpu/dma/engine_cycles")
+            .add(stats.dmaEngineCycles);
+        reg.real("pimsim/dpu/energy_joules").add(stats.energyJoules);
+        for (int c = 0; c < numInstrClasses; ++c)
+            if (stats.classInstructions[c])
+                reg.counter(
+                       std::string("pimsim/dpu/instr/") +
+                       instrClassName(static_cast<InstrClass>(c)))
+                    .add(stats.classInstructions[c]);
+        for (int o = 0; o < numOpClasses; ++o)
+            if (stats.opCounts[o])
+                reg.counter(std::string("pimsim/dpu/ops/") +
+                            opClassSlug(static_cast<OpClass>(o)))
+                    .add(stats.opCounts[o]);
+        reg.histogram("pimsim/dpu/cycles_per_launch")
+            .observe(stats.cycles);
+    }
+
     last_ = stats;
     return stats;
 }
@@ -177,7 +246,7 @@ TaskletContext::mramReadAt(uint32_t mramAddr, void* dst, uint32_t size,
     std::memcpy(dst, core_.mram_.data() + mramAddr, size);
     dmaStall_ += core_.accountDma(size);
     // Issuing the DMA costs a couple of instructions as well.
-    instructions_ += 2;
+    chargeClass(InstrClass::DmaIssue, 2);
 }
 
 void
@@ -200,13 +269,13 @@ TaskletContext::mramWriteAt(uint32_t mramAddr, const void* src,
         throw std::out_of_range("mramWrite beyond MRAM bank");
     std::memcpy(core_.mram_.data() + mramAddr, src, size);
     dmaStall_ += core_.accountDma(size);
-    instructions_ += 2;
+    chargeClass(InstrClass::DmaIssue, 2);
 }
 
 void
 TaskletContext::barrier()
 {
-    charge(1);
+    chargeClass(InstrClass::Barrier, 1);
     if (core_.sanitizer_)
         core_.sanitizer_->onBarrier(id_);
 }
@@ -214,7 +283,8 @@ TaskletContext::barrier()
 void
 TaskletContext::chargeWramAccess(uint32_t accesses)
 {
-    instructions_ += accesses * core_.model_.wramAccessCost;
+    chargeClass(InstrClass::WramAccess,
+                accesses * core_.model_.wramAccessCost);
 }
 
 } // namespace sim

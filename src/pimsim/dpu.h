@@ -23,6 +23,7 @@
 #ifndef TPL_PIMSIM_DPU_H
 #define TPL_PIMSIM_DPU_H
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -62,7 +63,25 @@ class TaskletContext : public InstrSink
     /** Charge native instructions (loop control, addressing, ALU). */
     void charge(uint32_t instructions) override
     {
+        chargeClass(InstrClass::IntAlu, instructions);
+    }
+
+    /**
+     * Classed charge: every instruction lands in exactly one
+     * InstrClass bucket, so the per-class totals partition the
+     * instruction total (the basis of the obs layer's cycle
+     * attribution). Classless charges count as IntAlu.
+     */
+    void chargeClass(InstrClass cls, uint32_t instructions) override
+    {
         instructions_ += instructions;
+        classInstr_[static_cast<int>(cls)] += instructions;
+    }
+
+    /** Tally high-level operations (FloatMul, TableRead, ...). */
+    void note(OpClass op) override
+    {
+        ++opCounts_[static_cast<int>(op)];
     }
 
     /**
@@ -97,6 +116,18 @@ class TaskletContext : public InstrSink
     /** Total native instructions this tasklet has retired. */
     uint64_t instructions() const { return instructions_; }
 
+    /** Instructions retired per InstrClass (sums to instructions()). */
+    const std::array<uint64_t, numInstrClasses>& classInstructions() const
+    {
+        return classInstr_;
+    }
+
+    /** High-level operations noted per OpClass. */
+    const std::array<uint64_t, numOpClasses>& opCounts() const
+    {
+        return opCounts_;
+    }
+
     /** Total DMA latency cycles this tasklet has stalled for. */
     uint64_t dmaStallCycles() const { return dmaStall_; }
 
@@ -111,12 +142,34 @@ class TaskletContext : public InstrSink
     uint32_t numTasklets_;
     uint64_t instructions_ = 0;
     uint64_t dmaStall_ = 0;
+    std::array<uint64_t, numInstrClasses> classInstr_{};
+    std::array<uint64_t, numOpClasses> opCounts_{};
 };
 
 /** Kernel body executed once per tasklet (SPMD). */
 using Kernel = std::function<void(TaskletContext&)>;
 
-/** Cycle breakdown of one kernel launch. */
+/** Per-tasklet slice of a launch (obs layer / pimtrace profile). */
+struct TaskletStats
+{
+    uint64_t instructions = 0;   ///< native instructions retired
+    uint64_t dmaStallCycles = 0; ///< DMA latency stalled for
+    /** Instructions per InstrClass (sums to instructions). */
+    std::array<uint64_t, numInstrClasses> classInstructions{};
+};
+
+/**
+ * Cycle breakdown of one kernel launch.
+ *
+ * Cycle attribution: at peak throughput every retired instruction
+ * occupies exactly one issue slot, so the per-class instruction
+ * counts *are* per-class issue cycles; whatever the launch's binding
+ * constraint (tasklet latency, DMA engine) adds on top is the stall
+ * residual. The partition is exact:
+ *
+ *   sum(classInstructions) == totalInstructions
+ *   sum(classInstructions) + stallCycles == cycles
+ */
 struct LaunchStats
 {
     uint64_t cycles = 0;            ///< modeled DPU cycles
@@ -126,6 +179,19 @@ struct LaunchStats
     uint64_t dmaBytes = 0;          ///< bytes moved by the DMA engine
     uint32_t tasklets = 0;          ///< tasklets launched
     double energyJoules = 0.0;      ///< instruction + DMA energy
+
+    /** Issue cycles per InstrClass (sums to totalInstructions). */
+    std::array<uint64_t, numInstrClasses> classInstructions{};
+
+    /** Non-issue cycles: cycles - totalInstructions (pipeline
+     * under-occupancy or DMA-engine bound). */
+    uint64_t stallCycles = 0;
+
+    /** High-level operation tallies (OpClass) across tasklets. */
+    std::array<uint64_t, numOpClasses> opCounts{};
+
+    /** Per-tasklet attribution, indexed by tasklet id. */
+    std::vector<TaskletStats> perTasklet;
 };
 
 /**

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Metrics registry implementation + TPL_OBS_METRICS env bootstrap.
+ */
+
+#include "pimsim/obs/metrics.h"
+
+#include <bit>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace tpl {
+namespace obs {
+
+namespace {
+
+/** Keep metric names JSON-safe: drop quotes/backslashes/controls. */
+std::string
+sanitizeName(const std::string& name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20)
+            out.push_back('_');
+        else
+            out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+Histogram::observe(uint64_t sample)
+{
+    int b = sample == 0 ? 0 : std::bit_width(sample);
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (sample < cur &&
+           !min_.compare_exchange_weak(cur, sample,
+                                       std::memory_order_relaxed))
+    {}
+    cur = max_.load(std::memory_order_relaxed);
+    while (sample > cur &&
+           !max_.compare_exchange_weak(cur, sample,
+                                       std::memory_order_relaxed))
+    {}
+}
+
+void
+Histogram::reset()
+{
+    for (auto& b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(UINT64_MAX, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+Registry&
+Registry::global()
+{
+    static Registry* instance = new Registry(); // never destroyed: the
+    // atexit JSON dump and worker threads may outlive static dtors.
+    return *instance;
+}
+
+Counter&
+Registry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = counters_[sanitizeName(name)];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+RealAccum&
+Registry::real(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = reals_[sanitizeName(name)];
+    if (!slot)
+        slot = std::make_unique<RealAccum>();
+    return *slot;
+}
+
+Histogram&
+Registry::histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = histograms_[sanitizeName(name)];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, c] : counters_)
+        c->reset();
+    for (auto& [name, r] : reals_)
+        r->reset();
+    for (auto& [name, h] : histograms_)
+        h->reset();
+}
+
+std::string
+Registry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    out << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+        out << (first ? "" : ",") << "\n    \"" << name
+            << "\": " << c->value();
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n  \"reals\": {";
+    first = true;
+    for (const auto& [name, r] : reals_) {
+        std::ostringstream v;
+        v.precision(17);
+        v << r->value();
+        std::string vs = v.str();
+        // JSON has no inf/nan literals; clamp to null.
+        if (vs.find("inf") != std::string::npos ||
+            vs.find("nan") != std::string::npos)
+            vs = "null";
+        out << (first ? "" : ",") << "\n    \"" << name << "\": " << vs;
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+        out << (first ? "" : ",") << "\n    \"" << name << "\": {"
+            << "\"count\": " << h->count() << ", \"sum\": " << h->sum();
+        if (h->count() > 0)
+            out << ", \"min\": " << h->minValue()
+                << ", \"max\": " << h->maxValue();
+        out << ", \"log2_buckets\": [";
+        // Trailing zero buckets are elided to keep dumps compact.
+        int top = Histogram::kBuckets;
+        while (top > 0 && h->bucket(top - 1) == 0)
+            --top;
+        for (int i = 0; i < top; ++i)
+            out << (i ? ", " : "") << h->bucket(i);
+        out << "]}";
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "}\n}\n";
+    return out.str();
+}
+
+bool
+Registry::writeJson(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toJson();
+    return static_cast<bool>(out);
+}
+
+namespace {
+
+/**
+ * TPL_OBS_METRICS=<path>: enable the global registry for the whole
+ * process and dump its JSON to <path> at exit. Lives here (not in a
+ * bench/tool main) so every binary linking the simulator gets the
+ * knob for free.
+ */
+struct MetricsEnvBootstrap
+{
+    MetricsEnvBootstrap()
+    {
+        const char* path = std::getenv("TPL_OBS_METRICS");
+        if (!path || !*path)
+            return;
+        Registry::global().setEnabled(true);
+        static std::string outPath = path;
+        std::atexit(
+            [] { Registry::global().writeJson(outPath); });
+    }
+};
+
+const MetricsEnvBootstrap metricsEnvBootstrap{};
+
+} // namespace
+
+} // namespace obs
+} // namespace tpl

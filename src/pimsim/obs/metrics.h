@@ -1,0 +1,162 @@
+/**
+ * @file
+ * obs layer piece 1: the metrics registry.
+ *
+ * A process-wide registry of named counters, real-valued accumulators
+ * and log2-bucket histograms that the simulator's instrumentation
+ * points (DpuCore::launch, the PimSystem transfer paths, the runtime
+ * sanitizer) report into. Always compiled, **off by default**: every
+ * report site guards on `Registry::global().enabled()`, a single
+ * relaxed atomic load, and no instrumentation ever touches a modeled
+ * statistic — cycles/instructions/DMA/energy are bit-identical with
+ * the registry on or off (asserted by the extended determinism test).
+ *
+ * Naming is hierarchical by convention: "/"-separated paths such as
+ * `pimsim/dpu/instr/softfloat` or `pimcheck/sanitizer/tasklet-race`.
+ * The JSON dump emits one flat, name-sorted object per metric family,
+ * so consumers (bench/run_all.sh, pimtrace) never need to know the
+ * hierarchy in advance.
+ *
+ * Thread safety: metric handles are created under a mutex on first
+ * use and never move afterwards (the registry stores them behind
+ * stable pointers); updates are lock-free atomics, safe from the
+ * thread pool's workers.
+ *
+ * Environment bootstrap: setting `TPL_OBS_METRICS=<path>` enables the
+ * global registry at process start and dumps its JSON to <path> at
+ * exit — how bench binaries grow per-phase breakdowns without any
+ * per-bench code.
+ */
+
+#ifndef TPL_PIMSIM_OBS_METRICS_H
+#define TPL_PIMSIM_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace tpl {
+namespace obs {
+
+/** Monotonic integer counter (lock-free add). */
+class Counter
+{
+  public:
+    void add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+    uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Real-valued accumulator (CAS add; modeled-seconds totals). */
+class RealAccum
+{
+  public:
+    void add(double delta)
+    {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(cur, cur + delta,
+                                             std::memory_order_relaxed))
+        {}
+    }
+
+    double value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Log2-bucket histogram over uint64 samples: bucket i counts samples
+ * with bit_width(sample) == i (bucket 0: sample == 0). Tracks count,
+ * sum, min and max alongside, enough for latency/size distributions
+ * without per-sample storage.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 65;
+
+    void observe(uint64_t sample);
+
+    uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+    uint64_t minValue() const { return min_.load(std::memory_order_relaxed); }
+    uint64_t maxValue() const { return max_.load(std::memory_order_relaxed); }
+    uint64_t bucket(int i) const { return buckets_[i].load(std::memory_order_relaxed); }
+
+    void reset();
+
+  private:
+    std::atomic<uint64_t> buckets_[kBuckets]{};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> min_{UINT64_MAX};
+    std::atomic<uint64_t> max_{0};
+};
+
+/**
+ * The registry: named metric families, create-on-first-use. One
+ * global instance serves the whole process; independent instances
+ * exist only for tests.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    /** The process-wide registry every instrumentation point uses. */
+    static Registry& global();
+
+    /** Cheap gate every report site checks first. */
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /// @name Metric handles (stable addresses, create-on-first-use).
+    /// @{
+    Counter& counter(const std::string& name);
+    RealAccum& real(const std::string& name);
+    Histogram& histogram(const std::string& name);
+    /// @}
+
+    /** Zero every registered metric (registrations stay). */
+    void reset();
+
+    /**
+     * Dump as JSON: {"counters": {name: value, ...}, "reals": {...},
+     * "histograms": {name: {count, sum, min, max, buckets}, ...}},
+     * names sorted. Valid JSON by construction (names are sanitized
+     * of quotes/backslashes on registration).
+     */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; false on I/O failure. */
+    bool writeJson(const std::string& path) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::atomic<bool> enabled_{false};
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<RealAccum>> reals_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace obs
+} // namespace tpl
+
+#endif // TPL_PIMSIM_OBS_METRICS_H

@@ -13,7 +13,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
+#include "pimsim/obs/metrics.h"
+#include "pimsim/obs/trace.h"
 #include "pimsim/thread_pool.h"
 
 namespace tpl {
@@ -79,21 +82,57 @@ PimSystem::serialTransferSeconds(uint64_t totalBytes) const
 }
 
 double
-PimSystem::broadcastToMram(uint32_t mramAddr, const void* src,
-                           uint32_t size)
+PimSystem::accountTransfer(TransferStats::Cell (&cells)[2],
+                           const char* direction, TransferMode mode,
+                           uint64_t streamBytes)
 {
+    double seconds = mode == TransferMode::Parallel
+                         ? parallelTransferSeconds(streamBytes)
+                         : serialTransferSeconds(streamBytes);
+    TransferStats::Cell& cell = cells[static_cast<int>(mode)];
+    ++cell.transfers;
+    cell.bytes += streamBytes;
+    cell.seconds += seconds;
+
+    obs::Registry& reg = obs::Registry::global();
+    if (reg.enabled()) {
+        std::string base = std::string("pimsim/host/") + direction +
+                           "/" + toString(mode);
+        reg.counter(base + "/transfers").add(1);
+        reg.counter(base + "/bytes").add(streamBytes);
+        reg.real(base + "/modeled_seconds").add(seconds);
+    }
+    return seconds;
+}
+
+double
+PimSystem::broadcastToMram(uint32_t mramAddr, const void* src,
+                           uint32_t size, TransferMode mode)
+{
+    obs::TraceSpan span(
+        std::string("broadcast ") + toString(mode), "xfer",
+        obs::argKv("bytes", static_cast<uint64_t>(size)));
     forEachDpu(
         [&](uint32_t i) { dpus_[i]->hostWriteMram(mramAddr, src, size); },
         size);
-    // Broadcast writes the same buffer to each rank in parallel; the
-    // stream itself costs one parallel pass of the table bytes.
-    return parallelTransferSeconds(size);
+    // Parallel broadcast writes the same buffer to each rank
+    // overlapped, costing one parallel pass of the table bytes;
+    // serialized it streams the buffer once per DPU.
+    uint64_t streamBytes =
+        mode == TransferMode::Parallel
+            ? size
+            : static_cast<uint64_t>(size) * numDpus();
+    return accountTransfer(transferStats_.broadcast, "broadcast", mode,
+                           streamBytes);
 }
 
 double
 PimSystem::scatterToMram(uint32_t mramAddr, const void* data,
-                         uint32_t bytesPerDpu)
+                         uint32_t bytesPerDpu, TransferMode mode)
 {
+    uint64_t total = static_cast<uint64_t>(bytesPerDpu) * numDpus();
+    obs::TraceSpan span(std::string("scatter ") + toString(mode),
+                        "xfer", obs::argKv("bytes", total));
     const uint8_t* bytes = static_cast<const uint8_t*>(data);
     forEachDpu(
         [&](uint32_t i) {
@@ -103,14 +142,17 @@ PimSystem::scatterToMram(uint32_t mramAddr, const void* data,
                                     bytesPerDpu);
         },
         bytesPerDpu);
-    return parallelTransferSeconds(static_cast<uint64_t>(bytesPerDpu) *
-                                   numDpus());
+    return accountTransfer(transferStats_.scatter, "scatter", mode,
+                           total);
 }
 
 double
 PimSystem::gatherFromMram(uint32_t mramAddr, void* data,
-                          uint32_t bytesPerDpu)
+                          uint32_t bytesPerDpu, TransferMode mode)
 {
+    uint64_t total = static_cast<uint64_t>(bytesPerDpu) * numDpus();
+    obs::TraceSpan span(std::string("gather ") + toString(mode),
+                        "xfer", obs::argKv("bytes", total));
     uint8_t* bytes = static_cast<uint8_t*>(data);
     forEachDpu(
         [&](uint32_t i) {
@@ -120,20 +162,39 @@ PimSystem::gatherFromMram(uint32_t mramAddr, void* data,
                                    bytesPerDpu);
         },
         bytesPerDpu);
-    return parallelTransferSeconds(static_cast<uint64_t>(bytesPerDpu) *
-                                   numDpus());
+    return accountTransfer(transferStats_.gather, "gather", mode,
+                           total);
 }
 
 double
 PimSystem::launchAll(uint32_t numTasklets, const Kernel& kernel)
 {
     uint32_t n = numDpus();
+    obs::TraceSpan span(
+        "launchAll", "sim",
+        obs::argsObject(
+            {obs::argKv("dpus", static_cast<uint64_t>(n)),
+             obs::argKv("tasklets",
+                        static_cast<uint64_t>(numTasklets))}));
+    obs::Tracer& tracer = obs::Tracer::global();
+    const bool tracing = tracer.enabled();
     // Per-DPU cycles land in a pre-sized slot each, then reduce
     // sequentially: no cross-thread accumulation, so the result is
     // identical to the serial loop bit for bit.
     std::vector<uint64_t> cycles(n, 0);
     auto runOne = [&](uint32_t i) {
-        cycles[i] = dpus_[i]->launch(numTasklets, kernel).cycles;
+        if (tracing) {
+            // The per-DPU slice lands on whichever pool thread ran
+            // it, exercising the tracer's per-thread buffers.
+            double t0 = tracer.nowUs();
+            cycles[i] = dpus_[i]->launch(numTasklets, kernel).cycles;
+            tracer.complete(
+                "dpu " + std::to_string(i), "dpu", t0,
+                tracer.nowUs() - t0,
+                obs::argKv("cycles", cycles[i]));
+        } else {
+            cycles[i] = dpus_[i]->launch(numTasklets, kernel).cycles;
+        }
     };
     if (simThreads_ == 1 || n <= 1) {
         for (uint32_t i = 0; i < n; ++i)
@@ -147,9 +208,21 @@ PimSystem::launchAll(uint32_t numTasklets, const Kernel& kernel)
     for (uint64_t c : cycles)
         maxCycles = std::max(maxCycles, c);
     lastMaxCycles_ = maxCycles;
+
+    obs::Registry& reg = obs::Registry::global();
+    if (reg.enabled()) {
+        reg.counter("pimsim/system/launches").add(1);
+        reg.counter("pimsim/system/max_cycles").add(maxCycles);
+        reg.histogram("pimsim/system/max_cycles_per_launch")
+            .observe(maxCycles);
+    }
+
     if (model_.frequencyHz <= 0.0)
         return 0.0;
-    return static_cast<double>(maxCycles) / model_.frequencyHz;
+    double seconds = static_cast<double>(maxCycles) / model_.frequencyHz;
+    if (reg.enabled())
+        reg.real("pimsim/system/modeled_seconds").add(seconds);
+    return seconds;
 }
 
 double

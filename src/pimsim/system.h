@@ -30,6 +30,70 @@ namespace sim {
 
 class ThreadPool;
 
+/**
+ * How a host<->PIM transfer streams on the modeled machine: rank-
+ * parallel (same-size buffer per DPU, the fast path the UPMEM runtime
+ * reaches with aligned same-size transfers) or serialized on the host
+ * interface (distinct sizes / unaligned).
+ */
+enum class TransferMode
+{
+    Parallel,
+    Serial,
+};
+
+/** "parallel" or "serial". */
+inline const char*
+toString(TransferMode mode)
+{
+    return mode == TransferMode::Parallel ? "parallel" : "serial";
+}
+
+/**
+ * Per-direction x per-mode transfer accounting. Earlier revisions
+ * folded rank-parallel and serial timing into one returned number;
+ * this split keeps a distinct counter per (broadcast/scatter/gather,
+ * parallel/serial) cell so the tracer and metrics registry can label
+ * them — the cells sum exactly to the old combined totals (locked by
+ * a unit test).
+ */
+struct TransferStats
+{
+    struct Cell
+    {
+        uint64_t transfers = 0; ///< calls accounted in this cell
+        uint64_t bytes = 0;     ///< modeled stream bytes
+        double seconds = 0.0;   ///< modeled transfer seconds
+    };
+
+    /** Indexed by static_cast<int>(TransferMode). */
+    Cell broadcast[2];
+    Cell scatter[2];
+    Cell gather[2];
+
+    /** Sum of every cell's modeled seconds (the old combined view). */
+    double
+    totalSeconds() const
+    {
+        double s = 0.0;
+        for (int m = 0; m < 2; ++m)
+            s += broadcast[m].seconds + scatter[m].seconds +
+                 gather[m].seconds;
+        return s;
+    }
+
+    /** Sum of every cell's modeled stream bytes. */
+    uint64_t
+    totalBytes() const
+    {
+        uint64_t b = 0;
+        for (int m = 0; m < 2; ++m)
+            b += broadcast[m].bytes + scatter[m].bytes +
+                 gather[m].bytes;
+        return b;
+    }
+};
+
 /** Accumulated timing of one offloaded phase. */
 struct PhaseTiming
 {
@@ -90,23 +154,37 @@ class PimSystem
 
     /**
      * Broadcast the same buffer into every DPU at @p mramAddr.
-     * @return modeled transfer seconds (parallel transfer: the same
-     * bytes stream once per rank, overlapped across ranks).
+     * @return modeled transfer seconds. Parallel mode (default, the
+     * pre-split behavior): the same bytes stream once per rank,
+     * overlapped across ranks. Serial mode: one pass of the buffer
+     * per DPU on the serialized host interface.
      */
     double broadcastToMram(uint32_t mramAddr, const void* src,
-                           uint32_t size);
+                           uint32_t size,
+                           TransferMode mode = TransferMode::Parallel);
 
     /**
      * Scatter equal-size slices of @p data across the DPUs.
      * Slice i (size bytesPerDpu) lands at @p mramAddr of DPU i.
-     * @return modeled transfer seconds (parallel).
+     * @return modeled transfer seconds in @p mode.
      */
     double scatterToMram(uint32_t mramAddr, const void* data,
-                         uint32_t bytesPerDpu);
+                         uint32_t bytesPerDpu,
+                         TransferMode mode = TransferMode::Parallel);
 
-    /** Gather equal-size slices back from the DPUs (parallel). */
+    /** Gather equal-size slices back from the DPUs. */
     double gatherFromMram(uint32_t mramAddr, void* data,
-                          uint32_t bytesPerDpu);
+                          uint32_t bytesPerDpu,
+                          TransferMode mode = TransferMode::Parallel);
+
+    /**
+     * Accumulated per-direction x per-mode transfer accounting of
+     * every broadcast/scatter/gather this system ran.
+     */
+    const TransferStats& transferStats() const
+    {
+        return transferStats_;
+    }
 
     /**
      * Launch the same kernel on every simulated DPU.
@@ -169,11 +247,20 @@ class PimSystem
     void forEachDpu(const std::function<void(uint32_t)>& fn,
                     uint64_t bytesPerDpu) const;
 
+    /**
+     * Account one transfer into @p cell (and, observationally, the
+     * obs layer): modeled seconds for @p streamBytes in @p mode.
+     */
+    double accountTransfer(TransferStats::Cell (&cells)[2],
+                           const char* direction, TransferMode mode,
+                           uint64_t streamBytes);
+
     CostModel model_;
     std::vector<std::unique_ptr<DpuCore>> dpus_;
     uint64_t lastMaxCycles_ = 0;
     uint32_t simThreads_ = 0;
     ThreadPool* pool_ = nullptr; ///< nullptr = the global pool
+    TransferStats transferStats_;
 };
 
 } // namespace sim

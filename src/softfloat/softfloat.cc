@@ -234,7 +234,7 @@ subMags(uint32_t sign, Unpacked a, Unpacked b)
 float
 add(float fa, float fb, InstrSink* sink)
 {
-    chargeInstr(sink, callOverhead + 2 * unpackCost + specialsCost +
+    chargeClassed(sink, InstrClass::SoftFloat, callOverhead + 2 * unpackCost + specialsCost +
                           addCoreCost + roundPackCost);
     noteOp(sink, OpClass::FloatAdd);
     Unpacked a = unpack(floatBits(fa));
@@ -265,14 +265,14 @@ float
 sub(float fa, float fb, InstrSink* sink)
 {
     // a - b == a + (-b); the DPU sequence flips the sign bit first.
-    chargeInstr(sink, 1);
+    chargeClassed(sink, InstrClass::SoftFloat, 1);
     return add(fa, bitsToFloat(floatBits(fb) ^ 0x80000000u), sink);
 }
 
 float
 mul(float fa, float fb, InstrSink* sink)
 {
-    chargeInstr(sink, callOverhead + 2 * unpackCost + specialsCost +
+    chargeClassed(sink, InstrClass::SoftFloat, callOverhead + 2 * unpackCost + specialsCost +
                           mulNormCost + mulWideCost + roundPackCost);
     noteOp(sink, OpClass::FloatMul);
     Unpacked a = unpack(floatBits(fa));
@@ -311,7 +311,7 @@ mul(float fa, float fb, InstrSink* sink)
 float
 div(float fa, float fb, InstrSink* sink)
 {
-    chargeInstr(sink, callOverhead + 2 * unpackCost + specialsCost +
+    chargeClassed(sink, InstrClass::SoftFloat, callOverhead + 2 * unpackCost + specialsCost +
                           divBits * divBitCost + roundPackCost);
     noteOp(sink, OpClass::FloatDiv);
     Unpacked a = unpack(floatBits(fa));
@@ -353,7 +353,7 @@ div(float fa, float fb, InstrSink* sink)
 float
 sqrt(float fa, InstrSink* sink)
 {
-    chargeInstr(sink, callOverhead + unpackCost + specialsCost +
+    chargeClassed(sink, InstrClass::SoftFloat, callOverhead + unpackCost + specialsCost +
                           sqrtBits * sqrtBitCost + roundPackCost);
     noteOp(sink, OpClass::FloatSqrt);
     uint32_t bits = floatBits(fa);
@@ -401,14 +401,14 @@ sqrt(float fa, InstrSink* sink)
 float
 neg(float a, InstrSink* sink)
 {
-    chargeInstr(sink, 1);
+    chargeClassed(sink, InstrClass::SoftFloat, 1);
     return bitsToFloat(floatBits(a) ^ 0x80000000u);
 }
 
 float
 abs(float a, InstrSink* sink)
 {
-    chargeInstr(sink, 1);
+    chargeClassed(sink, InstrClass::SoftFloat, 1);
     return bitsToFloat(floatBits(a) & 0x7fffffffu);
 }
 
@@ -434,7 +434,7 @@ isNanBits(uint32_t bits)
 bool
 lt(float a, float b, InstrSink* sink)
 {
-    chargeInstr(sink, compareCost);
+    chargeClassed(sink, InstrClass::SoftFloat, compareCost);
     noteOp(sink, OpClass::FloatCmp);
     uint32_t ua = floatBits(a);
     uint32_t ub = floatBits(b);
@@ -449,7 +449,7 @@ lt(float a, float b, InstrSink* sink)
 bool
 le(float a, float b, InstrSink* sink)
 {
-    chargeInstr(sink, compareCost);
+    chargeClassed(sink, InstrClass::SoftFloat, compareCost);
     noteOp(sink, OpClass::FloatCmp);
     uint32_t ua = floatBits(a);
     uint32_t ub = floatBits(b);
@@ -463,7 +463,7 @@ le(float a, float b, InstrSink* sink)
 bool
 eq(float a, float b, InstrSink* sink)
 {
-    chargeInstr(sink, compareCost);
+    chargeClassed(sink, InstrClass::SoftFloat, compareCost);
     noteOp(sink, OpClass::FloatCmp);
     uint32_t ua = floatBits(a);
     uint32_t ub = floatBits(b);
@@ -477,7 +477,7 @@ eq(float a, float b, InstrSink* sink)
 int32_t
 toI32Trunc(float a, InstrSink* sink)
 {
-    chargeInstr(sink, convertCost);
+    chargeClassed(sink, InstrClass::SoftFloat, convertCost);
     noteOp(sink, OpClass::FloatConv);
     uint32_t bits = floatBits(a);
     if (isNanBits(bits))
@@ -498,7 +498,7 @@ toI32Trunc(float a, InstrSink* sink)
 int32_t
 toI32Floor(float a, InstrSink* sink)
 {
-    chargeInstr(sink, convertCost + 4);
+    chargeClassed(sink, InstrClass::SoftFloat, convertCost + 4);
     noteOp(sink, OpClass::FloatConv);
     uint32_t bits = floatBits(a);
     if (isNanBits(bits))
@@ -514,7 +514,7 @@ toI32Floor(float a, InstrSink* sink)
 int32_t
 toI32Round(float a, InstrSink* sink)
 {
-    chargeInstr(sink, convertCost + 4);
+    chargeClassed(sink, InstrClass::SoftFloat, convertCost + 4);
     noteOp(sink, OpClass::FloatConv);
     uint32_t bits = floatBits(a);
     if (isNanBits(bits))
@@ -541,7 +541,7 @@ toI32Round(float a, InstrSink* sink)
 float
 fromI32(int32_t a, InstrSink* sink)
 {
-    chargeInstr(sink, convertCost);
+    chargeClassed(sink, InstrClass::SoftFloat, convertCost);
     noteOp(sink, OpClass::FloatConv);
     if (a == 0)
         return 0.0f;
@@ -563,7 +563,7 @@ toFixed(float a, InstrSink* sink)
     // Shift the significand so the binary point sits at bit 28, round
     // to nearest (half away from zero), preserving the DPU instruction
     // shape: exponent extract, shift, conditional negate.
-    chargeInstr(sink, convertCost + 2);
+    chargeClassed(sink, InstrClass::SoftFloat, convertCost + 2);
     noteOp(sink, OpClass::FloatConv);
     uint32_t bits = floatBits(a);
     if (isNanBits(bits))
@@ -603,7 +603,7 @@ toFixed(float a, InstrSink* sink)
 float
 fromFixed(Fixed a, InstrSink* sink)
 {
-    chargeInstr(sink, convertCost + 2);
+    chargeClassed(sink, InstrClass::SoftFloat, convertCost + 2);
     noteOp(sink, OpClass::FloatConv);
     int32_t raw = a.raw();
     if (raw == 0)

@@ -31,7 +31,7 @@ constexpr uint16_t kInf16 = 0x7c00;
 Half
 toF16(float a, InstrSink* sink)
 {
-    chargeInstr(sink, convCost16);
+    chargeClassed(sink, InstrClass::SoftFloat, convCost16);
     noteOp(sink, OpClass::FloatConv);
     uint32_t bits = floatBits(a);
     uint32_t sign16 = (bits >> 16) & 0x8000u;
@@ -86,7 +86,7 @@ toF16(float a, InstrSink* sink)
 float
 fromF16(Half a, InstrSink* sink)
 {
-    chargeInstr(sink, convCost16);
+    chargeClassed(sink, InstrClass::SoftFloat, convCost16);
     noteOp(sink, OpClass::FloatConv);
     uint32_t sign = (a.bits & 0x8000u) << 16;
     uint32_t e = (a.bits >> 10) & 0x1fu;
@@ -120,7 +120,7 @@ via32(Half a, Half b, uint32_t cost, OpClass opClass, InstrSink* sink,
     // Correctly rounded: binary32 carries > 2*11 + 2 significand bits,
     // so rounding the binary32 result to binary16 equals rounding the
     // exact result.
-    chargeInstr(sink, cost);
+    chargeClassed(sink, InstrClass::SoftFloat, cost);
     noteOp(sink, opClass);
     float fa = fromF16(a, nullptr);
     float fb = fromF16(b, nullptr);

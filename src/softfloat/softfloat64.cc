@@ -197,7 +197,7 @@ subMags64(uint64_t sign, Unpacked64 a, Unpacked64 b)
 double
 add64(double fa, double fb, InstrSink* sink)
 {
-    chargeInstr(sink, callOverhead64 + 2 * unpackCost64 +
+    chargeClassed(sink, InstrClass::SoftFloat, callOverhead64 + 2 * unpackCost64 +
                           specialsCost64 + addCoreCost64 +
                           roundPackCost64);
     noteOp(sink, OpClass::FloatAdd);
@@ -228,14 +228,14 @@ add64(double fa, double fb, InstrSink* sink)
 double
 sub64(double fa, double fb, InstrSink* sink)
 {
-    chargeInstr(sink, 1);
+    chargeClassed(sink, InstrClass::SoftFloat, 1);
     return add64(fa, fromBits64(bits64(fb) ^ (1ull << 63)), sink);
 }
 
 double
 mul64(double fa, double fb, InstrSink* sink)
 {
-    chargeInstr(sink, callOverhead64 + 2 * unpackCost64 +
+    chargeClassed(sink, InstrClass::SoftFloat, callOverhead64 + 2 * unpackCost64 +
                           specialsCost64 + mulCoreCost64 +
                           roundPackCost64);
     noteOp(sink, OpClass::FloatMul);
@@ -276,7 +276,7 @@ mul64(double fa, double fb, InstrSink* sink)
 double
 div64(double fa, double fb, InstrSink* sink)
 {
-    chargeInstr(sink, callOverhead64 + 2 * unpackCost64 +
+    chargeClassed(sink, InstrClass::SoftFloat, callOverhead64 + 2 * unpackCost64 +
                           specialsCost64 + divCoreCost64 +
                           roundPackCost64);
     noteOp(sink, OpClass::FloatDiv);
@@ -317,7 +317,7 @@ div64(double fa, double fb, InstrSink* sink)
 double
 fromF32(float a, InstrSink* sink)
 {
-    chargeInstr(sink, convertCost64 / 2);
+    chargeClassed(sink, InstrClass::SoftFloat, convertCost64 / 2);
     noteOp(sink, OpClass::FloatConv);
     uint32_t b = floatBits(a);
     uint64_t sign = static_cast<uint64_t>(b >> 31);
@@ -347,7 +347,7 @@ fromF32(float a, InstrSink* sink)
 float
 toF32(double a, InstrSink* sink)
 {
-    chargeInstr(sink, convertCost64);
+    chargeClassed(sink, InstrClass::SoftFloat, convertCost64);
     noteOp(sink, OpClass::FloatConv);
     uint64_t b = bits64(a);
     Unpacked64 u = unpack64(b);
@@ -395,7 +395,7 @@ toF32(double a, InstrSink* sink)
 double
 fromI32asF64(int32_t a, InstrSink* sink)
 {
-    chargeInstr(sink, convertCost64 / 2);
+    chargeClassed(sink, InstrClass::SoftFloat, convertCost64 / 2);
     noteOp(sink, OpClass::FloatConv);
     // Every int32 is exactly representable in binary64.
     if (a == 0)
@@ -412,7 +412,7 @@ fromI32asF64(int32_t a, InstrSink* sink)
 int32_t
 f64ToI32Floor(double a, InstrSink* sink)
 {
-    chargeInstr(sink, convertCost64);
+    chargeClassed(sink, InstrClass::SoftFloat, convertCost64);
     noteOp(sink, OpClass::FloatConv);
     uint64_t b = bits64(a);
     Unpacked64 u = unpack64(b);

@@ -14,6 +14,7 @@
 #include <cmath>
 
 #include "common/bitops.h"
+#include "pimsim/obs/trace.h"
 #include "softfloat/softfloat.h"
 #include "transpim/cordic.h"
 #include "transpim/cordic_lut.h"
@@ -1345,6 +1346,9 @@ FunctionEvaluator::create(Function f, const MethodSpec& spec)
     if (!supportsImpl(f, spec.method))
         throw UnsupportedCombination(f, spec);
 
+    // Table-generation phase span (obs layer): the harness's setup
+    // figure and a Perfetto view of the same phase agree by design.
+    obs::TraceSpan span("table-gen " + methodLabel(spec), "host");
     auto start = std::chrono::steady_clock::now();
     Built built;
     switch (spec.method) {

@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <new>
+#include <string>
 
 #include "common/rng.h"
+#include "pimsim/obs/trace.h"
 
 namespace tpl {
 namespace transpim {
@@ -47,6 +49,16 @@ runMicrobench(Function f, const MethodSpec& spec,
     res.elements = opts.elements;
     res.tasklets = opts.tasklets;
 
+    obs::TraceSpan benchSpan(
+        "microbench " + std::string(functionName(f)) + " / " +
+            methodLabel(spec),
+        "host",
+        obs::argsObject(
+            {obs::argKv("elements",
+                        static_cast<uint64_t>(opts.elements)),
+             obs::argKv("tasklets",
+                        static_cast<uint64_t>(opts.tasklets))}));
+
     Domain dom = opts.domain ? *opts.domain : functionDomain(f);
     std::vector<float> inputs =
         uniformFloats(opts.elements, static_cast<float>(dom.lo),
@@ -62,6 +74,7 @@ runMicrobench(Function f, const MethodSpec& spec,
 
     sim::DpuCore dpu;
     try {
+        obs::TraceSpan attachSpan("attach tables", "host");
         eval.attach(dpu);
     } catch (const std::bad_alloc&) {
         res.feasible = false;
@@ -103,13 +116,17 @@ runMicrobench(Function f, const MethodSpec& spec,
     dpu.hostReadMram(outAddr, outputs.data(), bytes);
 
     ErrorAccumulator acc;
-    for (uint32_t i = 0; i < opts.elements; ++i) {
-        float ref = static_cast<float>(
-            referenceValue(f, static_cast<double>(inputs[i])));
-        acc.add(outputs[i], ref);
+    {
+        obs::TraceSpan accuracySpan("accuracy readback", "host");
+        for (uint32_t i = 0; i < opts.elements; ++i) {
+            float ref = static_cast<float>(
+                referenceValue(f, static_cast<double>(inputs[i])));
+            acc.add(outputs[i], ref);
+        }
     }
 
     res.error = acc.stats();
+    res.launch = stats;
     res.cyclesPerElement =
         static_cast<double>(stats.cycles) / opts.elements;
     res.instructionsPerElement =

@@ -39,6 +39,11 @@ struct MicrobenchResult
     bool feasible = true;        ///< false if tables did not fit
     uint32_t elements = 0;
     uint32_t tasklets = 0;
+
+    /** Full launch statistics of the kernel, including the per-
+     * InstrClass cycle attribution and per-tasklet breakdown the obs
+     * layer / pimtrace profile consume. */
+    sim::LaunchStats launch;
 };
 
 /** Harness options. */

@@ -24,6 +24,8 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "pimsim/obs/metrics.h"
+#include "pimsim/obs/trace.h"
 #include "pimsim/system.h"
 #include "pimsim/thread_pool.h"
 #include "transpim/evaluator.h"
@@ -243,6 +245,75 @@ TEST(Determinism, ParallelLaunchMatchesSerialBitForBit)
         anyDiffer |= serial.dpu(d).lastLaunch().totalInstructions !=
                      serial.dpu(0).lastLaunch().totalInstructions;
     EXPECT_TRUE(anyDiffer);
+}
+
+TEST(Determinism, ObservabilityDoesNotPerturbModeledStats)
+{
+    constexpr uint32_t numDpus = 6;
+    constexpr uint32_t perDpu = 2048;
+
+    // Reference run with the obs layer off. Force it off rather than
+    // assume it (TPL_OBS_METRICS / TPL_OBS_TRACE may have armed the
+    // globals at process start), and restore the prior state after.
+    const bool regWasEnabled = obs::Registry::global().enabled();
+    const bool trcWasEnabled = obs::Tracer::global().enabled();
+    obs::Registry::global().setEnabled(false);
+    obs::Tracer::global().setEnabled(false);
+    sim::ThreadPool fourLanes(4);
+    sim::PimSystem plain(numDpus);
+    plain.setSimThreads(4);
+    plain.setThreadPool(&fourLanes);
+    std::vector<float> plainOut = runDeterminismWorkload(plain, perDpu);
+
+    // Same workload with metrics AND tracing armed: instrumentation
+    // is purely observational, so every modeled statistic — including
+    // the per-class attribution — must stay bit-identical.
+    obs::Registry::global().setEnabled(true);
+    obs::Tracer::global().setEnabled(true);
+    sim::PimSystem observed(numDpus);
+    observed.setSimThreads(4);
+    observed.setThreadPool(&fourLanes);
+    std::vector<float> observedOut =
+        runDeterminismWorkload(observed, perDpu);
+    EXPECT_GT(obs::Tracer::global().eventCount(), 0u);
+    if (!trcWasEnabled)
+        obs::Tracer::global().clear();
+    if (!regWasEnabled)
+        obs::Registry::global().reset();
+    obs::Tracer::global().setEnabled(trcWasEnabled);
+    obs::Registry::global().setEnabled(regWasEnabled);
+
+    ASSERT_EQ(plainOut.size(), observedOut.size());
+    EXPECT_EQ(0, std::memcmp(plainOut.data(), observedOut.data(),
+                             plainOut.size() * sizeof(float)));
+    EXPECT_EQ(plain.lastMaxCycles(), observed.lastMaxCycles());
+    for (uint32_t d = 0; d < numDpus; ++d) {
+        const sim::LaunchStats& a = plain.dpu(d).lastLaunch();
+        const sim::LaunchStats& b = observed.dpu(d).lastLaunch();
+        EXPECT_EQ(a.cycles, b.cycles) << "dpu " << d;
+        EXPECT_EQ(a.totalInstructions, b.totalInstructions)
+            << "dpu " << d;
+        EXPECT_EQ(a.maxTaskletWork, b.maxTaskletWork) << "dpu " << d;
+        EXPECT_EQ(a.dmaEngineCycles, b.dmaEngineCycles) << "dpu " << d;
+        EXPECT_EQ(a.dmaBytes, b.dmaBytes) << "dpu " << d;
+        EXPECT_EQ(a.stallCycles, b.stallCycles) << "dpu " << d;
+        EXPECT_EQ(a.classInstructions, b.classInstructions)
+            << "dpu " << d;
+        EXPECT_EQ(a.opCounts, b.opCounts) << "dpu " << d;
+        ASSERT_EQ(a.perTasklet.size(), b.perTasklet.size())
+            << "dpu " << d;
+        for (size_t t = 0; t < a.perTasklet.size(); ++t) {
+            EXPECT_EQ(a.perTasklet[t].instructions,
+                      b.perTasklet[t].instructions)
+                << "dpu " << d << " tasklet " << t;
+            EXPECT_EQ(a.perTasklet[t].classInstructions,
+                      b.perTasklet[t].classInstructions)
+                << "dpu " << d << " tasklet " << t;
+        }
+        EXPECT_EQ(0, std::memcmp(&a.energyJoules, &b.energyJoules,
+                                 sizeof(double)))
+            << "dpu " << d;
+    }
 }
 
 } // namespace

@@ -1,0 +1,706 @@
+/**
+ * @file
+ * Observability layer tests: the exact cycle-attribution partition of
+ * LaunchStats, the Chrome trace export's structural invariants, the
+ * metrics registry and its JSON dump, the per-direction x per-mode
+ * transfer split, and the sanitizer-to-registry wiring.
+ *
+ * The JSON consumers use a deliberately small recursive-descent parser
+ * (no external dependency): strict enough to reject the malformations
+ * that would break Perfetto or `python -m json.tool`, small enough to
+ * audit.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/emu_int.h"
+#include "pimsim/analysis/sanitizer.h"
+#include "pimsim/obs/metrics.h"
+#include "pimsim/obs/trace.h"
+#include "pimsim/system.h"
+#include "softfloat/softfloat.h"
+#include "transpim/evaluator.h"
+
+namespace tpl {
+namespace {
+
+// ------------------------------------------------ mini JSON parser
+
+struct Json
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Json> array;
+    std::map<std::string, Json> object;
+
+    bool has(const std::string& key) const
+    {
+        return type == Type::Object && object.count(key) > 0;
+    }
+
+    const Json& at(const std::string& key) const
+    {
+        return object.at(key);
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    /** Parse the full document; fails the test on any malformation. */
+    Json parse()
+    {
+        Json v = parseValue();
+        skipWs();
+        EXPECT_EQ(pos_, text_.size())
+            << "trailing garbage after JSON document";
+        return v;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            ADD_FAILURE() << "unexpected end of JSON at " << pos_;
+            return '\0';
+        }
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        char got = peek();
+        ASSERT_EQ(c, got) << "at offset " << pos_;
+        ++pos_;
+    }
+
+    Json parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't':
+          case 'f': return parseBool();
+          case 'n': return parseNull();
+          default:  return parseNumber();
+        }
+    }
+
+    Json parseObject()
+    {
+        Json v;
+        v.type = Json::Type::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            Json key = parseString();
+            expect(':');
+            v.object[key.str] = parseValue();
+            char c = peek();
+            ++pos_;
+            if (c == '}')
+                return v;
+            if (c != ',') {
+                ADD_FAILURE() << "expected ',' at offset " << pos_;
+                return v;
+            }
+        }
+    }
+
+    Json parseArray()
+    {
+        Json v;
+        v.type = Json::Type::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(parseValue());
+            char c = peek();
+            ++pos_;
+            if (c == ']')
+                return v;
+            if (c != ',') {
+                ADD_FAILURE() << "expected ',' at offset " << pos_;
+                return v;
+            }
+        }
+    }
+
+    Json parseString()
+    {
+        Json v;
+        v.type = Json::Type::String;
+        expect('"');
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size()) {
+                    ADD_FAILURE() << "dangling escape";
+                    return v;
+                }
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"':  v.str += '"';  break;
+                  case '\\': v.str += '\\'; break;
+                  case '/':  v.str += '/';  break;
+                  case 'b':  v.str += '\b'; break;
+                  case 'f':  v.str += '\f'; break;
+                  case 'n':  v.str += '\n'; break;
+                  case 'r':  v.str += '\r'; break;
+                  case 't':  v.str += '\t'; break;
+                  case 'u': {
+                      if (pos_ + 4 > text_.size()) {
+                          ADD_FAILURE() << "truncated \\u escape";
+                          return v;
+                      }
+                      v.str += text_.substr(pos_, 4); // opaque
+                      pos_ += 4;
+                      break;
+                  }
+                  default:
+                      ADD_FAILURE()
+                          << "bad escape '\\" << e << "'";
+                }
+            } else {
+                EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+                    << "unescaped control character in string";
+                v.str += c;
+            }
+        }
+        expect('"');
+        return v;
+    }
+
+    Json parseBool()
+    {
+        Json v;
+        v.type = Json::Type::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            v.boolean = false;
+            pos_ += 5;
+        } else {
+            ADD_FAILURE() << "bad literal at " << pos_;
+        }
+        return v;
+    }
+
+    Json parseNull()
+    {
+        Json v;
+        EXPECT_EQ(0, text_.compare(pos_, 4, "null")) << "at " << pos_;
+        pos_ += 4;
+        return v;
+    }
+
+    Json parseNumber()
+    {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        Json v;
+        v.type = Json::Type::Number;
+        if (pos_ == start) {
+            ADD_FAILURE() << "expected a number at offset " << start;
+            return v;
+        }
+        v.number = std::stod(text_.substr(start, pos_ - start));
+        return v;
+    }
+
+    const std::string& text_;
+    size_t pos_ = 0;
+};
+
+Json
+parseJson(const std::string& text)
+{
+    return JsonParser(text).parse();
+}
+
+// ------------------------------------- LaunchStats cycle attribution
+
+/**
+ * A kernel touching every InstrClass: IntAlu (charge), IntMulDiv
+ * (emuMul32/emuDiv32), SoftFloat (sf::add/mul), WramAccess
+ * (chargeWramAccess), DmaIssue (mramRead/mramWrite) and Barrier.
+ */
+sim::LaunchStats
+runAllClassKernel(sim::DpuCore& dpu, uint32_t tasklets,
+                  uint32_t elements)
+{
+    uint32_t bytes = elements * sizeof(float);
+    uint32_t inAddr = dpu.mramAlloc(bytes);
+    uint32_t outAddr = dpu.mramAlloc(bytes);
+    std::vector<float> init(elements);
+    for (uint32_t i = 0; i < elements; ++i)
+        init[i] = 0.25f * static_cast<float>(i % 97);
+    dpu.hostWriteMram(inAddr, init.data(), bytes);
+
+    return dpu.launch(tasklets, [&](sim::TaskletContext& ctx) {
+        constexpr uint32_t chunk = 64;
+        float buf[chunk];
+        uint32_t chunks = (elements + chunk - 1) / chunk;
+        for (uint32_t c = ctx.taskletId(); c < chunks;
+             c += ctx.numTasklets()) {
+            uint32_t beg = c * chunk;
+            uint32_t cnt = std::min(chunk, elements - beg);
+            ctx.mramRead(inAddr + beg * sizeof(float), buf,
+                         cnt * sizeof(float));
+            for (uint32_t i = 0; i < cnt; ++i) {
+                ctx.charge(3);
+                ctx.chargeWramAccess(2);
+                uint32_t scaled = static_cast<uint32_t>(
+                    emuMul32(beg + i, 2654435761u, &ctx));
+                (void)emuDiv32(scaled | 1u, 97u, &ctx);
+                buf[i] = sf::mul(sf::add(buf[i], 0.5f, &ctx), 1.5f,
+                                 &ctx);
+            }
+            ctx.mramWrite(outAddr + beg * sizeof(float), buf,
+                          cnt * sizeof(float));
+        }
+        ctx.barrier();
+    });
+}
+
+class LaunchBreakdown : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(LaunchBreakdown, ClassPartitionSumsExactlyToCycles)
+{
+    const uint32_t tasklets = GetParam();
+    sim::DpuCore dpu;
+    sim::LaunchStats stats = runAllClassKernel(dpu, tasklets, 1024);
+
+    // Every class the kernel exercises shows up.
+    using C = InstrClass;
+    EXPECT_GT(stats.classInstructions[static_cast<int>(C::IntAlu)], 0u);
+    EXPECT_GT(stats.classInstructions[static_cast<int>(C::IntMulDiv)],
+              0u);
+    EXPECT_GT(stats.classInstructions[static_cast<int>(C::SoftFloat)],
+              0u);
+    EXPECT_GT(stats.classInstructions[static_cast<int>(C::WramAccess)],
+              0u);
+    EXPECT_GT(stats.classInstructions[static_cast<int>(C::DmaIssue)],
+              0u);
+
+    // Exactly one barrier instruction per tasklet.
+    EXPECT_EQ(tasklets,
+              stats.classInstructions[static_cast<int>(C::Barrier)]);
+
+    // The partition is exact: classes sum to the instruction total,
+    // and adding the stall residual reaches the cycle total with no
+    // cycle double-counted or lost.
+    uint64_t classSum = std::accumulate(
+        stats.classInstructions.begin(), stats.classInstructions.end(),
+        uint64_t{0});
+    EXPECT_EQ(stats.totalInstructions, classSum);
+    EXPECT_EQ(stats.cycles, classSum + stats.stallCycles);
+
+    // Per-tasklet attribution: right shape, same partition per
+    // tasklet, and tasklet slices sum to the launch totals.
+    ASSERT_EQ(tasklets, stats.perTasklet.size());
+    uint64_t taskletInstrSum = 0;
+    std::array<uint64_t, numInstrClasses> classFromTasklets{};
+    for (const sim::TaskletStats& ts : stats.perTasklet) {
+        uint64_t perClassSum = std::accumulate(
+            ts.classInstructions.begin(), ts.classInstructions.end(),
+            uint64_t{0});
+        EXPECT_EQ(ts.instructions, perClassSum);
+        taskletInstrSum += ts.instructions;
+        for (int c = 0; c < numInstrClasses; ++c)
+            classFromTasklets[c] += ts.classInstructions[c];
+    }
+    EXPECT_EQ(stats.totalInstructions, taskletInstrSum);
+    EXPECT_EQ(stats.classInstructions, classFromTasklets);
+
+    // Operation tallies flow through: the softfloat helpers noted
+    // one FloatAdd and one FloatMul per element.
+    EXPECT_EQ(1024u,
+              stats.opCounts[static_cast<int>(OpClass::FloatAdd)]);
+    EXPECT_EQ(1024u,
+              stats.opCounts[static_cast<int>(OpClass::FloatMul)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(TaskletCounts, LaunchBreakdown,
+                         ::testing::Values(1u, 2u, 11u, 16u));
+
+// ----------------------------------------------------- metrics registry
+
+TEST(Metrics, RegistryAccumulatesAndDumpsValidJson)
+{
+    obs::Registry reg;
+    reg.setEnabled(true);
+
+    reg.counter("pimsim/dpu/cycles").add(100);
+    reg.counter("pimsim/dpu/cycles").add(23);
+    reg.counter("pimsim/dpu/launches").add(1);
+    reg.real("pimsim/system/modeled_seconds").add(0.5);
+    reg.real("pimsim/system/modeled_seconds").add(0.25);
+    reg.histogram("pimsim/dpu/cycles_per_launch").observe(0);
+    reg.histogram("pimsim/dpu/cycles_per_launch").observe(7);
+    reg.histogram("pimsim/dpu/cycles_per_launch").observe(1u << 20);
+
+    EXPECT_EQ(123u, reg.counter("pimsim/dpu/cycles").value());
+
+    Json doc = parseJson(reg.toJson());
+    ASSERT_EQ(Json::Type::Object, doc.type);
+    ASSERT_TRUE(doc.has("counters"));
+    ASSERT_TRUE(doc.has("reals"));
+    ASSERT_TRUE(doc.has("histograms"));
+
+    EXPECT_EQ(123.0,
+              doc.at("counters").at("pimsim/dpu/cycles").number);
+    EXPECT_EQ(1.0,
+              doc.at("counters").at("pimsim/dpu/launches").number);
+    EXPECT_DOUBLE_EQ(
+        0.75,
+        doc.at("reals").at("pimsim/system/modeled_seconds").number);
+
+    const Json& hist =
+        doc.at("histograms").at("pimsim/dpu/cycles_per_launch");
+    EXPECT_EQ(3.0, hist.at("count").number);
+    EXPECT_EQ(0.0 + 7.0 + (1u << 20), hist.at("sum").number);
+    EXPECT_EQ(0.0, hist.at("min").number);
+    EXPECT_EQ(static_cast<double>(1u << 20), hist.at("max").number);
+    // log2 buckets: 0 -> bucket 0, 7 -> bucket 3, 2^20 -> bucket 21.
+    const Json& buckets = hist.at("log2_buckets");
+    ASSERT_EQ(Json::Type::Array, buckets.type);
+    EXPECT_EQ(1.0, buckets.array.at(0).number);
+    EXPECT_EQ(1.0, buckets.array.at(3).number);
+    EXPECT_EQ(1.0, buckets.array.at(21).number);
+
+    // reset() zeroes values but keeps the registrations.
+    reg.reset();
+    EXPECT_EQ(0u, reg.counter("pimsim/dpu/cycles").value());
+    Json cleared = parseJson(reg.toJson());
+    EXPECT_TRUE(cleared.at("counters").has("pimsim/dpu/cycles"));
+}
+
+TEST(Metrics, DisabledRegistryStillSafeToUse)
+{
+    obs::Registry reg;
+    EXPECT_FALSE(reg.enabled());
+    // Report sites check enabled() themselves; direct use must still
+    // be safe (handles are real regardless of the gate).
+    reg.counter("x").add(1);
+    EXPECT_EQ(1u, reg.counter("x").value());
+}
+
+TEST(Metrics, NamesAreSanitizedIntoValidJson)
+{
+    obs::Registry reg;
+    reg.setEnabled(true);
+    reg.counter("weird\"name\\with\nstuff").add(1);
+    Json doc = parseJson(reg.toJson()); // must not blow up the parser
+    ASSERT_EQ(1u, doc.at("counters").object.size());
+}
+
+// -------------------------------------------------------- trace export
+
+TEST(Trace, ChromeExportIsWellFormedAndProperlyNested)
+{
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.setEnabled(true);
+
+    {
+        // A real multi-DPU workload: transfers + launchAll, with the
+        // thread pool emitting per-DPU and per-tasklet events from
+        // worker threads.
+        sim::PimSystem sys(3);
+        uint32_t perDpu = 512;
+        uint32_t addr = 0;
+        for (uint32_t d = 0; d < sys.numDpus(); ++d)
+            addr = sys.dpu(d).mramAlloc(perDpu * sizeof(float));
+        std::vector<float> data(perDpu * sys.numDpus(), 1.0f);
+        sys.scatterToMram(addr, data.data(), perDpu * sizeof(float));
+        sys.launchAll(4, [&](sim::TaskletContext& ctx) {
+            float buf[64];
+            ctx.mramRead(addr, buf, sizeof buf);
+            for (int i = 0; i < 64; ++i) {
+                ctx.charge(2);
+                buf[i] = sf::add(buf[i], 1.0f, &ctx);
+            }
+            ctx.mramWrite(addr, buf, sizeof buf);
+            ctx.barrier();
+        });
+        sys.gatherFromMram(addr, data.data(), perDpu * sizeof(float));
+    }
+
+    tracer.setEnabled(false);
+    ASSERT_GT(tracer.eventCount(), 0u);
+    std::string json = tracer.toChromeJson();
+    tracer.clear();
+
+    Json doc = parseJson(json);
+    ASSERT_EQ(Json::Type::Object, doc.type);
+    ASSERT_TRUE(doc.has("traceEvents"));
+    const std::vector<Json>& events = doc.at("traceEvents").array;
+    ASSERT_GT(events.size(), 0u);
+
+    std::map<double, std::vector<std::string>> stacks; // tid -> names
+    std::vector<std::string> seenCats;
+    double lastTs = -1.0;
+    for (const Json& ev : events) {
+        ASSERT_EQ(Json::Type::Object, ev.type);
+        ASSERT_TRUE(ev.has("ph"));
+        ASSERT_TRUE(ev.has("ts"));
+        ASSERT_TRUE(ev.has("pid"));
+        ASSERT_TRUE(ev.has("tid"));
+        const std::string& ph = ev.at("ph").str;
+        double ts = ev.at("ts").number;
+        double tid = ev.at("tid").number;
+
+        // The export contract: globally sorted by timestamp.
+        EXPECT_GE(ts, lastTs);
+        lastTs = ts;
+
+        if (ph == "B") {
+            ASSERT_TRUE(ev.has("name"));
+            EXPECT_FALSE(ev.at("name").str.empty());
+            seenCats.push_back(ev.at("cat").str);
+            stacks[tid].push_back(ev.at("name").str);
+        } else if (ph == "E") {
+            // E must close an open B on the same thread: stack-
+            // disciplined nesting per tid.
+            ASSERT_FALSE(stacks[tid].empty())
+                << "E event with no open span on tid " << tid;
+            stacks[tid].pop_back();
+        } else if (ph == "X") {
+            ASSERT_TRUE(ev.has("dur"));
+            EXPECT_GE(ev.at("dur").number, 0.0);
+            ASSERT_TRUE(ev.has("name"));
+            seenCats.push_back(ev.at("cat").str);
+        } else {
+            ASSERT_EQ("i", ph) << "unexpected phase " << ph;
+        }
+    }
+    // Every span opened was closed.
+    for (const auto& [tid, stack] : stacks)
+        EXPECT_TRUE(stack.empty())
+            << "unclosed span '" << stack.back() << "' on tid " << tid;
+
+    // The taxonomy made it through: transfers, the launchAll phase,
+    // per-DPU slices and per-tasklet slices are all present.
+    auto sawCat = [&](const char* cat) {
+        return std::find(seenCats.begin(), seenCats.end(), cat) !=
+               seenCats.end();
+    };
+    EXPECT_TRUE(sawCat("xfer"));
+    EXPECT_TRUE(sawCat("sim"));
+    EXPECT_TRUE(sawCat("dpu"));
+    EXPECT_TRUE(sawCat("tasklet"));
+}
+
+TEST(Trace, DisabledTracerRecordsNothing)
+{
+    obs::Tracer tracer;
+    EXPECT_FALSE(tracer.enabled());
+    tracer.begin("nope", "host");
+    tracer.end();
+    tracer.instant("nope", "host");
+    EXPECT_EQ(0u, tracer.eventCount());
+    Json doc = parseJson(tracer.toChromeJson());
+    EXPECT_EQ(0u, doc.at("traceEvents").array.size());
+}
+
+// ------------------------------------------------ transfer-split lock
+
+TEST(TransferSplit, CellsMatchTheOldCombinedTotals)
+{
+    sim::PimSystem sys(4);
+    constexpr uint32_t kBytes = 64 * 1024;
+    std::vector<uint8_t> buf(kBytes * sys.numDpus(), 0x5a);
+    uint32_t addr = 0;
+    for (uint32_t d = 0; d < sys.numDpus(); ++d)
+        addr = sys.dpu(d).mramAlloc(kBytes);
+
+    using M = sim::TransferMode;
+    double bPar = sys.broadcastToMram(addr, buf.data(), kBytes);
+    double bSer =
+        sys.broadcastToMram(addr, buf.data(), kBytes, M::Serial);
+    double sPar = sys.scatterToMram(addr, buf.data(), kBytes);
+    double gSer =
+        sys.gatherFromMram(addr, buf.data(), kBytes, M::Serial);
+
+    // Returned values reproduce the pre-split single-number model:
+    // a parallel broadcast streams the buffer once (overlapped), a
+    // serial one streams it per DPU; scatter/gather always move the
+    // full aggregate.
+    uint64_t aggregate = uint64_t{kBytes} * sys.numDpus();
+    EXPECT_DOUBLE_EQ(sys.parallelTransferSeconds(kBytes), bPar);
+    EXPECT_DOUBLE_EQ(sys.serialTransferSeconds(aggregate), bSer);
+    EXPECT_DOUBLE_EQ(sys.parallelTransferSeconds(aggregate), sPar);
+    EXPECT_DOUBLE_EQ(sys.serialTransferSeconds(aggregate), gSer);
+
+    // The per-cell accounting carries the same numbers, one cell per
+    // (direction, mode), with nothing leaking across cells.
+    const sim::TransferStats& ts = sys.transferStats();
+    const int par = static_cast<int>(M::Parallel);
+    const int ser = static_cast<int>(M::Serial);
+
+    EXPECT_EQ(1u, ts.broadcast[par].transfers);
+    EXPECT_EQ(uint64_t{kBytes}, ts.broadcast[par].bytes);
+    EXPECT_DOUBLE_EQ(bPar, ts.broadcast[par].seconds);
+
+    EXPECT_EQ(1u, ts.broadcast[ser].transfers);
+    EXPECT_EQ(aggregate, ts.broadcast[ser].bytes);
+    EXPECT_DOUBLE_EQ(bSer, ts.broadcast[ser].seconds);
+
+    EXPECT_EQ(1u, ts.scatter[par].transfers);
+    EXPECT_EQ(aggregate, ts.scatter[par].bytes);
+    EXPECT_DOUBLE_EQ(sPar, ts.scatter[par].seconds);
+    EXPECT_EQ(0u, ts.scatter[ser].transfers);
+
+    EXPECT_EQ(1u, ts.gather[ser].transfers);
+    EXPECT_EQ(aggregate, ts.gather[ser].bytes);
+    EXPECT_DOUBLE_EQ(gSer, ts.gather[ser].seconds);
+    EXPECT_EQ(0u, ts.gather[par].transfers);
+
+    // And the cells sum exactly to the combined view.
+    EXPECT_DOUBLE_EQ(bPar + bSer + sPar + gSer, ts.totalSeconds());
+    EXPECT_EQ(uint64_t{kBytes} + 3 * aggregate, ts.totalBytes());
+}
+
+TEST(TransferSplit, DefaultModePreservesPreSplitBehavior)
+{
+    // Call sites that predate the split pass no mode; they must keep
+    // getting the parallel numbers they always got.
+    sim::PimSystem sys(2);
+    uint32_t addr = sys.dpu(0).mramAlloc(8192);
+    sys.dpu(1).mramAlloc(8192);
+    std::vector<uint8_t> buf(8192 * 2, 1);
+    EXPECT_DOUBLE_EQ(sys.parallelTransferSeconds(8192),
+                     sys.broadcastToMram(addr, buf.data(), 8192));
+    EXPECT_DOUBLE_EQ(sys.parallelTransferSeconds(8192 * 2),
+                     sys.scatterToMram(addr, buf.data(), 8192));
+}
+
+// ------------------------------------------- sanitizer-to-registry
+
+TEST(SanitizerMetrics, DiagnosticCountsReachTheRegistry)
+{
+    obs::Registry& reg = obs::Registry::global();
+    reg.reset();
+    reg.setEnabled(true);
+
+    sim::check::Sanitizer san(1024, 1u << 20);
+    san.beginLaunch(2);
+    // One bad-size DMA (12 bytes, not a multiple of 8) and one WRAM
+    // bounds violation.
+    san.onDma(0, 0, 0, 12, 1);
+    san.onWramLoad(0, 2048, 8, 2);
+
+    reg.setEnabled(false);
+
+    using sim::check::CheckKind;
+    EXPECT_EQ(
+        countOf(san.diagnostics(), CheckKind::DmaBadSize),
+        reg.counter(std::string("pimcheck/sanitizer/") +
+                    toString(CheckKind::DmaBadSize))
+            .value());
+    EXPECT_EQ(
+        countOf(san.diagnostics(), CheckKind::WramOutOfBounds),
+        reg.counter(std::string("pimcheck/sanitizer/") +
+                    toString(CheckKind::WramOutOfBounds))
+            .value());
+    EXPECT_GT(san.diagnostics().size(), 0u);
+    reg.reset();
+}
+
+TEST(SanitizerMetrics, DisabledRegistryCostsNothing)
+{
+    obs::Registry& reg = obs::Registry::global();
+    reg.reset();
+    ASSERT_FALSE(reg.enabled());
+
+    sim::check::Sanitizer san(1024, 1u << 20);
+    san.beginLaunch(1);
+    san.onDma(0, 0, 0, 12, 1);
+
+    // The diagnostic fires either way; the counter stays untouched.
+    EXPECT_EQ(1u, san.diagnostics().size());
+    EXPECT_EQ(0u, reg.counter("pimcheck/sanitizer/dma-bad-size")
+                      .value());
+}
+
+// ------------------------------------- registry wiring from the DPU
+
+TEST(DpuMetrics, LaunchReportsIntoTheGlobalRegistry)
+{
+    obs::Registry& reg = obs::Registry::global();
+    reg.reset();
+    reg.setEnabled(true);
+
+    sim::DpuCore dpu;
+    sim::LaunchStats stats = runAllClassKernel(dpu, 4, 512);
+
+    reg.setEnabled(false);
+
+    EXPECT_EQ(1u, reg.counter("pimsim/dpu/launches").value());
+    EXPECT_EQ(stats.cycles, reg.counter("pimsim/dpu/cycles").value());
+    EXPECT_EQ(stats.totalInstructions,
+              reg.counter("pimsim/dpu/instructions").value());
+    EXPECT_EQ(stats.dmaBytes,
+              reg.counter("pimsim/dpu/dma/bytes").value());
+    for (int c = 0; c < numInstrClasses; ++c) {
+        EXPECT_EQ(stats.classInstructions[c],
+                  reg.counter(std::string("pimsim/dpu/instr/") +
+                              instrClassName(
+                                  static_cast<InstrClass>(c)))
+                      .value())
+            << instrClassName(static_cast<InstrClass>(c));
+    }
+    EXPECT_EQ(1u,
+              reg.histogram("pimsim/dpu/cycles_per_launch").count());
+    reg.reset();
+}
+
+} // namespace
+} // namespace tpl

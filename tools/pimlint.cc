@@ -106,6 +106,8 @@ main(int argc, char** argv)
     }
 
     bool anyError = false;
+    uint64_t errorCount = 0;
+    uint64_t warningCount = 0;
     for (const std::string& file : files) {
         std::string source;
         if (file == "-") {
@@ -136,10 +138,23 @@ main(int argc, char** argv)
             if (!quiet)
                 std::cout << file << ": " << check::format(diag)
                           << "\n";
+            if (diag.severity == check::Severity::Error)
+                ++errorCount;
+            else if (diag.severity == check::Severity::Warning)
+                ++warningCount;
             if (diag.severity == check::Severity::Error ||
                 (werror && diag.severity == check::Severity::Warning))
                 anyError = true;
         }
+    }
+    if (anyError) {
+        // Summary so callers (and CI logs) see the totals even when
+        // individual diagnostics scrolled past or -q was given.
+        std::cerr << "pimlint: " << errorCount << " error(s), "
+                  << warningCount << " warning(s)";
+        if (werror && errorCount == 0)
+            std::cerr << " (warnings treated as errors)";
+        std::cerr << "\n";
     }
     return anyError ? 1 : 0;
 }

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * pimtrace: run one (function, method) evaluator configuration on the
+ * simulator with the obs layer armed and emit
+ *
+ *   - a Chrome trace-event JSON (Perfetto / chrome://tracing),
+ *   - a metrics-registry JSON dump, and
+ *   - a human-readable text profile on stdout: top-N cost centers by
+ *     instruction class, per-tasklet utilization, and a DMA bandwidth
+ *     summary.
+ *
+ *   pimtrace [options]
+ *
+ * Options:
+ *   --function NAME   sin, cos, tanh, exp, log, sqrt, gelu, ... (default sin)
+ *   --method NAME     llut, mlut, dlut, dllut, llut-fixed, cordic,
+ *                     cordic-fixed, cordic-lut, poly (default llut)
+ *   --elements N      input elements (default 16384)
+ *   --tasklets N      tasklets (default 16)
+ *   --log2-entries N  LUT entry budget (default 12)
+ *   --iterations N    CORDIC iterations (default 24)
+ *   --placement P     wram | mram (default wram)
+ *   --no-interp       disable LUT interpolation
+ *   --trace PATH      Chrome trace output (default pimtrace.trace.json,
+ *                     "" disables)
+ *   --metrics PATH    metrics JSON output (default pimtrace.metrics.json,
+ *                     "" disables)
+ *   --top N           cost centers to print (default all)
+ *
+ * Exit status: 0 on success, 1 when the configuration is infeasible
+ * (tables do not fit), 2 on usage errors.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pimsim/obs/metrics.h"
+#include "pimsim/obs/trace.h"
+#include "transpim/harness.h"
+
+namespace {
+
+using namespace tpl;
+using namespace tpl::transpim;
+
+void
+usage()
+{
+    std::cerr
+        << "usage: pimtrace [--function NAME] [--method NAME]\n"
+           "                [--elements N] [--tasklets N]"
+           " [--log2-entries N]\n"
+           "                [--iterations N] [--placement wram|mram]"
+           " [--no-interp]\n"
+           "                [--trace PATH] [--metrics PATH] [--top N]\n";
+}
+
+const std::map<std::string, Function>&
+functionTable()
+{
+    static const std::map<std::string, Function> table = {
+        {"sin", Function::Sin},       {"cos", Function::Cos},
+        {"tan", Function::Tan},       {"sinh", Function::Sinh},
+        {"cosh", Function::Cosh},     {"tanh", Function::Tanh},
+        {"exp", Function::Exp},       {"log", Function::Log},
+        {"sqrt", Function::Sqrt},     {"gelu", Function::Gelu},
+        {"sigmoid", Function::Sigmoid}, {"cndf", Function::Cndf},
+        {"atan", Function::Atan},     {"asin", Function::Asin},
+        {"acos", Function::Acos},     {"atanh", Function::Atanh},
+        {"log2", Function::Log2},     {"log10", Function::Log10},
+        {"exp2", Function::Exp2},     {"rsqrt", Function::Rsqrt},
+        {"erf", Function::Erf},       {"silu", Function::Silu},
+        {"softplus", Function::Softplus},
+    };
+    return table;
+}
+
+const std::map<std::string, Method>&
+methodTable()
+{
+    static const std::map<std::string, Method> table = {
+        {"cordic", Method::Cordic},
+        {"cordic-fixed", Method::CordicFixed},
+        {"cordic-lut", Method::CordicLut},
+        {"mlut", Method::MLut},
+        {"llut", Method::LLut},
+        {"llut-fixed", Method::LLutFixed},
+        {"dlut", Method::DLut},
+        {"dllut", Method::DlLut},
+        {"poly", Method::Poly},
+    };
+    return table;
+}
+
+bool
+parseU32(const std::string& text, uint32_t& out)
+{
+    try {
+        size_t pos = 0;
+        unsigned long v = std::stoul(text, &pos, 0);
+        if (pos != text.size() || v > UINT32_MAX)
+            return false;
+        out = static_cast<uint32_t>(v);
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+std::string
+percent(uint64_t part, uint64_t whole)
+{
+    char buf[16];
+    double pct = whole ? 100.0 * static_cast<double>(part) /
+                             static_cast<double>(whole)
+                       : 0.0;
+    std::snprintf(buf, sizeof buf, "%5.1f%%", pct);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Function function = Function::Sin;
+    MethodSpec spec;
+    MicrobenchOptions opts;
+    std::string tracePath = "pimtrace.trace.json";
+    std::string metricsPath = "pimtrace.metrics.json";
+    uint32_t topN = UINT32_MAX;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        auto u32Arg = [&](uint32_t& out) {
+            if (!parseU32(value(), out)) {
+                usage();
+                std::exit(2);
+            }
+        };
+        if (arg == "--function") {
+            std::string name = value();
+            auto it = functionTable().find(name);
+            if (it == functionTable().end()) {
+                std::cerr << "pimtrace: unknown function '" << name
+                          << "'\n";
+                return 2;
+            }
+            function = it->second;
+        } else if (arg == "--method") {
+            std::string name = value();
+            auto it = methodTable().find(name);
+            if (it == methodTable().end()) {
+                std::cerr << "pimtrace: unknown method '" << name
+                          << "'\n";
+                return 2;
+            }
+            spec.method = it->second;
+        } else if (arg == "--elements") {
+            u32Arg(opts.elements);
+        } else if (arg == "--tasklets") {
+            u32Arg(opts.tasklets);
+        } else if (arg == "--log2-entries") {
+            u32Arg(spec.log2Entries);
+        } else if (arg == "--iterations") {
+            u32Arg(spec.iterations);
+        } else if (arg == "--placement") {
+            std::string p = value();
+            if (p == "wram") {
+                spec.placement = Placement::Wram;
+            } else if (p == "mram") {
+                spec.placement = Placement::Mram;
+            } else {
+                std::cerr << "pimtrace: unknown placement '" << p
+                          << "'\n";
+                return 2;
+            }
+        } else if (arg == "--no-interp") {
+            spec.interpolated = false;
+        } else if (arg == "--trace") {
+            tracePath = value();
+        } else if (arg == "--metrics") {
+            metricsPath = value();
+        } else if (arg == "--top") {
+            u32Arg(topN);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "pimtrace: unknown option '" << arg << "'\n";
+            usage();
+            return 2;
+        }
+    }
+
+    if (!FunctionEvaluator::supports(function, spec)) {
+        std::cerr << "pimtrace: unsupported combination "
+                  << functionName(function) << " / "
+                  << methodLabel(spec) << "\n";
+        return 1;
+    }
+
+    obs::Tracer::global().setEnabled(true);
+    obs::Registry::global().setEnabled(true);
+
+    MicrobenchResult res = runMicrobench(function, spec, opts);
+    if (!res.feasible) {
+        std::cerr << "pimtrace: configuration infeasible (tables do"
+                     " not fit the PIM core)\n";
+        return 1;
+    }
+
+    const sim::LaunchStats& launch = res.launch;
+    const sim::CostModel model; // defaults match the harness's core
+
+    std::cout << "== pimtrace: " << functionName(function) << " / "
+              << methodLabel(spec) << "\n";
+    std::cout << "   elements " << res.elements << ", tasklets "
+              << res.tasklets << ", " << res.cyclesPerElement
+              << " cycles/element, RMSE " << res.error.rmse << "\n\n";
+
+    // ---- Top cost centers: the exact cycle partition. -------------
+    struct CostCenter
+    {
+        std::string name;
+        uint64_t cycles;
+    };
+    std::vector<CostCenter> centers;
+    for (int c = 0; c < numInstrClasses; ++c)
+        if (launch.classInstructions[c])
+            centers.push_back(
+                {instrClassName(static_cast<InstrClass>(c)),
+                 launch.classInstructions[c]});
+    if (launch.stallCycles)
+        centers.push_back({"stall (latency/DMA bound)",
+                           launch.stallCycles});
+    std::sort(centers.begin(), centers.end(),
+              [](const CostCenter& a, const CostCenter& b) {
+                  return a.cycles > b.cycles;
+              });
+    std::cout << "-- cost centers (" << launch.cycles
+              << " modeled cycles)\n";
+    uint32_t shown = 0;
+    for (const CostCenter& cc : centers) {
+        if (shown++ >= topN)
+            break;
+        std::printf("   %-26s %12llu  %s\n", cc.name.c_str(),
+                    static_cast<unsigned long long>(cc.cycles),
+                    percent(cc.cycles, launch.cycles).c_str());
+    }
+
+    // ---- High-level operation mix. --------------------------------
+    std::cout << "\n-- operation mix\n";
+    for (int o = 0; o < numOpClasses; ++o)
+        if (launch.opCounts[o])
+            std::printf("   %-26s %12llu\n",
+                        opClassSlug(static_cast<OpClass>(o)),
+                        static_cast<unsigned long long>(
+                            launch.opCounts[o]));
+
+    // ---- Per-tasklet utilization. ---------------------------------
+    uint64_t maxInstr = 0;
+    for (const auto& ts : launch.perTasklet)
+        maxInstr = std::max(maxInstr, ts.instructions);
+    std::cout << "\n-- per-tasklet utilization (vs busiest tasklet)\n";
+    for (size_t t = 0; t < launch.perTasklet.size(); ++t) {
+        const auto& ts = launch.perTasklet[t];
+        std::printf("   tasklet %2zu  %12llu instr  %10llu dma-stall"
+                    "  %s\n",
+                    t,
+                    static_cast<unsigned long long>(ts.instructions),
+                    static_cast<unsigned long long>(
+                        ts.dmaStallCycles),
+                    percent(ts.instructions, maxInstr).c_str());
+    }
+
+    // ---- DMA bandwidth summary. -----------------------------------
+    std::cout << "\n-- MRAM<->WRAM DMA\n";
+    std::printf("   bytes moved       %12llu\n",
+                static_cast<unsigned long long>(launch.dmaBytes));
+    std::printf("   engine cycles     %12llu  (%s of total)\n",
+                static_cast<unsigned long long>(
+                    launch.dmaEngineCycles),
+                percent(launch.dmaEngineCycles, launch.cycles)
+                    .c_str());
+    if (launch.dmaEngineCycles) {
+        double bytesPerCycle =
+            static_cast<double>(launch.dmaBytes) /
+            static_cast<double>(launch.dmaEngineCycles);
+        std::printf("   achieved          %12.3f bytes/cycle"
+                    "  (%.2f GB/s at %.0f MHz)\n",
+                    bytesPerCycle,
+                    bytesPerCycle * model.frequencyHz * 1e-9,
+                    model.frequencyHz * 1e-6);
+    }
+    std::printf("   table memory      %12u bytes\n", res.memoryBytes);
+    std::printf("   setup             %12.6f s host gen"
+                " + %.6f s transfer\n",
+                res.hostGenSeconds, res.transferSeconds);
+
+    // ---- File outputs. --------------------------------------------
+    if (!tracePath.empty()) {
+        if (!obs::Tracer::global().writeChromeJson(tracePath)) {
+            std::cerr << "pimtrace: cannot write '" << tracePath
+                      << "'\n";
+            return 2;
+        }
+        std::cout << "\nwrote " << tracePath
+                  << " (load in https://ui.perfetto.dev or"
+                     " chrome://tracing)\n";
+    }
+    if (!metricsPath.empty()) {
+        if (!obs::Registry::global().writeJson(metricsPath)) {
+            std::cerr << "pimtrace: cannot write '" << metricsPath
+                      << "'\n";
+            return 2;
+        }
+        std::cout << "wrote " << metricsPath << "\n";
+    }
+    return 0;
+}
