@@ -4,8 +4,11 @@
 # trajectory to compare against.
 #
 # Usage:
-#   bench/run_all.sh [BUILD_DIR] [OUT_JSON]
+#   bench/run_all.sh [--quick] [BUILD_DIR] [OUT_JSON]
 #
+#   --quick    smoke mode: force TPL_BENCH_ELEMENTS=512 so every bench
+#              runs in seconds (trajectory points are NOT comparable
+#              with full runs; the header records the element count).
 #   BUILD_DIR  cmake build tree (default: build). Bench binaries are
 #              expected under BUILD_DIR/bench/ (that is where the bench
 #              CMakeLists points RUNTIME_OUTPUT_DIRECTORY).
@@ -26,6 +29,11 @@
 # header records the git SHA and simulation thread count the numbers
 # were taken at.
 set -u
+
+if [ "${1:-}" = "--quick" ]; then
+    shift
+    export TPL_BENCH_ELEMENTS=512
+fi
 
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_results.json}"
@@ -113,4 +121,7 @@ done
 } > "$OUT_JSON"
 
 echo "wrote $OUT_JSON" >&2
-exit "$failures"
+# Exit 1 on any failure rather than the raw count: exit codes wrap
+# mod 256, so e.g. 256 failing benches would read as success.
+[ "$failures" -eq 0 ] || exit 1
+exit 0

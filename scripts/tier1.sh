@@ -11,6 +11,17 @@ set -eu
 BUILD_DIR="${1:-build}"
 SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 
+# Shared cleanup for every leg's temp dir: legs must NOT install their
+# own `trap ... EXIT` (a second trap would silently replace the first).
+TRACE_TMP=""
+FAULT_TMP=""
+cleanup() {
+    [ -n "$TRACE_TMP" ] && rm -rf "$TRACE_TMP"
+    [ -n "$FAULT_TMP" ] && rm -rf "$FAULT_TMP"
+    return 0
+}
+trap cleanup EXIT
+
 cmake -B "$BUILD_DIR" -S "$SRC_DIR"
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j
@@ -42,7 +53,6 @@ fi
 # TPL_OBS_TRACE) to prove instrumentation never perturbs modeled stats.
 if [ "${TPL_TIER1_TRACE:-0}" = "1" ]; then
     TRACE_TMP=$(mktemp -d)
-    trap 'rm -rf "$TRACE_TMP"' EXIT
     for method in llut cordic; do
         "$BUILD_DIR/tools/pimtrace" --function sin --method "$method" \
             --elements 8192 \
@@ -60,4 +70,27 @@ if [ "${TPL_TIER1_TRACE:-0}" = "1" ]; then
     python3 -m json.tool "$TRACE_TMP/determinism.metrics.json" > /dev/null
     python3 -m json.tool "$TRACE_TMP/determinism.trace.json" > /dev/null
     echo "obs-enabled determinism re-run + env-bootstrap dumps OK"
+fi
+
+# With TPL_TIER1_FAULT=1, exercise the fault-injection tier end to
+# end: the fault + conformance ctest slices, a pimfault --demo plan
+# replayed through parse → canonical echo → degraded sharded run, a
+# JSON round-trip of its metrics dump, and a degraded-launch trace
+# captured via the TPL_OBS_TRACE env bootstrap.
+if [ "${TPL_TIER1_FAULT:-0}" = "1" ]; then
+    FAULT_TMP=$(mktemp -d)
+    ctest --test-dir "$BUILD_DIR" --output-on-failure \
+        -R 'Fault|Fig5Conformance|SoftfloatDifferential'
+    "$BUILD_DIR/tools/pimfault" --help > /dev/null
+    "$BUILD_DIR/tools/pimfault" --demo > "$FAULT_TMP/demo.plan"
+    "$BUILD_DIR/tools/pimfault" --plan "$FAULT_TMP/demo.plan" \
+        --print > "$FAULT_TMP/demo.canonical"
+    grep -q '^seed 7$' "$FAULT_TMP/demo.canonical"
+    TPL_OBS_TRACE="$FAULT_TMP/fault.trace.json" \
+        "$BUILD_DIR/tools/pimfault" --plan "$FAULT_TMP/demo.plan" \
+        --dpus 16 --metrics "$FAULT_TMP/fault.metrics.json"
+    python3 -m json.tool "$FAULT_TMP/fault.metrics.json" > /dev/null
+    python3 -m json.tool "$FAULT_TMP/fault.trace.json" > /dev/null
+    grep -q 'fault/' "$FAULT_TMP/fault.metrics.json"
+    echo "pimfault demo replay + degraded-launch trace round-trip OK"
 fi

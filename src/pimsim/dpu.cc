@@ -12,6 +12,7 @@
 #include <string>
 
 #include "pimsim/analysis/sanitizer.h"
+#include "pimsim/fault/fault.h"
 #include "pimsim/obs/metrics.h"
 #include "pimsim/obs/trace.h"
 
@@ -29,6 +30,8 @@ DpuCore::hostWriteMram(uint32_t addr, const void* src, uint32_t size)
     if (static_cast<uint64_t>(addr) + size > mram_.size())
         throw std::out_of_range("hostWriteMram beyond MRAM bank");
     std::memcpy(mram_.data() + addr, src, size);
+    if (faults_)
+        faults_->onMramWritten(addr, size);
 }
 
 void
@@ -47,6 +50,8 @@ DpuCore::hostWriteWram(uint32_t addr, const void* src, uint32_t size)
     std::memcpy(wram_.data() + addr, src, size);
     if (sanitizer_)
         sanitizer_->markWramInitialized(addr, size);
+    if (faults_)
+        faults_->onWramWritten(addr, size);
 }
 
 void
@@ -125,6 +130,20 @@ DpuCore::launch(uint32_t numTasklets, const Kernel& kernel)
     assert(numTasklets >= 1 && numTasklets <= model_.maxTasklets);
     dmaEngineCycles_ = 0;
     dmaBytes_ = 0;
+    if (faults_ && faults_->onLaunchBegin()) {
+        // Hard-failed core: the kernel never runs. Everything but the
+        // failure flag stays zero so a masked core contributes nothing
+        // to any aggregate.
+        LaunchStats stats;
+        stats.tasklets = numTasklets;
+        stats.failed = true;
+        stats.faultEvents = faults_->launchFaultEvents();
+        obs::Registry& reg = obs::Registry::global();
+        if (reg.enabled())
+            reg.counter("fault/launch/failed").add(1);
+        last_ = stats;
+        return stats;
+    }
     if (sanitizer_)
         sanitizer_->beginLaunch(numTasklets);
 
@@ -172,6 +191,12 @@ DpuCore::launch(uint32_t numTasklets, const Kernel& kernel)
     stats.cycles = std::max({stats.totalInstructions,
                              stats.maxTaskletWork,
                              stats.dmaEngineCycles});
+    if (faults_) {
+        // Straggler slowdown stretches the launch; the added cycles
+        // land in the stall residual so the partition stays exact.
+        stats.cycles = faults_->adjustCycles(stats.cycles);
+        stats.faultEvents = faults_->launchFaultEvents();
+    }
     // Exact cycle partition: one issue slot per retired instruction,
     // the binding constraint's slack is the stall residual.
     stats.stallCycles = stats.cycles - stats.totalInstructions;
@@ -245,6 +270,9 @@ TaskletContext::mramReadAt(uint32_t mramAddr, void* dst, uint32_t size,
         throw std::out_of_range("mramRead beyond MRAM bank");
     std::memcpy(dst, core_.mram_.data() + mramAddr, size);
     dmaStall_ += core_.accountDma(size);
+    if (core_.faults_)
+        dmaStall_ += core_.faults_->onDmaData(
+            static_cast<uint8_t*>(dst), size);
     // Issuing the DMA costs a couple of instructions as well.
     chargeClass(InstrClass::DmaIssue, 2);
 }
@@ -269,6 +297,11 @@ TaskletContext::mramWriteAt(uint32_t mramAddr, const void* src,
         throw std::out_of_range("mramWrite beyond MRAM bank");
     std::memcpy(core_.mram_.data() + mramAddr, src, size);
     dmaStall_ += core_.accountDma(size);
+    if (core_.faults_) {
+        dmaStall_ += core_.faults_->onDmaData(
+            core_.mram_.data() + mramAddr, size);
+        core_.faults_->onMramWritten(mramAddr, size);
+    }
     chargeClass(InstrClass::DmaIssue, 2);
 }
 

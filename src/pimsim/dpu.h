@@ -40,6 +40,10 @@ namespace check {
 class Sanitizer; // pimsim/analysis/sanitizer.h
 } // namespace check
 
+namespace fault {
+class DpuFaultState; // pimsim/fault/fault.h
+} // namespace fault
+
 /**
  * Per-tasklet execution context handed to kernels.
  *
@@ -180,6 +184,15 @@ struct LaunchStats
     uint32_t tasklets = 0;          ///< tasklets launched
     double energyJoules = 0.0;      ///< instruction + DMA energy
 
+    /** True when an armed fault plan hard-failed this core: the
+     * kernel did not execute and every other field is zero. */
+    bool failed = false;
+
+    /** Fault events an armed plan injected during this launch
+     * (bit flips, DMA corruption/timeouts, hard-fail/straggler
+     * firings). Always 0 with no plan armed. */
+    uint64_t faultEvents = 0;
+
     /** Issue cycles per InstrClass (sums to totalInstructions). */
     std::array<uint64_t, numInstrClasses> classInstructions{};
 
@@ -237,6 +250,22 @@ class DpuCore
     check::Sanitizer* sanitizer() const { return sanitizer_; }
 
     /**
+     * Attach (or, with nullptr, detach) this core's slice of an armed
+     * fault plan. Off by default; the core does not own the state
+     * (PimSystem::armFaults does). While attached, launches, tasklet
+     * DMA and memory writes consult the plan — with no plan, or a
+     * plan whose specs never fire, every modeled statistic is
+     * bit-identical to the unfaulted run (tests/fault_test.cc).
+     */
+    void setFaultState(fault::DpuFaultState* faults)
+    {
+        faults_ = faults;
+    }
+
+    /** The attached fault state, or nullptr. */
+    fault::DpuFaultState* faultState() const { return faults_; }
+
+    /**
      * Allocate @p size bytes of MRAM (8-byte aligned bump allocator).
      * @return the MRAM address of the allocation.
      */
@@ -285,6 +314,7 @@ class DpuCore
     uint64_t dmaEngineCycles_ = 0; ///< accumulated during a launch
     uint64_t dmaBytes_ = 0;        ///< accumulated during a launch
     check::Sanitizer* sanitizer_ = nullptr; ///< non-owning, opt-in
+    fault::DpuFaultState* faults_ = nullptr; ///< non-owning, opt-in
     LaunchStats last_;
 };
 

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * pimfault implementation: deterministic draws, fault application,
+ * and the FaultPlan text form.
+ */
+
+#include "pimsim/fault/fault.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "pimsim/dpu.h"
+#include "pimsim/obs/metrics.h"
+
+namespace tpl {
+namespace sim {
+namespace fault {
+
+namespace {
+
+/** SplitMix64 finalizer: the bit mixer behind every firing decision. */
+uint64_t
+mix(uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Uniform [0, 1) from a raw draw. */
+double
+u01(uint64_t raw)
+{
+    return static_cast<double>(raw >> 11) * 0x1.0p-53;
+}
+
+/** Per-kind salt so distinct hooks never share a decision stream. */
+constexpr uint64_t kSaltLaunch = 0x11;
+constexpr uint64_t kSaltDma = 0x22;
+constexpr uint64_t kSaltDmaSite = 0x33;
+constexpr uint64_t kSaltTransfer = 0x44;
+
+void
+countFault(const char* name)
+{
+    obs::Registry& reg = obs::Registry::global();
+    if (reg.enabled())
+        reg.counter(std::string("fault/") + name).add(1);
+}
+
+struct KindName
+{
+    FaultKind kind;
+    const char* slug;
+};
+
+constexpr KindName kKindNames[] = {
+    {FaultKind::MramStuckBit, "mram-stuck-bit"},
+    {FaultKind::WramStuckBit, "wram-stuck-bit"},
+    {FaultKind::MramBitFlip, "mram-bit-flip"},
+    {FaultKind::WramBitFlip, "wram-bit-flip"},
+    {FaultKind::DmaCorrupt, "dma-corrupt"},
+    {FaultKind::DmaTimeout, "dma-timeout"},
+    {FaultKind::DpuHardFail, "dpu-hard-fail"},
+    {FaultKind::DpuStraggler, "dpu-straggler"},
+    {FaultKind::TransferTimeout, "transfer-timeout"},
+    {FaultKind::TransferCorrupt, "transfer-corrupt"},
+};
+
+/** Shortest decimal that round-trips a probability/slowdown. */
+std::string
+formatDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (int prec = 1; prec < 17; ++prec) {
+        char trial[32];
+        std::snprintf(trial, sizeof(trial), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(trial, "%lf", &back);
+        if (back == v)
+            return trial;
+    }
+    return buf;
+}
+
+} // namespace
+
+const char*
+kindSlug(FaultKind kind)
+{
+    for (const auto& k : kKindNames)
+        if (k.kind == kind)
+            return k.slug;
+    return "unknown";
+}
+
+std::optional<FaultKind>
+kindFromSlug(const std::string& slug)
+{
+    for (const auto& k : kKindNames)
+        if (slug == k.slug)
+            return k.kind;
+    return std::nullopt;
+}
+
+std::string
+FaultPlan::toText() const
+{
+    std::ostringstream out;
+    out << "seed " << seed << "\n";
+    for (const FaultSpec& f : faults) {
+        out << "fault kind=" << kindSlug(f.kind);
+        if (f.dpu >= 0)
+            out << " dpu=" << f.dpu;
+        switch (f.kind) {
+          case FaultKind::MramStuckBit:
+          case FaultKind::WramStuckBit:
+            out << " addr=" << f.addr << " bit=" << unsigned(f.bit)
+                << " stuck=" << (f.stuckValue ? 1 : 0);
+            break;
+          case FaultKind::MramBitFlip:
+          case FaultKind::WramBitFlip:
+            out << " addr=" << f.addr << " bit=" << unsigned(f.bit);
+            break;
+          case FaultKind::DpuStraggler:
+            out << " slowdown=" << formatDouble(f.slowdown);
+            break;
+          case FaultKind::DmaTimeout:
+            out << " stall=" << f.extraStallCycles;
+            break;
+          default:
+            break;
+        }
+        out << " prob=" << formatDouble(f.probability);
+        if (f.triggerAfter > 0)
+            out << " after=" << f.triggerAfter;
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::optional<FaultPlan>
+FaultPlan::parse(const std::string& text, std::string* error)
+{
+    auto fail = [&](int line, const std::string& msg)
+        -> std::optional<FaultPlan> {
+        if (error)
+            *error = "line " + std::to_string(line) + ": " + msg;
+        return std::nullopt;
+    };
+
+    FaultPlan plan;
+    std::istringstream in(text);
+    std::string rawLine;
+    int lineNo = 0;
+    while (std::getline(in, rawLine)) {
+        ++lineNo;
+        std::string line = rawLine.substr(0, rawLine.find('#'));
+        std::istringstream tokens(line);
+        std::string head;
+        if (!(tokens >> head))
+            continue;
+        if (head == "seed") {
+            if (!(tokens >> plan.seed))
+                return fail(lineNo, "seed needs an integer");
+            continue;
+        }
+        if (head != "fault")
+            return fail(lineNo, "expected 'seed' or 'fault', got '" +
+                                    head + "'");
+        FaultSpec spec;
+        bool haveKind = false;
+        std::string kv;
+        while (tokens >> kv) {
+            size_t eq = kv.find('=');
+            if (eq == std::string::npos)
+                return fail(lineNo, "expected key=value, got '" + kv +
+                                        "'");
+            std::string key = kv.substr(0, eq);
+            std::string val = kv.substr(eq + 1);
+            try {
+                if (key == "kind") {
+                    auto k = kindFromSlug(val);
+                    if (!k)
+                        return fail(lineNo,
+                                    "unknown fault kind '" + val + "'");
+                    spec.kind = *k;
+                    haveKind = true;
+                } else if (key == "dpu") {
+                    spec.dpu = val == "*" ? -1 : std::stoi(val);
+                } else if (key == "addr") {
+                    spec.addr =
+                        static_cast<uint32_t>(std::stoul(val, nullptr, 0));
+                } else if (key == "bit") {
+                    unsigned long b = std::stoul(val);
+                    if (b > 7)
+                        return fail(lineNo, "bit must be 0..7");
+                    spec.bit = static_cast<uint8_t>(b);
+                } else if (key == "stuck") {
+                    spec.stuckValue = std::stoul(val) != 0;
+                } else if (key == "prob") {
+                    spec.probability = std::stod(val);
+                } else if (key == "after") {
+                    spec.triggerAfter = std::stoull(val);
+                } else if (key == "slowdown") {
+                    spec.slowdown = std::stod(val);
+                } else if (key == "stall") {
+                    spec.extraStallCycles = std::stoull(val);
+                } else {
+                    return fail(lineNo, "unknown key '" + key + "'");
+                }
+            } catch (const std::exception&) {
+                return fail(lineNo, "bad value for '" + key + "'");
+            }
+        }
+        if (!haveKind)
+            return fail(lineNo, "fault line needs kind=<slug>");
+        if (spec.probability < 0.0 || spec.probability > 1.0)
+            return fail(lineNo, "prob must be in [0, 1]");
+        plan.faults.push_back(spec);
+    }
+    return plan;
+}
+
+// -------------------------------------------------------- DpuFaultState
+
+DpuFaultState::DpuFaultState(const FaultPlan& plan, uint32_t dpuIndex,
+                             DpuCore* core)
+    : plan_(&plan), dpu_(dpuIndex), core_(core)
+{
+    for (uint32_t i = 0; i < plan.faults.size(); ++i) {
+        const FaultSpec& f = plan.faults[i];
+        if (f.dpu < 0 || static_cast<uint32_t>(f.dpu) == dpuIndex)
+            mine_.push_back(i);
+    }
+    flipFired_.assign(plan.faults.size(), 0);
+}
+
+uint64_t
+DpuFaultState::rawDraw(uint32_t specIndex, uint64_t salt,
+                       uint64_t counter) const
+{
+    uint64_t h = plan_->seed;
+    h = mix(h ^ (specIndex * 0x9e3779b97f4a7c15ull));
+    h = mix(h ^ (static_cast<uint64_t>(dpu_) << 32) ^ salt);
+    h = mix(h ^ counter);
+    return h;
+}
+
+double
+DpuFaultState::draw(uint32_t specIndex, uint64_t salt,
+                    uint64_t counter) const
+{
+    return u01(rawDraw(specIndex, salt, counter));
+}
+
+void
+DpuFaultState::applyStuck(FaultKind kind, uint8_t* mem,
+                          uint64_t memSize, uint32_t addr,
+                          uint32_t size)
+{
+    for (uint32_t i : mine_) {
+        const FaultSpec& f = plan_->faults[i];
+        if (f.kind != kind)
+            continue;
+        if (f.addr < addr ||
+            f.addr >= static_cast<uint64_t>(addr) + size ||
+            f.addr >= memSize)
+            continue;
+        uint8_t maskBit = static_cast<uint8_t>(1u << (f.bit & 7));
+        uint8_t& cell = mem[f.addr];
+        uint8_t forced = f.stuckValue ? (cell | maskBit)
+                                      : (cell & ~maskBit);
+        if (forced != cell) {
+            cell = forced;
+            countFault("mem/stuck_asserts");
+        }
+    }
+}
+
+void
+DpuFaultState::onMramWritten(uint32_t addr, uint32_t size)
+{
+    applyStuck(FaultKind::MramStuckBit, core_->mramData(),
+               core_->model().mramBytes, addr, size);
+}
+
+void
+DpuFaultState::onWramWritten(uint32_t addr, uint32_t size)
+{
+    applyStuck(FaultKind::WramStuckBit, core_->wramData(),
+               core_->model().wramBytes, addr, size);
+}
+
+bool
+DpuFaultState::onLaunchBegin()
+{
+    launchFaultEvents_ = 0;
+    slowdown_ = 1.0;
+    uint64_t event = launchEvents_++;
+    for (uint32_t i : mine_) {
+        const FaultSpec& f = plan_->faults[i];
+        if (event < f.triggerAfter)
+            continue;
+        switch (f.kind) {
+          case FaultKind::MramBitFlip:
+          case FaultKind::WramBitFlip: {
+            if (flipFired_[i] ||
+                draw(i, kSaltLaunch, event) >= f.probability)
+                break;
+            flipFired_[i] = 1;
+            bool mram = f.kind == FaultKind::MramBitFlip;
+            uint8_t* mem =
+                mram ? core_->mramData() : core_->wramData();
+            uint64_t memSize = mram ? core_->model().mramBytes
+                                    : core_->model().wramBytes;
+            if (f.addr < memSize) {
+                mem[f.addr] ^= static_cast<uint8_t>(1u << (f.bit & 7));
+                ++launchFaultEvents_;
+                countFault("mem/bit_flips");
+            }
+            break;
+          }
+          case FaultKind::DpuHardFail:
+            if (!hardFailed_ &&
+                draw(i, kSaltLaunch, event) < f.probability) {
+                hardFailed_ = true;
+                ++launchFaultEvents_;
+                countFault("dpu/hard_fail");
+            }
+            break;
+          case FaultKind::DpuStraggler:
+            if (draw(i, kSaltLaunch, event) < f.probability) {
+                slowdown_ = std::max(slowdown_, f.slowdown);
+                ++launchFaultEvents_;
+                countFault("dpu/straggler");
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    return hardFailed_;
+}
+
+uint64_t
+DpuFaultState::adjustCycles(uint64_t cycles) const
+{
+    if (slowdown_ <= 1.0)
+        return cycles;
+    return static_cast<uint64_t>(static_cast<double>(cycles) *
+                                 slowdown_);
+}
+
+uint64_t
+DpuFaultState::onDmaData(uint8_t* data, uint32_t size)
+{
+    uint64_t event = dmaEvents_++;
+    uint64_t extraStall = 0;
+    for (uint32_t i : mine_) {
+        const FaultSpec& f = plan_->faults[i];
+        if (event < f.triggerAfter)
+            continue;
+        if (f.kind == FaultKind::DmaCorrupt && size > 0 &&
+            draw(i, kSaltDma, event) < f.probability) {
+            uint64_t site = rawDraw(i, kSaltDmaSite, event);
+            data[site % size] ^=
+                static_cast<uint8_t>(1u << ((site >> 32) & 7));
+            ++launchFaultEvents_;
+            countFault("dma/corrupt");
+        } else if (f.kind == FaultKind::DmaTimeout &&
+                   draw(i, kSaltDma, event) < f.probability) {
+            extraStall += f.extraStallCycles;
+            ++launchFaultEvents_;
+            countFault("dma/timeout");
+            obs::Registry& reg = obs::Registry::global();
+            if (reg.enabled())
+                reg.counter("fault/dma/timeout_stall_cycles")
+                    .add(f.extraStallCycles);
+        }
+    }
+    return extraStall;
+}
+
+TransferOutcome
+DpuFaultState::onTransferAttempt()
+{
+    uint64_t event = transferEvents_++;
+    TransferOutcome out = TransferOutcome::Ok;
+    for (uint32_t i : mine_) {
+        const FaultSpec& f = plan_->faults[i];
+        if (event < f.triggerAfter)
+            continue;
+        if (f.kind == FaultKind::TransferTimeout &&
+            draw(i, kSaltTransfer, event) < f.probability) {
+            countFault("transfer/timeout");
+            return TransferOutcome::Timeout; // timeouts dominate
+        }
+        if (f.kind == FaultKind::TransferCorrupt &&
+            out == TransferOutcome::Ok &&
+            draw(i, kSaltTransfer, event) < f.probability) {
+            countFault("transfer/corrupt");
+            out = TransferOutcome::Corrupt;
+        }
+    }
+    return out;
+}
+
+void
+DpuFaultState::corruptRegion(uint8_t* data, uint64_t size)
+{
+    if (size == 0)
+        return;
+    uint64_t site = mix(plan_->seed ^
+                        (static_cast<uint64_t>(dpu_) << 32) ^
+                        transferEvents_);
+    data[site % size] ^= static_cast<uint8_t>(1u << ((site >> 32) & 7));
+}
+
+} // namespace fault
+} // namespace sim
+} // namespace tpl

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * pimfault: deterministic, seeded fault injection for the simulator.
+ *
+ * Real UPMEM deployments run with faulty or disabled DPUs and flaky
+ * rank transfers (Gómez-Luna et al., arXiv:2105.03814 report both on
+ * the 2556-DPU system the paper characterizes), yet simulators — ours
+ * included, until this module — only ever model the sunny day. This
+ * module makes every documented failure mode *expressible and
+ * replayable*:
+ *
+ *   - memory cell faults: stuck-at bits and one-shot bit flips in
+ *     MRAM or WRAM,
+ *   - DMA faults: silent data corruption of a transferred buffer and
+ *     timed-out transfers (extra latency on the issuing tasklet),
+ *   - core faults: permanent per-DPU hard failures and slow-DPU
+ *     stragglers (cycle multipliers),
+ *   - host<->DPU transfer faults: per-leg timeouts and detected
+ *     corruption, both retryable by the PimSystem runtime.
+ *
+ * Everything is configured by a FaultPlan: a seed plus a list of
+ * FaultSpec entries (site + probability + trigger). Every firing
+ * decision is a pure hash of (plan seed, spec index, DPU index,
+ * per-DPU event counter) — no shared RNG stream — so a plan replays
+ * bit-identically at any simulation thread count, and an armed plan
+ * whose specs all have probability 0 leaves every modeled statistic
+ * bit-identical to a run with no plan at all (locked by
+ * tests/fault_test.cc and the fault-determinism test in
+ * tests/concurrency_test.cc).
+ *
+ * Observability: every fired fault counts into the obs Registry under
+ * `fault/...` when the registry is enabled; firing never depends on
+ * the registry state.
+ */
+
+#ifndef TPL_PIMSIM_FAULT_FAULT_H
+#define TPL_PIMSIM_FAULT_FAULT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tpl {
+namespace sim {
+
+class DpuCore;
+
+namespace fault {
+
+/** Injection sites / failure modes a FaultSpec can select. */
+enum class FaultKind
+{
+    MramStuckBit,    ///< MRAM cell bit stuck at a value (reasserted
+                     ///< after every write covering it)
+    WramStuckBit,    ///< WRAM cell bit stuck at a value
+    MramBitFlip,     ///< one-shot MRAM bit flip at a trigger launch
+    WramBitFlip,     ///< one-shot WRAM bit flip at a trigger launch
+    DmaCorrupt,      ///< silent bit corruption of a tasklet DMA buffer
+    DmaTimeout,      ///< timed-out tasklet DMA: extra stall cycles
+    DpuHardFail,     ///< permanent core failure (launches fail)
+    DpuStraggler,    ///< slow core: launch cycles multiplied
+    TransferTimeout, ///< host<->DPU transfer leg fails (retryable)
+    TransferCorrupt, ///< host<->DPU transfer leg corrupted (detected
+                     ///< by the runtime's CRC model, retryable)
+};
+
+/** Stable lowercase-slug of a kind ("dpu-hard-fail", ...). */
+const char* kindSlug(FaultKind kind);
+
+/** Inverse of kindSlug; empty optional for unknown slugs. */
+std::optional<FaultKind> kindFromSlug(const std::string& slug);
+
+/**
+ * One injectable fault: a kind, a site, and a trigger. Fields beyond
+ * the kind's site are ignored (a DpuHardFail has no addr/bit).
+ */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::DpuHardFail;
+
+    /** Target DPU index, or -1 for every DPU. */
+    int32_t dpu = -1;
+
+    /** Byte address of the faulty cell (memory-cell kinds). */
+    uint32_t addr = 0;
+
+    /** Bit index within the byte (memory-cell kinds). */
+    uint8_t bit = 0;
+
+    /** Stuck-at value (MramStuckBit / WramStuckBit). */
+    bool stuckValue = false;
+
+    /**
+     * Per-event firing probability. The event an eligible spec draws
+     * on depends on the kind: each tasklet DMA (DmaCorrupt /
+     * DmaTimeout), each launch (DpuHardFail / DpuStraggler and the
+     * bit-flip trigger), each per-DPU transfer attempt
+     * (TransferTimeout / TransferCorrupt). Stuck-at cells ignore it
+     * (they are permanently asserted).
+     */
+    double probability = 1.0;
+
+    /** Events of the kind to skip before the spec becomes eligible
+     * (e.g. bit flips: the launch index to flip at). */
+    uint64_t triggerAfter = 0;
+
+    /** Cycle multiplier while a DpuStraggler fires. */
+    double slowdown = 4.0;
+
+    /** Extra stall cycles a fired DmaTimeout charges. */
+    uint64_t extraStallCycles = 1000;
+};
+
+/**
+ * A complete, replayable failure scenario: the seed plus every
+ * injectable fault. Serializes to a line-based text form
+ * (`tools/pimfault` replays files of it):
+ *
+ *   # comment
+ *   seed 42
+ *   fault kind=dpu-hard-fail dpu=3 prob=1
+ *   fault kind=dma-corrupt prob=0.01
+ *   fault kind=mram-stuck-bit dpu=0 addr=1024 bit=3 stuck=1
+ *   fault kind=dpu-straggler prob=0.1 slowdown=4
+ *   fault kind=dma-timeout prob=0.01 stall=10000
+ *   fault kind=transfer-timeout prob=0.05
+ *   fault kind=mram-bit-flip dpu=1 addr=2048 bit=7 after=1
+ */
+struct FaultPlan
+{
+    uint64_t seed = 0;
+    std::vector<FaultSpec> faults;
+
+    bool empty() const { return faults.empty(); }
+
+    /** Serialize to the text form parse() accepts. */
+    std::string toText() const;
+
+    /**
+     * Parse the text form. On failure returns std::nullopt and, when
+     * @p error is non-null, a line-tagged message.
+     */
+    static std::optional<FaultPlan> parse(const std::string& text,
+                                          std::string* error = nullptr);
+};
+
+/** Outcome of one host<->DPU transfer-leg attempt. */
+enum class TransferOutcome
+{
+    Ok,
+    Timeout, ///< the leg never completed; retry after backoff
+    Corrupt, ///< the leg completed but failed the CRC; retry
+};
+
+/**
+ * Per-DPU fault state: the specs of a plan that target one DPU, plus
+ * that DPU's private event counters. Owned by the SystemFaultState a
+ * PimSystem::armFaults creates; a DpuCore holds a non-owning pointer
+ * (like its sanitizer). All counters are single-threaded by contract:
+ * a DpuCore is only ever touched by one simulation thread at a time.
+ */
+class DpuFaultState
+{
+  public:
+    DpuFaultState(const FaultPlan& plan, uint32_t dpuIndex,
+                  DpuCore* core);
+
+    uint32_t dpuIndex() const { return dpu_; }
+
+    /// @name Launch-level hooks (DpuCore::launch).
+    /// @{
+
+    /**
+     * Called at the top of every launch: applies due one-shot bit
+     * flips and draws the hard-fail / straggler specs for this launch
+     * event. @return true when the core is (now) hard-failed and the
+     * launch must not execute.
+     */
+    bool onLaunchBegin();
+
+    /** Straggler adjustment of a finished launch's cycles. */
+    uint64_t adjustCycles(uint64_t cycles) const;
+
+    /** Permanently failed (a DpuHardFail fired on this core). */
+    bool hardFailed() const { return hardFailed_; }
+
+    /** Injected fault events since the last onLaunchBegin. */
+    uint64_t launchFaultEvents() const { return launchFaultEvents_; }
+    /// @}
+
+    /// @name DMA hooks (TaskletContext::mramReadAt / mramWriteAt).
+    /// @{
+
+    /** DMA data landed in @p data: maybe corrupt it; @return extra
+     * stall cycles from timed-out transfers. */
+    uint64_t onDmaData(uint8_t* data, uint32_t size);
+    /// @}
+
+    /// @name Memory-write hooks (stuck-at reassertion).
+    /// @{
+    void onMramWritten(uint32_t addr, uint32_t size);
+    void onWramWritten(uint32_t addr, uint32_t size);
+    /// @}
+
+    /** Draw the outcome of one host<->DPU transfer-leg attempt. */
+    TransferOutcome onTransferAttempt();
+
+    /** Corrupt one deterministic bit of a transfer region (used when
+     * a corrupt leg lands undetected). */
+    void corruptRegion(uint8_t* data, uint64_t size);
+
+  private:
+    double draw(uint32_t specIndex, uint64_t salt, uint64_t counter) const;
+    uint64_t rawDraw(uint32_t specIndex, uint64_t salt,
+                     uint64_t counter) const;
+    void applyStuck(FaultKind kind, uint8_t* mem, uint64_t memSize,
+                    uint32_t addr, uint32_t size);
+
+    const FaultPlan* plan_;
+    uint32_t dpu_;
+    DpuCore* core_;
+    std::vector<uint32_t> mine_; ///< indices of specs targeting dpu_
+    uint64_t dmaEvents_ = 0;
+    uint64_t launchEvents_ = 0;
+    uint64_t transferEvents_ = 0;
+    uint64_t launchFaultEvents_ = 0;
+    double slowdown_ = 1.0; ///< straggler multiplier for this launch
+    bool hardFailed_ = false;
+    std::vector<uint8_t> flipFired_; ///< per-spec one-shot latch
+};
+
+} // namespace fault
+} // namespace sim
+} // namespace tpl
+
+#endif // TPL_PIMSIM_FAULT_FAULT_H

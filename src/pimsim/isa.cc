@@ -12,6 +12,7 @@
 
 #include "common/emu_int.h"
 #include "pimsim/analysis/sanitizer.h"
+#include "pimsim/fault/fault.h"
 
 namespace tpl {
 namespace sim {
@@ -355,6 +356,10 @@ execute(const Program& program, TaskletContext& ctx,
                 san->onWramStore(ctx.taskletId(), addr, 4, srcLine(pc));
             wramCheck(addr, 4);
             std::memcpy(wram + addr, &r[ins.rd], 4);
+            // Stuck-at WRAM cells win over every store, including the
+            // interpreter's (DMA faults flow in via mramRead/WriteAt).
+            if (fault::DpuFaultState* faults = core.faultState())
+                faults->onWramWritten(addr, 4);
             break;
           }
           case Opcode::Ldma: {

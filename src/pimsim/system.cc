@@ -12,6 +12,7 @@
 #include "pimsim/system.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <string>
 
@@ -21,6 +22,45 @@
 
 namespace tpl {
 namespace sim {
+
+namespace fault {
+
+/**
+ * The armed plan plus every per-DPU fault state and the health mask.
+ * Created by PimSystem::armFaults; the DpuFaultState pointers handed
+ * to the cores point into this object. Mask slots are written only by
+ * the thread simulating that DPU (or sequentially by the host side),
+ * and reads happen after the pool joins, so plain bytes suffice; the
+ * retry/failure tallies cross threads and are atomic.
+ */
+class SystemFaultState
+{
+  public:
+    SystemFaultState(const FaultPlan& plan,
+                     std::vector<std::unique_ptr<DpuCore>>& dpus)
+        : plan_(plan), masked_(dpus.size(), 0)
+    {
+        states_.reserve(dpus.size());
+        for (uint32_t i = 0; i < dpus.size(); ++i)
+            states_.push_back(std::make_unique<DpuFaultState>(
+                plan_, i, dpus[i].get()));
+    }
+
+    const FaultPlan& plan() const { return plan_; }
+    DpuFaultState& dpu(uint32_t i) { return *states_[i]; }
+    bool masked(uint32_t i) const { return masked_[i] != 0; }
+    void mask(uint32_t i) { masked_[i] = 1; }
+
+    std::atomic<uint32_t> transferRetries{0};
+    std::atomic<uint32_t> transferFailures{0};
+
+  private:
+    FaultPlan plan_;
+    std::vector<std::unique_ptr<DpuFaultState>> states_;
+    std::vector<uint8_t> masked_;
+};
+
+} // namespace fault
 
 namespace {
 
@@ -39,6 +79,52 @@ PimSystem::PimSystem(uint32_t numDpus, const CostModel& model)
     dpus_.reserve(numDpus);
     for (uint32_t i = 0; i < numDpus; ++i)
         dpus_.push_back(std::make_unique<DpuCore>(model));
+}
+
+PimSystem::~PimSystem() = default;
+
+void
+PimSystem::armFaults(const fault::FaultPlan& plan)
+{
+    faults_ = std::make_unique<fault::SystemFaultState>(plan, dpus_);
+    for (uint32_t i = 0; i < numDpus(); ++i)
+        dpus_[i]->setFaultState(&faults_->dpu(i));
+}
+
+void
+PimSystem::disarmFaults()
+{
+    for (auto& d : dpus_)
+        d->setFaultState(nullptr);
+    faults_.reset();
+}
+
+const fault::FaultPlan*
+PimSystem::faultPlan() const
+{
+    return faults_ ? &faults_->plan() : nullptr;
+}
+
+bool
+PimSystem::isMasked(uint32_t dpu) const
+{
+    return faults_ && faults_->masked(dpu);
+}
+
+uint32_t
+PimSystem::healthyDpus() const
+{
+    uint32_t n = 0;
+    for (uint32_t i = 0; i < numDpus(); ++i)
+        n += isMasked(i) ? 0 : 1;
+    return n;
+}
+
+void
+PimSystem::maskDpu(uint32_t dpu)
+{
+    if (faults_)
+        faults_->mask(dpu);
 }
 
 void
@@ -84,11 +170,12 @@ PimSystem::serialTransferSeconds(uint64_t totalBytes) const
 double
 PimSystem::accountTransfer(TransferStats::Cell (&cells)[2],
                            const char* direction, TransferMode mode,
-                           uint64_t streamBytes)
+                           uint64_t streamBytes, double extraSeconds)
 {
-    double seconds = mode == TransferMode::Parallel
-                         ? parallelTransferSeconds(streamBytes)
-                         : serialTransferSeconds(streamBytes);
+    double seconds = (mode == TransferMode::Parallel
+                          ? parallelTransferSeconds(streamBytes)
+                          : serialTransferSeconds(streamBytes)) +
+                     extraSeconds;
     TransferStats::Cell& cell = cells[static_cast<int>(mode)];
     ++cell.transfers;
     cell.bytes += streamBytes;
@@ -106,15 +193,88 @@ PimSystem::accountTransfer(TransferStats::Cell (&cells)[2],
 }
 
 double
+PimSystem::transferLeg(uint32_t dpu, uint64_t bytes,
+                       const std::function<void()>& copy,
+                       uint8_t* corruptTarget, uint64_t corruptSize)
+{
+    if (!faults_) {
+        copy();
+        return 0.0;
+    }
+    if (faults_->masked(dpu))
+        return 0.0; // skipped: the core is already dead
+
+    fault::DpuFaultState& state = faults_->dpu(dpu);
+    obs::Registry& reg = obs::Registry::global();
+    double extra = 0.0;
+    uint32_t attempts = policy_.maxTransferRetries + 1;
+    for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            // Capped exponential backoff before each retry.
+            double backoff =
+                std::min(policy_.backoffBaseSeconds *
+                             static_cast<double>(1ull << (attempt - 1)),
+                         policy_.backoffCapSeconds);
+            extra += backoff;
+            faults_->transferRetries.fetch_add(
+                1, std::memory_order_relaxed);
+            if (reg.enabled()) {
+                reg.counter("fault/transfer/retries").add(1);
+                reg.real("fault/transfer/backoff_seconds").add(backoff);
+            }
+        }
+        fault::TransferOutcome outcome = state.onTransferAttempt();
+        if (outcome == fault::TransferOutcome::Ok) {
+            copy();
+            return extra;
+        }
+        if (outcome == fault::TransferOutcome::Corrupt) {
+            // The bytes made it across the link, but damaged.
+            copy();
+            if (!policy_.detectTransferCorruption) {
+                // No CRC on this runtime: the flip lands silently.
+                if (corruptTarget && corruptSize)
+                    state.corruptRegion(corruptTarget, corruptSize);
+                return extra;
+            }
+            // Detected: the streamed bytes were wasted; retry.
+            extra += serialTransferSeconds(bytes);
+        }
+        // Timeout: nothing arrived; the attempt cost the leg's stream
+        // time before the host gave up.
+        if (outcome == fault::TransferOutcome::Timeout)
+            extra += serialTransferSeconds(bytes);
+    }
+    // Out of retries: this core's link is considered dead.
+    maskDpu(dpu);
+    faults_->transferFailures.fetch_add(1, std::memory_order_relaxed);
+    if (reg.enabled())
+        reg.counter("fault/transfer/failures").add(1);
+    return extra;
+}
+
+double
 PimSystem::broadcastToMram(uint32_t mramAddr, const void* src,
                            uint32_t size, TransferMode mode)
 {
     obs::TraceSpan span(
         std::string("broadcast ") + toString(mode), "xfer",
         obs::argKv("bytes", static_cast<uint64_t>(size)));
+    // Fault-retry overhead lands in a pre-sized slot per DPU and is
+    // summed sequentially, so the modeled seconds are independent of
+    // the thread count (all slots are 0.0 with no plan armed).
+    std::vector<double> extra(numDpus(), 0.0);
     forEachDpu(
-        [&](uint32_t i) { dpus_[i]->hostWriteMram(mramAddr, src, size); },
+        [&](uint32_t i) {
+            extra[i] = transferLeg(
+                i, size,
+                [&, i] { dpus_[i]->hostWriteMram(mramAddr, src, size); },
+                dpus_[i]->mramData() + mramAddr, size);
+        },
         size);
+    double extraSeconds = 0.0;
+    for (double e : extra)
+        extraSeconds += e;
     // Parallel broadcast writes the same buffer to each rank
     // overlapped, costing one parallel pass of the table bytes;
     // serialized it streams the buffer once per DPU.
@@ -123,7 +283,7 @@ PimSystem::broadcastToMram(uint32_t mramAddr, const void* src,
             ? size
             : static_cast<uint64_t>(size) * numDpus();
     return accountTransfer(transferStats_.broadcast, "broadcast", mode,
-                           streamBytes);
+                           streamBytes, extraSeconds);
 }
 
 double
@@ -134,16 +294,25 @@ PimSystem::scatterToMram(uint32_t mramAddr, const void* data,
     obs::TraceSpan span(std::string("scatter ") + toString(mode),
                         "xfer", obs::argKv("bytes", total));
     const uint8_t* bytes = static_cast<const uint8_t*>(data);
+    std::vector<double> extra(numDpus(), 0.0);
     forEachDpu(
         [&](uint32_t i) {
-            dpus_[i]->hostWriteMram(mramAddr,
-                                    bytes + static_cast<uint64_t>(i) *
-                                                bytesPerDpu,
-                                    bytesPerDpu);
+            extra[i] = transferLeg(
+                i, bytesPerDpu,
+                [&, i] {
+                    dpus_[i]->hostWriteMram(
+                        mramAddr,
+                        bytes + static_cast<uint64_t>(i) * bytesPerDpu,
+                        bytesPerDpu);
+                },
+                dpus_[i]->mramData() + mramAddr, bytesPerDpu);
         },
         bytesPerDpu);
+    double extraSeconds = 0.0;
+    for (double e : extra)
+        extraSeconds += e;
     return accountTransfer(transferStats_.scatter, "scatter", mode,
-                           total);
+                           total, extraSeconds);
 }
 
 double
@@ -154,16 +323,23 @@ PimSystem::gatherFromMram(uint32_t mramAddr, void* data,
     obs::TraceSpan span(std::string("gather ") + toString(mode),
                         "xfer", obs::argKv("bytes", total));
     uint8_t* bytes = static_cast<uint8_t*>(data);
+    std::vector<double> extra(numDpus(), 0.0);
     forEachDpu(
         [&](uint32_t i) {
-            dpus_[i]->hostReadMram(mramAddr,
-                                   bytes + static_cast<uint64_t>(i) *
-                                               bytesPerDpu,
-                                   bytesPerDpu);
+            uint8_t* dst = bytes + static_cast<uint64_t>(i) * bytesPerDpu;
+            extra[i] = transferLeg(
+                i, bytesPerDpu,
+                [&, i, dst] {
+                    dpus_[i]->hostReadMram(mramAddr, dst, bytesPerDpu);
+                },
+                dst, bytesPerDpu);
         },
         bytesPerDpu);
+    double extraSeconds = 0.0;
+    for (double e : extra)
+        extraSeconds += e;
     return accountTransfer(transferStats_.gather, "gather", mode,
-                           total);
+                           total, extraSeconds);
 }
 
 double
@@ -178,11 +354,20 @@ PimSystem::launchAll(uint32_t numTasklets, const Kernel& kernel)
                         static_cast<uint64_t>(numTasklets))}));
     obs::Tracer& tracer = obs::Tracer::global();
     const bool tracing = tracer.enabled();
+    // Cores masked by an earlier failure are skipped this launch;
+    // snapshot the mask up front so a core failing *during* this
+    // launch still counts as attempted.
+    std::vector<uint8_t> skip(n, 0);
+    if (faults_)
+        for (uint32_t i = 0; i < n; ++i)
+            skip[i] = faults_->masked(i) ? 1 : 0;
     // Per-DPU cycles land in a pre-sized slot each, then reduce
     // sequentially: no cross-thread accumulation, so the result is
     // identical to the serial loop bit for bit.
     std::vector<uint64_t> cycles(n, 0);
     auto runOne = [&](uint32_t i) {
+        if (skip[i])
+            return;
         if (tracing) {
             // The per-DPU slice lands on whichever pool thread ran
             // it, exercising the tracer's per-thread buffers.
@@ -204,12 +389,47 @@ PimSystem::launchAll(uint32_t numTasklets, const Kernel& kernel)
         pool.parallelFor(
             n, [&](uint64_t i) { runOne(static_cast<uint32_t>(i)); });
     }
+    obs::Registry& reg = obs::Registry::global();
+
+    // Sequential failure sweep: apply the launch timeout, mask newly
+    // failed cores, and cap their cycle contribution (the host fences
+    // a straggler at the timeout; a hard-failed core contributed 0).
+    LaunchReport report;
+    if (faults_) {
+        for (uint32_t i = 0; i < n; ++i) {
+            if (skip[i]) {
+                ++report.masked;
+                continue;
+            }
+            ++report.attempted;
+            const LaunchStats& st = dpus_[i]->lastLaunch();
+            report.faultEvents += st.faultEvents;
+            bool failed = st.failed;
+            if (!failed && policy_.launchTimeoutCycles > 0 &&
+                st.cycles > policy_.launchTimeoutCycles) {
+                failed = true;
+                cycles[i] = policy_.launchTimeoutCycles;
+                if (reg.enabled())
+                    reg.counter("fault/launch/timeout").add(1);
+            }
+            if (failed) {
+                report.failedDpus.push_back(i);
+                faults_->mask(i);
+            }
+        }
+        if (reg.enabled() && report.masked)
+            reg.counter("fault/launch/masked_skips").add(report.masked);
+    } else {
+        report.attempted = n;
+    }
+
     uint64_t maxCycles = 0;
     for (uint64_t c : cycles)
         maxCycles = std::max(maxCycles, c);
     lastMaxCycles_ = maxCycles;
+    report.maxCycles = maxCycles;
+    lastReport_ = std::move(report);
 
-    obs::Registry& reg = obs::Registry::global();
     if (reg.enabled()) {
         reg.counter("pimsim/system/launches").add(1);
         reg.counter("pimsim/system/max_cycles").add(maxCycles);
@@ -223,6 +443,215 @@ PimSystem::launchAll(uint32_t numTasklets, const Kernel& kernel)
     if (reg.enabled())
         reg.real("pimsim/system/modeled_seconds").add(seconds);
     return seconds;
+}
+
+ShardedRunReport
+PimSystem::runSharded(const void* input, void* output,
+                      uint64_t elements, uint32_t elemBytes,
+                      uint32_t numTasklets,
+                      const ShardKernelFactory& makeKernel)
+{
+    ShardedRunReport rep;
+    if (elements == 0) {
+        rep.complete = true;
+        return rep;
+    }
+    obs::TraceSpan span(
+        "runSharded", "sim",
+        obs::argsObject(
+            {obs::argKv("elements", elements),
+             obs::argKv("dpus", static_cast<uint64_t>(numDpus()))}));
+    obs::Registry& reg = obs::Registry::global();
+    const uint32_t retries0 =
+        faults_ ? faults_->transferRetries.load() : 0;
+    const uint32_t failures0 =
+        faults_ ? faults_->transferFailures.load() : 0;
+
+    const uint8_t* in = static_cast<const uint8_t*>(input);
+    uint8_t* out = static_cast<uint8_t*>(output);
+
+    // Pending contiguous element ranges (first, count). Failed shards
+    // put their range back here and the next wave re-distributes it
+    // over whatever cores are still healthy.
+    std::vector<std::pair<uint64_t, uint64_t>> pending{{0, elements}};
+    const uint32_t waveLimit = std::max(1u, policy_.maxReshardWaves);
+
+    auto noteFailed = [&rep](uint32_t d) {
+        if (std::find(rep.failedDpus.begin(), rep.failedDpus.end(),
+                      d) == rep.failedDpus.end())
+            rep.failedDpus.push_back(d);
+    };
+
+    while (!pending.empty() && rep.waves < waveLimit) {
+        std::vector<uint32_t> healthy;
+        for (uint32_t i = 0; i < numDpus(); ++i)
+            if (!isMasked(i))
+                healthy.push_back(i);
+        if (healthy.empty())
+            break;
+        ++rep.waves;
+
+        uint64_t total = 0;
+        for (const auto& r : pending)
+            total += r.second;
+        // Even split over the healthy cores; each core gets at most
+        // one shard per wave, so leftover fragments roll over to the
+        // next wave (pending shrinks every wave — this terminates).
+        const uint64_t per =
+            (total + healthy.size() - 1) / healthy.size();
+
+        std::vector<ShardTask> tasks;
+        std::vector<std::pair<uint64_t, uint64_t>> next;
+        {
+            size_t h = 0;
+            for (const auto& r : pending) {
+                uint64_t first = r.first, count = r.second;
+                while (count > 0) {
+                    if (h == healthy.size()) {
+                        next.emplace_back(first, count);
+                        break;
+                    }
+                    uint64_t take = std::min(count, per);
+                    ShardTask t;
+                    t.dpu = healthy[h++];
+                    t.firstElement = first;
+                    t.elements = static_cast<uint32_t>(take);
+                    tasks.push_back(t);
+                    first += take;
+                    count -= take;
+                }
+            }
+        }
+        pending.clear();
+
+        // Scatter: one serial leg per shard (sizes differ, so the
+        // host interface serializes). A leg that kills its core drops
+        // the shard back into the pending set before launch.
+        std::vector<char> live(tasks.size(), 1);
+        uint64_t scatterBytes = 0;
+        double scatterExtra = 0.0;
+        for (size_t k = 0; k < tasks.size(); ++k) {
+            ShardTask& t = tasks[k];
+            DpuCore& d = dpu(t.dpu);
+            const uint64_t bytes =
+                static_cast<uint64_t>(t.elements) * elemBytes;
+            t.inAddr = d.mramAlloc(static_cast<uint32_t>(bytes));
+            t.outAddr = d.mramAlloc(static_cast<uint32_t>(bytes));
+            scatterExtra += transferLeg(
+                t.dpu, bytes,
+                [&] {
+                    d.hostWriteMram(t.inAddr,
+                                    in + t.firstElement * elemBytes,
+                                    static_cast<uint32_t>(bytes));
+                },
+                d.mramData() + t.inAddr, bytes);
+            if (isMasked(t.dpu)) {
+                live[k] = 0;
+                next.emplace_back(t.firstElement, t.elements);
+                noteFailed(t.dpu);
+            } else {
+                scatterBytes += bytes;
+            }
+        }
+        rep.modeledSeconds +=
+            accountTransfer(transferStats_.scatter, "scatter",
+                            TransferMode::Serial, scatterBytes,
+                            scatterExtra);
+
+        // Launch every live shard (distinct cores, so parallel is
+        // safe); per-task cycles land in pre-sized slots.
+        std::vector<uint64_t> cyc(tasks.size(), 0);
+        auto runOne = [&](size_t k) {
+            if (!live[k])
+                return;
+            const ShardTask& t = tasks[k];
+            cyc[k] =
+                dpu(t.dpu).launch(numTasklets, makeKernel(t)).cycles;
+        };
+        if (simThreads_ == 1 || tasks.size() <= 1) {
+            for (size_t k = 0; k < tasks.size(); ++k)
+                runOne(k);
+        } else {
+            ThreadPool& pool = pool_ ? *pool_ : ThreadPool::global();
+            pool.parallelFor(tasks.size(),
+                             [&](uint64_t k) { runOne(k); });
+        }
+
+        // Sequential sweep: fence stragglers, mask failures, gather
+        // the survivors' outputs into the host array.
+        uint64_t gatherBytes = 0;
+        double gatherExtra = 0.0;
+        uint64_t waveMax = 0;
+        for (size_t k = 0; k < tasks.size(); ++k) {
+            if (!live[k])
+                continue;
+            const ShardTask& t = tasks[k];
+            const LaunchStats& st = dpu(t.dpu).lastLaunch();
+            bool failed = st.failed;
+            if (!failed && policy_.launchTimeoutCycles > 0 &&
+                st.cycles > policy_.launchTimeoutCycles) {
+                failed = true;
+                cyc[k] = policy_.launchTimeoutCycles;
+                if (reg.enabled())
+                    reg.counter("fault/launch/timeout").add(1);
+            }
+            if (failed) {
+                maskDpu(t.dpu);
+                noteFailed(t.dpu);
+                next.emplace_back(t.firstElement, t.elements);
+                waveMax = std::max(waveMax, cyc[k]);
+                continue;
+            }
+            const uint64_t bytes =
+                static_cast<uint64_t>(t.elements) * elemBytes;
+            uint8_t* dst = out + t.firstElement * elemBytes;
+            gatherExtra += transferLeg(
+                t.dpu, bytes,
+                [&] {
+                    dpu(t.dpu).hostReadMram(
+                        t.outAddr, dst, static_cast<uint32_t>(bytes));
+                },
+                dst, bytes);
+            if (isMasked(t.dpu)) {
+                // The gather leg died: the results are lost and the
+                // shard recomputes elsewhere.
+                noteFailed(t.dpu);
+                next.emplace_back(t.firstElement, t.elements);
+            } else {
+                gatherBytes += bytes;
+            }
+            waveMax = std::max(waveMax, cyc[k]);
+        }
+        rep.modeledSeconds +=
+            accountTransfer(transferStats_.gather, "gather",
+                            TransferMode::Serial, gatherBytes,
+                            gatherExtra);
+        if (model_.frequencyHz > 0.0)
+            rep.modeledSeconds +=
+                static_cast<double>(waveMax) / model_.frequencyHz;
+        lastMaxCycles_ = std::max(lastMaxCycles_, waveMax);
+
+        for (const auto& r : next)
+            rep.reshardedElements += r.second;
+        pending = std::move(next);
+    }
+
+    rep.complete = pending.empty();
+    if (faults_) {
+        rep.transferRetries =
+            faults_->transferRetries.load() - retries0;
+        rep.transferFailures =
+            faults_->transferFailures.load() - failures0;
+    }
+    if (reg.enabled()) {
+        reg.counter("fault/shard/waves").add(rep.waves);
+        if (rep.reshardedElements)
+            reg.counter("fault/shard/resharded_elements")
+                .add(rep.reshardedElements);
+        if (!rep.complete)
+            reg.counter("fault/shard/incomplete").add(1);
+    }
+    return rep;
 }
 
 double

@@ -24,11 +24,16 @@
 #include <vector>
 
 #include "pimsim/dpu.h"
+#include "pimsim/fault/fault.h"
 
 namespace tpl {
 namespace sim {
 
 class ThreadPool;
+
+namespace fault {
+class SystemFaultState; // system.cc (plan copy + per-DPU states)
+} // namespace fault
 
 /**
  * How a host<->PIM transfer streams on the modeled machine: rank-
@@ -94,6 +99,76 @@ struct TransferStats
     }
 };
 
+/**
+ * How the runtime reacts to transfer and launch failures injected by
+ * an armed FaultPlan. All times are modeled seconds; with no plan
+ * armed the policy is never consulted.
+ */
+struct RetryPolicy
+{
+    /** Retries per failed host<->DPU transfer leg before the DPU is
+     * masked out as failed. */
+    uint32_t maxTransferRetries = 3;
+
+    /** Backoff before retry k is min(base * 2^k, cap): capped
+     * exponential, modeled on the host interface clock. */
+    double backoffBaseSeconds = 1e-6;
+    double backoffCapSeconds = 1e-3;
+
+    /** Launches exceeding this many cycles are treated as failed
+     * (straggler fencing); 0 disables the timeout. */
+    uint64_t launchTimeoutCycles = 0;
+
+    /** Re-shard passes runSharded may take before giving up. */
+    uint32_t maxReshardWaves = 6;
+
+    /** Detected-corrupt transfer legs are retried; when false they
+     * land silently (models a runtime without CRC). */
+    bool detectTransferCorruption = true;
+};
+
+/**
+ * What happened in the last launchAll: which cores ran, which were
+ * skipped because an earlier fault masked them, and which failed this
+ * launch (hard failure, or cycles beyond the policy's launch
+ * timeout). Failure surfaces here and in the per-core
+ * LaunchStats::failed flag; the obs Registry counts under `fault/...`.
+ */
+struct LaunchReport
+{
+    uint32_t attempted = 0; ///< unmasked cores launched
+    uint32_t masked = 0;    ///< cores skipped (previously failed)
+    std::vector<uint32_t> failedDpus; ///< newly failed this launch
+    uint64_t maxCycles = 0; ///< slowest healthy core
+    uint64_t faultEvents = 0; ///< injected events across cores
+};
+
+/** One shard of a runSharded pass: where a contiguous slice of the
+ * element range landed on one core. */
+struct ShardTask
+{
+    uint32_t dpu = 0;          ///< simulated DPU index
+    uint32_t inAddr = 0;       ///< MRAM address of the input slice
+    uint32_t outAddr = 0;      ///< MRAM address of the output slice
+    uint64_t firstElement = 0; ///< offset into the host arrays
+    uint32_t elements = 0;     ///< elements in this shard
+};
+
+/** Builds the kernel evaluating one shard (SPMD body per tasklet). */
+using ShardKernelFactory = std::function<Kernel(const ShardTask&)>;
+
+/** Outcome of a PimSystem::runSharded call. */
+struct ShardedRunReport
+{
+    bool complete = false;    ///< every element produced an output
+    uint32_t waves = 0;       ///< launch passes (1 = no failures)
+    double modeledSeconds = 0.0; ///< transfers + slowest launch/wave
+    std::vector<uint32_t> failedDpus; ///< cores masked along the way
+    uint64_t reshardedElements = 0; ///< elements moved off failed cores
+    uint32_t transferRetries = 0;   ///< failed legs that were retried
+    uint32_t transferFailures = 0;  ///< legs dead after all retries
+};
+
 /** Accumulated timing of one offloaded phase. */
 struct PhaseTiming
 {
@@ -144,6 +219,7 @@ class PimSystem
      */
     explicit PimSystem(uint32_t numDpus,
                        const CostModel& model = CostModel{});
+    ~PimSystem(); // out of line: SystemFaultState is incomplete here
 
     uint32_t numDpus() const { return static_cast<uint32_t>(dpus_.size()); }
 
@@ -187,13 +263,63 @@ class PimSystem
     }
 
     /**
-     * Launch the same kernel on every simulated DPU.
-     * @return seconds of the slowest DPU (they run concurrently).
+     * Launch the same kernel on every simulated DPU. With a fault
+     * plan armed, masked (previously failed) cores are skipped and
+     * cores that fail during this launch are masked for subsequent
+     * work; see lastLaunchReport().
+     * @return seconds of the slowest healthy DPU (they run
+     * concurrently).
      */
     double launchAll(uint32_t numTasklets, const Kernel& kernel);
 
     /** Cycles of the slowest DPU in the last launchAll. */
     uint64_t lastMaxCycles() const { return lastMaxCycles_; }
+
+    /** Failure accounting of the last launchAll. */
+    const LaunchReport& lastLaunchReport() const { return lastReport_; }
+
+    /// @name Fault injection & resilience (pimsim/fault/fault.h).
+    /// @{
+
+    /**
+     * Arm @p plan on every core: the plan is copied, per-DPU fault
+     * states are created, and all launches/transfers/memory writes
+     * consult it until disarmFaults(). Re-arming replaces the active
+     * plan and clears all masks. A plan whose specs never fire leaves
+     * every modeled statistic bit-identical to no plan at all.
+     */
+    void armFaults(const fault::FaultPlan& plan);
+
+    /** Detach the armed plan (cores become permanently healthy). */
+    void disarmFaults();
+
+    /** The armed plan, or nullptr. */
+    const fault::FaultPlan* faultPlan() const;
+
+    /** Retry/degradation knobs consulted while a plan is armed. */
+    void setRetryPolicy(const RetryPolicy& policy) { policy_ = policy; }
+    const RetryPolicy& retryPolicy() const { return policy_; }
+
+    /** True when @p dpu has been masked out by a failure. */
+    bool isMasked(uint32_t dpu) const;
+
+    /** Number of cores not masked out. */
+    uint32_t healthyDpus() const;
+
+    /**
+     * Degradation-aware sharded execution: scatter @p elements items
+     * of @p elemBytes from @p input across the healthy cores, launch
+     * the shard kernels, and gather into @p output — retrying failed
+     * transfer legs with capped exponential backoff and re-sharding
+     * the slices of failed cores onto the survivors in subsequent
+     * waves. Without an armed plan this degenerates to one wave over
+     * all cores. @p makeKernel is called once per shard per wave.
+     */
+    ShardedRunReport runSharded(const void* input, void* output,
+                                uint64_t elements, uint32_t elemBytes,
+                                uint32_t numTasklets,
+                                const ShardKernelFactory& makeKernel);
+    /// @}
 
     /**
      * Override the simulation parallelism for this system.
@@ -249,11 +375,30 @@ class PimSystem
 
     /**
      * Account one transfer into @p cell (and, observationally, the
-     * obs layer): modeled seconds for @p streamBytes in @p mode.
+     * obs layer): modeled seconds for @p streamBytes in @p mode,
+     * plus @p extraSeconds of fault-retry overhead (0 when no fault
+     * fired).
      */
     double accountTransfer(TransferStats::Cell (&cells)[2],
                            const char* direction, TransferMode mode,
-                           uint64_t streamBytes);
+                           uint64_t streamBytes,
+                           double extraSeconds = 0.0);
+
+    /**
+     * One per-DPU leg of a bulk transfer under the armed plan's retry
+     * semantics: draws the leg outcome, retries timeouts/detected
+     * corruption with capped exponential backoff, masks the DPU when
+     * retries are exhausted. @p copy performs the actual bytes;
+     * @p corruptTarget/@p corruptSize name the region an undetected
+     * corrupt leg flips a bit in. @return extra modeled seconds
+     * (backoff + re-streamed bytes) — 0 with no plan armed.
+     */
+    double transferLeg(uint32_t dpu, uint64_t bytes,
+                       const std::function<void()>& copy,
+                       uint8_t* corruptTarget, uint64_t corruptSize);
+
+    /** Mark a DPU failed/masked (armed plans only). */
+    void maskDpu(uint32_t dpu);
 
     CostModel model_;
     std::vector<std::unique_ptr<DpuCore>> dpus_;
@@ -261,6 +406,9 @@ class PimSystem
     uint32_t simThreads_ = 0;
     ThreadPool* pool_ = nullptr; ///< nullptr = the global pool
     TransferStats transferStats_;
+    RetryPolicy policy_;
+    LaunchReport lastReport_;
+    std::unique_ptr<fault::SystemFaultState> faults_;
 };
 
 } // namespace sim

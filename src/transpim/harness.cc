@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "pimsim/obs/trace.h"
+#include "transpim/error_model.h"
 
 namespace tpl {
 namespace transpim {
@@ -140,6 +141,92 @@ runMicrobench(Function f, const MethodSpec& spec,
     res.transferSeconds =
         timing.serialTransferSeconds(eval.memoryBytes());
     res.setupSeconds = res.hostGenSeconds + res.transferSeconds;
+    return res;
+}
+
+ResilientResult
+runResilientMicrobench(Function f, const MethodSpec& spec,
+                       const ResilientOptions& opts)
+{
+    ResilientResult res;
+    res.totalDpus = opts.dpus;
+
+    obs::TraceSpan benchSpan(
+        "resilient " + std::string(functionName(f)) + " / " +
+            methodLabel(spec),
+        "host",
+        obs::argsObject(
+            {obs::argKv("elements",
+                        static_cast<uint64_t>(opts.elements)),
+             obs::argKv("dpus", static_cast<uint64_t>(opts.dpus))}));
+
+    Domain dom = opts.domain ? *opts.domain : functionDomain(f);
+    std::vector<float> inputs =
+        uniformFloats(opts.elements, static_cast<float>(dom.lo),
+                      static_cast<float>(dom.hi), opts.seed);
+    std::vector<float> outputs(opts.elements, 0.0f);
+
+    sim::PimSystem sys(opts.dpus);
+    sys.setRetryPolicy(opts.policy);
+
+    // LutStore binds each attached table to one core, so every core
+    // gets its own evaluator (same spec => identical tables).
+    std::vector<FunctionEvaluator> evals(opts.dpus);
+    for (uint32_t i = 0; i < opts.dpus; ++i) {
+        try {
+            evals[i] = FunctionEvaluator::create(f, spec);
+            evals[i].attach(sys.dpu(i));
+        } catch (const UnsupportedCombination&) {
+            res.feasible = false;
+            return res;
+        } catch (const std::bad_alloc&) {
+            res.feasible = false;
+            return res;
+        }
+    }
+
+    if (opts.plan)
+        sys.armFaults(*opts.plan);
+
+    res.run = sys.runSharded(
+        inputs.data(), outputs.data(), opts.elements, sizeof(float),
+        opts.tasklets, [&](const sim::ShardTask& t) -> sim::Kernel {
+            const FunctionEvaluator& ev = evals[t.dpu];
+            return [&ev, t](sim::TaskletContext& ctx) {
+                constexpr uint32_t chunkElems = 256;
+                float buffer[chunkElems];
+                uint32_t chunks =
+                    (t.elements + chunkElems - 1) / chunkElems;
+                for (uint32_t c = ctx.taskletId(); c < chunks;
+                     c += ctx.numTasklets()) {
+                    uint32_t beg = c * chunkElems;
+                    uint32_t cnt =
+                        std::min(chunkElems, t.elements - beg);
+                    ctx.mramRead(t.inAddr + beg * sizeof(float),
+                                 buffer, cnt * sizeof(float));
+                    for (uint32_t i = 0; i < cnt; ++i) {
+                        ctx.charge(4);
+                        buffer[i] = ev.eval(buffer[i], &ctx);
+                    }
+                    ctx.mramWrite(t.outAddr + beg * sizeof(float),
+                                  buffer, cnt * sizeof(float));
+                }
+            };
+        });
+
+    res.healthyDpus = sys.healthyDpus();
+
+    ErrorAccumulator acc;
+    for (uint32_t i = 0; i < opts.elements; ++i) {
+        float ref = static_cast<float>(
+            referenceValue(f, static_cast<double>(inputs[i])));
+        acc.add(outputs[i], ref);
+    }
+    res.error = acc.stats();
+    res.predictedRmse = predictRmse(f, spec);
+    double bound =
+        std::max(res.predictedRmse * opts.errorBoundFactor, 1e-6);
+    res.withinErrorBound = res.run.complete && res.error.rmse <= bound;
     return res;
 }
 

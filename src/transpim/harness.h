@@ -65,6 +65,57 @@ MicrobenchResult runMicrobench(Function f, const MethodSpec& spec,
                                const MicrobenchOptions& opts = {});
 
 /**
+ * Options for the degradation-aware multi-DPU harness. The fault plan
+ * is optional: with none armed the run degenerates to one wave over
+ * all cores and the report shows zero failures.
+ */
+struct ResilientOptions
+{
+    uint32_t elements = 1u << 12;
+    uint32_t dpus = 8;
+    uint32_t tasklets = 8;
+    uint64_t seed = 0x7ea9c0de;
+    /** Optional input domain override (defaults to functionDomain). */
+    std::optional<Domain> domain;
+    /** Retry/backoff/timeout knobs applied to the PimSystem. */
+    sim::RetryPolicy policy;
+    /** Fault plan armed before the run, when set. */
+    std::optional<sim::fault::FaultPlan> plan;
+    /**
+     * Degraded-result acceptance bound: the run is within bound when
+     * it completed and measured RMSE <= max(predictRmse * this
+     * factor, 1e-6). The error model is a scaling law verified within
+     * a factor of ~4-6 (tests/error_model_test.cc), so the default
+     * leaves headroom without masking corrupted outputs, which are
+     * orders of magnitude off.
+     */
+    double errorBoundFactor = 10.0;
+};
+
+/** Outcome of a resilient run: degradation report + accuracy check. */
+struct ResilientResult
+{
+    bool feasible = true;        ///< false: unsupported/tables too big
+    sim::ShardedRunReport run;   ///< waves, failures, retries, seconds
+    ErrorStats error;            ///< vs. host libm, all elements
+    double predictedRmse = 0.0;  ///< error_model scaling-law bound
+    bool withinErrorBound = false; ///< complete && rmse within bound
+    uint32_t healthyDpus = 0;    ///< cores alive after the run
+    uint32_t totalDpus = 0;
+};
+
+/**
+ * Run one (function, method) evaluation over @p opts.elements inputs
+ * sharded across a multi-DPU system, with the fault plan (if any)
+ * armed: failed cores are masked, their elements re-sharded onto
+ * survivors, and the final accuracy is checked against the analytic
+ * error model. Exercises PimSystem::runSharded end to end.
+ */
+ResilientResult runResilientMicrobench(Function f,
+                                       const MethodSpec& spec,
+                                       const ResilientOptions& opts = {});
+
+/**
  * Accuracy-only evaluation on the host (no DPU, no cycle model):
  * used by tests and for quick table-size sweeps.
  */

@@ -1,0 +1,679 @@
+/**
+ * @file
+ * pimfault framework tests: plan text round-trip, the zero-
+ * perturbation invariant (an armed plan that never fires leaves every
+ * modeled statistic bit-identical to no plan), every fault kind
+ * firing and being detected or recovered, retry/backoff semantics,
+ * and the headline acceptance scenario — 64 DPUs with 5% injected
+ * hard failures completing via masking + re-shard within the error-
+ * model bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "pimsim/fault/fault.h"
+#include "pimsim/obs/metrics.h"
+#include "pimsim/system.h"
+#include "transpim/harness.h"
+
+namespace {
+
+using namespace tpl;
+using namespace tpl::sim;
+using namespace tpl::transpim;
+
+// ---------------------------------------------------------------------
+// Shared workload: scatter, one chunked DMA kernel, gather.
+// ---------------------------------------------------------------------
+
+struct WorkloadResult
+{
+    std::vector<LaunchStats> stats; ///< per-DPU, post-launch
+    std::vector<float> outputs;
+    double seconds = 0.0; ///< scatter + launch + gather, modeled
+};
+
+constexpr uint32_t kChunk = 64;
+
+WorkloadResult
+runWorkload(PimSystem& sys, uint32_t perDpu = 512)
+{
+    const uint32_t n = sys.numDpus();
+    const uint32_t bytes = perDpu * sizeof(float);
+    uint32_t inAddr = 0, outAddr = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+        sys.dpu(i).resetAllocators();
+        inAddr = sys.dpu(i).mramAlloc(bytes);
+        outAddr = sys.dpu(i).mramAlloc(bytes);
+    }
+    std::vector<float> inputs =
+        uniformFloats(perDpu * n, -1.0f, 1.0f, 99);
+
+    WorkloadResult r;
+    r.seconds = sys.scatterToMram(inAddr, inputs.data(), bytes);
+    r.seconds += sys.launchAll(4, [&](TaskletContext& ctx) {
+        float buf[kChunk];
+        uint32_t chunks = perDpu / kChunk;
+        for (uint32_t c = ctx.taskletId(); c < chunks;
+             c += ctx.numTasklets()) {
+            ctx.mramRead(inAddr + c * kChunk * sizeof(float), buf,
+                         kChunk * sizeof(float));
+            for (uint32_t i = 0; i < kChunk; ++i) {
+                ctx.charge(3);
+                buf[i] = buf[i] * 0.5f + 1.0f;
+            }
+            ctx.mramWrite(outAddr + c * kChunk * sizeof(float), buf,
+                          kChunk * sizeof(float));
+        }
+    });
+    r.outputs.assign(perDpu * n, 0.0f);
+    r.seconds += sys.gatherFromMram(outAddr, r.outputs.data(), bytes);
+    for (uint32_t i = 0; i < n; ++i)
+        r.stats.push_back(sys.dpu(i).lastLaunch());
+    return r;
+}
+
+void
+expectStatsEqual(const LaunchStats& a, const LaunchStats& b,
+                 const std::string& label)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << label;
+    EXPECT_EQ(a.totalInstructions, b.totalInstructions) << label;
+    EXPECT_EQ(a.maxTaskletWork, b.maxTaskletWork) << label;
+    EXPECT_EQ(a.dmaEngineCycles, b.dmaEngineCycles) << label;
+    EXPECT_EQ(a.dmaBytes, b.dmaBytes) << label;
+    EXPECT_EQ(a.stallCycles, b.stallCycles) << label;
+    EXPECT_EQ(a.tasklets, b.tasklets) << label;
+    EXPECT_EQ(a.energyJoules, b.energyJoules) << label;
+    EXPECT_EQ(a.failed, b.failed) << label;
+    EXPECT_EQ(a.faultEvents, b.faultEvents) << label;
+    for (int c = 0; c < numInstrClasses; ++c)
+        EXPECT_EQ(a.classInstructions[c], b.classInstructions[c])
+            << label << " class " << c;
+}
+
+// ---------------------------------------------------------------------
+// FaultPlan text form.
+// ---------------------------------------------------------------------
+
+TEST(FaultPlan, TextRoundTripIsExact)
+{
+    fault::FaultPlan plan;
+    plan.seed = 0xdeadbeef;
+    fault::FaultSpec stuck;
+    stuck.kind = fault::FaultKind::MramStuckBit;
+    stuck.dpu = 0;
+    stuck.addr = 1024;
+    stuck.bit = 3;
+    stuck.stuckValue = true;
+    plan.faults.push_back(stuck);
+    fault::FaultSpec hard;
+    hard.kind = fault::FaultKind::DpuHardFail;
+    hard.dpu = -1;
+    hard.probability = 0.05;
+    plan.faults.push_back(hard);
+    fault::FaultSpec strag;
+    strag.kind = fault::FaultKind::DpuStraggler;
+    strag.probability = 0.25;
+    strag.slowdown = 3.5;
+    plan.faults.push_back(strag);
+    fault::FaultSpec dma;
+    dma.kind = fault::FaultKind::DmaTimeout;
+    dma.probability = 0.001;
+    dma.extraStallCycles = 12345;
+    plan.faults.push_back(dma);
+    fault::FaultSpec flip;
+    flip.kind = fault::FaultKind::WramBitFlip;
+    flip.dpu = 2;
+    flip.addr = 16;
+    flip.bit = 7;
+    flip.triggerAfter = 4;
+    plan.faults.push_back(flip);
+
+    std::string text = plan.toText();
+    std::string error;
+    auto parsed = fault::FaultPlan::parse(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->seed, plan.seed);
+    ASSERT_EQ(parsed->faults.size(), plan.faults.size());
+    EXPECT_EQ(parsed->toText(), text); // canonical fixed point
+    EXPECT_EQ(parsed->faults[2].slowdown, 3.5);
+    EXPECT_EQ(parsed->faults[3].extraStallCycles, 12345u);
+    EXPECT_EQ(parsed->faults[4].triggerAfter, 4u);
+}
+
+TEST(FaultPlan, ParseAcceptsCommentsAndWildcardDpu)
+{
+    std::string error;
+    auto plan = fault::FaultPlan::parse("# scenario\n"
+                                        "seed 42\n"
+                                        "\n"
+                                        "fault kind=dpu-hard-fail"
+                                        " dpu=* prob=0.5\n",
+                                        &error);
+    ASSERT_TRUE(plan.has_value()) << error;
+    EXPECT_EQ(plan->seed, 42u);
+    ASSERT_EQ(plan->faults.size(), 1u);
+    EXPECT_EQ(plan->faults[0].dpu, -1);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedInput)
+{
+    std::string error;
+    EXPECT_FALSE(fault::FaultPlan::parse("fault kind=no-such-kind\n",
+                                         &error)
+                     .has_value());
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+    EXPECT_FALSE(
+        fault::FaultPlan::parse("fault kind=dma-corrupt prob=1.5\n")
+            .has_value());
+    EXPECT_FALSE(
+        fault::FaultPlan::parse(
+            "fault kind=mram-stuck-bit addr=0 bit=9\n")
+            .has_value());
+    EXPECT_FALSE(fault::FaultPlan::parse("bogus directive\n")
+                     .has_value());
+    EXPECT_FALSE(fault::FaultPlan::parse("fault\n").has_value());
+}
+
+TEST(FaultPlan, KindSlugsRoundTrip)
+{
+    for (int k = 0; k <= static_cast<int>(
+                        fault::FaultKind::TransferCorrupt);
+         ++k) {
+        fault::FaultKind kind = static_cast<fault::FaultKind>(k);
+        auto back = fault::kindFromSlug(fault::kindSlug(kind));
+        ASSERT_TRUE(back.has_value()) << fault::kindSlug(kind);
+        EXPECT_EQ(*back, kind);
+    }
+    EXPECT_FALSE(fault::kindFromSlug("not-a-kind").has_value());
+}
+
+// ---------------------------------------------------------------------
+// Zero-perturbation invariant.
+// ---------------------------------------------------------------------
+
+TEST(FaultZeroPerturbation, ArmedZeroProbabilityPlanIsBitIdentical)
+{
+    PimSystem clean(4);
+    WorkloadResult base = runWorkload(clean);
+
+    // A plan covering every probabilistic kind, all at probability 0.
+    fault::FaultPlan plan;
+    plan.seed = 123;
+    for (fault::FaultKind kind :
+         {fault::FaultKind::MramBitFlip, fault::FaultKind::WramBitFlip,
+          fault::FaultKind::DmaCorrupt, fault::FaultKind::DmaTimeout,
+          fault::FaultKind::DpuHardFail,
+          fault::FaultKind::DpuStraggler,
+          fault::FaultKind::TransferTimeout,
+          fault::FaultKind::TransferCorrupt}) {
+        fault::FaultSpec s;
+        s.kind = kind;
+        s.probability = 0.0;
+        plan.faults.push_back(s);
+    }
+
+    PimSystem armed(4);
+    armed.armFaults(plan);
+    WorkloadResult faulted = runWorkload(armed);
+
+    EXPECT_EQ(base.seconds, faulted.seconds);
+    EXPECT_EQ(base.outputs, faulted.outputs);
+    for (uint32_t i = 0; i < 4; ++i)
+        expectStatsEqual(base.stats[i], faulted.stats[i],
+                         "dpu " + std::to_string(i));
+    EXPECT_EQ(armed.lastLaunchReport().attempted, 4u);
+    EXPECT_TRUE(armed.lastLaunchReport().failedDpus.empty());
+}
+
+TEST(FaultZeroPerturbation, EmptyPlanIsBitIdentical)
+{
+    PimSystem clean(2);
+    WorkloadResult base = runWorkload(clean);
+
+    PimSystem armed(2);
+    armed.armFaults(fault::FaultPlan{});
+    WorkloadResult faulted = runWorkload(armed);
+
+    EXPECT_EQ(base.seconds, faulted.seconds);
+    EXPECT_EQ(base.outputs, faulted.outputs);
+    for (uint32_t i = 0; i < 2; ++i)
+        expectStatsEqual(base.stats[i], faulted.stats[i],
+                         "dpu " + std::to_string(i));
+}
+
+TEST(FaultZeroPerturbation, ReplaySameSeedIsBitIdentical)
+{
+    fault::FaultPlan plan;
+    plan.seed = 2026;
+    fault::FaultSpec hard;
+    hard.kind = fault::FaultKind::DpuHardFail;
+    hard.probability = 0.25;
+    plan.faults.push_back(hard);
+    fault::FaultSpec strag;
+    strag.kind = fault::FaultKind::DpuStraggler;
+    strag.probability = 0.25;
+    plan.faults.push_back(strag);
+    fault::FaultSpec corrupt;
+    corrupt.kind = fault::FaultKind::DmaCorrupt;
+    corrupt.probability = 0.01;
+    plan.faults.push_back(corrupt);
+
+    PimSystem a(8), b(8);
+    a.armFaults(plan);
+    b.armFaults(plan);
+    WorkloadResult ra = runWorkload(a);
+    WorkloadResult rb = runWorkload(b);
+    EXPECT_EQ(ra.seconds, rb.seconds);
+    EXPECT_EQ(ra.outputs, rb.outputs);
+    for (uint32_t i = 0; i < 8; ++i)
+        expectStatsEqual(ra.stats[i], rb.stats[i],
+                         "dpu " + std::to_string(i));
+    EXPECT_EQ(a.lastLaunchReport().failedDpus,
+              b.lastLaunchReport().failedDpus);
+}
+
+// ---------------------------------------------------------------------
+// Memory-cell faults.
+// ---------------------------------------------------------------------
+
+TEST(FaultMemory, MramStuckBitReassertsAfterEveryWrite)
+{
+    fault::FaultPlan plan;
+    fault::FaultSpec s;
+    s.kind = fault::FaultKind::MramStuckBit;
+    s.dpu = 0;
+    s.addr = 12;
+    s.bit = 5;
+    s.stuckValue = true;
+    plan.faults.push_back(s);
+
+    PimSystem sys(1);
+    sys.armFaults(plan);
+    std::vector<uint8_t> zeros(64, 0);
+    sys.dpu(0).hostWriteMram(0, zeros.data(), 64);
+    uint8_t byte = 0;
+    sys.dpu(0).hostReadMram(12, &byte, 1);
+    EXPECT_EQ(byte, 1u << 5); // stuck-at-1 asserted
+
+    // Rewriting the region cannot clear a stuck cell.
+    sys.dpu(0).hostWriteMram(0, zeros.data(), 64);
+    sys.dpu(0).hostReadMram(12, &byte, 1);
+    EXPECT_EQ(byte, 1u << 5);
+
+    // Stuck-at-0 holds a set bit down too.
+    fault::FaultPlan plan0;
+    fault::FaultSpec z = s;
+    z.stuckValue = false;
+    plan0.faults.push_back(z);
+    PimSystem sys0(1);
+    sys0.armFaults(plan0);
+    std::vector<uint8_t> ones(64, 0xff);
+    sys0.dpu(0).hostWriteMram(0, ones.data(), 64);
+    sys0.dpu(0).hostReadMram(12, &byte, 1);
+    EXPECT_EQ(byte, 0xff & ~(1u << 5));
+}
+
+TEST(FaultMemory, WramStuckBitAsserted)
+{
+    fault::FaultPlan plan;
+    fault::FaultSpec s;
+    s.kind = fault::FaultKind::WramStuckBit;
+    s.dpu = 0;
+    s.addr = 8;
+    s.bit = 0;
+    s.stuckValue = true;
+    plan.faults.push_back(s);
+
+    PimSystem sys(1);
+    sys.armFaults(plan);
+    std::vector<uint8_t> zeros(16, 0);
+    sys.dpu(0).hostWriteWram(0, zeros.data(), 16);
+    uint8_t byte = 0;
+    sys.dpu(0).hostReadWram(8, &byte, 1);
+    EXPECT_EQ(byte, 1u);
+}
+
+TEST(FaultMemory, MramBitFlipFiresOnceAtTriggerLaunch)
+{
+    fault::FaultPlan plan;
+    fault::FaultSpec s;
+    s.kind = fault::FaultKind::MramBitFlip;
+    s.dpu = 0;
+    s.addr = 4;
+    s.bit = 7;
+    s.triggerAfter = 1; // second launch
+    plan.faults.push_back(s);
+
+    PimSystem sys(1);
+    sys.armFaults(plan);
+    std::vector<uint8_t> zeros(16, 0);
+    sys.dpu(0).hostWriteMram(0, zeros.data(), 16);
+    Kernel nop = [](TaskletContext&) {};
+
+    sys.dpu(0).launch(1, nop); // launch 0: before the trigger
+    uint8_t byte = 0;
+    sys.dpu(0).hostReadMram(4, &byte, 1);
+    EXPECT_EQ(byte, 0u);
+
+    LaunchStats st = sys.dpu(0).launch(1, nop); // launch 1: flips
+    sys.dpu(0).hostReadMram(4, &byte, 1);
+    EXPECT_EQ(byte, 1u << 7);
+    EXPECT_GE(st.faultEvents, 1u);
+
+    sys.dpu(0).launch(1, nop); // one-shot: does not flip back
+    sys.dpu(0).hostReadMram(4, &byte, 1);
+    EXPECT_EQ(byte, 1u << 7);
+}
+
+// ---------------------------------------------------------------------
+// DMA faults.
+// ---------------------------------------------------------------------
+
+TEST(FaultDma, CorruptPerturbsDataAndCounts)
+{
+    PimSystem clean(1);
+    WorkloadResult base = runWorkload(clean, 256);
+
+    fault::FaultPlan plan;
+    fault::FaultSpec s;
+    s.kind = fault::FaultKind::DmaCorrupt;
+    s.probability = 1.0; // every DMA
+    plan.faults.push_back(s);
+    PimSystem sys(1);
+    sys.armFaults(plan);
+    WorkloadResult faulted = runWorkload(sys, 256);
+
+    EXPECT_NE(base.outputs, faulted.outputs);
+    EXPECT_GT(faulted.stats[0].faultEvents, 0u);
+    // Corruption is silent: the cycle model is untouched.
+    EXPECT_EQ(base.stats[0].cycles, faulted.stats[0].cycles);
+}
+
+TEST(FaultDma, TimeoutAddsStallCyclesExactly)
+{
+    PimSystem clean(1);
+    WorkloadResult base = runWorkload(clean, 256);
+
+    fault::FaultPlan plan;
+    fault::FaultSpec s;
+    s.kind = fault::FaultKind::DmaTimeout;
+    s.probability = 1.0;
+    s.extraStallCycles = 5000;
+    plan.faults.push_back(s);
+    PimSystem sys(1);
+    sys.armFaults(plan);
+    WorkloadResult faulted = runWorkload(sys, 256);
+
+    EXPECT_GT(faulted.stats[0].cycles, base.stats[0].cycles);
+    EXPECT_GT(faulted.stats[0].stallCycles,
+              base.stats[0].stallCycles);
+    // Data is intact — a timed-out DMA is late, not wrong.
+    EXPECT_EQ(base.outputs, faulted.outputs);
+    // The exact cycle partition survives the injected stalls.
+    EXPECT_EQ(faulted.stats[0].stallCycles +
+                  faulted.stats[0].totalInstructions,
+              faulted.stats[0].cycles);
+}
+
+// ---------------------------------------------------------------------
+// Core faults: hard failure, straggler, launch timeout.
+// ---------------------------------------------------------------------
+
+TEST(FaultCore, HardFailMasksCoreAndReports)
+{
+    fault::FaultPlan plan;
+    fault::FaultSpec s;
+    s.kind = fault::FaultKind::DpuHardFail;
+    s.dpu = 1;
+    plan.faults.push_back(s);
+
+    PimSystem sys(4);
+    sys.armFaults(plan);
+    WorkloadResult r = runWorkload(sys);
+
+    EXPECT_TRUE(r.stats[1].failed);
+    EXPECT_EQ(r.stats[1].cycles, 0u);
+    const LaunchReport& rep = sys.lastLaunchReport();
+    ASSERT_EQ(rep.failedDpus.size(), 1u);
+    EXPECT_EQ(rep.failedDpus[0], 1u);
+    EXPECT_EQ(rep.attempted, 4u);
+    EXPECT_TRUE(sys.isMasked(1));
+    EXPECT_EQ(sys.healthyDpus(), 3u);
+
+    // Next launch skips the dead core.
+    sys.launchAll(2, [](TaskletContext& ctx) { ctx.charge(10); });
+    EXPECT_EQ(sys.lastLaunchReport().masked, 1u);
+    EXPECT_EQ(sys.lastLaunchReport().attempted, 3u);
+    EXPECT_TRUE(sys.lastLaunchReport().failedDpus.empty());
+}
+
+TEST(FaultCore, StragglerMultipliesCycles)
+{
+    PimSystem clean(2);
+    WorkloadResult base = runWorkload(clean);
+
+    fault::FaultPlan plan;
+    fault::FaultSpec s;
+    s.kind = fault::FaultKind::DpuStraggler;
+    s.dpu = 0;
+    s.slowdown = 4.0;
+    plan.faults.push_back(s);
+    PimSystem sys(2);
+    sys.armFaults(plan);
+    WorkloadResult faulted = runWorkload(sys);
+
+    EXPECT_EQ(faulted.stats[0].cycles, base.stats[0].cycles * 4);
+    expectStatsEqual(base.stats[1], faulted.stats[1], "healthy dpu");
+    // The stretch lands in the stall residual: partition stays exact.
+    EXPECT_EQ(faulted.stats[0].stallCycles +
+                  faulted.stats[0].totalInstructions,
+              faulted.stats[0].cycles);
+}
+
+TEST(FaultCore, LaunchTimeoutFencesStraggler)
+{
+    PimSystem probe(2);
+    WorkloadResult base = runWorkload(probe);
+    uint64_t healthyCycles = base.stats[0].cycles;
+
+    fault::FaultPlan plan;
+    fault::FaultSpec s;
+    s.kind = fault::FaultKind::DpuStraggler;
+    s.dpu = 0;
+    s.slowdown = 100.0;
+    plan.faults.push_back(s);
+
+    PimSystem sys(2);
+    sys.armFaults(plan);
+    RetryPolicy policy;
+    policy.launchTimeoutCycles = healthyCycles * 2;
+    sys.setRetryPolicy(policy);
+    runWorkload(sys);
+
+    const LaunchReport& rep = sys.lastLaunchReport();
+    ASSERT_EQ(rep.failedDpus.size(), 1u);
+    EXPECT_EQ(rep.failedDpus[0], 0u);
+    EXPECT_TRUE(sys.isMasked(0));
+    // The host stops waiting at the fence: the slowest *counted*
+    // core is capped at the timeout.
+    EXPECT_LE(rep.maxCycles, healthyCycles * 2);
+}
+
+// ---------------------------------------------------------------------
+// Host<->DPU transfer faults and the retry policy.
+// ---------------------------------------------------------------------
+
+TEST(FaultTransfer, PermanentTimeoutExhaustsRetriesAndMasks)
+{
+    fault::FaultPlan plan;
+    fault::FaultSpec s;
+    s.kind = fault::FaultKind::TransferTimeout;
+    s.dpu = 0;
+    s.probability = 1.0; // every attempt times out
+    plan.faults.push_back(s);
+
+    obs::Registry& reg = obs::Registry::global();
+    reg.reset();
+    reg.setEnabled(true);
+    PimSystem sys(2);
+    sys.armFaults(plan);
+    WorkloadResult r = runWorkload(sys);
+    reg.setEnabled(false);
+
+    EXPECT_TRUE(sys.isMasked(0));
+    EXPECT_FALSE(sys.isMasked(1));
+    EXPECT_GE(reg.counter("fault/transfer/retries").value(), 3u);
+    EXPECT_GE(reg.counter("fault/transfer/failures").value(), 1u);
+    // The dead leg never delivered: DPU 0's output region is still
+    // the gather buffer's initial zeros.
+    for (uint32_t i = 0; i < 512; ++i)
+        EXPECT_EQ(r.outputs[i], 0.0f) << i;
+}
+
+TEST(FaultTransfer, OccasionalTimeoutIsRetriedSuccessfully)
+{
+    fault::FaultPlan plan;
+    plan.seed = 5;
+    fault::FaultSpec s;
+    s.kind = fault::FaultKind::TransferTimeout;
+    s.probability = 0.4;
+    plan.faults.push_back(s);
+
+    obs::Registry& reg = obs::Registry::global();
+    reg.reset();
+    reg.setEnabled(true);
+    PimSystem clean(8);
+    WorkloadResult base = runWorkload(clean);
+    PimSystem sys(8);
+    RetryPolicy policy;
+    policy.maxTransferRetries = 8; // ample headroom at p=0.4
+    sys.setRetryPolicy(policy);
+    sys.armFaults(plan);
+    WorkloadResult r = runWorkload(sys);
+    reg.setEnabled(false);
+
+    // With p=0.4 per attempt and 9 attempts per leg over 24 legs the
+    // deterministic draws retry at least once and recover everywhere
+    // (locked by the fixed seed).
+    EXPECT_GE(reg.counter("fault/transfer/retries").value(), 1u);
+    EXPECT_EQ(reg.counter("fault/transfer/failures").value(), 0u);
+    EXPECT_EQ(sys.healthyDpus(), 8u);
+    EXPECT_EQ(base.outputs, r.outputs); // retries delivered the data
+    EXPECT_GT(r.seconds, base.seconds); // backoff + re-stream cost
+}
+
+TEST(FaultTransfer, UndetectedCorruptionFlipsHostData)
+{
+    fault::FaultPlan plan;
+    fault::FaultSpec s;
+    s.kind = fault::FaultKind::TransferCorrupt;
+    s.dpu = 0;
+    s.probability = 1.0;
+    plan.faults.push_back(s);
+
+    PimSystem clean(2);
+    WorkloadResult base = runWorkload(clean);
+
+    PimSystem sys(2);
+    RetryPolicy policy;
+    policy.detectTransferCorruption = false; // no CRC on this runtime
+    sys.setRetryPolicy(policy);
+    sys.armFaults(plan);
+    WorkloadResult r = runWorkload(sys);
+
+    EXPECT_FALSE(sys.isMasked(0)); // silent: the leg "succeeded"
+    EXPECT_NE(base.outputs, r.outputs);
+}
+
+TEST(FaultTransfer, DetectedCorruptionExhaustsRetries)
+{
+    fault::FaultPlan plan;
+    fault::FaultSpec s;
+    s.kind = fault::FaultKind::TransferCorrupt;
+    s.dpu = 0;
+    s.probability = 1.0; // every attempt corrupt -> retries exhaust
+    plan.faults.push_back(s);
+
+    PimSystem sys(2);
+    sys.armFaults(plan);
+    runWorkload(sys);
+    EXPECT_TRUE(sys.isMasked(0));
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: 64 DPUs, 5% hard failures, re-shard to completion.
+// ---------------------------------------------------------------------
+
+TEST(FaultAcceptance, SixtyFourDpusWithFivePercentHardFailures)
+{
+    fault::FaultPlan plan;
+    plan.seed = 11;
+    fault::FaultSpec s;
+    s.kind = fault::FaultKind::DpuHardFail;
+    s.dpu = -1; // every core draws
+    s.probability = 0.05;
+    plan.faults.push_back(s);
+
+    MethodSpec spec; // interpolated L-LUT in WRAM
+    spec.log2Entries = 10;
+    ResilientOptions opts;
+    opts.elements = 1u << 12;
+    opts.dpus = 64;
+    opts.tasklets = 4;
+    opts.plan = plan;
+
+    obs::Registry& reg = obs::Registry::global();
+    reg.reset();
+    reg.setEnabled(true);
+    ResilientResult res =
+        runResilientMicrobench(Function::Sin, spec, opts);
+    reg.setEnabled(false);
+
+    ASSERT_TRUE(res.feasible);
+    EXPECT_TRUE(res.run.complete);
+    EXPECT_TRUE(res.withinErrorBound)
+        << "rmse " << res.error.rmse << " predicted "
+        << res.predictedRmse;
+    // The seed fires the 5% hard-fail draw on at least one core, so
+    // degradation actually happened and was recovered from.
+    EXPECT_GE(res.run.failedDpus.size(), 1u);
+    EXPECT_LT(res.run.failedDpus.size(), 32u);
+    EXPECT_GE(res.run.waves, 2u);
+    EXPECT_GT(res.run.reshardedElements, 0u);
+    EXPECT_EQ(res.healthyDpus,
+              res.totalDpus -
+                  static_cast<uint32_t>(res.run.failedDpus.size()));
+    // Failure surfaced in the obs registry under fault/...
+    EXPECT_GE(reg.counter("fault/launch/failed").value(), 1u);
+    EXPECT_GE(reg.counter("fault/shard/resharded_elements").value(),
+              res.run.reshardedElements);
+}
+
+TEST(FaultAcceptance, ResilientRunWithoutPlanIsOneCleanWave)
+{
+    MethodSpec spec;
+    spec.log2Entries = 10;
+    ResilientOptions opts;
+    opts.elements = 1u << 10;
+    opts.dpus = 8;
+    opts.tasklets = 4;
+
+    ResilientResult res =
+        runResilientMicrobench(Function::Sin, spec, opts);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_TRUE(res.run.complete);
+    EXPECT_EQ(res.run.waves, 1u);
+    EXPECT_TRUE(res.run.failedDpus.empty());
+    EXPECT_EQ(res.run.reshardedElements, 0u);
+    EXPECT_EQ(res.run.transferRetries, 0u);
+    EXPECT_TRUE(res.withinErrorBound);
+    EXPECT_EQ(res.healthyDpus, 8u);
+}
+
+} // namespace

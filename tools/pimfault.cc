@@ -1,0 +1,301 @@
+/**
+ * @file
+ * pimfault: replay a FaultPlan file against a sharded multi-DPU run
+ * and print the blast radius — which cores failed, how many elements
+ * were re-sharded onto survivors, what the retries cost, and whether
+ * the degraded result still meets the analytic error bound.
+ *
+ *   pimfault --plan scenario.plan [workload options]
+ *   pimfault --demo > scenario.plan        # built-in demo scenario
+ *   pimfault --print --plan scenario.plan  # parse + echo canonical
+ *
+ * Options:
+ *   --plan PATH       fault plan file to replay (see --demo for the
+ *                     text format)
+ *   --demo            print a built-in demo plan to stdout and exit
+ *   --print           parse the plan, echo its canonical text, exit
+ *   --seed N          override the plan's seed
+ *   --function NAME   sin, cos, tanh, exp, log, ... (default sin)
+ *   --method NAME     llut, mlut, cordic, ... (default llut)
+ *   --elements N      input elements (default 4096)
+ *   --dpus N          simulated DPUs (default 16)
+ *   --tasklets N      tasklets per DPU (default 8)
+ *   --log2-entries N  LUT entry budget (default 10)
+ *   --iterations N    CORDIC iterations (default 24)
+ *   --metrics PATH    dump the metrics registry (fault/... counters)
+ *
+ * Exit status: 0 when the run completed and the degraded result is
+ * within the error-model bound, 1 when it is degraded beyond the
+ * bound / incomplete / infeasible, 2 on usage or plan-parse errors.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "pimsim/fault/fault.h"
+#include "pimsim/obs/metrics.h"
+#include "transpim/harness.h"
+
+namespace {
+
+using namespace tpl;
+using namespace tpl::transpim;
+
+void
+usage()
+{
+    std::cerr
+        << "usage: pimfault --plan PATH [--print] [--seed N]\n"
+           "                [--function NAME] [--method NAME]"
+           " [--elements N]\n"
+           "                [--dpus N] [--tasklets N]"
+           " [--log2-entries N]\n"
+           "                [--iterations N] [--metrics PATH]\n"
+           "       pimfault --demo\n";
+}
+
+const std::map<std::string, Function>&
+functionTable()
+{
+    static const std::map<std::string, Function> table = {
+        {"sin", Function::Sin},       {"cos", Function::Cos},
+        {"tan", Function::Tan},       {"sinh", Function::Sinh},
+        {"cosh", Function::Cosh},     {"tanh", Function::Tanh},
+        {"exp", Function::Exp},       {"log", Function::Log},
+        {"sqrt", Function::Sqrt},     {"gelu", Function::Gelu},
+        {"sigmoid", Function::Sigmoid}, {"cndf", Function::Cndf},
+        {"atan", Function::Atan},     {"asin", Function::Asin},
+        {"acos", Function::Acos},     {"atanh", Function::Atanh},
+        {"log2", Function::Log2},     {"log10", Function::Log10},
+        {"exp2", Function::Exp2},     {"rsqrt", Function::Rsqrt},
+        {"erf", Function::Erf},       {"silu", Function::Silu},
+        {"softplus", Function::Softplus},
+    };
+    return table;
+}
+
+const std::map<std::string, Method>&
+methodTable()
+{
+    static const std::map<std::string, Method> table = {
+        {"cordic", Method::Cordic},
+        {"cordic-fixed", Method::CordicFixed},
+        {"cordic-lut", Method::CordicLut},
+        {"mlut", Method::MLut},
+        {"llut", Method::LLut},
+        {"llut-fixed", Method::LLutFixed},
+        {"dlut", Method::DLut},
+        {"dllut", Method::DlLut},
+        {"poly", Method::Poly},
+    };
+    return table;
+}
+
+bool
+parseU32(const std::string& text, uint32_t& out)
+{
+    try {
+        size_t pos = 0;
+        unsigned long v = std::stoul(text, &pos, 0);
+        if (pos != text.size() || v > UINT32_MAX)
+            return false;
+        out = static_cast<uint32_t>(v);
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+/** A recoverable-by-construction scenario: one dead core, one slow
+ * core, rare DMA and transfer timeouts. No silent corruption, so the
+ * replayed run must complete within the error bound (exit 0). */
+const char* kDemoPlan =
+    "# pimfault demo scenario: replay with\n"
+    "#   pimfault --plan <this file>\n"
+    "seed 7\n"
+    "fault kind=dpu-hard-fail dpu=2 prob=1\n"
+    "fault kind=dpu-straggler dpu=5 prob=1 slowdown=3\n"
+    "fault kind=dma-timeout prob=0.001 stall=2000\n"
+    "fault kind=transfer-timeout prob=0.02\n";
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Function function = Function::Sin;
+    MethodSpec spec;
+    spec.log2Entries = 10;
+    ResilientOptions opts;
+    opts.elements = 4096;
+    opts.dpus = 16;
+    opts.tasklets = 8;
+    std::string planPath;
+    std::string metricsPath;
+    bool printOnly = false;
+    bool demo = false;
+    bool seedOverride = false;
+    uint32_t seedValue = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        auto u32Arg = [&](uint32_t& out) {
+            if (!parseU32(value(), out)) {
+                usage();
+                std::exit(2);
+            }
+        };
+        if (arg == "--plan") {
+            planPath = value();
+        } else if (arg == "--demo") {
+            demo = true;
+        } else if (arg == "--print") {
+            printOnly = true;
+        } else if (arg == "--seed") {
+            u32Arg(seedValue);
+            seedOverride = true;
+        } else if (arg == "--function") {
+            std::string name = value();
+            auto it = functionTable().find(name);
+            if (it == functionTable().end()) {
+                std::cerr << "pimfault: unknown function '" << name
+                          << "'\n";
+                return 2;
+            }
+            function = it->second;
+        } else if (arg == "--method") {
+            std::string name = value();
+            auto it = methodTable().find(name);
+            if (it == methodTable().end()) {
+                std::cerr << "pimfault: unknown method '" << name
+                          << "'\n";
+                return 2;
+            }
+            spec.method = it->second;
+        } else if (arg == "--elements") {
+            u32Arg(opts.elements);
+        } else if (arg == "--dpus") {
+            u32Arg(opts.dpus);
+        } else if (arg == "--tasklets") {
+            u32Arg(opts.tasklets);
+        } else if (arg == "--log2-entries") {
+            u32Arg(spec.log2Entries);
+        } else if (arg == "--iterations") {
+            u32Arg(spec.iterations);
+        } else if (arg == "--metrics") {
+            metricsPath = value();
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "pimfault: unknown option '" << arg << "'\n";
+            usage();
+            return 2;
+        }
+    }
+
+    if (demo) {
+        std::cout << kDemoPlan;
+        return 0;
+    }
+    if (planPath.empty()) {
+        usage();
+        return 2;
+    }
+
+    std::ifstream in(planPath);
+    if (!in) {
+        std::cerr << "pimfault: cannot read '" << planPath << "'\n";
+        return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    std::optional<sim::fault::FaultPlan> plan =
+        sim::fault::FaultPlan::parse(text.str(), &error);
+    if (!plan) {
+        std::cerr << "pimfault: " << planPath << ": " << error << "\n";
+        return 2;
+    }
+    if (seedOverride)
+        plan->seed = seedValue;
+
+    if (printOnly) {
+        std::cout << plan->toText();
+        return 0;
+    }
+
+    if (!FunctionEvaluator::supports(function, spec)) {
+        std::cerr << "pimfault: unsupported combination "
+                  << functionName(function) << " / "
+                  << methodLabel(spec) << "\n";
+        return 1;
+    }
+
+    obs::Registry::global().setEnabled(true);
+    opts.plan = *plan;
+    ResilientResult res = runResilientMicrobench(function, spec, opts);
+    if (!res.feasible) {
+        std::cerr << "pimfault: configuration infeasible (tables do"
+                     " not fit the PIM core)\n";
+        return 1;
+    }
+
+    std::cout << "== pimfault: " << functionName(function) << " / "
+              << methodLabel(spec) << "\n";
+    std::cout << "   plan " << planPath << " (seed " << plan->seed
+              << ", " << plan->faults.size() << " fault spec"
+              << (plan->faults.size() == 1 ? "" : "s") << "), "
+              << opts.elements << " elements over " << opts.dpus
+              << " DPUs\n\n";
+
+    std::cout << "-- blast radius\n";
+    std::printf("   waves               %10u\n", res.run.waves);
+    std::printf("   failed DPUs         %10zu of %u  [",
+                res.run.failedDpus.size(), res.totalDpus);
+    for (size_t i = 0; i < res.run.failedDpus.size(); ++i)
+        std::printf("%s%u", i ? " " : "", res.run.failedDpus[i]);
+    std::printf("]\n");
+    std::printf("   healthy after run   %10u\n", res.healthyDpus);
+    std::printf("   resharded elements  %10llu\n",
+                static_cast<unsigned long long>(
+                    res.run.reshardedElements));
+    std::printf("   transfer retries    %10u\n",
+                res.run.transferRetries);
+    std::printf("   transfer failures   %10u\n",
+                res.run.transferFailures);
+    std::printf("   modeled seconds     %13.6f\n",
+                res.run.modeledSeconds);
+
+    std::cout << "\n-- degraded result\n";
+    std::printf("   complete            %10s\n",
+                res.run.complete ? "yes" : "NO");
+    std::printf("   RMSE                %13.3e (bound %.3e x %.0f)\n",
+                res.error.rmse, res.predictedRmse,
+                opts.errorBoundFactor);
+    std::printf("   max error           %13.3e\n", res.error.maxAbs);
+    std::printf("   within error bound  %10s\n",
+                res.withinErrorBound ? "yes" : "NO");
+
+    if (!metricsPath.empty()) {
+        if (!obs::Registry::global().writeJson(metricsPath)) {
+            std::cerr << "pimfault: cannot write '" << metricsPath
+                      << "'\n";
+            return 2;
+        }
+        std::cout << "\nwrote " << metricsPath << "\n";
+    }
+    return res.withinErrorBound ? 0 : 1;
+}
