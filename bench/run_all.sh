@@ -28,6 +28,11 @@
 # so a red trajectory point is diagnosable from the JSON alone. The
 # header records the git SHA and simulation thread count the numbers
 # were taken at.
+#
+# Schema 2 additionally embeds a "serve_sweep" object: the pimserve
+# L-LUT sin sweep replayed through both the double-buffered and the
+# synchronous schedule, with modeled seconds, speedup and overlap.
+# The full output schema is documented in docs/bench.md.
 set -u
 
 if [ "${1:-}" = "--quick" ]; then
@@ -64,7 +69,9 @@ json_escape() {
 GIT_SHA=$(git -C "$(dirname "$0")/.." rev-parse HEAD 2>/dev/null || echo unknown)
 ERR_TMP=$(mktemp)
 METRICS_TMP=$(mktemp)
-trap 'rm -f "$ERR_TMP" "$METRICS_TMP"' EXIT
+SERVE_TMP=$(mktemp)
+TRACE_TMP=$(mktemp)
+trap 'rm -f "$ERR_TMP" "$METRICS_TMP" "$SERVE_TMP" "$TRACE_TMP"' EXIT
 
 entries=""
 failures=0
@@ -110,11 +117,43 @@ for bin in "$BENCH_DIR"/*; do
     $entry"
 done
 
+# Schema-2 sync-vs-pipelined sweep: replay an L-LUT sin request burst
+# (>= 4 waves over 64 DPUs) through pimserve; its --json output runs
+# BOTH schedules and carries sync_run_modeled_seconds + speedup. In
+# --quick mode the burst shrinks with TPL_BENCH_ELEMENTS.
+serve_sweep=""
+PIMSERVE="$BUILD_DIR/tools/pimserve"
+if [ -x "$PIMSERVE" ]; then
+    req_elems=${TPL_BENCH_ELEMENTS:-32768}
+    {
+        for _ in 1 2 3 4 5; do
+            echo "request function=sin method=llut elements=$req_elems"
+        done
+    } > "$TRACE_TMP"
+    echo "== pimserve sync-vs-pipelined sweep (5 x $req_elems)" >&2
+    if "$PIMSERVE" --trace "$TRACE_TMP" --dpus 64 \
+        --json "$SERVE_TMP" > /dev/null 2> "$ERR_TMP"; then
+        serve_sweep=$(cat "$SERVE_TMP")
+        awk -F'"' '/"speedup"/ { printf "   speedup %s\n", $0 }' \
+            "$SERVE_TMP" >&2 || true
+    else
+        failures=$((failures + 1))
+        echo "   FAILED" >&2
+        tail -5 "$ERR_TMP" >&2
+    fi
+else
+    echo "== pimserve not built; serve_sweep omitted" >&2
+fi
+
 {
     echo "{"
+    echo "  \"schema\": 2,"
     echo "  \"git_sha\": \"$GIT_SHA\","
     echo "  \"sim_threads\": \"${TPL_SIM_THREADS:-default}\","
     echo "  \"bench_elements\": \"${TPL_BENCH_ELEMENTS:-default}\","
+    if [ -n "$serve_sweep" ]; then
+        echo "  \"serve_sweep\": $serve_sweep,"
+    fi
     echo "  \"results\": [$entries"
     echo "  ]"
     echo "}"

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Documentation checks, wired into scripts/tier1.sh as the
+# TPL_TIER1_DOCS leg:
+#
+#   1. Every intra-repo markdown link ([text](relative/path)) in a
+#      tracked .md file must point at an existing file.
+#   2. Every public symbol (class / struct / enum class / using alias /
+#      free function at namespace scope) declared in a header under
+#      src/pimsim/serve/ or src/transpim/ must be mentioned in
+#      docs/API.md — new API surface ships documented or not at all.
+#
+# Usage: scripts/check_docs.sh
+# Exit: 0 clean, 1 on any broken link or undocumented symbol.
+set -u
+
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$SRC_DIR"
+
+failures=0
+
+# --- 1. intra-repo markdown links ------------------------------------
+
+# -c -o: tracked AND untracked (a doc must not dodge the check by
+# being new); --exclude-standard honors .gitignore (skips build/).
+md_files=$(git ls-files -c -o --exclude-standard '*.md' 2>/dev/null)
+[ -n "$md_files" ] || md_files=$(find . -name '*.md' -not -path './build*' -not -path './.git/*')
+
+for md in $md_files; do
+    # Pull out link targets: [text](target). One per line; markdown
+    # in this repo never nests parentheses inside link targets.
+    # Fenced code blocks are stripped first — C++ lambdas ([&](...))
+    # parse as links otherwise.
+    targets=$(awk '/^[[:space:]]*```/ { fence = !fence; next }
+                   !fence' "$md" |
+        grep -oE '\[[^]]*\]\([^)]+\)' |
+        sed -E 's/^\[[^]]*\]\(([^)]+)\)$/\1/')
+    [ -n "$targets" ] || continue
+    dir=$(dirname "$md")
+    while IFS= read -r target; do
+        case "$target" in
+            http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path="${target%%#*}" # drop the anchor
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "check_docs: $md: broken link '$target'" >&2
+            failures=$((failures + 1))
+        fi
+    done <<EOF
+$targets
+EOF
+done
+
+# --- 2. public API surface vs docs/API.md ----------------------------
+
+API_MD="docs/API.md"
+if [ ! -f "$API_MD" ]; then
+    echo "check_docs: $API_MD missing" >&2
+    exit 1
+fi
+
+# Extract namespace-scope names from a header. The repo style keeps
+# public declarations at column 0 (members are indented), so:
+#   - 'class X' / 'struct X' / 'enum class X' at column 0
+#   - 'using X = ...' at column 0
+#   - free-function declarations 'ReturnType name(...' at column 0
+public_symbols() {
+    local header="$1"
+    grep -hoE '^(class|struct) [A-Za-z_][A-Za-z0-9_]*' "$header" |
+        awk '{ print $2 }'
+    grep -hoE '^enum class [A-Za-z_][A-Za-z0-9_]*' "$header" |
+        awk '{ print $3 }'
+    grep -hoE '^using [A-Za-z_][A-Za-z0-9_]*' "$header" |
+        awk '{ print $2 }'
+    grep -hoE '^[A-Za-z_][A-Za-z0-9_:<>,&* ]*[ *&][A-Za-z_][A-Za-z0-9_]*\(' \
+        "$header" |
+        sed -E 's/.*[ *&]([A-Za-z_][A-Za-z0-9_]*)\($/\1/'
+}
+
+for header in src/pimsim/serve/*.h src/transpim/*.h; do
+    [ -f "$header" ] || continue
+    for sym in $(public_symbols "$header" | sort -u); do
+        # 'operator' tails and reserved words are artifacts of the
+        # line-based extraction, not API names.
+        case "$sym" in
+            operator* | if | for | while | return | sizeof) continue ;;
+        esac
+        if ! grep -qE "\\b$sym\\b" "$API_MD"; then
+            echo "check_docs: $header: public symbol '$sym'" \
+                "not documented in $API_MD" >&2
+            failures=$((failures + 1))
+        fi
+    done
+done
+
+if [ "$failures" -ne 0 ]; then
+    echo "check_docs: $failures problem(s)" >&2
+    exit 1
+fi
+echo "check_docs: all markdown links valid, API surface documented"
+exit 0

@@ -15,9 +15,11 @@ SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 # own `trap ... EXIT` (a second trap would silently replace the first).
 TRACE_TMP=""
 FAULT_TMP=""
+DOCS_TMP=""
 cleanup() {
     [ -n "$TRACE_TMP" ] && rm -rf "$TRACE_TMP"
     [ -n "$FAULT_TMP" ] && rm -rf "$FAULT_TMP"
+    [ -n "$DOCS_TMP" ] && rm -rf "$DOCS_TMP"
     return 0
 }
 trap cleanup EXIT
@@ -93,4 +95,22 @@ if [ "${TPL_TIER1_FAULT:-0}" = "1" ]; then
     python3 -m json.tool "$FAULT_TMP/fault.trace.json" > /dev/null
     grep -q 'fault/' "$FAULT_TMP/fault.metrics.json"
     echo "pimfault demo replay + degraded-launch trace round-trip OK"
+fi
+
+# With TPL_TIER1_DOCS=1, run the documentation checks: every
+# intra-repo markdown link resolves, and every public symbol in
+# src/pimsim/serve/ and src/transpim/ headers is covered by
+# docs/API.md. Additionally smoke the pimserve CLI (demo trace →
+# replay → JSON round-trip) so the documented examples keep working.
+if [ "${TPL_TIER1_DOCS:-0}" = "1" ]; then
+    bash "$SRC_DIR/scripts/check_docs.sh"
+    DOCS_TMP=$(mktemp -d)
+    "$BUILD_DIR/tools/pimserve" --demo-trace > "$DOCS_TMP/demo.trace"
+    "$BUILD_DIR/tools/pimserve" --trace "$DOCS_TMP/demo.trace" \
+        --dpus 16 --json "$DOCS_TMP/serve.json" \
+        --metrics "$DOCS_TMP/serve.metrics.json" > /dev/null
+    python3 -m json.tool "$DOCS_TMP/serve.json" > /dev/null
+    python3 -m json.tool "$DOCS_TMP/serve.metrics.json" > /dev/null
+    grep -q 'serve/' "$DOCS_TMP/serve.metrics.json"
+    echo "check_docs + pimserve demo replay JSON round-trip OK"
 fi

@@ -203,6 +203,23 @@ Tracer::instant(const std::string& name, const char* cat,
 }
 
 void
+Tracer::counterValue(const std::string& name, const char* cat,
+                     double value)
+{
+    if (!enabled())
+        return;
+    ThreadBuffer& buf = localBuffer();
+    TraceEvent ev;
+    ev.phase = 'C';
+    ev.tsUs = nowUs();
+    ev.tid = buf.tid;
+    ev.name = name;
+    ev.cat = cat;
+    ev.args = argKv("value", value);
+    buf.events.push_back(std::move(ev));
+}
+
+void
 Tracer::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);

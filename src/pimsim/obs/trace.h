@@ -30,6 +30,8 @@
  *   "sim"   — multi-DPU simulation phases (launchAll)
  *   "dpu"   — one DPU's kernel launch
  *   "tasklet" — per-tasklet execution slices inside a launch
+ *   "serve" — batched pipeline phases (waves, scatter/compute/gather
+ *             legs) plus queue-depth counter tracks
  *
  * Environment bootstrap: `TPL_OBS_TRACE=<path>` enables the global
  * tracer at process start and writes the Chrome JSON to <path> at
@@ -107,6 +109,14 @@ class Tracer
     /** An instantaneous event (phase i, thread scope). */
     void instant(const std::string& name, const char* cat,
                  std::string args = {});
+
+    /**
+     * A counter sample (phase C): Perfetto renders successive samples
+     * of the same @p name as a step chart — used for queue depth and
+     * in-flight wave tracks in the serve pipeline.
+     */
+    void counterValue(const std::string& name, const char* cat,
+                      double value);
     /// @}
 
     /**

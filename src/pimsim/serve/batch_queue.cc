@@ -1,0 +1,115 @@
+/**
+ * @file
+ * BatchQueue implementation.
+ */
+
+#include "pimsim/serve/batch_queue.h"
+
+#include <algorithm>
+
+namespace tpl {
+namespace sim {
+namespace serve {
+
+uint64_t
+BatchQueue::push(Request request)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return 0;
+    request.id = nextId_++;
+    ++totalPushed_;
+    uint64_t id = request.id;
+    queue_.push_back(std::move(request));
+    cv_.notify_one();
+    return id;
+}
+
+void
+BatchQueue::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    cv_.notify_all();
+}
+
+bool
+BatchQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+size_t
+BatchQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+uint64_t
+BatchQueue::queuedElements() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t n = 0;
+    for (const Request& r : queue_)
+        n += r.elements;
+    return n;
+}
+
+uint64_t
+BatchQueue::totalPushed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return totalPushed_;
+}
+
+std::optional<Wave>
+BatchQueue::popWave(uint64_t maxElements)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty())
+        return std::nullopt;
+
+    const uint64_t budget = std::max<uint64_t>(maxElements, 1);
+    Wave wave;
+    wave.table = queue_.front().table;
+
+    // FIFO sweep: absorb every request matching the front request's
+    // table until the budget is spent. Zero-element requests are
+    // closed for free; a request larger than the remaining budget is
+    // consumed partially and its spans advance in place.
+    uint64_t taken = 0;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+        if (!(it->table == wave.table)) {
+            ++it;
+            continue;
+        }
+        if (it->elements == 0) {
+            ++wave.requestsClosed;
+            it = queue_.erase(it);
+            continue;
+        }
+        if (taken == budget)
+            break;
+        uint64_t take = std::min(it->elements, budget - taken);
+        wave.items.push_back(
+            {it->id, it->input, it->output, take});
+        taken += take;
+        if (take == it->elements) {
+            ++wave.requestsClosed;
+            it = queue_.erase(it);
+        } else {
+            it->input += take;
+            it->output += take;
+            it->elements -= take;
+            ++it;
+        }
+    }
+    return wave;
+}
+
+} // namespace serve
+} // namespace sim
+} // namespace tpl

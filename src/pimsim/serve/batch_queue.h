@@ -1,0 +1,143 @@
+/**
+ * @file
+ * pimserve piece 1: the request queue.
+ *
+ * A thread-safe multi-producer queue of evaluation requests plus the
+ * batching policy that turns them into *waves*: contiguous batches of
+ * elements that all use the same table configuration and together fit
+ * one scatter across the healthy DPUs. Producers push requests (an
+ * input span, an output span, and the TableKey naming the evaluator
+ * configuration); the single pipeline consumer pops waves.
+ *
+ * Coalescing is FIFO-fair: a wave adopts the table of the oldest
+ * queued request and then sweeps the queue in order, absorbing every
+ * request with the same key until the element budget is reached.
+ * Requests larger than one wave are consumed incrementally — the
+ * queue advances their spans in place, so a 10-wave request simply
+ * yields ten consecutive waves without copying.
+ */
+
+#ifndef TPL_PIMSIM_SERVE_BATCH_QUEUE_H
+#define TPL_PIMSIM_SERVE_BATCH_QUEUE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tpl {
+namespace sim {
+namespace serve {
+
+/**
+ * Identity of one table/evaluator configuration. Two requests batch
+ * into the same wave (and share one cached table broadcast) iff their
+ * keys hash equal; the hash must therefore cover every knob that
+ * changes the generated tables (function, method, precision,
+ * placement, entry budget, ...). The label is human-readable context
+ * for traces and CLI output only.
+ */
+struct TableKey
+{
+    uint64_t hash = 0;
+    std::string label;
+
+    bool operator==(const TableKey& o) const { return hash == o.hash; }
+};
+
+/**
+ * One evaluation request: apply the evaluator named by @p table to
+ * @p elements floats at @p input, writing @p elements floats to
+ * @p output. Both spans must stay valid until the pipeline run that
+ * consumed the request returns.
+ */
+struct Request
+{
+    uint64_t id = 0; ///< assigned by BatchQueue::push
+    TableKey table;
+    const float* input = nullptr;
+    float* output = nullptr;
+    uint64_t elements = 0;
+};
+
+/** A contiguous piece of one request scheduled into a wave. */
+struct WaveItem
+{
+    uint64_t requestId = 0;
+    const float* input = nullptr;
+    float* output = nullptr;
+    uint64_t elements = 0;
+};
+
+/** One batched unit of work: same-table items, at most the element
+ * budget the pipeline asked for. */
+struct Wave
+{
+    TableKey table;
+    std::vector<WaveItem> items;
+    /** Requests fully consumed from the queue while building this
+     * wave (partials still queued do not count). */
+    uint32_t requestsClosed = 0;
+
+    uint64_t
+    elements() const
+    {
+        uint64_t n = 0;
+        for (const WaveItem& it : items)
+            n += it.elements;
+        return n;
+    }
+};
+
+/**
+ * The multi-producer / single-consumer queue. push() never blocks;
+ * popWave() blocks until a request is available or the queue has been
+ * closed and drained.
+ */
+class BatchQueue
+{
+  public:
+    /** Enqueue @p request (its id field is overwritten).
+     * @return the assigned monotonically increasing request id. */
+    uint64_t push(Request request);
+
+    /**
+     * Build the next wave with at most @p maxElements elements.
+     * Blocks while the queue is empty and open; returns std::nullopt
+     * once the queue is closed and fully drained. @p maxElements of 0
+     * is treated as 1 (a wave always makes progress).
+     */
+    std::optional<Wave> popWave(uint64_t maxElements);
+
+    /** Mark the end of input: once drained, popWave returns nullopt
+     * and further push() calls are rejected (return 0). */
+    void close();
+
+    bool closed() const;
+
+    /** Requests currently queued (partially consumed ones count). */
+    size_t depth() const;
+
+    /** Elements currently queued. */
+    uint64_t queuedElements() const;
+
+    /** Total requests ever accepted by push(). */
+    uint64_t totalPushed() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Request> queue_;
+    bool closed_ = false;
+    uint64_t nextId_ = 1;
+    uint64_t totalPushed_ = 0;
+};
+
+} // namespace serve
+} // namespace sim
+} // namespace tpl
+
+#endif // TPL_PIMSIM_SERVE_BATCH_QUEUE_H

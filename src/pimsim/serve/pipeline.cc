@@ -1,0 +1,445 @@
+/**
+ * @file
+ * ServePipeline implementation.
+ *
+ * The drive loop is a two-deep software pipeline over the modeled
+ * timeline: while wave N is "computing" (its cycles reserved on the
+ * DPU lanes), the host lane already streams wave N+1's scatter, and
+ * wave N's gather queues up behind it. The wall-clock simulation is
+ * eager — each leg simulates fully when issued — so issue order only
+ * decides how legs queue on the modeled lanes, never what they
+ * compute; results are bit-identical between pipelined and
+ * synchronous modes (fault-free), and across TPL_SIM_THREADS.
+ */
+
+#include "pimsim/serve/pipeline.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "pimsim/obs/metrics.h"
+#include "pimsim/obs/trace.h"
+
+namespace tpl {
+namespace sim {
+namespace serve {
+
+namespace {
+
+/** A wave waiting to execute: fresh from the queue (generation 0) or
+ * re-queued after failures. */
+struct PendingWave
+{
+    Wave wave;
+    uint32_t generation = 0;
+};
+
+/** Everything one in-flight wave carries between its begin (scatter)
+ * and finish (gather + distribute) steps. */
+struct WaveExec
+{
+    Wave wave;
+    uint32_t generation = 0;
+    uint32_t parity = 0;
+    const TableBinding* binding = nullptr;
+    std::vector<float> stagingIn;  ///< packed item inputs
+    std::vector<ShardTask> slices; ///< one per participating DPU
+    std::vector<uint64_t> itemStart; ///< wave-relative item offsets
+    WaveStats stats;
+    PipelineEvent scatterEv;
+    PipelineEvent computeEv;
+};
+
+} // namespace
+
+ServePipeline::ServePipeline(PimSystem& system, TableProvider provider,
+                             const PipelineOptions& options)
+    : sys_(system), cache_(system, std::move(provider)), opts_(options)
+{
+}
+
+ServeReport
+ServePipeline::run(BatchQueue& queue)
+{
+    ServeReport report;
+    const uint32_t n = sys_.numDpus();
+    if (n == 0) {
+        report.complete = queue.closed() && queue.depth() == 0;
+        return report;
+    }
+    const uint32_t cap = std::max<uint32_t>(opts_.perDpuElements, 1);
+    const double freq = sys_.model().frequencyHz;
+
+    obs::TraceSpan runSpan(
+        "serve run", "serve",
+        obs::argsObject(
+            {obs::argKv("dpus", static_cast<uint64_t>(n)),
+             obs::argKv("per_dpu_elements",
+                        static_cast<uint64_t>(cap))}));
+    obs::Registry& reg = obs::Registry::global();
+    obs::Tracer& tracer = obs::Tracer::global();
+
+    // Double-buffered per-DPU MRAM: two input and two output buffers
+    // of `cap` floats each (parity = wave index mod 2).
+    const uint32_t bufBytes = cap * static_cast<uint32_t>(sizeof(float));
+    std::vector<std::array<uint32_t, 2>> inAddr(n), outAddr(n);
+    for (uint32_t d = 0; d < n; ++d)
+        for (uint32_t p = 0; p < 2; ++p) {
+            inAddr[d][p] = sys_.dpu(d).mramAlloc(bufBytes);
+            outAddr[d][p] = sys_.dpu(d).mramAlloc(bufBytes);
+        }
+
+    PipelineTimeline timeline(n);
+    // Buffer-reuse fences: a parity's input buffers are free once the
+    // compute that read them ended; its output buffers once the
+    // gather that drained them ended.
+    double computeEndByParity[2] = {0.0, 0.0};
+    double gatherEndByParity[2] = {0.0, 0.0};
+    // Synchronous mode chains every leg on the previous one.
+    double chain = 0.0;
+    std::deque<PendingWave> retries;
+    bool outOfCores = false;
+
+    auto noteFailedDpu = [&](uint32_t d) {
+        if (std::find(report.failedDpus.begin(),
+                      report.failedDpus.end(),
+                      d) == report.failedDpus.end())
+            report.failedDpus.push_back(d);
+    };
+
+    /** Next wave to execute: pending retries first, then the queue. */
+    auto nextWave = [&]() -> std::optional<PendingWave> {
+        for (;;) {
+            if (!retries.empty()) {
+                PendingWave pw = std::move(retries.front());
+                retries.pop_front();
+                return pw;
+            }
+            uint32_t healthy = sys_.healthyDpus();
+            if (healthy == 0) {
+                outOfCores = true;
+                return std::nullopt;
+            }
+            auto w = queue.popWave(
+                static_cast<uint64_t>(cap) * healthy);
+            if (!w)
+                return std::nullopt;
+            report.requests += w->requestsClosed;
+            if (tracer.enabled())
+                tracer.counterValue(
+                    "serve/queue_depth", "serve",
+                    static_cast<double>(queue.depth()));
+            if (reg.enabled())
+                reg.histogram("serve/queue/depth")
+                    .observe(queue.depth());
+            if (w->items.empty())
+                continue; // zero-element requests only
+            report.elements += w->elements();
+            return PendingWave{std::move(*w), 0};
+        }
+    };
+
+    /** Resolve the binding and reserve scatter (+ table broadcast on
+     * a miss). Returns false when the wave cannot run at all. */
+    auto beginWave = [&](PendingWave&& pw,
+                         WaveExec& ex) -> bool {
+        ex.wave = std::move(pw.wave);
+        ex.generation = pw.generation;
+        ex.parity = static_cast<uint32_t>(wavesExecuted_ % 2);
+
+        TableCache::Lookup found = cache_.lookup(ex.wave.table);
+        ex.binding = found.binding;
+        ex.stats.tableMiss = found.miss;
+        uint64_t waveElems = ex.wave.elements();
+        if (!ex.binding || !ex.binding->valid) {
+            report.infeasibleElements += waveElems;
+            return false;
+        }
+        if (found.miss && ex.binding->tableBytes > 0) {
+            PipelineEvent ev = sys_.broadcastAsync(
+                timeline, opts_.pipelined ? 0.0 : chain,
+                ex.binding->tableBytes);
+            ex.stats.broadcastSeconds = ev.seconds();
+            chain = ev.end;
+        }
+
+        // Slice across the currently healthy cores. If cores died
+        // since the wave was sized, the tail that no longer fits is
+        // split off and re-queued ahead of everything else.
+        std::vector<uint32_t> healthy;
+        for (uint32_t d = 0; d < n; ++d)
+            if (!sys_.isMasked(d))
+                healthy.push_back(d);
+        if (healthy.empty()) {
+            outOfCores = true;
+            retries.push_front(
+                PendingWave{std::move(ex.wave), ex.generation});
+            return false;
+        }
+        uint64_t budget =
+            static_cast<uint64_t>(cap) * healthy.size();
+        if (waveElems > budget) {
+            Wave tail;
+            tail.table = ex.wave.table;
+            uint64_t off = 0;
+            std::vector<WaveItem> head;
+            for (WaveItem& it : ex.wave.items) {
+                if (off >= budget) {
+                    tail.items.push_back(it);
+                } else if (off + it.elements <= budget) {
+                    head.push_back(it);
+                } else {
+                    uint64_t take = budget - off;
+                    head.push_back(
+                        {it.requestId, it.input, it.output, take});
+                    tail.items.push_back(
+                        {it.requestId, it.input + take,
+                         it.output + take, it.elements - take});
+                }
+                off += it.elements;
+            }
+            ex.wave.items = std::move(head);
+            retries.push_front(
+                PendingWave{std::move(tail), ex.generation});
+            waveElems = ex.wave.elements();
+        }
+
+        // Pack the item inputs into one staging buffer (wave slices
+        // cross item boundaries) and record the item offsets.
+        ex.stagingIn.resize(waveElems);
+        ex.itemStart.resize(ex.wave.items.size());
+        uint64_t off = 0;
+        for (size_t i = 0; i < ex.wave.items.size(); ++i) {
+            const WaveItem& it = ex.wave.items[i];
+            ex.itemStart[i] = off;
+            std::memcpy(ex.stagingIn.data() + off, it.input,
+                        it.elements * sizeof(float));
+            off += it.elements;
+        }
+
+        const uint64_t per = std::min<uint64_t>(
+            cap, (waveElems + healthy.size() - 1) / healthy.size());
+        std::vector<ScatterSlice> scatter;
+        uint64_t first = 0;
+        for (uint32_t d : healthy) {
+            if (first >= waveElems)
+                break;
+            uint32_t count = static_cast<uint32_t>(
+                std::min<uint64_t>(per, waveElems - first));
+            ShardTask t;
+            t.dpu = d;
+            t.inAddr = inAddr[d][ex.parity];
+            t.outAddr = outAddr[d][ex.parity];
+            t.firstElement = first;
+            t.elements = count;
+            ex.slices.push_back(t);
+            scatter.push_back(
+                {d, t.inAddr, ex.stagingIn.data() + first,
+                 count * static_cast<uint32_t>(sizeof(float))});
+            first += count;
+        }
+        ex.stats.elements = waveElems;
+        ex.stats.slices = static_cast<uint32_t>(ex.slices.size());
+
+        double readyAt = opts_.pipelined
+                             ? computeEndByParity[ex.parity]
+                             : chain;
+        ex.scatterEv = sys_.scatterAsync(timeline, readyAt, scatter);
+        chain = ex.scatterEv.end;
+        ex.stats.scatterSeconds = ex.scatterEv.seconds();
+        ++wavesExecuted_;
+        return true;
+    };
+
+    /** Launch the wave's kernels (per-DPU lanes). */
+    auto computeWave = [&](WaveExec& ex) {
+        std::vector<int> sliceOfDpu(n, -1);
+        for (size_t s = 0; s < ex.slices.size(); ++s)
+            sliceOfDpu[ex.slices[s].dpu] = static_cast<int>(s);
+        double readyAt =
+            opts_.pipelined
+                ? std::max(ex.scatterEv.end,
+                           gatherEndByParity[ex.parity])
+                : chain;
+        ex.computeEv = sys_.launchAsync(
+            timeline, readyAt, opts_.numTasklets,
+            [&](uint32_t d) -> Kernel {
+                int s = sliceOfDpu[d];
+                if (s < 0)
+                    return {};
+                return ex.binding->makeKernel(ex.slices[s]);
+            });
+        chain = ex.computeEv.end;
+        computeEndByParity[ex.parity] = ex.computeEv.end;
+        ex.stats.maxCycles = sys_.lastMaxCycles();
+        ex.stats.computeSeconds =
+            freq > 0.0
+                ? static_cast<double>(ex.stats.maxCycles) / freq
+                : 0.0;
+        report.computeCycles += ex.stats.maxCycles;
+    };
+
+    /** Gather, distribute outputs, and re-queue failed slices. */
+    auto finishWave = [&](WaveExec& ex) {
+        uint64_t waveElems = ex.stats.elements;
+        std::vector<float> stagingOut(waveElems);
+        std::vector<GatherSlice> gather;
+        for (const ShardTask& t : ex.slices)
+            gather.push_back(
+                {t.dpu, t.outAddr,
+                 stagingOut.data() + t.firstElement,
+                 t.elements *
+                     static_cast<uint32_t>(sizeof(float))});
+        double readyAt =
+            opts_.pipelined ? ex.computeEv.end : chain;
+        PipelineEvent gatherEv =
+            sys_.gatherAsync(timeline, readyAt, gather);
+        chain = gatherEv.end;
+        gatherEndByParity[ex.parity] = gatherEv.end;
+        ex.stats.gatherSeconds = gatherEv.seconds();
+
+        // Distribute healthy slice ranges to the item outputs; turn
+        // failed slice ranges into retry items against the original
+        // request memory (the staging buffers die with this wave).
+        Wave retry;
+        retry.table = ex.wave.table;
+        // Visit every (item, overlap) of the wave-relative range
+        // [lo, hi): waveOff is the overlap's start in wave space,
+        // itemOff the same point relative to the item's own spans.
+        auto forEachItemRange =
+            [&](uint64_t lo, uint64_t hi,
+                const std::function<void(const WaveItem&,
+                                         uint64_t waveOff,
+                                         uint64_t itemOff,
+                                         uint64_t count)>& fn) {
+                for (size_t i = 0; i < ex.wave.items.size(); ++i) {
+                    uint64_t a = ex.itemStart[i];
+                    uint64_t b = a + ex.wave.items[i].elements;
+                    uint64_t s = std::max(lo, a);
+                    uint64_t e = std::min(hi, b);
+                    if (s < e)
+                        fn(ex.wave.items[i], s, s - a, e - s);
+                }
+            };
+        for (const ShardTask& t : ex.slices) {
+            uint64_t lo = t.firstElement;
+            uint64_t hi = lo + t.elements;
+            if (!sys_.isMasked(t.dpu)) {
+                forEachItemRange(
+                    lo, hi,
+                    [&](const WaveItem& it, uint64_t waveOff,
+                        uint64_t itemOff, uint64_t count) {
+                        std::memcpy(it.output + itemOff,
+                                    stagingOut.data() + waveOff,
+                                    count * sizeof(float));
+                    });
+            } else {
+                ++ex.stats.retriedSlices;
+                noteFailedDpu(t.dpu);
+                forEachItemRange(
+                    lo, hi,
+                    [&](const WaveItem& it, uint64_t /*waveOff*/,
+                        uint64_t itemOff, uint64_t count) {
+                        retry.items.push_back(
+                            {it.requestId, it.input + itemOff,
+                             it.output + itemOff, count});
+                    });
+            }
+        }
+        uint64_t retryElems = retry.elements();
+        if (retryElems > 0) {
+            if (ex.generation + 1 > opts_.maxRetryWaves) {
+                report.droppedElements += retryElems;
+                if (reg.enabled())
+                    reg.counter("serve/retry/dropped_elements")
+                        .add(retryElems);
+            } else {
+                report.reshardedElements += retryElems;
+                retries.push_back(PendingWave{std::move(retry),
+                                              ex.generation + 1});
+                if (reg.enabled()) {
+                    reg.counter("serve/retry/waves").add(1);
+                    reg.counter("serve/retry/elements")
+                        .add(retryElems);
+                }
+            }
+        }
+
+        report.syncSeconds +=
+            ex.stats.broadcastSeconds + ex.stats.scatterSeconds +
+            ex.stats.computeSeconds + ex.stats.gatherSeconds;
+        if (reg.enabled())
+            reg.histogram("serve/wave/elements").observe(waveElems);
+        report.waveStats.push_back(ex.stats);
+    };
+
+    // The two-deep software pipeline: scatter of the next wave is
+    // issued between the current wave's launch and gather, so the
+    // host lane interleaves ... scatter(k+1), gather(k) ... while
+    // the DPU lanes run compute(k).
+    auto takeRunnable = [&]() -> std::optional<WaveExec> {
+        for (;;) {
+            auto pw = nextWave();
+            if (!pw)
+                return std::nullopt;
+            WaveExec ex;
+            if (beginWave(std::move(*pw), ex))
+                return ex;
+            // Infeasible or un-sliceable wave: try the next one
+            // (outOfCores aborts via nextWave on the next spin).
+            if (outOfCores)
+                return std::nullopt;
+        }
+    };
+
+    std::optional<WaveExec> cur = takeRunnable();
+    while (cur) {
+        obs::TraceSpan waveSpan(
+            "wave " + std::to_string(report.waveStats.size()),
+            "serve",
+            obs::argKv("elements", cur->stats.elements));
+        computeWave(*cur);
+        std::optional<WaveExec> next;
+        if (opts_.pipelined)
+            next = takeRunnable();
+        finishWave(*cur);
+        if (!opts_.pipelined)
+            next = takeRunnable();
+        cur = std::move(next);
+    }
+
+    // Anything still pending when we ran out of cores is dropped.
+    for (const PendingWave& pw : retries)
+        report.droppedElements += pw.wave.elements();
+    retries.clear();
+
+    report.waves = report.waveStats.size();
+    report.cacheHits = cache_.hits();
+    report.cacheMisses = cache_.misses();
+    report.modeledSeconds = timeline.makespan();
+    report.complete = !outOfCores && report.droppedElements == 0 &&
+                      report.infeasibleElements == 0 &&
+                      queue.closed() && queue.depth() == 0;
+
+    if (reg.enabled()) {
+        reg.counter("serve/waves").add(report.waves);
+        reg.counter("serve/requests").add(report.requests);
+        reg.counter("serve/elements").add(report.elements);
+        reg.real("serve/modeled_seconds").add(report.modeledSeconds);
+        reg.real("serve/sync_seconds").add(report.syncSeconds);
+        if (report.droppedElements)
+            reg.counter("serve/dropped_elements")
+                .add(report.droppedElements);
+    }
+    if (tracer.enabled())
+        tracer.counterValue("serve/queue_depth", "serve", 0.0);
+    return report;
+}
+
+} // namespace serve
+} // namespace sim
+} // namespace tpl

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * pimserve piece 3: the double-buffered execution pipeline.
+ *
+ * Pops waves off a BatchQueue and drives them through scatter ->
+ * launch -> gather on a PimSystem, with every wave's modeled cost
+ * reserved on a PipelineTimeline instead of summed sequentially: the
+ * host-interface lane streams the scatter of wave N+1 and the gather
+ * of wave N-1 while the DPU lanes compute wave N. Per-DPU MRAM
+ * buffers are double-buffered (parity = wave index mod 2), so a
+ * wave's scatter only waits for the compute two waves back that last
+ * read its buffer — the classic ping-pong schedule of the UPMEM
+ * async API.
+ *
+ * Degradation composes with pimfault: a DPU masked mid-pipeline
+ * (dead transfer leg, hard launch failure, fenced straggler) fails
+ * exactly the slices it owned; those elements are re-queued as a
+ * retry wave over the surviving cores, bounded by
+ * PipelineOptions::maxRetryWaves — the pipeline degrades or reports
+ * incomplete, it never deadlocks.
+ *
+ * Synchronous mode (pipelined = false) issues the identical legs but
+ * chains every reservation on the previous one, reproducing the
+ * blocking transfer->launch->gather round trip; the pipelined
+ * speedup and overlap fraction in ServeReport compare the two.
+ */
+
+#ifndef TPL_PIMSIM_SERVE_PIPELINE_H
+#define TPL_PIMSIM_SERVE_PIPELINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "pimsim/serve/batch_queue.h"
+#include "pimsim/serve/table_cache.h"
+#include "pimsim/system.h"
+
+namespace tpl {
+namespace sim {
+namespace serve {
+
+/** Pipeline knobs. */
+struct PipelineOptions
+{
+    /** Tasklets per DPU kernel launch. */
+    uint32_t numTasklets = 16;
+
+    /**
+     * Element capacity of one per-DPU wave slice; a wave batches at
+     * most perDpuElements * healthyDpus elements. Each DPU holds two
+     * input and two output MRAM buffers of this many floats.
+     */
+    uint32_t perDpuElements = 512;
+
+    /** Double-buffered overlap (true) or the synchronous baseline
+     * schedule (false). Data results are identical; only the modeled
+     * timeline differs. */
+    bool pipelined = true;
+
+    /** Times one wave's elements may be re-queued after failures
+     * before they are dropped and the run reports incomplete. */
+    uint32_t maxRetryWaves = 6;
+};
+
+/** Modeled timing of one executed wave. */
+struct WaveStats
+{
+    uint64_t elements = 0;
+    uint32_t slices = 0;       ///< DPUs that received a slice
+    bool tableMiss = false;    ///< paid a table broadcast
+    double broadcastSeconds = 0.0;
+    double scatterSeconds = 0.0;
+    double computeSeconds = 0.0; ///< slowest healthy core
+    double gatherSeconds = 0.0;
+    uint64_t maxCycles = 0;    ///< slowest healthy core, cycles
+    uint32_t retriedSlices = 0; ///< slices lost to masked cores
+};
+
+/** Outcome of one ServePipeline::run. */
+struct ServeReport
+{
+    bool complete = false;   ///< every admitted element produced output
+    uint64_t requests = 0;   ///< requests fully consumed
+    uint64_t elements = 0;   ///< elements admitted into waves
+    uint64_t waves = 0;      ///< executed waves (retries included)
+    uint64_t cacheHits = 0;  ///< table-cache hits
+    uint64_t cacheMisses = 0;
+    uint64_t infeasibleElements = 0; ///< dropped: no valid binding
+    uint64_t droppedElements = 0; ///< dropped: retry budget/no cores
+    double modeledSeconds = 0.0; ///< pipeline timeline makespan
+    double syncSeconds = 0.0; ///< sum of leg durations (no overlap)
+    std::vector<uint32_t> failedDpus; ///< cores masked during the run
+    uint64_t reshardedElements = 0; ///< elements re-queued off them
+    uint64_t computeCycles = 0; ///< sum of per-wave max cycles
+    std::vector<WaveStats> waveStats;
+
+    /** Fraction of the synchronous schedule hidden by overlap. */
+    double
+    overlapFraction() const
+    {
+        return syncSeconds > 0.0 ? 1.0 - modeledSeconds / syncSeconds
+                                 : 0.0;
+    }
+
+    /** Synchronous over pipelined modeled time. */
+    double
+    speedup() const
+    {
+        return modeledSeconds > 0.0 ? syncSeconds / modeledSeconds
+                                    : 0.0;
+    }
+
+    /** Sustained modeled throughput of the run. */
+    double
+    elementsPerSecond() const
+    {
+        return modeledSeconds > 0.0
+                   ? static_cast<double>(elements) / modeledSeconds
+                   : 0.0;
+    }
+};
+
+/**
+ * The wave executor. Construct once per PimSystem; run() consumes a
+ * queue until it is closed and drained. The queue must eventually be
+ * closed (by the producers or the caller), otherwise run() waits for
+ * more requests indefinitely — that is the queue contract, not a
+ * pipeline stall: every admitted wave always completes or degrades.
+ */
+class ServePipeline
+{
+  public:
+    ServePipeline(PimSystem& system, TableProvider provider,
+                  const PipelineOptions& options = {});
+
+    /** Serve every request in @p queue; blocks the calling thread. */
+    ServeReport run(BatchQueue& queue);
+
+    const TableCache& cache() const { return cache_; }
+    const PipelineOptions& options() const { return opts_; }
+
+  private:
+    PimSystem& sys_;
+    TableCache cache_;
+    PipelineOptions opts_;
+    uint64_t wavesExecuted_ = 0; ///< across runs; parity source
+};
+
+} // namespace serve
+} // namespace sim
+} // namespace tpl
+
+#endif // TPL_PIMSIM_SERVE_PIPELINE_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * TableCache implementation.
+ */
+
+#include "pimsim/serve/table_cache.h"
+
+#include "pimsim/obs/metrics.h"
+
+namespace tpl {
+namespace sim {
+namespace serve {
+
+TableCache::Lookup
+TableCache::lookup(const TableKey& key)
+{
+    obs::Registry& reg = obs::Registry::global();
+    auto it = entries_.find(key.hash);
+    if (it != entries_.end()) {
+        ++hits_;
+        if (reg.enabled())
+            reg.counter("serve/lut_cache/hits").add(1);
+        return {&it->second, false};
+    }
+    ++misses_;
+    if (reg.enabled())
+        reg.counter("serve/lut_cache/misses").add(1);
+    TableBinding binding =
+        provider_ ? provider_(key, system_) : TableBinding{};
+    auto [pos, inserted] =
+        entries_.emplace(key.hash, std::move(binding));
+    (void)inserted;
+    return {&pos->second, true};
+}
+
+} // namespace serve
+} // namespace sim
+} // namespace tpl

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * pimserve piece 2: the table/LUT cache.
+ *
+ * Maps a TableKey to a TableBinding: the per-core kernel factory plus
+ * the modeled footprint of the tables the configuration needs on each
+ * DPU. The first lookup of a key calls the caller-supplied
+ * TableProvider, which generates the tables and stages them onto
+ * every core (an evaluator attach); subsequent lookups are hits and
+ * let the pipeline skip the modeled MRAM table re-broadcast — the
+ * cache is what makes repeated configurations cheap in a mixed
+ * request stream.
+ *
+ * The serve layer is generic over what a "table" is: the provider is
+ * the only place that knows about transpim evaluators (see
+ * transpim::EvaluatorCatalog for the standard one), which keeps
+ * tpl_pimserve dependent on tpl_pimsim alone.
+ */
+
+#ifndef TPL_PIMSIM_SERVE_TABLE_CACHE_H
+#define TPL_PIMSIM_SERVE_TABLE_CACHE_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "pimsim/serve/batch_queue.h"
+#include "pimsim/system.h"
+
+namespace tpl {
+namespace sim {
+namespace serve {
+
+/**
+ * Everything the pipeline needs to run waves of one configuration.
+ * An invalid binding (valid == false) marks a configuration the
+ * provider could not realize (unsupported combination, tables too
+ * large); it is cached too, so a stream of infeasible requests fails
+ * fast instead of re-generating tables.
+ */
+struct TableBinding
+{
+    bool valid = false;
+
+    /** Per-core table footprint in bytes: the modeled cost of one
+     * rank-parallel broadcast on a cache miss. */
+    uint32_t tableBytes = 0;
+
+    /** Builds the kernel evaluating one wave slice (reuses the
+     * ShardTask shape: dpu, in/out MRAM addresses, element count). */
+    ShardKernelFactory makeKernel;
+
+    /** Opaque owner of whatever the kernels reference (evaluators,
+     * tables); kept alive as long as the cache entry lives. */
+    std::shared_ptr<void> state;
+};
+
+/**
+ * Resolves a key to a binding, staging any tables onto the cores of
+ * @p system. Called once per distinct key per TableCache; must return
+ * an invalid binding (not throw) for infeasible configurations.
+ */
+using TableProvider =
+    std::function<TableBinding(const TableKey&, PimSystem&)>;
+
+/** The per-pipeline cache. Single-consumer, like the pipeline. */
+class TableCache
+{
+  public:
+    TableCache(PimSystem& system, TableProvider provider)
+        : system_(system), provider_(std::move(provider))
+    {
+    }
+
+    /** Result of a lookup: the binding plus whether the provider had
+     * to be consulted (a miss pays the table broadcast). */
+    struct Lookup
+    {
+        const TableBinding* binding = nullptr;
+        bool miss = false;
+    };
+
+    Lookup lookup(const TableKey& key);
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    size_t size() const { return entries_.size(); }
+
+  private:
+    PimSystem& system_;
+    TableProvider provider_;
+    std::map<uint64_t, TableBinding> entries_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace serve
+} // namespace sim
+} // namespace tpl
+
+#endif // TPL_PIMSIM_SERVE_TABLE_CACHE_H

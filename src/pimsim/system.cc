@@ -391,6 +391,34 @@ PimSystem::launchAll(uint32_t numTasklets, const Kernel& kernel)
     }
     obs::Registry& reg = obs::Registry::global();
 
+    std::vector<uint8_t> ran(n, 0);
+    for (uint32_t i = 0; i < n; ++i)
+        ran[i] = skip[i] ? 0 : 1;
+    sweepLaunchFailures(ran, skip, cycles);
+    uint64_t maxCycles = lastMaxCycles_;
+
+    if (reg.enabled()) {
+        reg.counter("pimsim/system/launches").add(1);
+        reg.counter("pimsim/system/max_cycles").add(maxCycles);
+        reg.histogram("pimsim/system/max_cycles_per_launch")
+            .observe(maxCycles);
+    }
+
+    if (model_.frequencyHz <= 0.0)
+        return 0.0;
+    double seconds = static_cast<double>(maxCycles) / model_.frequencyHz;
+    if (reg.enabled())
+        reg.real("pimsim/system/modeled_seconds").add(seconds);
+    return seconds;
+}
+
+void
+PimSystem::sweepLaunchFailures(const std::vector<uint8_t>& ran,
+                               const std::vector<uint8_t>& skip,
+                               std::vector<uint64_t>& cycles)
+{
+    uint32_t n = numDpus();
+    obs::Registry& reg = obs::Registry::global();
     // Sequential failure sweep: apply the launch timeout, mask newly
     // failed cores, and cap their cycle contribution (the host fences
     // a straggler at the timeout; a hard-failed core contributed 0).
@@ -401,6 +429,8 @@ PimSystem::launchAll(uint32_t numTasklets, const Kernel& kernel)
                 ++report.masked;
                 continue;
             }
+            if (!ran[i])
+                continue;
             ++report.attempted;
             const LaunchStats& st = dpus_[i]->lastLaunch();
             report.faultEvents += st.faultEvents;
@@ -420,7 +450,8 @@ PimSystem::launchAll(uint32_t numTasklets, const Kernel& kernel)
         if (reg.enabled() && report.masked)
             reg.counter("fault/launch/masked_skips").add(report.masked);
     } else {
-        report.attempted = n;
+        for (uint32_t i = 0; i < n; ++i)
+            report.attempted += ran[i] ? 1 : 0;
     }
 
     uint64_t maxCycles = 0;
@@ -429,20 +460,175 @@ PimSystem::launchAll(uint32_t numTasklets, const Kernel& kernel)
     lastMaxCycles_ = maxCycles;
     report.maxCycles = maxCycles;
     lastReport_ = std::move(report);
+}
 
-    if (reg.enabled()) {
-        reg.counter("pimsim/system/launches").add(1);
-        reg.counter("pimsim/system/max_cycles").add(maxCycles);
-        reg.histogram("pimsim/system/max_cycles_per_launch")
-            .observe(maxCycles);
+PipelineEvent
+PimSystem::broadcastAsync(PipelineTimeline& timeline, double readyAt,
+                          uint64_t tableBytes)
+{
+    obs::TraceSpan span("broadcastAsync", "xfer",
+                        obs::argKv("bytes", tableBytes));
+    double seconds =
+        accountTransfer(transferStats_.broadcast, "broadcast",
+                        TransferMode::Parallel, tableBytes);
+    double start = std::max(readyAt, timeline.hostFree());
+    double end = timeline.reserveHost(readyAt, seconds);
+    return {start, end};
+}
+
+PipelineEvent
+PimSystem::scatterAsync(PipelineTimeline& timeline, double readyAt,
+                        std::span<const ScatterSlice> slices)
+{
+    uint64_t total = 0;
+    for (const ScatterSlice& s : slices)
+        total += s.bytes;
+    obs::TraceSpan span("scatterAsync", "xfer",
+                        obs::argKv("bytes", total));
+    // One retryable leg per slice, sequentially: the slices have
+    // distinct sizes, so the host interface serializes them anyway,
+    // and sequential legs keep the per-DPU fault-event order (and
+    // thus the modeled numbers) independent of the thread count.
+    uint64_t streamBytes = 0;
+    double extra = 0.0;
+    for (const ScatterSlice& s : slices) {
+        DpuCore& d = *dpus_[s.dpu];
+        extra += transferLeg(
+            s.dpu, s.bytes,
+            [&] { d.hostWriteMram(s.mramAddr, s.src, s.bytes); },
+            d.mramData() + s.mramAddr, s.bytes);
+        if (!isMasked(s.dpu))
+            streamBytes += s.bytes;
+    }
+    double seconds =
+        accountTransfer(transferStats_.scatter, "scatter",
+                        TransferMode::Serial, streamBytes, extra);
+    double start = std::max(readyAt, timeline.hostFree());
+    double end = timeline.reserveHost(readyAt, seconds);
+    return {start, end};
+}
+
+PipelineEvent
+PimSystem::gatherAsync(PipelineTimeline& timeline, double readyAt,
+                       std::span<const GatherSlice> slices)
+{
+    uint64_t total = 0;
+    for (const GatherSlice& s : slices)
+        total += s.bytes;
+    obs::TraceSpan span("gatherAsync", "xfer",
+                        obs::argKv("bytes", total));
+    uint64_t streamBytes = 0;
+    double extra = 0.0;
+    for (const GatherSlice& s : slices) {
+        uint8_t* dst = static_cast<uint8_t*>(s.dst);
+        extra += transferLeg(
+            s.dpu, s.bytes,
+            [&] {
+                dpus_[s.dpu]->hostReadMram(s.mramAddr, dst, s.bytes);
+            },
+            dst, s.bytes);
+        if (!isMasked(s.dpu))
+            streamBytes += s.bytes;
+    }
+    double seconds =
+        accountTransfer(transferStats_.gather, "gather",
+                        TransferMode::Serial, streamBytes, extra);
+    double start = std::max(readyAt, timeline.hostFree());
+    double end = timeline.reserveHost(readyAt, seconds);
+    return {start, end};
+}
+
+PipelineEvent
+PimSystem::launchAsync(PipelineTimeline& timeline, double readyAt,
+                       uint32_t numTasklets,
+                       const DpuKernelFactory& makeKernel)
+{
+    uint32_t n = numDpus();
+    obs::TraceSpan span(
+        "launchAsync", "sim",
+        obs::argsObject(
+            {obs::argKv("dpus", static_cast<uint64_t>(n)),
+             obs::argKv("tasklets",
+                        static_cast<uint64_t>(numTasklets))}));
+    obs::Tracer& tracer = obs::Tracer::global();
+    const bool tracing = tracer.enabled();
+
+    // Build the wave on the host thread (deterministic factory call
+    // order). A core is "skipped" only if it was asked to participate
+    // but an earlier failure masked it.
+    std::vector<uint8_t> skip(n, 0);
+    std::vector<uint8_t> ran(n, 0);
+    std::vector<Kernel> kernels(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        Kernel k = makeKernel(i);
+        if (!k)
+            continue;
+        if (faults_ && faults_->masked(i)) {
+            skip[i] = 1;
+            continue;
+        }
+        kernels[i] = std::move(k);
+        ran[i] = 1;
     }
 
-    if (model_.frequencyHz <= 0.0)
-        return 0.0;
-    double seconds = static_cast<double>(maxCycles) / model_.frequencyHz;
-    if (reg.enabled())
-        reg.real("pimsim/system/modeled_seconds").add(seconds);
-    return seconds;
+    // Per-DPU cycles land in pre-sized slots (same determinism
+    // argument as launchAll).
+    std::vector<uint64_t> cycles(n, 0);
+    auto runOne = [&](uint32_t i) {
+        if (!ran[i])
+            return;
+        if (tracing) {
+            double t0 = tracer.nowUs();
+            cycles[i] =
+                dpus_[i]->launch(numTasklets, kernels[i]).cycles;
+            tracer.complete("dpu " + std::to_string(i), "dpu", t0,
+                            tracer.nowUs() - t0,
+                            obs::argKv("cycles", cycles[i]));
+        } else {
+            cycles[i] =
+                dpus_[i]->launch(numTasklets, kernels[i]).cycles;
+        }
+    };
+    if (simThreads_ == 1 || n <= 1) {
+        for (uint32_t i = 0; i < n; ++i)
+            runOne(i);
+    } else {
+        ThreadPool& pool = pool_ ? *pool_ : ThreadPool::global();
+        pool.parallelFor(
+            n, [&](uint64_t i) { runOne(static_cast<uint32_t>(i)); });
+    }
+
+    sweepLaunchFailures(ran, skip, cycles);
+
+    // Merge each participating core's modeled cycles onto its own
+    // timeline lane; the wave's event spans the earliest lane start
+    // to the latest lane end.
+    PipelineEvent ev{readyAt, readyAt};
+    bool first = true;
+    for (uint32_t i = 0; i < n; ++i) {
+        if (!ran[i])
+            continue;
+        double secs = model_.frequencyHz > 0.0
+                          ? static_cast<double>(cycles[i]) /
+                                model_.frequencyHz
+                          : 0.0;
+        double start = std::max(readyAt, timeline.dpuFree(i));
+        double end = timeline.reserveDpu(i, readyAt, secs);
+        ev.start = first ? start : std::min(ev.start, start);
+        ev.end = std::max(ev.end, end);
+        first = false;
+    }
+
+    obs::Registry& reg = obs::Registry::global();
+    if (reg.enabled()) {
+        reg.counter("pimsim/system/async_launches").add(1);
+        reg.counter("pimsim/system/max_cycles").add(lastMaxCycles_);
+        reg.histogram("pimsim/system/max_cycles_per_launch")
+            .observe(lastMaxCycles_);
+        reg.real("pimsim/system/modeled_seconds")
+            .add(ev.end - ev.start);
+    }
+    return ev;
 }
 
 ShardedRunReport

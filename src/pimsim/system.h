@@ -18,6 +18,7 @@
 #ifndef TPL_PIMSIM_SYSTEM_H
 #define TPL_PIMSIM_SYSTEM_H
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -169,6 +170,108 @@ struct ShardedRunReport
     uint32_t transferFailures = 0;  ///< legs dead after all retries
 };
 
+/**
+ * Modeled-time resource timeline for pipelined (double-buffered)
+ * execution: one lane for the serialized host interface plus one lane
+ * per DPU. A reservation starts when both its dependency (@p readyAt)
+ * and the lane are free — exactly the rank-level overlap the UPMEM
+ * async API exposes, where the host can stream wave N+1 while the
+ * DPUs compute wave N.
+ *
+ * Purely modeled time: the simulator still executes everything
+ * eagerly in wall time; the timeline only decides how the modeled
+ * seconds of the legs overlap. Reservations mutate nothing but the
+ * lane clocks, so makespan() is a pure function of the reservation
+ * sequence and therefore bit-identical for any TPL_SIM_THREADS.
+ */
+class PipelineTimeline
+{
+  public:
+    explicit PipelineTimeline(uint32_t numDpus)
+        : dpus_(numDpus, 0.0)
+    {
+    }
+
+    /** When the host-interface lane next becomes idle. */
+    double hostFree() const { return host_; }
+
+    /** When @p dpu's compute lane next becomes idle. */
+    double dpuFree(uint32_t dpu) const { return dpus_[dpu]; }
+
+    /**
+     * Occupy the host lane for @p seconds starting no earlier than
+     * @p readyAt. @return the completion time.
+     */
+    double
+    reserveHost(double readyAt, double seconds)
+    {
+        double start = std::max(readyAt, host_);
+        host_ = start + seconds;
+        makespan_ = std::max(makespan_, host_);
+        return host_;
+    }
+
+    /** Occupy @p dpu's compute lane; see reserveHost. */
+    double
+    reserveDpu(uint32_t dpu, double readyAt, double seconds)
+    {
+        double start = std::max(readyAt, dpus_[dpu]);
+        dpus_[dpu] = start + seconds;
+        makespan_ = std::max(makespan_, dpus_[dpu]);
+        return dpus_[dpu];
+    }
+
+    /** Latest completion time of any reservation so far. */
+    double makespan() const { return makespan_; }
+
+  private:
+    double host_ = 0.0;
+    std::vector<double> dpus_;
+    double makespan_ = 0.0;
+};
+
+/**
+ * One leg reserved on a PipelineTimeline: when the lane began the
+ * operation (after both the dependency and the lane were free) and
+ * when it completed. end - start is the operation's own duration,
+ * independent of any waiting — summing seconds() over all legs of a
+ * run therefore reproduces the synchronous (no-overlap) makespan.
+ */
+struct PipelineEvent
+{
+    double start = 0.0; ///< modeled time the lane began the leg
+    double end = 0.0;   ///< modeled completion time
+
+    /** Duration of the leg itself (waiting excluded). */
+    double seconds() const { return end - start; }
+};
+
+/** One per-DPU slice of an async scatter: @p bytes from host memory
+ * @p src land at @p mramAddr of DPU @p dpu. Slices may differ in
+ * size, so the legs serialize on the host interface. */
+struct ScatterSlice
+{
+    uint32_t dpu = 0;
+    uint32_t mramAddr = 0;
+    const void* src = nullptr;
+    uint32_t bytes = 0;
+};
+
+/** One per-DPU slice of an async gather (MRAM -> host @p dst). */
+struct GatherSlice
+{
+    uint32_t dpu = 0;
+    uint32_t mramAddr = 0;
+    void* dst = nullptr;
+    uint32_t bytes = 0;
+};
+
+/**
+ * Builds the kernel one DPU runs in a launchAsync wave. Returning an
+ * empty Kernel excludes that DPU from the wave (its lane stays free).
+ */
+using DpuKernelFactory = std::function<Kernel(uint32_t dpu)>;
+
 /** Accumulated timing of one offloaded phase. */
 struct PhaseTiming
 {
@@ -252,6 +355,62 @@ class PimSystem
     double gatherFromMram(uint32_t mramAddr, void* data,
                           uint32_t bytesPerDpu,
                           TransferMode mode = TransferMode::Parallel);
+
+    /// @name Asynchronous (pipelined) legs.
+    ///
+    /// The async variants perform their data movement / simulation
+    /// immediately in wall time but reserve their modeled cost on a
+    /// caller-owned PipelineTimeline instead of assuming the legs run
+    /// back to back: transfer legs occupy the serialized host lane,
+    /// kernel legs occupy each DPU's own lane. Passing the completion
+    /// time of a leg as another leg's @p readyAt expresses the data
+    /// dependency; the timeline's makespan is then the end-to-end
+    /// modeled time of the overlapped schedule. Fault semantics,
+    /// TransferStats accounting and LaunchStats (including the exact
+    /// per-class cycle partition) are identical to the synchronous
+    /// calls.
+    /// @{
+
+    /**
+     * Account a rank-parallel broadcast of @p tableBytes on the host
+     * lane, timing only: the broadcast data itself must already have
+     * been staged through direct core writes (e.g. an evaluator's
+     * attach()). Used by the serve layer to model LUT distribution on
+     * a cache miss.
+     */
+    PipelineEvent broadcastAsync(PipelineTimeline& timeline,
+                                 double readyAt, uint64_t tableBytes);
+
+    /**
+     * Scatter variable-size @p slices (serialized on the host lane)
+     * starting no earlier than @p readyAt. Copies happen immediately;
+     * with a fault plan armed each slice is one retryable transfer
+     * leg and a slice whose DPU dies is dropped (check isMasked()
+     * afterwards). @return the leg's reservation on the host lane.
+     */
+    PipelineEvent scatterAsync(PipelineTimeline& timeline,
+                               double readyAt,
+                               std::span<const ScatterSlice> slices);
+
+    /** Gather variable-size @p slices; mirror of scatterAsync. */
+    PipelineEvent gatherAsync(PipelineTimeline& timeline,
+                              double readyAt,
+                              std::span<const GatherSlice> slices);
+
+    /**
+     * Launch a wave on every DPU for which @p makeKernel returns a
+     * non-empty kernel, each core's modeled cycles reserved on its
+     * own lane starting no earlier than @p readyAt. Masked cores are
+     * skipped; failures are swept exactly as in launchAll (see
+     * lastLaunchReport()). The event spans from the earliest lane
+     * start to the latest lane end; with all lanes free at @p readyAt
+     * its seconds() is the slowest healthy core's time, like
+     * launchAll's return value.
+     */
+    PipelineEvent launchAsync(PipelineTimeline& timeline,
+                              double readyAt, uint32_t numTasklets,
+                              const DpuKernelFactory& makeKernel);
+    /// @}
 
     /**
      * Accumulated per-direction x per-mode transfer accounting of
@@ -399,6 +558,19 @@ class PimSystem
 
     /** Mark a DPU failed/masked (armed plans only). */
     void maskDpu(uint32_t dpu);
+
+    /**
+     * Post-launch failure sweep shared by launchAll and launchAsync:
+     * fence stragglers at the policy's launch timeout (capping their
+     * entry in @p cycles), mask newly failed cores, and fill
+     * lastReport_ / lastMaxCycles_. @p ran marks cores that executed
+     * this wave, @p skip cores excluded because they were already
+     * masked when the wave started. Sequential, so the result is
+     * independent of the simulation thread count.
+     */
+    void sweepLaunchFailures(const std::vector<uint8_t>& ran,
+                             const std::vector<uint8_t>& skip,
+                             std::vector<uint64_t>& cycles);
 
     CostModel model_;
     std::vector<std::unique_ptr<DpuCore>> dpus_;

@@ -6,6 +6,7 @@
 #include "transpim/harness.h"
 
 #include <algorithm>
+#include <cstring>
 #include <new>
 #include <string>
 
@@ -191,27 +192,7 @@ runResilientMicrobench(Function f, const MethodSpec& spec,
     res.run = sys.runSharded(
         inputs.data(), outputs.data(), opts.elements, sizeof(float),
         opts.tasklets, [&](const sim::ShardTask& t) -> sim::Kernel {
-            const FunctionEvaluator& ev = evals[t.dpu];
-            return [&ev, t](sim::TaskletContext& ctx) {
-                constexpr uint32_t chunkElems = 256;
-                float buffer[chunkElems];
-                uint32_t chunks =
-                    (t.elements + chunkElems - 1) / chunkElems;
-                for (uint32_t c = ctx.taskletId(); c < chunks;
-                     c += ctx.numTasklets()) {
-                    uint32_t beg = c * chunkElems;
-                    uint32_t cnt =
-                        std::min(chunkElems, t.elements - beg);
-                    ctx.mramRead(t.inAddr + beg * sizeof(float),
-                                 buffer, cnt * sizeof(float));
-                    for (uint32_t i = 0; i < cnt; ++i) {
-                        ctx.charge(4);
-                        buffer[i] = ev.eval(buffer[i], &ctx);
-                    }
-                    ctx.mramWrite(t.outAddr + beg * sizeof(float),
-                                  buffer, cnt * sizeof(float));
-                }
-            };
+            return makeStreamingKernel(evals[t.dpu], t, 256);
         });
 
     res.healthyDpus = sys.healthyDpus();
@@ -227,6 +208,87 @@ runResilientMicrobench(Function f, const MethodSpec& spec,
     double bound =
         std::max(res.predictedRmse * opts.errorBoundFactor, 1e-6);
     res.withinErrorBound = res.run.complete && res.error.rmse <= bound;
+    return res;
+}
+
+BatchedResult
+runBatchedThroughput(Function f, const MethodSpec& spec,
+                     const BatchedOptions& opts)
+{
+    BatchedResult res;
+
+    obs::TraceSpan benchSpan(
+        "batched " + std::string(functionName(f)) + " / " +
+            methodLabel(spec),
+        "host",
+        obs::argsObject(
+            {obs::argKv("requests",
+                        static_cast<uint64_t>(opts.requests)),
+             obs::argKv("dpus", static_cast<uint64_t>(opts.dpus))}));
+
+    Domain dom = opts.domain ? *opts.domain : functionDomain(f);
+    const uint64_t total = static_cast<uint64_t>(opts.requests) *
+                           opts.elementsPerRequest;
+    std::vector<float> inputs =
+        uniformFloats(total, static_cast<float>(dom.lo),
+                      static_cast<float>(dom.hi), opts.seed);
+
+    // Two identical request streams, one system per schedule. The
+    // catalog (and with it the table cache contents) is rebuilt per
+    // system: tables bind to cores.
+    auto serveOnce =
+        [&](bool pipelined,
+            std::vector<float>& outputs) -> sim::serve::ServeReport {
+        sim::PimSystem sys(opts.dpus);
+        sys.setRetryPolicy(opts.policy);
+        if (opts.simThreads)
+            sys.setSimThreads(opts.simThreads);
+        if (opts.plan)
+            sys.armFaults(*opts.plan);
+
+        EvaluatorCatalog catalog;
+        catalog.setChunkElements(opts.chunkElems);
+        sim::serve::TableKey key = catalog.add(f, spec);
+
+        sim::serve::BatchQueue queue;
+        for (uint32_t r = 0; r < opts.requests; ++r) {
+            sim::serve::Request req;
+            req.table = key;
+            req.input = inputs.data() +
+                        static_cast<uint64_t>(r) *
+                            opts.elementsPerRequest;
+            req.output = outputs.data() +
+                         static_cast<uint64_t>(r) *
+                             opts.elementsPerRequest;
+            req.elements = opts.elementsPerRequest;
+            queue.push(req);
+        }
+        queue.close();
+
+        sim::serve::PipelineOptions popts;
+        popts.numTasklets = opts.tasklets;
+        popts.perDpuElements = opts.perDpuElements;
+        popts.pipelined = pipelined;
+        popts.maxRetryWaves = opts.maxRetryWaves;
+        sim::serve::ServePipeline pipeline(sys, catalog.provider(),
+                                           popts);
+        return pipeline.run(queue);
+    };
+
+    std::vector<float> outPipelined(total, 0.0f);
+    std::vector<float> outSync(total, 0.0f);
+    res.pipelined = serveOnce(true, outPipelined);
+    res.sync = serveOnce(false, outSync);
+
+    res.feasible = res.pipelined.infeasibleElements == 0 &&
+                   res.sync.infeasibleElements == 0;
+    res.outputsMatch =
+        total > 0 && std::memcmp(outPipelined.data(), outSync.data(),
+                                 total * sizeof(float)) == 0;
+    if (res.pipelined.elements > 0)
+        res.cyclesPerElement =
+            static_cast<double>(res.pipelined.computeCycles) /
+            static_cast<double>(res.pipelined.elements);
     return res;
 }
 

@@ -18,8 +18,10 @@
 #include <vector>
 
 #include "common/error_metrics.h"
+#include "pimsim/serve/pipeline.h"
 #include "pimsim/system.h"
 #include "transpim/evaluator.h"
+#include "transpim/serve_glue.h"
 
 namespace tpl {
 namespace transpim {
@@ -114,6 +116,74 @@ struct ResilientResult
 ResilientResult runResilientMicrobench(Function f,
                                        const MethodSpec& spec,
                                        const ResilientOptions& opts = {});
+
+/**
+ * Options for the batched throughput benchmark: a stream of
+ * same-configuration requests served through the pimserve pipeline,
+ * once double-buffered and once synchronous, on two fresh systems.
+ * Defaults produce a >= 5-wave L-LUT sweep over 64 DPUs (the
+ * acceptance configuration of the pipelined-vs-sync comparison).
+ */
+struct BatchedOptions
+{
+    uint32_t dpus = 64;
+    uint32_t tasklets = 16;
+    /** Per-DPU slice capacity; one wave is dpus * this elements. */
+    uint32_t perDpuElements = 512;
+    uint32_t requests = 5;
+    uint32_t elementsPerRequest = 1u << 15;
+    /** Streaming-kernel chunk; keep perDpuElements / chunkElems >=
+     * tasklets so every tasklet gets work. */
+    uint32_t chunkElems = 32;
+    uint64_t seed = 0x7ea9c0de;
+    /** Optional input domain override (defaults to functionDomain). */
+    std::optional<Domain> domain;
+    /** Retry/backoff/timeout knobs applied to both systems. */
+    sim::RetryPolicy policy;
+    /** Fault plan armed on both systems before serving, when set. */
+    std::optional<sim::fault::FaultPlan> plan;
+    uint32_t maxRetryWaves = 6;
+    /** Simulation threads override (0 = global default). */
+    uint32_t simThreads = 0;
+};
+
+/** Pipelined-vs-synchronous outcome of one batched benchmark. */
+struct BatchedResult
+{
+    bool feasible = true; ///< false: no valid binding for the config
+    sim::serve::ServeReport pipelined;
+    sim::serve::ServeReport sync;
+    /** Outputs of the two runs are bit-identical (always expected
+     * without a fault plan; probabilistic plans may diverge because
+     * the two schedules order per-DPU transfer events differently). */
+    bool outputsMatch = false;
+    double cyclesPerElement = 0.0; ///< pipelined run, compute only
+
+    /** Sync over pipelined end-to-end modeled time. */
+    double
+    speedup() const
+    {
+        return pipelined.modeledSeconds > 0.0
+                   ? sync.modeledSeconds / pipelined.modeledSeconds
+                   : 0.0;
+    }
+
+    /** Overlap efficiency of the pipelined run, in percent. */
+    double
+    overlapPercent() const
+    {
+        return pipelined.overlapFraction() * 100.0;
+    }
+};
+
+/**
+ * Serve a burst of identical-configuration requests through the
+ * pimserve pipeline twice — double-buffered and synchronous — and
+ * compare modeled end-to-end time. This is the benchmark behind the
+ * bench/run_all.sh sync-vs-pipelined sweep and tools/pimserve.
+ */
+BatchedResult runBatchedThroughput(Function f, const MethodSpec& spec,
+                                   const BatchedOptions& opts = {});
 
 /**
  * Accuracy-only evaluation on the host (no DPU, no cycle model):

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Evaluator glue for the serve layer.
+ */
+
+#include "transpim/serve_glue.h"
+
+#include <algorithm>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+namespace tpl {
+namespace transpim {
+
+namespace {
+
+/** FNV-1a, the idiomatic small stable hash. */
+class Fnv1a
+{
+  public:
+    template <typename T>
+    void
+    mix(const T& value)
+    {
+        const unsigned char* p =
+            reinterpret_cast<const unsigned char*>(&value);
+        for (size_t i = 0; i < sizeof(T); ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001b3ull;
+        }
+    }
+
+    uint64_t value() const { return hash_; }
+
+  private:
+    uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+} // namespace
+
+sim::serve::TableKey
+batchTableKey(Function f, const MethodSpec& spec)
+{
+    // Field-by-field (never the raw struct: padding bytes are
+    // indeterminate), covering every knob that shapes the generated
+    // tables or the kernel's evaluation path.
+    Fnv1a h;
+    h.mix(static_cast<uint32_t>(f));
+    h.mix(static_cast<uint32_t>(spec.method));
+    h.mix(static_cast<uint8_t>(spec.interpolated));
+    h.mix(static_cast<uint32_t>(spec.placement));
+    h.mix(spec.log2Entries);
+    h.mix(spec.iterations);
+    h.mix(spec.gridBits);
+    h.mix(spec.polyDegree);
+    h.mix(spec.dlutMantBits);
+    h.mix(spec.dlutMinExp);
+    h.mix(static_cast<uint8_t>(spec.reduceRange));
+    h.mix(static_cast<uint8_t>(spec.shareTrigTables));
+
+    sim::serve::TableKey key;
+    key.hash = h.value();
+    key.label =
+        std::string(functionName(f)) + "/" + methodLabel(spec);
+    return key;
+}
+
+sim::Kernel
+makeStreamingKernel(const FunctionEvaluator& ev,
+                    const sim::ShardTask& task, uint32_t chunkElems)
+{
+    const FunctionEvaluator* evp = &ev;
+    const uint32_t chunk = std::clamp(chunkElems, 1u, 256u);
+    return [evp, task, chunk](sim::TaskletContext& ctx) {
+        float buffer[256];
+        uint32_t chunks = (task.elements + chunk - 1) / chunk;
+        for (uint32_t c = ctx.taskletId(); c < chunks;
+             c += ctx.numTasklets()) {
+            uint32_t beg = c * chunk;
+            uint32_t cnt = std::min(chunk, task.elements - beg);
+            ctx.mramRead(task.inAddr + beg * sizeof(float), buffer,
+                         cnt * sizeof(float));
+            for (uint32_t i = 0; i < cnt; ++i) {
+                ctx.charge(4); // loop control + WRAM load/store
+                buffer[i] = evp->eval(buffer[i], &ctx);
+            }
+            ctx.mramWrite(task.outAddr + beg * sizeof(float), buffer,
+                          cnt * sizeof(float));
+        }
+    };
+}
+
+sim::serve::TableKey
+EvaluatorCatalog::add(Function f, const MethodSpec& spec)
+{
+    sim::serve::TableKey key = batchTableKey(f, spec);
+    entries_.emplace(key.hash, Entry{f, spec});
+    return key;
+}
+
+sim::serve::TableProvider
+EvaluatorCatalog::provider() const
+{
+    return [this](const sim::serve::TableKey& key,
+                  sim::PimSystem& sys) -> sim::serve::TableBinding {
+        sim::serve::TableBinding binding;
+        auto it = entries_.find(key.hash);
+        if (it == entries_.end())
+            return binding; // unknown configuration
+        const Entry& entry = it->second;
+
+        // One evaluator per core: LutStore binds attached tables to
+        // one DpuCore, and per-core tables are what the modeled
+        // machine has anyway.
+        auto evals =
+            std::make_shared<std::vector<FunctionEvaluator>>(
+                sys.numDpus());
+        try {
+            for (uint32_t d = 0; d < sys.numDpus(); ++d) {
+                (*evals)[d] =
+                    FunctionEvaluator::create(entry.function,
+                                              entry.spec);
+                (*evals)[d].attach(sys.dpu(d));
+            }
+        } catch (const UnsupportedCombination&) {
+            return binding;
+        } catch (const std::bad_alloc&) {
+            return binding;
+        }
+
+        binding.valid = true;
+        binding.tableBytes =
+            evals->empty() ? 0 : evals->front().memoryBytes();
+        const uint32_t chunk = chunkElems_;
+        binding.makeKernel =
+            [evals, chunk](const sim::ShardTask& t) -> sim::Kernel {
+            return makeStreamingKernel((*evals)[t.dpu], t, chunk);
+        };
+        binding.state = evals;
+        return binding;
+    };
+}
+
+} // namespace transpim
+} // namespace tpl

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Glue between the generic serve layer (pimsim/serve) and transpim
+ * evaluators: the TableKey hash for a (function, method spec) pair,
+ * the catalog that resolves keys back to evaluator configurations,
+ * and the shared streaming kernel both the resilient harness and the
+ * serve pipeline run per shard.
+ *
+ * The split keeps the dependency arrow pointing one way: tpl_pimserve
+ * knows nothing about evaluators; this file (in tpl_transpim) teaches
+ * it how to build tables for transcendental-function requests.
+ */
+
+#ifndef TPL_TRANSPIM_SERVE_GLUE_H
+#define TPL_TRANSPIM_SERVE_GLUE_H
+
+#include <cstdint>
+#include <map>
+
+#include "pimsim/serve/pipeline.h"
+#include "transpim/evaluator.h"
+
+namespace tpl {
+namespace transpim {
+
+/**
+ * Stable identity of one (function, spec) configuration as a serve
+ * TableKey: an FNV-1a hash over the function and every table-shaping
+ * knob of the spec, labeled "sin/L-LUT interp. (WRAM, 2^12)"-style.
+ * Requests with equal keys share one cached table broadcast.
+ */
+sim::serve::TableKey batchTableKey(Function f, const MethodSpec& spec);
+
+/**
+ * Per-shard streaming kernel shared by runResilientMicrobench and the
+ * serve pipeline: each tasklet claims chunks of @p chunkElems
+ * elements round-robin, DMAs them into WRAM, evaluates with @p ev,
+ * and DMAs the results back. @p ev must outlive the returned kernel
+ * (it is captured by pointer — LutStore binds tables to one core, so
+ * the caller keeps one evaluator per DPU). @p chunkElems is clamped
+ * to [1, 256]; keep it small enough that elements/chunkElems >=
+ * tasklets, or tail tasklets idle.
+ */
+sim::Kernel makeStreamingKernel(const FunctionEvaluator& ev,
+                                const sim::ShardTask& task,
+                                uint32_t chunkElems);
+
+/**
+ * A registry of evaluator configurations addressable by TableKey,
+ * plus the TableProvider that realizes them on a PimSystem (one
+ * evaluator per core, tables attached at bind time). Register every
+ * configuration a request trace uses, then hand provider() to the
+ * ServePipeline; the catalog must outlive the pipeline run.
+ */
+class EvaluatorCatalog
+{
+  public:
+    /** Register @p f with @p spec; returns (and remembers) its key.
+     * Re-adding an equal configuration is a no-op. */
+    sim::serve::TableKey add(Function f, const MethodSpec& spec);
+
+    /** Streaming-kernel chunk size passed to makeStreamingKernel. */
+    void setChunkElements(uint32_t n) { chunkElems_ = n; }
+    uint32_t chunkElements() const { return chunkElems_; }
+
+    /** Number of registered configurations. */
+    size_t size() const { return entries_.size(); }
+
+    /**
+     * The TableProvider for ServePipeline/TableCache. Binds `this`:
+     * the catalog must outlive every pipeline using the provider.
+     * Unknown keys and infeasible configurations (unsupported
+     * combination, tables exceeding core memory) yield an invalid
+     * binding — the pipeline drops those requests instead of
+     * throwing.
+     */
+    sim::serve::TableProvider provider() const;
+
+  private:
+    struct Entry
+    {
+        Function function = Function::Sin;
+        MethodSpec spec;
+    };
+
+    std::map<uint64_t, Entry> entries_;
+    uint32_t chunkElems_ = 32;
+};
+
+} // namespace transpim
+} // namespace tpl
+
+#endif // TPL_TRANSPIM_SERVE_GLUE_H

@@ -1,0 +1,470 @@
+/**
+ * @file
+ * pimserve tests: batch coalescing boundaries, overlap accounting
+ * identities of the double-buffered pipeline, LUT-cache behavior,
+ * determinism across simulation thread counts, and fault-armed
+ * degradation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "pimsim/serve/pipeline.h"
+#include "transpim/harness.h"
+#include "transpim/serve_glue.h"
+
+using namespace tpl;
+using namespace tpl::sim;
+using namespace tpl::transpim;
+
+namespace {
+
+serve::TableKey
+keyOf(uint64_t hash)
+{
+    serve::TableKey k;
+    k.hash = hash;
+    k.label = "k" + std::to_string(hash);
+    return k;
+}
+
+serve::Request
+makeRequest(const serve::TableKey& key, const float* in, float* out,
+            uint64_t elements)
+{
+    serve::Request r;
+    r.table = key;
+    r.input = in;
+    r.output = out;
+    r.elements = elements;
+    return r;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// BatchQueue coalescing boundaries.
+
+TEST(BatchQueue, ClosedEmptyQueueYieldsNoWave)
+{
+    serve::BatchQueue q;
+    q.close();
+    EXPECT_FALSE(q.popWave(1024).has_value());
+    // push after close is rejected.
+    float x = 0, y = 0;
+    EXPECT_EQ(q.push(makeRequest(keyOf(1), &x, &y, 1)), 0u);
+    EXPECT_EQ(q.totalPushed(), 0u);
+}
+
+TEST(BatchQueue, SingleRequestBecomesOneWave)
+{
+    serve::BatchQueue q;
+    std::vector<float> in(100), out(100);
+    uint64_t id =
+        q.push(makeRequest(keyOf(7), in.data(), out.data(), 100));
+    EXPECT_NE(id, 0u);
+    q.close();
+
+    auto w = q.popWave(256);
+    ASSERT_TRUE(w.has_value());
+    ASSERT_EQ(w->items.size(), 1u);
+    EXPECT_EQ(w->items[0].requestId, id);
+    EXPECT_EQ(w->items[0].elements, 100u);
+    EXPECT_EQ(w->requestsClosed, 1u);
+    EXPECT_FALSE(q.popWave(256).has_value());
+}
+
+TEST(BatchQueue, OversizedRequestIsConsumedIncrementally)
+{
+    serve::BatchQueue q;
+    std::vector<float> in(1000), out(1000);
+    q.push(makeRequest(keyOf(7), in.data(), out.data(), 1000));
+    q.close();
+
+    uint64_t seen = 0;
+    int waves = 0;
+    while (auto w = q.popWave(256)) {
+        ASSERT_EQ(w->items.size(), 1u);
+        // Spans advance in place over the original buffers.
+        EXPECT_EQ(w->items[0].input, in.data() + seen);
+        EXPECT_EQ(w->items[0].output, out.data() + seen);
+        seen += w->items[0].elements;
+        ++waves;
+    }
+    EXPECT_EQ(seen, 1000u);
+    EXPECT_EQ(waves, 4); // 256 + 256 + 256 + 232
+}
+
+TEST(BatchQueue, CoalescesOnlyMatchingTables)
+{
+    serve::BatchQueue q;
+    std::vector<float> buf(400);
+    q.push(makeRequest(keyOf(1), buf.data(), buf.data(), 100));
+    q.push(makeRequest(keyOf(2), buf.data(), buf.data(), 50));
+    q.push(makeRequest(keyOf(1), buf.data(), buf.data(), 60));
+    q.close();
+
+    auto w1 = q.popWave(256);
+    ASSERT_TRUE(w1.has_value());
+    EXPECT_EQ(w1->table.hash, 1u);
+    ASSERT_EQ(w1->items.size(), 2u); // both key-1 requests coalesce
+    EXPECT_EQ(w1->elements(), 160u);
+
+    auto w2 = q.popWave(256);
+    ASSERT_TRUE(w2.has_value());
+    EXPECT_EQ(w2->table.hash, 2u);
+    EXPECT_EQ(w2->elements(), 50u);
+    EXPECT_FALSE(q.popWave(256).has_value());
+}
+
+TEST(BatchQueue, ZeroBudgetStillMakesProgress)
+{
+    serve::BatchQueue q;
+    std::vector<float> buf(8);
+    q.push(makeRequest(keyOf(1), buf.data(), buf.data(), 8));
+    q.close();
+    auto w = q.popWave(0); // treated as budget 1
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(w->elements(), 1u);
+}
+
+TEST(BatchQueue, ConcurrentProducersLoseNothing)
+{
+    serve::BatchQueue q;
+    constexpr int kProducers = 8;
+    constexpr int kPerProducer = 50;
+    std::vector<float> buf(64);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p)
+        producers.emplace_back([&] {
+            for (int i = 0; i < kPerProducer; ++i)
+                q.push(makeRequest(keyOf(3), buf.data(), buf.data(),
+                                   4));
+        });
+    for (auto& t : producers)
+        t.join();
+    q.close();
+
+    EXPECT_EQ(q.totalPushed(),
+              static_cast<uint64_t>(kProducers) * kPerProducer);
+    uint64_t elements = 0;
+    uint64_t waves = 0;
+    while (auto w = q.popWave(64)) {
+        elements += w->elements();
+        ++waves;
+    }
+    EXPECT_EQ(elements, 4u * kProducers * kPerProducer);
+    EXPECT_GE(waves, elements / 64);
+}
+
+// ---------------------------------------------------------------------
+// Pipeline accounting identities.
+
+TEST(ServePipeline, PipelinedNeverSlowerThanSyncAndSyncMatchesSum)
+{
+    BatchedOptions opts;
+    opts.dpus = 8;
+    opts.tasklets = 8;
+    opts.perDpuElements = 256;
+    opts.requests = 4;
+    opts.elementsPerRequest = 2048; // 4 waves of 2048
+    MethodSpec spec; // interpolated L-LUT, WRAM
+    BatchedResult res =
+        runBatchedThroughput(Function::Sin, spec, opts);
+
+    ASSERT_TRUE(res.feasible);
+    EXPECT_TRUE(res.pipelined.complete);
+    EXPECT_TRUE(res.sync.complete);
+    EXPECT_TRUE(res.outputsMatch);
+    EXPECT_GE(res.pipelined.waves, 4u);
+
+    // Overlap can only help: pipelined makespan <= synchronous.
+    EXPECT_LE(res.pipelined.modeledSeconds,
+              res.sync.modeledSeconds * (1.0 + 1e-12));
+
+    // In sync mode the legs chain back to back, so the makespan is
+    // the sum of the leg durations.
+    EXPECT_NEAR(res.sync.modeledSeconds, res.sync.syncSeconds,
+                res.sync.syncSeconds * 1e-9);
+
+    // Leg durations are schedule-independent, so both runs project
+    // the same synchronous time.
+    EXPECT_NEAR(res.pipelined.syncSeconds, res.sync.syncSeconds,
+                res.sync.syncSeconds * 1e-9);
+
+    // The report's internal overlap estimate agrees with the
+    // two-system measurement.
+    EXPECT_NEAR(res.pipelined.speedup(), res.speedup(),
+                res.speedup() * 1e-9);
+}
+
+TEST(ServePipeline, CyclePartitionStaysExactOnPipelinedPath)
+{
+    // Drive a pipeline directly and check the obs invariant on every
+    // core's LaunchStats afterwards: per-class instruction sums equal
+    // the instruction total, and adding stalls gives the cycles.
+    sim::PimSystem sys(4);
+    EvaluatorCatalog catalog;
+    MethodSpec spec;
+    serve::TableKey key = catalog.add(Function::Sin, spec);
+
+    const uint32_t elements = 4096;
+    std::vector<float> in(elements), out(elements, 0.0f);
+    for (uint32_t i = 0; i < elements; ++i)
+        in[i] = 6.28f * static_cast<float>(i) / elements;
+
+    serve::BatchQueue queue;
+    queue.push(makeRequest(key, in.data(), out.data(), elements));
+    queue.close();
+
+    serve::PipelineOptions popts;
+    popts.numTasklets = 8;
+    popts.perDpuElements = 256; // 4096 / (4*256) = 4 waves
+    serve::ServePipeline pipeline(sys, catalog.provider(), popts);
+    serve::ServeReport rep = pipeline.run(queue);
+    ASSERT_TRUE(rep.complete);
+    EXPECT_EQ(rep.waves, 4u);
+
+    for (uint32_t d = 0; d < sys.numDpus(); ++d) {
+        const LaunchStats& st = sys.dpu(d).lastLaunch();
+        ASSERT_GT(st.cycles, 0u);
+        uint64_t classSum = 0;
+        for (uint64_t c : st.classInstructions)
+            classSum += c;
+        EXPECT_EQ(classSum, st.totalInstructions);
+        EXPECT_EQ(classSum + st.stallCycles, st.cycles);
+    }
+}
+
+TEST(ServePipeline, UnknownTableIsDroppedNotServed)
+{
+    sim::PimSystem sys(2);
+    EvaluatorCatalog catalog; // empty: nothing registered
+    std::vector<float> in(64), out(64, -1.0f);
+    serve::BatchQueue queue;
+    queue.push(makeRequest(keyOf(999), in.data(), out.data(), 64));
+    queue.close();
+
+    serve::ServePipeline pipeline(sys, catalog.provider());
+    serve::ServeReport rep = pipeline.run(queue);
+    EXPECT_FALSE(rep.complete);
+    EXPECT_EQ(rep.infeasibleElements, 64u);
+    EXPECT_EQ(rep.waves, 0u);
+    for (float v : out)
+        EXPECT_EQ(v, -1.0f); // outputs untouched
+}
+
+// ---------------------------------------------------------------------
+// LUT cache.
+
+TEST(ServePipeline, RepeatedConfigurationHitsTableCache)
+{
+    sim::PimSystem sys(4);
+    EvaluatorCatalog catalog;
+    MethodSpec spec;
+    serve::TableKey key = catalog.add(Function::Sin, spec);
+
+    const uint32_t elements = 2048; // 2 waves at 4 * 256
+    std::vector<float> in(elements, 1.0f), out(elements);
+    serve::BatchQueue queue;
+    queue.push(makeRequest(key, in.data(), out.data(), elements));
+    queue.close();
+
+    serve::PipelineOptions popts;
+    popts.perDpuElements = 256;
+    popts.numTasklets = 8;
+    serve::ServePipeline pipeline(sys, catalog.provider(), popts);
+    serve::ServeReport rep = pipeline.run(queue);
+
+    ASSERT_TRUE(rep.complete);
+    EXPECT_EQ(rep.waves, 2u);
+    EXPECT_EQ(rep.cacheMisses, 1u); // first wave generates + broadcasts
+    EXPECT_EQ(rep.cacheHits, 1u);   // second wave reuses the tables
+    // Only the miss pays a broadcast.
+    ASSERT_EQ(rep.waveStats.size(), 2u);
+    EXPECT_TRUE(rep.waveStats[0].tableMiss);
+    EXPECT_GT(rep.waveStats[0].broadcastSeconds, 0.0);
+    EXPECT_FALSE(rep.waveStats[1].tableMiss);
+    EXPECT_EQ(rep.waveStats[1].broadcastSeconds, 0.0);
+}
+
+TEST(ServePipeline, DistinctConfigurationsMissSeparately)
+{
+    sim::PimSystem sys(2);
+    EvaluatorCatalog catalog;
+    MethodSpec llut;
+    MethodSpec mlut;
+    mlut.method = Method::MLut;
+    serve::TableKey k1 = catalog.add(Function::Sin, llut);
+    serve::TableKey k2 = catalog.add(Function::Sin, mlut);
+    ASSERT_NE(k1.hash, k2.hash);
+
+    std::vector<float> in(256, 0.5f), out(256);
+    serve::BatchQueue queue;
+    queue.push(makeRequest(k1, in.data(), out.data(), 64));
+    queue.push(makeRequest(k2, in.data(), out.data() + 64, 64));
+    queue.push(makeRequest(k1, in.data(), out.data() + 128, 64));
+    queue.push(makeRequest(k2, in.data(), out.data() + 192, 64));
+    queue.close();
+
+    serve::PipelineOptions popts;
+    popts.perDpuElements = 64; // one wave per key visit
+    popts.numTasklets = 4;
+    serve::ServePipeline pipeline(sys, catalog.provider(), popts);
+    serve::ServeReport rep = pipeline.run(queue);
+
+    ASSERT_TRUE(rep.complete);
+    EXPECT_EQ(rep.cacheMisses, 2u);
+    EXPECT_EQ(rep.cacheHits + rep.cacheMisses, rep.waves);
+}
+
+// ---------------------------------------------------------------------
+// Determinism across simulation thread counts.
+
+TEST(ServePipeline, BitIdenticalAcrossSimThreadCounts)
+{
+    BatchedOptions base;
+    base.dpus = 8;
+    base.tasklets = 8;
+    base.perDpuElements = 128;
+    base.requests = 3;
+    base.elementsPerRequest = 1024;
+    MethodSpec spec;
+
+    BatchedResult ref;
+    bool first = true;
+    for (uint32_t threads : {1u, 4u, 16u}) {
+        BatchedOptions opts = base;
+        opts.simThreads = threads;
+        BatchedResult res =
+            runBatchedThroughput(Function::Sin, spec, opts);
+        ASSERT_TRUE(res.pipelined.complete);
+        ASSERT_TRUE(res.outputsMatch);
+        if (first) {
+            ref = res;
+            first = false;
+            continue;
+        }
+        // Modeled quantities are bit-identical, not just close.
+        EXPECT_EQ(res.pipelined.computeCycles,
+                  ref.pipelined.computeCycles);
+        EXPECT_EQ(res.pipelined.modeledSeconds,
+                  ref.pipelined.modeledSeconds);
+        EXPECT_EQ(res.pipelined.syncSeconds,
+                  ref.pipelined.syncSeconds);
+        EXPECT_EQ(res.sync.modeledSeconds, ref.sync.modeledSeconds);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-armed pipeline: degrade, never deadlock.
+
+TEST(ServePipeline, MaskedDpuMidPipelineReshardsItsWave)
+{
+    auto plan = fault::FaultPlan::parse(
+        "seed 99\nfault kind=dpu-hard-fail dpu=2 prob=1\n");
+    ASSERT_TRUE(plan.has_value());
+
+    BatchedOptions opts;
+    opts.dpus = 8;
+    opts.tasklets = 8;
+    opts.perDpuElements = 128;
+    opts.requests = 3;
+    opts.elementsPerRequest = 1024;
+    opts.plan = plan;
+    MethodSpec spec;
+    BatchedResult res =
+        runBatchedThroughput(Function::Sin, spec, opts);
+
+    // DPU 2 hard-fails its first launch; its slices re-shard onto
+    // the seven survivors and the run still completes.
+    ASSERT_TRUE(res.pipelined.complete);
+    ASSERT_EQ(res.pipelined.failedDpus.size(), 1u);
+    EXPECT_EQ(res.pipelined.failedDpus[0], 2u);
+    EXPECT_GT(res.pipelined.reshardedElements, 0u);
+    EXPECT_EQ(res.pipelined.droppedElements, 0u);
+
+    // Degraded, but correct: every element carries a real result.
+    // (Outputs of the two schedules are compared against the
+    // reference independently; the schedules may fail different
+    // waves, so byte-identity across modes is not required here.)
+    EXPECT_TRUE(res.sync.complete);
+}
+
+TEST(ServePipeline, AllCoresDeadReportsIncompleteInsteadOfHanging)
+{
+    auto plan = fault::FaultPlan::parse(
+        "seed 7\nfault kind=dpu-hard-fail prob=1\n"); // every DPU
+    ASSERT_TRUE(plan.has_value());
+
+    sim::PimSystem sys(2);
+    sys.armFaults(*plan);
+    EvaluatorCatalog catalog;
+    MethodSpec spec;
+    serve::TableKey key = catalog.add(Function::Sin, spec);
+
+    std::vector<float> in(512, 0.25f), out(512);
+    serve::BatchQueue queue;
+    queue.push(makeRequest(key, in.data(), out.data(), 512));
+    queue.close();
+
+    serve::PipelineOptions popts;
+    popts.perDpuElements = 128;
+    popts.numTasklets = 4;
+    serve::ServePipeline pipeline(sys, catalog.provider(), popts);
+    serve::ServeReport rep = pipeline.run(queue); // must return
+    EXPECT_FALSE(rep.complete);
+    EXPECT_GT(rep.droppedElements, 0u);
+    EXPECT_EQ(sys.healthyDpus(), 0u);
+}
+
+TEST(ServePipeline, FaultFreeOutputsMatchReference)
+{
+    BatchedOptions opts;
+    opts.dpus = 4;
+    opts.tasklets = 8;
+    opts.perDpuElements = 256;
+    opts.requests = 2;
+    opts.elementsPerRequest = 2048;
+    MethodSpec spec;
+    BatchedResult res =
+        runBatchedThroughput(Function::Sin, spec, opts);
+    ASSERT_TRUE(res.pipelined.complete);
+    EXPECT_TRUE(res.outputsMatch);
+    // The serve path evaluates with the same kernels as the
+    // microbenchmark; accuracy must be L-LUT-grade, not garbage.
+    // (interp. L-LUT 2^12 RMSE is ~2.5e-7; 1e-5 catches data-path
+    // bugs like wrong slicing offsets without being flaky.)
+    MicrobenchOptions mopts;
+    mopts.elements = 1024;
+    MicrobenchResult mb =
+        runMicrobench(Function::Sin, spec, mopts);
+    EXPECT_LT(mb.error.rmse, 1e-5);
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: pipelined beats synchronous by >= 1.3x on the L-LUT
+// sin sweep (>= 4 waves, 64 DPUs).
+
+TEST(ServeAcceptance, PipelinedBeatsSyncByThirtyPercent)
+{
+    BatchedOptions opts; // defaults: 64 DPUs, 5 x 32768 elements
+    MethodSpec spec;     // interpolated L-LUT (WRAM, 2^12)
+    BatchedResult res =
+        runBatchedThroughput(Function::Sin, spec, opts);
+
+    ASSERT_TRUE(res.feasible);
+    ASSERT_TRUE(res.pipelined.complete);
+    ASSERT_TRUE(res.sync.complete);
+    EXPECT_TRUE(res.outputsMatch);
+    EXPECT_GE(res.pipelined.waves, 4u);
+    EXPECT_EQ(res.pipelined.failedDpus.size(), 0u);
+
+    EXPECT_GE(res.speedup(), 1.3);
+    EXPECT_GT(res.overlapPercent(), 0.0);
+    EXPECT_GT(res.pipelined.elementsPerSecond(), 0.0);
+    EXPECT_GT(res.cyclesPerElement, 0.0);
+}

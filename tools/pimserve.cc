@@ -1,0 +1,510 @@
+/**
+ * @file
+ * pimserve: replay a request trace through the batched serving
+ * pipeline and print sustained throughput plus the overlap the
+ * double-buffered schedule wins over the synchronous one.
+ *
+ *   pimserve --demo-trace > requests.trace   # built-in demo trace
+ *   pimserve --trace requests.trace          # replay it
+ *   pimserve --trace requests.trace --json - # machine-readable
+ *
+ * A trace is one request per line:
+ *
+ *   request function=sin method=llut elements=32768
+ *   request function=exp method=llut elements=16384 log2-entries=12
+ *
+ * Recognized request keys: function, method, elements, log2-entries,
+ * interpolated (0|1), iterations, placement (wram|mram). Blank lines
+ * and '#' comments are skipped. Requests with the same configuration
+ * coalesce into shared waves and hit the table cache after the first
+ * broadcast.
+ *
+ * Options:
+ *   --trace PATH           request trace to replay
+ *   --demo-trace           print a built-in demo trace and exit
+ *   --dpus N               simulated DPUs (default 64)
+ *   --tasklets N           tasklets per DPU (default 16)
+ *   --per-dpu-elements N   per-wave slice capacity per DPU
+ *                          (default 512)
+ *   --chunk N              streaming-kernel chunk elements
+ *                          (default 32)
+ *   --sync                 replay with the synchronous schedule only
+ *   --plan PATH            arm a fault plan (pimfault text format)
+ *   --seed N               input-generation seed
+ *   --json PATH            write a JSON summary ('-' for stdout)
+ *   --metrics PATH         dump the metrics registry (serve/...)
+ *
+ * Exit status: 0 when every request was served completely, 1 when
+ * elements were dropped / infeasible / the run is incomplete, 2 on
+ * usage or parse errors.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "pimsim/obs/metrics.h"
+#include "pimsim/serve/pipeline.h"
+#include "transpim/harness.h"
+#include "transpim/serve_glue.h"
+
+namespace {
+
+using namespace tpl;
+using namespace tpl::transpim;
+
+void
+usage()
+{
+    std::cerr
+        << "usage: pimserve --trace PATH [--dpus N] [--tasklets N]\n"
+           "                [--per-dpu-elements N] [--chunk N]"
+           " [--sync]\n"
+           "                [--plan PATH] [--seed N] [--json PATH]\n"
+           "                [--metrics PATH]\n"
+           "       pimserve --demo-trace\n";
+}
+
+const std::map<std::string, Function>&
+functionTable()
+{
+    static const std::map<std::string, Function> table = {
+        {"sin", Function::Sin},       {"cos", Function::Cos},
+        {"tan", Function::Tan},       {"sinh", Function::Sinh},
+        {"cosh", Function::Cosh},     {"tanh", Function::Tanh},
+        {"exp", Function::Exp},       {"log", Function::Log},
+        {"sqrt", Function::Sqrt},     {"gelu", Function::Gelu},
+        {"sigmoid", Function::Sigmoid}, {"cndf", Function::Cndf},
+        {"atan", Function::Atan},     {"asin", Function::Asin},
+        {"acos", Function::Acos},     {"atanh", Function::Atanh},
+        {"log2", Function::Log2},     {"log10", Function::Log10},
+        {"exp2", Function::Exp2},     {"rsqrt", Function::Rsqrt},
+        {"erf", Function::Erf},       {"silu", Function::Silu},
+        {"softplus", Function::Softplus},
+    };
+    return table;
+}
+
+const std::map<std::string, Method>&
+methodTable()
+{
+    static const std::map<std::string, Method> table = {
+        {"cordic", Method::Cordic},
+        {"cordic-fixed", Method::CordicFixed},
+        {"cordic-lut", Method::CordicLut},
+        {"mlut", Method::MLut},
+        {"llut", Method::LLut},
+        {"llut-fixed", Method::LLutFixed},
+        {"dlut", Method::DLut},
+        {"dllut", Method::DlLut},
+        {"poly", Method::Poly},
+    };
+    return table;
+}
+
+bool
+parseU32(const std::string& text, uint32_t& out)
+{
+    try {
+        size_t pos = 0;
+        unsigned long v = std::stoul(text, &pos, 0);
+        if (pos != text.size() || v > UINT32_MAX)
+            return false;
+        out = static_cast<uint32_t>(v);
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+/** One parsed trace line. */
+struct TraceRequest
+{
+    Function function = Function::Sin;
+    MethodSpec spec;
+    uint32_t elements = 0;
+};
+
+/** Parse `request key=value ...`; returns false + error on bad input. */
+bool
+parseTraceLine(const std::string& line, TraceRequest& req,
+               std::string& error)
+{
+    std::istringstream words(line);
+    std::string word;
+    words >> word;
+    if (word != "request") {
+        error = "expected 'request', got '" + word + "'";
+        return false;
+    }
+    bool haveFunction = false;
+    while (words >> word) {
+        size_t eq = word.find('=');
+        if (eq == std::string::npos) {
+            error = "expected key=value, got '" + word + "'";
+            return false;
+        }
+        std::string key = word.substr(0, eq);
+        std::string value = word.substr(eq + 1);
+        uint32_t n = 0;
+        if (key == "function") {
+            auto it = functionTable().find(value);
+            if (it == functionTable().end()) {
+                error = "unknown function '" + value + "'";
+                return false;
+            }
+            req.function = it->second;
+            haveFunction = true;
+        } else if (key == "method") {
+            auto it = methodTable().find(value);
+            if (it == methodTable().end()) {
+                error = "unknown method '" + value + "'";
+                return false;
+            }
+            req.spec.method = it->second;
+        } else if (key == "elements") {
+            if (!parseU32(value, n) || n == 0) {
+                error = "bad elements '" + value + "'";
+                return false;
+            }
+            req.elements = n;
+        } else if (key == "log2-entries") {
+            if (!parseU32(value, req.spec.log2Entries)) {
+                error = "bad log2-entries '" + value + "'";
+                return false;
+            }
+        } else if (key == "interpolated") {
+            if (!parseU32(value, n) || n > 1) {
+                error = "bad interpolated '" + value + "'";
+                return false;
+            }
+            req.spec.interpolated = n != 0;
+        } else if (key == "iterations") {
+            if (!parseU32(value, req.spec.iterations)) {
+                error = "bad iterations '" + value + "'";
+                return false;
+            }
+        } else if (key == "placement") {
+            if (value == "wram") {
+                req.spec.placement = Placement::Wram;
+            } else if (value == "mram") {
+                req.spec.placement = Placement::Mram;
+            } else {
+                error = "bad placement '" + value + "'";
+                return false;
+            }
+        } else {
+            error = "unknown key '" + key + "'";
+            return false;
+        }
+    }
+    if (!haveFunction || req.elements == 0) {
+        error = "request needs at least function= and elements=";
+        return false;
+    }
+    return true;
+}
+
+/** A mixed inference-style burst: repeated configs hit the table
+ * cache, the cos/exp switches force new broadcasts. */
+const char* kDemoTrace =
+    "# pimserve demo trace: replay with\n"
+    "#   pimserve --trace <this file>\n"
+    "request function=sin method=llut elements=32768\n"
+    "request function=sin method=llut elements=32768\n"
+    "request function=cos method=llut elements=32768\n"
+    "request function=sin method=llut elements=16384\n"
+    "request function=exp method=llut elements=32768\n"
+    "request function=exp method=llut elements=32768\n";
+
+void
+writeJson(std::ostream& out, const sim::serve::ServeReport& rep,
+          const sim::serve::ServeReport* syncRep)
+{
+    out << "{\n"
+        << "  \"requests\": " << rep.requests << ",\n"
+        << "  \"elements\": " << rep.elements << ",\n"
+        << "  \"waves\": " << rep.waves << ",\n"
+        << "  \"cache_hits\": " << rep.cacheHits << ",\n"
+        << "  \"cache_misses\": " << rep.cacheMisses << ",\n"
+        << "  \"failed_dpus\": " << rep.failedDpus.size() << ",\n"
+        << "  \"resharded_elements\": " << rep.reshardedElements
+        << ",\n"
+        << "  \"dropped_elements\": " << rep.droppedElements << ",\n"
+        << "  \"infeasible_elements\": " << rep.infeasibleElements
+        << ",\n"
+        << "  \"complete\": " << (rep.complete ? "true" : "false")
+        << ",\n";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9e", rep.modeledSeconds);
+    out << "  \"modeled_seconds\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.9e", rep.syncSeconds);
+    out << "  \"sync_seconds\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.3f", rep.elementsPerSecond());
+    out << "  \"elements_per_second\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  rep.overlapFraction() * 100.0);
+    out << "  \"overlap_percent\": " << buf;
+    if (syncRep) {
+        double speedup = rep.modeledSeconds > 0.0
+                             ? syncRep->modeledSeconds /
+                                   rep.modeledSeconds
+                             : 0.0;
+        std::snprintf(buf, sizeof(buf), "%.9e",
+                      syncRep->modeledSeconds);
+        out << ",\n  \"sync_run_modeled_seconds\": " << buf;
+        std::snprintf(buf, sizeof(buf), "%.4f", speedup);
+        out << ",\n  \"speedup\": " << buf;
+    }
+    out << "\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string tracePath;
+    std::string planPath;
+    std::string jsonPath;
+    std::string metricsPath;
+    bool demoTrace = false;
+    bool syncOnly = false;
+    uint32_t dpus = 64;
+    uint32_t tasklets = 16;
+    uint32_t perDpuElements = 512;
+    uint32_t chunk = 32;
+    uint32_t seed = 0x7ea9c0de;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        auto u32Arg = [&](uint32_t& out) {
+            if (!parseU32(value(), out)) {
+                usage();
+                std::exit(2);
+            }
+        };
+        if (arg == "--trace") {
+            tracePath = value();
+        } else if (arg == "--demo-trace") {
+            demoTrace = true;
+        } else if (arg == "--dpus") {
+            u32Arg(dpus);
+        } else if (arg == "--tasklets") {
+            u32Arg(tasklets);
+        } else if (arg == "--per-dpu-elements") {
+            u32Arg(perDpuElements);
+        } else if (arg == "--chunk") {
+            u32Arg(chunk);
+        } else if (arg == "--sync") {
+            syncOnly = true;
+        } else if (arg == "--plan") {
+            planPath = value();
+        } else if (arg == "--seed") {
+            u32Arg(seed);
+        } else if (arg == "--json") {
+            jsonPath = value();
+        } else if (arg == "--metrics") {
+            metricsPath = value();
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "pimserve: unknown option '" << arg << "'\n";
+            usage();
+            return 2;
+        }
+    }
+
+    if (demoTrace) {
+        std::cout << kDemoTrace;
+        return 0;
+    }
+    if (tracePath.empty() || dpus == 0 || tasklets == 0) {
+        usage();
+        return 2;
+    }
+
+    std::ifstream in(tracePath);
+    if (!in) {
+        std::cerr << "pimserve: cannot read '" << tracePath << "'\n";
+        return 2;
+    }
+    std::vector<TraceRequest> trace;
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        TraceRequest req;
+        std::string error;
+        if (!parseTraceLine(line, req, error)) {
+            std::cerr << "pimserve: " << tracePath << ":" << lineNo
+                      << ": " << error << "\n";
+            return 2;
+        }
+        trace.push_back(req);
+    }
+    if (trace.empty()) {
+        std::cerr << "pimserve: " << tracePath
+                  << ": no requests\n";
+        return 2;
+    }
+
+    std::optional<sim::fault::FaultPlan> plan;
+    if (!planPath.empty()) {
+        std::ifstream planIn(planPath);
+        if (!planIn) {
+            std::cerr << "pimserve: cannot read '" << planPath
+                      << "'\n";
+            return 2;
+        }
+        std::ostringstream text;
+        text << planIn.rdbuf();
+        std::string error;
+        plan = sim::fault::FaultPlan::parse(text.str(), &error);
+        if (!plan) {
+            std::cerr << "pimserve: " << planPath << ": " << error
+                      << "\n";
+            return 2;
+        }
+    }
+
+    obs::Registry::global().setEnabled(true);
+
+    // Generate per-request inputs over each function's domain.
+    uint64_t total = 0;
+    for (const TraceRequest& r : trace)
+        total += r.elements;
+    std::vector<float> inputs(total);
+    std::vector<float> outputs(total, 0.0f);
+    {
+        uint64_t off = 0;
+        uint32_t salt = 0;
+        for (const TraceRequest& r : trace) {
+            Domain dom = functionDomain(r.function);
+            std::vector<float> chunkIn = uniformFloats(
+                r.elements, static_cast<float>(dom.lo),
+                static_cast<float>(dom.hi), seed + salt++);
+            std::copy(chunkIn.begin(), chunkIn.end(),
+                      inputs.begin() + off);
+            off += r.elements;
+        }
+    }
+
+    // One run of the whole trace on a fresh system.
+    auto serveOnce = [&](bool pipelined) -> sim::serve::ServeReport {
+        sim::PimSystem sys(dpus);
+        if (plan)
+            sys.armFaults(*plan);
+        EvaluatorCatalog catalog;
+        catalog.setChunkElements(chunk);
+
+        sim::serve::BatchQueue queue;
+        uint64_t off = 0;
+        for (const TraceRequest& r : trace) {
+            sim::serve::Request req;
+            req.table = catalog.add(r.function, r.spec);
+            req.input = inputs.data() + off;
+            req.output = outputs.data() + off;
+            req.elements = r.elements;
+            queue.push(req);
+            off += r.elements;
+        }
+        queue.close();
+
+        sim::serve::PipelineOptions popts;
+        popts.numTasklets = tasklets;
+        popts.perDpuElements = perDpuElements;
+        popts.pipelined = pipelined;
+        sim::serve::ServePipeline pipeline(sys, catalog.provider(),
+                                           popts);
+        return pipeline.run(queue);
+    };
+
+    sim::serve::ServeReport rep = serveOnce(!syncOnly);
+    std::optional<sim::serve::ServeReport> syncRep;
+    if (!syncOnly)
+        syncRep = serveOnce(false);
+
+    std::cout << "== pimserve: " << trace.size() << " request"
+              << (trace.size() == 1 ? "" : "s") << ", " << total
+              << " elements over " << dpus << " DPUs ("
+              << (syncOnly ? "synchronous" : "double-buffered")
+              << " schedule)\n\n";
+
+    std::cout << "-- pipeline\n";
+    std::printf("   waves               %10llu\n",
+                static_cast<unsigned long long>(rep.waves));
+    std::printf("   table cache         %10llu hits, %llu misses\n",
+                static_cast<unsigned long long>(rep.cacheHits),
+                static_cast<unsigned long long>(rep.cacheMisses));
+    std::printf("   failed DPUs         %10zu of %u\n",
+                rep.failedDpus.size(), dpus);
+    std::printf("   resharded elements  %10llu\n",
+                static_cast<unsigned long long>(
+                    rep.reshardedElements));
+    std::printf("   dropped elements    %10llu\n",
+                static_cast<unsigned long long>(rep.droppedElements));
+
+    std::cout << "\n-- throughput (modeled)\n";
+    std::printf("   makespan            %13.6f s\n",
+                rep.modeledSeconds);
+    std::printf("   synchronous cost    %13.6f s\n", rep.syncSeconds);
+    std::printf("   sustained           %13.3e elements/s\n",
+                rep.elementsPerSecond());
+    std::printf("   overlap             %12.1f %%\n",
+                rep.overlapFraction() * 100.0);
+    if (syncRep) {
+        double speedup =
+            rep.modeledSeconds > 0.0
+                ? syncRep->modeledSeconds / rep.modeledSeconds
+                : 0.0;
+        std::printf("   vs sync replay      %12.2fx\n", speedup);
+    }
+    std::printf("   complete            %13s\n",
+                rep.complete ? "yes" : "NO");
+
+    if (!jsonPath.empty()) {
+        if (jsonPath == "-") {
+            writeJson(std::cout,
+                      rep, syncRep ? &*syncRep : nullptr);
+        } else {
+            std::ofstream jsonOut(jsonPath);
+            if (!jsonOut) {
+                std::cerr << "pimserve: cannot write '" << jsonPath
+                          << "'\n";
+                return 2;
+            }
+            writeJson(jsonOut, rep, syncRep ? &*syncRep : nullptr);
+            std::cout << "\nwrote " << jsonPath << "\n";
+        }
+    }
+    if (!metricsPath.empty()) {
+        if (!obs::Registry::global().writeJson(metricsPath)) {
+            std::cerr << "pimserve: cannot write '" << metricsPath
+                      << "'\n";
+            return 2;
+        }
+        std::cout << "wrote " << metricsPath << "\n";
+    }
+    return rep.complete ? 0 : 1;
+}
