@@ -32,7 +32,15 @@
 # Schema 2 additionally embeds a "serve_sweep" object: the pimserve
 # L-LUT sin sweep replayed through both the double-buffered and the
 # synchronous schedule, with modeled seconds, speedup and overlap.
-# The full output schema is documented in docs/bench.md.
+#
+# Schema 3 adds host-throughput accounting: every result entry carries
+# "elements_per_sec" (per-configuration-point elements divided by wall
+# seconds — a trajectory metric, comparable only between runs with the
+# same settings), and a "sim_throughput" object replays the Figure-5
+# sweep with the batch execution path on (TPL_BATCH_EVAL=1, the
+# default) and off (TPL_BATCH_EVAL=0) and records both rates plus the
+# batch-over-scalar speedup. The full output schema is documented in
+# docs/bench.md.
 set -u
 
 if [ "${1:-}" = "--quick" ]; then
@@ -71,7 +79,8 @@ ERR_TMP=$(mktemp)
 METRICS_TMP=$(mktemp)
 SERVE_TMP=$(mktemp)
 TRACE_TMP=$(mktemp)
-trap 'rm -f "$ERR_TMP" "$METRICS_TMP" "$SERVE_TMP" "$TRACE_TMP"' EXIT
+CSV_TMP=$(mktemp)
+trap 'rm -f "$ERR_TMP" "$METRICS_TMP" "$SERVE_TMP" "$TRACE_TMP" "$CSV_TMP"' EXIT
 
 entries=""
 failures=0
@@ -102,7 +111,13 @@ for bin in "$BENCH_DIR"/*; do
     secs=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", (b - a) / 1e9 }')
     echo "   ${secs}s" >&2
 
+    # Per-point elements over wall seconds (0 when the bench failed or
+    # finished under clock resolution).
+    eps=$(awk -v e="${TPL_BENCH_ELEMENTS:-4096}" -v s="$secs" -v x="$status" \
+        'BEGIN { printf "%.1f", (s > 0 && x == 0) ? e / s : 0 }')
+
     entry="{\"bench\": \"$name\", \"seconds\": $secs, \"exit\": $status"
+    entry="$entry, \"elements_per_sec\": $eps"
     if [ "$status" -ne 0 ]; then
         stderr_tail=$(tail -5 "$ERR_TMP" | json_escape)
         entry="$entry, \"stderr_tail\": \"$stderr_tail\""
@@ -145,14 +160,83 @@ else
     echo "== pimserve not built; serve_sweep omitted" >&2
 fi
 
+# Schema-3 simulator-throughput probe: the Figure-5 sweep replayed with
+# the batch execution path enabled (the default) and disabled
+# (TPL_BATCH_EVAL=0). CSV mode is used so the row count gives the
+# number of feasible sweep points, which with the per-point element
+# count yields true simulated-elements-per-second rates; the ratio is
+# the headline batch-over-scalar simulator speedup.
+sim_throughput=""
+FIG5="$BENCH_DIR/fig5_cycles"
+if [ -x "$FIG5" ]; then
+    # Default to a larger per-point element count than the trajectory
+    # benches: the probe isolates *simulation* throughput, and at small
+    # sizes per-point fixed costs (table generation, setup) dominate
+    # the wall clock instead. An explicit TPL_BENCH_ELEMENTS (including
+    # --quick's 512) still wins.
+    st_elems=${TPL_BENCH_ELEMENTS:-65536}
+    echo "== fig5_cycles batch-vs-scalar simulator throughput" >&2
+    st_ok=1
+    batch_secs=0
+    scalar_secs=0
+    points=0
+    for mode in batch scalar; do
+        : > "$CSV_TMP"
+        start=$(now_ns)
+        if [ "$mode" = batch ]; then
+            TPL_BENCH_ELEMENTS=$st_elems TPL_BENCH_CSV=1 \
+                TPL_BATCH_EVAL=1 "$FIG5" > "$CSV_TMP" 2> "$ERR_TMP"
+        else
+            TPL_BENCH_ELEMENTS=$st_elems TPL_BENCH_CSV=1 \
+                TPL_BATCH_EVAL=0 "$FIG5" > "$CSV_TMP" 2> "$ERR_TMP"
+        fi
+        status=$?
+        end=$(now_ns)
+        if [ "$status" -ne 0 ]; then
+            st_ok=0
+            failures=$((failures + 1))
+            echo "   $mode run FAILED (exit $status)" >&2
+            tail -5 "$ERR_TMP" >&2
+            continue
+        fi
+        secs=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", (b - a) / 1e9 }')
+        points=$(($(wc -l < "$CSV_TMP") - 1))
+        [ "$points" -ge 0 ] || points=0
+        echo "   $mode: ${secs}s ($points points x $st_elems elements)" >&2
+        if [ "$mode" = batch ]; then batch_secs=$secs; else scalar_secs=$secs; fi
+    done
+    if [ "$st_ok" = 1 ]; then
+        sim_throughput=$(awk -v p="$points" -v e="$st_elems" \
+            -v b="$batch_secs" -v s="$scalar_secs" 'BEGIN {
+            total = p * e
+            beps = (b > 0) ? total / b : 0
+            seps = (s > 0) ? total / s : 0
+            spd = (b > 0 && s > 0) ? s / b : 0
+            printf "{\"bench\": \"fig5_cycles\", \"sweep_points\": %d, ", p
+            printf "\"elements_per_point\": %d, ", e
+            printf "\"batch_seconds\": %.3f, \"scalar_seconds\": %.3f, ", b, s
+            printf "\"batch_elements_per_sec\": %.1f, ", beps
+            printf "\"scalar_elements_per_sec\": %.1f, ", seps
+            printf "\"batch_over_scalar_speedup\": %.3f}", spd
+        }')
+        echo "$sim_throughput" |
+            sed -nE 's/.*"batch_over_scalar_speedup": ([0-9.]+).*/   speedup \1x/p' >&2
+    fi
+else
+    echo "== fig5_cycles not built; sim_throughput omitted" >&2
+fi
+
 {
     echo "{"
-    echo "  \"schema\": 2,"
+    echo "  \"schema\": 3,"
     echo "  \"git_sha\": \"$GIT_SHA\","
     echo "  \"sim_threads\": \"${TPL_SIM_THREADS:-default}\","
     echo "  \"bench_elements\": \"${TPL_BENCH_ELEMENTS:-default}\","
     if [ -n "$serve_sweep" ]; then
         echo "  \"serve_sweep\": $serve_sweep,"
+    fi
+    if [ -n "$sim_throughput" ]; then
+        echo "  \"sim_throughput\": $sim_throughput,"
     fi
     echo "  \"results\": [$entries"
     echo "  ]"

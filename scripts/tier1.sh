@@ -36,6 +36,25 @@ if [ "${TPL_TIER1_TSAN:-0}" = "1" ]; then
         -R 'ThreadPool|Determinism|Concurrency'
 fi
 
+# With TPL_TIER1_SIMD=1, build the softfloat tier with the SIMD lane
+# path disabled (TPL_SOFTFLOAT_SIMD=0, the scalar fallback) and enabled
+# (=1, the vectorized hot paths) and run the softfloat, batch-identity
+# and determinism suites under both trees: locks the two lane
+# implementations to the same bits and the same charges.
+if [ "${TPL_TIER1_SIMD:-0}" = "1" ]; then
+    for simd in 0 1; do
+        SIMD_DIR="${BUILD_DIR}-simd$simd"
+        cmake -B "$SIMD_DIR" -S "$SRC_DIR" -DTPL_SOFTFLOAT_SIMD=$simd
+        cmake --build "$SIMD_DIR" -j --target \
+            softfloat_test softfloat16_test softfloat64_test \
+            softfloat_hardening_test batch_test concurrency_test
+        # NB: -R must not follow a bare -j (ctest would parse -R as
+        # the optional job-count argument and run the whole suite).
+        ctest --test-dir "$SIMD_DIR" --output-on-failure \
+            -R 'Softfloat|Batch|Determinism' -j
+    done
+fi
+
 # With TPL_TIER1_ASAN=1, build the whole tree under AddressSanitizer +
 # UndefinedBehaviorSanitizer and run the complete suite. Catches heap
 # misuse and UB (shifts, overflow, misaligned access) that the plain

@@ -1,96 +1,40 @@
 /**
  * @file
- * Emulated integer multiply/divide cost accounting.
+ * Emulated integer multiply/divide: InstrSink* entry points over the
+ * templated cores (the constants and cores live in emu_int.h so the
+ * batch execution path can inline them).
  */
 
 #include "common/emu_int.h"
 
 namespace tpl {
 
-namespace {
-
-/**
- * Instruction cost of one byte-row of the shift-add multiply expansion:
- * an 8x8 mul_step-based partial product plus shift and accumulate.
- */
-constexpr uint32_t mulRowCost = 6;
-
-/** Fixed setup/teardown cost of the multiply expansion. */
-constexpr uint32_t mulBaseCost = 8;
-
-/** Per-bit cost of the div_step loop (step + loop control, amortized). */
-constexpr uint32_t divStepCost = 3;
-
-/** Number of div_step iterations for a 32-bit divide. */
-constexpr uint32_t divSteps = 32;
-
-/** Fixed setup/teardown cost of the divide expansion. */
-constexpr uint32_t divBaseCost = 10;
-
-/** Count the non-zero bytes of a 32-bit operand. */
-uint32_t
-nonZeroBytes(uint32_t v)
-{
-    uint32_t n = 0;
-    for (int i = 0; i < 4; ++i) {
-        if ((v >> (8 * i)) & 0xffu)
-            ++n;
-    }
-    return n;
-}
-
-} // namespace
-
 uint64_t
 emuMul32(uint32_t a, uint32_t b, InstrSink* sink)
 {
-    // The runtime expansion iterates over the bytes of one operand,
-    // skipping zero bytes; pick the operand with fewer non-zero bytes,
-    // as a strength-reducing compiler would for known-shape operands.
-    uint32_t rows = nonZeroBytes(a) < nonZeroBytes(b) ? nonZeroBytes(a)
-                                                      : nonZeroBytes(b);
-    chargeClassed(sink, InstrClass::IntMulDiv, mulBaseCost + rows * mulRowCost);
-    return static_cast<uint64_t>(a) * static_cast<uint64_t>(b);
+    SinkRef s(sink);
+    return emuMul32T(a, b, s);
 }
 
 int64_t
 emuMulS32(int32_t a, int32_t b, InstrSink* sink)
 {
-    // Sign handling: two conditional negations around the unsigned core.
-    chargeClassed(sink, InstrClass::IntMulDiv, 4);
-    uint32_t ua = a < 0 ? static_cast<uint32_t>(-(int64_t)a)
-                        : static_cast<uint32_t>(a);
-    uint32_t ub = b < 0 ? static_cast<uint32_t>(-(int64_t)b)
-                        : static_cast<uint32_t>(b);
-    uint64_t mag = emuMul32(ua, ub, sink);
-    int64_t result = static_cast<int64_t>(mag);
-    if ((a < 0) != (b < 0))
-        result = -result;
-    return result;
+    SinkRef s(sink);
+    return emuMulS32T(a, b, s);
 }
 
 uint32_t
 emuDiv32(uint32_t a, uint32_t b, InstrSink* sink, uint32_t* remainder)
 {
-    chargeClassed(sink, InstrClass::IntMulDiv, divBaseCost + divSteps * divStepCost / 2);
-    if (remainder)
-        *remainder = a % b;
-    return a / b;
+    SinkRef s(sink);
+    return emuDiv32T(a, b, s, remainder);
 }
 
 int32_t
 emuDivS32(int32_t a, int32_t b, InstrSink* sink)
 {
-    chargeClassed(sink, InstrClass::IntMulDiv, 4);
-    uint32_t ua = a < 0 ? static_cast<uint32_t>(-(int64_t)a)
-                        : static_cast<uint32_t>(a);
-    uint32_t ub = b < 0 ? static_cast<uint32_t>(-(int64_t)b)
-                        : static_cast<uint32_t>(b);
-    uint32_t mag = emuDiv32(ua, ub, sink);
-    int32_t q = static_cast<int32_t>(mag);
-    if ((a < 0) != (b < 0))
-        q = -q;
-    return q;
+    SinkRef s(sink);
+    return emuDivS32T(a, b, s);
 }
 
 } // namespace tpl

@@ -11,6 +11,11 @@
  * all-zero operand bytes are skipped, matching the runtime's behaviour
  * and the ~8-35 cycle range reported for 32-bit multiplies in the UPMEM
  * characterization literature; division is a fixed-length loop).
+ *
+ * The cores are templates over the non-virtual Sink shape (SinkRef,
+ * BatchTally, NullSink — see common/instr_sink.h) so batch loops can
+ * inline them with zero virtual dispatch; the InstrSink* entry points
+ * below are the same templates instantiated with SinkRef.
  */
 
 #ifndef TPL_COMMON_EMU_INT_H
@@ -21,6 +26,107 @@
 #include "common/instr_sink.h"
 
 namespace tpl {
+
+namespace emu {
+
+/**
+ * Instruction cost of one byte-row of the shift-add multiply expansion:
+ * an 8x8 mul_step-based partial product plus shift and accumulate.
+ */
+inline constexpr uint32_t mulRowCost = 6;
+
+/** Fixed setup/teardown cost of the multiply expansion. */
+inline constexpr uint32_t mulBaseCost = 8;
+
+/** Per-bit cost of the div_step loop (step + loop control, amortized). */
+inline constexpr uint32_t divStepCost = 3;
+
+/** Number of div_step iterations for a 32-bit divide. */
+inline constexpr uint32_t divSteps = 32;
+
+/** Fixed setup/teardown cost of the divide expansion. */
+inline constexpr uint32_t divBaseCost = 10;
+
+/** Count the non-zero bytes of a 32-bit operand. */
+inline uint32_t
+nonZeroBytes(uint32_t v)
+{
+    uint32_t n = 0;
+    for (int i = 0; i < 4; ++i) {
+        if ((v >> (8 * i)) & 0xffu)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace emu
+
+/** Unsigned 32x32 -> 64 multiply, charging the shift-add expansion. */
+template <class S>
+inline uint64_t
+emuMul32T(uint32_t a, uint32_t b, S& s)
+{
+    // The runtime expansion iterates over the bytes of one operand,
+    // skipping zero bytes; pick the operand with fewer non-zero bytes,
+    // as a strength-reducing compiler would for known-shape operands.
+    uint32_t rows = emu::nonZeroBytes(a) < emu::nonZeroBytes(b)
+                        ? emu::nonZeroBytes(a)
+                        : emu::nonZeroBytes(b);
+    s.chargeClass(InstrClass::IntMulDiv,
+                  emu::mulBaseCost + rows * emu::mulRowCost);
+    return static_cast<uint64_t>(a) * static_cast<uint64_t>(b);
+}
+
+/** Signed 32x32 -> 64 multiply (sign handling adds a few instructions). */
+template <class S>
+inline int64_t
+emuMulS32T(int32_t a, int32_t b, S& s)
+{
+    // Sign handling: two conditional negations around the unsigned core.
+    s.chargeClass(InstrClass::IntMulDiv, 4);
+    uint32_t ua = a < 0 ? static_cast<uint32_t>(-(int64_t)a)
+                        : static_cast<uint32_t>(a);
+    uint32_t ub = b < 0 ? static_cast<uint32_t>(-(int64_t)b)
+                        : static_cast<uint32_t>(b);
+    uint64_t mag = emuMul32T(ua, ub, s);
+    int64_t result = static_cast<int64_t>(mag);
+    if ((a < 0) != (b < 0))
+        result = -result;
+    return result;
+}
+
+/**
+ * Unsigned 32/32 divide via a div_step loop.
+ * @param remainder optional out-parameter receiving a % b.
+ * @pre b != 0.
+ */
+template <class S>
+inline uint32_t
+emuDiv32T(uint32_t a, uint32_t b, S& s, uint32_t* remainder = nullptr)
+{
+    s.chargeClass(InstrClass::IntMulDiv,
+                  emu::divBaseCost + emu::divSteps * emu::divStepCost / 2);
+    if (remainder)
+        *remainder = a % b;
+    return a / b;
+}
+
+/** Signed 32/32 divide (C truncation semantics). @pre b != 0. */
+template <class S>
+inline int32_t
+emuDivS32T(int32_t a, int32_t b, S& s)
+{
+    s.chargeClass(InstrClass::IntMulDiv, 4);
+    uint32_t ua = a < 0 ? static_cast<uint32_t>(-(int64_t)a)
+                        : static_cast<uint32_t>(a);
+    uint32_t ub = b < 0 ? static_cast<uint32_t>(-(int64_t)b)
+                        : static_cast<uint32_t>(b);
+    uint32_t mag = emuDiv32T(ua, ub, s);
+    int32_t q = static_cast<int32_t>(mag);
+    if ((a < 0) != (b < 0))
+        q = -q;
+    return q;
+}
 
 /** Unsigned 32x32 -> 64 multiply, charging the shift-add expansion. */
 uint64_t emuMul32(uint32_t a, uint32_t b, InstrSink* sink);

@@ -13,6 +13,7 @@
 #ifndef TPL_COMMON_INSTR_SINK_H
 #define TPL_COMMON_INSTR_SINK_H
 
+#include <array>
 #include <cstdint>
 
 namespace tpl {
@@ -123,6 +124,40 @@ class InstrSink
 
     /** Optional: one high-level operation of class @p op occurred. */
     virtual void note(OpClass op) { (void)op; }
+
+    /**
+     * Bulk classed charge: @p n elements each retiring @p perElem
+     * instructions of class @p cls. Semantically identical to calling
+     * chargeClass(cls, perElem) @p n times; the default chunks the
+     * 64-bit total through chargeClass() so every derived sink sees
+     * exactly the totals it always saw. TaskletContext and the batch
+     * tally sinks override this with a single 64-bit add — the hook
+     * that lets the batch execution path flush a whole chunk's charges
+     * in O(classes) instead of O(elements).
+     */
+    virtual void
+    chargeClassN(InstrClass cls, uint32_t perElem, uint64_t n)
+    {
+        uint64_t total = static_cast<uint64_t>(perElem) * n;
+        while (total > 0) {
+            uint32_t step = total > 0xffffffffull
+                                ? 0xffffffffu
+                                : static_cast<uint32_t>(total);
+            chargeClass(cls, step);
+            total -= step;
+        }
+    }
+
+    /**
+     * Bulk note: @p n operations of class @p op occurred. Identical to
+     * n note() calls; overridden by counting sinks with one add.
+     */
+    virtual void
+    noteN(OpClass op, uint64_t n)
+    {
+        for (uint64_t i = 0; i < n; ++i)
+            note(op);
+    }
 };
 
 /** Charge helper tolerating a null sink. */
@@ -155,6 +190,13 @@ class CountingSink : public InstrSink
   public:
     void charge(uint32_t instructions) override { total_ += instructions; }
 
+    void chargeClassN(InstrClass cls, uint32_t perElem,
+                      uint64_t n) override
+    {
+        (void)cls;
+        total_ += static_cast<uint64_t>(perElem) * n;
+    }
+
     /** Total instructions charged so far. */
     uint64_t total() const { return total_; }
 
@@ -164,6 +206,210 @@ class CountingSink : public InstrSink
   private:
     uint64_t total_ = 0;
 };
+
+/**
+ * Non-virtual instruction/operation accumulator for batch loops.
+ *
+ * The templated numeric cores (tpl::sf's softfloat_core.h, the
+ * transpim evaluator bodies) are generic over a Sink type with the
+ * same charge/chargeClass/note member shapes as InstrSink but without
+ * virtual dispatch. BatchTally is the batch-path sink: per-element
+ * charges become inlined array adds, and the accumulated totals are
+ * flushed to a real InstrSink once per batch through the bulk
+ * chargeClassN/noteN hooks. Because every per-element code path runs
+ * the *same* template with this sink as with SinkRef, the flushed
+ * totals are bit-identical to the scalar path's by construction.
+ */
+class BatchTally
+{
+  public:
+    void
+    charge(uint32_t instructions)
+    {
+        classInstr_[static_cast<int>(InstrClass::IntAlu)] +=
+            instructions;
+    }
+
+    void
+    chargeClass(InstrClass cls, uint32_t instructions)
+    {
+        classInstr_[static_cast<int>(cls)] += instructions;
+    }
+
+    void note(OpClass op) { ++ops_[static_cast<int>(op)]; }
+
+    /** 64-bit classed add (bulk flushes from nested tallies). */
+    void
+    chargeClassWide(InstrClass cls, uint64_t instructions)
+    {
+        classInstr_[static_cast<int>(cls)] += instructions;
+    }
+
+    /** 64-bit operation add. */
+    void
+    noteWide(OpClass op, uint64_t n)
+    {
+        ops_[static_cast<int>(op)] += n;
+    }
+
+    /** Accumulated instructions per InstrClass. */
+    const std::array<uint64_t, numInstrClasses>& classInstructions() const
+    {
+        return classInstr_;
+    }
+
+    /** Accumulated operations per OpClass. */
+    const std::array<uint64_t, numOpClasses>& opCounts() const
+    {
+        return ops_;
+    }
+
+    /** Total instructions accumulated across all classes. */
+    uint64_t
+    totalInstructions() const
+    {
+        uint64_t t = 0;
+        for (uint64_t v : classInstr_)
+            t += v;
+        return t;
+    }
+
+    /** Forward the accumulated totals to @p sink (null tolerated). */
+    void
+    flushTo(InstrSink* sink) const
+    {
+        if (!sink)
+            return;
+        for (int c = 0; c < numInstrClasses; ++c)
+            if (classInstr_[c])
+                sink->chargeClassN(static_cast<InstrClass>(c), 1,
+                                   classInstr_[c]);
+        for (int o = 0; o < numOpClasses; ++o)
+            if (ops_[o])
+                sink->noteN(static_cast<OpClass>(o), ops_[o]);
+    }
+
+    /** Zero all accumulators. */
+    void
+    reset()
+    {
+        classInstr_ = {};
+        ops_ = {};
+    }
+
+    /** No underlying InstrSink (Sink-shape compatibility). */
+    InstrSink* raw() const { return nullptr; }
+
+  private:
+    std::array<uint64_t, numInstrClasses> classInstr_{};
+    std::array<uint64_t, numOpClasses> ops_{};
+};
+
+/**
+ * Pointer-to-InstrSink adapter satisfying the non-virtual Sink shape
+ * the templated cores expect. Wraps a possibly-null InstrSink*; the
+ * scalar public entry points (sf::add(a, b, sink), Evaluator::eval)
+ * are exactly the templated cores instantiated with SinkRef, so the
+ * scalar and batch paths can never diverge in what they charge.
+ */
+class SinkRef
+{
+  public:
+    explicit SinkRef(InstrSink* sink) : sink_(sink) {}
+
+    void
+    charge(uint32_t instructions)
+    {
+        if (sink_)
+            sink_->charge(instructions);
+    }
+
+    void
+    chargeClass(InstrClass cls, uint32_t instructions)
+    {
+        if (sink_)
+            sink_->chargeClass(cls, instructions);
+    }
+
+    void
+    note(OpClass op)
+    {
+        if (sink_)
+            sink_->note(op);
+    }
+
+    /** The wrapped sink (may be null). */
+    InstrSink* raw() const { return sink_; }
+
+  private:
+    InstrSink* sink_;
+};
+
+/** Sink that discards everything; host-side value-only evaluation. */
+class NullSink
+{
+  public:
+    void charge(uint32_t) {}
+    void chargeClass(InstrClass, uint32_t) {}
+    void note(OpClass) {}
+    InstrSink* raw() const { return nullptr; }
+};
+
+/**
+ * InstrSink adapter over a BatchTally, for batching code paths that
+ * still call InstrSink*-based routines (the binary16/64 softfloat
+ * tiers, the generic evalBatch fallback): charges land in the tally's
+ * plain arrays and are flushed to the real sink once per batch.
+ */
+class TallySink final : public InstrSink
+{
+  public:
+    explicit TallySink(BatchTally& tally) : tally_(tally) {}
+
+    void charge(uint32_t instructions) override
+    {
+        tally_.charge(instructions);
+    }
+
+    void chargeClass(InstrClass cls, uint32_t instructions) override
+    {
+        tally_.chargeClass(cls, instructions);
+    }
+
+    void note(OpClass op) override { tally_.note(op); }
+
+    void chargeClassN(InstrClass cls, uint32_t perElem,
+                      uint64_t n) override
+    {
+        tally_.chargeClassWide(cls, static_cast<uint64_t>(perElem) * n);
+    }
+
+    void noteN(OpClass op, uint64_t n) override
+    {
+        tally_.noteWide(op, n);
+    }
+
+  private:
+    BatchTally& tally_;
+};
+
+/**
+ * Resolve the InstrSink* a sink-templated body should hand to scalar
+ * InstrSink*-based arithmetic routines (the binary16/64 softfloat
+ * tiers). Batch sinks expose a bridge() adapter that tallies into their
+ * batch accumulator; everything else passes its raw sink through. Only
+ * valid for pure-arithmetic callees — table reads must stay on the
+ * templated readT path so the DMA model resolves the real tasklet.
+ */
+template <class S>
+inline InstrSink*
+sinkArith(S& sink)
+{
+    if constexpr (requires { sink.bridge(); })
+        return sink.bridge();
+    else
+        return sink.raw();
+}
 
 } // namespace tpl
 

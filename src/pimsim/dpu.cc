@@ -6,6 +6,7 @@
 #include "pimsim/dpu.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
@@ -18,6 +19,81 @@
 
 namespace tpl {
 namespace sim {
+
+namespace {
+
+/**
+ * Launch-path metric handles, resolved once. Registry handles have
+ * stable addresses for the process lifetime, so the per-launch string
+ * concatenation + map lookup the report site used to pay is hoisted
+ * into this lazily-built table. The per-class counters stay lazy
+ * (registered on first non-zero count) so the registry's JSON dump
+ * lists exactly the same names as the per-launch lookups did.
+ */
+struct LaunchMetrics
+{
+    obs::Counter* launches;
+    obs::Counter* cycles;
+    obs::Counter* instructions;
+    obs::Counter* stallCycles;
+    obs::Counter* dmaBytes;
+    obs::Counter* dmaEngineCycles;
+    obs::RealAccum* energyJoules;
+    obs::Histogram* cyclesPerLaunch;
+};
+
+const LaunchMetrics&
+launchMetrics()
+{
+    static const LaunchMetrics m = [] {
+        obs::Registry& reg = obs::Registry::global();
+        LaunchMetrics t;
+        t.launches = &reg.counter("pimsim/dpu/launches");
+        t.cycles = &reg.counter("pimsim/dpu/cycles");
+        t.instructions = &reg.counter("pimsim/dpu/instructions");
+        t.stallCycles = &reg.counter("pimsim/dpu/stall_cycles");
+        t.dmaBytes = &reg.counter("pimsim/dpu/dma/bytes");
+        t.dmaEngineCycles =
+            &reg.counter("pimsim/dpu/dma/engine_cycles");
+        t.energyJoules = &reg.real("pimsim/dpu/energy_joules");
+        t.cyclesPerLaunch =
+            &reg.histogram("pimsim/dpu/cycles_per_launch");
+        return t;
+    }();
+    return m;
+}
+
+/** Cached "pimsim/dpu/instr/<class>" handle (lazy, race-benign). */
+obs::Counter&
+instrClassCounter(int c)
+{
+    static std::atomic<obs::Counter*> cache[numInstrClasses]{};
+    obs::Counter* p = cache[c].load(std::memory_order_acquire);
+    if (!p) {
+        p = &obs::Registry::global().counter(
+            std::string("pimsim/dpu/instr/") +
+            std::string(instrClassName(static_cast<InstrClass>(c))));
+        cache[c].store(p, std::memory_order_release);
+    }
+    return *p;
+}
+
+/** Cached "pimsim/dpu/ops/<op>" handle (lazy, race-benign). */
+obs::Counter&
+opClassCounter(int o)
+{
+    static std::atomic<obs::Counter*> cache[numOpClasses]{};
+    obs::Counter* p = cache[o].load(std::memory_order_acquire);
+    if (!p) {
+        p = &obs::Registry::global().counter(
+            std::string("pimsim/dpu/ops/") +
+            std::string(opClassSlug(static_cast<OpClass>(o))));
+        cache[o].store(p, std::memory_order_release);
+    }
+    return *p;
+}
+
+} // namespace
 
 DpuCore::DpuCore(const CostModel& model)
     : model_(model), mram_(model.mramBytes), wram_(model.wramBytes)
@@ -117,8 +193,12 @@ DpuCore::resetAllocators()
 uint64_t
 DpuCore::accountDma(uint32_t size)
 {
-    uint64_t engine = model_.dmaSetupCycles +
-        static_cast<uint64_t>(size * model_.dmaCyclesPerByte);
+    // Widen the byte count before the multiply and truncate the
+    // product explicitly: the streaming term must never wrap for
+    // bank-sized transfers, whatever cyclesPerByte the model sweeps.
+    uint64_t streaming = static_cast<uint64_t>(
+        static_cast<double>(size) * model_.dmaCyclesPerByte);
+    uint64_t engine = model_.dmaSetupCycles + streaming;
     dmaEngineCycles_ += engine;
     dmaBytes_ += size;
     return model_.dmaLatencyCycles + engine;
@@ -219,30 +299,22 @@ DpuCore::launch(uint32_t numTasklets, const Kernel& kernel)
                                 stats.perTasklet[t].dmaStallCycles)}));
     }
 
-    obs::Registry& reg = obs::Registry::global();
-    if (reg.enabled()) {
-        reg.counter("pimsim/dpu/launches").add(1);
-        reg.counter("pimsim/dpu/cycles").add(stats.cycles);
-        reg.counter("pimsim/dpu/instructions")
-            .add(stats.totalInstructions);
-        reg.counter("pimsim/dpu/stall_cycles").add(stats.stallCycles);
-        reg.counter("pimsim/dpu/dma/bytes").add(stats.dmaBytes);
-        reg.counter("pimsim/dpu/dma/engine_cycles")
-            .add(stats.dmaEngineCycles);
-        reg.real("pimsim/dpu/energy_joules").add(stats.energyJoules);
+    if (obs::Registry::global().enabled()) {
+        const LaunchMetrics& m = launchMetrics();
+        m.launches->add(1);
+        m.cycles->add(stats.cycles);
+        m.instructions->add(stats.totalInstructions);
+        m.stallCycles->add(stats.stallCycles);
+        m.dmaBytes->add(stats.dmaBytes);
+        m.dmaEngineCycles->add(stats.dmaEngineCycles);
+        m.energyJoules->add(stats.energyJoules);
         for (int c = 0; c < numInstrClasses; ++c)
             if (stats.classInstructions[c])
-                reg.counter(
-                       std::string("pimsim/dpu/instr/") +
-                       instrClassName(static_cast<InstrClass>(c)))
-                    .add(stats.classInstructions[c]);
+                instrClassCounter(c).add(stats.classInstructions[c]);
         for (int o = 0; o < numOpClasses; ++o)
             if (stats.opCounts[o])
-                reg.counter(std::string("pimsim/dpu/ops/") +
-                            opClassSlug(static_cast<OpClass>(o)))
-                    .add(stats.opCounts[o]);
-        reg.histogram("pimsim/dpu/cycles_per_launch")
-            .observe(stats.cycles);
+                opClassCounter(o).add(stats.opCounts[o]);
+        m.cyclesPerLaunch->observe(stats.cycles);
     }
 
     last_ = stats;

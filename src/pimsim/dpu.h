@@ -25,7 +25,9 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <new>
 #include <vector>
 
 #include "common/instr_sink.h"
@@ -86,6 +88,25 @@ class TaskletContext : public InstrSink
     void note(OpClass op) override
     {
         ++opCounts_[static_cast<int>(op)];
+    }
+
+    /**
+     * Bulk classed charge (batch execution path): one 64-bit add per
+     * class instead of one virtual call per element. Produces exactly
+     * the totals @p n chargeClass(cls, perElem) calls would.
+     */
+    void chargeClassN(InstrClass cls, uint32_t perElem,
+                      uint64_t n) override
+    {
+        uint64_t total = static_cast<uint64_t>(perElem) * n;
+        instructions_ += total;
+        classInstr_[static_cast<int>(cls)] += total;
+    }
+
+    /** Bulk operation tally (batch execution path). */
+    void noteN(OpClass op, uint64_t n) override
+    {
+        opCounts_[static_cast<int>(op)] += n;
     }
 
     /**
@@ -208,6 +229,42 @@ struct LaunchStats
 };
 
 /**
+ * Fixed-size zero-initialized byte bank with *lazy* zeroing: backed by
+ * calloc, so untouched pages stay untouched OS zero pages instead of
+ * being memset at construction. A value-initialized vector would touch
+ * all 64 MiB of a modeled MRAM bank up front, which dominates host
+ * time for sweeps that build one core per configuration point; with
+ * the lazy bank only the pages a run actually uses ever fault in.
+ * Reads of never-written bytes still return 0, exactly like the
+ * vector this replaces.
+ */
+class ZeroedBank
+{
+  public:
+    explicit ZeroedBank(size_t size)
+        : data_(static_cast<uint8_t*>(
+              std::calloc(size ? size : 1, 1))),
+          size_(size)
+    {
+        if (!data_)
+            throw std::bad_alloc();
+    }
+
+    ~ZeroedBank() { std::free(data_); }
+
+    ZeroedBank(const ZeroedBank&) = delete;
+    ZeroedBank& operator=(const ZeroedBank&) = delete;
+
+    uint8_t* data() { return data_; }
+    const uint8_t* data() const { return data_; }
+    size_t size() const { return size_; }
+
+  private:
+    uint8_t* data_;
+    size_t size_;
+};
+
+/**
  * One simulated DPU: a 64-MB MRAM bank, a 64-KB WRAM scratchpad, bump
  * allocators for both (the allocation totals feed the paper's memory-
  * consumption figure), and the launch/cycle model.
@@ -307,7 +364,7 @@ class DpuCore
     uint64_t accountDma(uint32_t size);
 
     CostModel model_;
-    std::vector<uint8_t> mram_;
+    ZeroedBank mram_;
     std::vector<uint8_t> wram_;
     uint32_t mramTop_ = 0;
     uint32_t wramTop_ = 0;

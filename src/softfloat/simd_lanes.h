@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Lane-width-generic SIMD support for the batched softfloat paths.
+ *
+ * The vector kernels are written against GCC/Clang vector extensions
+ * (`__attribute__((vector_size)))`) instead of per-ISA intrinsics: one
+ * template-free kernel compiles to SSE2, AVX2 or NEON depending on the
+ * target flags, and to scalar lowering everywhere else. The lane path
+ * is valid because the binary32 softfloat tier is bit-identical to
+ * host IEEE-754 arithmetic under round-to-nearest-even for every
+ * non-NaN result (verified exhaustively by the softfloat test tier);
+ * the only divergence — NaN payloads, where softfloat always returns
+ * the canonical quiet NaN 0x7fc00000 — is repaired by patching
+ * NaN-result lanes after the vector op.
+ *
+ * Gate: the lane path is compiled only when the build defines
+ * TPL_SOFTFLOAT_SIMD=1 (CMake option of the same name, default ON) on
+ * a GCC/Clang compiler. The scalar fallback (the same inlined cores in
+ * softfloat_core.h) is always available and bit-identical; the
+ * TPL_TIER1_SIMD CI leg builds and tests both configurations.
+ */
+
+#ifndef TPL_SOFTFLOAT_SIMD_LANES_H
+#define TPL_SOFTFLOAT_SIMD_LANES_H
+
+#include <cstdint>
+
+namespace tpl {
+namespace sf {
+
+#if defined(TPL_SOFTFLOAT_SIMD) && TPL_SOFTFLOAT_SIMD &&                   \
+    (defined(__GNUC__) || defined(__clang__))
+#define TPL_SF_SIMD 1
+
+/** Lanes per vector: 8 with AVX/AVX2, else 4 (SSE2/NEON/generic). */
+#if defined(__AVX2__) || defined(__AVX__)
+inline constexpr int simdLanes = 8;
+#else
+inline constexpr int simdLanes = 4;
+#endif
+
+/** One SIMD register of binary32 lanes. */
+typedef float VFloat
+    __attribute__((vector_size(simdLanes * sizeof(float))));
+
+/** One SIMD register of 32-bit integer lanes (bit manipulation). */
+typedef uint32_t VBits
+    __attribute__((vector_size(simdLanes * sizeof(uint32_t))));
+
+#else
+#define TPL_SF_SIMD 0
+
+/** Lane width 1: every batched entry point runs the scalar cores. */
+inline constexpr int simdLanes = 1;
+
+#endif
+
+/** True when this build's batched softfloat uses the SIMD lane path. */
+bool simdEnabled();
+
+/** Lane width the batched entry points advance by (1 when scalar). */
+int simdLaneWidth();
+
+} // namespace sf
+} // namespace tpl
+
+#endif // TPL_SOFTFLOAT_SIMD_LANES_H

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Batch execution support implementation.
+ */
+
+#include "transpim/batch.h"
+
+#include <cstdlib>
+
+namespace tpl {
+namespace transpim {
+
+bool
+batchEvalEnabled()
+{
+    static const bool enabled = [] {
+        const char* v = std::getenv("TPL_BATCH_EVAL");
+        return !(v && v[0] == '0' && v[1] == '\0');
+    }();
+    return enabled;
+}
+
+} // namespace transpim
+} // namespace tpl

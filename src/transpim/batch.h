@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Batch execution support for the transpim evaluators.
+ *
+ * The batch path runs the same templated per-element bodies as the
+ * scalar path, but instantiated with BatchSink instead of SinkRef:
+ * charges become inlined array adds (no virtual dispatch), the
+ * softfloat cores take their fast-value lane (host IEEE arithmetic,
+ * canonical-NaN-patched — bit-identical by the locked differential
+ * property), and the accumulated totals are flushed to the real
+ * InstrSink once per batch through the bulk chargeClassN/noteN hooks.
+ * MRAM table reads still go through the tasklet's DMA model per
+ * element (same DMA event sequence, so fault injection and DMA-engine
+ * occupancy are unchanged); BatchSink caches the TaskletContext*
+ * lookup once per batch instead of one dynamic_cast per read.
+ */
+
+#ifndef TPL_TRANSPIM_BATCH_H
+#define TPL_TRANSPIM_BATCH_H
+
+#include <array>
+#include <cstdint>
+
+#include "common/instr_sink.h"
+#include "pimsim/dpu.h"
+
+namespace tpl {
+namespace transpim {
+
+/**
+ * Per-batch accounting summary an evalBatch call can return: how many
+ * elements ran and the instruction/operation totals their evaluation
+ * charged (the same totals the underlying sink received).
+ */
+struct BatchStats
+{
+    uint64_t elements = 0;
+
+    /** Instructions charged, partitioned by InstrClass. */
+    std::array<uint64_t, numInstrClasses> classInstructions{};
+
+    /** High-level operations noted, partitioned by OpClass. */
+    std::array<uint64_t, numOpClasses> opCounts{};
+
+    /** Total instructions across all classes. */
+    uint64_t
+    totalInstructions() const
+    {
+        uint64_t t = 0;
+        for (uint64_t v : classInstructions)
+            t += v;
+        return t;
+    }
+
+    /** Zero all fields. */
+    void
+    reset()
+    {
+        elements = 0;
+        classInstructions = {};
+        opCounts = {};
+    }
+};
+
+/**
+ * The batch path's Sink: a BatchTally plus the underlying InstrSink
+ * (for the once-per-batch flush) and its cached TaskletContext view
+ * (for DMA-modelled MRAM reads). Opts into the softfloat fast-value
+ * lane.
+ */
+class BatchSink
+{
+  public:
+    /** Sinks may be null (value-only evaluation, like a null sink). */
+    explicit BatchSink(InstrSink* real)
+        : real_(real), ctx_(dynamic_cast<sim::TaskletContext*>(real))
+    {}
+
+    BatchSink(const BatchSink&) = delete;
+    BatchSink& operator=(const BatchSink&) = delete;
+
+    static constexpr bool fastValues = true;
+
+    void charge(uint32_t instructions) { tally_.charge(instructions); }
+
+    void
+    chargeClass(InstrClass cls, uint32_t instructions)
+    {
+        tally_.chargeClass(cls, instructions);
+    }
+
+    void note(OpClass op) { tally_.note(op); }
+
+    /** The wrapped sink (may be null). */
+    InstrSink* raw() const { return real_; }
+
+    /** Cached tasklet view of the wrapped sink (may be null). */
+    sim::TaskletContext* tasklet() const { return ctx_; }
+
+    /**
+     * InstrSink adapter over this batch's tally, for scalar
+     * InstrSink*-based *arithmetic* routines on the body's path (the
+     * binary16/64 softfloat tiers). Their charges accumulate with the
+     * rest of the batch and flush together. Never hand this to a table
+     * read — it is not a TaskletContext, so the DMA model could not be
+     * resolved through it (readT's lutTasklet uses tasklet() instead).
+     */
+    InstrSink* bridge() { return &arith_; }
+
+    /** Accumulated-but-unflushed charges. */
+    const BatchTally& tally() const { return tally_; }
+
+    /**
+     * Flush the accumulated charges to the wrapped sink (one bulk call
+     * per non-zero class), add them into @p stats when given, and
+     * reset the tally for the next batch.
+     */
+    void
+    flush(BatchStats* stats = nullptr)
+    {
+        tally_.flushTo(real_);
+        if (stats) {
+            for (int c = 0; c < numInstrClasses; ++c)
+                stats->classInstructions[c] +=
+                    tally_.classInstructions()[c];
+            for (int o = 0; o < numOpClasses; ++o)
+                stats->opCounts[o] += tally_.opCounts()[o];
+        }
+        tally_.reset();
+    }
+
+  private:
+    BatchTally tally_;
+    TallySink arith_{tally_};
+    InstrSink* real_;
+    sim::TaskletContext* ctx_;
+};
+
+/**
+ * Process-wide batch-path toggle read once from the environment:
+ * TPL_BATCH_EVAL=0 makes the streaming kernels take the scalar
+ * per-element path (the batch path is the default). The two paths are
+ * charge- and bit-identical by construction; the toggle exists for
+ * A/B throughput measurement and defect isolation.
+ */
+bool batchEvalEnabled();
+
+} // namespace transpim
+} // namespace tpl
+
+#endif // TPL_TRANSPIM_BATCH_H

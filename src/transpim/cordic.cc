@@ -42,12 +42,6 @@ cordicSchedule(CordicMode mode, uint32_t iterations)
 
 namespace {
 
-/** Instruction cost of the sign test + branch + loop control per step. */
-constexpr uint32_t iterControlCost = 4;
-
-/** Loop prologue: loading the start vector and constants. */
-constexpr uint32_t startupCost = 4;
-
 double
 scheduleGain(CordicMode mode, const std::vector<uint32_t>& schedule)
 {
@@ -90,47 +84,15 @@ CordicEngine::CordicEngine(CordicMode mode, uint32_t iterations,
 CordicEngine::Result
 CordicEngine::rotate(float z0, InstrSink* sink) const
 {
-    chargeInstr(sink, startupCost);
-    float x = invGain_;
-    float y = 0.0f;
-    float z = z0;
-    for (uint32_t k = 0; k < schedule_.size(); ++k) {
-        int i = static_cast<int>(schedule_[k]);
-        float xs = pimLdexp(x, -i, sink);
-        float ys = pimLdexp(y, -i, sink);
-        float ang = table_.read(k, sink);
-        chargeInstr(sink, iterControlCost);
-        bool positive = (floatBits(z) >> 31) == 0;
-        // Circular rotation: x -= s*ys; hyperbolic: x += s*ys.
-        bool xPlus = (mode_ == CordicMode::Hyperbolic) == positive;
-        x = xPlus ? sf::add(x, ys, sink) : sf::sub(x, ys, sink);
-        y = positive ? sf::add(y, xs, sink) : sf::sub(y, xs, sink);
-        z = positive ? sf::sub(z, ang, sink) : sf::add(z, ang, sink);
-    }
-    return {x, y, z};
+    SinkRef s(sink);
+    return rotateT(z0, s);
 }
 
 CordicEngine::Result
 CordicEngine::vector(float x0, float y0, InstrSink* sink) const
 {
-    chargeInstr(sink, startupCost);
-    float x = x0;
-    float y = y0;
-    float z = 0.0f;
-    for (uint32_t k = 0; k < schedule_.size(); ++k) {
-        int i = static_cast<int>(schedule_[k]);
-        float xs = pimLdexp(x, -i, sink);
-        float ys = pimLdexp(y, -i, sink);
-        float ang = table_.read(k, sink);
-        chargeInstr(sink, iterControlCost);
-        // Vectoring drives y toward zero: s = -sign(y).
-        bool positive = (floatBits(y) >> 31) != 0;
-        bool xPlus = (mode_ == CordicMode::Hyperbolic) == positive;
-        x = xPlus ? sf::add(x, ys, sink) : sf::sub(x, ys, sink);
-        y = positive ? sf::add(y, xs, sink) : sf::sub(y, xs, sink);
-        z = positive ? sf::sub(z, ang, sink) : sf::add(z, ang, sink);
-    }
-    return {x, y, z};
+    SinkRef s(sink);
+    return vectorT(x0, y0, s);
 }
 
 namespace {
@@ -163,46 +125,15 @@ CordicFixedEngine::CordicFixedEngine(CordicMode mode, uint32_t iterations,
 CordicFixedEngine::Result
 CordicFixedEngine::rotate(Fixed z0, InstrSink* sink) const
 {
-    chargeInstr(sink, startupCost);
-    int32_t x = invGain_.raw();
-    int32_t y = 0;
-    int32_t z = z0.raw();
-    for (uint32_t k = 0; k < schedule_.size(); ++k) {
-        int i = static_cast<int>(schedule_[k]);
-        int32_t xs = x >> i;
-        int32_t ys = y >> i;
-        int32_t ang = table_.read(k, sink);
-        // Two shifts, three adds, sign test + loop control.
-        chargeInstr(sink, 2 + 3 + iterControlCost);
-        bool positive = z >= 0;
-        bool xPlus = (mode_ == CordicMode::Hyperbolic) == positive;
-        x = xPlus ? x + ys : x - ys;
-        y = positive ? y + xs : y - xs;
-        z = positive ? z - ang : z + ang;
-    }
-    return {Fixed::fromRaw(x), Fixed::fromRaw(y), Fixed::fromRaw(z)};
+    SinkRef s(sink);
+    return rotateT(z0, s);
 }
 
 CordicFixedEngine::Result
 CordicFixedEngine::vector(Fixed x0, Fixed y0, InstrSink* sink) const
 {
-    chargeInstr(sink, startupCost);
-    int32_t x = x0.raw();
-    int32_t y = y0.raw();
-    int32_t z = 0;
-    for (uint32_t k = 0; k < schedule_.size(); ++k) {
-        int i = static_cast<int>(schedule_[k]);
-        int32_t xs = x >> i;
-        int32_t ys = y >> i;
-        int32_t ang = table_.read(k, sink);
-        chargeInstr(sink, 2 + 3 + iterControlCost);
-        bool positive = y < 0;
-        bool xPlus = (mode_ == CordicMode::Hyperbolic) == positive;
-        x = xPlus ? x + ys : x - ys;
-        y = positive ? y + xs : y - xs;
-        z = positive ? z - ang : z + ang;
-    }
-    return {Fixed::fromRaw(x), Fixed::fromRaw(y), Fixed::fromRaw(z)};
+    SinkRef s(sink);
+    return vectorT(x0, y0, s);
 }
 
 } // namespace transpim

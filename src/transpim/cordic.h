@@ -28,12 +28,25 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitops.h"
 #include "common/fixed_point.h"
 #include "common/instr_sink.h"
+#include "softfloat/softfloat_core.h"
+#include "transpim/ldexp.h"
 #include "transpim/placement.h"
 
 namespace tpl {
 namespace transpim {
+
+namespace cordic_detail {
+
+/** Instruction cost of the sign test + branch + loop control per step. */
+inline constexpr uint32_t iterControlCost = 4;
+
+/** Loop prologue: loading the start vector and constants. */
+inline constexpr uint32_t startupCost = 4;
+
+} // namespace cordic_detail
 
 /** Rotation family (paper Table 1). */
 enum class CordicMode
@@ -82,6 +95,60 @@ class CordicEngine
      * Circular: returns z = atan(y0/x0) and x = gain*sqrt(x0^2+y0^2).
      */
     Result vector(float x0, float y0, InstrSink* sink) const;
+
+    /** Sink-template body of rotate() (batch path inlines it). */
+    template <class S>
+    Result
+    rotateT(float z0, S& sink) const
+    {
+        sink.charge(cordic_detail::startupCost);
+        float x = invGain_;
+        float y = 0.0f;
+        float z = z0;
+        for (uint32_t k = 0; k < schedule_.size(); ++k) {
+            int i = static_cast<int>(schedule_[k]);
+            float xs = pimLdexpT(x, -i, sink);
+            float ys = pimLdexpT(y, -i, sink);
+            float ang = table_.readT(k, sink);
+            sink.charge(cordic_detail::iterControlCost);
+            bool positive = (floatBits(z) >> 31) == 0;
+            // Circular rotation: x -= s*ys; hyperbolic: x += s*ys.
+            bool xPlus = (mode_ == CordicMode::Hyperbolic) == positive;
+            x = xPlus ? sf::addT(x, ys, sink) : sf::subT(x, ys, sink);
+            y = positive ? sf::addT(y, xs, sink)
+                         : sf::subT(y, xs, sink);
+            z = positive ? sf::subT(z, ang, sink)
+                         : sf::addT(z, ang, sink);
+        }
+        return {x, y, z};
+    }
+
+    /** Sink-template body of vector() (batch path inlines it). */
+    template <class S>
+    Result
+    vectorT(float x0, float y0, S& sink) const
+    {
+        sink.charge(cordic_detail::startupCost);
+        float x = x0;
+        float y = y0;
+        float z = 0.0f;
+        for (uint32_t k = 0; k < schedule_.size(); ++k) {
+            int i = static_cast<int>(schedule_[k]);
+            float xs = pimLdexpT(x, -i, sink);
+            float ys = pimLdexpT(y, -i, sink);
+            float ang = table_.readT(k, sink);
+            sink.charge(cordic_detail::iterControlCost);
+            // Vectoring drives y toward zero: s = -sign(y).
+            bool positive = (floatBits(y) >> 31) != 0;
+            bool xPlus = (mode_ == CordicMode::Hyperbolic) == positive;
+            x = xPlus ? sf::addT(x, ys, sink) : sf::subT(x, ys, sink);
+            y = positive ? sf::addT(y, xs, sink)
+                         : sf::subT(y, xs, sink);
+            z = positive ? sf::subT(z, ang, sink)
+                         : sf::addT(z, ang, sink);
+        }
+        return {x, y, z};
+    }
 
     CordicMode mode() const { return mode_; }
 
@@ -137,6 +204,57 @@ class CordicFixedEngine
 
     /** Vectoring mode on Q3.28 state; see CordicEngine::vector. */
     Result vector(Fixed x0, Fixed y0, InstrSink* sink) const;
+
+    /** Sink-template body of rotate() (batch path inlines it). */
+    template <class S>
+    Result
+    rotateT(Fixed z0, S& sink) const
+    {
+        sink.charge(cordic_detail::startupCost);
+        int32_t x = invGain_.raw();
+        int32_t y = 0;
+        int32_t z = z0.raw();
+        for (uint32_t k = 0; k < schedule_.size(); ++k) {
+            int i = static_cast<int>(schedule_[k]);
+            int32_t xs = x >> i;
+            int32_t ys = y >> i;
+            int32_t ang = table_.readT(k, sink);
+            // Two shifts, three adds, sign test + loop control.
+            sink.charge(2 + 3 + cordic_detail::iterControlCost);
+            bool positive = z >= 0;
+            bool xPlus = (mode_ == CordicMode::Hyperbolic) == positive;
+            x = xPlus ? x + ys : x - ys;
+            y = positive ? y + xs : y - xs;
+            z = positive ? z - ang : z + ang;
+        }
+        return {Fixed::fromRaw(x), Fixed::fromRaw(y),
+                Fixed::fromRaw(z)};
+    }
+
+    /** Sink-template body of vector() (batch path inlines it). */
+    template <class S>
+    Result
+    vectorT(Fixed x0, Fixed y0, S& sink) const
+    {
+        sink.charge(cordic_detail::startupCost);
+        int32_t x = x0.raw();
+        int32_t y = y0.raw();
+        int32_t z = 0;
+        for (uint32_t k = 0; k < schedule_.size(); ++k) {
+            int i = static_cast<int>(schedule_[k]);
+            int32_t xs = x >> i;
+            int32_t ys = y >> i;
+            int32_t ang = table_.readT(k, sink);
+            sink.charge(2 + 3 + cordic_detail::iterControlCost);
+            bool positive = y < 0;
+            bool xPlus = (mode_ == CordicMode::Hyperbolic) == positive;
+            x = xPlus ? x + ys : x - ys;
+            y = positive ? y + xs : y - xs;
+            z = positive ? z - ang : z + ang;
+        }
+        return {Fixed::fromRaw(x), Fixed::fromRaw(y),
+                Fixed::fromRaw(z)};
+    }
 
     uint32_t iterations() const { return iterations_; }
 

@@ -60,36 +60,8 @@ CordicLutEngine::CordicLutEngine(CordicMode mode, uint32_t iterations,
 CordicLutEngine::Result
 CordicLutEngine::rotate(float z0, InstrSink* sink) const
 {
-    // L-LUT-style head: ldexp + round, no multiplication.
-    float t = z0;
-    if (lo_ != 0.0f)
-        t = sf::sub(z0, lo_, sink);
-    t = pimLdexp(t, static_cast<int>(gridBits_), sink);
-    int32_t j = sf::toI32Round(t, sink);
-    chargeInstr(sink, 2);
-    int32_t limit = static_cast<int32_t>(entryTable_.size()) - 1;
-    if (j < 0)
-        j = 0;
-    if (j > limit)
-        j = limit;
-    Entry e = entryTable_.read(static_cast<uint32_t>(j), sink);
-
-    float x = e.x;
-    float y = e.y;
-    float z = sf::sub(z0, e.a, sink);
-    for (uint32_t k = 0; k < tailSchedule_.size(); ++k) {
-        int i = static_cast<int>(tailSchedule_[k]);
-        float xs = pimLdexp(x, -i, sink);
-        float ys = pimLdexp(y, -i, sink);
-        float ang = angleTable_.read(k, sink);
-        chargeInstr(sink, 4);
-        bool positive = (floatBits(z) >> 31) == 0;
-        bool xPlus = (mode_ == CordicMode::Hyperbolic) == positive;
-        x = xPlus ? sf::add(x, ys, sink) : sf::sub(x, ys, sink);
-        y = positive ? sf::add(y, xs, sink) : sf::sub(y, xs, sink);
-        z = positive ? sf::sub(z, ang, sink) : sf::add(z, ang, sink);
-    }
-    return {x, y, z};
+    SinkRef s(sink);
+    return rotateT(z0, s);
 }
 
 } // namespace transpim

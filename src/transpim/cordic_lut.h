@@ -52,6 +52,45 @@ class CordicLutEngine
     /** Rotation with LUT head + CORDIC tail; z0 must be in [lo, hi]. */
     Result rotate(float z0, InstrSink* sink) const;
 
+    /** Sink-template body of rotate() (batch path inlines it). */
+    template <class S>
+    Result
+    rotateT(float z0, S& sink) const
+    {
+        // L-LUT-style head: ldexp + round, no multiplication.
+        float t = z0;
+        if (lo_ != 0.0f)
+            t = sf::subT(z0, lo_, sink);
+        t = pimLdexpT(t, static_cast<int>(gridBits_), sink);
+        int32_t j = sf::toI32RoundT(t, sink);
+        sink.charge(2);
+        int32_t limit = static_cast<int32_t>(entryTable_.size()) - 1;
+        if (j < 0)
+            j = 0;
+        if (j > limit)
+            j = limit;
+        Entry e = entryTable_.readT(static_cast<uint32_t>(j), sink);
+
+        float x = e.x;
+        float y = e.y;
+        float z = sf::subT(z0, e.a, sink);
+        for (uint32_t k = 0; k < tailSchedule_.size(); ++k) {
+            int i = static_cast<int>(tailSchedule_[k]);
+            float xs = pimLdexpT(x, -i, sink);
+            float ys = pimLdexpT(y, -i, sink);
+            float ang = angleTable_.readT(k, sink);
+            sink.charge(4);
+            bool positive = (floatBits(z) >> 31) == 0;
+            bool xPlus = (mode_ == CordicMode::Hyperbolic) == positive;
+            x = xPlus ? sf::addT(x, ys, sink) : sf::subT(x, ys, sink);
+            y = positive ? sf::addT(y, xs, sink)
+                         : sf::subT(y, xs, sink);
+            z = positive ? sf::subT(z, ang, sink)
+                         : sf::addT(z, ang, sink);
+        }
+        return {x, y, z};
+    }
+
     /** Tail iterations actually executed. */
     uint32_t tailIterations() const
     {

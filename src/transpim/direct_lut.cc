@@ -67,41 +67,8 @@ DLut::DLut(const TableFn& f, const DLutSpec& spec, bool interpolated,
 float
 DLut::eval(float x, InstrSink* sink) const
 {
-    uint32_t bits = floatBits(x);
-    uint32_t sign = bits >> 31;
-    uint32_t mag = bits & 0x7fffffffu;
-
-    // Address generation: shift, subtract, two clamps, sign select.
-    chargeInstr(sink, 7);
-    bool below = mag < minMagBits_;
-    uint32_t idx;
-    if (below) {
-        idx = 0;
-    } else {
-        idx = (mag >> shift_) - base_;
-        if (idx >= perSide_)
-            idx = perSide_ - 1;
-    }
-    uint32_t sideOffset = (sign && spec_.signedRange) ? perSide_ : 0;
-
-    if (!interpolated_ || below) {
-        // Below-range inputs clamp to the first entry without
-        // interpolating: the delta bits would be meaningless there.
-        return table_.read(sideOffset + idx, sink);
-    }
-
-    // Delta from the truncated mantissa bits: uniform within a bucket.
-    chargeInstr(sink, 1);
-    uint32_t deltaBits = mag & ((1u << shift_) - 1u);
-    float fd = sf::fromI32(static_cast<int32_t>(deltaBits), sink);
-    float delta = pimLdexp(fd, -static_cast<int>(shift_), sink);
-
-    uint32_t i1 = idx + 1 < perSide_ ? idx + 1 : idx;
-    chargeInstr(sink, 2);
-    float l0 = table_.read(sideOffset + idx, sink);
-    float l1 = table_.read(sideOffset + i1, sink);
-    float d = sf::sub(l1, l0, sink);
-    return sf::add(l0, sf::mul(d, delta, sink), sink);
+    SinkRef s(sink);
+    return evalT(x, s);
 }
 
 DlLut::DlLut(const TableFn& f, DLutSpec spec, uint32_t innerEntries,
@@ -123,12 +90,8 @@ DlLut::DlLut(const TableFn& f, DLutSpec spec, uint32_t innerEntries,
 float
 DlLut::eval(float x, InstrSink* sink) const
 {
-    // One magnitude compare against 1.0f selects the half.
-    chargeInstr(sink, 3);
-    uint32_t mag = floatBits(x) & 0x7fffffffu;
-    if (mag < floatBits(1.0f))
-        return inner_->eval(x, sink);
-    return outer_->eval(x, sink);
+    SinkRef s(sink);
+    return evalT(x, s);
 }
 
 uint32_t

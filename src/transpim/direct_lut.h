@@ -22,6 +22,7 @@
 
 #include <memory>
 
+#include "common/bitops.h"
 #include "transpim/fuzzy_lut.h"
 #include "transpim/placement.h"
 
@@ -51,6 +52,49 @@ class DLut
      * first entry of their sign's half; inputs above clamp to the last.
      */
     float eval(float x, InstrSink* sink) const;
+
+    /** Sink-template body of eval() (batch path inlines it). */
+    template <class S>
+    float
+    evalT(float x, S& sink) const
+    {
+        uint32_t bits = floatBits(x);
+        uint32_t sign = bits >> 31;
+        uint32_t mag = bits & 0x7fffffffu;
+
+        // Address generation: shift, subtract, two clamps, sign select.
+        sink.charge(7);
+        bool below = mag < minMagBits_;
+        uint32_t idx;
+        if (below) {
+            idx = 0;
+        } else {
+            idx = (mag >> shift_) - base_;
+            if (idx >= perSide_)
+                idx = perSide_ - 1;
+        }
+        uint32_t sideOffset =
+            (sign && spec_.signedRange) ? perSide_ : 0;
+
+        if (!interpolated_ || below) {
+            // Below-range inputs clamp to the first entry without
+            // interpolating: the delta bits would be meaningless there.
+            return table_.readT(sideOffset + idx, sink);
+        }
+
+        // Delta from the truncated mantissa bits: uniform in a bucket.
+        sink.charge(1);
+        uint32_t deltaBits = mag & ((1u << shift_) - 1u);
+        float fd = sf::fromI32T(static_cast<int32_t>(deltaBits), sink);
+        float delta = pimLdexpT(fd, -static_cast<int>(shift_), sink);
+
+        uint32_t i1 = idx + 1 < perSide_ ? idx + 1 : idx;
+        sink.charge(2);
+        float l0 = table_.readT(sideOffset + idx, sink);
+        float l1 = table_.readT(sideOffset + i1, sink);
+        float d = sf::subT(l1, l0, sink);
+        return sf::addT(l0, sf::mulT(d, delta, sink), sink);
+    }
 
     uint32_t memoryBytes() const { return table_.bytes(); }
 
@@ -86,6 +130,19 @@ class DlLut
           bool interpolated, Placement placement);
 
     float eval(float x, InstrSink* sink) const;
+
+    /** Sink-template body of eval() (batch path inlines it). */
+    template <class S>
+    float
+    evalT(float x, S& sink) const
+    {
+        // One magnitude compare against 1.0f selects the half.
+        sink.charge(3);
+        uint32_t mag = floatBits(x) & 0x7fffffffu;
+        if (mag < floatBits(1.0f))
+            return inner_->evalT(x, sink);
+        return outer_->evalT(x, sink);
+    }
 
     uint32_t memoryBytes() const;
 

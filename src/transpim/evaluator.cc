@@ -35,12 +35,48 @@ constexpr float fLn2 = 0.69314718055994530942f;
 constexpr float fInvSqrt2Pi = 0.39894228040143267794f;
 
 using Eval = std::function<float(float, InstrSink*)>;
+using BatchEval = std::function<void(std::span<const float>,
+                                     std::span<float>, InstrSink*,
+                                     BatchStats*)>;
 using Attach = std::function<void(sim::DpuCore&)>;
+
+/**
+ * Both materializations of one evaluation body. The builders assign a
+ * generic `(float x, auto& sink)` lambda once; the templated operator=
+ * instantiates it twice — with SinkRef for the scalar std::function
+ * and with BatchSink for the batched loop — so the two paths share one
+ * body and cannot diverge in values or charges.
+ */
+struct EvalPair
+{
+    Eval scalar;
+    BatchEval batch;
+
+    template <class Body>
+    EvalPair&
+    operator=(Body body)
+    {
+        scalar = [body](float x, InstrSink* sink) {
+            SinkRef s(sink);
+            return body(x, s);
+        };
+        batch = [body](std::span<const float> in, std::span<float> out,
+                       InstrSink* sink, BatchStats* stats) {
+            BatchSink bs(sink);
+            for (std::size_t i = 0; i < in.size(); ++i)
+                out[i] = body(in[i], bs);
+            if (stats)
+                stats->elements += in.size();
+            bs.flush(stats);
+        };
+        return *this;
+    }
+};
 
 /** Builder result before it is wrapped into a FunctionEvaluator. */
 struct Built
 {
-    Eval eval;
+    EvalPair eval;
     Attach attach;
     uint32_t memoryBytes = 0;
 };
@@ -52,17 +88,19 @@ refFn(Function f)
 }
 
 /** Negate with one sign-flip instruction. */
+template <class S>
 float
-negate(float v, InstrSink* sink)
+negate(float v, S& sink)
 {
-    return sf::neg(v, sink);
+    return sf::negT(v, sink);
 }
 
 /** Quadrant output selection for sine. */
+template <class S>
 float
-selectSin(const CordicEngine::Result& r, int q, InstrSink* sink)
+selectSin(const CordicEngine::Result& r, int q, S& sink)
 {
-    chargeInstr(sink, 2);
+    sink.charge(2);
     switch (q & 3) {
       case 0: return r.y;
       case 1: return r.x;
@@ -72,10 +110,11 @@ selectSin(const CordicEngine::Result& r, int q, InstrSink* sink)
 }
 
 /** Quadrant output selection for cosine. */
+template <class S>
 float
-selectCos(const CordicEngine::Result& r, int q, InstrSink* sink)
+selectCos(const CordicEngine::Result& r, int q, S& sink)
 {
-    chargeInstr(sink, 2);
+    sink.charge(2);
     switch (q & 3) {
       case 0: return r.x;
       case 1: return negate(r.y, sink);
@@ -97,14 +136,15 @@ struct AnyLut
     std::shared_ptr<DLut> d;
     std::shared_ptr<DlLut> dl;
 
+    template <class S>
     float
-    eval(float x, InstrSink* sink) const
+    evalT(float x, S& sink) const
     {
-        if (m) return m->eval(x, sink);
-        if (l) return l->eval(x, sink);
-        if (lf) return lf->eval(x, sink);
-        if (d) return d->eval(x, sink);
-        return dl->eval(x, sink);
+        if (m) return m->evalT(x, sink);
+        if (l) return l->evalT(x, sink);
+        if (lf) return lf->evalT(x, sink);
+        if (d) return d->evalT(x, sink);
+        return dl->evalT(x, sink);
     }
 
     uint32_t
@@ -257,10 +297,10 @@ buildTableMethod(Function f, const MethodSpec& spec)
         auto lut = std::make_shared<AnyLut>(
             makeLut(spec, refFn(f), 0.0, dTwoPi, dspec));
         bool reduce = spec.reduceRange;
-        out.eval = [lut, reduce](float x, InstrSink* sink) {
+        out.eval = [lut, reduce](float x, auto& sink) {
             if (reduce)
-                x = reduceTwoPi(x, sink);
-            return lut->eval(x, sink);
+                x = reduceTwoPiT(x, sink);
+            return lut->evalT(x, sink);
         };
         out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
         out.memoryBytes = lut->bytes();
@@ -277,12 +317,12 @@ buildTableMethod(Function f, const MethodSpec& spec)
             bool reduce = spec.reduceRange;
             const float fHalfPi = 1.57079632679489661923f;
             out.eval = [lut, reduce, fHalfPi](float x,
-                                              InstrSink* sink) {
+                                              auto& sink) {
                 if (reduce)
-                    x = reduceTwoPi(x, sink);
-                float s = lut->eval(x, sink);
-                float c = lut->eval(sf::add(x, fHalfPi, sink), sink);
-                return sf::div(s, c, sink);
+                    x = reduceTwoPiT(x, sink);
+                float s = lut->evalT(x, sink);
+                float c = lut->evalT(sf::addT(x, fHalfPi, sink), sink);
+                return sf::divT(s, c, sink);
             };
             out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
             out.memoryBytes = lut->bytes();
@@ -295,12 +335,12 @@ buildTableMethod(Function f, const MethodSpec& spec)
         auto cosL = std::make_shared<AnyLut>(makeLut(
             spec, refFn(Function::Cos), 0.0, dTwoPi, dspec));
         bool reduce = spec.reduceRange;
-        out.eval = [sinL, cosL, reduce](float x, InstrSink* sink) {
+        out.eval = [sinL, cosL, reduce](float x, auto& sink) {
             if (reduce)
-                x = reduceTwoPi(x, sink);
-            float s = sinL->eval(x, sink);
-            float c = cosL->eval(x, sink);
-            return sf::div(s, c, sink);
+                x = reduceTwoPiT(x, sink);
+            float s = sinL->evalT(x, sink);
+            float c = cosL->evalT(x, sink);
+            return sf::divT(s, c, sink);
         };
         out.attach = [sinL, cosL](sim::DpuCore& c) {
             sinL->attach(c);
@@ -326,8 +366,8 @@ buildTableMethod(Function f, const MethodSpec& spec)
         // need no range extension (Key Takeaway 4 territory).
         auto lut = std::make_shared<AnyLut>(
             makeLut(spec, refFn(f), dom.lo, dom.hi, dspec));
-        out.eval = [lut](float x, InstrSink* sink) {
-            return lut->eval(x, sink);
+        out.eval = [lut](float x, auto& sink) {
+            return lut->evalT(x, sink);
         };
         out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
         out.memoryBytes = lut->bytes();
@@ -337,8 +377,8 @@ buildTableMethod(Function f, const MethodSpec& spec)
         if (isDirectLut(spec.method)) {
             auto lut = std::make_shared<AnyLut>(
                 makeLut(spec, refFn(f), dom.lo, dom.hi, dspec));
-            out.eval = [lut](float x, InstrSink* sink) {
-                return lut->eval(x, sink);
+            out.eval = [lut](float x, auto& sink) {
+                return lut->evalT(x, sink);
             };
             out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
             out.memoryBytes = lut->bytes();
@@ -347,10 +387,10 @@ buildTableMethod(Function f, const MethodSpec& spec)
         // Range extension: e^x = 2^k * e^r, r in [0, ln2).
         auto lut = std::make_shared<AnyLut>(
             makeLut(spec, refFn(f), 0.0, dLn2, dspec));
-        out.eval = [lut](float x, InstrSink* sink) {
-            ExpSplit s = splitExp(x, sink);
-            float y = lut->eval(s.r, sink);
-            return pimLdexp(y, s.k, sink);
+        out.eval = [lut](float x, auto& sink) {
+            ExpSplit s = splitExpT(x, sink);
+            float y = lut->evalT(s.r, sink);
+            return pimLdexpT(y, s.k, sink);
         };
         out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
         out.memoryBytes = lut->bytes();
@@ -360,8 +400,8 @@ buildTableMethod(Function f, const MethodSpec& spec)
         if (isDirectLut(spec.method)) {
             auto lut = std::make_shared<AnyLut>(
                 makeLut(spec, refFn(f), dom.lo, dom.hi, dspec));
-            out.eval = [lut](float x, InstrSink* sink) {
-                return lut->eval(x, sink);
+            out.eval = [lut](float x, auto& sink) {
+                return lut->evalT(x, sink);
             };
             out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
             out.memoryBytes = lut->bytes();
@@ -370,11 +410,11 @@ buildTableMethod(Function f, const MethodSpec& spec)
         // log x = k*ln2 + log m, m in [1, 2).
         auto lut = std::make_shared<AnyLut>(
             makeLut(spec, refFn(f), 1.0, 2.0, dspec));
-        out.eval = [lut](float x, InstrSink* sink) {
-            LogSplit s = splitLog(x, sink);
-            float y = lut->eval(s.m, sink);
-            float kf = sf::fromI32(s.k, sink);
-            return sf::add(y, sf::mul(kf, fLn2, sink), sink);
+        out.eval = [lut](float x, auto& sink) {
+            LogSplit s = splitLogT(x, sink);
+            float y = lut->evalT(s.m, sink);
+            float kf = sf::fromI32T(s.k, sink);
+            return sf::addT(y, sf::mulT(kf, fLn2, sink), sink);
         };
         out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
         out.memoryBytes = lut->bytes();
@@ -384,8 +424,8 @@ buildTableMethod(Function f, const MethodSpec& spec)
         if (isDirectLut(spec.method)) {
             auto lut = std::make_shared<AnyLut>(
                 makeLut(spec, refFn(f), dom.lo, dom.hi, dspec));
-            out.eval = [lut](float x, InstrSink* sink) {
-                return lut->eval(x, sink);
+            out.eval = [lut](float x, auto& sink) {
+                return lut->evalT(x, sink);
             };
             out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
             out.memoryBytes = lut->bytes();
@@ -394,13 +434,13 @@ buildTableMethod(Function f, const MethodSpec& spec)
         // sqrt x = 2^k * sqrt m, m in [0.5, 2).
         auto lut = std::make_shared<AnyLut>(
             makeLut(spec, refFn(f), 0.5, 2.0, dspec));
-        out.eval = [lut](float x, InstrSink* sink) {
-            chargeInstr(sink, 2); // zero guard
+        out.eval = [lut](float x, auto& sink) {
+            sink.charge(2); // zero guard
             if (floatBits(x) == 0 || floatBits(x) == 0x80000000u)
                 return 0.0f;
-            SqrtSplit s = splitSqrt(x, sink);
-            float y = lut->eval(s.m, sink);
-            return pimLdexp(y, s.k, sink);
+            SqrtSplit s = splitSqrtT(x, sink);
+            float y = lut->evalT(s.m, sink);
+            return pimLdexpT(y, s.k, sink);
         };
         out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
         out.memoryBytes = lut->bytes();
@@ -411,8 +451,8 @@ buildTableMethod(Function f, const MethodSpec& spec)
         if (isDirectLut(spec.method)) {
             auto lut = std::make_shared<AnyLut>(
                 makeLut(spec, refFn(f), dom.lo, dom.hi, dspec));
-            out.eval = [lut](float x, InstrSink* sink) {
-                return lut->eval(x, sink);
+            out.eval = [lut](float x, auto& sink) {
+                return lut->evalT(x, sink);
             };
             out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
             out.memoryBytes = lut->bytes();
@@ -425,13 +465,13 @@ buildTableMethod(Function f, const MethodSpec& spec)
             dspec));
         bool base10 = f == Function::Log10;
         const float log10of2 = 0.30102999566398119521f;
-        out.eval = [lut, base10, log10of2](float x, InstrSink* sink) {
-            LogSplit s = splitLog(x, sink);
-            float y = lut->eval(s.m, sink);
-            float kf = sf::fromI32(s.k, sink);
-            float l2 = sf::add(y, kf, sink);
+        out.eval = [lut, base10, log10of2](float x, auto& sink) {
+            LogSplit s = splitLogT(x, sink);
+            float y = lut->evalT(s.m, sink);
+            float kf = sf::fromI32T(s.k, sink);
+            float l2 = sf::addT(y, kf, sink);
             if (base10)
-                l2 = sf::mul(l2, log10of2, sink);
+                l2 = sf::mulT(l2, log10of2, sink);
             return l2;
         };
         out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
@@ -442,8 +482,8 @@ buildTableMethod(Function f, const MethodSpec& spec)
         if (isDirectLut(spec.method)) {
             auto lut = std::make_shared<AnyLut>(
                 makeLut(spec, refFn(f), dom.lo, dom.hi, dspec));
-            out.eval = [lut](float x, InstrSink* sink) {
-                return lut->eval(x, sink);
+            out.eval = [lut](float x, auto& sink) {
+                return lut->evalT(x, sink);
             };
             out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
             out.memoryBytes = lut->bytes();
@@ -454,12 +494,12 @@ buildTableMethod(Function f, const MethodSpec& spec)
         auto lut = std::make_shared<AnyLut>(makeLut(
             spec, [](double r) { return std::exp2(r); }, 0.0, 1.0,
             dspec));
-        out.eval = [lut](float x, InstrSink* sink) {
-            int32_t k = sf::toI32Floor(x, sink);
-            float kf = sf::fromI32(k, sink);
-            float r = sf::sub(x, kf, sink);
-            float y = lut->eval(r, sink);
-            return pimLdexp(y, k, sink);
+        out.eval = [lut](float x, auto& sink) {
+            int32_t k = sf::toI32FloorT(x, sink);
+            float kf = sf::fromI32T(k, sink);
+            float r = sf::subT(x, kf, sink);
+            float y = lut->evalT(r, sink);
+            return pimLdexpT(y, k, sink);
         };
         out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
         out.memoryBytes = lut->bytes();
@@ -469,8 +509,8 @@ buildTableMethod(Function f, const MethodSpec& spec)
         if (isDirectLut(spec.method)) {
             auto lut = std::make_shared<AnyLut>(
                 makeLut(spec, refFn(f), dom.lo, dom.hi, dspec));
-            out.eval = [lut](float x, InstrSink* sink) {
-                return lut->eval(x, sink);
+            out.eval = [lut](float x, auto& sink) {
+                return lut->evalT(x, sink);
             };
             out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
             out.memoryBytes = lut->bytes();
@@ -480,10 +520,10 @@ buildTableMethod(Function f, const MethodSpec& spec)
         auto lut = std::make_shared<AnyLut>(makeLut(
             spec, [](double m) { return 1.0 / std::sqrt(m); }, 0.5,
             2.0, dspec));
-        out.eval = [lut](float x, InstrSink* sink) {
-            SqrtSplit s = splitSqrt(x, sink);
-            float y = lut->eval(s.m, sink);
-            return pimLdexp(y, -s.k, sink);
+        out.eval = [lut](float x, auto& sink) {
+            SqrtSplit s = splitSqrtT(x, sink);
+            float y = lut->evalT(s.m, sink);
+            return pimLdexpT(y, -s.k, sink);
         };
         out.attach = [lut](sim::DpuCore& c) { lut->attach(c); };
         out.memoryBytes = lut->bytes();
@@ -498,20 +538,22 @@ buildTableMethod(Function f, const MethodSpec& spec)
 // ---------------------------------------------------------------------
 
 /** e^x via split + hyperbolic rotation + ldexp. */
+template <class S>
 float
-cordicExp(const CordicEngine& engine, float x, InstrSink* sink)
+cordicExp(const CordicEngine& engine, float x, S& sink)
 {
-    ExpSplit s = splitExp(x, sink);
-    CordicEngine::Result r = engine.rotate(s.r, sink);
-    float e = sf::add(r.x, r.y, sink); // cosh + sinh
-    return pimLdexp(e, s.k, sink);
+    ExpSplit s = splitExpT(x, sink);
+    CordicEngine::Result r = engine.rotateT(s.r, sink);
+    float e = sf::addT(r.x, r.y, sink); // cosh + sinh
+    return pimLdexpT(e, s.k, sink);
 }
 
 /** |x| <= 1 test: one bit-mask compare. */
+template <class S>
 bool
-magnitudeBelowOne(float x, InstrSink* sink)
+magnitudeBelowOne(float x, S& sink)
 {
-    chargeInstr(sink, 3);
+    sink.charge(3);
     return (floatBits(x) & 0x7fffffffu) < floatBits(1.0f);
 }
 
@@ -527,18 +569,18 @@ buildCordic(Function f, const MethodSpec& spec)
       case Function::Tan: {
         auto eng = std::make_shared<CordicEngine>(
             CordicMode::Circular, spec.iterations, spec.placement);
-        out.eval = [eng, f, reduce](float x, InstrSink* sink) {
+        out.eval = [eng, f, reduce](float x, auto& sink) {
             if (reduce)
-                x = reduceTwoPi(x, sink);
-            QuadrantReduced qr = reduceQuadrant(x, sink);
-            CordicEngine::Result r = eng->rotate(qr.r, sink);
+                x = reduceTwoPiT(x, sink);
+            QuadrantReduced qr = reduceQuadrantT(x, sink);
+            CordicEngine::Result r = eng->rotateT(qr.r, sink);
             if (f == Function::Sin)
                 return selectSin(r, qr.q, sink);
             if (f == Function::Cos)
                 return selectCos(r, qr.q, sink);
             float s = selectSin(r, qr.q, sink);
             float c = selectCos(r, qr.q, sink);
-            return sf::div(s, c, sink);
+            return sf::divT(s, c, sink);
         };
         out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
         out.memoryBytes = eng->memoryBytes();
@@ -548,17 +590,17 @@ buildCordic(Function f, const MethodSpec& spec)
       case Function::Cosh: {
         auto eng = std::make_shared<CordicEngine>(
             CordicMode::Hyperbolic, spec.iterations, spec.placement);
-        out.eval = [eng, f](float x, InstrSink* sink) {
+        out.eval = [eng, f](float x, auto& sink) {
             if (magnitudeBelowOne(x, sink)) {
-                CordicEngine::Result r = eng->rotate(x, sink);
+                CordicEngine::Result r = eng->rotateT(x, sink);
                 return f == Function::Sinh ? r.y : r.x;
             }
             // Outside the convergence range: exp identities.
             float e = cordicExp(*eng, x, sink);
-            float ei = sf::div(1.0f, e, sink);
-            float t = f == Function::Sinh ? sf::sub(e, ei, sink)
-                                          : sf::add(e, ei, sink);
-            return pimLdexp(t, -1, sink);
+            float ei = sf::divT(1.0f, e, sink);
+            float t = f == Function::Sinh ? sf::subT(e, ei, sink)
+                                          : sf::addT(e, ei, sink);
+            return pimLdexpT(t, -1, sink);
         };
         out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
         out.memoryBytes = eng->memoryBytes();
@@ -567,16 +609,16 @@ buildCordic(Function f, const MethodSpec& spec)
       case Function::Tanh: {
         auto eng = std::make_shared<CordicEngine>(
             CordicMode::Hyperbolic, spec.iterations, spec.placement);
-        out.eval = [eng](float x, InstrSink* sink) {
+        out.eval = [eng](float x, auto& sink) {
             if (magnitudeBelowOne(x, sink)) {
-                CordicEngine::Result r = eng->rotate(x, sink);
-                return sf::div(r.y, r.x, sink);
+                CordicEngine::Result r = eng->rotateT(x, sink);
+                return sf::divT(r.y, r.x, sink);
             }
             // tanh x = 1 - 2 / (e^(2x) + 1).
-            float e2 = cordicExp(*eng, pimLdexp(x, 1, sink), sink);
-            float d = sf::add(e2, 1.0f, sink);
-            float t = sf::div(2.0f, d, sink);
-            return sf::sub(1.0f, t, sink);
+            float e2 = cordicExp(*eng, pimLdexpT(x, 1, sink), sink);
+            float d = sf::addT(e2, 1.0f, sink);
+            float t = sf::divT(2.0f, d, sink);
+            return sf::subT(1.0f, t, sink);
         };
         out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
         out.memoryBytes = eng->memoryBytes();
@@ -585,7 +627,7 @@ buildCordic(Function f, const MethodSpec& spec)
       case Function::Exp: {
         auto eng = std::make_shared<CordicEngine>(
             CordicMode::Hyperbolic, spec.iterations, spec.placement);
-        out.eval = [eng](float x, InstrSink* sink) {
+        out.eval = [eng](float x, auto& sink) {
             return cordicExp(*eng, x, sink);
         };
         out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
@@ -595,15 +637,15 @@ buildCordic(Function f, const MethodSpec& spec)
       case Function::Log: {
         auto eng = std::make_shared<CordicEngine>(
             CordicMode::Hyperbolic, spec.iterations, spec.placement);
-        out.eval = [eng](float x, InstrSink* sink) {
+        out.eval = [eng](float x, auto& sink) {
             // log x = k*ln2 + 2*atanh((m-1)/(m+1)).
-            LogSplit s = splitLog(x, sink);
-            float x0 = sf::add(s.m, 1.0f, sink);
-            float y0 = sf::sub(s.m, 1.0f, sink);
-            CordicEngine::Result r = eng->vector(x0, y0, sink);
-            float lm = pimLdexp(r.z, 1, sink);
-            float kf = sf::fromI32(s.k, sink);
-            return sf::add(lm, sf::mul(kf, fLn2, sink), sink);
+            LogSplit s = splitLogT(x, sink);
+            float x0 = sf::addT(s.m, 1.0f, sink);
+            float y0 = sf::subT(s.m, 1.0f, sink);
+            CordicEngine::Result r = eng->vectorT(x0, y0, sink);
+            float lm = pimLdexpT(r.z, 1, sink);
+            float kf = sf::fromI32T(s.k, sink);
+            return sf::addT(lm, sf::mulT(kf, fLn2, sink), sink);
         };
         out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
         out.memoryBytes = eng->memoryBytes();
@@ -613,18 +655,18 @@ buildCordic(Function f, const MethodSpec& spec)
         auto eng = std::make_shared<CordicEngine>(
             CordicMode::Hyperbolic, spec.iterations, spec.placement);
         float invGain = eng->invGain();
-        out.eval = [eng, invGain](float x, InstrSink* sink) {
-            chargeInstr(sink, 2); // zero guard
+        out.eval = [eng, invGain](float x, auto& sink) {
+            sink.charge(2); // zero guard
             if (floatBits(x) == 0 || floatBits(x) == 0x80000000u)
                 return 0.0f;
             // sqrt x = 2^k * gain^-1 * x_n with (x_n, _) from
             // vectoring (m + 1/4, m - 1/4).
-            SqrtSplit s = splitSqrt(x, sink);
-            float x0 = sf::add(s.m, 0.25f, sink);
-            float y0 = sf::sub(s.m, 0.25f, sink);
-            CordicEngine::Result r = eng->vector(x0, y0, sink);
-            float v = sf::mul(r.x, invGain, sink);
-            return pimLdexp(v, s.k, sink);
+            SqrtSplit s = splitSqrtT(x, sink);
+            float x0 = sf::addT(s.m, 0.25f, sink);
+            float y0 = sf::subT(s.m, 0.25f, sink);
+            CordicEngine::Result r = eng->vectorT(x0, y0, sink);
+            float v = sf::mulT(r.x, invGain, sink);
+            return pimLdexpT(v, s.k, sink);
         };
         out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
         out.memoryBytes = eng->memoryBytes();
@@ -635,11 +677,11 @@ buildCordic(Function f, const MethodSpec& spec)
         auto eng = std::make_shared<CordicEngine>(
             CordicMode::Hyperbolic, spec.iterations, spec.placement);
         bool silu = f == Function::Silu;
-        out.eval = [eng, silu](float x, InstrSink* sink) {
-            float e = cordicExp(*eng, sf::neg(x, sink), sink);
-            float s = sf::div(1.0f, sf::add(1.0f, e, sink), sink);
+        out.eval = [eng, silu](float x, auto& sink) {
+            float e = cordicExp(*eng, sf::negT(x, sink), sink);
+            float s = sf::divT(1.0f, sf::addT(1.0f, e, sink), sink);
             if (silu)
-                s = sf::mul(x, s, sink);
+                s = sf::mulT(x, s, sink);
             return s;
         };
         out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
@@ -650,8 +692,8 @@ buildCordic(Function f, const MethodSpec& spec)
         // Circular vectoring: z accumulates atan(y0/x0).
         auto eng = std::make_shared<CordicEngine>(
             CordicMode::Circular, spec.iterations, spec.placement);
-        out.eval = [eng](float x, InstrSink* sink) {
-            CordicEngine::Result r = eng->vector(1.0f, x, sink);
+        out.eval = [eng](float x, auto& sink) {
+            CordicEngine::Result r = eng->vectorT(1.0f, x, sink);
             return r.z;
         };
         out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
@@ -661,24 +703,24 @@ buildCordic(Function f, const MethodSpec& spec)
       case Function::Atanh: {
         auto eng = std::make_shared<CordicEngine>(
             CordicMode::Hyperbolic, spec.iterations, spec.placement);
-        out.eval = [eng](float x, InstrSink* sink) {
+        out.eval = [eng](float x, auto& sink) {
             // Direct vectoring converges for |x| <= tanh(1.118); use
             // atanh x = ln((1+x)/(1-x))/2 via the log path beyond.
-            chargeInstr(sink, 3);
+            sink.charge(3);
             if ((floatBits(x) & 0x7fffffffu) < floatBits(0.75f)) {
-                CordicEngine::Result r = eng->vector(1.0f, x, sink);
+                CordicEngine::Result r = eng->vectorT(1.0f, x, sink);
                 return r.z;
             }
-            float u = sf::div(sf::add(1.0f, x, sink),
-                              sf::sub(1.0f, x, sink), sink);
-            LogSplit s = splitLog(u, sink);
-            float x0 = sf::add(s.m, 1.0f, sink);
-            float y0 = sf::sub(s.m, 1.0f, sink);
-            CordicEngine::Result r = eng->vector(x0, y0, sink);
-            float lm = pimLdexp(r.z, 1, sink);
-            float kf = sf::fromI32(s.k, sink);
-            float ln = sf::add(lm, sf::mul(kf, fLn2, sink), sink);
-            return pimLdexp(ln, -1, sink);
+            float u = sf::divT(sf::addT(1.0f, x, sink),
+                              sf::subT(1.0f, x, sink), sink);
+            LogSplit s = splitLogT(u, sink);
+            float x0 = sf::addT(s.m, 1.0f, sink);
+            float y0 = sf::subT(s.m, 1.0f, sink);
+            CordicEngine::Result r = eng->vectorT(x0, y0, sink);
+            float lm = pimLdexpT(r.z, 1, sink);
+            float kf = sf::fromI32T(s.k, sink);
+            float ln = sf::addT(lm, sf::mulT(kf, fLn2, sink), sink);
+            return pimLdexpT(ln, -1, sink);
         };
         out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
         out.memoryBytes = eng->memoryBytes();
@@ -692,17 +734,17 @@ buildCordic(Function f, const MethodSpec& spec)
         const float log2e = 1.44269504088896340736f;
         const float log10of2 = 0.30102999566398119521f;
         out.eval = [eng, base10, log2e, log10of2](float x,
-                                                  InstrSink* sink) {
-            LogSplit s = splitLog(x, sink);
-            float x0 = sf::add(s.m, 1.0f, sink);
-            float y0 = sf::sub(s.m, 1.0f, sink);
-            CordicEngine::Result r = eng->vector(x0, y0, sink);
-            float lnm = pimLdexp(r.z, 1, sink);
-            float l2m = sf::mul(lnm, log2e, sink);
-            float kf = sf::fromI32(s.k, sink);
-            float l2 = sf::add(l2m, kf, sink);
+                                                  auto& sink) {
+            LogSplit s = splitLogT(x, sink);
+            float x0 = sf::addT(s.m, 1.0f, sink);
+            float y0 = sf::subT(s.m, 1.0f, sink);
+            CordicEngine::Result r = eng->vectorT(x0, y0, sink);
+            float lnm = pimLdexpT(r.z, 1, sink);
+            float l2m = sf::mulT(lnm, log2e, sink);
+            float kf = sf::fromI32T(s.k, sink);
+            float l2 = sf::addT(l2m, kf, sink);
             if (base10)
-                l2 = sf::mul(l2, log10of2, sink);
+                l2 = sf::mulT(l2, log10of2, sink);
             return l2;
         };
         out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
@@ -712,15 +754,15 @@ buildCordic(Function f, const MethodSpec& spec)
       case Function::Exp2: {
         auto eng = std::make_shared<CordicEngine>(
             CordicMode::Hyperbolic, spec.iterations, spec.placement);
-        out.eval = [eng](float x, InstrSink* sink) {
+        out.eval = [eng](float x, auto& sink) {
             // 2^x = 2^k * e^(r*ln2), r = x - floor(x) in [0, 1).
-            int32_t k = sf::toI32Floor(x, sink);
-            float kf = sf::fromI32(k, sink);
-            float r = sf::sub(x, kf, sink);
-            float rl = sf::mul(r, fLn2, sink);
-            CordicEngine::Result rot = eng->rotate(rl, sink);
-            float e = sf::add(rot.x, rot.y, sink);
-            return pimLdexp(e, k, sink);
+            int32_t k = sf::toI32FloorT(x, sink);
+            float kf = sf::fromI32T(k, sink);
+            float r = sf::subT(x, kf, sink);
+            float rl = sf::mulT(r, fLn2, sink);
+            CordicEngine::Result rot = eng->rotateT(rl, sink);
+            float e = sf::addT(rot.x, rot.y, sink);
+            return pimLdexpT(e, k, sink);
         };
         out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
         out.memoryBytes = eng->memoryBytes();
@@ -730,14 +772,14 @@ buildCordic(Function f, const MethodSpec& spec)
         auto eng = std::make_shared<CordicEngine>(
             CordicMode::Hyperbolic, spec.iterations, spec.placement);
         float invGain = eng->invGain();
-        out.eval = [eng, invGain](float x, InstrSink* sink) {
-            SqrtSplit s = splitSqrt(x, sink);
-            float x0 = sf::add(s.m, 0.25f, sink);
-            float y0 = sf::sub(s.m, 0.25f, sink);
-            CordicEngine::Result r = eng->vector(x0, y0, sink);
-            float sq = sf::mul(r.x, invGain, sink);
-            float inv = sf::div(1.0f, sq, sink);
-            return pimLdexp(inv, -s.k, sink);
+        out.eval = [eng, invGain](float x, auto& sink) {
+            SqrtSplit s = splitSqrtT(x, sink);
+            float x0 = sf::addT(s.m, 0.25f, sink);
+            float y0 = sf::subT(s.m, 0.25f, sink);
+            CordicEngine::Result r = eng->vectorT(x0, y0, sink);
+            float sq = sf::mulT(r.x, invGain, sink);
+            float inv = sf::divT(1.0f, sq, sink);
+            return pimLdexpT(inv, -s.k, sink);
         };
         out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
         out.memoryBytes = eng->memoryBytes();
@@ -746,17 +788,17 @@ buildCordic(Function f, const MethodSpec& spec)
       case Function::Softplus: {
         auto eng = std::make_shared<CordicEngine>(
             CordicMode::Hyperbolic, spec.iterations, spec.placement);
-        out.eval = [eng](float x, InstrSink* sink) {
+        out.eval = [eng](float x, auto& sink) {
             // ln(1 + e^x): exp path, then log path on the same engine.
             float e = cordicExp(*eng, x, sink);
-            float u = sf::add(1.0f, e, sink);
-            LogSplit s = splitLog(u, sink);
-            float x0 = sf::add(s.m, 1.0f, sink);
-            float y0 = sf::sub(s.m, 1.0f, sink);
-            CordicEngine::Result r = eng->vector(x0, y0, sink);
-            float lm = pimLdexp(r.z, 1, sink);
-            float kf = sf::fromI32(s.k, sink);
-            return sf::add(lm, sf::mul(kf, fLn2, sink), sink);
+            float u = sf::addT(1.0f, e, sink);
+            LogSplit s = splitLogT(u, sink);
+            float x0 = sf::addT(s.m, 1.0f, sink);
+            float y0 = sf::subT(s.m, 1.0f, sink);
+            CordicEngine::Result r = eng->vectorT(x0, y0, sink);
+            float lm = pimLdexpT(r.z, 1, sink);
+            float kf = sf::fromI32T(s.k, sink);
+            return sf::addT(lm, sf::mulT(kf, fLn2, sink), sink);
         };
         out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
         out.memoryBytes = eng->memoryBytes();
@@ -777,13 +819,13 @@ buildCordicFixed(Function f, const MethodSpec& spec)
     auto eng = std::make_shared<CordicFixedEngine>(
         CordicMode::Circular, spec.iterations, spec.placement);
     bool reduce = spec.reduceRange;
-    out.eval = [eng, f, reduce](float x, InstrSink* sink) {
+    out.eval = [eng, f, reduce](float x, auto& sink) {
         if (reduce)
-            x = reduceTwoPi(x, sink);
-        Fixed v = sf::toFixed(x, sink);
-        v = reduceTwoPiFixed(v, sink);
+            x = reduceTwoPiT(x, sink);
+        Fixed v = sf::toFixedT(x, sink);
+        v = reduceTwoPiFixedT(v, sink);
         // Quadrant reduction by conditional subtraction.
-        chargeInstr(sink, 4);
+        sink.charge(4);
         int q = 0;
         int32_t raw = v.raw();
         if (raw >= fixedPi().raw()) {
@@ -795,8 +837,8 @@ buildCordicFixed(Function f, const MethodSpec& spec)
             q += 1;
         }
         CordicFixedEngine::Result r =
-            eng->rotate(Fixed::fromRaw(raw), sink);
-        chargeInstr(sink, 3); // quadrant select + conditional negate
+            eng->rotateT(Fixed::fromRaw(raw), sink);
+        sink.charge(3); // quadrant select + conditional negate
         Fixed sinV, cosV;
         switch (q) {
           case 0: sinV = r.y; cosV = r.x; break;
@@ -805,12 +847,12 @@ buildCordicFixed(Function f, const MethodSpec& spec)
           default: sinV = -r.x; cosV = r.y; break;
         }
         if (f == Function::Sin)
-            return sf::fromFixed(sinV, sink);
+            return sf::fromFixedT(sinV, sink);
         if (f == Function::Cos)
-            return sf::fromFixed(cosV, sink);
-        float s = sf::fromFixed(sinV, sink);
-        float c = sf::fromFixed(cosV, sink);
-        return sf::div(s, c, sink);
+            return sf::fromFixedT(cosV, sink);
+        float s = sf::fromFixedT(sinV, sink);
+        float c = sf::fromFixedT(cosV, sink);
+        return sf::divT(s, c, sink);
     };
     out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
     out.memoryBytes = eng->memoryBytes();
@@ -829,18 +871,18 @@ buildCordicLut(Function f, const MethodSpec& spec)
             CordicMode::Circular, spec.iterations, spec.gridBits, 0.0,
             1.5707963267948966, spec.placement);
         bool reduce = spec.reduceRange;
-        out.eval = [eng, f, reduce](float x, InstrSink* sink) {
+        out.eval = [eng, f, reduce](float x, auto& sink) {
             if (reduce)
-                x = reduceTwoPi(x, sink);
-            QuadrantReduced qr = reduceQuadrant(x, sink);
-            CordicEngine::Result r = eng->rotate(qr.r, sink);
+                x = reduceTwoPiT(x, sink);
+            QuadrantReduced qr = reduceQuadrantT(x, sink);
+            CordicEngine::Result r = eng->rotateT(qr.r, sink);
             if (f == Function::Sin)
                 return selectSin(r, qr.q, sink);
             if (f == Function::Cos)
                 return selectCos(r, qr.q, sink);
             float s = selectSin(r, qr.q, sink);
             float c = selectCos(r, qr.q, sink);
-            return sf::div(s, c, sink);
+            return sf::divT(s, c, sink);
         };
         out.attach = [eng](sim::DpuCore& c) { eng->attach(c); };
         out.memoryBytes = eng->memoryBytes();
@@ -858,65 +900,65 @@ buildCordicLut(Function f, const MethodSpec& spec)
         auto eng = std::make_shared<CordicLutEngine>(
             CordicMode::Hyperbolic, spec.iterations, spec.gridBits,
             -1.12, 1.12, spec.placement);
-        auto expEval = [eng](float x, InstrSink* sink) {
-            ExpSplit s = splitExp(x, sink);
-            CordicEngine::Result r = eng->rotate(s.r, sink);
-            float e = sf::add(r.x, r.y, sink);
-            return pimLdexp(e, s.k, sink);
+        auto expEval = [eng](float x, auto& sink) {
+            ExpSplit s = splitExpT(x, sink);
+            CordicEngine::Result r = eng->rotateT(s.r, sink);
+            float e = sf::addT(r.x, r.y, sink);
+            return pimLdexpT(e, s.k, sink);
         };
         switch (f) {
           case Function::Exp:
             out.eval = expEval;
             break;
           case Function::Exp2:
-            out.eval = [eng](float x, InstrSink* sink) {
+            out.eval = [eng](float x, auto& sink) {
                 const float ln2 = 0.69314718055994530942f;
-                int32_t k = sf::toI32Floor(x, sink);
-                float kf = sf::fromI32(k, sink);
-                float r = sf::sub(x, kf, sink);
-                float rl = sf::mul(r, ln2, sink);
-                CordicEngine::Result rot = eng->rotate(rl, sink);
-                float e = sf::add(rot.x, rot.y, sink);
-                return pimLdexp(e, k, sink);
+                int32_t k = sf::toI32FloorT(x, sink);
+                float kf = sf::fromI32T(k, sink);
+                float r = sf::subT(x, kf, sink);
+                float rl = sf::mulT(r, ln2, sink);
+                CordicEngine::Result rot = eng->rotateT(rl, sink);
+                float e = sf::addT(rot.x, rot.y, sink);
+                return pimLdexpT(e, k, sink);
             };
             break;
           case Function::Silu:
-            out.eval = [expEval](float x, InstrSink* sink) {
-                float e = expEval(sf::neg(x, sink), sink);
+            out.eval = [expEval](float x, auto& sink) {
+                float e = expEval(sf::negT(x, sink), sink);
                 float s =
-                    sf::div(1.0f, sf::add(1.0f, e, sink), sink);
-                return sf::mul(x, s, sink);
+                    sf::divT(1.0f, sf::addT(1.0f, e, sink), sink);
+                return sf::mulT(x, s, sink);
             };
             break;
           case Function::Sinh:
           case Function::Cosh:
-            out.eval = [eng, expEval, f](float x, InstrSink* sink) {
+            out.eval = [eng, expEval, f](float x, auto& sink) {
                 if (magnitudeBelowOne(x, sink)) {
-                    CordicEngine::Result r = eng->rotate(x, sink);
+                    CordicEngine::Result r = eng->rotateT(x, sink);
                     return f == Function::Sinh ? r.y : r.x;
                 }
                 float e = expEval(x, sink);
-                float ei = sf::div(1.0f, e, sink);
-                float t = f == Function::Sinh ? sf::sub(e, ei, sink)
-                                              : sf::add(e, ei, sink);
-                return pimLdexp(t, -1, sink);
+                float ei = sf::divT(1.0f, e, sink);
+                float t = f == Function::Sinh ? sf::subT(e, ei, sink)
+                                              : sf::addT(e, ei, sink);
+                return pimLdexpT(t, -1, sink);
             };
             break;
           case Function::Tanh:
-            out.eval = [eng, expEval](float x, InstrSink* sink) {
+            out.eval = [eng, expEval](float x, auto& sink) {
                 if (magnitudeBelowOne(x, sink)) {
-                    CordicEngine::Result r = eng->rotate(x, sink);
-                    return sf::div(r.y, r.x, sink);
+                    CordicEngine::Result r = eng->rotateT(x, sink);
+                    return sf::divT(r.y, r.x, sink);
                 }
-                float e2 = expEval(pimLdexp(x, 1, sink), sink);
-                float d = sf::add(e2, 1.0f, sink);
-                return sf::sub(1.0f, sf::div(2.0f, d, sink), sink);
+                float e2 = expEval(pimLdexpT(x, 1, sink), sink);
+                float d = sf::addT(e2, 1.0f, sink);
+                return sf::subT(1.0f, sf::divT(2.0f, d, sink), sink);
             };
             break;
           default: // Sigmoid
-            out.eval = [expEval](float x, InstrSink* sink) {
-                float e = expEval(sf::neg(x, sink), sink);
-                return sf::div(1.0f, sf::add(1.0f, e, sink), sink);
+            out.eval = [expEval](float x, auto& sink) {
+                float e = expEval(sf::negT(x, sink), sink);
+                return sf::divT(1.0f, sf::addT(1.0f, e, sink), sink);
             };
             break;
         }
@@ -943,75 +985,75 @@ buildPoly(Function f, const MethodSpec& spec)
     bool reduce = spec.reduceRange;
 
     auto expPoly = std::make_shared<Polynomial>(expTaylor(deg));
-    auto expEval = [expPoly](float x, InstrSink* sink) {
-        ExpSplit s = splitExp(x, sink);
-        float y = expPoly->eval(s.r, sink);
-        return pimLdexp(y, s.k, sink);
+    auto expEval = [expPoly](float x, auto& sink) {
+        ExpSplit s = splitExpT(x, sink);
+        float y = expPoly->evalT(s.r, sink);
+        return pimLdexpT(y, s.k, sink);
     };
 
     // Reusable sub-evaluators for the compositional functions.
     auto logPoly = std::make_shared<Polynomial>(log1pTaylor(deg));
-    auto logEval = [logPoly](float x, InstrSink* sink) {
-        LogSplit s = splitLog(x, sink);
-        chargeInstr(sink, 3);
+    auto logEval = [logPoly](float x, auto& sink) {
+        LogSplit s = splitLogT(x, sink);
+        sink.charge(3);
         float m = s.m;
         int k = s.k;
-        if (sf::le(4.0f / 3.0f, m, sink)) {
-            m = pimLdexp(m, -1, sink);
+        if (sf::leT(4.0f / 3.0f, m, sink)) {
+            m = pimLdexpT(m, -1, sink);
             k += 1;
         }
-        float u = sf::sub(m, 1.0f, sink);
-        float y = logPoly->eval(u, sink);
-        float kf = sf::fromI32(k, sink);
-        return sf::add(y, sf::mul(kf, fLn2, sink), sink);
+        float u = sf::subT(m, 1.0f, sink);
+        float y = logPoly->evalT(u, sink);
+        float kf = sf::fromI32T(k, sink);
+        return sf::addT(y, sf::mulT(kf, fLn2, sink), sink);
     };
     auto sqrtPoly = std::make_shared<Polynomial>(sqrt1pSeries(deg));
-    auto sqrtEval = [sqrtPoly](float x, InstrSink* sink) {
-        chargeInstr(sink, 2);
+    auto sqrtEval = [sqrtPoly](float x, auto& sink) {
+        sink.charge(2);
         if (floatBits(x) == 0 || floatBits(x) == 0x80000000u)
             return 0.0f;
-        SqrtSplit s = splitSqrt(x, sink);
-        chargeInstr(sink, 3);
+        SqrtSplit s = splitSqrtT(x, sink);
+        sink.charge(3);
         float m = s.m;
         bool scaled = false;
-        if (sf::le(4.0f / 3.0f, m, sink)) {
-            m = pimLdexp(m, -1, sink);
+        if (sf::leT(4.0f / 3.0f, m, sink)) {
+            m = pimLdexpT(m, -1, sink);
             scaled = true;
         }
-        float u = sf::sub(m, 1.0f, sink);
-        float y = sqrtPoly->eval(u, sink);
+        float u = sf::subT(m, 1.0f, sink);
+        float y = sqrtPoly->evalT(u, sink);
         if (scaled)
-            y = sf::mul(y, 1.41421356237309504880f, sink);
-        return pimLdexp(y, s.k, sink);
+            y = sf::mulT(y, 1.41421356237309504880f, sink);
+        return pimLdexpT(y, s.k, sink);
     };
     auto atanPoly = std::make_shared<Polynomial>(atanTaylor(deg));
-    auto atanEval = [atanPoly](float x, InstrSink* sink) {
+    auto atanEval = [atanPoly](float x, auto& sink) {
         // Octant reduction to |u| <= tan(pi/8) for fast convergence:
         // sign fold, reciprocal fold, then the pi/4 rotation identity.
         const float tanPi8 = 0.41421356237309504880f;
         const float pi4 = 0.78539816339744830962f;
         const float pi2 = 1.57079632679489661923f;
-        chargeInstr(sink, 3);
+        sink.charge(3);
         uint32_t sign = floatBits(x) >> 31;
-        float a = sf::abs(x, sink);
+        float a = sf::absT(x, sink);
         bool recip = false;
-        if (sf::le(1.0f, a, sink)) {
-            a = sf::div(1.0f, a, sink);
+        if (sf::leT(1.0f, a, sink)) {
+            a = sf::divT(1.0f, a, sink);
             recip = true;
         }
         bool rotated = false;
-        if (sf::le(tanPi8, a, sink)) {
-            a = sf::div(sf::sub(a, 1.0f, sink),
-                        sf::add(a, 1.0f, sink), sink);
+        if (sf::leT(tanPi8, a, sink)) {
+            a = sf::divT(sf::subT(a, 1.0f, sink),
+                        sf::addT(a, 1.0f, sink), sink);
             rotated = true;
         }
-        float y = atanPoly->eval(a, sink);
+        float y = atanPoly->evalT(a, sink);
         if (rotated)
-            y = sf::add(y, pi4, sink);
+            y = sf::addT(y, pi4, sink);
         if (recip)
-            y = sf::sub(pi2, y, sink);
+            y = sf::subT(pi2, y, sink);
         if (sign)
-            y = sf::neg(y, sink);
+            y = sf::negT(y, sink);
         return y;
     };
 
@@ -1021,26 +1063,26 @@ buildPoly(Function f, const MethodSpec& spec)
       case Function::Tan: {
         auto sinP = std::make_shared<Polynomial>(sinTaylor(deg));
         auto cosP = std::make_shared<Polynomial>(cosTaylor(deg));
-        auto sinAt = [sinP, cosP](float r, int q, InstrSink* sink) {
-            chargeInstr(sink, 2);
+        auto sinAt = [sinP, cosP](float r, int q, auto& sink) {
+            sink.charge(2);
             switch (q & 3) {
-              case 0: return sinP->eval(r, sink);
-              case 1: return cosP->eval(r, sink);
-              case 2: return sf::neg(sinP->eval(r, sink), sink);
-              default: return sf::neg(cosP->eval(r, sink), sink);
+              case 0: return sinP->evalT(r, sink);
+              case 1: return cosP->evalT(r, sink);
+              case 2: return sf::negT(sinP->evalT(r, sink), sink);
+              default: return sf::negT(cosP->evalT(r, sink), sink);
             }
         };
-        out.eval = [sinAt, f, reduce](float x, InstrSink* sink) {
+        out.eval = [sinAt, f, reduce](float x, auto& sink) {
             if (reduce)
-                x = reduceTwoPi(x, sink);
-            QuadrantReduced qr = reduceQuadrant(x, sink);
+                x = reduceTwoPiT(x, sink);
+            QuadrantReduced qr = reduceQuadrantT(x, sink);
             if (f == Function::Sin)
                 return sinAt(qr.r, qr.q, sink);
             if (f == Function::Cos)
                 return sinAt(qr.r, qr.q + 1, sink);
             float s = sinAt(qr.r, qr.q, sink);
             float c = sinAt(qr.r, qr.q + 1, sink);
-            return sf::div(s, c, sink);
+            return sf::divT(s, c, sink);
         };
         out.memoryBytes = 2 * (deg + 1) * sizeof(float);
         return out;
@@ -1063,41 +1105,41 @@ buildPoly(Function f, const MethodSpec& spec)
         const float log2e = 1.44269504088896340736f;
         const float log10e = 0.43429448190325182765f;
         out.eval = [logEval, base10, log2e, log10e](float x,
-                                                    InstrSink* sink) {
+                                                    auto& sink) {
             float ln = logEval(x, sink);
-            return sf::mul(ln, base10 ? log10e : log2e, sink);
+            return sf::mulT(ln, base10 ? log10e : log2e, sink);
         };
         out.memoryBytes = (deg + 1) * sizeof(float);
         return out;
       }
       case Function::Exp2:
-        out.eval = [expPoly](float x, InstrSink* sink) {
+        out.eval = [expPoly](float x, auto& sink) {
             // 2^x = 2^k * e^(r*ln2), r = x - floor(x).
-            int32_t k = sf::toI32Floor(x, sink);
-            float kf = sf::fromI32(k, sink);
-            float r = sf::mul(sf::sub(x, kf, sink), fLn2, sink);
-            float y = expPoly->eval(r, sink);
-            return pimLdexp(y, k, sink);
+            int32_t k = sf::toI32FloorT(x, sink);
+            float kf = sf::fromI32T(k, sink);
+            float r = sf::mulT(sf::subT(x, kf, sink), fLn2, sink);
+            float y = expPoly->evalT(r, sink);
+            return pimLdexpT(y, k, sink);
         };
         out.memoryBytes = (deg + 1) * sizeof(float);
         return out;
       case Function::Rsqrt: {
         auto rsP = std::make_shared<Polynomial>(rsqrt1pSeries(deg));
         const float invSqrt2 = 0.70710678118654752440f;
-        out.eval = [rsP, invSqrt2](float x, InstrSink* sink) {
-            SqrtSplit s = splitSqrt(x, sink);
-            chargeInstr(sink, 3);
+        out.eval = [rsP, invSqrt2](float x, auto& sink) {
+            SqrtSplit s = splitSqrtT(x, sink);
+            sink.charge(3);
             float m = s.m;
             bool scaled = false;
-            if (sf::le(4.0f / 3.0f, m, sink)) {
-                m = pimLdexp(m, -1, sink);
+            if (sf::leT(4.0f / 3.0f, m, sink)) {
+                m = pimLdexpT(m, -1, sink);
                 scaled = true;
             }
-            float u = sf::sub(m, 1.0f, sink);
-            float y = rsP->eval(u, sink);
+            float u = sf::subT(m, 1.0f, sink);
+            float y = rsP->evalT(u, sink);
             if (scaled)
-                y = sf::mul(y, invSqrt2, sink);
-            return pimLdexp(y, -s.k, sink);
+                y = sf::mulT(y, invSqrt2, sink);
+            return pimLdexpT(y, -s.k, sink);
         };
         out.memoryBytes = (deg + 1) * sizeof(float);
         return out;
@@ -1112,12 +1154,12 @@ buildPoly(Function f, const MethodSpec& spec)
         bool acos = f == Function::Acos;
         const float pi2 = 1.57079632679489661923f;
         out.eval = [atanEval, sqrtEval, acos, pi2](float x,
-                                                   InstrSink* sink) {
-            float x2 = sf::mul(x, x, sink);
-            float den = sqrtEval(sf::sub(1.0f, x2, sink), sink);
-            float y = atanEval(sf::div(x, den, sink), sink);
+                                                   auto& sink) {
+            float x2 = sf::mulT(x, x, sink);
+            float den = sqrtEval(sf::subT(1.0f, x2, sink), sink);
+            float y = atanEval(sf::divT(x, den, sink), sink);
             if (acos)
-                y = sf::sub(pi2, y, sink);
+                y = sf::subT(pi2, y, sink);
             return y;
         };
         out.memoryBytes = 2 * (deg + 1) * sizeof(float);
@@ -1125,52 +1167,52 @@ buildPoly(Function f, const MethodSpec& spec)
       }
       case Function::Atanh:
         // atanh x = ln((1+x)/(1-x)) / 2.
-        out.eval = [logEval](float x, InstrSink* sink) {
-            float u = sf::div(sf::add(1.0f, x, sink),
-                              sf::sub(1.0f, x, sink), sink);
-            return pimLdexp(logEval(u, sink), -1, sink);
+        out.eval = [logEval](float x, auto& sink) {
+            float u = sf::divT(sf::addT(1.0f, x, sink),
+                              sf::subT(1.0f, x, sink), sink);
+            return pimLdexpT(logEval(u, sink), -1, sink);
         };
         out.memoryBytes = (deg + 1) * sizeof(float);
         return out;
       case Function::Softplus:
         // ln(1 + e^x).
-        out.eval = [expEval, logEval](float x, InstrSink* sink) {
+        out.eval = [expEval, logEval](float x, auto& sink) {
             float e = expEval(x, sink);
-            return logEval(sf::add(1.0f, e, sink), sink);
+            return logEval(sf::addT(1.0f, e, sink), sink);
         };
         out.memoryBytes = 2 * (deg + 1) * sizeof(float);
         return out;
       case Function::Silu:
-        out.eval = [expEval](float x, InstrSink* sink) {
-            float e = expEval(sf::neg(x, sink), sink);
-            float s = sf::div(1.0f, sf::add(1.0f, e, sink), sink);
-            return sf::mul(x, s, sink);
+        out.eval = [expEval](float x, auto& sink) {
+            float e = expEval(sf::negT(x, sink), sink);
+            float s = sf::divT(1.0f, sf::addT(1.0f, e, sink), sink);
+            return sf::mulT(x, s, sink);
         };
         out.memoryBytes = (deg + 1) * sizeof(float);
         return out;
       case Function::Sinh:
       case Function::Cosh:
-        out.eval = [expEval, f](float x, InstrSink* sink) {
+        out.eval = [expEval, f](float x, auto& sink) {
             float e = expEval(x, sink);
-            float ei = sf::div(1.0f, e, sink);
-            float t = f == Function::Sinh ? sf::sub(e, ei, sink)
-                                          : sf::add(e, ei, sink);
-            return pimLdexp(t, -1, sink);
+            float ei = sf::divT(1.0f, e, sink);
+            float t = f == Function::Sinh ? sf::subT(e, ei, sink)
+                                          : sf::addT(e, ei, sink);
+            return pimLdexpT(t, -1, sink);
         };
         out.memoryBytes = (deg + 1) * sizeof(float);
         return out;
       case Function::Tanh:
-        out.eval = [expEval](float x, InstrSink* sink) {
-            float e2 = expEval(pimLdexp(x, 1, sink), sink);
-            float d = sf::add(e2, 1.0f, sink);
-            return sf::sub(1.0f, sf::div(2.0f, d, sink), sink);
+        out.eval = [expEval](float x, auto& sink) {
+            float e2 = expEval(pimLdexpT(x, 1, sink), sink);
+            float d = sf::addT(e2, 1.0f, sink);
+            return sf::subT(1.0f, sf::divT(2.0f, d, sink), sink);
         };
         out.memoryBytes = (deg + 1) * sizeof(float);
         return out;
       case Function::Sigmoid:
-        out.eval = [expEval](float x, InstrSink* sink) {
-            float e = expEval(sf::neg(x, sink), sink);
-            return sf::div(1.0f, sf::add(1.0f, e, sink), sink);
+        out.eval = [expEval](float x, auto& sink) {
+            float e = expEval(sf::negT(x, sink), sink);
+            return sf::divT(1.0f, sf::addT(1.0f, e, sink), sink);
         };
         out.memoryBytes = (deg + 1) * sizeof(float);
         return out;
@@ -1183,36 +1225,36 @@ buildPoly(Function f, const MethodSpec& spec)
         auto tailP = std::make_shared<Polynomial>(std::vector<float>{
             0.0f, 0.319381530f, -0.356563782f, 1.781477937f,
             -1.821255978f, 1.330274429f});
-        auto cndf = [tailP, expEval](float x, InstrSink* sink) {
-            float ax = sf::abs(x, sink);
-            float t = sf::div(
+        auto cndf = [tailP, expEval](float x, auto& sink) {
+            float ax = sf::absT(x, sink);
+            float t = sf::divT(
                 1.0f,
-                sf::add(1.0f, sf::mul(0.2316419f, ax, sink), sink),
+                sf::addT(1.0f, sf::mulT(0.2316419f, ax, sink), sink),
                 sink);
             // phi(x) = exp(-x^2/2) / sqrt(2*pi)
-            float x2 = sf::mul(x, x, sink);
-            float e = expEval(sf::neg(pimLdexp(x2, -1, sink), sink),
+            float x2 = sf::mulT(x, x, sink);
+            float e = expEval(sf::negT(pimLdexpT(x2, -1, sink), sink),
                               sink);
-            float phi = sf::mul(fInvSqrt2Pi, e, sink);
-            float tail = sf::mul(phi, tailP->eval(t, sink), sink);
-            float cnd = sf::sub(1.0f, tail, sink);
-            chargeInstr(sink, 2);
+            float phi = sf::mulT(fInvSqrt2Pi, e, sink);
+            float tail = sf::mulT(phi, tailP->evalT(t, sink), sink);
+            float cnd = sf::subT(1.0f, tail, sink);
+            sink.charge(2);
             if (floatBits(x) >> 31)
-                cnd = sf::sub(1.0f, cnd, sink);
+                cnd = sf::subT(1.0f, cnd, sink);
             return cnd;
         };
         if (f == Function::Cndf) {
             out.eval = cndf;
         } else if (f == Function::Gelu) {
-            out.eval = [cndf](float x, InstrSink* sink) {
-                return sf::mul(x, cndf(x, sink), sink);
+            out.eval = [cndf](float x, auto& sink) {
+                return sf::mulT(x, cndf(x, sink), sink);
             };
         } else {
             // erf x = 2 * cndf(x * sqrt(2)) - 1.
             const float sqrt2 = 1.41421356237309504880f;
-            out.eval = [cndf, sqrt2](float x, InstrSink* sink) {
-                float c = cndf(sf::mul(x, sqrt2, sink), sink);
-                return sf::sub(pimLdexp(c, 1, sink), 1.0f, sink);
+            out.eval = [cndf, sqrt2](float x, auto& sink) {
+                float c = cndf(sf::mulT(x, sqrt2, sink), sink);
+                return sf::subT(pimLdexpT(c, 1, sink), 1.0f, sink);
             };
         }
         out.memoryBytes = (deg + 1 + 6) * sizeof(float);
@@ -1377,7 +1419,8 @@ FunctionEvaluator::create(Function f, const MethodSpec& spec)
     FunctionEvaluator out;
     out.fn_ = f;
     out.spec_ = spec;
-    out.eval_ = std::move(built.eval);
+    out.eval_ = std::move(built.eval.scalar);
+    out.evalBatch_ = std::move(built.eval.batch);
     out.attach_ = std::move(built.attach);
     out.memoryBytes_ = built.memoryBytes;
     out.setupSeconds_ =

@@ -30,10 +30,12 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 
 #include "pimsim/dpu.h"
+#include "transpim/batch.h"
 #include "transpim/placement.h"
 #include "transpim/reference.h"
 
@@ -146,6 +148,39 @@ class FunctionEvaluator
         return eval_(x, sink);
     }
 
+    /**
+     * Batched kernel-side evaluation over SoA spans: semantically
+     * identical to eval() element-by-element — bit-identical outputs
+     * and bit-identical charges — but runs the per-element body with
+     * the inlined batch sink (no virtual dispatch, softfloat fast-value
+     * lane) and flushes the accumulated charges to @p sink once.
+     * MRAM-placed table DMA still goes through the tasklet's DMA model
+     * per element, so DMA-engine occupancy and fault firing match the
+     * scalar path exactly.
+     *
+     * @param in input elements.
+     * @param out outputs; out.size() must equal in.size(); out may
+     *        alias in.
+     * @param sink instruction sink the batch totals flush to.
+     * @param stats when given, accumulates this batch's element count
+     *        and charge totals.
+     */
+    void
+    evalBatch(std::span<const float> in, std::span<float> out,
+              InstrSink* sink = nullptr,
+              BatchStats* stats = nullptr) const
+    {
+        evalBatch_(in, out, sink, stats);
+    }
+
+    /** Batched evaluation collecting per-batch accounting. */
+    void
+    evalBatch(std::span<const float> in, std::span<float> out,
+              BatchStats& stats) const
+    {
+        evalBatch_(in, out, nullptr, &stats);
+    }
+
     /** Bytes of PIM memory all tables of this evaluator occupy. */
     uint32_t memoryBytes() const { return memoryBytes_; }
 
@@ -171,6 +206,9 @@ class FunctionEvaluator
     Function fn_ = Function::Sin;
     MethodSpec spec_;
     std::function<float(float, InstrSink*)> eval_;
+    std::function<void(std::span<const float>, std::span<float>,
+                       InstrSink*, BatchStats*)>
+        evalBatch_;
     std::function<void(sim::DpuCore&)> attach_;
     uint32_t memoryBytes_ = 0;
     double setupSeconds_ = 0.0;

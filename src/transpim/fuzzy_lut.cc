@@ -18,14 +18,6 @@ namespace transpim {
 
 namespace {
 
-/** Clamp an address into [0, limit]; two compare-and-select instrs. */
-int32_t
-clampIndex(int32_t i, int32_t limit, InstrSink* sink)
-{
-    chargeInstr(sink, 2);
-    return std::clamp(i, 0, limit);
-}
-
 std::vector<float>
 buildFloatTable(const TableFn& f, double p, double spacing,
                 uint32_t entries)
@@ -53,23 +45,8 @@ MLut::MLut(const TableFn& f, double lo, double hi, uint32_t entries,
 float
 MLut::eval(float x, InstrSink* sink) const
 {
-    float t = x;
-    if (p_ != 0.0f)
-        t = sf::sub(x, p_, sink);
-    t = sf::mul(t, k_, sink);
-    if (!interpolated_) {
-        int32_t i = sf::toI32Round(t, sink);
-        i = clampIndex(i, static_cast<int32_t>(table_.size()) - 1, sink);
-        return table_.read(static_cast<uint32_t>(i), sink);
-    }
-    int32_t i = sf::toI32Floor(t, sink);
-    i = clampIndex(i, static_cast<int32_t>(table_.size()) - 2, sink);
-    float fi = sf::fromI32(i, sink);
-    float delta = sf::sub(t, fi, sink);
-    float l0 = table_.read(static_cast<uint32_t>(i), sink);
-    float l1 = table_.read(static_cast<uint32_t>(i) + 1, sink);
-    float d = sf::sub(l1, l0, sink);
-    return sf::add(l0, sf::mul(d, delta, sink), sink);
+    SinkRef s(sink);
+    return evalT(x, s);
 }
 
 LLut::LLut(const TableFn& f, double lo, double hi, uint32_t maxEntries,
@@ -92,23 +69,8 @@ LLut::LLut(const TableFn& f, double lo, double hi, uint32_t maxEntries,
 float
 LLut::eval(float x, InstrSink* sink) const
 {
-    float t = x;
-    if (p_ != 0.0f)
-        t = sf::sub(x, p_, sink);
-    t = pimLdexp(t, e_, sink);
-    if (!interpolated_) {
-        int32_t i = sf::toI32Round(t, sink);
-        i = clampIndex(i, static_cast<int32_t>(table_.size()) - 1, sink);
-        return table_.read(static_cast<uint32_t>(i), sink);
-    }
-    int32_t i = sf::toI32Floor(t, sink);
-    i = clampIndex(i, static_cast<int32_t>(table_.size()) - 2, sink);
-    float fi = sf::fromI32(i, sink);
-    float delta = sf::sub(t, fi, sink);
-    float l0 = table_.read(static_cast<uint32_t>(i), sink);
-    float l1 = table_.read(static_cast<uint32_t>(i) + 1, sink);
-    float d = sf::sub(l1, l0, sink);
-    return sf::add(l0, sf::mul(d, delta, sink), sink);
+    SinkRef s(sink);
+    return evalT(x, s);
 }
 
 LLutFixed::LLutFixed(const TableFn& f, double lo, double hi,
@@ -137,44 +99,15 @@ LLutFixed::LLutFixed(const TableFn& f, double lo, double hi,
 Fixed
 LLutFixed::evalFixed(Fixed x, InstrSink* sink) const
 {
-    // t = x - p as *unsigned* raw arithmetic: for in-range inputs the
-    // wrap-free difference (x - lo) * 2^28 fits 32 unsigned bits even
-    // when the domain spans the full [-8, 8) Q3.28 range (e.g. tanh),
-    // which a signed Q3.28 subtract could not represent.
-    chargeInstr(sink, 1);
-    uint32_t t = static_cast<uint32_t>(x.raw()) -
-                 static_cast<uint32_t>(pRaw_);
-    int32_t limit = static_cast<int32_t>(table_.size()) - 1;
-    if (!interpolated_) {
-        // Round to nearest: add half-spacing, logical shift right.
-        chargeInstr(sink, 2);
-        int32_t i = static_cast<int32_t>(
-            (t + (1u << (shift_ - 1))) >> shift_);
-        i = clampIndex(i, limit, sink);
-        return Fixed::fromRaw(table_.read(static_cast<uint32_t>(i), sink));
-    }
-    chargeInstr(sink, 2); // floor shift + mask
-    int32_t i = static_cast<int32_t>(t >> shift_);
-    int32_t deltaRaw = static_cast<int32_t>(t & ((1u << shift_) - 1u));
-    i = clampIndex(i, limit - 1, sink);
-    int32_t l0 = table_.read(static_cast<uint32_t>(i), sink);
-    int32_t l1 = table_.read(static_cast<uint32_t>(i) + 1, sink);
-    chargeInstr(sink, 1); // diff
-    int32_t d = l1 - l0;
-    // result = l0 + (d * delta) >> shift: one emulated multiply.
-    noteOp(sink, OpClass::IntMul);
-    int64_t prod = emuMulS32(d, deltaRaw, sink);
-    chargeInstr(sink, 3); // 64-bit shift + add
-    return Fixed::fromRaw(l0 +
-                          static_cast<int32_t>(prod >> shift_));
+    SinkRef s(sink);
+    return evalFixedT(x, s);
 }
 
 float
 LLutFixed::eval(float x, InstrSink* sink) const
 {
-    Fixed xf = sf::toFixed(x, sink);
-    Fixed y = evalFixed(xf, sink);
-    return sf::fromFixed(y, sink);
+    SinkRef s(sink);
+    return evalT(x, s);
 }
 
 } // namespace transpim

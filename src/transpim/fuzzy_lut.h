@@ -21,10 +21,14 @@
 #ifndef TPL_TRANSPIM_FUZZY_LUT_H
 #define TPL_TRANSPIM_FUZZY_LUT_H
 
+#include <algorithm>
 #include <functional>
 
+#include "common/emu_int.h"
 #include "common/fixed_point.h"
 #include "common/instr_sink.h"
+#include "softfloat/softfloat_core.h"
+#include "transpim/ldexp.h"
 #include "transpim/placement.h"
 
 namespace tpl {
@@ -32,6 +36,19 @@ namespace transpim {
 
 /** Real-valued function used to fill tables at setup time. */
 using TableFn = std::function<double(double)>;
+
+namespace lut_detail {
+
+/** Clamp an address into [0, limit]; two compare-and-select instrs. */
+template <class S>
+inline int32_t
+clampIndexT(int32_t i, int32_t limit, S& sink)
+{
+    sink.charge(2);
+    return std::clamp(i, 0, limit);
+}
+
+} // namespace lut_detail
 
 /**
  * Multiplication-based fuzzy lookup table (M-LUT).
@@ -50,6 +67,32 @@ class MLut
 
     /** Approximate f(x); x is clamped into [lo, hi]. */
     float eval(float x, InstrSink* sink) const;
+
+    /** Sink-template body of eval() (batch path inlines it). */
+    template <class S>
+    float
+    evalT(float x, S& sink) const
+    {
+        float t = x;
+        if (p_ != 0.0f)
+            t = sf::subT(x, p_, sink);
+        t = sf::mulT(t, k_, sink);
+        if (!interpolated_) {
+            int32_t i = sf::toI32RoundT(t, sink);
+            i = lut_detail::clampIndexT(
+                i, static_cast<int32_t>(table_.size()) - 1, sink);
+            return table_.readT(static_cast<uint32_t>(i), sink);
+        }
+        int32_t i = sf::toI32FloorT(t, sink);
+        i = lut_detail::clampIndexT(
+            i, static_cast<int32_t>(table_.size()) - 2, sink);
+        float fi = sf::fromI32T(i, sink);
+        float delta = sf::subT(t, fi, sink);
+        float l0 = table_.readT(static_cast<uint32_t>(i), sink);
+        float l1 = table_.readT(static_cast<uint32_t>(i) + 1, sink);
+        float d = sf::subT(l1, l0, sink);
+        return sf::addT(l0, sf::mulT(d, delta, sink), sink);
+    }
 
     uint32_t memoryBytes() const { return table_.bytes(); }
 
@@ -81,6 +124,32 @@ class LLut
          bool interpolated, Placement placement);
 
     float eval(float x, InstrSink* sink) const;
+
+    /** Sink-template body of eval() (batch path inlines it). */
+    template <class S>
+    float
+    evalT(float x, S& sink) const
+    {
+        float t = x;
+        if (p_ != 0.0f)
+            t = sf::subT(x, p_, sink);
+        t = pimLdexpT(t, e_, sink);
+        if (!interpolated_) {
+            int32_t i = sf::toI32RoundT(t, sink);
+            i = lut_detail::clampIndexT(
+                i, static_cast<int32_t>(table_.size()) - 1, sink);
+            return table_.readT(static_cast<uint32_t>(i), sink);
+        }
+        int32_t i = sf::toI32FloorT(t, sink);
+        i = lut_detail::clampIndexT(
+            i, static_cast<int32_t>(table_.size()) - 2, sink);
+        float fi = sf::fromI32T(i, sink);
+        float delta = sf::subT(t, fi, sink);
+        float l0 = table_.readT(static_cast<uint32_t>(i), sink);
+        float l1 = table_.readT(static_cast<uint32_t>(i) + 1, sink);
+        float d = sf::subT(l1, l0, sink);
+        return sf::addT(l0, sf::mulT(d, delta, sink), sink);
+    }
 
     uint32_t memoryBytes() const { return table_.bytes(); }
 
@@ -114,6 +183,56 @@ class LLutFixed
     /** Float in, float out: converts at both ends, as a float kernel
      * calling the fixed-point method would. */
     float eval(float x, InstrSink* sink) const;
+
+    /** Sink-template body of evalFixed() (batch path inlines it). */
+    template <class S>
+    Fixed
+    evalFixedT(Fixed x, S& sink) const
+    {
+        // t = x - p as *unsigned* raw arithmetic: for in-range inputs
+        // the wrap-free difference (x - lo) * 2^28 fits 32 unsigned
+        // bits even when the domain spans the full [-8, 8) Q3.28 range
+        // (e.g. tanh), which a signed Q3.28 subtract could not
+        // represent.
+        sink.charge(1);
+        uint32_t t = static_cast<uint32_t>(x.raw()) -
+                     static_cast<uint32_t>(pRaw_);
+        int32_t limit = static_cast<int32_t>(table_.size()) - 1;
+        if (!interpolated_) {
+            // Round to nearest: add half-spacing, logical shift right.
+            sink.charge(2);
+            int32_t i = static_cast<int32_t>(
+                (t + (1u << (shift_ - 1))) >> shift_);
+            i = lut_detail::clampIndexT(i, limit, sink);
+            return Fixed::fromRaw(
+                table_.readT(static_cast<uint32_t>(i), sink));
+        }
+        sink.charge(2); // floor shift + mask
+        int32_t i = static_cast<int32_t>(t >> shift_);
+        int32_t deltaRaw =
+            static_cast<int32_t>(t & ((1u << shift_) - 1u));
+        i = lut_detail::clampIndexT(i, limit - 1, sink);
+        int32_t l0 = table_.readT(static_cast<uint32_t>(i), sink);
+        int32_t l1 = table_.readT(static_cast<uint32_t>(i) + 1, sink);
+        sink.charge(1); // diff
+        int32_t d = l1 - l0;
+        // result = l0 + (d * delta) >> shift: one emulated multiply.
+        sink.note(OpClass::IntMul);
+        int64_t prod = emuMulS32T(d, deltaRaw, sink);
+        sink.charge(3); // 64-bit shift + add
+        return Fixed::fromRaw(l0 +
+                              static_cast<int32_t>(prod >> shift_));
+    }
+
+    /** Sink-template body of eval() (batch path inlines it). */
+    template <class S>
+    float
+    evalT(float x, S& sink) const
+    {
+        Fixed xf = sf::toFixedT(x, sink);
+        Fixed y = evalFixedT(xf, sink);
+        return sf::fromFixedT(y, sink);
+    }
 
     uint32_t memoryBytes() const { return table_.bytes(); }
 

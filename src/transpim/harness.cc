@@ -91,7 +91,10 @@ runMicrobench(Function f, const MethodSpec& spec,
 
     // The paper's microbenchmark kernel: each tasklet streams chunks
     // from MRAM through a WRAM buffer and evaluates every element.
+    // Chunks run through evalBatch (charge-identical to the scalar
+    // loop); TPL_BATCH_EVAL=0 selects the per-element path instead.
     constexpr uint32_t chunkElems = 256;
+    const bool useBatch = batchEvalEnabled();
     sim::LaunchStats stats =
         dpu.launch(opts.tasklets, [&](sim::TaskletContext& ctx) {
             float buffer[chunkElems];
@@ -105,9 +108,16 @@ runMicrobench(Function f, const MethodSpec& spec,
                     std::min(perChunk, opts.elements - beg);
                 ctx.mramRead(inAddr + beg * sizeof(float), buffer,
                              cnt * sizeof(float));
-                for (uint32_t i = 0; i < cnt; ++i) {
-                    ctx.charge(4); // loop control + WRAM load/store
-                    buffer[i] = eval.eval(buffer[i], &ctx);
+                if (useBatch) {
+                    // loop control + WRAM load/store, bulk-charged
+                    ctx.chargeClassN(InstrClass::IntAlu, 4, cnt);
+                    std::span<float> span(buffer, cnt);
+                    eval.evalBatch(span, span, &ctx);
+                } else {
+                    for (uint32_t i = 0; i < cnt; ++i) {
+                        ctx.charge(4); // loop control + WRAM ld/st
+                        buffer[i] = eval.eval(buffer[i], &ctx);
+                    }
                 }
                 ctx.mramWrite(outAddr + beg * sizeof(float), buffer,
                               cnt * sizeof(float));

@@ -1,134 +1,26 @@
 /**
  * @file
- * C99 ldexpf implementation on raw IEEE-754 bits.
+ * C99 ldexpf: InstrSink* entry points over the templated cores in
+ * ldexp.h (inlined by the batch execution path).
  */
 
 #include "transpim/ldexp.h"
 
-#include <bit>
-
-#include "common/bitops.h"
-
 namespace tpl {
 namespace transpim {
-
-namespace {
-
-/** Fast path: one exponent-field add plus range checks. */
-constexpr uint32_t fastPathCost = 10;
-
-/** Extra work to normalize a subnormal input. */
-constexpr uint32_t subnormalInCost = 6;
-
-/** Extra work to denormalize + round an underflowing result. */
-constexpr uint32_t underflowCost = 14;
-
-} // namespace
 
 float
 pimLdexp(float arg, int exp, InstrSink* sink)
 {
-    noteOp(sink, OpClass::Ldexp);
-    uint32_t bits = floatBits(arg);
-    uint32_t sign = bits & 0x80000000u;
-    int e = static_cast<int>(ieeeExponent(bits));
-    uint32_t m = ieeeMantissa(bits);
-
-    if (e == 0xff) {
-        chargeInstr(sink, 6);
-        return arg; // NaN or +-inf pass through
-    }
-    if (e == 0 && m == 0) {
-        chargeInstr(sink, 6);
-        return arg; // +-0 keeps its sign
-    }
-
-    if (e == 0) {
-        // Subnormal input: normalize so the implicit bit is explicit.
-        chargeInstr(sink, subnormalInCost);
-        int s = countLeadingZeros32(m) - 8;
-        m <<= s;
-        e = 1 - s;
-    } else {
-        m |= 0x800000u;
-    }
-
-    int64_t ne = static_cast<int64_t>(e) + exp;
-    if (ne >= 0xff) {
-        chargeInstr(sink, fastPathCost);
-        return bitsToFloat(sign | ieeePosInf); // overflow
-    }
-    if (ne >= 1) {
-        chargeInstr(sink, fastPathCost);
-        return bitsToFloat(sign |
-                           ieeePack(0, static_cast<uint32_t>(ne),
-                                    m & 0x7fffffu));
-    }
-
-    // Underflow: denormalize with round-to-nearest-even.
-    chargeInstr(sink, underflowCost);
-    int shift = static_cast<int>(1 - ne);
-    if (shift > 24)
-        return bitsToFloat(sign); // rounds to signed zero
-    uint32_t keep = m >> shift;
-    uint32_t rem = m & ((1u << shift) - 1u);
-    uint32_t half = 1u << (shift - 1);
-    if (rem > half || (rem == half && (keep & 1u)))
-        ++keep;
-    // If rounding carried into bit 23 the packed exponent field becomes
-    // 1 automatically (smallest normal), which is correct.
-    return bitsToFloat(sign | keep);
+    SinkRef s(sink);
+    return pimLdexpT(arg, exp, s);
 }
 
 double
 pimLdexp64(double arg, int exp, InstrSink* sink)
 {
-    noteOp(sink, OpClass::Ldexp);
-    uint64_t bits = std::bit_cast<uint64_t>(arg);
-    uint64_t sign = bits & (1ull << 63);
-    int e = static_cast<int>((bits >> 52) & 0x7ffull);
-    uint64_t m = bits & 0xfffffffffffffull;
-
-    if (e == 0x7ff) {
-        chargeInstr(sink, 6);
-        return arg; // NaN or +-inf
-    }
-    if (e == 0 && m == 0) {
-        chargeInstr(sink, 6);
-        return arg; // +-0
-    }
-
-    if (e == 0) {
-        chargeInstr(sink, subnormalInCost + 4);
-        int s = countLeadingZeros64(m) - 11;
-        m <<= s;
-        e = 1 - s;
-    } else {
-        m |= 1ull << 52;
-    }
-
-    int64_t ne = static_cast<int64_t>(e) + exp;
-    if (ne >= 0x7ff) {
-        chargeInstr(sink, fastPathCost + 4);
-        return std::bit_cast<double>(sign | (0x7ffull << 52)); // inf
-    }
-    if (ne >= 1) {
-        chargeInstr(sink, fastPathCost + 4);
-        return std::bit_cast<double>(
-            sign | (static_cast<uint64_t>(ne) << 52) |
-            (m & 0xfffffffffffffull));
-    }
-
-    chargeInstr(sink, underflowCost + 6);
-    int shift = static_cast<int>(1 - ne);
-    if (shift > 53)
-        return std::bit_cast<double>(sign); // signed zero
-    uint64_t keep = m >> shift;
-    uint64_t rem = m & ((1ull << shift) - 1ull);
-    uint64_t half = 1ull << (shift - 1);
-    if (rem > half || (rem == half && (keep & 1ull)))
-        ++keep;
-    return std::bit_cast<double>(sign | keep);
+    SinkRef s(sink);
+    return pimLdexp64T(arg, exp, s);
 }
 
 } // namespace transpim

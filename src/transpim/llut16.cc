@@ -40,31 +40,8 @@ LLut16::LLut16(const TableFn& f, double lo, double hi,
 float
 LLut16::eval(float x, InstrSink* sink) const
 {
-    // Addressing in binary32 (indices must be exact integers).
-    float t = x;
-    if (p_ != 0.0f)
-        t = sf::sub(x, p_, sink);
-    t = pimLdexp(t, e_, sink);
-    int32_t limit = static_cast<int32_t>(table_.size()) -
-                    (interpolated_ ? 2 : 1);
-    if (!interpolated_) {
-        int32_t i = sf::toI32Round(t, sink);
-        chargeInstr(sink, 2);
-        i = std::clamp(i, 0, limit);
-        sf::Half h{table_.read(static_cast<uint32_t>(i), sink)};
-        return sf::fromF16(h, sink);
-    }
-    int32_t i = sf::toI32Floor(t, sink);
-    chargeInstr(sink, 2);
-    i = std::clamp(i, 0, limit);
-    float fi = sf::fromI32(i, sink);
-    // Delta quantized to binary16 as the PE's native operand format.
-    sf::Half delta = sf::toF16(sf::sub(t, fi, sink), sink);
-    sf::Half l0{table_.read(static_cast<uint32_t>(i), sink)};
-    sf::Half l1{table_.read(static_cast<uint32_t>(i) + 1, sink)};
-    sf::Half d = sf::sub16(l1, l0, sink);
-    sf::Half y = sf::add16(l0, sf::mul16(d, delta, sink), sink);
-    return sf::fromF16(y, sink);
+    SinkRef s(sink);
+    return evalT(x, s);
 }
 
 } // namespace transpim

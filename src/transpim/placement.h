@@ -55,6 +55,23 @@ placementName(Placement p)
 }
 
 /**
+ * Resolve the simulator tasklet context behind a Sink, for DMA-modelled
+ * MRAM table reads. Batch sinks cache the TaskletContext* once per
+ * batch and expose it as tasklet(); the InstrSink*-backed sinks
+ * (SinkRef) fall back to a dynamic_cast per read, which is exactly what
+ * the scalar path always did.
+ */
+template <class S>
+inline sim::TaskletContext*
+lutTasklet(S& sink)
+{
+    if constexpr (requires { sink.tasklet(); })
+        return sink.tasklet();
+    else
+        return dynamic_cast<sim::TaskletContext*>(sink.raw());
+}
+
+/**
  * Typed table with placement-aware reads.
  *
  * @tparam T entry type; trivially copyable (float, Fixed, small PODs).
@@ -106,24 +123,26 @@ class LutStore
     bool attached() const { return core_ != nullptr; }
 
     /**
-     * Read entry @p index, charging the placement-specific cost.
+     * Read entry @p index, charging the placement-specific cost
+     * (sink-template; the batch path inlines it).
      * Out-of-range indices are a logic error in the calling method.
      */
+    template <class S>
     T
-    read(uint32_t index, InstrSink* sink) const
+    readT(uint32_t index, S& sink) const
     {
         if (index >= entries_.size())
             throw std::out_of_range("LutStore index");
-        noteOp(sink, OpClass::TableRead);
+        sink.note(OpClass::TableRead);
         if (core_ == nullptr || placement_ == Placement::Host) {
             // Host-side evaluation: charge the WRAM-equivalent cost so
             // instruction counts stay comparable in pure-host tests.
-            chargeInstr(sink, 2);
+            sink.charge(2);
             return entries_[index];
         }
         if (placement_ == Placement::Wram) {
             // Address arithmetic plus one pipelined WRAM load.
-            chargeInstr(sink, 2);
+            sink.charge(2);
             T value;
             std::memcpy(&value, core_->wramData() + addr_ +
                                     index * sizeof(T),
@@ -135,17 +154,28 @@ class LutStore
         uint32_t first = byteOff & ~7u;
         uint32_t last = (byteOff + sizeof(T) + 7u) & ~7u;
         alignas(8) unsigned char block[16 + sizeof(T)];
-        if (auto* ctx = dynamic_cast<sim::TaskletContext*>(sink)) {
+        if (sim::TaskletContext* ctx = lutTasklet(sink)) {
             ctx->mramRead(first, block, last - first);
         } else {
             // No DMA model available: approximate the stall as
             // instructions so costs remain visible.
-            chargeInstr(sink, 8);
+            sink.charge(8);
             std::memcpy(block, core_->mramData() + first, last - first);
         }
         T value;
         std::memcpy(&value, block + (byteOff - first), sizeof(T));
         return value;
+    }
+
+    /**
+     * Read entry @p index, charging the placement-specific cost.
+     * Out-of-range indices are a logic error in the calling method.
+     */
+    T
+    read(uint32_t index, InstrSink* sink) const
+    {
+        SinkRef s(sink);
+        return readT(index, s);
     }
 
   private:

@@ -15,14 +15,8 @@ namespace transpim {
 float
 Polynomial::eval(float x, InstrSink* sink) const
 {
-    if (coeffs_.empty())
-        return 0.0f;
-    float acc = coeffs_.back();
-    for (size_t i = coeffs_.size() - 1; i-- > 0;) {
-        chargeInstr(sink, 2); // coefficient load + loop control
-        acc = sf::add(sf::mul(acc, x, sink), coeffs_[i], sink);
-    }
-    return acc;
+    SinkRef s(sink);
+    return evalT(x, s);
 }
 
 Polynomial

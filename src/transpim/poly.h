@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/instr_sink.h"
+#include "softfloat/softfloat_core.h"
 
 namespace tpl {
 namespace transpim {
@@ -32,6 +33,21 @@ class Polynomial
 
     /** Evaluate at @p x; degree() multiplies and adds. */
     float eval(float x, InstrSink* sink) const;
+
+    /** Sink-template body of eval() (batch path inlines it). */
+    template <class S>
+    float
+    evalT(float x, S& sink) const
+    {
+        if (coeffs_.empty())
+            return 0.0f;
+        float acc = coeffs_.back();
+        for (std::size_t i = coeffs_.size() - 1; i-- > 0;) {
+            sink.charge(2); // coefficient load + loop control
+            acc = sf::addT(sf::mulT(acc, x, sink), coeffs_[i], sink);
+        }
+        return acc;
+    }
 
     uint32_t degree() const
     {

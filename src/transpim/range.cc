@@ -1,132 +1,48 @@
-/**
- * @file
- * Range reduction / extension implementations.
- */
-
 #include "transpim/range.h"
-
-#include "common/bitops.h"
-#include "softfloat/softfloat.h"
-#include "transpim/ldexp.h"
 
 namespace tpl {
 namespace transpim {
 
-namespace {
-
-constexpr float kTwoPi = 6.28318530717958647692f;
-constexpr float kPi = 3.14159265358979323846f;
-constexpr float kHalfPi = 1.57079632679489661923f;
-constexpr float kInvTwoPi = 0.15915494309189533577f;
-constexpr float kLog2e = 1.44269504088896340736f;
-
-// Cody-Waite split of ln2: hi has a short mantissa so k*ln2Hi is exact
-// for the k range of interest, lo holds the residual.
-constexpr float kLn2Hi = 0.693145751953125f;       // 0x1.62e3p-1
-constexpr float kLn2Lo = 1.42860677e-06f;          // ln2 - kLn2Hi
-
-} // namespace
-
 float
 reduceTwoPi(float x, InstrSink* sink)
 {
-    // n = floor(x / 2pi); x - n * 2pi. One multiply by the reciprocal,
-    // a float->int floor, an int->float, a multiply and a subtract.
-    float t = sf::mul(x, kInvTwoPi, sink);
-    int32_t n = sf::toI32Floor(t, sink);
-    float fn = sf::fromI32(n, sink);
-    return sf::sub(x, sf::mul(fn, kTwoPi, sink), sink);
+    SinkRef s(sink);
+    return reduceTwoPiT(x, s);
 }
 
 QuadrantReduced
 reduceQuadrant(float x, InstrSink* sink)
 {
-    // Conditional subtraction: at most two compares and two subtracts,
-    // cheaper than the multiply-based reduction on a PIM core.
-    QuadrantReduced out{x, 0};
-    if (sf::le(kPi, out.r, sink)) {
-        out.r = sf::sub(out.r, kPi, sink);
-        out.q += 2;
-    }
-    if (sf::le(kHalfPi, out.r, sink)) {
-        out.r = sf::sub(out.r, kHalfPi, sink);
-        out.q += 1;
-    }
-    chargeInstr(sink, 2); // quadrant bookkeeping
-    return out;
+    SinkRef s(sink);
+    return reduceQuadrantT(x, s);
 }
 
 ExpSplit
 splitExp(float x, InstrSink* sink)
 {
-    ExpSplit out;
-    float t = sf::mul(x, kLog2e, sink);
-    out.k = sf::toI32Floor(t, sink);
-    float fk = sf::fromI32(out.k, sink);
-    // Cody-Waite: r = (x - k*ln2Hi) - k*ln2Lo keeps r accurate even
-    // though k*ln2 is not exactly representable.
-    float r = sf::sub(x, sf::mul(fk, kLn2Hi, sink), sink);
-    out.r = sf::sub(r, sf::mul(fk, kLn2Lo, sink), sink);
-    return out;
+    SinkRef s(sink);
+    return splitExpT(x, s);
 }
 
 LogSplit
 splitLog(float x, InstrSink* sink)
 {
-    uint32_t bits = floatBits(x);
-    int e = static_cast<int>(ieeeExponent(bits));
-    int k0 = 0;
-    if (e == 0) {
-        // Subnormal: normalize by scaling with 2^24 first.
-        x = pimLdexp(x, 24, sink);
-        bits = floatBits(x);
-        e = static_cast<int>(ieeeExponent(bits));
-        k0 = -24;
-    }
-    chargeInstr(sink, 6); // exponent extract, rebias, mantissa repack
-    LogSplit out;
-    out.k = e - ieeeBias + k0;
-    out.m = bitsToFloat(ieeePack(0, ieeeBias, ieeeMantissa(bits)));
-    return out;
+    SinkRef s(sink);
+    return splitLogT(x, s);
 }
 
 SqrtSplit
 splitSqrt(float x, InstrSink* sink)
 {
-    uint32_t bits = floatBits(x);
-    int e = static_cast<int>(ieeeExponent(bits));
-    int k0 = 0;
-    if (e == 0) {
-        // Subnormal: scale by 2^24 (even power, so k adjusts by 12).
-        x = pimLdexp(x, 24, sink);
-        bits = floatBits(x);
-        e = static_cast<int>(ieeeExponent(bits));
-        k0 = -12;
-    }
-    chargeInstr(sink, 8); // extract, halve exponent, repack
-    int eUnb = e - ieeeBias;
-    int k = (eUnb + 1) >> 1; // ceil(e/2): m lands in [0.5, 2)
-    int me = eUnb - 2 * k;   // 0 or -1
-    SqrtSplit out;
-    out.k = k + k0;
-    out.m = bitsToFloat(ieeePack(
-        0, static_cast<uint32_t>(ieeeBias + me), ieeeMantissa(bits)));
-    return out;
+    SinkRef s(sink);
+    return splitSqrtT(x, s);
 }
 
 Fixed
 reduceTwoPiFixed(Fixed x, InstrSink* sink)
 {
-    // Q3.28 holds < 8, so at most one conditional add/subtract of 2*pi
-    // is ever needed; the float pipeline performs the wide reduction.
-    chargeInstr(sink, 4);
-    int32_t twoPi = fixedTwoPi().raw();
-    int32_t v = x.raw();
-    if (v < 0)
-        v += twoPi;
-    if (v >= twoPi)
-        v -= twoPi;
-    return Fixed::fromRaw(v);
+    SinkRef s(sink);
+    return reduceTwoPiFixedT(x, s);
 }
 
 } // namespace transpim

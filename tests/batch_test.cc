@@ -1,0 +1,775 @@
+/**
+ * @file
+ * Batch-vs-scalar identity tier.
+ *
+ * The batch execution path (FunctionEvaluator::evalBatch, the batched
+ * softfloat entry points) must be *observationally identical* to the
+ * scalar path: bit-identical outputs and bit-identical accounting —
+ * LaunchStats cycles, the per-class instruction partition, operation
+ * counts, DMA totals and energy — for every (function, method,
+ * placement) combination the support matrix admits, on well-behaved
+ * inputs, degenerate sizes (empty, single element, non-multiple of
+ * any SIMD lane width) and NaN/Inf-laden inputs, with and without an
+ * armed fault plan, at any simulation thread count.
+ */
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pimsim/fault/fault.h"
+#include "pimsim/system.h"
+#include "softfloat/softfloat.h"
+#include "softfloat/softfloat64.h"
+#include "softfloat/softfloat_batch.h"
+#include "transpim/evaluator.h"
+
+namespace tpl {
+namespace transpim {
+namespace {
+
+using sim::DpuCore;
+using sim::LaunchStats;
+using sim::PimSystem;
+using sim::TaskletContext;
+
+constexpr Function kFunctions[] = {
+    Function::Sin,   Function::Cos,    Function::Tan,
+    Function::Sinh,  Function::Cosh,   Function::Tanh,
+    Function::Exp,   Function::Log,    Function::Sqrt,
+    Function::Gelu,  Function::Sigmoid, Function::Cndf,
+    Function::Atan,  Function::Asin,   Function::Acos,
+    Function::Atanh, Function::Log2,   Function::Log10,
+    Function::Exp2,  Function::Rsqrt,  Function::Erf,
+    Function::Silu,  Function::Softplus,
+};
+
+constexpr Method kMethods[] = {
+    Method::Cordic, Method::CordicFixed, Method::CordicLut,
+    Method::MLut,   Method::LLut,        Method::LLutFixed,
+    Method::DLut,   Method::DlLut,       Method::Poly,
+};
+
+/** Small-but-representative spec: quick tables, all paths exercised. */
+MethodSpec
+smallSpec(Method m, Placement p)
+{
+    MethodSpec spec;
+    spec.method = m;
+    spec.placement = p;
+    spec.interpolated = true;
+    spec.log2Entries = 8;
+    spec.iterations = 16;
+    spec.gridBits = 6;
+    spec.polyDegree = 7;
+    return spec;
+}
+
+std::string
+comboLabel(Function f, const MethodSpec& spec)
+{
+    return std::string(functionName(f)) + " / " + methodLabel(spec);
+}
+
+struct RunResult
+{
+    std::vector<float> outputs;
+    LaunchStats stats;
+};
+
+/**
+ * The Fig-5 streaming kernel on one core, scalar or batched. A fresh
+ * evaluator is created per run (table generation is deterministic, and
+ * LutStore binds attached tables to a single core).
+ */
+RunResult
+runStreaming(Function f, const MethodSpec& spec,
+             const std::vector<float>& inputs, uint32_t tasklets,
+             bool batch)
+{
+    FunctionEvaluator ev = FunctionEvaluator::create(f, spec);
+    DpuCore dpu;
+    ev.attach(dpu);
+
+    const uint32_t n = static_cast<uint32_t>(inputs.size());
+    const uint32_t bytes = n * sizeof(float);
+    uint32_t inAddr = dpu.mramAlloc(bytes ? bytes : 8);
+    uint32_t outAddr = dpu.mramAlloc(bytes ? bytes : 8);
+    if (bytes)
+        dpu.hostWriteMram(inAddr, inputs.data(), bytes);
+
+    RunResult r;
+    r.stats = dpu.launch(tasklets, [&](TaskletContext& ctx) {
+        constexpr uint32_t chunkElems = 64;
+        float buf[chunkElems];
+        uint32_t chunks = (n + chunkElems - 1) / chunkElems;
+        for (uint32_t c = ctx.taskletId(); c < chunks;
+             c += ctx.numTasklets()) {
+            uint32_t beg = c * chunkElems;
+            uint32_t cnt = std::min(chunkElems, n - beg);
+            ctx.mramRead(inAddr + beg * sizeof(float), buf,
+                         cnt * sizeof(float));
+            if (batch) {
+                ctx.chargeClassN(InstrClass::IntAlu, 4, cnt);
+                std::span<float> s(buf, cnt);
+                ev.evalBatch(s, s, &ctx);
+            } else {
+                for (uint32_t i = 0; i < cnt; ++i) {
+                    ctx.charge(4);
+                    buf[i] = ev.eval(buf[i], &ctx);
+                }
+            }
+            ctx.mramWrite(outAddr + beg * sizeof(float), buf,
+                          cnt * sizeof(float));
+        }
+    });
+    r.outputs.assign(n, 0.0f);
+    if (bytes)
+        dpu.hostReadMram(outAddr, r.outputs.data(), bytes);
+    return r;
+}
+
+/** Full LaunchStats equality, including the per-tasklet breakdown. */
+void
+expectStatsIdentical(const LaunchStats& a, const LaunchStats& b,
+                     const std::string& label)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << label;
+    EXPECT_EQ(a.totalInstructions, b.totalInstructions) << label;
+    EXPECT_EQ(a.maxTaskletWork, b.maxTaskletWork) << label;
+    EXPECT_EQ(a.dmaEngineCycles, b.dmaEngineCycles) << label;
+    EXPECT_EQ(a.dmaBytes, b.dmaBytes) << label;
+    EXPECT_EQ(a.stallCycles, b.stallCycles) << label;
+    EXPECT_EQ(a.tasklets, b.tasklets) << label;
+    EXPECT_EQ(a.energyJoules, b.energyJoules) << label;
+    EXPECT_EQ(a.failed, b.failed) << label;
+    EXPECT_EQ(a.faultEvents, b.faultEvents) << label;
+    for (int c = 0; c < numInstrClasses; ++c)
+        EXPECT_EQ(a.classInstructions[c], b.classInstructions[c])
+            << label << " class "
+            << instrClassName(static_cast<InstrClass>(c));
+    for (int o = 0; o < numOpClasses; ++o)
+        EXPECT_EQ(a.opCounts[o], b.opCounts[o])
+            << label << " op " << opClassSlug(static_cast<OpClass>(o));
+    ASSERT_EQ(a.perTasklet.size(), b.perTasklet.size()) << label;
+    for (size_t t = 0; t < a.perTasklet.size(); ++t) {
+        EXPECT_EQ(a.perTasklet[t].instructions,
+                  b.perTasklet[t].instructions)
+            << label << " tasklet " << t;
+        EXPECT_EQ(a.perTasklet[t].dmaStallCycles,
+                  b.perTasklet[t].dmaStallCycles)
+            << label << " tasklet " << t;
+    }
+}
+
+void
+expectOutputsBitIdentical(const std::vector<float>& a,
+                          const std::vector<float>& b,
+                          const std::string& label)
+{
+    ASSERT_EQ(a.size(), b.size()) << label;
+    if (!a.empty()) {
+        EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                                 a.size() * sizeof(float)))
+            << label;
+    }
+}
+
+void
+expectBatchMatchesScalar(Function f, const MethodSpec& spec,
+                         const std::vector<float>& inputs,
+                         uint32_t tasklets)
+{
+    std::string label = comboLabel(f, spec);
+    RunResult scalar = runStreaming(f, spec, inputs, tasklets, false);
+    RunResult batch = runStreaming(f, spec, inputs, tasklets, true);
+    expectOutputsBitIdentical(scalar.outputs, batch.outputs, label);
+    expectStatsIdentical(scalar.stats, batch.stats, label);
+}
+
+// ---------------------------------------------------------------------
+// Full support matrix: every (function, method, placement).
+// ---------------------------------------------------------------------
+
+class BatchIdentity : public ::testing::TestWithParam<Method>
+{};
+
+TEST_P(BatchIdentity, WholeCatalogBitIdenticalToScalar)
+{
+    const Method m = GetParam();
+    for (Function f : kFunctions) {
+        for (Placement p : {Placement::Wram, Placement::Mram}) {
+            MethodSpec spec = smallSpec(m, p);
+            if (!FunctionEvaluator::supports(f, spec))
+                continue;
+            Domain dom = functionDomain(f);
+            // 193 elements: a ragged final chunk and a count that is
+            // not a multiple of any SIMD lane width.
+            std::vector<float> inputs = uniformFloats(
+                193, static_cast<float>(dom.lo),
+                static_cast<float>(dom.hi), 1234 + spec.log2Entries);
+            expectBatchMatchesScalar(f, spec, inputs, 3);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, BatchIdentity, ::testing::ValuesIn(kMethods),
+    [](const ::testing::TestParamInfo<Method>& info) {
+        std::string name(methodName(info.param));
+        for (char& c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+// ---------------------------------------------------------------------
+// Degenerate sizes and adversarial values on representative combos.
+// ---------------------------------------------------------------------
+
+struct Combo
+{
+    Function f;
+    Method m;
+    Placement p;
+};
+
+constexpr Combo kRepresentatives[] = {
+    {Function::Sin, Method::LLut, Placement::Mram},
+    {Function::Sin, Method::MLut, Placement::Wram},
+    {Function::Exp, Method::Cordic, Placement::Wram},
+    {Function::Tanh, Method::LLutFixed, Placement::Wram},
+    {Function::Log, Method::DLut, Placement::Mram},
+    {Function::Sqrt, Method::DlLut, Placement::Mram},
+    {Function::Sigmoid, Method::CordicLut, Placement::Wram},
+    {Function::Erf, Method::Poly, Placement::Wram},
+    {Function::Sin, Method::CordicFixed, Placement::Wram},
+};
+
+TEST(BatchEdgeCases, DegenerateSizesBitIdentical)
+{
+    for (const Combo& combo : kRepresentatives) {
+        MethodSpec spec = smallSpec(combo.m, combo.p);
+        ASSERT_TRUE(FunctionEvaluator::supports(combo.f, spec));
+        Domain dom = functionDomain(combo.f);
+        for (uint32_t n : {0u, 1u, 5u, 37u}) {
+            std::vector<float> inputs = uniformFloats(
+                n, static_cast<float>(dom.lo),
+                static_cast<float>(dom.hi), 7 * n + 1);
+            expectBatchMatchesScalar(combo.f, spec, inputs, 4);
+        }
+    }
+}
+
+TEST(BatchEdgeCases, NanAndInfLadenInputsBitIdentical)
+{
+    const float specials[] = {
+        std::numeric_limits<float>::quiet_NaN(),
+        std::numeric_limits<float>::infinity(),
+        -std::numeric_limits<float>::infinity(),
+        0.0f,
+        -0.0f,
+        1e-42f, // subnormal
+        -1e-42f,
+        std::numeric_limits<float>::max(),
+        -std::numeric_limits<float>::max(),
+        std::numeric_limits<float>::min(),
+        1.5f,
+        -2.25f,
+        3.0e20f,
+        -7.0e-20f,
+    };
+    std::vector<float> inputs;
+    for (int rep = 0; rep < 5; ++rep)
+        for (float s : specials)
+            inputs.push_back(s);
+    inputs.resize(67); // ragged, non-lane-multiple tail
+
+    for (const Combo& combo : kRepresentatives) {
+        MethodSpec spec = smallSpec(combo.m, combo.p);
+        expectBatchMatchesScalar(combo.f, spec, inputs, 4);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-armed equivalence across simulation thread counts.
+// ---------------------------------------------------------------------
+
+struct FaultedRun
+{
+    std::vector<float> outputs;
+    std::vector<LaunchStats> perDpu;
+    sim::ShardedRunReport report;
+};
+
+FaultedRun
+runFaultedSharded(bool batch, uint32_t threads)
+{
+    constexpr uint32_t kDpus = 8;
+    constexpr uint32_t kPerDpu = 512;
+    constexpr uint64_t kTotal = kDpus * kPerDpu;
+
+    MethodSpec spec = smallSpec(Method::LLut, Placement::Mram);
+    Domain dom = functionDomain(Function::Sin);
+    std::vector<float> inputs = uniformFloats(
+        kTotal, static_cast<float>(dom.lo),
+        static_cast<float>(dom.hi), 4242);
+
+    PimSystem sys(kDpus);
+    sys.setSimThreads(threads);
+
+    std::vector<FunctionEvaluator> evals(kDpus);
+    for (uint32_t d = 0; d < kDpus; ++d) {
+        evals[d] = FunctionEvaluator::create(Function::Sin, spec);
+        evals[d].attach(sys.dpu(d));
+    }
+
+    sim::fault::FaultPlan plan;
+    plan.seed = 99;
+    sim::fault::FaultSpec flip;
+    flip.kind = sim::fault::FaultKind::MramBitFlip;
+    flip.dpu = 1;
+    flip.addr = 512;
+    flip.bit = 3;
+    flip.triggerAfter = 0;
+    plan.faults.push_back(flip);
+    sim::fault::FaultSpec straggler;
+    straggler.kind = sim::fault::FaultKind::DpuStraggler;
+    straggler.dpu = -1;
+    straggler.probability = 0.5;
+    straggler.slowdown = 3.0;
+    plan.faults.push_back(straggler);
+    sim::fault::FaultSpec timeout;
+    timeout.kind = sim::fault::FaultKind::DmaTimeout;
+    timeout.dpu = -1;
+    timeout.probability = 0.1;
+    timeout.extraStallCycles = 2000;
+    plan.faults.push_back(timeout);
+    sys.armFaults(plan);
+
+    FaultedRun r;
+    r.outputs.assign(kTotal, 0.0f);
+    r.report = sys.runSharded(
+        inputs.data(), r.outputs.data(), kTotal, sizeof(float), 4,
+        [&](const sim::ShardTask& t) -> sim::Kernel {
+            const FunctionEvaluator* evp = &evals[t.dpu];
+            return [evp, t, batch](TaskletContext& ctx) {
+                constexpr uint32_t chunkElems = 32;
+                float buf[chunkElems];
+                uint32_t chunks =
+                    (t.elements + chunkElems - 1) / chunkElems;
+                for (uint32_t c = ctx.taskletId(); c < chunks;
+                     c += ctx.numTasklets()) {
+                    uint32_t beg = c * chunkElems;
+                    uint32_t cnt =
+                        std::min(chunkElems, t.elements - beg);
+                    ctx.mramRead(t.inAddr + beg * sizeof(float), buf,
+                                 cnt * sizeof(float));
+                    if (batch) {
+                        ctx.chargeClassN(InstrClass::IntAlu, 4, cnt);
+                        std::span<float> s(buf, cnt);
+                        evp->evalBatch(s, s, &ctx);
+                    } else {
+                        for (uint32_t i = 0; i < cnt; ++i) {
+                            ctx.charge(4);
+                            buf[i] = evp->eval(buf[i], &ctx);
+                        }
+                    }
+                    ctx.mramWrite(t.outAddr + beg * sizeof(float),
+                                  buf, cnt * sizeof(float));
+                }
+            };
+        });
+    for (uint32_t d = 0; d < kDpus; ++d)
+        r.perDpu.push_back(sys.dpu(d).lastLaunch());
+    return r;
+}
+
+TEST(BatchFaultEquivalence, ArmedPlanAtAnyThreadCount)
+{
+    FaultedRun scalarRef = runFaultedSharded(false, 1);
+    for (uint32_t threads : {1u, 4u, 16u}) {
+        std::string label =
+            "threads=" + std::to_string(threads);
+        FaultedRun scalar = runFaultedSharded(false, threads);
+        FaultedRun batch = runFaultedSharded(true, threads);
+
+        // Batch vs scalar at this thread count.
+        expectOutputsBitIdentical(scalar.outputs, batch.outputs,
+                                  label);
+        ASSERT_EQ(scalar.perDpu.size(), batch.perDpu.size()) << label;
+        for (size_t d = 0; d < scalar.perDpu.size(); ++d)
+            expectStatsIdentical(scalar.perDpu[d], batch.perDpu[d],
+                                 label + " dpu " + std::to_string(d));
+        EXPECT_EQ(scalar.report.complete, batch.report.complete)
+            << label;
+        EXPECT_EQ(scalar.report.waves, batch.report.waves) << label;
+        EXPECT_EQ(scalar.report.modeledSeconds,
+                  batch.report.modeledSeconds)
+            << label;
+
+        // Thread-count determinism of both paths.
+        expectOutputsBitIdentical(scalarRef.outputs, scalar.outputs,
+                                  label + " vs single-thread");
+        expectOutputsBitIdentical(scalarRef.outputs, batch.outputs,
+                                  label + " vs single-thread");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched softfloat entry points: value + charge differentials.
+// ---------------------------------------------------------------------
+
+/** Class- and op-partitioned counting sink. */
+class ClassSink : public InstrSink
+{
+  public:
+    void charge(uint32_t n) override
+    {
+        chargeClass(InstrClass::IntAlu, n);
+    }
+
+    void chargeClass(InstrClass cls, uint32_t n) override
+    {
+        cls_[static_cast<int>(cls)] += n;
+    }
+
+    void note(OpClass op) override { ++ops_[static_cast<int>(op)]; }
+
+    void chargeClassN(InstrClass cls, uint32_t perElem,
+                      uint64_t n) override
+    {
+        cls_[static_cast<int>(cls)] +=
+            static_cast<uint64_t>(perElem) * n;
+    }
+
+    void noteN(OpClass op, uint64_t n) override
+    {
+        ops_[static_cast<int>(op)] += n;
+    }
+
+    std::array<uint64_t, numInstrClasses> cls_{};
+    std::array<uint64_t, numOpClasses> ops_{};
+};
+
+void
+expectSinksEqual(const ClassSink& a, const ClassSink& b,
+                 const std::string& label)
+{
+    for (int c = 0; c < numInstrClasses; ++c)
+        EXPECT_EQ(a.cls_[c], b.cls_[c])
+            << label << " class "
+            << instrClassName(static_cast<InstrClass>(c));
+    for (int o = 0; o < numOpClasses; ++o)
+        EXPECT_EQ(a.ops_[o], b.ops_[o])
+            << label << " op " << opClassSlug(static_cast<OpClass>(o));
+}
+
+/** Deterministic 32-bit pattern stream (xorshift), specials mixed in. */
+std::vector<uint32_t>
+bitPatterns32(size_t n, uint32_t seed)
+{
+    std::vector<uint32_t> v(n);
+    uint32_t x = seed | 1u;
+    for (size_t i = 0; i < n; ++i) {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        v[i] = x;
+    }
+    const uint32_t specials[] = {
+        0x7fc00000u, 0x7f800000u, 0xff800000u, 0x00000000u,
+        0x80000000u, 0x00000001u, 0x7f7fffffu, 0x00800000u,
+    };
+    for (size_t i = 0; i < std::min(v.size(), sizeof(specials) / 4);
+         ++i)
+        v[i] = specials[i];
+    return v;
+}
+
+TEST(SoftfloatBatch, Binary32OpsMatchScalarBitwiseAndInCharges)
+{
+    // 1031: prime, so never a multiple of any SIMD lane width.
+    const size_t n = 1031;
+    std::vector<uint32_t> pa = bitPatterns32(n, 17);
+    std::vector<uint32_t> pb = bitPatterns32(n, 29);
+    std::vector<float> a(n), b(n);
+    std::memcpy(a.data(), pa.data(), n * 4);
+    std::memcpy(b.data(), pb.data(), n * 4);
+
+    struct Op
+    {
+        const char* name;
+        float (*scalar)(float, float, InstrSink*);
+        void (*batchFn)(std::span<const float>,
+                        std::span<const float>, std::span<float>,
+                        InstrSink*);
+    };
+    const Op ops[] = {
+        {"add", &sf::add, &sf::addN},
+        {"sub", &sf::sub, &sf::subN},
+        {"mul", &sf::mul, &sf::mulN},
+        {"div", &sf::div, &sf::divN},
+    };
+    for (const Op& op : ops) {
+        ClassSink ss, bs;
+        std::vector<float> want(n), got(n);
+        for (size_t i = 0; i < n; ++i)
+            want[i] = op.scalar(a[i], b[i], &ss);
+        op.batchFn(a, b, got, &bs);
+        EXPECT_EQ(0, std::memcmp(want.data(), got.data(), n * 4))
+            << op.name;
+        expectSinksEqual(ss, bs, op.name);
+    }
+
+    // sqrt (unary).
+    {
+        ClassSink ss, bs;
+        std::vector<float> want(n), got(n);
+        for (size_t i = 0; i < n; ++i)
+            want[i] = sf::sqrt(a[i], &ss);
+        sf::sqrtN(a, got, &bs);
+        EXPECT_EQ(0, std::memcmp(want.data(), got.data(), n * 4))
+            << "sqrt";
+        expectSinksEqual(ss, bs, "sqrt");
+    }
+
+    // Aliasing: out == a must behave like the scalar in-place update.
+    {
+        std::vector<float> inPlace = a;
+        std::vector<float> want(n);
+        for (size_t i = 0; i < n; ++i)
+            want[i] = sf::add(a[i], b[i], nullptr);
+        sf::addN(inPlace, b, inPlace, nullptr);
+        EXPECT_EQ(0, std::memcmp(want.data(), inPlace.data(), n * 4));
+    }
+}
+
+TEST(SoftfloatBatch, ConversionsMatchScalarBitwiseAndInCharges)
+{
+    const size_t n = 517;
+    std::vector<uint32_t> pa = bitPatterns32(n, 43);
+    std::vector<float> a(n);
+    std::memcpy(a.data(), pa.data(), n * 4);
+    // Keep conversion inputs in i32 range where behavior is defined,
+    // plus the specials kept verbatim up front.
+    for (size_t i = 8; i < n; ++i) {
+        uint32_t exp = (pa[i] >> 23) & 0xffu;
+        if (exp > 157u) // |x| >= 2^30: clamp path, still defined
+            a[i] = (pa[i] & 0x80000000u) ? -3.1e9f : 3.1e9f;
+    }
+
+    struct Conv
+    {
+        const char* name;
+        int32_t (*scalar)(float, InstrSink*);
+        void (*batchFn)(std::span<const float>, std::span<int32_t>,
+                        InstrSink*);
+    };
+    const Conv convs[] = {
+        {"toI32Trunc", &sf::toI32Trunc, &sf::toI32TruncN},
+        {"toI32Floor", &sf::toI32Floor, &sf::toI32FloorN},
+        {"toI32Round", &sf::toI32Round, &sf::toI32RoundN},
+    };
+    for (const Conv& conv : convs) {
+        ClassSink ss, bs;
+        std::vector<int32_t> want(n), got(n);
+        for (size_t i = 0; i < n; ++i)
+            want[i] = conv.scalar(a[i], &ss);
+        conv.batchFn(a, got, &bs);
+        EXPECT_EQ(want, got) << conv.name;
+        expectSinksEqual(ss, bs, conv.name);
+    }
+
+    {
+        ClassSink ss, bs;
+        std::vector<int32_t> ints(n);
+        for (size_t i = 0; i < n; ++i)
+            ints[i] = static_cast<int32_t>(pa[i]);
+        std::vector<float> want(n), got(n);
+        for (size_t i = 0; i < n; ++i)
+            want[i] = sf::fromI32(ints[i], &ss);
+        sf::fromI32N(ints, got, &bs);
+        EXPECT_EQ(0, std::memcmp(want.data(), got.data(), n * 4))
+            << "fromI32";
+        expectSinksEqual(ss, bs, "fromI32");
+    }
+}
+
+TEST(SoftfloatBatch, Binary16TierMatchesScalarBitwiseAndInCharges)
+{
+    const size_t n = 773;
+    std::vector<uint32_t> bits = bitPatterns32(n, 91);
+    std::vector<sf::Half> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i].bits = static_cast<uint16_t>(bits[i]);
+        b[i].bits = static_cast<uint16_t>(bits[i] >> 16);
+    }
+
+    struct Op16
+    {
+        const char* name;
+        sf::Half (*scalar)(sf::Half, sf::Half, InstrSink*);
+        void (*batchFn)(std::span<const sf::Half>,
+                        std::span<const sf::Half>,
+                        std::span<sf::Half>, InstrSink*);
+    };
+    const Op16 ops[] = {
+        {"add16", &sf::add16, &sf::add16N},
+        {"sub16", &sf::sub16, &sf::sub16N},
+        {"mul16", &sf::mul16, &sf::mul16N},
+        {"div16", &sf::div16, &sf::div16N},
+    };
+    for (const Op16& op : ops) {
+        ClassSink ss, bs;
+        std::vector<sf::Half> want(n), got(n);
+        for (size_t i = 0; i < n; ++i)
+            want[i] = op.scalar(a[i], b[i], &ss);
+        op.batchFn(a, b, got, &bs);
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(want[i].bits, got[i].bits)
+                << op.name << " at " << i;
+        expectSinksEqual(ss, bs, op.name);
+    }
+
+    // f32 <-> f16 conversions.
+    {
+        ClassSink ss, bs;
+        std::vector<float> fa(n);
+        std::memcpy(fa.data(), bits.data(), n * 4);
+        std::vector<sf::Half> want(n), got(n);
+        for (size_t i = 0; i < n; ++i)
+            want[i] = sf::toF16(fa[i], &ss);
+        sf::toF16N(fa, got, &bs);
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(want[i].bits, got[i].bits) << "toF16 at " << i;
+        expectSinksEqual(ss, bs, "toF16");
+    }
+    {
+        ClassSink ss, bs;
+        std::vector<float> want(n), got(n);
+        for (size_t i = 0; i < n; ++i)
+            want[i] = sf::fromF16(a[i], &ss);
+        sf::fromF16N(a, got, &bs);
+        EXPECT_EQ(0, std::memcmp(want.data(), got.data(), n * 4))
+            << "fromF16";
+        expectSinksEqual(ss, bs, "fromF16");
+    }
+}
+
+TEST(SoftfloatBatch, Binary64TierMatchesScalarBitwiseAndInCharges)
+{
+    const size_t n = 641;
+    std::vector<uint32_t> lo = bitPatterns32(n, 5);
+    std::vector<uint32_t> hi = bitPatterns32(n, 11);
+    std::vector<double> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t ba = (static_cast<uint64_t>(hi[i]) << 32) | lo[i];
+        uint64_t bb =
+            (static_cast<uint64_t>(lo[(i + 7) % n]) << 32) | hi[i];
+        std::memcpy(&a[i], &ba, 8);
+        std::memcpy(&b[i], &bb, 8);
+    }
+
+    struct Op64
+    {
+        const char* name;
+        double (*scalar)(double, double, InstrSink*);
+        void (*batchFn)(std::span<const double>,
+                        std::span<const double>, std::span<double>,
+                        InstrSink*);
+    };
+    const Op64 ops[] = {
+        {"add64", &sf::add64, &sf::add64N},
+        {"sub64", &sf::sub64, &sf::sub64N},
+        {"mul64", &sf::mul64, &sf::mul64N},
+        {"div64", &sf::div64, &sf::div64N},
+    };
+    for (const Op64& op : ops) {
+        ClassSink ss, bs;
+        std::vector<double> want(n), got(n);
+        for (size_t i = 0; i < n; ++i)
+            want[i] = op.scalar(a[i], b[i], &ss);
+        op.batchFn(a, b, got, &bs);
+        EXPECT_EQ(0, std::memcmp(want.data(), got.data(), n * 8))
+            << op.name;
+        expectSinksEqual(ss, bs, op.name);
+    }
+
+    // f32 <-> f64 conversions.
+    {
+        ClassSink ss, bs;
+        std::vector<float> fa(n);
+        std::memcpy(fa.data(), lo.data(), n * 4);
+        std::vector<double> want(n), got(n);
+        for (size_t i = 0; i < n; ++i)
+            want[i] = sf::fromF32(fa[i], &ss);
+        sf::fromF32N(fa, got, &bs);
+        EXPECT_EQ(0, std::memcmp(want.data(), got.data(), n * 8))
+            << "fromF32";
+        expectSinksEqual(ss, bs, "fromF32");
+    }
+    {
+        ClassSink ss, bs;
+        std::vector<float> want(n), got(n);
+        for (size_t i = 0; i < n; ++i)
+            want[i] = sf::toF32(a[i], &ss);
+        sf::toF32N(a, got, &bs);
+        EXPECT_EQ(0, std::memcmp(want.data(), got.data(), n * 4))
+            << "toF32";
+        expectSinksEqual(ss, bs, "toF32");
+    }
+}
+
+// ---------------------------------------------------------------------
+// BatchStats plumbing.
+// ---------------------------------------------------------------------
+
+TEST(BatchStatsApi, AccumulatesElementsAndMirrorsSinkTotals)
+{
+    MethodSpec spec = smallSpec(Method::LLut, Placement::Wram);
+    FunctionEvaluator ev =
+        FunctionEvaluator::create(Function::Sin, spec);
+
+    std::vector<float> in = uniformFloats(100, 0.0f, 6.28f, 5);
+    std::vector<float> out(100);
+
+    ClassSink sink;
+    BatchStats stats;
+    ev.evalBatch(std::span<const float>(in),
+                 std::span<float>(out), &sink, &stats);
+    const uint64_t onePassInstructions = stats.totalInstructions();
+    ev.evalBatch(std::span<const float>(in).subspan(0, 28),
+                 std::span<float>(out).subspan(0, 28), &sink, &stats);
+
+    EXPECT_EQ(128u, stats.elements);
+    uint64_t sinkTotal = 0;
+    for (int c = 0; c < numInstrClasses; ++c) {
+        EXPECT_EQ(stats.classInstructions[c], sink.cls_[c])
+            << instrClassName(static_cast<InstrClass>(c));
+        sinkTotal += sink.cls_[c];
+    }
+    EXPECT_EQ(sinkTotal, stats.totalInstructions());
+    for (int o = 0; o < numOpClasses; ++o)
+        EXPECT_EQ(stats.opCounts[o], sink.ops_[o])
+            << opClassSlug(static_cast<OpClass>(o));
+
+    // The stats-only overload charges exactly like the sink overload.
+    BatchStats again;
+    ev.evalBatch(std::span<const float>(in), std::span<float>(out),
+                 again);
+    EXPECT_EQ(100u, again.elements);
+    EXPECT_EQ(onePassInstructions, again.totalInstructions());
+}
+
+} // namespace
+} // namespace transpim
+} // namespace tpl

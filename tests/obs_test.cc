@@ -702,5 +702,53 @@ TEST(DpuMetrics, LaunchReportsIntoTheGlobalRegistry)
     reg.reset();
 }
 
+TEST(DpuMetrics, CachedCounterHandlesMatchPerLaunchLookups)
+{
+    // The launch report site resolves its metric handles once and
+    // reuses them; the registry totals must stay exactly what
+    // per-launch name lookups would have produced, across repeated
+    // launches (first launch builds the cache, second reuses it).
+    obs::Registry& reg = obs::Registry::global();
+    reg.reset();
+    reg.setEnabled(true);
+
+    sim::DpuCore dpu;
+    sim::LaunchStats a = runAllClassKernel(dpu, 4, 512);
+    dpu.resetAllocators();
+    sim::LaunchStats b = runAllClassKernel(dpu, 8, 512);
+
+    reg.setEnabled(false);
+
+    EXPECT_EQ(2u, reg.counter("pimsim/dpu/launches").value());
+    EXPECT_EQ(a.cycles + b.cycles,
+              reg.counter("pimsim/dpu/cycles").value());
+    EXPECT_EQ(a.totalInstructions + b.totalInstructions,
+              reg.counter("pimsim/dpu/instructions").value());
+    EXPECT_EQ(a.stallCycles + b.stallCycles,
+              reg.counter("pimsim/dpu/stall_cycles").value());
+    EXPECT_EQ(a.dmaBytes + b.dmaBytes,
+              reg.counter("pimsim/dpu/dma/bytes").value());
+    EXPECT_EQ(a.dmaEngineCycles + b.dmaEngineCycles,
+              reg.counter("pimsim/dpu/dma/engine_cycles").value());
+    for (int c = 0; c < numInstrClasses; ++c) {
+        EXPECT_EQ(a.classInstructions[c] + b.classInstructions[c],
+                  reg.counter(std::string("pimsim/dpu/instr/") +
+                              instrClassName(
+                                  static_cast<InstrClass>(c)))
+                      .value())
+            << instrClassName(static_cast<InstrClass>(c));
+    }
+    for (int o = 0; o < numOpClasses; ++o) {
+        EXPECT_EQ(a.opCounts[o] + b.opCounts[o],
+                  reg.counter(std::string("pimsim/dpu/ops/") +
+                              opClassSlug(static_cast<OpClass>(o)))
+                      .value())
+            << opClassSlug(static_cast<OpClass>(o));
+    }
+    EXPECT_EQ(2u,
+              reg.histogram("pimsim/dpu/cycles_per_launch").count());
+    reg.reset();
+}
+
 } // namespace
 } // namespace tpl

@@ -138,6 +138,31 @@ TEST(DpuDma, MramReadMovesDataAndCharges)
     EXPECT_EQ(dpu.model().dmaSetupCycles + 128u, stats.dmaEngineCycles);
 }
 
+TEST(DpuDma, BoundarySizedDmaCycleMathStays64Bit)
+{
+    // One bank-boundary-sized DMA with a swept per-byte cost whose
+    // streaming term (2^25 bytes * 256 cycles/byte = 2^33 cycles)
+    // exceeds uint32_t. If accountDma ever multiplied in 32-bit
+    // arithmetic the term would wrap to zero; the engine total must be
+    // exact.
+    CostModel model;
+    model.mramBytes = 32u * 1024 * 1024;
+    model.dmaCyclesPerByte = 256.0;
+    DpuCore dpu(model);
+    const uint32_t size = model.mramBytes;
+    std::vector<uint8_t> buf(size);
+    LaunchStats stats = dpu.launch(1, [&](TaskletContext& ctx) {
+        ctx.mramRead(0, buf.data(), size);
+    });
+    const uint64_t streaming = static_cast<uint64_t>(size) * 256u;
+    EXPECT_EQ(model.dmaSetupCycles + streaming,
+              stats.dmaEngineCycles);
+    EXPECT_EQ(static_cast<uint64_t>(size), stats.dmaBytes);
+    // The issuing tasklet stalls for latency + engine occupancy, and
+    // the launch is DMA-bound, so cycles carry the full 64-bit term.
+    EXPECT_GE(stats.cycles, streaming);
+}
+
 TEST(DpuDma, WriteBackVisibleToHost)
 {
     DpuCore dpu;
