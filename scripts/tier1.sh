@@ -16,10 +16,12 @@ SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 TRACE_TMP=""
 FAULT_TMP=""
 DOCS_TMP=""
+CHECK_TMP=""
 cleanup() {
     [ -n "$TRACE_TMP" ] && rm -rf "$TRACE_TMP"
     [ -n "$FAULT_TMP" ] && rm -rf "$FAULT_TMP"
     [ -n "$DOCS_TMP" ] && rm -rf "$DOCS_TMP"
+    [ -n "$CHECK_TMP" ] && rm -rf "$CHECK_TMP"
     return 0
 }
 trap cleanup EXIT
@@ -132,4 +134,35 @@ if [ "${TPL_TIER1_DOCS:-0}" = "1" ]; then
     python3 -m json.tool "$DOCS_TMP/serve.metrics.json" > /dev/null
     grep -q 'serve/' "$DOCS_TMP/serve.metrics.json"
     echo "check_docs + pimserve demo replay JSON round-trip OK"
+fi
+
+# With TPL_TIER1_CHECK=1, gate the shipped mini-ISA kernels on the
+# static analyses: pimkernels instantiates them, every kernel must
+# lint clean with a finite cycle bound (--werror --cost), the
+# multi-tasklet kernels must come back race-free from the exhaustive
+# interleaving explorer, and the emitted certificate JSON must
+# round-trip through a JSON parser. The plain llut kernel is
+# single-owner by design — it is cost-checked but NOT in the
+# multi-tasklet set (the explorer would rightly flag it).
+if [ "${TPL_TIER1_CHECK:-0}" = "1" ]; then
+    CHECK_TMP=$(mktemp -d)
+    "$BUILD_DIR/tools/pimkernels" --dir "$CHECK_TMP"
+    for kernel in $("$BUILD_DIR/tools/pimkernels" --list); do
+        "$BUILD_DIR/tools/pimlint" --werror --cost --tasklets 4 \
+            "$CHECK_TMP/$kernel.s"
+    done
+    for kernel in llut_par cordic; do
+        "$BUILD_DIR/tools/pimlint" --werror --cost --tasklets 4 \
+            --interleave 3 --json "$CHECK_TMP/$kernel.s" \
+            > "$CHECK_TMP/$kernel.cert.json"
+        python3 - "$CHECK_TMP/$kernel.cert.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["errors"] == 0, doc
+cert = doc["files"][0]["certificate"]
+assert cert["bound"]["bounded"], cert
+assert cert["interleave"]["verdict"] == "race-free", cert
+PYEOF
+    done
+    echo "pimkernels + pimlint cost/interleave certificates OK"
 fi

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Static cycle bounds for mini-ISA kernels.
+ *
+ * Walks the natural-loop forest (loops.h) against the same cost model
+ * the interpreter charges (cost_model.h: pipeline dispatch interval,
+ * DMA setup + per-byte streaming + latency, emulated-multiply
+ * expansion) and produces a per-launch [BCET, WCET] cycle interval
+ * plus a per-InstrClass worst-case partition —*without running the
+ * kernel*. The interval is sound: for every execution of the program
+ * under the interpreter, the launch's modeled `LaunchStats::cycles`
+ * falls inside `[bcet, wcet]` (locked by tests/bound_test.cc, which
+ * asserts containment for every shipped kernel at several tasklet
+ * counts).
+ *
+ * Where costs are data-dependent the pass brackets them:
+ *  - `mul`/`mulh` charge 12..36 instructions depending on operand
+ *    byte patterns; constant operands tighten the interval, a single
+ *    constant operand caps the row count.
+ *  - branch alternatives merge elementwise (min of mins, max of maxs).
+ *  - loops multiply the per-iteration interval by the trip count from
+ *    loops.h; a loop with unknown trip (and no `@trip` annotation)
+ *    makes the program unbounded — reported, not guessed.
+ *  - a DMA whose size register is not statically constant is
+ *    unbounded too: the interpreter transfers whatever the register
+ *    holds (the runtime sanitizer, not the ISA, enforces the 2048-byte
+ *    cap), so no static charge brackets it.
+ */
+
+#ifndef TPL_PIMSIM_ANALYSIS_BOUND_H
+#define TPL_PIMSIM_ANALYSIS_BOUND_H
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/instr_sink.h"
+#include "pimsim/cost_model.h"
+#include "pimsim/isa.h"
+
+namespace tpl {
+namespace sim {
+namespace check {
+
+/** Inputs to the bound computation. */
+struct BoundOptions
+{
+    /** Cost model to bound against (must match the launch's). */
+    CostModel model{};
+    /** Tasklets the launch will run (1..model.maxTasklets). */
+    uint32_t tasklets = 1;
+    /** `@trip(N)` annotations (see loops.h), keyed by source line. */
+    std::map<uint32_t, uint64_t> tripAnnotations;
+};
+
+/**
+ * Static cycle bound of one kernel launch. All `*Min`/`*Max` fields
+ * are per-tasklet path intervals (every tasklet runs the same
+ * program; tid-dependent paths are covered by the interval);
+ * `bcet`/`wcet`/`classWorst` are launch-level reconstructions for
+ * `tasklets` tasklets via the revolver-pipeline formula.
+ */
+struct CycleBound
+{
+    /** False when no finite bound exists; see `reason`. */
+    bool bounded = false;
+    /** Human-readable cause when !bounded (unknown trip count,
+     * non-constant DMA size, irreducible control flow, ...). */
+    std::string reason;
+
+    uint32_t tasklets = 1;  ///< launch size the bound is for
+    uint64_t bcet = 0;      ///< best-case modeled launch cycles
+    uint64_t wcet = 0;      ///< worst-case modeled launch cycles
+
+    /// @name Per-tasklet path intervals.
+    /// @{
+    uint64_t instrMin = 0, instrMax = 0;   ///< retired instructions
+    uint64_t stallMin = 0, stallMax = 0;   ///< DMA latency stalls
+    uint64_t engineMin = 0, engineMax = 0; ///< DMA engine occupancy
+    uint64_t bytesMin = 0, bytesMax = 0;   ///< DMA bytes moved
+    std::array<uint64_t, numInstrClasses> classMin{};
+    std::array<uint64_t, numInstrClasses> classMax{};
+    /// @}
+
+    /** Launch-level worst-case instruction partition:
+     * tasklets * classMax per InstrClass. */
+    std::array<uint64_t, numInstrClasses> classWorst{};
+
+    /** True when any loop's trip count came from a `@trip`
+     * annotation rather than inference (the bound is then only as
+     * sound as the annotation). */
+    bool usedAnnotation = false;
+};
+
+/** Compute the static cycle bound of @p program. */
+CycleBound computeBound(const Program& program,
+                        const BoundOptions& options = {});
+
+} // namespace check
+} // namespace sim
+} // namespace tpl
+
+#endif // TPL_PIMSIM_ANALYSIS_BOUND_H

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Cost-certificate JSON serialization.
+ */
+
+#include "pimsim/analysis/certificate.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace tpl {
+namespace sim {
+namespace check {
+
+namespace {
+
+std::string
+u64(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+pair(uint64_t lo, uint64_t hi)
+{
+    return "[" + u64(lo) + ", " + u64(hi) + "]";
+}
+
+/** Position just past `"key":` at or after @p from, or npos. */
+size_t
+afterKey(const std::string& json, const std::string& key,
+         size_t from = 0)
+{
+    std::string needle = "\"" + key + "\"";
+    size_t p = json.find(needle, from);
+    if (p == std::string::npos)
+        return std::string::npos;
+    p = json.find(':', p + needle.size());
+    if (p == std::string::npos)
+        return std::string::npos;
+    ++p;
+    while (p < json.size() && std::isspace(
+                                  static_cast<unsigned char>(json[p])))
+        ++p;
+    return p;
+}
+
+bool
+readU64At(const std::string& json, size_t p, uint64_t& out)
+{
+    if (p == std::string::npos || p >= json.size() ||
+        !std::isdigit(static_cast<unsigned char>(json[p])))
+        return false;
+    out = 0;
+    while (p < json.size() &&
+           std::isdigit(static_cast<unsigned char>(json[p]))) {
+        out = out * 10 + static_cast<uint64_t>(json[p] - '0');
+        ++p;
+    }
+    return true;
+}
+
+bool
+readU64(const std::string& json, const std::string& key, uint64_t& out,
+        size_t from = 0)
+{
+    return readU64At(json, afterKey(json, key, from), out);
+}
+
+bool
+readBool(const std::string& json, const std::string& key, bool& out,
+         size_t from = 0)
+{
+    size_t p = afterKey(json, key, from);
+    if (p == std::string::npos)
+        return false;
+    if (json.compare(p, 4, "true") == 0) {
+        out = true;
+        return true;
+    }
+    if (json.compare(p, 5, "false") == 0) {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+bool
+readString(const std::string& json, const std::string& key,
+           std::string& out, size_t from = 0)
+{
+    size_t p = afterKey(json, key, from);
+    if (p == std::string::npos || p >= json.size() || json[p] != '"')
+        return false;
+    ++p;
+    out.clear();
+    while (p < json.size() && json[p] != '"') {
+        if (json[p] == '\\' && p + 1 < json.size()) {
+            ++p;
+            switch (json[p]) {
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              default: out += json[p]; break;
+            }
+        } else {
+            out += json[p];
+        }
+        ++p;
+    }
+    return p < json.size();
+}
+
+bool
+readPair(const std::string& json, const std::string& key,
+         uint64_t& lo, uint64_t& hi, size_t from = 0)
+{
+    size_t p = afterKey(json, key, from);
+    if (p == std::string::npos || p >= json.size() || json[p] != '[')
+        return false;
+    ++p;
+    while (p < json.size() && std::isspace(
+                                  static_cast<unsigned char>(json[p])))
+        ++p;
+    if (!readU64At(json, p, lo))
+        return false;
+    p = json.find(',', p);
+    if (p == std::string::npos)
+        return false;
+    ++p;
+    while (p < json.size() && std::isspace(
+                                  static_cast<unsigned char>(json[p])))
+        ++p;
+    return readU64At(json, p, hi);
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+serializeCertificate(const KernelCertificate& cert)
+{
+    const CycleBound& b = cert.bound;
+    std::string out = "{\n";
+    out += "  \"kernel\": \"" + jsonEscape(cert.kernel) + "\",\n";
+    out += "  \"bound\": {\n";
+    out += "    \"bounded\": " +
+           std::string(b.bounded ? "true" : "false") + ",\n";
+    out += "    \"reason\": \"" + jsonEscape(b.reason) + "\",\n";
+    out += "    \"tasklets\": " + u64(b.tasklets) + ",\n";
+    out += "    \"bcet\": " + u64(b.bcet) + ",\n";
+    out += "    \"wcet\": " + u64(b.wcet) + ",\n";
+    out += "    \"usedAnnotation\": " +
+           std::string(b.usedAnnotation ? "true" : "false") + ",\n";
+    out += "    \"perTasklet\": {\n";
+    out += "      \"instructions\": " + pair(b.instrMin, b.instrMax) +
+           ",\n";
+    out += "      \"dmaStall\": " + pair(b.stallMin, b.stallMax) +
+           ",\n";
+    out += "      \"dmaEngine\": " + pair(b.engineMin, b.engineMax) +
+           ",\n";
+    out += "      \"dmaBytes\": " + pair(b.bytesMin, b.bytesMax) +
+           "\n";
+    out += "    },\n";
+    out += "    \"classBounds\": {";
+    for (int c = 0; c < numInstrClasses; ++c) {
+        out += std::string(c ? ", " : "") + "\"" +
+               instrClassName(static_cast<InstrClass>(c)) + "\": " +
+               pair(b.classMin[c], b.classMax[c]);
+    }
+    out += "},\n";
+    out += "    \"classWorst\": {";
+    for (int c = 0; c < numInstrClasses; ++c) {
+        out += std::string(c ? ", " : "") + "\"" +
+               instrClassName(static_cast<InstrClass>(c)) + "\": " +
+               u64(b.classWorst[c]);
+    }
+    out += "}\n";
+    out += "  },\n";
+    out += "  \"interleave\": {\n";
+    out += "    \"checked\": " +
+           std::string(cert.interleaveChecked ? "true" : "false") +
+           ",\n";
+    out += "    \"tasklets\": " + u64(cert.interleaveTasklets) + ",\n";
+    out += "    \"verdict\": \"" +
+           std::string(toString(cert.interleave)) + "\",\n";
+    out += "    \"phases\": " + u64(cert.interleavePhases) + "\n";
+    out += "  }\n";
+    out += "}\n";
+    return out;
+}
+
+bool
+parseCertificate(const std::string& json, KernelCertificate& cert)
+{
+    if (!readString(json, "kernel", cert.kernel))
+        return false;
+    size_t boundAt = afterKey(json, "bound");
+    if (boundAt == std::string::npos)
+        return false;
+    CycleBound& b = cert.bound;
+    uint64_t v = 0;
+    if (!readBool(json, "bounded", b.bounded, boundAt))
+        return false;
+    if (!readString(json, "reason", b.reason, boundAt))
+        return false;
+    if (!readU64(json, "tasklets", v, boundAt))
+        return false;
+    b.tasklets = static_cast<uint32_t>(v);
+    if (!readU64(json, "bcet", b.bcet, boundAt) ||
+        !readU64(json, "wcet", b.wcet, boundAt))
+        return false;
+    if (!readBool(json, "usedAnnotation", b.usedAnnotation, boundAt))
+        return false;
+    if (!readPair(json, "instructions", b.instrMin, b.instrMax,
+                  boundAt) ||
+        !readPair(json, "dmaStall", b.stallMin, b.stallMax, boundAt) ||
+        !readPair(json, "dmaEngine", b.engineMin, b.engineMax,
+                  boundAt) ||
+        !readPair(json, "dmaBytes", b.bytesMin, b.bytesMax, boundAt))
+        return false;
+    size_t clsAt = afterKey(json, "classBounds", boundAt);
+    size_t worstAt = afterKey(json, "classWorst", boundAt);
+    if (clsAt == std::string::npos || worstAt == std::string::npos)
+        return false;
+    for (int c = 0; c < numInstrClasses; ++c) {
+        const char* name = instrClassName(static_cast<InstrClass>(c));
+        if (!readPair(json, name, b.classMin[c], b.classMax[c], clsAt))
+            return false;
+        if (!readU64(json, name, b.classWorst[c], worstAt))
+            return false;
+    }
+    size_t ilAt = afterKey(json, "interleave");
+    if (ilAt == std::string::npos)
+        return false;
+    if (!readBool(json, "checked", cert.interleaveChecked, ilAt))
+        return false;
+    if (!readU64(json, "tasklets", v, ilAt))
+        return false;
+    cert.interleaveTasklets = static_cast<uint32_t>(v);
+    std::string verdict;
+    if (!readString(json, "verdict", verdict, ilAt))
+        return false;
+    bool known = false;
+    for (InterleaveVerdict iv :
+         {InterleaveVerdict::RaceFree, InterleaveVerdict::Race,
+          InterleaveVerdict::Deadlock,
+          InterleaveVerdict::Inconclusive}) {
+        if (verdict == toString(iv)) {
+            cert.interleave = iv;
+            known = true;
+        }
+    }
+    if (!known)
+        return false;
+    if (!readU64(json, "phases", v, ilAt))
+        return false;
+    cert.interleavePhases = static_cast<uint32_t>(v);
+    return true;
+}
+
+} // namespace check
+} // namespace sim
+} // namespace tpl

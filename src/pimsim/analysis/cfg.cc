@@ -12,32 +12,6 @@ namespace tpl {
 namespace sim {
 namespace check {
 
-namespace {
-
-bool
-isCondBranch(Opcode op)
-{
-    switch (op) {
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-      case Opcode::Bltu:
-      case Opcode::Bgeu:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-endsBlock(Opcode op)
-{
-    return isCondBranch(op) || op == Opcode::Jmp || op == Opcode::Halt;
-}
-
-} // namespace
-
 Cfg
 buildCfg(const Program& program)
 {
@@ -51,12 +25,13 @@ buildCfg(const Program& program)
     std::set<uint32_t> leaders{0};
     for (uint32_t i = 0; i < n; ++i) {
         const Instruction& ins = program.code[i];
-        if (isCondBranch(ins.op) || ins.op == Opcode::Jmp) {
+        const OpTraits& tr = opTraits(ins.op);
+        if (tr.condBranch || tr.jump) {
             uint32_t target = static_cast<uint32_t>(ins.imm);
             if (target < n)
                 leaders.insert(target);
         }
-        if (endsBlock(ins.op) && i + 1 < n)
+        if (tr.endsBlock() && i + 1 < n)
             leaders.insert(i + 1);
     }
 
@@ -78,11 +53,12 @@ buildCfg(const Program& program)
 
     for (BasicBlock& bb : cfg.blocks) {
         const Instruction& tail = program.code[bb.last];
-        if (tail.op == Opcode::Halt) {
+        const OpTraits& tr = opTraits(tail.op);
+        if (tr.halts) {
             bb.succs.push_back(Cfg::kExit);
-        } else if (tail.op == Opcode::Jmp) {
+        } else if (tr.jump) {
             bb.succs.push_back(blockOrExit(static_cast<uint32_t>(tail.imm)));
-        } else if (isCondBranch(tail.op)) {
+        } else if (tr.condBranch) {
             bb.succs.push_back(blockOrExit(static_cast<uint32_t>(tail.imm)));
             uint32_t fall = blockOrExit(bb.last + 1);
             if (std::find(bb.succs.begin(), bb.succs.end(), fall) ==

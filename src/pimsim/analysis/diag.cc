@@ -25,6 +25,8 @@ toString(CheckKind kind)
       case CheckKind::BarrierImbalance:    return "barrier-imbalance";
       case CheckKind::UninitWramLoad:      return "uninit-wram-load";
       case CheckKind::TaskletRace:         return "tasklet-race";
+      case CheckKind::BarrierDeadlock:     return "barrier-deadlock";
+      case CheckKind::UnboundedCost:       return "unbounded-cost";
     }
     return "unknown";
 }

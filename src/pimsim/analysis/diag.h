@@ -38,6 +38,11 @@ enum class CheckKind
     UninitWramLoad,      ///< load from WRAM bytes never stored to
     TaskletRace,         ///< cross-tasklet WRAM conflict with no
                          ///< separating barrier
+    // Interleaving explorer (interleave.h).
+    BarrierDeadlock,     ///< a tasklet halts while another waits at a
+                         ///< barrier rendezvous
+    // Cycle-bound pass (bound.h).
+    UnboundedCost,       ///< no finite static cycle bound exists
 };
 
 /** Diagnostic severity. Errors fail `pimlint`; warnings do not. */

@@ -1,0 +1,517 @@
+/**
+ * @file
+ * Phase-wise exhaustive-equivalent tasklet-interleaving exploration.
+ */
+
+#include "pimsim/analysis/interleave.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tpl {
+namespace sim {
+namespace check {
+
+namespace {
+
+/** One recorded memory access (for diagnostics). */
+struct Access
+{
+    uint32_t addr;
+    uint32_t size;
+    uint32_t line;
+    bool write;
+};
+
+/** Cap on per-segment recorded events; the bitmap stays exact past
+ * the cap, only line attribution degrades. */
+constexpr size_t kMaxEvents = 1u << 16;
+
+/** Footprint of one tasklet's phase segment. */
+struct SegmentLog
+{
+    std::vector<uint64_t> wramRead;  ///< byte-granular bitmap
+    std::vector<uint64_t> wramWrite; ///< byte-granular bitmap
+    std::vector<Access> wramEvents;
+    std::vector<Access> mramEvents;
+    bool eventsOverflow = false;
+    uint32_t barrierLine = 0; ///< line of the barrier reached (if any)
+
+    void reset(uint32_t wramBytes)
+    {
+        wramRead.assign((wramBytes + 63) / 64, 0);
+        wramWrite.assign((wramBytes + 63) / 64, 0);
+        wramEvents.clear();
+        mramEvents.clear();
+        eventsOverflow = false;
+        barrierLine = 0;
+    }
+
+    void markWram(uint32_t addr, uint32_t size, uint32_t line,
+                  bool write)
+    {
+        std::vector<uint64_t>& map = write ? wramWrite : wramRead;
+        for (uint32_t a = addr; a < addr + size; ++a)
+            map[a >> 6] |= 1ull << (a & 63);
+        if (wramEvents.size() < kMaxEvents)
+            wramEvents.push_back({addr, size, line, write});
+        else
+            eventsOverflow = true;
+    }
+
+    void markMram(uint32_t addr, uint32_t size, uint32_t line,
+                  bool write)
+    {
+        if (mramEvents.size() < kMaxEvents)
+            mramEvents.push_back({addr, size, line, write});
+        else
+            eventsOverflow = true;
+    }
+};
+
+/** Why a phase segment stopped. */
+enum class SegEnd
+{
+    Barrier, ///< reached a barrier rendezvous (pc past it)
+    Halted,  ///< halt or fell off the end
+    Fuel,    ///< instruction budget exhausted
+    Error,   ///< invalid memory access
+};
+
+/** Persistent per-tasklet machine state (registers survive phases). */
+struct TaskletState
+{
+    std::array<int32_t, 24> regs{};
+    uint32_t pc = 0;
+    bool halted = false;
+};
+
+/** Line of instruction @p i (fallback: index + 1). */
+uint32_t
+lineOf(const Program& program, uint32_t i)
+{
+    if (i < program.lines.size())
+        return program.lines[i];
+    return i + 1;
+}
+
+/**
+ * Run one tasklet's segment — from its saved pc to the next barrier
+ * or halt — against private memory images, recording its footprint.
+ */
+SegEnd
+runSegment(const Program& program, const InterleaveOptions& opt,
+           uint32_t tid, TaskletState& ts, std::vector<uint8_t>& wram,
+           std::vector<uint8_t>& mram, SegmentLog& log,
+           std::string& error)
+{
+    auto& r = ts.regs;
+    const size_t n = program.code.size();
+    uint64_t executed = 0;
+    while (ts.pc < n) {
+        if (executed >= opt.maxSegmentInstructions)
+            return SegEnd::Fuel;
+        const Instruction& ins = program.code[ts.pc];
+        const uint32_t line = lineOf(program, ts.pc);
+        ++executed;
+        ++ts.pc;
+        uint32_t ua = static_cast<uint32_t>(r[ins.ra]);
+        uint32_t ub = static_cast<uint32_t>(r[ins.rb]);
+        switch (ins.op) {
+          case Opcode::Add:
+            r[ins.rd] = static_cast<int32_t>(ua + ub);
+            break;
+          case Opcode::Addi:
+            r[ins.rd] = static_cast<int32_t>(
+                ua + static_cast<uint32_t>(ins.imm));
+            break;
+          case Opcode::Sub:
+            r[ins.rd] = static_cast<int32_t>(ua - ub);
+            break;
+          case Opcode::Subi:
+            r[ins.rd] = static_cast<int32_t>(
+                ua - static_cast<uint32_t>(ins.imm));
+            break;
+          case Opcode::And:
+            r[ins.rd] = static_cast<int32_t>(ua & ub);
+            break;
+          case Opcode::Andi:
+            r[ins.rd] = static_cast<int32_t>(
+                ua & static_cast<uint32_t>(ins.imm));
+            break;
+          case Opcode::Or:
+            r[ins.rd] = static_cast<int32_t>(ua | ub);
+            break;
+          case Opcode::Ori:
+            r[ins.rd] = static_cast<int32_t>(
+                ua | static_cast<uint32_t>(ins.imm));
+            break;
+          case Opcode::Xor:
+            r[ins.rd] = static_cast<int32_t>(ua ^ ub);
+            break;
+          case Opcode::Xori:
+            r[ins.rd] = static_cast<int32_t>(
+                ua ^ static_cast<uint32_t>(ins.imm));
+            break;
+          case Opcode::Sll:
+            r[ins.rd] = static_cast<int32_t>(ua << (ub & 31));
+            break;
+          case Opcode::Slli:
+            r[ins.rd] = static_cast<int32_t>(ua << (ins.imm & 31));
+            break;
+          case Opcode::Srl:
+            r[ins.rd] = static_cast<int32_t>(ua >> (ub & 31));
+            break;
+          case Opcode::Srli:
+            r[ins.rd] = static_cast<int32_t>(ua >> (ins.imm & 31));
+            break;
+          case Opcode::Sra:
+            r[ins.rd] = r[ins.ra] >> (ub & 31);
+            break;
+          case Opcode::Srai:
+            r[ins.rd] = r[ins.ra] >> (ins.imm & 31);
+            break;
+          case Opcode::Mul: {
+            int64_t prod = static_cast<int64_t>(r[ins.ra]) *
+                           static_cast<int64_t>(r[ins.rb]);
+            r[ins.rd] = static_cast<int32_t>(prod);
+            break;
+          }
+          case Opcode::Mulh: {
+            int64_t prod = static_cast<int64_t>(r[ins.ra]) *
+                           static_cast<int64_t>(r[ins.rb]);
+            r[ins.rd] = static_cast<int32_t>(prod >> 32);
+            break;
+          }
+          case Opcode::Movi:
+            r[ins.rd] = ins.imm;
+            break;
+          case Opcode::Tid:
+            r[ins.rd] = static_cast<int32_t>(tid);
+            break;
+          case Opcode::Ntask:
+            r[ins.rd] = static_cast<int32_t>(opt.tasklets);
+            break;
+          case Opcode::Ldw: {
+            uint32_t addr = ua + static_cast<uint32_t>(ins.imm);
+            if (static_cast<uint64_t>(addr) + 4 > wram.size()) {
+                error = "line " + std::to_string(line) +
+                        ": WRAM load out of the explorer image";
+                return SegEnd::Error;
+            }
+            log.markWram(addr, 4, line, false);
+            int32_t v;
+            std::memcpy(&v, wram.data() + addr, 4);
+            r[ins.rd] = v;
+            break;
+          }
+          case Opcode::Stw: {
+            uint32_t addr = ua + static_cast<uint32_t>(ins.imm);
+            if (static_cast<uint64_t>(addr) + 4 > wram.size()) {
+                error = "line " + std::to_string(line) +
+                        ": WRAM store out of the explorer image";
+                return SegEnd::Error;
+            }
+            log.markWram(addr, 4, line, true);
+            std::memcpy(wram.data() + addr, &r[ins.rd], 4);
+            break;
+          }
+          case Opcode::Ldma:
+          case Opcode::Sdma: {
+            uint32_t wa = static_cast<uint32_t>(r[ins.rd]);
+            uint32_t ma = ua;
+            uint32_t size = ub;
+            if (static_cast<uint64_t>(wa) + size > wram.size() ||
+                static_cast<uint64_t>(ma) + size > mram.size()) {
+                error = "line " + std::to_string(line) +
+                        ": DMA range out of the explorer images";
+                return SegEnd::Error;
+            }
+            bool toWram = ins.op == Opcode::Ldma;
+            log.markWram(wa, size, line, toWram);
+            log.markMram(ma, size, line, !toWram);
+            if (toWram)
+                std::memcpy(wram.data() + wa, mram.data() + ma,
+                            size);
+            else
+                std::memcpy(mram.data() + ma, wram.data() + wa,
+                            size);
+            break;
+          }
+          case Opcode::Beq:
+            if (r[ins.ra] == r[ins.rb])
+                ts.pc = static_cast<uint32_t>(ins.imm);
+            break;
+          case Opcode::Bne:
+            if (r[ins.ra] != r[ins.rb])
+                ts.pc = static_cast<uint32_t>(ins.imm);
+            break;
+          case Opcode::Blt:
+            if (r[ins.ra] < r[ins.rb])
+                ts.pc = static_cast<uint32_t>(ins.imm);
+            break;
+          case Opcode::Bge:
+            if (r[ins.ra] >= r[ins.rb])
+                ts.pc = static_cast<uint32_t>(ins.imm);
+            break;
+          case Opcode::Bltu:
+            if (ua < ub)
+                ts.pc = static_cast<uint32_t>(ins.imm);
+            break;
+          case Opcode::Bgeu:
+            if (ua >= ub)
+                ts.pc = static_cast<uint32_t>(ins.imm);
+            break;
+          case Opcode::Jmp:
+            ts.pc = static_cast<uint32_t>(ins.imm);
+            break;
+          case Opcode::Barrier:
+            log.barrierLine = line;
+            return SegEnd::Barrier;
+          case Opcode::Halt:
+            ts.halted = true;
+            return SegEnd::Halted;
+        }
+    }
+    ts.halted = true;
+    return SegEnd::Halted;
+}
+
+/** Line of an event of tasklet @p log covering @p addr. */
+uint32_t
+eventLine(const SegmentLog& log, uint32_t addr, bool wantWrite)
+{
+    for (const Access& a : log.wramEvents) {
+        if (a.write == wantWrite && addr >= a.addr &&
+            addr < a.addr + a.size)
+            return a.line;
+    }
+    return 0;
+}
+
+} // namespace
+
+const char*
+toString(InterleaveVerdict verdict)
+{
+    switch (verdict) {
+      case InterleaveVerdict::RaceFree: return "race-free";
+      case InterleaveVerdict::Race: return "race";
+      case InterleaveVerdict::Deadlock: return "deadlock";
+      case InterleaveVerdict::Inconclusive: return "inconclusive";
+    }
+    return "?";
+}
+
+InterleaveExplorer::InterleaveExplorer(Program program,
+                                       InterleaveOptions options)
+    : program_(std::move(program)), options_(options),
+      wramInit_(options.wramBytes, 0), mramInit_(options.mramBytes, 0)
+{
+}
+
+void
+InterleaveExplorer::stageWram(uint32_t addr, const void* data,
+                              uint32_t size)
+{
+    if (static_cast<uint64_t>(addr) + size > wramInit_.size())
+        throw std::out_of_range("stageWram beyond explorer image");
+    std::memcpy(wramInit_.data() + addr, data, size);
+}
+
+void
+InterleaveExplorer::stageMram(uint32_t addr, const void* data,
+                              uint32_t size)
+{
+    if (static_cast<uint64_t>(addr) + size > mramInit_.size())
+        throw std::out_of_range("stageMram beyond explorer image");
+    std::memcpy(mramInit_.data() + addr, data, size);
+}
+
+InterleaveResult
+InterleaveExplorer::explore() const
+{
+    InterleaveResult res;
+    const uint32_t T = options_.tasklets;
+    if (T == 0 || program_.code.empty()) {
+        res.verdict = InterleaveVerdict::RaceFree;
+        return res;
+    }
+
+    std::vector<uint8_t> wram = wramInit_;
+    std::vector<uint8_t> mram = mramInit_;
+    std::vector<TaskletState> states(T);
+    std::vector<SegmentLog> logs(T);
+    std::vector<std::vector<uint8_t>> privWram(T), privMram(T);
+    std::vector<SegEnd> ends(T, SegEnd::Halted);
+
+    while (res.phases < options_.maxPhases) {
+        // Run every live tasklet's segment in isolation against the
+        // phase-entry snapshot.
+        for (uint32_t t = 0; t < T; ++t) {
+            if (states[t].halted)
+                continue;
+            privWram[t] = wram;
+            privMram[t] = mram;
+            logs[t].reset(options_.wramBytes);
+            std::string error;
+            ends[t] = runSegment(program_, options_, t, states[t],
+                                 privWram[t], privMram[t], logs[t],
+                                 error);
+            if (ends[t] == SegEnd::Error) {
+                res.verdict = InterleaveVerdict::Inconclusive;
+                res.note = "tasklet " + std::to_string(t) + ": " +
+                           error;
+                return res;
+            }
+            if (ends[t] == SegEnd::Fuel) {
+                res.verdict = InterleaveVerdict::Inconclusive;
+                res.note = "tasklet " + std::to_string(t) +
+                           " exceeded the per-segment instruction "
+                           "budget";
+                return res;
+            }
+        }
+
+        // Pairwise footprint conflicts: a write overlapping another
+        // tasklet's access in the same phase is a race under some
+        // interleaving (and every interleaving is covered — see the
+        // header comment).
+        for (uint32_t i = 0; i < T; ++i) {
+            if (states[i].halted && logs[i].wramWrite.empty())
+                continue;
+            for (uint32_t j = i + 1; j < T; ++j) {
+                if (logs[i].wramWrite.empty() ||
+                    logs[j].wramWrite.empty())
+                    continue; // a tasklet that never ran this phase
+                for (size_t w = 0; w < logs[i].wramWrite.size();
+                     ++w) {
+                    uint64_t conflict =
+                        (logs[i].wramWrite[w] &
+                         (logs[j].wramRead[w] |
+                          logs[j].wramWrite[w])) |
+                        (logs[j].wramWrite[w] &
+                         logs[i].wramRead[w]);
+                    if (!conflict)
+                        continue;
+                    uint32_t addr = static_cast<uint32_t>(
+                        w * 64 +
+                        __builtin_ctzll(conflict));
+                    bool iWrites =
+                        (logs[i].wramWrite[w] >>
+                         (addr & 63)) & 1;
+                    uint32_t wl = eventLine(
+                        iWrites ? logs[i] : logs[j], addr, true);
+                    uint32_t ol = eventLine(
+                        iWrites ? logs[j] : logs[i], addr, true);
+                    if (!ol)
+                        ol = eventLine(iWrites ? logs[j] : logs[i],
+                                       addr, false);
+                    res.diags.push_back(
+                        {CheckKind::TaskletRace, Severity::Error,
+                         wl,
+                         "tasklets " + std::to_string(i) + " and " +
+                             std::to_string(j) +
+                             " conflict on WRAM[" +
+                             std::to_string(addr) +
+                             "] within one barrier phase (write at "
+                             "line " +
+                             std::to_string(wl) +
+                             ", concurrent access at line " +
+                             std::to_string(ol) + ")"});
+                    res.verdict = InterleaveVerdict::Race;
+                    return res;
+                }
+                // MRAM: DMA ranges, pairwise interval overlap.
+                for (const Access& a : logs[i].mramEvents) {
+                    for (const Access& b : logs[j].mramEvents) {
+                        if (!a.write && !b.write)
+                            continue;
+                        if (a.addr < b.addr + b.size &&
+                            b.addr < a.addr + a.size) {
+                            const Access& wr = a.write ? a : b;
+                            const Access& other = a.write ? b : a;
+                            res.diags.push_back(
+                                {CheckKind::TaskletRace,
+                                 Severity::Error, wr.line,
+                                 "tasklets " + std::to_string(i) +
+                                     " and " + std::to_string(j) +
+                                     " conflict on MRAM[" +
+                                     std::to_string(
+                                         std::max(a.addr,
+                                                  b.addr)) +
+                                     "] within one barrier phase "
+                                     "(DMA write at line " +
+                                     std::to_string(wr.line) +
+                                     ", concurrent DMA at line " +
+                                     std::to_string(other.line) +
+                                     ")"});
+                            res.verdict = InterleaveVerdict::Race;
+                            return res;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Commit the phase: conflict-free writes are pairwise
+        // disjoint, so merging them is order-independent.
+        uint32_t arrived = 0, halted = 0;
+        uint32_t arrivedT = 0, haltedT = 0;
+        for (uint32_t t = 0; t < T; ++t) {
+            if (logs[t].wramWrite.empty())
+                continue; // was already halted before this phase
+            for (size_t w = 0; w < logs[t].wramWrite.size(); ++w) {
+                uint64_t bits = logs[t].wramWrite[w];
+                while (bits) {
+                    uint32_t bit = __builtin_ctzll(bits);
+                    bits &= bits - 1;
+                    uint32_t addr =
+                        static_cast<uint32_t>(w * 64 + bit);
+                    wram[addr] = privWram[t][addr];
+                }
+            }
+            for (const Access& a : logs[t].mramEvents) {
+                if (a.write)
+                    std::memcpy(mram.data() + a.addr,
+                                privMram[t].data() + a.addr,
+                                a.size);
+            }
+            if (ends[t] == SegEnd::Barrier) {
+                ++arrived;
+                arrivedT = t;
+            } else {
+                ++halted;
+                haltedT = t;
+            }
+        }
+        ++res.phases;
+
+        if (arrived == 0) {
+            res.verdict = InterleaveVerdict::RaceFree;
+            return res;
+        }
+        if (halted > 0) {
+            res.diags.push_back(
+                {CheckKind::BarrierDeadlock, Severity::Error,
+                 logs[arrivedT].barrierLine,
+                 "tasklet " + std::to_string(arrivedT) +
+                     " waits at this barrier but tasklet " +
+                     std::to_string(haltedT) +
+                     " has already halted: the rendezvous never "
+                     "completes"});
+            res.verdict = InterleaveVerdict::Deadlock;
+            return res;
+        }
+        // All tasklets arrived: released together into the next
+        // phase (the cleared logs make halted detection exact).
+    }
+    res.verdict = InterleaveVerdict::Inconclusive;
+    res.note = "barrier-phase budget exhausted after " +
+               std::to_string(res.phases) + " phases";
+    return res;
+}
+
+} // namespace check
+} // namespace sim
+} // namespace tpl

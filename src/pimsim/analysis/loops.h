@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Natural-loop analysis over mini-ISA CFGs: dominators, loop nesting,
+ * and trip-count inference.
+ *
+ * The static cycle-bound pass (bound.h) and the barrier-balance pass
+ * (verify.cc) both need to know *how often* a loop body executes.
+ * This pass finds natural loops from dominance back edges, nests them
+ * into a forest, and infers constant trip counts for the common
+ * counted-loop shape the mini-ISA kernels use:
+ *
+ *     movi  rI, <init>          # (or any statically-constant init)
+ *   loop:
+ *     bge   rI, rN, done        # header-tested, rN loop-invariant
+ *     ...
+ *     addi  rI, rI, <step>      # single increment dominating latch
+ *     jmp   loop
+ *
+ * Inference simulates the exact branch semantics (signed/unsigned,
+ * 32-bit wraparound) rather than solving a closed form, so any
+ * init/step/bound combination the interpreter terminates on gets the
+ * exact count. Loops whose trip depends on data (or on `ntask`) stay
+ * unknown; a `# @trip(N)` annotation on any source line inside the
+ * loop supplies the count by hand, and the certificate records that
+ * the bound rests on an annotation.
+ */
+
+#ifndef TPL_PIMSIM_ANALYSIS_LOOPS_H
+#define TPL_PIMSIM_ANALYSIS_LOOPS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pimsim/analysis/cfg.h"
+#include "pimsim/isa.h"
+
+namespace tpl {
+namespace sim {
+namespace check {
+
+/** One natural loop (identified by its header block). */
+struct LoopInfo
+{
+    /** Sentinel for "no loop" / "no parent". */
+    static constexpr uint32_t kNone = 0xffffffffu;
+
+    uint32_t header = 0;          ///< header block id
+    std::vector<uint32_t> blocks; ///< member blocks incl. nested, sorted
+    std::vector<uint32_t> latches; ///< blocks with a back edge to header
+    uint32_t parent = kNone;      ///< immediate enclosing loop, or kNone
+    std::vector<uint32_t> children; ///< immediate child loop ids
+    uint32_t depth = 1;           ///< nesting depth (top-level = 1)
+
+    bool tripKnown = false;  ///< constant trip count available
+    uint64_t tripCount = 0;  ///< body executions per entry (if known)
+    bool annotated = false;  ///< trip came from a @trip() annotation
+
+    /** True when @p block is a member of this loop. */
+    bool contains(uint32_t block) const;
+};
+
+/** All loops of a program, nested into a forest. */
+struct LoopForest
+{
+    std::vector<LoopInfo> loops;
+    /** Innermost loop id containing each block (LoopInfo::kNone if
+     * the block is in no loop). */
+    std::vector<uint32_t> loopOf;
+    /** True when the CFG has a retreating edge that is not a
+     * dominance back edge: loop structure (and any bound built on
+     * it) is undefined. */
+    bool irreducible = false;
+};
+
+/**
+ * Immediate dominator of every block (entry block dominates itself;
+ * unreachable blocks get Cfg::kExit as a "no dominator" sentinel).
+ * Cooper-Harvey-Kennedy iterative algorithm over reverse post-order.
+ */
+std::vector<uint32_t> dominators(const Cfg& cfg);
+
+/**
+ * Find natural loops, nest them, and infer trip counts.
+ * @param tripAnnotations map of 1-based source line to trip count,
+ *        from parseTripAnnotations(); applied to loops whose trip
+ *        inference fails (inference wins when both are available).
+ */
+LoopForest findLoops(const Program& program, const Cfg& cfg,
+                     const std::map<uint32_t, uint64_t>&
+                         tripAnnotations = {});
+
+/**
+ * Scan assembly source for `@trip(N)` annotations (conventionally in
+ * a `#` comment on a line inside the loop). Returns 1-based source
+ * line -> N.
+ */
+std::map<uint32_t, uint64_t> parseTripAnnotations(
+    const std::string& source);
+
+} // namespace check
+} // namespace sim
+} // namespace tpl
+
+#endif // TPL_PIMSIM_ANALYSIS_LOOPS_H

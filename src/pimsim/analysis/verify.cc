@@ -7,9 +7,12 @@
 
 #include <algorithm>
 #include <array>
+#include <map>
 #include <optional>
 
 #include "pimsim/analysis/cfg.h"
+#include "pimsim/analysis/constprop.h"
+#include "pimsim/analysis/loops.h"
 
 namespace tpl {
 namespace sim {
@@ -36,23 +39,6 @@ regName(uint32_t reg)
     return "r" + std::to_string(reg);
 }
 
-bool
-isBranchOrJump(Opcode op)
-{
-    switch (op) {
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-      case Opcode::Bltu:
-      case Opcode::Bgeu:
-      case Opcode::Jmp:
-        return true;
-      default:
-        return false;
-    }
-}
-
 // ---------------------------------------------------------------------
 // Pass: branch-target validity
 // ---------------------------------------------------------------------
@@ -64,7 +50,8 @@ checkBranchTargets(const Program& program, std::vector<Diagnostic>& diags)
     const auto n = static_cast<int64_t>(program.code.size());
     for (uint32_t i = 0; i < program.code.size(); ++i) {
         const Instruction& ins = program.code[i];
-        if (!isBranchOrJump(ins.op))
+        const OpTraits& tr = opTraits(ins.op);
+        if (!tr.condBranch && !tr.jump)
             continue;
         // Target == n is the label after the last instruction (a
         // trailing "done:" label): a legal exit.
@@ -160,126 +147,8 @@ checkDefBeforeUse(const Program& program, const Cfg& cfg,
 }
 
 // ---------------------------------------------------------------------
-// Pass: constant propagation + bounds / DMA legality
+// Pass: bounds / DMA legality (over the shared const-prop lattice)
 // ---------------------------------------------------------------------
-
-/** Lattice value of one register: unknown or a known 32-bit constant. */
-using ConstVal = std::optional<int32_t>;
-using ConstState = std::array<ConstVal, kNumRegs>;
-
-ConstState
-meetStates(const ConstState& a, const ConstState& b)
-{
-    ConstState out;
-    for (uint32_t r = 0; r < kNumRegs; ++r) {
-        if (a[r] && b[r] && *a[r] == *b[r])
-            out[r] = a[r];
-        else
-            out[r] = std::nullopt;
-    }
-    return out;
-}
-
-/** Fold one instruction; returns the new value of rd if computable. */
-ConstVal
-foldValue(const Instruction& ins, const ConstState& st)
-{
-    auto ua = [&]() -> std::optional<uint32_t> {
-        if (st[ins.ra])
-            return static_cast<uint32_t>(*st[ins.ra]);
-        return std::nullopt;
-    }();
-    auto ub = [&]() -> std::optional<uint32_t> {
-        if (st[ins.rb])
-            return static_cast<uint32_t>(*st[ins.rb]);
-        return std::nullopt;
-    }();
-    uint32_t uimm = static_cast<uint32_t>(ins.imm);
-    auto wrap = [](uint32_t v) {
-        return ConstVal(static_cast<int32_t>(v));
-    };
-
-    switch (ins.op) {
-      case Opcode::Movi:
-        return ins.imm;
-      case Opcode::Add:
-        if (ua && ub) return wrap(*ua + *ub);
-        break;
-      case Opcode::Addi:
-        if (ua) return wrap(*ua + uimm);
-        break;
-      case Opcode::Sub:
-        if (ua && ub) return wrap(*ua - *ub);
-        break;
-      case Opcode::Subi:
-        if (ua) return wrap(*ua - uimm);
-        break;
-      case Opcode::And:
-        if (ua && ub) return wrap(*ua & *ub);
-        break;
-      case Opcode::Andi:
-        if (ua) return wrap(*ua & uimm);
-        break;
-      case Opcode::Or:
-        if (ua && ub) return wrap(*ua | *ub);
-        break;
-      case Opcode::Ori:
-        if (ua) return wrap(*ua | uimm);
-        break;
-      case Opcode::Xor:
-        if (ua && ub) return wrap(*ua ^ *ub);
-        break;
-      case Opcode::Xori:
-        if (ua) return wrap(*ua ^ uimm);
-        break;
-      case Opcode::Sll:
-        if (ua && ub) return wrap(*ua << (*ub & 31));
-        break;
-      case Opcode::Slli:
-        if (ua) return wrap(*ua << (ins.imm & 31));
-        break;
-      case Opcode::Srl:
-        if (ua && ub) return wrap(*ua >> (*ub & 31));
-        break;
-      case Opcode::Srli:
-        if (ua) return wrap(*ua >> (ins.imm & 31));
-        break;
-      case Opcode::Sra:
-        if (st[ins.ra] && ub)
-            return ConstVal(*st[ins.ra] >> (*ub & 31));
-        break;
-      case Opcode::Srai:
-        if (st[ins.ra])
-            return ConstVal(*st[ins.ra] >> (ins.imm & 31));
-        break;
-      case Opcode::Mul:
-        if (st[ins.ra] && st[ins.rb]) {
-            int64_t prod = static_cast<int64_t>(*st[ins.ra]) *
-                           static_cast<int64_t>(*st[ins.rb]);
-            return ConstVal(static_cast<int32_t>(prod));
-        }
-        break;
-      case Opcode::Mulh:
-        if (st[ins.ra] && st[ins.rb]) {
-            int64_t prod = static_cast<int64_t>(*st[ins.ra]) *
-                           static_cast<int64_t>(*st[ins.rb]);
-            return ConstVal(static_cast<int32_t>(prod >> 32));
-        }
-        break;
-      default:
-        break;
-    }
-    return std::nullopt;
-}
-
-void
-transferConst(const Instruction& ins, ConstState& st)
-{
-    RegUse use = regUse(ins);
-    if (use.writes == 0)
-        return;
-    st[ins.rd] = foldValue(ins, st);
-}
 
 void
 checkAccess(const Program& program, uint32_t i, const ConstState& st,
@@ -376,44 +245,11 @@ checkBoundsAndDma(const Program& program, const Cfg& cfg,
                   const VerifyOptions& opt,
                   std::vector<Diagnostic>& diags)
 {
-    std::vector<ConstState> in(cfg.blocks.size());
-    std::vector<bool> inSet(cfg.blocks.size(), false);
-    ConstState entry{}; // all unknown: nothing is constant at entry
-    in[0] = entry;
-    inSet[0] = true;
-
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (uint32_t b : rpo) {
-            if (!inSet[b])
-                continue;
-            ConstState st = in[b];
-            const BasicBlock& bb = cfg.blocks[b];
-            for (uint32_t i = bb.first; i <= bb.last; ++i)
-                transferConst(program.code[i], st);
-            for (uint32_t succ : cfg.blocks[b].succs) {
-                if (succ == Cfg::kExit || !reachable[succ])
-                    continue;
-                if (!inSet[succ]) {
-                    in[succ] = st;
-                    inSet[succ] = true;
-                    changed = true;
-                } else {
-                    ConstState met = meetStates(in[succ], st);
-                    if (met != in[succ]) {
-                        in[succ] = met;
-                        changed = true;
-                    }
-                }
-            }
-        }
-    }
-
+    ConstFixpoint fp = constFixpoint(program, cfg, reachable, rpo);
     for (uint32_t b : rpo) {
-        if (!inSet[b])
+        if (!fp.known[b])
             continue;
-        ConstState st = in[b];
+        ConstState st = fp.in[b];
         const BasicBlock& bb = cfg.blocks[b];
         for (uint32_t i = bb.first; i <= bb.last; ++i) {
             checkAccess(program, i, st, opt, diags);
@@ -423,101 +259,298 @@ checkBoundsAndDma(const Program& program, const Cfg& cfg,
 }
 
 // ---------------------------------------------------------------------
-// Pass: barrier balance
+// Pass: barrier balance (loop-collapsed)
 // ---------------------------------------------------------------------
+//
+// Lattice over barrier counts: kTop (no path seen yet), a
+// non-negative count, or kConflict (paths disagree). Loops are
+// collapsed innermost-first against the natural-loop forest: a loop
+// whose body executes d barriers per iteration contributes
+// trip * d + e (e = barriers on the exit path) as a single summary —
+// legal whenever the trip count is statically known, since every
+// tasklet then runs the same count. A barrier inside a loop with an
+// unknown trip stays an error (tasklets may disagree on the count and
+// deadlock the rendezvous).
+
+constexpr int64_t kTop = -1;
+constexpr int64_t kConflict = -2;
+
+int64_t
+meetCount(int64_t a, int64_t b)
+{
+    if (a == kTop)
+        return b;
+    if (b == kTop)
+        return a;
+    if (a == kConflict || b == kConflict || a != b)
+        return kConflict;
+    return a;
+}
+
+int64_t
+addCount(int64_t a, int64_t b)
+{
+    if (a == kTop || b == kTop)
+        return kTop;
+    if (a == kConflict || b == kConflict)
+        return kConflict;
+    return a + b;
+}
+
+struct BarrierRegion
+{
+    int64_t latch = kTop; ///< meet over back edges into the header
+    int64_t exit = kTop;  ///< meet over edges leaving the region
+    bool conflictInside = false; ///< some join inside disagreed
+    uint32_t conflictBlock = 0;  ///< a block witnessing the conflict
+};
+
+/**
+ * Evaluate one region (loop @p regionId, or the whole program when
+ * regionId == LoopInfo::kNone) with child loops collapsed to their
+ * summaries. @p exitAt collects, per exit-edge source block, the
+ * count leaving the region there (top level: exits to Cfg::kExit).
+ */
+BarrierRegion
+evalBarrierRegion(const Program& program, const Cfg& cfg,
+                  const std::vector<bool>& reachable,
+                  const std::vector<uint32_t>& rpo,
+                  const LoopForest& forest,
+                  const std::vector<int64_t>& blockBarriers,
+                  const std::vector<int64_t>& loopSummary,
+                  uint32_t regionId,
+                  std::map<uint32_t, int64_t>* exitAt = nullptr)
+{
+    (void)program;
+    const bool isLoop = regionId != LoopInfo::kNone;
+    const LoopInfo* loop = isLoop ? &forest.loops[regionId] : nullptr;
+
+    auto inRegion = [&](uint32_t b) {
+        if (b == Cfg::kExit || !reachable[b])
+            return false;
+        return isLoop ? loop->contains(b) : true;
+    };
+    // Representative of the region node containing block b: b itself
+    // when directly in the region, else the header of the immediate
+    // child loop containing it.
+    auto nodeOf = [&](uint32_t b) {
+        uint32_t l = forest.loopOf[b];
+        while (l != LoopInfo::kNone && l != regionId &&
+               forest.loops[l].parent != regionId)
+            l = forest.loops[l].parent;
+        if (l == regionId || l == LoopInfo::kNone)
+            return b;
+        return forest.loops[l].header;
+    };
+    // Summary of the node represented by block rep.
+    auto nodeDelta = [&](uint32_t rep) {
+        uint32_t l = forest.loopOf[rep];
+        while (l != LoopInfo::kNone &&
+               forest.loops[l].parent != regionId)
+            l = forest.loops[l].parent;
+        if (l != LoopInfo::kNone && l != regionId &&
+            forest.loops[l].header == rep)
+            return loopSummary[l];
+        return blockBarriers[rep];
+    };
+    // Blocks whose out-edges the node represented by rep owns.
+    auto forEachNodeEdge = [&](uint32_t rep, auto&& fn) {
+        uint32_t l = forest.loopOf[rep];
+        while (l != LoopInfo::kNone &&
+               forest.loops[l].parent != regionId)
+            l = forest.loops[l].parent;
+        if (l != LoopInfo::kNone && l != regionId &&
+            forest.loops[l].header == rep) {
+            const LoopInfo& child = forest.loops[l];
+            for (uint32_t cb : child.blocks) {
+                if (!reachable[cb])
+                    continue;
+                for (uint32_t s : cfg.blocks[cb].succs) {
+                    if (s != Cfg::kExit && child.contains(s))
+                        continue; // internal to the child
+                    fn(cb, s);
+                }
+            }
+        } else {
+            for (uint32_t s : cfg.blocks[rep].succs)
+                fn(rep, s);
+        }
+    };
+
+    const uint32_t entry = isLoop ? loop->header : 0;
+    std::map<uint32_t, int64_t> in;
+    in[nodeOf(entry)] = 0;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b : rpo) {
+            if (!inRegion(b) || nodeOf(b) != b)
+                continue;
+            auto it = in.find(b);
+            if (it == in.end())
+                continue;
+            int64_t out = addCount(it->second, nodeDelta(b));
+            forEachNodeEdge(b, [&](uint32_t, uint32_t s) {
+                if (s == Cfg::kExit || !inRegion(s))
+                    return;
+                if (isLoop && s == loop->header)
+                    return; // back edge: collected below, not met in
+                uint32_t rep = nodeOf(s);
+                auto sit = in.find(rep);
+                if (sit == in.end()) {
+                    in[rep] = out;
+                    changed = true;
+                } else {
+                    int64_t met = meetCount(sit->second, out);
+                    if (met != sit->second) {
+                        sit->second = met;
+                        changed = true;
+                    }
+                }
+            });
+        }
+    }
+
+    BarrierRegion res;
+    for (const auto& kv : in) {
+        if (kv.second == kConflict && !res.conflictInside) {
+            res.conflictInside = true;
+            res.conflictBlock = kv.first;
+        }
+    }
+    for (const auto& kv : in) {
+        int64_t out = addCount(kv.second, nodeDelta(kv.first));
+        forEachNodeEdge(kv.first, [&](uint32_t src, uint32_t s) {
+            if (isLoop && s == loop->header) {
+                res.latch = meetCount(res.latch, out);
+            } else if (s == Cfg::kExit || !inRegion(s)) {
+                res.exit = meetCount(res.exit, out);
+                if (exitAt)
+                    (*exitAt)[src] = out;
+            }
+        });
+    }
+    return res;
+}
 
 void
 checkBarrierBalance(const Program& program, const Cfg& cfg,
                     const std::vector<bool>& reachable,
                     const std::vector<uint32_t>& rpo,
+                    const VerifyOptions& opt,
                     std::vector<Diagnostic>& diags)
 {
+    std::vector<int64_t> blockBarriers(cfg.blocks.size(), 0);
     bool anyBarrier = false;
-    for (const Instruction& ins : program.code) {
-        if (ins.op == Opcode::Barrier) {
-            anyBarrier = true;
-            break;
+    for (uint32_t b = 0; b < cfg.blocks.size(); ++b) {
+        const BasicBlock& bb = cfg.blocks[b];
+        for (uint32_t i = bb.first; i <= bb.last; ++i) {
+            if (program.code[i].op == Opcode::Barrier) {
+                ++blockBarriers[b];
+                anyBarrier = true;
+            }
         }
     }
     if (!anyBarrier)
         return;
 
-    constexpr int64_t kTop = -1;
-    constexpr int64_t kConflict = -2;
-    auto meet = [](int64_t a, int64_t b) {
-        if (a == kTop)
-            return b;
-        if (b == kTop)
-            return a;
-        if (a == kConflict || b == kConflict || a != b)
-            return kConflict;
-        return a;
+    auto firstBarrierLine = [&](const std::vector<uint32_t>& blocks) {
+        for (uint32_t b : blocks) {
+            const BasicBlock& bb = cfg.blocks[b];
+            for (uint32_t i = bb.first; i <= bb.last; ++i) {
+                if (program.code[i].op == Opcode::Barrier)
+                    return lineOf(program, i);
+            }
+        }
+        return 0u;
     };
 
-    std::vector<int64_t> in(cfg.blocks.size(), kTop);
-    in[0] = 0;
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (uint32_t b : rpo) {
-            int64_t count = in[b];
-            if (count == kTop)
-                continue;
-            if (count >= 0) {
-                const BasicBlock& bb = cfg.blocks[b];
-                for (uint32_t i = bb.first; i <= bb.last; ++i) {
-                    if (program.code[i].op == Opcode::Barrier)
-                        ++count;
-                }
-            }
-            for (uint32_t succ : cfg.blocks[b].succs) {
-                if (succ == Cfg::kExit || !reachable[succ])
-                    continue;
-                int64_t met = meet(in[succ], count);
-                if (met != in[succ]) {
-                    in[succ] = met;
-                    changed = true;
-                }
-            }
-        }
+    LoopForest forest = findLoops(program, cfg, opt.tripAnnotations);
+    if (forest.irreducible) {
+        // No loop structure to collapse against: any barrier that is
+        // part of a cycle is suspect.
+        std::vector<uint32_t> all;
+        for (uint32_t b = 0; b < cfg.blocks.size(); ++b)
+            if (blockBarriers[b] > 0)
+                all.push_back(b);
+        diags.push_back(
+            {CheckKind::BarrierImbalance, Severity::Error,
+             firstBarrierLine(all),
+             "barrier in irreducible control flow: the per-tasklet "
+             "barrier count cannot be proven equal"});
+        return;
     }
 
-    // Joins with conflicting counts.
-    for (uint32_t b : rpo) {
-        if (in[b] == kConflict) {
+    // Collapse loops innermost-first into barrier-count summaries.
+    std::vector<int64_t> loopSummary(forest.loops.size(), 0);
+    for (uint32_t id = 0; id < forest.loops.size(); ++id) {
+        const LoopInfo& loop = forest.loops[id];
+        if (!reachable[loop.header])
+            continue;
+        bool hasBarrier = false;
+        for (uint32_t b : loop.blocks)
+            hasBarrier |= blockBarriers[b] > 0;
+        if (!hasBarrier)
+            continue; // trivially balanced whatever the trip count
+
+        BarrierRegion rv =
+            evalBarrierRegion(program, cfg, reachable, rpo, forest,
+                              blockBarriers, loopSummary, id);
+        uint32_t headerLine =
+            lineOf(program, cfg.blocks[loop.header].first);
+        if (rv.conflictInside || rv.latch == kConflict ||
+            rv.exit == kConflict) {
             diags.push_back(
                 {CheckKind::BarrierImbalance, Severity::Error,
-                 lineOf(program, cfg.blocks[b].first),
-                 "paths reach this point having executed differing "
-                 "numbers of barriers (tasklets would deadlock at the "
-                 "rendezvous)"});
+                 headerLine,
+                 "paths through this loop execute differing numbers "
+                 "of barriers per iteration (tasklets would deadlock "
+                 "at the rendezvous)"});
+            return;
         }
+        int64_t latch = rv.latch == kTop ? 0 : rv.latch;
+        int64_t exit = rv.exit == kTop ? 0 : rv.exit;
+        if (latch > 0 && !loop.tripKnown) {
+            diags.push_back(
+                {CheckKind::BarrierImbalance, Severity::Error,
+                 firstBarrierLine(loop.blocks),
+                 "barrier inside a loop whose trip count is not "
+                 "statically known (tasklets may disagree on the "
+                 "barrier count and deadlock; a constant bound or a "
+                 "# @trip(N) annotation makes it checkable)"});
+            return;
+        }
+        loopSummary[id] =
+            static_cast<int64_t>(loop.tripCount) * latch + exit;
     }
 
-    // Exits with differing counts: one tasklet returns while another
-    // still waits at a barrier.
+    // Top-level DAG with loops collapsed: joins and exits must agree.
+    std::map<uint32_t, int64_t> exitAt;
+    BarrierRegion top =
+        evalBarrierRegion(program, cfg, reachable, rpo, forest,
+                          blockBarriers, loopSummary, LoopInfo::kNone,
+                          &exitAt);
+    if (top.conflictInside) {
+        diags.push_back(
+            {CheckKind::BarrierImbalance, Severity::Error,
+             lineOf(program, cfg.blocks[top.conflictBlock].first),
+             "paths reach this point having executed differing "
+             "numbers of barriers (tasklets would deadlock at the "
+             "rendezvous)"});
+        return;
+    }
     int64_t exitCount = kTop;
-    for (uint32_t b : rpo) {
-        if (in[b] < 0)
+    for (const auto& kv : exitAt) {
+        if (kv.second < 0)
             continue;
-        bool exits = false;
-        for (uint32_t succ : cfg.blocks[b].succs)
-            exits |= (succ == Cfg::kExit);
-        if (!exits)
-            continue;
-        int64_t count = in[b];
-        const BasicBlock& bb = cfg.blocks[b];
-        for (uint32_t i = bb.first; i <= bb.last; ++i) {
-            if (program.code[i].op == Opcode::Barrier)
-                ++count;
-        }
         if (exitCount == kTop) {
-            exitCount = count;
-        } else if (count != exitCount) {
+            exitCount = kv.second;
+        } else if (kv.second != exitCount) {
             diags.push_back(
                 {CheckKind::BarrierImbalance, Severity::Error,
-                 lineOf(program, bb.last),
-                 "program exits with " + std::to_string(count) +
+                 lineOf(program, cfg.blocks[kv.first].last),
+                 "program exits with " + std::to_string(kv.second) +
                      " barrier(s) on this path but " +
                      std::to_string(exitCount) +
                      " on another (tasklets would deadlock)"});
@@ -530,64 +563,16 @@ checkBarrierBalance(const Program& program, const Cfg& cfg,
 RegUse
 regUse(const Instruction& ins)
 {
-    auto bit = [](uint8_t reg) { return 1u << reg; };
+    const OpTraits& tr = opTraits(ins.op);
     RegUse use;
-    switch (ins.op) {
-      case Opcode::Add:
-      case Opcode::Sub:
-      case Opcode::And:
-      case Opcode::Or:
-      case Opcode::Xor:
-      case Opcode::Sll:
-      case Opcode::Srl:
-      case Opcode::Sra:
-      case Opcode::Mul:
-      case Opcode::Mulh:
-        use.reads = bit(ins.ra) | bit(ins.rb);
-        use.writes = bit(ins.rd);
-        break;
-      case Opcode::Addi:
-      case Opcode::Subi:
-      case Opcode::Andi:
-      case Opcode::Ori:
-      case Opcode::Xori:
-      case Opcode::Slli:
-      case Opcode::Srli:
-      case Opcode::Srai:
-        use.reads = bit(ins.ra);
-        use.writes = bit(ins.rd);
-        break;
-      case Opcode::Movi:
-      case Opcode::Tid:
-      case Opcode::Ntask:
-        use.writes = bit(ins.rd);
-        break;
-      case Opcode::Ldw:
-        use.reads = bit(ins.ra);
-        use.writes = bit(ins.rd);
-        break;
-      case Opcode::Stw:
-        // Stores read both the address base and the stored value.
-        use.reads = bit(ins.ra) | bit(ins.rd);
-        break;
-      case Opcode::Ldma:
-      case Opcode::Sdma:
-        // WRAM address, MRAM address, and size are all inputs.
-        use.reads = bit(ins.rd) | bit(ins.ra) | bit(ins.rb);
-        break;
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-      case Opcode::Bltu:
-      case Opcode::Bgeu:
-        use.reads = bit(ins.ra) | bit(ins.rb);
-        break;
-      case Opcode::Jmp:
-      case Opcode::Barrier:
-      case Opcode::Halt:
-        break;
-    }
+    if (tr.readsRa)
+        use.reads |= 1u << ins.ra;
+    if (tr.readsRb)
+        use.reads |= 1u << ins.rb;
+    if (tr.readsRd)
+        use.reads |= 1u << ins.rd;
+    if (tr.writesRd)
+        use.writes |= 1u << ins.rd;
     return use;
 }
 
@@ -608,7 +593,7 @@ verify(const Program& program, const VerifyOptions& options)
     checkUnreachable(program, cfg, reachable, diags);
     checkDefBeforeUse(program, cfg, reachable, rpo, diags);
     checkBoundsAndDma(program, cfg, reachable, rpo, options, diags);
-    checkBarrierBalance(program, cfg, reachable, rpo, diags);
+    checkBarrierBalance(program, cfg, reachable, rpo, options, diags);
 
     std::stable_sort(diags.begin(), diags.end(),
                      [](const Diagnostic& a, const Diagnostic& b) {

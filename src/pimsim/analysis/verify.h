@@ -18,8 +18,11 @@
  *    multiple of 8, at most `maxDmaBytes` per transfer
  *  - barrier balance: every path through the program must execute the
  *    same number of `barrier` instructions (a mismatch deadlocks the
- *    rendezvous on hardware); a barrier inside a data-dependent loop
- *    is flagged for the same reason
+ *    rendezvous on hardware). Loops are collapsed against the
+ *    natural-loop forest (loops.h): a barrier inside a loop whose
+ *    trip count is statically known (or `@trip`-annotated) is legal —
+ *    every tasklet runs the same count — while a barrier inside a
+ *    data-dependent loop is still flagged
  *
  * Diagnostics come back as a structured vector (see diag.h), sorted by
  * source line, so tests can assert on exact findings and `pimlint`
@@ -30,6 +33,7 @@
 #define TPL_PIMSIM_ANALYSIS_VERIFY_H
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "pimsim/analysis/diag.h"
@@ -45,6 +49,10 @@ struct VerifyOptions
     uint32_t wramBytes = 64 * 1024;       ///< scratchpad size
     uint64_t mramBytes = 64ull << 20;     ///< MRAM bank size
     uint32_t maxDmaBytes = 2048;          ///< UPMEM per-transfer cap
+    /** `@trip(N)` annotations (see loops.h), keyed by 1-based source
+     * line; lets the barrier-balance pass accept barriers inside
+     * loops whose trip count inference cannot see. */
+    std::map<uint32_t, uint64_t> tripAnnotations;
 };
 
 /**

@@ -19,53 +19,64 @@ namespace sim {
 
 namespace {
 
-struct OpInfo
-{
-    Opcode op;
-    /** Operand pattern: 'd'=reg dest, 'a'/'b'=reg src, 'i'=immediate,
-     * 'l'=label. */
-    const char* operands;
+/**
+ * The opcode property table, indexed by Opcode value. Row shape:
+ *   { op, mnemonic, operands, condBranch, jump, halts,
+ *     readsRa, readsRb, readsRd, writesRd }
+ * Everything else (assembler table, CFG block splitting, register
+ * read/write masks) derives from these rows.
+ */
+constexpr OpTraits kOpTraits[kNumOpcodes] = {
+    // op              mnem       opnds  cb     jmp    halt   rRa    rRb    rRd    wRd
+    {Opcode::Add,     "add",     "dab", false, false, false, true,  true,  false, true},
+    {Opcode::Addi,    "addi",    "dai", false, false, false, true,  false, false, true},
+    {Opcode::Sub,     "sub",     "dab", false, false, false, true,  true,  false, true},
+    {Opcode::Subi,    "subi",    "dai", false, false, false, true,  false, false, true},
+    {Opcode::And,     "and",     "dab", false, false, false, true,  true,  false, true},
+    {Opcode::Andi,    "andi",    "dai", false, false, false, true,  false, false, true},
+    {Opcode::Or,      "or",      "dab", false, false, false, true,  true,  false, true},
+    {Opcode::Ori,     "ori",     "dai", false, false, false, true,  false, false, true},
+    {Opcode::Xor,     "xor",     "dab", false, false, false, true,  true,  false, true},
+    {Opcode::Xori,    "xori",    "dai", false, false, false, true,  false, false, true},
+    {Opcode::Sll,     "sll",     "dab", false, false, false, true,  true,  false, true},
+    {Opcode::Slli,    "slli",    "dai", false, false, false, true,  false, false, true},
+    {Opcode::Srl,     "srl",     "dab", false, false, false, true,  true,  false, true},
+    {Opcode::Srli,    "srli",    "dai", false, false, false, true,  false, false, true},
+    {Opcode::Sra,     "sra",     "dab", false, false, false, true,  true,  false, true},
+    {Opcode::Srai,    "srai",    "dai", false, false, false, true,  false, false, true},
+    {Opcode::Mul,     "mul",     "dab", false, false, false, true,  true,  false, true},
+    {Opcode::Mulh,    "mulh",    "dab", false, false, false, true,  true,  false, true},
+    {Opcode::Movi,    "movi",    "di",  false, false, false, false, false, false, true},
+    {Opcode::Tid,     "tid",     "d",   false, false, false, false, false, false, true},
+    {Opcode::Ntask,   "ntask",   "d",   false, false, false, false, false, false, true},
+    {Opcode::Ldw,     "ldw",     "dai", false, false, false, true,  false, false, true},
+    // Stores read both the address base and the stored value.
+    {Opcode::Stw,     "stw",     "dai", false, false, false, true,  false, true,  false},
+    // DMA: WRAM address (rd), MRAM address (ra) and size (rb) are all
+    // inputs; the transfer touches memory, not registers.
+    {Opcode::Ldma,    "ldma",    "dab", false, false, false, true,  true,  true,  false},
+    {Opcode::Sdma,    "sdma",    "dab", false, false, false, true,  true,  true,  false},
+    {Opcode::Beq,     "beq",     "abl", true,  false, false, true,  true,  false, false},
+    {Opcode::Bne,     "bne",     "abl", true,  false, false, true,  true,  false, false},
+    {Opcode::Blt,     "blt",     "abl", true,  false, false, true,  true,  false, false},
+    {Opcode::Bge,     "bge",     "abl", true,  false, false, true,  true,  false, false},
+    {Opcode::Bltu,    "bltu",    "abl", true,  false, false, true,  true,  false, false},
+    {Opcode::Bgeu,    "bgeu",    "abl", true,  false, false, true,  true,  false, false},
+    {Opcode::Jmp,     "jmp",     "l",   false, true,  false, false, false, false, false},
+    {Opcode::Barrier, "barrier", "",    false, false, false, false, false, false, false},
+    {Opcode::Halt,    "halt",    "",    false, false, true,  false, false, false, false},
 };
 
-const std::map<std::string, OpInfo>&
+/** Mnemonic -> traits row, built once from kOpTraits. */
+const std::map<std::string, const OpTraits*>&
 opTable()
 {
-    static const std::map<std::string, OpInfo> table{
-        {"add", {Opcode::Add, "dab"}},
-        {"addi", {Opcode::Addi, "dai"}},
-        {"sub", {Opcode::Sub, "dab"}},
-        {"subi", {Opcode::Subi, "dai"}},
-        {"and", {Opcode::And, "dab"}},
-        {"andi", {Opcode::Andi, "dai"}},
-        {"or", {Opcode::Or, "dab"}},
-        {"ori", {Opcode::Ori, "dai"}},
-        {"xor", {Opcode::Xor, "dab"}},
-        {"xori", {Opcode::Xori, "dai"}},
-        {"sll", {Opcode::Sll, "dab"}},
-        {"slli", {Opcode::Slli, "dai"}},
-        {"srl", {Opcode::Srl, "dab"}},
-        {"srli", {Opcode::Srli, "dai"}},
-        {"sra", {Opcode::Sra, "dab"}},
-        {"srai", {Opcode::Srai, "dai"}},
-        {"mul", {Opcode::Mul, "dab"}},
-        {"mulh", {Opcode::Mulh, "dab"}},
-        {"movi", {Opcode::Movi, "di"}},
-        {"tid", {Opcode::Tid, "d"}},
-        {"ntask", {Opcode::Ntask, "d"}},
-        {"ldw", {Opcode::Ldw, "dai"}},
-        {"stw", {Opcode::Stw, "dai"}},
-        {"ldma", {Opcode::Ldma, "dab"}},
-        {"sdma", {Opcode::Sdma, "dab"}},
-        {"beq", {Opcode::Beq, "abl"}},
-        {"bne", {Opcode::Bne, "abl"}},
-        {"blt", {Opcode::Blt, "abl"}},
-        {"bge", {Opcode::Bge, "abl"}},
-        {"bltu", {Opcode::Bltu, "abl"}},
-        {"bgeu", {Opcode::Bgeu, "abl"}},
-        {"jmp", {Opcode::Jmp, "l"}},
-        {"barrier", {Opcode::Barrier, ""}},
-        {"halt", {Opcode::Halt, ""}},
-    };
+    static const std::map<std::string, const OpTraits*> table = [] {
+        std::map<std::string, const OpTraits*> t;
+        for (const OpTraits& row : kOpTraits)
+            t.emplace(row.mnemonic, &row);
+        return t;
+    }();
     return table;
 }
 
@@ -129,6 +140,15 @@ tokenize(const std::string& text)
 
 } // namespace
 
+const OpTraits&
+opTraits(Opcode op)
+{
+    uint32_t idx = static_cast<uint32_t>(op);
+    if (idx >= kNumOpcodes)
+        throw std::out_of_range("opTraits: invalid opcode");
+    return kOpTraits[idx];
+}
+
 Program
 assemble(const std::string& source)
 {
@@ -171,7 +191,7 @@ assemble(const std::string& source)
         auto it = opTable().find(raw.tokens[0]);
         if (it == opTable().end())
             fail(raw.line, "unknown mnemonic '" + raw.tokens[0] + "'");
-        const OpInfo& info = it->second;
+        const OpTraits& info = *it->second;
         size_t expected = std::strlen(info.operands);
         if (raw.tokens.size() != expected + 1) {
             fail(raw.line, "expected " + std::to_string(expected) +

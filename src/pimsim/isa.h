@@ -76,6 +76,46 @@ enum class Opcode
     Halt,
 };
 
+/** Number of Opcode enumerators (table sizing / enumeration). */
+inline constexpr uint32_t kNumOpcodes =
+    static_cast<uint32_t>(Opcode::Halt) + 1;
+
+/**
+ * Static properties of one opcode — the single source of truth shared
+ * by the assembler (mnemonic + operand pattern), the CFG builder
+ * (control-flow roles) and the verifier's register read/write masks
+ * (operand roles). A new instruction is added *here once*; a missing
+ * or inconsistent entry is caught by the enumeration cross-check in
+ * tests/analysis_test.cc, so it cannot silently ship with an empty
+ * read/write mask or an unsplit basic block.
+ */
+struct OpTraits
+{
+    Opcode op;              ///< must equal the table index
+    const char* mnemonic;   ///< assembly name
+    /** Operand pattern: 'd'=dest reg, 'a'/'b'=source regs,
+     * 'i'=immediate, 'l'=label (encoded into imm). */
+    const char* operands;
+    bool condBranch;        ///< two-successor terminator
+    bool jump;              ///< unconditional jmp
+    bool halts;             ///< terminates the tasklet
+    /// @name Operand roles (register read/write masks derive from
+    /// these: DMA reads rd as its WRAM address, stw reads rd as the
+    /// stored value).
+    /// @{
+    bool readsRa;
+    bool readsRb;
+    bool readsRd;
+    bool writesRd;
+    /// @}
+
+    /** True when the opcode ends a basic block. */
+    bool endsBlock() const { return condBranch || jump || halts; }
+};
+
+/** Traits of @p op (O(1) table lookup). */
+const OpTraits& opTraits(Opcode op);
+
 /** One decoded instruction. */
 struct Instruction
 {

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * pimserve piece 4: calibrated compute-cost certificates for wave
+ * sizing.
+ *
+ * The pipeline only learns how long a wave's compute leg takes *after*
+ * launching it, so without outside knowledge it must run whatever the
+ * queue hands it in one piece. A WaveCost is an upper-envelope model
+ * of one DPU slice's modeled cycles — `fixedCycles` of per-launch
+ * overhead plus `cyclesPerElement` of streaming work — produced either
+ * from a static cycle-bound certificate (pimsim/analysis/bound.h, for
+ * mini-ISA kernels) or from a two-point calibration run
+ * (transpim/certify.h, for C++ evaluator kernels). A CostBook maps
+ * serve TableKeys to those envelopes; handing one to
+ * PipelineOptions::costBook lets the pipeline predict each candidate
+ * wave's compute leg *before* launching and split transfer-heavy
+ * waves into sub-waves that overlap better on the double-buffered
+ * timeline.
+ *
+ * The book is advisory: it changes which waves are issued, never what
+ * any element computes, and a null/empty book reproduces the
+ * cost-oblivious schedule bit-for-bit.
+ */
+
+#ifndef TPL_PIMSIM_SERVE_COST_BOOK_H
+#define TPL_PIMSIM_SERVE_COST_BOOK_H
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+#include "pimsim/serve/batch_queue.h"
+
+namespace tpl {
+namespace sim {
+namespace serve {
+
+/**
+ * Upper-envelope compute cost of one per-DPU wave slice. Sound for
+ * slices of at least `minElements` elements (the smaller calibration
+ * point); smaller slices are charged as if they had `minElements`,
+ * which stays an upper bound because modeled cycles are monotone
+ * non-decreasing in the element count.
+ */
+struct WaveCost
+{
+    double cyclesPerElement = 0.0; ///< marginal streaming cost
+    double fixedCycles = 0.0;      ///< per-launch overhead
+    uint64_t minElements = 0;      ///< envelope validity floor
+
+    /** Predicted modeled cycles of a slice of @p elements. */
+    uint64_t
+    sliceCycles(uint64_t elements) const
+    {
+        double n = static_cast<double>(
+            std::max<uint64_t>(elements, minElements));
+        double c = fixedCycles + cyclesPerElement * n;
+        return c > 0.0 ? static_cast<uint64_t>(c) + 1 : 0;
+    }
+};
+
+/**
+ * Build an upper-envelope WaveCost from two measured (elements,
+ * cycles) calibration points with @p n2 > @p n1: a linear fit whose
+ * slope and intercept are inflated by @p margin (e.g. 0.25 = +25%)
+ * plus @p slackCycles of absolute headroom on the intercept, valid
+ * for slices of >= @p n1 elements.
+ */
+inline WaveCost
+fitWaveCost(uint64_t n1, uint64_t c1, uint64_t n2, uint64_t c2,
+            double margin, double slackCycles)
+{
+    WaveCost w;
+    double per = (n2 > n1 && c2 > c1)
+                     ? static_cast<double>(c2 - c1) /
+                           static_cast<double>(n2 - n1)
+                     : 0.0;
+    double fixed = static_cast<double>(c1) -
+                   per * static_cast<double>(n1);
+    fixed = std::max(fixed, 0.0);
+    w.cyclesPerElement = per * (1.0 + margin);
+    w.fixedCycles = fixed * (1.0 + margin) + slackCycles;
+    w.minElements = n1;
+    return w;
+}
+
+/** TableKey -> WaveCost registry handed to PipelineOptions. */
+class CostBook
+{
+  public:
+    /** Register (or replace) the cost envelope of @p key. */
+    void
+    set(const TableKey& key, const WaveCost& cost)
+    {
+        entries_[key.hash] = cost;
+    }
+
+    /** The envelope of @p key, or nullptr when uncertified. */
+    const WaveCost*
+    find(const TableKey& key) const
+    {
+        auto it = entries_.find(key.hash);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    size_t size() const { return entries_.size(); }
+
+  private:
+    std::map<uint64_t, WaveCost> entries_;
+};
+
+} // namespace serve
+} // namespace sim
+} // namespace tpl
+
+#endif // TPL_PIMSIM_SERVE_COST_BOOK_H

@@ -54,6 +54,91 @@ struct WaveExec
     PipelineEvent computeEv;
 };
 
+/** Move the first @p budget elements of @p w into the returned wave;
+ * @p w keeps the remainder. Items crossing the cut are split against
+ * the original request memory. */
+Wave
+takeHead(Wave& w, uint64_t budget)
+{
+    Wave head;
+    head.table = w.table;
+    std::vector<WaveItem> tail;
+    uint64_t off = 0;
+    for (WaveItem& it : w.items) {
+        if (off >= budget) {
+            tail.push_back(it);
+        } else if (off + it.elements <= budget) {
+            head.items.push_back(it);
+        } else {
+            uint64_t take = budget - off;
+            head.items.push_back(
+                {it.requestId, it.input, it.output, take});
+            tail.push_back({it.requestId, it.input + take,
+                            it.output + take, it.elements - take});
+        }
+        off += it.elements;
+    }
+    w.items = std::move(tail);
+    return head;
+}
+
+/**
+ * Predicted double-buffered makespan of one popped wave run as @p k
+ * equal sub-waves: a mirror of the reservation sequence the drive
+ * loop issues (scatter 0; then compute i, scatter i+1, gather i),
+ * against the same serial transfer model and per-slice compute
+ * envelope. Only the *ranking* across k matters — common shifts (the
+ * table broadcast, lanes still busy from earlier waves) move every
+ * candidate equally.
+ */
+double
+predictSplitMakespan(uint64_t elems, uint32_t k, uint32_t healthy,
+                     uint32_t cap, const WaveCost& cost,
+                     PimSystem& sys, double freq)
+{
+    std::vector<uint64_t> part(k);
+    uint64_t base = elems / k, rem = elems % k;
+    for (uint32_t i = 0; i < k; ++i)
+        part[i] = base + (i < rem ? 1 : 0);
+
+    auto xferSeconds = [&](uint64_t e) {
+        return sys.serialTransferSeconds(e * sizeof(float));
+    };
+    auto computeSeconds = [&](uint64_t e) {
+        uint64_t perSlice =
+            std::min<uint64_t>(cap, (e + healthy - 1) / healthy);
+        return freq > 0.0 ? static_cast<double>(
+                                cost.sliceCycles(perSlice)) /
+                                freq
+                          : 0.0;
+    };
+
+    double host = 0.0, dpuFree = 0.0;
+    double computeByParity[2] = {0.0, 0.0};
+    double gatherByParity[2] = {0.0, 0.0};
+    std::vector<double> scatterEnd(k, 0.0);
+    host = std::max(computeByParity[0], host) + xferSeconds(part[0]);
+    scatterEnd[0] = host;
+    double makespan = host;
+    for (uint32_t i = 0; i < k; ++i) {
+        uint32_t parity = i % 2;
+        double ready =
+            std::max(scatterEnd[i], gatherByParity[parity]);
+        dpuFree = std::max(ready, dpuFree) + computeSeconds(part[i]);
+        computeByParity[parity] = dpuFree;
+        if (i + 1 < k) {
+            double sStart =
+                std::max(computeByParity[(i + 1) % 2], host);
+            host = sStart + xferSeconds(part[i + 1]);
+            scatterEnd[i + 1] = host;
+        }
+        host = std::max(dpuFree, host) + xferSeconds(part[i]);
+        gatherByParity[parity] = host;
+        makespan = std::max(makespan, host);
+    }
+    return makespan;
+}
+
 } // namespace
 
 ServePipeline::ServePipeline(PimSystem& system, TableProvider provider,
@@ -139,6 +224,50 @@ ServePipeline::run(BatchQueue& queue)
             if (w->items.empty())
                 continue; // zero-element requests only
             report.elements += w->elements();
+
+            // Cost-aware wave sizing: with a certified compute
+            // envelope for this table, rank the candidate sub-wave
+            // splits on the predicted double-buffered makespan and
+            // issue the fastest shape. Splits land at the front of
+            // the retry deque (generation 0) so they pop in order.
+            if (opts_.costBook && opts_.pipelined) {
+                const WaveCost* wc = opts_.costBook->find(w->table);
+                uint64_t waveElems = w->elements();
+                if (wc && healthy > 0 && waveElems > 1) {
+                    uint32_t bestK = 1;
+                    double best = predictSplitMakespan(
+                        waveElems, 1, healthy, cap, *wc, sys_, freq);
+                    for (uint32_t k : {2u, 4u, 8u}) {
+                        if (waveElems / k < healthy)
+                            break; // sub-slices would degenerate
+                        double m = predictSplitMakespan(
+                            waveElems, k, healthy, cap, *wc, sys_,
+                            freq);
+                        if (m < best * (1.0 - 1e-9)) {
+                            best = m;
+                            bestK = k;
+                        }
+                    }
+                    if (bestK > 1) {
+                        uint64_t base = waveElems / bestK;
+                        uint64_t rem = waveElems % bestK;
+                        Wave rest = std::move(*w);
+                        std::vector<Wave> pieces;
+                        for (uint32_t i = 0; i + 1 < bestK; ++i)
+                            pieces.push_back(takeHead(
+                                rest, base + (i < rem ? 1 : 0)));
+                        pieces.push_back(std::move(rest));
+                        for (auto it = pieces.rbegin();
+                             it != pieces.rend(); ++it)
+                            retries.push_front(
+                                PendingWave{std::move(*it), 0});
+                        if (reg.enabled())
+                            reg.counter("serve/cost/split_waves")
+                                .add(1);
+                        continue;
+                    }
+                }
+            }
             return PendingWave{std::move(*w), 0};
         }
     };
@@ -183,28 +312,10 @@ ServePipeline::run(BatchQueue& queue)
         uint64_t budget =
             static_cast<uint64_t>(cap) * healthy.size();
         if (waveElems > budget) {
-            Wave tail;
-            tail.table = ex.wave.table;
-            uint64_t off = 0;
-            std::vector<WaveItem> head;
-            for (WaveItem& it : ex.wave.items) {
-                if (off >= budget) {
-                    tail.items.push_back(it);
-                } else if (off + it.elements <= budget) {
-                    head.push_back(it);
-                } else {
-                    uint64_t take = budget - off;
-                    head.push_back(
-                        {it.requestId, it.input, it.output, take});
-                    tail.items.push_back(
-                        {it.requestId, it.input + take,
-                         it.output + take, it.elements - take});
-                }
-                off += it.elements;
-            }
-            ex.wave.items = std::move(head);
+            Wave head = takeHead(ex.wave, budget);
             retries.push_front(
-                PendingWave{std::move(tail), ex.generation});
+                PendingWave{std::move(ex.wave), ex.generation});
+            ex.wave = std::move(head);
             waveElems = ex.wave.elements();
         }
 

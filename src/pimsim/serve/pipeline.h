@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "pimsim/serve/batch_queue.h"
+#include "pimsim/serve/cost_book.h"
 #include "pimsim/serve/table_cache.h"
 #include "pimsim/system.h"
 
@@ -60,6 +61,21 @@ struct PipelineOptions
     /** Times one wave's elements may be re-queued after failures
      * before they are dropped and the run reports incomplete. */
     uint32_t maxRetryWaves = 6;
+
+    /**
+     * Cost certificates for cost-aware wave sizing (kill switch:
+     * nullptr, the default, reproduces the cost-oblivious schedule
+     * bit-for-bit). When set and a popped wave's table has a
+     * certified WaveCost, the pipeline predicts the double-buffered
+     * makespan of running the wave whole versus split into 2/4/8
+     * equal sub-waves — using the same transfer model and timeline
+     * rules the run itself is charged with — and issues the fastest
+     * shape. Splitting changes only the modeled schedule (outputs are
+     * computed per element either way); tables without an entry run
+     * unsplit. Only consulted in pipelined mode. The caller keeps the
+     * book alive for the pipeline's lifetime.
+     */
+    const CostBook* costBook = nullptr;
 };
 
 /** Modeled timing of one executed wave. */

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Two-point calibration of evaluator serving cost (certify.h).
+ */
+
+#include "transpim/certify.h"
+
+#include <algorithm>
+#include <new>
+#include <vector>
+
+#include "common/rng.h"
+#include "pimsim/cost_model.h"
+#include "transpim/serve_glue.h"
+
+namespace tpl {
+namespace transpim {
+
+MethodCostCertificate
+certifyMethodCost(Function f, const MethodSpec& spec,
+                  const CertifyOptions& opts)
+{
+    MethodCostCertificate cert;
+    cert.function = f;
+    cert.spec = spec;
+    cert.key = batchTableKey(f, spec);
+    uint32_t n1 = std::max<uint32_t>(opts.smallElements, 1);
+    uint32_t n2 = std::max<uint32_t>(opts.largeElements, n1 + 1);
+    cert.calibrationElements[0] = n1;
+    cert.calibrationElements[1] = n2;
+
+    FunctionEvaluator ev;
+    try {
+        ev = FunctionEvaluator::create(f, spec);
+    } catch (const UnsupportedCombination&) {
+        return cert;
+    }
+    sim::DpuCore dpu;
+    try {
+        ev.attach(dpu);
+    } catch (const std::bad_alloc&) {
+        return cert; // tables do not fit the core
+    }
+
+    Domain dom = opts.domain ? *opts.domain : functionDomain(f);
+    for (int i = 0; i < 2; ++i) {
+        uint32_t n = i == 0 ? n1 : n2;
+        std::vector<float> inputs = uniformFloats(
+            n, static_cast<float>(dom.lo), static_cast<float>(dom.hi),
+            opts.seed + static_cast<uint64_t>(i));
+        uint32_t bytes = n * static_cast<uint32_t>(sizeof(float));
+        uint32_t inAddr = dpu.mramAlloc(bytes);
+        uint32_t outAddr = dpu.mramAlloc(bytes);
+        dpu.hostWriteMram(inAddr, inputs.data(), bytes);
+        sim::ShardTask task;
+        task.dpu = 0;
+        task.inAddr = inAddr;
+        task.outAddr = outAddr;
+        task.firstElement = 0;
+        task.elements = n;
+        sim::Kernel kernel =
+            makeStreamingKernel(ev, task, opts.chunkElements);
+        cert.calibrationCycles[i] =
+            dpu.launch(opts.tasklets, kernel).cycles;
+    }
+
+    // Absolute slack on top of the multiplicative margin: a couple of
+    // pipeline revolutions per tasklet of scheduling noise plus a
+    // constant floor, so near-zero-cost kernels keep headroom too.
+    double slack = 2.0 * sim::CostModel{}.pipelineInterval *
+                       static_cast<double>(opts.tasklets) +
+                   1000.0;
+    cert.cost = sim::serve::fitWaveCost(
+        n1, cert.calibrationCycles[0], n2, cert.calibrationCycles[1],
+        opts.margin, slack);
+    cert.feasible = true;
+    return cert;
+}
+
+} // namespace transpim
+} // namespace tpl

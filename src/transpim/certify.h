@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Calibrated compute-cost certificates for evaluator methods.
+ *
+ * Mini-ISA kernels get *static* cycle bounds from
+ * pimsim/analysis/bound.h; the transpim evaluator kernels are C++
+ * lambdas the static analyzer cannot see, so their serve-side cost
+ * envelope is obtained by calibration instead: run the exact
+ * streaming shard kernel the pipeline launches
+ * (makeStreamingKernel) at two element counts on a scratch core, fit
+ * the linear cycles(elements) law the kernel obeys, and inflate it
+ * into an upper envelope (multiplicative margin for data-dependent
+ * variation, absolute slack for launch scheduling noise). The
+ * resulting WaveCost is keyed by the same TableKey the serve layer
+ * uses, so dropping it into a serve::CostBook enables cost-aware
+ * wave sizing for that configuration (tests/certify_test.cc locks
+ * the envelope's containment over a sweep of element counts).
+ */
+
+#ifndef TPL_TRANSPIM_CERTIFY_H
+#define TPL_TRANSPIM_CERTIFY_H
+
+#include <cstdint>
+#include <optional>
+
+#include "pimsim/serve/cost_book.h"
+#include "transpim/evaluator.h"
+#include "transpim/reference.h"
+
+namespace tpl {
+namespace transpim {
+
+/** Calibration parameters. Tasklet count and streaming chunk size
+ * must match what the serving pipeline will launch with, or the
+ * envelope brackets the wrong kernel. */
+struct CertifyOptions
+{
+    uint32_t tasklets = 16;      ///< as the pipeline launches
+    uint32_t chunkElements = 32; ///< as the EvaluatorCatalog streams
+    uint32_t smallElements = 512;  ///< first calibration point
+    uint32_t largeElements = 1024; ///< second calibration point
+    /** Multiplicative headroom on the fitted law (0.25 = +25%),
+     * covering data-dependent per-element cost variation. */
+    double margin = 0.25;
+    uint64_t seed = 0x5eedc0de; ///< calibration input seed
+    /** Optional input domain override (defaults to functionDomain). */
+    std::optional<Domain> domain;
+};
+
+/** Outcome of one configuration's calibration. */
+struct MethodCostCertificate
+{
+    /** False when the combination is unsupported or its tables do
+     * not fit the core; `cost` is meaningless then. */
+    bool feasible = false;
+
+    Function function = Function::Sin;
+    MethodSpec spec;
+
+    /** Serve identity of the configuration (batchTableKey). */
+    sim::serve::TableKey key;
+
+    /** The margined upper envelope, ready for CostBook::set. */
+    sim::serve::WaveCost cost;
+
+    /** Raw calibration measurements (element counts and modeled
+     * launch cycles), for reporting and tests. */
+    uint64_t calibrationElements[2] = {0, 0};
+    uint64_t calibrationCycles[2] = {0, 0};
+};
+
+/**
+ * Calibrate @p f evaluated with @p spec on a scratch core and return
+ * its cost certificate. Never throws for infeasible configurations —
+ * they come back with feasible = false, mirroring runMicrobench.
+ */
+MethodCostCertificate certifyMethodCost(Function f,
+                                        const MethodSpec& spec,
+                                        const CertifyOptions& opts = {});
+
+} // namespace transpim
+} // namespace tpl
+
+#endif // TPL_TRANSPIM_CERTIFY_H

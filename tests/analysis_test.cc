@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "pimsim/analysis/cfg.h"
+#include "pimsim/analysis/loops.h"
 #include "pimsim/analysis/sanitizer.h"
 #include "pimsim/analysis/verify.h"
 #include "pimsim/isa.h"
@@ -275,6 +276,28 @@ TEST(VerifyDma, LegalTransferIsClean)
     EXPECT_TRUE(diags.empty());
 }
 
+TEST(VerifyDma, MaxTransferSizeIsTheExactBoundary)
+{
+    // Exactly maxDmaBytes (2048) is legal...
+    auto clean = verifySource(R"(
+        movi r1, 0
+        movi r2, 1024
+        movi r3, 2048
+        ldma r1, r2, r3
+        halt
+    )");
+    EXPECT_TRUE(clean.empty());
+    // ...one granule (8 bytes) more is not.
+    auto diags = verifySource(R"(
+        movi r1, 0
+        movi r2, 1024
+        movi r3, 2056
+        ldma r1, r2, r3
+        halt
+    )");
+    EXPECT_EQ(1u, countOf(diags, CheckKind::DmaBadSize));
+}
+
 // ---------------------------------------------------------------------
 // Static pass: barrier balance
 // ---------------------------------------------------------------------
@@ -324,6 +347,271 @@ TEST(VerifyBarrier, BalancedPathsAreClean)
         halt
     )");
     EXPECT_TRUE(diags.empty());
+}
+
+TEST(VerifyBarrier, BarrierInsideConstantTripLoopIsClean)
+{
+    // Loop collapsing proves every tasklet executes the barrier the
+    // same (known) number of times; this used to be flagged when the
+    // balance check was purely path-based.
+    auto diags = verifySource(R"(
+        movi r1, 0
+        movi r2, 8
+    loop:
+        bge  r1, r2, done
+        barrier
+        addi r1, r1, 1
+        jmp  loop
+    done:
+        halt
+    )");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(VerifyBarrier, TripAnnotationMakesDataDependentLoopCheckable)
+{
+    const std::string src = R"(
+        movi r1, 0
+        ntask r2
+    loop:
+        bge  r1, r2, done   # @trip(4)
+        barrier
+        addi r1, r1, 1
+        jmp  loop
+    done:
+        halt
+    )";
+    // Without the annotation the loop is uncheckable and flagged.
+    std::string bare = src;
+    size_t at = bare.find("# @trip(4)");
+    ASSERT_NE(std::string::npos, at);
+    bare.erase(at, 10);
+    EXPECT_GE(countOf(verifySource(bare), CheckKind::BarrierImbalance),
+              1u);
+    // With it the barrier count is a constant per tasklet: clean.
+    check::VerifyOptions opt;
+    opt.tripAnnotations = check::parseTripAnnotations(src);
+    EXPECT_TRUE(check::verify(assemble(src), opt).empty());
+}
+
+// ---------------------------------------------------------------------
+// Opcode table: single source of truth, cross-checked two ways
+// ---------------------------------------------------------------------
+
+TEST(OpcodeTable, AssemblerRoundTripsEveryMnemonic)
+{
+    // Rebuild an assembly line for every opcode purely from its
+    // OpTraits entry and check the assembler decodes it back to the
+    // same opcode with operands in the documented fields. A table row
+    // whose mnemonic or operand pattern drifts from the assembler
+    // cannot pass.
+    for (uint32_t c = 0; c < kNumOpcodes; ++c) {
+        Opcode op = static_cast<Opcode>(c);
+        const OpTraits& tr = opTraits(op);
+        ASSERT_EQ(op, tr.op) << "table row " << c << " misindexed";
+        std::string ops = tr.operands;
+        std::string mn = tr.mnemonic;
+        std::string src;
+        if (ops == "dab")
+            src = mn + " r3, r1, r2\n";
+        else if (ops == "dai")
+            src = mn + " r3, r1, 5\n";
+        else if (ops == "di")
+            src = mn + " r3, 77\n";
+        else if (ops == "d")
+            src = mn + " r3\n";
+        else if (ops == "abl")
+            src = mn + " r1, r2, end\nhalt\nend: halt\n";
+        else if (ops == "l")
+            src = mn + " end\nhalt\nend: halt\n";
+        else if (ops.empty())
+            src = mn + "\n";
+        else
+            FAIL() << mn << ": unknown operand pattern " << ops;
+        Program p = assemble(src);
+        ASSERT_FALSE(p.code.empty()) << mn;
+        const Instruction& ins = p.code[0];
+        EXPECT_EQ(op, ins.op) << mn;
+        if (ops.find('d') != std::string::npos) {
+            EXPECT_EQ(3, static_cast<int>(ins.rd)) << mn;
+        }
+        if (ops.find('a') != std::string::npos) {
+            EXPECT_EQ(1, static_cast<int>(ins.ra)) << mn;
+        }
+        if (ops == "dab" || ops == "abl") {
+            EXPECT_EQ(2, static_cast<int>(ins.rb)) << mn;
+        }
+        if (ops == "dai") {
+            EXPECT_EQ(5, ins.imm) << mn;
+        }
+        if (ops == "di") {
+            EXPECT_EQ(77, ins.imm) << mn;
+        }
+        if (ops == "abl" || ops == "l") {
+            EXPECT_EQ(2, ins.imm) << mn; // the "end" label
+        }
+    }
+}
+
+namespace probe {
+
+/** Everything a mini-ISA instruction can observably affect. */
+struct Observed
+{
+    std::array<int32_t, 24> regs{};
+    std::vector<uint8_t> wram; ///< first 256 bytes
+    std::vector<uint8_t> mram; ///< bytes 1024..1151
+    bool trapped = false;
+};
+
+/** Per-opcode probe operands: base values and their perturbations. */
+struct Values
+{
+    int32_t va, vb, vd, imm;
+    int32_t pva, pvb, pvd;
+};
+
+Values
+valuesFor(Opcode op)
+{
+    const OpTraits& tr = opTraits(op);
+    Values v{0x12345678, 13, 0x5A5A5A5A, 0,
+             0x0BADF00D, 7, 0x3C3C3C3C};
+    std::string ops = tr.operands;
+    if (ops == "dai")
+        v.imm = 5;
+    if (op == Opcode::Movi)
+        v.imm = 77;
+    if (tr.condBranch || tr.jump)
+        v.imm = 5; // the halt past the marker
+    if (tr.condBranch) {
+        // 5 vs 5 baseline; the perturbations flip the outcome of
+        // every one of the six compare conditions.
+        v.va = 5;
+        v.vb = 5;
+        v.pva = 4;
+        v.pvb = 6;
+    }
+    if (op == Opcode::Mulh) {
+        // Large operands so the high word is non-zero and moves
+        // under both perturbations.
+        v.va = 0x40000000;
+        v.vb = 16;
+        v.pva = 0x50000000;
+        v.pvb = 32;
+    }
+    if (op == Opcode::Ldw || op == Opcode::Stw) {
+        v.va = 64; // WRAM address base (distinct data staged at 72)
+        v.pva = 72;
+    }
+    if (op == Opcode::Ldma || op == Opcode::Sdma) {
+        v.vd = 0;    // WRAM address
+        v.va = 1024; // MRAM address
+        v.vb = 16;   // size
+        v.pvd = 8;
+        v.pva = 1056;
+        v.pvb = 24;
+    }
+    return v;
+}
+
+Observed
+run(Opcode op, int32_t va, int32_t vb, int32_t vd, int32_t imm)
+{
+    // r1=va, r2=vb, r3=vd (sentinel / operand), probe at index 3
+    // with rd=3 ra=1 rb=2, then a marker branches can skip, then
+    // halt (index 5, the branch target).
+    Program p;
+    p.code = {
+        {Opcode::Movi, 1, 0, 0, va},
+        {Opcode::Movi, 2, 0, 0, vb},
+        {Opcode::Movi, 3, 0, 0, vd},
+        {op, 3, 1, 2, imm},
+        {Opcode::Movi, 20, 0, 0, 1},
+        {Opcode::Halt, 0, 0, 0, 0},
+    };
+    p.lines = {1, 2, 3, 4, 5, 6};
+
+    DpuCore dpu;
+    // Distinct load targets for ldw at 64 vs 72.
+    const uint8_t at64[4] = {1, 2, 3, 4};
+    const uint8_t at72[4] = {9, 8, 7, 6};
+    dpu.hostWriteWram(64, at64, 4);
+    dpu.hostWriteWram(72, at72, 4);
+    // DMA source/comparison patterns, distinct between WRAM and MRAM
+    // and non-repeating across the probed windows.
+    uint8_t wpat[32], mpat[128];
+    for (uint32_t i = 0; i < 32; ++i)
+        wpat[i] = static_cast<uint8_t>(i * 3 + 1);
+    for (uint32_t i = 0; i < 128; ++i)
+        mpat[i] = static_cast<uint8_t>(i * 5 + 11);
+    dpu.hostWriteWram(0, wpat, 32);
+    dpu.hostWriteMram(1024, mpat, 128);
+
+    Observed obs;
+    dpu.launch(1, [&](TaskletContext& ctx) {
+        try {
+            obs.regs = execute(p, ctx).registers;
+        } catch (const std::exception&) {
+            obs.trapped = true;
+        }
+    });
+    obs.wram.resize(256);
+    dpu.hostReadWram(0, obs.wram.data(), 256);
+    obs.mram.resize(128);
+    dpu.hostReadMram(1024, obs.mram.data(), 128);
+    return obs;
+}
+
+/** True when the two observations differ anywhere outside the
+ * perturbed register itself. */
+bool
+differsExcept(const Observed& a, const Observed& b, int skipReg)
+{
+    if (a.trapped != b.trapped || a.wram != b.wram ||
+        a.mram != b.mram)
+        return true;
+    for (int i = 0; i < 24; ++i)
+        if (i != skipReg && a.regs[i] != b.regs[i])
+            return true;
+    return false;
+}
+
+} // namespace probe
+
+TEST(OpcodeTable, TraitsMatchInterpreterBehavior)
+{
+    // For every opcode: run the probe, then perturb each of ra/rb/rd
+    // in turn. The observable machine state (registers, WRAM, MRAM)
+    // may change under the perturbation *iff* the trait says the
+    // operand is read; the destination register changes from its
+    // sentinel *iff* the trait says it is written. This pins the
+    // OpTraits masks to what the execute() switch actually does, so
+    // the verifier's regUse() (derived from the same table) cannot
+    // drift from the interpreter.
+    for (uint32_t c = 0; c < kNumOpcodes; ++c) {
+        Opcode op = static_cast<Opcode>(c);
+        const OpTraits& tr = opTraits(op);
+        probe::Values v = probe::valuesFor(op);
+        probe::Observed base = probe::run(op, v.va, v.vb, v.vd, v.imm);
+        ASSERT_FALSE(base.trapped) << tr.mnemonic;
+        EXPECT_EQ(tr.writesRd, base.regs[3] != v.vd) << tr.mnemonic;
+        EXPECT_EQ(tr.readsRa,
+                  probe::differsExcept(
+                      base, probe::run(op, v.pva, v.vb, v.vd, v.imm),
+                      1))
+            << tr.mnemonic << ": ra role disagrees with execute()";
+        EXPECT_EQ(tr.readsRb,
+                  probe::differsExcept(
+                      base, probe::run(op, v.va, v.pvb, v.vd, v.imm),
+                      2))
+            << tr.mnemonic << ": rb role disagrees with execute()";
+        EXPECT_EQ(tr.readsRd,
+                  probe::differsExcept(
+                      base, probe::run(op, v.va, v.vb, v.pvd, v.imm),
+                      3))
+            << tr.mnemonic << ": rd role disagrees with execute()";
+    }
 }
 
 // ---------------------------------------------------------------------

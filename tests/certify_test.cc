@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Cost-certificate tests: the fitWaveCost envelope math, calibration
+ * of evaluator methods (transpim/certify.h) with containment of the
+ * measured cycles over a sweep of element counts, and cost-aware
+ * wave sizing in the serve pipeline — bit-identical modeled stats
+ * when the CostBook kill switch is off, never slower when it is on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "pimsim/serve/cost_book.h"
+#include "pimsim/serve/pipeline.h"
+#include "transpim/certify.h"
+#include "transpim/serve_glue.h"
+
+using namespace tpl;
+using namespace tpl::sim;
+using namespace tpl::transpim;
+
+namespace {
+
+serve::Request
+makeRequest(const serve::TableKey& key, const float* in, float* out,
+            uint64_t elements)
+{
+    serve::Request r;
+    r.table = key;
+    r.input = in;
+    r.output = out;
+    r.elements = elements;
+    return r;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Envelope math
+// ---------------------------------------------------------------------
+
+TEST(WaveCostFit, LinearFitWithMarginBracketsThePoints)
+{
+    // cycles = 1000 + 10 * n measured exactly at n = 100 and 200.
+    serve::WaveCost w =
+        serve::fitWaveCost(100, 2000, 200, 3000, 0.25, 50.0);
+    EXPECT_NEAR(w.cyclesPerElement, 12.5, 1e-9); // 10 * 1.25
+    EXPECT_NEAR(w.fixedCycles, 1300.0, 1e-9);    // 1000 * 1.25 + 50
+    EXPECT_EQ(100u, w.minElements);
+    // Both calibration points sit below the envelope.
+    EXPECT_GE(w.sliceCycles(100), 2000u);
+    EXPECT_GE(w.sliceCycles(200), 3000u);
+    // Below the validity floor the envelope clamps, staying an upper
+    // bound for monotone cycle counts.
+    EXPECT_EQ(w.sliceCycles(10), w.sliceCycles(100));
+}
+
+TEST(WaveCostFit, DegenerateMeasurementsYieldFlatEnvelope)
+{
+    // Equal cycles at both points (sub-linear regime): slope 0, the
+    // whole cost lands in the intercept.
+    serve::WaveCost w =
+        serve::fitWaveCost(100, 5000, 200, 5000, 0.0, 0.0);
+    EXPECT_EQ(0.0, w.cyclesPerElement);
+    EXPECT_GE(w.sliceCycles(1000), 5000u);
+}
+
+TEST(CostBook, FindIsKeyedOnTheHash)
+{
+    serve::CostBook book;
+    serve::TableKey key;
+    key.hash = 42;
+    key.label = "a";
+    serve::WaveCost w;
+    w.fixedCycles = 7;
+    book.set(key, w);
+    serve::TableKey sameHash;
+    sameHash.hash = 42;
+    sameHash.label = "different label";
+    ASSERT_NE(nullptr, book.find(sameHash));
+    EXPECT_EQ(7.0, book.find(sameHash)->fixedCycles);
+    serve::TableKey other;
+    other.hash = 43;
+    EXPECT_EQ(nullptr, book.find(other));
+    EXPECT_EQ(1u, book.size());
+}
+
+// ---------------------------------------------------------------------
+// Calibration containment
+// ---------------------------------------------------------------------
+
+TEST(Certify, EnvelopeContainsMeasuredCyclesAcrossSizes)
+{
+    MethodSpec spec; // interpolated L-LUT, WRAM, 2^12
+    CertifyOptions copts;
+    copts.tasklets = 8;
+    copts.chunkElements = 32;
+    MethodCostCertificate cert =
+        certifyMethodCost(Function::Sin, spec, copts);
+    ASSERT_TRUE(cert.feasible);
+    EXPECT_EQ(cert.key.hash, batchTableKey(Function::Sin, spec).hash);
+    EXPECT_GT(cert.cost.cyclesPerElement, 0.0);
+
+    // Re-run the exact serving kernel at other element counts (and a
+    // different input seed) and check the margined envelope contains
+    // every measurement — including sizes below the calibration floor
+    // where the envelope clamps.
+    FunctionEvaluator ev = FunctionEvaluator::create(Function::Sin,
+                                                     spec);
+    Domain dom = functionDomain(Function::Sin);
+    for (uint32_t n : {128u, 256u, 512u, 2048u, 4096u}) {
+        DpuCore dpu;
+        ev.attach(dpu);
+        std::vector<float> inputs = uniformFloats(
+            n, static_cast<float>(dom.lo), static_cast<float>(dom.hi),
+            0x0ddba11 + n);
+        uint32_t bytes = n * static_cast<uint32_t>(sizeof(float));
+        uint32_t inAddr = dpu.mramAlloc(bytes);
+        uint32_t outAddr = dpu.mramAlloc(bytes);
+        dpu.hostWriteMram(inAddr, inputs.data(), bytes);
+        ShardTask task;
+        task.dpu = 0;
+        task.inAddr = inAddr;
+        task.outAddr = outAddr;
+        task.elements = n;
+        Kernel k = makeStreamingKernel(ev, task, copts.chunkElements);
+        uint64_t cycles = dpu.launch(copts.tasklets, k).cycles;
+        EXPECT_LE(cycles, cert.cost.sliceCycles(n)) << "n=" << n;
+        // The envelope is a bound, not a wild overestimate: within
+        // the margin plus slack of the measurement for calibrated
+        // sizes.
+        if (n >= 512) {
+            EXPECT_LE(cert.cost.sliceCycles(n),
+                      static_cast<uint64_t>(
+                          static_cast<double>(cycles) * 1.8 + 3000))
+                << "n=" << n;
+        }
+    }
+}
+
+TEST(Certify, InfeasibleConfigurationsComeBackUncertified)
+{
+    // Unsupported combination: fixed-point CORDIC is trig-only.
+    MethodSpec fixedCordic;
+    fixedCordic.method = Method::CordicFixed;
+    MethodCostCertificate unsupported =
+        certifyMethodCost(Function::Exp, fixedCordic);
+    EXPECT_FALSE(unsupported.feasible);
+
+    // Tables exceeding the scratchpad: 2^20 floats in WRAM.
+    MethodSpec huge;
+    huge.log2Entries = 20;
+    huge.placement = Placement::Wram;
+    MethodCostCertificate toobig =
+        certifyMethodCost(Function::Sin, huge);
+    EXPECT_FALSE(toobig.feasible);
+}
+
+// ---------------------------------------------------------------------
+// Cost-aware wave sizing in the pipeline
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** One full pipeline run of `elements` sine elements over `dpus`
+ * cores; returns the report and leaves outputs in @p out. */
+serve::ServeReport
+runSinPipeline(uint32_t dpus, uint32_t elements,
+               const std::vector<float>& in, std::vector<float>& out,
+               const serve::CostBook* book)
+{
+    PimSystem sys(dpus);
+    EvaluatorCatalog catalog;
+    MethodSpec spec;
+    serve::TableKey key = catalog.add(Function::Sin, spec);
+    serve::BatchQueue queue;
+    queue.push(makeRequest(key, in.data(), out.data(), elements));
+    queue.close();
+    serve::PipelineOptions popts;
+    popts.numTasklets = 16;
+    popts.perDpuElements = 512;
+    popts.costBook = book;
+    serve::ServePipeline pipeline(sys, catalog.provider(), popts);
+    return pipeline.run(queue);
+}
+
+} // namespace
+
+TEST(CostAwarePipeline, EmptyBookIsBitIdenticalToNullBook)
+{
+    const uint32_t elements = 2048;
+    std::vector<float> in(elements);
+    for (uint32_t i = 0; i < elements; ++i)
+        in[i] = 6.28f * static_cast<float>(i) / elements;
+    std::vector<float> outNull(elements, 0.0f);
+    std::vector<float> outEmpty(elements, 0.0f);
+
+    serve::ServeReport a =
+        runSinPipeline(4, elements, in, outNull, nullptr);
+    serve::CostBook empty;
+    serve::ServeReport b =
+        runSinPipeline(4, elements, in, outEmpty, &empty);
+
+    ASSERT_TRUE(a.complete);
+    ASSERT_TRUE(b.complete);
+    EXPECT_EQ(a.waves, b.waves);
+    EXPECT_EQ(a.computeCycles, b.computeCycles);
+    EXPECT_EQ(a.modeledSeconds, b.modeledSeconds);
+    EXPECT_EQ(a.syncSeconds, b.syncSeconds);
+    EXPECT_EQ(outNull, outEmpty);
+}
+
+TEST(CostAwarePipeline, CertifiedBookIsNeverSlowerAndSameOutputs)
+{
+    const uint32_t elements = 2048;
+    std::vector<float> in(elements);
+    for (uint32_t i = 0; i < elements; ++i)
+        in[i] = 6.28f * static_cast<float>(i) / elements;
+    std::vector<float> outOff(elements, 0.0f);
+    std::vector<float> outOn(elements, 0.0f);
+
+    serve::ServeReport off =
+        runSinPipeline(4, elements, in, outOff, nullptr);
+
+    MethodSpec spec;
+    CertifyOptions copts;
+    copts.tasklets = 16;
+    copts.chunkElements = 32;
+    MethodCostCertificate cert =
+        certifyMethodCost(Function::Sin, spec, copts);
+    ASSERT_TRUE(cert.feasible);
+    serve::CostBook book;
+    book.set(cert.key, cert.cost);
+    serve::ServeReport on =
+        runSinPipeline(4, elements, in, outOn, &book);
+
+    ASSERT_TRUE(off.complete);
+    ASSERT_TRUE(on.complete);
+    EXPECT_EQ(outOff, outOn); // results never depend on the book
+    EXPECT_LE(on.modeledSeconds,
+              off.modeledSeconds * (1.0 + 1e-9));
+}
+
+TEST(CostAwarePipeline, BalancedWaveIsSplitAndFaster)
+{
+    // A synthetic kernel charging 16 instructions per element makes
+    // the compute leg comparable to one transfer leg (16 cycles at
+    // 350 MHz ≈ 4 bytes at 0.35 GB/s), the regime where splitting
+    // pays: sub-wave compute overlaps the other sub-wave's transfers.
+    // The predictor must split the single full wave and the actual
+    // timeline must get strictly shorter.
+    const uint32_t elements = 2048;
+    std::vector<float> in(elements, 1.0f);
+    serve::TableKey key;
+    key.hash = 7;
+    key.label = "charge16";
+    serve::TableProvider provider =
+        [](const serve::TableKey&, PimSystem&) {
+            serve::TableBinding b;
+            b.valid = true;
+            b.tableBytes = 0;
+            b.makeKernel = [](const ShardTask& t) -> Kernel {
+                uint64_t work = t.elements * 16u;
+                return [work](TaskletContext& ctx) {
+                    if (ctx.taskletId() == 0)
+                        ctx.charge(static_cast<uint32_t>(work));
+                };
+            };
+            return b;
+        };
+    auto runOnce = [&](const serve::CostBook* book,
+                       std::vector<float>& out) {
+        PimSystem sys(4);
+        serve::BatchQueue queue;
+        queue.push(
+            makeRequest(key, in.data(), out.data(), elements));
+        queue.close();
+        serve::PipelineOptions popts;
+        popts.perDpuElements = 512;
+        popts.costBook = book;
+        serve::ServePipeline pipeline(sys, provider, popts);
+        return pipeline.run(queue);
+    };
+
+    std::vector<float> outOff(elements, 0.0f);
+    serve::ServeReport off = runOnce(nullptr, outOff);
+    ASSERT_TRUE(off.complete);
+    EXPECT_EQ(1u, off.waves);
+
+    serve::CostBook book;
+    serve::WaveCost exact;
+    exact.cyclesPerElement = 16.0;
+    exact.fixedCycles = 100.0;
+    exact.minElements = 1;
+    book.set(key, exact);
+    std::vector<float> outOn(elements, 0.0f);
+    serve::ServeReport on = runOnce(&book, outOn);
+    ASSERT_TRUE(on.complete);
+    EXPECT_GT(on.waves, 1u); // the wave was split
+    EXPECT_EQ(outOff, outOn);
+    EXPECT_LT(on.modeledSeconds, off.modeledSeconds);
+}

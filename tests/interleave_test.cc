@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tests for the exhaustive-equivalent tasklet-interleaving explorer
+ * (interleave.h): publish-then-consume patterns with and without the
+ * separating barrier, barrier deadlock from tid-conditional
+ * rendezvous, the seeded race in the single-owner L-LUT kernel run
+ * multi-tasklet, race-freedom certificates for the shipped
+ * tid-partitioned kernels, MRAM conflicts through DMA, and the
+ * explorer's refusal to stamp "race-free" when fuel runs out.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pimsim/analysis/interleave.h"
+#include "pimsim/isa.h"
+
+#include "isa_kernels.h"
+
+namespace tpl {
+namespace sim {
+namespace {
+
+using check::CheckKind;
+using check::countOf;
+using check::InterleaveExplorer;
+using check::InterleaveOptions;
+using check::InterleaveResult;
+using check::InterleaveVerdict;
+using testkernels::kCordicKernel;
+using testkernels::kLLutKernel;
+using testkernels::kLLutParKernel;
+using testkernels::substConst;
+
+InterleaveResult
+explore(const std::string& src, uint32_t tasklets,
+        InterleaveOptions opt = {})
+{
+    opt.tasklets = tasklets;
+    InterleaveExplorer ex(assemble(src), opt);
+    return ex.explore();
+}
+
+TEST(Interleave, VerdictNames)
+{
+    EXPECT_STREQ("race-free", toString(InterleaveVerdict::RaceFree));
+    EXPECT_STREQ("race", toString(InterleaveVerdict::Race));
+    EXPECT_STREQ("deadlock", toString(InterleaveVerdict::Deadlock));
+    EXPECT_STREQ("inconclusive",
+                 toString(InterleaveVerdict::Inconclusive));
+}
+
+TEST(Interleave, PublishThenConsumeWithBarrierIsRaceFree)
+{
+    // Tasklet 0 publishes at WRAM 128; everyone consumes after the
+    // rendezvous. The barrier separates the write phase from the read
+    // phase, so no interleaving races.
+    InterleaveResult r = explore(R"(
+        tid  r1
+        movi r2, 0
+        bne  r1, r2, wait
+        movi r3, 42
+        stw  r3, r2, 128
+    wait:
+        barrier
+        ldw  r4, r2, 128
+        halt
+    )", 3);
+    EXPECT_EQ(InterleaveVerdict::RaceFree, r.verdict) << r.note;
+    EXPECT_TRUE(r.diags.empty());
+    // Two phases: the publishing segment and the run-to-halt segment
+    // after the rendezvous.
+    EXPECT_EQ(2u, r.phases);
+}
+
+TEST(Interleave, PublishThenConsumeWithoutBarrierRaces)
+{
+    // Same program minus the barrier: the write and the other
+    // tasklets' reads now share a phase, so some interleaving orders
+    // them adjacently either way round — a race.
+    InterleaveResult r = explore(R"(
+        tid  r1
+        movi r2, 0
+        bne  r1, r2, read
+        movi r3, 42
+        stw  r3, r2, 128
+    read:
+        ldw  r4, r2, 128
+        halt
+    )", 2);
+    EXPECT_EQ(InterleaveVerdict::Race, r.verdict);
+    ASSERT_EQ(1u, countOf(r.diags, CheckKind::TaskletRace));
+    // The diagnostic names both conflicting lines.
+    EXPECT_NE(std::string::npos, r.diags[0].message.find("line"));
+}
+
+TEST(Interleave, TidConditionalBarrierDeadlocks)
+{
+    // Tasklet 0 halts while everyone else waits at the rendezvous.
+    InterleaveResult r = explore(R"(
+        tid  r1
+        movi r2, 0
+        beq  r1, r2, skip
+        barrier
+    skip:
+        halt
+    )", 2);
+    EXPECT_EQ(InterleaveVerdict::Deadlock, r.verdict);
+    EXPECT_EQ(1u, countOf(r.diags, CheckKind::BarrierDeadlock));
+}
+
+TEST(Interleave, DisjointTidIndexedStoresAreRaceFree)
+{
+    InterleaveResult r = explore(R"(
+        tid  r1
+        slli r2, r1, 2
+        movi r3, 7
+        stw  r3, r2, 256
+        halt
+    )", 4);
+    EXPECT_EQ(InterleaveVerdict::RaceFree, r.verdict) << r.note;
+}
+
+TEST(Interleave, SingleOwnerLLutKernelRacesWhenRunMultiTasklet)
+{
+    // The plain L-LUT kernel assumes it owns the whole output range;
+    // two tasklets running it write the same words. The explorer must
+    // reproduce this seeded race.
+    std::string src = kLLutKernel;
+    src = substConst(src, "@N", 4);
+    src = substConst(src, "@PRAW", 0);
+    src = substConst(src, "@MASK", (1 << 17) - 1);
+    src = substConst(src, "@SHIFTC", 32 - 17);
+    src = substConst(src, "@SHIFT", 17);
+    src = substConst(src, "@INP", 1024);
+    src = substConst(src, "@TBLN", 4);
+    src = substConst(src, "@TBL", 0);
+    src = substConst(src, "@OUT", 2048);
+    InterleaveResult r = explore(src, 2);
+    EXPECT_EQ(InterleaveVerdict::Race, r.verdict);
+    EXPECT_GE(countOf(r.diags, CheckKind::TaskletRace), 1u);
+}
+
+TEST(Interleave, PartitionedLLutKernelIsRaceFree)
+{
+    // The tid-partitioned variant keeps writes disjoint and
+    // rendezvous once; 3 tasklets, 8 elements each.
+    std::string src = kLLutParKernel;
+    src = substConst(src, "@NPER", 8);
+    src = substConst(src, "@PRAW", 0);
+    src = substConst(src, "@MASK", (1 << 17) - 1);
+    src = substConst(src, "@SHIFTC", 32 - 17);
+    src = substConst(src, "@SHIFT", 17);
+    src = substConst(src, "@INP", 1024);
+    src = substConst(src, "@TBLN", 4);
+    src = substConst(src, "@TBL", 0);
+    src = substConst(src, "@OUT", 2048);
+    InterleaveResult r = explore(src, 3);
+    EXPECT_EQ(InterleaveVerdict::RaceFree, r.verdict) << r.note;
+    EXPECT_EQ(2u, r.phases);
+}
+
+TEST(Interleave, CordicKernelSharesOnlyReads)
+{
+    std::string src = kCordicKernel;
+    src = substConst(src, "@Z0", 0x1000000);
+    src = substConst(src, "@INVGAIN", 0x26dd3b6a);
+    src = substConst(src, "@NITER", 24);
+    src = substConst(src, "@ATBL", 0);
+    InterleaveResult r = explore(src, 2);
+    EXPECT_EQ(InterleaveVerdict::RaceFree, r.verdict) << r.note;
+}
+
+TEST(Interleave, StagedInputSteersControlFlow)
+{
+    // Control flow depends on a staged WRAM word: when the word is
+    // zero every tasklet writes its own slot (race-free); when
+    // non-zero every tasklet writes slot 0 (race). The explorer must
+    // honor the staged image, not assume zeros.
+    const std::string src = R"(
+        movi r1, 0
+        ldw  r2, r1, 512
+        beq  r2, r1, own
+        movi r3, 1
+        stw  r3, r1, 256
+        halt
+    own:
+        tid  r4
+        slli r5, r4, 2
+        movi r3, 1
+        stw  r3, r5, 256
+        halt
+    )";
+    {
+        InterleaveOptions opt;
+        opt.tasklets = 2;
+        InterleaveExplorer ex(assemble(src), opt);
+        InterleaveResult r = ex.explore();
+        EXPECT_EQ(InterleaveVerdict::RaceFree, r.verdict) << r.note;
+    }
+    {
+        InterleaveOptions opt;
+        opt.tasklets = 2;
+        InterleaveExplorer ex(assemble(src), opt);
+        uint32_t flag = 1;
+        ex.stageWram(512, &flag, sizeof(flag));
+        InterleaveResult r = ex.explore();
+        EXPECT_EQ(InterleaveVerdict::Race, r.verdict);
+    }
+}
+
+TEST(Interleave, OverlappingDmaWritesRaceThroughMram)
+{
+    // Both tasklets stream the same WRAM block to the same MRAM
+    // range: the WRAM reads are compatible, but the MRAM writes
+    // collide.
+    InterleaveResult r = explore(R"(
+        movi r1, 0
+        movi r2, 4096
+        movi r3, 64
+        sdma r1, r2, r3
+        halt
+    )", 2);
+    EXPECT_EQ(InterleaveVerdict::Race, r.verdict);
+    EXPECT_GE(countOf(r.diags, CheckKind::TaskletRace), 1u);
+}
+
+TEST(Interleave, DisjointDmaWritesAreRaceFree)
+{
+    InterleaveResult r = explore(R"(
+        tid  r1
+        slli r2, r1, 6
+        addi r2, r2, 4096
+        movi r3, 0
+        movi r4, 64
+        sdma r3, r2, r4
+        halt
+    )", 4);
+    EXPECT_EQ(InterleaveVerdict::RaceFree, r.verdict) << r.note;
+}
+
+TEST(Interleave, FuelExhaustionIsInconclusiveNeverRaceFree)
+{
+    InterleaveOptions opt;
+    opt.maxSegmentInstructions = 1000;
+    InterleaveResult r = explore("loop: jmp loop\n", 2, opt);
+    EXPECT_EQ(InterleaveVerdict::Inconclusive, r.verdict);
+    EXPECT_FALSE(r.note.empty());
+}
+
+TEST(Interleave, PhaseBudgetExhaustionIsInconclusive)
+{
+    const std::string src = R"(
+        movi r1, 0
+        movi r2, 10
+    loop:
+        bge  r1, r2, done
+        barrier
+        addi r1, r1, 1
+        jmp  loop
+    done:
+        halt
+    )";
+    {
+        InterleaveOptions opt;
+        opt.maxPhases = 4;
+        InterleaveResult r = explore(src, 2, opt);
+        EXPECT_EQ(InterleaveVerdict::Inconclusive, r.verdict);
+        EXPECT_FALSE(r.note.empty());
+    }
+    {
+        // With enough budget the same program certifies clean, and
+        // the phase count reflects every rendezvous explored.
+        InterleaveResult r = explore(src, 2);
+        EXPECT_EQ(InterleaveVerdict::RaceFree, r.verdict) << r.note;
+        // 10 barrier phases plus the final run-to-halt segment.
+        EXPECT_EQ(11u, r.phases);
+    }
+}
+
+TEST(Interleave, RuntimeErrorIsInconclusive)
+{
+    // WRAM store far out of bounds aborts the segment.
+    InterleaveOptions opt;
+    opt.wramBytes = 256;
+    InterleaveResult r = explore(R"(
+        movi r1, 1024
+        movi r2, 5
+        stw  r2, r1, 0
+        halt
+    )", 2, opt);
+    EXPECT_EQ(InterleaveVerdict::Inconclusive, r.verdict);
+    EXPECT_FALSE(r.note.empty());
+}
+
+} // namespace
+} // namespace sim
+} // namespace tpl

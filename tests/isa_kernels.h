@@ -64,6 +64,50 @@ constexpr const char* kLLutKernel = R"(
         halt
 )";
 
+/**
+ * Tasklet-parallel variant of the L-LUT kernel: each tasklet owns the
+ * contiguous block of `@NPER` elements starting at `tid * @NPER`, so
+ * writes are disjoint by construction, and all tasklets rendezvous
+ * once after their block. The loop is counted with a constant bound,
+ * which keeps the trip count statically inferable (bound.h) and the
+ * barrier provably balanced (verify.cc) — the shape the interleaving
+ * explorer certifies race-free.
+ */
+constexpr const char* kLLutParKernel = R"(
+        tid  r15
+        movi r14, @NPER
+        mul  r15, r15, r14  # first element of this tasklet's block
+        slli r15, r15, 2    # ... as a byte offset
+        movi r1, 0          # element within the block
+        movi r2, @NPER
+        movi r5, @PRAW
+        movi r13, @MASK
+    loop:
+        bge  r1, r2, done
+        slli r3, r1, 2
+        add  r3, r3, r15    # byte offset of the element
+        ldw  r4, r3, @INP   # x (Q3.28 raw)
+        sub  r4, r4, r5     # t = x - p (unsigned wrap ok)
+        srli r6, r4, @SHIFT # index
+        and  r7, r4, r13    # delta bits
+        slli r8, r6, 2
+        ldw  r9, r8, @TBL   # l0
+        ldw  r10, r8, @TBLN # l1
+        sub  r10, r10, r9   # d
+        mul  r11, r10, r7   # low(d * delta)
+        mulh r12, r10, r7   # high(d * delta)
+        srli r11, r11, @SHIFT
+        slli r12, r12, @SHIFTC
+        or   r11, r11, r12  # (d*delta) >> shift, low 32 bits
+        add  r9, r9, r11    # l0 + correction
+        stw  r9, r3, @OUT
+        addi r1, r1, 1
+        jmp  loop
+    done:
+        barrier
+        halt
+)";
+
 /** Fixed-point circular CORDIC rotation (one angle). */
 constexpr const char* kCordicKernel = R"(
         movi r1, @Z0        # z

@@ -5,7 +5,10 @@
  * Assembles each input file and runs the full pimcheck static
  * verifier over it (see src/pimsim/analysis/verify.h): uninitialized
  * registers, branch validity, unreachable code, statically-known
- * WRAM/MRAM bounds, DMA legality, and barrier balance.
+ * WRAM/MRAM bounds, DMA legality, and barrier balance. Two deeper
+ * passes are opt-in: `--cost` computes the static cycle-bound
+ * certificate (bound.h) and `--interleave N` runs the bounded
+ * exhaustive tasklet-interleaving explorer (interleave.h).
  *
  *   pimlint [options] <file.s ...>      ('-' reads stdin)
  *
@@ -13,6 +16,15 @@
  *   --wram BYTES      scratchpad size checked against (default 65536)
  *   --mram BYTES      MRAM bank size (default 67108864)
  *   --max-dma BYTES   per-transfer DMA cap (default 2048)
+ *   --tasklets N      launch size for --cost / default for
+ *                     --interleave (default 1)
+ *   --cost            compute the static [BCET, WCET] cycle bound;
+ *                     an unbounded kernel is an error
+ *   --interleave N    explore all tasklet interleavings at N
+ *                     tasklets; races and deadlocks are errors, an
+ *                     inconclusive exploration is a warning
+ *   --json            machine-readable output (schema in
+ *                     docs/analysis.md); implies -q for text
  *   --werror          treat warnings as errors
  *   -q, --quiet       suppress diagnostics, exit status only
  *
@@ -27,6 +39,8 @@
 #include <string>
 #include <vector>
 
+#include "pimsim/analysis/certificate.h"
+#include "pimsim/analysis/loops.h"
 #include "pimsim/analysis/verify.h"
 #include "pimsim/isa.h"
 
@@ -37,7 +51,8 @@ usage()
 {
     std::cerr
         << "usage: pimlint [--wram BYTES] [--mram BYTES]"
-           " [--max-dma BYTES] [--werror] [-q] <file.s ...|->\n";
+           " [--max-dma BYTES] [--tasklets N] [--cost]"
+           " [--interleave N] [--json] [--werror] [-q] <file.s ...|->\n";
 }
 
 bool
@@ -55,6 +70,21 @@ parseBytes(const std::string& text, uint64_t& out)
     }
 }
 
+/** "path/to/llut.s" -> "llut": the certificate's kernel name. */
+std::string
+kernelName(const std::string& file)
+{
+    if (file == "-")
+        return "stdin";
+    size_t slash = file.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? file : file.substr(slash + 1);
+    size_t dot = base.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        base = base.substr(0, dot);
+    return base;
+}
+
 } // namespace
 
 int
@@ -65,6 +95,10 @@ main(int argc, char** argv)
     check::VerifyOptions options;
     bool werror = false;
     bool quiet = false;
+    bool wantCost = false;
+    bool wantJson = false;
+    uint32_t tasklets = 1;
+    uint32_t interleaveTasklets = 0; // 0 = interleaving not requested
     std::vector<std::string> files;
 
     for (int i = 1; i < argc; ++i) {
@@ -85,6 +119,26 @@ main(int argc, char** argv)
             uint64_t v = 0;
             bytesArg(v);
             options.maxDmaBytes = static_cast<uint32_t>(v);
+        } else if (arg == "--tasklets") {
+            uint64_t v = 0;
+            bytesArg(v);
+            if (v == 0) {
+                usage();
+                return 2;
+            }
+            tasklets = static_cast<uint32_t>(v);
+        } else if (arg == "--cost") {
+            wantCost = true;
+        } else if (arg == "--interleave") {
+            uint64_t v = 0;
+            bytesArg(v);
+            if (v == 0) {
+                usage();
+                return 2;
+            }
+            interleaveTasklets = static_cast<uint32_t>(v);
+        } else if (arg == "--json") {
+            wantJson = true;
         } else if (arg == "--werror") {
             werror = true;
         } else if (arg == "-q" || arg == "--quiet") {
@@ -108,6 +162,8 @@ main(int argc, char** argv)
     bool anyError = false;
     uint64_t errorCount = 0;
     uint64_t warningCount = 0;
+    std::string json = "{\n  \"files\": [";
+    bool firstFile = true;
     for (const std::string& file : files) {
         std::string source;
         if (file == "-") {
@@ -133,9 +189,56 @@ main(int argc, char** argv)
             return 2;
         }
 
+        std::map<uint32_t, uint64_t> trips =
+            check::parseTripAnnotations(source);
+        options.tripAnnotations = trips;
         auto diags = check::verify(program, options);
+
+        check::KernelCertificate cert;
+        cert.kernel = kernelName(file);
+        if (wantCost) {
+            check::BoundOptions bopts;
+            bopts.tasklets = tasklets;
+            bopts.tripAnnotations = trips;
+            cert.bound = check::computeBound(program, bopts);
+            if (!cert.bound.bounded) {
+                check::Diagnostic d;
+                d.kind = check::CheckKind::UnboundedCost;
+                d.severity = check::Severity::Error;
+                d.line = 0;
+                d.message =
+                    "no finite cycle bound: " + cert.bound.reason;
+                diags.push_back(d);
+            }
+        }
+        if (interleaveTasklets > 0) {
+            check::InterleaveOptions iopts;
+            iopts.tasklets = interleaveTasklets;
+            iopts.wramBytes = options.wramBytes;
+            iopts.mramBytes = options.mramBytes;
+            check::InterleaveExplorer explorer(program, iopts);
+            check::InterleaveResult res = explorer.explore();
+            cert.interleaveChecked = true;
+            cert.interleaveTasklets = interleaveTasklets;
+            cert.interleave = res.verdict;
+            cert.interleavePhases = res.phases;
+            for (const auto& d : res.diags)
+                diags.push_back(d);
+            if (res.verdict ==
+                check::InterleaveVerdict::Inconclusive) {
+                check::Diagnostic d;
+                d.kind = check::CheckKind::TaskletRace;
+                d.severity = check::Severity::Warning;
+                d.line = 0;
+                d.message = "interleaving exploration inconclusive" +
+                            (res.note.empty() ? std::string()
+                                              : ": " + res.note);
+                diags.push_back(d);
+            }
+        }
+
         for (const auto& diag : diags) {
-            if (!quiet)
+            if (!quiet && !wantJson)
                 std::cout << file << ": " << check::format(diag)
                           << "\n";
             if (diag.severity == check::Severity::Error)
@@ -146,10 +249,74 @@ main(int argc, char** argv)
                 (werror && diag.severity == check::Severity::Warning))
                 anyError = true;
         }
+        if (!quiet && !wantJson && wantCost && cert.bound.bounded) {
+            std::cout << file << ": cost: ["
+                      << cert.bound.bcet << ", " << cert.bound.wcet
+                      << "] cycles @ " << cert.bound.tasklets
+                      << " tasklet(s)"
+                      << (cert.bound.usedAnnotation
+                              ? " (uses @trip annotations)"
+                              : "")
+                      << "\n";
+        }
+        if (!quiet && !wantJson && cert.interleaveChecked) {
+            std::cout << file << ": interleave: "
+                      << check::toString(cert.interleave) << " @ "
+                      << cert.interleaveTasklets << " tasklets, "
+                      << cert.interleavePhases << " phase(s)\n";
+        }
+
+        if (wantJson) {
+            std::string entry = "\n    {\n      \"file\": \"" +
+                                check::jsonEscape(file) + "\",\n";
+            entry += "      \"diagnostics\": [";
+            for (size_t d = 0; d < diags.size(); ++d) {
+                entry += std::string(d ? "," : "") +
+                         "\n        {\"kind\": \"" +
+                         check::toString(diags[d].kind) +
+                         "\", \"severity\": \"" +
+                         check::toString(diags[d].severity) +
+                         "\", \"line\": " +
+                         std::to_string(diags[d].line) +
+                         ", \"message\": \"" +
+                         check::jsonEscape(diags[d].message) + "\"}";
+            }
+            entry += diags.empty() ? "],\n" : "\n      ],\n";
+            if (wantCost || cert.interleaveChecked) {
+                // serializeCertificate emits a multi-line document;
+                // re-indent it to sit inside the files[] entry.
+                std::string doc = check::serializeCertificate(cert);
+                std::string indented;
+                indented.reserve(doc.size());
+                for (size_t p = 0; p < doc.size(); ++p) {
+                    indented += doc[p];
+                    if (doc[p] == '\n' && p + 1 < doc.size())
+                        indented += "      ";
+                }
+                while (!indented.empty() &&
+                       (indented.back() == '\n' ||
+                        indented.back() == ' '))
+                    indented.pop_back();
+                entry += "      \"certificate\": " + indented + "\n";
+            } else {
+                entry += "      \"certificate\": null\n";
+            }
+            entry += "    }";
+            json += std::string(firstFile ? "" : ",") + entry;
+            firstFile = false;
+        }
+    }
+    if (wantJson) {
+        json += "\n  ],\n";
+        json += "  \"errors\": " + std::to_string(errorCount) + ",\n";
+        json += "  \"warnings\": " + std::to_string(warningCount) +
+                "\n}\n";
+        std::cout << json;
     }
     if (anyError) {
         // Summary so callers (and CI logs) see the totals even when
-        // individual diagnostics scrolled past or -q was given.
+        // individual diagnostics scrolled past or -q / --json was
+        // given (stderr, so JSON output on stdout stays parseable).
         std::cerr << "pimlint: " << errorCount << " error(s), "
                   << warningCount << " warning(s)";
         if (werror && errorCount == 0)
