@@ -100,6 +100,22 @@ scale(const Interval& a, uint64_t n)
     return r;
 }
 
+/** The segment repeated anywhere between 0 and @p n times (counted
+ * loop with a secondary break exit: the header test caps iterations
+ * at n, a break can leave after any earlier iteration). */
+Interval
+scaleUpper(const Interval& a, uint64_t n)
+{
+    Interval r; // min side: the loop may exit before any iteration
+    r.instrMax = a.instrMax * n;
+    r.stallMax = a.stallMax * n;
+    r.engineMax = a.engineMax * n;
+    r.bytesMax = a.bytesMax * n;
+    for (int c = 0; c < numInstrClasses; ++c)
+        r.clsMax[c] = a.clsMax[c] * n;
+    return r;
+}
+
 /** Magnitude the emulated multiply's row scan sees. */
 uint32_t
 magOf(int32_t v)
@@ -389,7 +405,7 @@ computeBound(const Program& program, const BoundOptions& options)
         const LoopInfo& loop = forest.loops[id];
         if (!reachable[loop.header])
             continue;
-        if (!loop.tripKnown) {
+        if (!loop.tripKnown && !loop.tripUpperKnown) {
             bound.reason =
                 "line " +
                 std::to_string(lineOf(
@@ -399,6 +415,7 @@ computeBound(const Program& program, const BoundOptions& options)
             return bound;
         }
         bound.usedAnnotation |= loop.annotated;
+        bound.usedTripUpper |= !loop.tripKnown;
         RegionValue rv =
             evalRegion(program, cfg, reachable, rpo, forest,
                        blockCost, loopVal, id);
@@ -411,10 +428,17 @@ computeBound(const Program& program, const BoundOptions& options)
             return bound;
         }
         // Trip iterations around the back edge, then the exit path
-        // (which runs the header's final test).
+        // (which runs the header's final test). With only an upper
+        // bound (secondary break exit) the iteration count is
+        // [0, tripUpper]; the exit interval already spans every exit
+        // edge, break paths included.
         Interval val = rv.exit;
-        if (rv.hasLatch)
-            val = seq(scale(rv.latch, loop.tripCount), val);
+        if (rv.hasLatch) {
+            val = loop.tripKnown
+                      ? seq(scale(rv.latch, loop.tripCount), val)
+                      : seq(scaleUpper(rv.latch, loop.tripUpper),
+                            val);
+        }
         loopVal[id] = val;
     }
 

@@ -19,8 +19,12 @@
  *    constant operand caps the row count.
  *  - branch alternatives merge elementwise (min of mins, max of maxs).
  *  - loops multiply the per-iteration interval by the trip count from
- *    loops.h; a loop with unknown trip (and no `@trip` annotation)
- *    makes the program unbounded — reported, not guessed.
+ *    loops.h; a counted loop with a secondary (break) exit has no
+ *    exact trip, so its iteration interval is widened to
+ *    [0, tripUpper] repetitions — the WCET scales by the header-test
+ *    bound, the BCET assumes an immediate break. A loop with unknown
+ *    trip (and no `@trip` annotation) makes the program unbounded —
+ *    reported, not guessed.
  *  - a DMA whose size register is not statically constant is
  *    unbounded too: the interpreter transfers whatever the register
  *    holds (the runtime sanitizer, not the ISA, enforces the 2048-byte
@@ -91,6 +95,12 @@ struct CycleBound
      * annotation rather than inference (the bound is then only as
      * sound as the annotation). */
     bool usedAnnotation = false;
+
+    /** True when some loop had a secondary (break) exit and was
+     * scaled by [0, tripUpper] iterations instead of an exact trip:
+     * the WCET is still sound but the BCET side is the loop-skipping
+     * path, so the interval may be much wider than any real run. */
+    bool usedTripUpper = false;
 };
 
 /** Compute the static cycle bound of @p program. */

@@ -26,23 +26,64 @@ pair(uint64_t lo, uint64_t hi)
     return "[" + u64(lo) + ", " + u64(hi) + "]";
 }
 
-/** Position just past `"key":` at or after @p from, or npos. */
+/**
+ * Position just past `"key":` at or after @p from, or npos. Scans by
+ * lexing whole string literals (escape-aware) instead of raw
+ * substring search, so key-like text *inside* a string value — a
+ * kernel name or unbounded reason containing `\"bcet\"` — can never
+ * match: only a complete string token whose unescaped content equals
+ * @p key and whose next non-space character is `:` counts.
+ */
 size_t
 afterKey(const std::string& json, const std::string& key,
          size_t from = 0)
 {
-    std::string needle = "\"" + key + "\"";
-    size_t p = json.find(needle, from);
-    if (p == std::string::npos)
-        return std::string::npos;
-    p = json.find(':', p + needle.size());
-    if (p == std::string::npos)
-        return std::string::npos;
-    ++p;
-    while (p < json.size() && std::isspace(
-                                  static_cast<unsigned char>(json[p])))
-        ++p;
-    return p;
+    size_t p = from;
+    while (p < json.size()) {
+        if (json[p] != '"') {
+            ++p;
+            continue;
+        }
+        ++p; // string token: unescape its full content
+        std::string content;
+        bool closed = false;
+        while (p < json.size()) {
+            char c = json[p];
+            if (c == '\\' && p + 1 < json.size()) {
+                switch (json[p + 1]) {
+                  case 'n': content += '\n'; break;
+                  case 't': content += '\t'; break;
+                  default: content += json[p + 1]; break;
+                }
+                p += 2;
+            } else if (c == '"') {
+                closed = true;
+                ++p;
+                break;
+            } else {
+                content += c;
+                ++p;
+            }
+        }
+        if (!closed)
+            return std::string::npos; // unterminated string
+        if (content != key)
+            continue;
+        size_t q = p;
+        while (q < json.size() &&
+               std::isspace(static_cast<unsigned char>(json[q])))
+            ++q;
+        if (q < json.size() && json[q] == ':') {
+            ++q;
+            while (q < json.size() &&
+                   std::isspace(static_cast<unsigned char>(json[q])))
+                ++q;
+            return q;
+        }
+        // A string *value* equal to the key (followed by `,`/`}`):
+        // not a key occurrence; keep scanning.
+    }
+    return std::string::npos;
 }
 
 bool
@@ -174,6 +215,8 @@ serializeCertificate(const KernelCertificate& cert)
     out += "    \"wcet\": " + u64(b.wcet) + ",\n";
     out += "    \"usedAnnotation\": " +
            std::string(b.usedAnnotation ? "true" : "false") + ",\n";
+    out += "    \"usedTripUpper\": " +
+           std::string(b.usedTripUpper ? "true" : "false") + ",\n";
     out += "    \"perTasklet\": {\n";
     out += "      \"instructions\": " + pair(b.instrMin, b.instrMax) +
            ",\n";
@@ -234,6 +277,10 @@ parseCertificate(const std::string& json, KernelCertificate& cert)
         return false;
     if (!readBool(json, "usedAnnotation", b.usedAnnotation, boundAt))
         return false;
+    // Optional (absent from certificates serialized before the
+    // trip-upper-bound distinction existed).
+    if (!readBool(json, "usedTripUpper", b.usedTripUpper, boundAt))
+        b.usedTripUpper = false;
     if (!readPair(json, "instructions", b.instrMin, b.instrMax,
                   boundAt) ||
         !readPair(json, "dmaStall", b.stallMin, b.stallMax, boundAt) ||

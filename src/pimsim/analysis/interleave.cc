@@ -23,8 +23,11 @@ struct Access
     bool write;
 };
 
-/** Cap on per-segment recorded events; the bitmap stays exact past
- * the cap, only line attribution degrades. */
+/** Cap on per-segment recorded events. Past the cap the WRAM bitmap
+ * stays exact (only diagnostic line attribution degrades), but MRAM
+ * conflict checking and the phase commit depend entirely on the
+ * event list — an MRAM overflow therefore forces an Inconclusive
+ * verdict instead of a silently incomplete race check. */
 constexpr size_t kMaxEvents = 1u << 16;
 
 /** Footprint of one tasklet's phase segment. */
@@ -34,7 +37,11 @@ struct SegmentLog
     std::vector<uint64_t> wramWrite; ///< byte-granular bitmap
     std::vector<Access> wramEvents;
     std::vector<Access> mramEvents;
-    bool eventsOverflow = false;
+    /** wramEvents dropped entries: line attribution degrades only. */
+    bool wramEventsOverflow = false;
+    /** mramEvents dropped entries: conflict/commit coverage lost —
+     * the explorer must refuse a race-free verdict. */
+    bool mramEventsOverflow = false;
     uint32_t barrierLine = 0; ///< line of the barrier reached (if any)
 
     void reset(uint32_t wramBytes)
@@ -43,7 +50,8 @@ struct SegmentLog
         wramWrite.assign((wramBytes + 63) / 64, 0);
         wramEvents.clear();
         mramEvents.clear();
-        eventsOverflow = false;
+        wramEventsOverflow = false;
+        mramEventsOverflow = false;
         barrierLine = 0;
     }
 
@@ -56,7 +64,7 @@ struct SegmentLog
         if (wramEvents.size() < kMaxEvents)
             wramEvents.push_back({addr, size, line, write});
         else
-            eventsOverflow = true;
+            wramEventsOverflow = true;
     }
 
     void markMram(uint32_t addr, uint32_t size, uint32_t line,
@@ -65,7 +73,7 @@ struct SegmentLog
         if (mramEvents.size() < kMaxEvents)
             mramEvents.push_back({addr, size, line, write});
         else
-            eventsOverflow = true;
+            mramEventsOverflow = true;
     }
 };
 
@@ -289,6 +297,33 @@ eventLine(const SegmentLog& log, uint32_t addr, bool wantWrite)
     return 0;
 }
 
+/**
+ * First overlapping pair between two address-sorted interval lists
+ * (two-pointer sweep, O(|a| + |b|)): at a non-overlapping pair the
+ * interval with the smaller end cannot overlap anything later in the
+ * other list (starts only grow), so it can be discarded.
+ */
+bool
+firstOverlap(const std::vector<Access>& a, const std::vector<Access>& b,
+             const Access*& outA, const Access*& outB)
+{
+    size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        uint64_t aEnd = static_cast<uint64_t>(a[i].addr) + a[i].size;
+        uint64_t bEnd = static_cast<uint64_t>(b[j].addr) + b[j].size;
+        if (a[i].addr < bEnd && b[j].addr < aEnd) {
+            outA = &a[i];
+            outB = &b[j];
+            return true;
+        }
+        if (aEnd <= bEnd)
+            ++i;
+        else
+            ++j;
+    }
+    return false;
+}
+
 } // namespace
 
 const char*
@@ -371,6 +406,34 @@ InterleaveExplorer::explore() const
                            "budget";
                 return res;
             }
+            if (logs[t].mramEventsOverflow) {
+                // MRAM conflict checking and the phase commit depend
+                // entirely on the event list (the WRAM bitmap stays
+                // exact); dropped events would silently exclude DMA
+                // accesses from the race check.
+                res.verdict = InterleaveVerdict::Inconclusive;
+                res.note = "tasklet " + std::to_string(t) +
+                           " issued more than " +
+                           std::to_string(kMaxEvents) +
+                           " DMA accesses in one phase; MRAM "
+                           "conflict checking would be incomplete";
+                return res;
+            }
+        }
+
+        // Address-sorted MRAM read/write interval lists per tasklet
+        // (for the pairwise overlap sweeps below).
+        std::vector<std::vector<Access>> mramWrites(T), mramReads(T);
+        for (uint32_t t = 0; t < T; ++t) {
+            for (const Access& a : logs[t].mramEvents)
+                (a.write ? mramWrites : mramReads)[t].push_back(a);
+            auto byAddr = [](const Access& x, const Access& y) {
+                return x.addr < y.addr;
+            };
+            std::sort(mramWrites[t].begin(), mramWrites[t].end(),
+                      byAddr);
+            std::sort(mramReads[t].begin(), mramReads[t].end(),
+                      byAddr);
         }
 
         // Pairwise footprint conflicts: a write overlapping another
@@ -422,34 +485,39 @@ InterleaveExplorer::explore() const
                     res.verdict = InterleaveVerdict::Race;
                     return res;
                 }
-                // MRAM: DMA ranges, pairwise interval overlap.
-                for (const Access& a : logs[i].mramEvents) {
-                    for (const Access& b : logs[j].mramEvents) {
-                        if (!a.write && !b.write)
-                            continue;
-                        if (a.addr < b.addr + b.size &&
-                            b.addr < a.addr + a.size) {
-                            const Access& wr = a.write ? a : b;
-                            const Access& other = a.write ? b : a;
-                            res.diags.push_back(
-                                {CheckKind::TaskletRace,
-                                 Severity::Error, wr.line,
-                                 "tasklets " + std::to_string(i) +
-                                     " and " + std::to_string(j) +
-                                     " conflict on MRAM[" +
-                                     std::to_string(
-                                         std::max(a.addr,
-                                                  b.addr)) +
-                                     "] within one barrier phase "
-                                     "(DMA write at line " +
-                                     std::to_string(wr.line) +
-                                     ", concurrent DMA at line " +
-                                     std::to_string(other.line) +
-                                     ")"});
-                            res.verdict = InterleaveVerdict::Race;
-                            return res;
-                        }
-                    }
+                // MRAM: DMA ranges. Three overlap sweeps over the
+                // sorted lists (write/write, write/read,
+                // read/write) — read-read pairs never conflict.
+                auto mramConflict = [&](const Access& wr,
+                                        const Access& other) {
+                    res.diags.push_back(
+                        {CheckKind::TaskletRace, Severity::Error,
+                         wr.line,
+                         "tasklets " + std::to_string(i) + " and " +
+                             std::to_string(j) +
+                             " conflict on MRAM[" +
+                             std::to_string(
+                                 std::max(wr.addr, other.addr)) +
+                             "] within one barrier phase "
+                             "(DMA write at line " +
+                             std::to_string(wr.line) +
+                             ", concurrent DMA at line " +
+                             std::to_string(other.line) + ")"});
+                    res.verdict = InterleaveVerdict::Race;
+                };
+                const Access* a = nullptr;
+                const Access* b = nullptr;
+                if (firstOverlap(mramWrites[i], mramWrites[j], a,
+                                 b) ||
+                    firstOverlap(mramWrites[i], mramReads[j], a,
+                                 b)) {
+                    mramConflict(*a, *b);
+                    return res;
+                }
+                if (firstOverlap(mramReads[i], mramWrites[j], a,
+                                 b)) {
+                    mramConflict(*b, *a);
+                    return res;
                 }
             }
         }

@@ -25,8 +25,9 @@
  * a race, and detects barrier deadlock (a tasklet halting while
  * another waits at the rendezvous — the dynamic counterpart of the
  * verifier's barrier-balance pass). Fuel caps keep exploration
- * bounded; running out yields an explicit `Inconclusive`, never a
- * false "race-free" stamp.
+ * bounded; running out — including overflowing the per-segment DMA
+ * event list the MRAM checks depend on — yields an explicit
+ * `Inconclusive`, never a false "race-free" stamp.
  *
  * The verdict is exact for kernels whose control flow does not
  * depend on values another tasklet wrote (true of barrier-free and

@@ -191,8 +191,17 @@ inferTrip(const Program& program, const Cfg& cfg,
         int32_t b = (br.rb == var) ? sv : boundVal;
         bool continues = evalCond(br.op, a, b) ? takenIn : fallIn;
         if (!continues) {
-            loop.tripKnown = true;
-            loop.tripCount = trips;
+            // Exact only when the header test is the loop's sole
+            // exit; a secondary (break) edge in the body can leave
+            // earlier, making the header count an upper bound on
+            // completed iterations.
+            if (loop.headerOnlyExit) {
+                loop.tripKnown = true;
+                loop.tripCount = trips;
+            } else {
+                loop.tripUpperKnown = true;
+                loop.tripUpper = trips;
+            }
             return;
         }
         ++trips;
@@ -303,6 +312,15 @@ findLoops(const Program& program, const Cfg& cfg,
             if (inLoop[b])
                 loop.blocks.push_back(b);
         }
+        loop.headerOnlyExit = true;
+        for (uint32_t b : loop.blocks) {
+            if (b == header)
+                continue;
+            for (uint32_t s : cfg.blocks[b].succs) {
+                if (s == Cfg::kExit || !inLoop[s])
+                    loop.headerOnlyExit = false;
+            }
+        }
         forest.loops.push_back(std::move(loop));
     }
 
@@ -402,9 +420,19 @@ findLoops(const Program& program, const Cfg& cfg,
             if (loopId == LoopInfo::kNone)
                 continue;
             LoopInfo& loop = forest.loops[loopId];
-            if (!loop.tripKnown) {
-                loop.tripKnown = true;
-                loop.tripCount = trip;
+            if (!loop.tripKnown && !loop.tripUpperKnown) {
+                // An annotation on a multi-exit loop is only an
+                // upper bound: a break can still leave earlier, and
+                // different tasklets may break at different
+                // iterations, so the count must not be treated as
+                // exact (barrier balance would be unsound).
+                if (loop.headerOnlyExit) {
+                    loop.tripKnown = true;
+                    loop.tripCount = trip;
+                } else {
+                    loop.tripUpperKnown = true;
+                    loop.tripUpper = trip;
+                }
                 loop.annotated = true;
             }
             break;

@@ -23,6 +23,17 @@
  * unknown; a `# @trip(N)` annotation on any source line inside the
  * loop supplies the count by hand, and the certificate records that
  * the bound rests on an annotation.
+ *
+ * A count is *exact* only for loops whose sole exit is the header
+ * test (`headerOnlyExit`). A loop with a secondary, data-dependent
+ * exit in its body (a break) can leave earlier than the header test
+ * would, so the counted-header number is just an upper bound on
+ * completed iterations: such loops carry `tripUpperKnown`/`tripUpper`
+ * instead of `tripKnown`/`tripCount`. Consumers that need every
+ * tasklet to iterate the same number of times (barrier balance, the
+ * BCET side of cycle bounds) must require `tripKnown`; WCET-style
+ * consumers may scale by `tripUpper`. `@trip` annotations obey the
+ * same rule: on a multi-exit loop they only supply the upper bound.
  */
 
 #ifndef TPL_PIMSIM_ANALYSIS_LOOPS_H
@@ -53,8 +64,17 @@ struct LoopInfo
     std::vector<uint32_t> children; ///< immediate child loop ids
     uint32_t depth = 1;           ///< nesting depth (top-level = 1)
 
-    bool tripKnown = false;  ///< constant trip count available
+    /** Every edge leaving the loop originates from the header block
+     * (no break in the body). Precondition for an exact trip. */
+    bool headerOnlyExit = false;
+
+    bool tripKnown = false;  ///< exact constant trip count available
     uint64_t tripCount = 0;  ///< body executions per entry (if known)
+    /** Upper bound on completed iterations, for counted loops with a
+     * secondary exit (the header test would exit after `tripUpper`
+     * iterations; a break can only leave earlier). */
+    bool tripUpperKnown = false;
+    uint64_t tripUpper = 0;
     bool annotated = false;  ///< trip came from a @trip() annotation
 
     /** True when @p block is a member of this loop. */

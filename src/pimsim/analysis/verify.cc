@@ -512,13 +512,26 @@ checkBarrierBalance(const Program& program, const Cfg& cfg,
         int64_t latch = rv.latch == kTop ? 0 : rv.latch;
         int64_t exit = rv.exit == kTop ? 0 : rv.exit;
         if (latch > 0 && !loop.tripKnown) {
-            diags.push_back(
-                {CheckKind::BarrierImbalance, Severity::Error,
-                 firstBarrierLine(loop.blocks),
-                 "barrier inside a loop whose trip count is not "
-                 "statically known (tasklets may disagree on the "
-                 "barrier count and deadlock; a constant bound or a "
-                 "# @trip(N) annotation makes it checkable)"});
+            // Only an *exact* trip makes the summary sound: an upper
+            // bound (loop with a break) still lets tasklets leave at
+            // different iterations with differing barrier counts.
+            std::string why =
+                loop.headerOnlyExit
+                    ? "barrier inside a loop whose trip count is not "
+                      "statically known (tasklets may disagree on "
+                      "the barrier count and deadlock; a constant "
+                      "bound or a # @trip(N) annotation makes it "
+                      "checkable)"
+                    : "barrier inside a loop with a secondary "
+                      "(break) exit: tasklets may leave at "
+                      "different iterations and execute differing "
+                      "barrier counts, deadlocking the rendezvous "
+                      "(restructure so the loop exits only at its "
+                      "header test)";
+            diags.push_back({CheckKind::BarrierImbalance,
+                             Severity::Error,
+                             firstBarrierLine(loop.blocks),
+                             std::move(why)});
             return;
         }
         loopSummary[id] =

@@ -394,6 +394,36 @@ TEST(VerifyBarrier, TripAnnotationMakesDataDependentLoopCheckable)
     EXPECT_TRUE(check::verify(assemble(src), opt).empty());
 }
 
+TEST(VerifyBarrier, FlagsBarrierInsideBreakLoopEvenWhenAnnotated)
+{
+    // Counted header (trip would infer as 8) but a tid-dependent
+    // break: tasklets leave at different iterations with differing
+    // barrier counts, so the loop summary must be refused — the
+    // inferred count and even a @trip annotation are only upper
+    // bounds here, never an exact per-tasklet trip.
+    const std::string src = R"(
+        movi r1, 0
+        movi r2, 8
+        tid  r6
+        movi r7, 1
+    loop:
+        bge  r1, r2, done   # @trip(8)
+        beq  r6, r7, done
+        barrier
+        addi r1, r1, 1
+        jmp  loop
+    done:
+        halt
+    )";
+    EXPECT_GE(countOf(verifySource(src), CheckKind::BarrierImbalance),
+              1u);
+    check::VerifyOptions opt;
+    opt.tripAnnotations = check::parseTripAnnotations(src);
+    EXPECT_GE(countOf(check::verify(assemble(src), opt),
+                      CheckKind::BarrierImbalance),
+              1u);
+}
+
 // ---------------------------------------------------------------------
 // Opcode table: single source of truth, cross-checked two ways
 // ---------------------------------------------------------------------

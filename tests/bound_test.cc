@@ -59,10 +59,40 @@ TEST(Loops, CountedLoopIsFoundWithExactTrip)
     EXPECT_FALSE(forest.irreducible);
     ASSERT_EQ(1u, forest.loops.size());
     const LoopInfo& loop = forest.loops[0];
+    EXPECT_TRUE(loop.headerOnlyExit);
     EXPECT_TRUE(loop.tripKnown);
     EXPECT_EQ(17u, loop.tripCount);
     EXPECT_FALSE(loop.annotated);
     EXPECT_EQ(1u, loop.depth);
+}
+
+TEST(Loops, BreakLoopTripIsOnlyAnUpperBound)
+{
+    // Counted header (would exit after 8 trips) plus a data-dependent
+    // break in the body: an early-breaking run completes fewer
+    // iterations, so the header count must surface as an upper bound,
+    // never as an exact trip.
+    Program p = assemble(R"(
+        movi r1, 0
+        movi r2, 8
+        movi r3, 0
+        ldw  r6, r3, 0
+        movi r7, 1
+    loop:
+        bge  r1, r2, done
+        beq  r6, r7, done
+        addi r1, r1, 1
+        jmp  loop
+    done:
+        halt
+    )");
+    LoopForest forest = findLoops(p, check::buildCfg(p));
+    ASSERT_EQ(1u, forest.loops.size());
+    const LoopInfo& loop = forest.loops[0];
+    EXPECT_FALSE(loop.headerOnlyExit);
+    EXPECT_FALSE(loop.tripKnown);
+    EXPECT_TRUE(loop.tripUpperKnown);
+    EXPECT_EQ(8u, loop.tripUpper);
 }
 
 TEST(Loops, StrideAndDownCountingLoops)
@@ -339,6 +369,44 @@ TEST(BoundSoundness, BranchyKernelHasStrictIntervalWhenDataVaries)
     EXPECT_LE(b.bcet, b.wcet);
 }
 
+TEST(BoundSoundness, BreakLoopBoundContainsEarlyAndFullRuns)
+{
+    // The break flag comes from WRAM, so the static pass cannot know
+    // which iteration (if any) leaves early: the loop scales by
+    // [0, 8] iterations and both the early-breaking and the
+    // run-to-the-header-exit executions must land inside the bound.
+    Program p = assemble(R"(
+        movi r1, 0
+        movi r2, 8
+        movi r3, 0
+        movi r4, 0
+        ldw  r6, r3, 0
+        movi r7, 1
+    loop:
+        bge  r1, r2, done
+        beq  r6, r7, done
+        addi r4, r4, 3
+        addi r1, r1, 1
+        jmp  loop
+    done:
+        halt
+    )");
+    CycleBound b = computeBound(p);
+    ASSERT_TRUE(b.bounded) << b.reason;
+    EXPECT_TRUE(b.usedTripUpper);
+    EXPECT_LT(b.bcet, b.wcet);
+    for (int32_t flag : {0, 1}) {
+        DpuCore dpu;
+        dpu.hostWriteWram(0, &flag, 4);
+        dpu.launch(1,
+                   [&](TaskletContext& ctx) { execute(p, ctx); });
+        EXPECT_LE(b.bcet, dpu.lastLaunch().cycles)
+            << "flag=" << flag;
+        EXPECT_GE(b.wcet, dpu.lastLaunch().cycles)
+            << "flag=" << flag;
+    }
+}
+
 // ---------------------------------------------------------------------
 // Unbounded cases: refuse, never guess
 // ---------------------------------------------------------------------
@@ -383,6 +451,42 @@ TEST(Bound, AnnotationMakesItBoundedAndIsRecorded)
     dpu.launch(4, [&](TaskletContext& ctx) { execute(p, ctx); });
     EXPECT_LE(b.bcet, dpu.lastLaunch().cycles);
     EXPECT_GE(b.wcet, dpu.lastLaunch().cycles);
+}
+
+TEST(Bound, AnnotationOnBreakLoopIsOnlyAnUpperBound)
+{
+    // Even a @trip annotation cannot make a break-loop's trip exact:
+    // the break still leaves earlier on some runs, so the annotation
+    // supplies the upper bound only, and the certificate records the
+    // widening.
+    const std::string src = R"(
+        movi r1, 0
+        ntask r2
+        movi r3, 0
+        ldw  r6, r3, 0
+        movi r7, 1
+    loop:
+        bge  r1, r2, done   # @trip(4)
+        beq  r6, r7, done
+        addi r1, r1, 1
+        jmp  loop
+    done:
+        halt
+    )";
+    BoundOptions opt;
+    opt.tripAnnotations = parseTripAnnotations(src);
+    Program p = assemble(src);
+    LoopForest forest =
+        findLoops(p, check::buildCfg(p), opt.tripAnnotations);
+    ASSERT_EQ(1u, forest.loops.size());
+    EXPECT_FALSE(forest.loops[0].tripKnown);
+    EXPECT_TRUE(forest.loops[0].tripUpperKnown);
+    EXPECT_EQ(4u, forest.loops[0].tripUpper);
+    EXPECT_TRUE(forest.loops[0].annotated);
+    CycleBound b = computeBound(p, opt);
+    ASSERT_TRUE(b.bounded) << b.reason;
+    EXPECT_TRUE(b.usedAnnotation);
+    EXPECT_TRUE(b.usedTripUpper);
 }
 
 TEST(Bound, NonConstantDmaSizeIsUnbounded)
@@ -444,6 +548,7 @@ TEST(Certificate, RoundTripsThroughJson)
     EXPECT_EQ(cert.bound.classMax, back.bound.classMax);
     EXPECT_EQ(cert.bound.classWorst, back.bound.classWorst);
     EXPECT_EQ(cert.bound.usedAnnotation, back.bound.usedAnnotation);
+    EXPECT_EQ(cert.bound.usedTripUpper, back.bound.usedTripUpper);
     EXPECT_EQ(cert.interleaveChecked, back.interleaveChecked);
     EXPECT_EQ(cert.interleaveTasklets, back.interleaveTasklets);
     EXPECT_EQ(cert.interleave, back.interleave);
@@ -462,6 +567,31 @@ TEST(Certificate, UnboundedReasonSurvivesEscaping)
     EXPECT_EQ(cert.kernel, back.kernel);
     EXPECT_EQ(cert.bound.reason, back.bound.reason);
     EXPECT_FALSE(parseCertificate("{not a certificate}", back));
+}
+
+TEST(Certificate, KeyLikeTextInsideStringValuesDoesNotMisparse)
+{
+    // The reason ends with an escaped `"bcet`: in the raw JSON that
+    // spells the byte sequence `"bcet"` (escaped quote + closing
+    // quote), which a substring-based key scan would mistake for the
+    // bcet key and misread the next numeric field into it. The
+    // parser must lex whole string literals instead.
+    KernelCertificate cert;
+    cert.kernel = "evil";
+    cert.bound.bounded = false;
+    cert.bound.reason = "oops \"bcet";
+    cert.bound.tasklets = 3;
+    cert.bound.bcet = 7;
+    cert.bound.wcet = 9;
+    cert.bound.usedTripUpper = true;
+    std::string json = serializeCertificate(cert);
+    KernelCertificate back;
+    ASSERT_TRUE(parseCertificate(json, back));
+    EXPECT_EQ(cert.bound.reason, back.bound.reason);
+    EXPECT_EQ(3u, back.bound.tasklets);
+    EXPECT_EQ(7u, back.bound.bcet);
+    EXPECT_EQ(9u, back.bound.wcet);
+    EXPECT_TRUE(back.bound.usedTripUpper);
 }
 
 } // namespace

@@ -247,6 +247,31 @@ TEST(Interleave, FuelExhaustionIsInconclusiveNeverRaceFree)
     EXPECT_FALSE(r.note.empty());
 }
 
+TEST(Interleave, MramEventOverflowIsInconclusiveNeverRaceFree)
+{
+    // More than 65536 DMA transfers in one phase overflow the
+    // per-segment event list. MRAM conflict checking and the phase
+    // commit depend entirely on that list, so dropped events must
+    // force an explicit refusal rather than a silently incomplete
+    // race check.
+    InterleaveResult r = explore(R"(
+        movi r1, 0
+        movi r2, 65600
+        movi r3, 0
+        movi r4, 0
+        movi r5, 8
+    loop:
+        bge  r1, r2, done
+        ldma r3, r4, r5
+        addi r1, r1, 1
+        jmp  loop
+    done:
+        halt
+    )", 1);
+    EXPECT_EQ(InterleaveVerdict::Inconclusive, r.verdict);
+    EXPECT_NE(std::string::npos, r.note.find("DMA"));
+}
+
 TEST(Interleave, PhaseBudgetExhaustionIsInconclusive)
 {
     const std::string src = R"(

@@ -257,6 +257,10 @@ main(int argc, char** argv)
                       << (cert.bound.usedAnnotation
                               ? " (uses @trip annotations)"
                               : "")
+                      << (cert.bound.usedTripUpper
+                              ? " (break-loop trip upper bound; "
+                                "BCET is the loop-skipping path)"
+                              : "")
                       << "\n";
         }
         if (!quiet && !wantJson && cert.interleaveChecked) {
