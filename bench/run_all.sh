@@ -39,8 +39,14 @@
 # same settings), and a "sim_throughput" object replays the Figure-5
 # sweep with the batch execution path on (TPL_BATCH_EVAL=1, the
 # default) and off (TPL_BATCH_EVAL=0) and records both rates plus the
-# batch-over-scalar speedup. The full output schema is documented in
-# docs/bench.md.
+# batch-over-scalar speedup.
+#
+# Schema 4: the embedded "serve_sweep" object (pimserve --json,
+# embedded verbatim) now carries per-request modeled latency — a
+# "latency" object with exact nearest-rank p50/p90/p99/p999, mean and
+# max seconds plus an "incomplete" count — "requests_per_second", and
+# "anomalous_waves" (straggler-flagged waves). The full output schema
+# is documented in docs/bench.md.
 set -u
 
 if [ "${1:-}" = "--quick" ]; then
@@ -228,7 +234,7 @@ fi
 
 {
     echo "{"
-    echo "  \"schema\": 3,"
+    echo "  \"schema\": 4,"
     echo "  \"git_sha\": \"$GIT_SHA\","
     echo "  \"sim_threads\": \"${TPL_SIM_THREADS:-default}\","
     echo "  \"bench_elements\": \"${TPL_BENCH_ELEMENTS:-default}\","

@@ -17,11 +17,13 @@ TRACE_TMP=""
 FAULT_TMP=""
 DOCS_TMP=""
 CHECK_TMP=""
+OBS_TMP=""
 cleanup() {
     [ -n "$TRACE_TMP" ] && rm -rf "$TRACE_TMP"
     [ -n "$FAULT_TMP" ] && rm -rf "$FAULT_TMP"
     [ -n "$DOCS_TMP" ] && rm -rf "$DOCS_TMP"
     [ -n "$CHECK_TMP" ] && rm -rf "$CHECK_TMP"
+    [ -n "$OBS_TMP" ] && rm -rf "$OBS_TMP"
     return 0
 }
 trap cleanup EXIT
@@ -134,6 +136,64 @@ if [ "${TPL_TIER1_DOCS:-0}" = "1" ]; then
     python3 -m json.tool "$DOCS_TMP/serve.metrics.json" > /dev/null
     grep -q 'serve/' "$DOCS_TMP/serve.metrics.json"
     echo "check_docs + pimserve demo replay JSON round-trip OK"
+fi
+
+# With TPL_TIER1_OBS=1, exercise the serve observability tier end to
+# end: the demo trace replayed with a journal + SLO + metrics + trace
+# attached, Python validation of all three artifacts (journal JSONL
+# line-by-line, latency percentiles + requests/s in the JSON summary,
+# metrics/trace well-formed), and journal byte-identity across
+# TPL_SIM_THREADS=1/4/16 — the bit-replayability contract of
+# docs/observability.md checked on the real CLI, not just in-process.
+if [ "${TPL_TIER1_OBS:-0}" = "1" ]; then
+    OBS_TMP=$(mktemp -d)
+    "$BUILD_DIR/tools/pimserve" --demo-trace > "$OBS_TMP/demo.trace"
+    TPL_OBS_TRACE="$OBS_TMP/serve.trace.json" \
+        "$BUILD_DIR/tools/pimserve" --trace "$OBS_TMP/demo.trace" \
+        --dpus 16 --slo p99:50ms \
+        --journal "$OBS_TMP/serve.journal.jsonl" \
+        --json "$OBS_TMP/serve.json" \
+        --metrics "$OBS_TMP/serve.metrics.json" > /dev/null
+    python3 - "$OBS_TMP" <<'PYEOF'
+import json, sys
+tmp = sys.argv[1]
+# Journal: every line is one JSON object with the documented keys.
+kinds = set()
+with open(tmp + "/serve.journal.jsonl") as f:
+    for line in f:
+        ev = json.loads(line)
+        kinds.add(ev["kind"])
+        if ev["kind"] == "latency":
+            assert ev["complete"], ev
+            parts = (ev["queue_wait_s"] + ev["transfer_s"] +
+                     ev["compute_s"] + ev["stall_s"])
+            assert abs(parts - ev["latency_s"]) <= 1e-9, ev
+for k in ("enqueue", "coalesce", "scatter", "compute", "gather",
+          "done", "latency"):
+    assert k in kinds, (k, kinds)
+# Summary JSON: percentiles + sustained request rate + SLO verdict.
+doc = json.load(open(tmp + "/serve.json"))
+lat = doc["latency"]
+assert lat["requests"] > 0 and lat["incomplete"] == 0, lat
+assert 0 < lat["p50"] <= lat["p99"] <= lat["max"], lat
+assert doc["requests_per_second"] > 0, doc
+assert doc["slo"]["met"] is True, doc["slo"]
+# Metrics + trace artifacts parse and carry serve content.
+metrics = json.load(open(tmp + "/serve.metrics.json"))
+assert any(n.startswith("serve/") for n in metrics["counters"]), \
+    sorted(metrics["counters"])
+json.load(open(tmp + "/serve.trace.json"))
+print("journal + summary + metrics + trace artifacts OK")
+PYEOF
+    for threads in 1 4 16; do
+        TPL_SIM_THREADS=$threads \
+            "$BUILD_DIR/tools/pimserve" \
+            --trace "$OBS_TMP/demo.trace" --dpus 16 \
+            --journal "$OBS_TMP/journal.t$threads.jsonl" > /dev/null
+    done
+    cmp "$OBS_TMP/journal.t1.jsonl" "$OBS_TMP/journal.t4.jsonl"
+    cmp "$OBS_TMP/journal.t1.jsonl" "$OBS_TMP/journal.t16.jsonl"
+    echo "pimserve journal byte-identical at 1/4/16 sim threads"
 fi
 
 # With TPL_TIER1_CHECK=1, gate the shipped mini-ISA kernels on the

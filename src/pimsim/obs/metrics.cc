@@ -6,6 +6,7 @@
 #include "pimsim/obs/metrics.h"
 
 #include <bit>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -32,11 +33,54 @@ sanitizeName(const std::string& name)
 
 } // namespace
 
+Histogram::Histogram(uint32_t subBucketBits)
+    : subBits_(subBucketBits),
+      // One octave of 2^B width-1 buckets below 2^B, then one group
+      // of 2^B sub-buckets per sample bit-width B+1..64: the last
+      // flat index is bucketIndex(UINT64_MAX) = (64-B+1) * 2^B - 1.
+      buckets_((64u - subBucketBits + 1u) << subBucketBits)
+{}
+
+uint32_t
+Histogram::bucketIndex(uint64_t sample, uint32_t subBucketBits)
+{
+    const uint64_t subCount = uint64_t{1} << subBucketBits;
+    if (sample < subCount)
+        return static_cast<uint32_t>(sample);
+    const uint32_t width = static_cast<uint32_t>(std::bit_width(sample));
+    const uint32_t granularity = width - 1 - subBucketBits;
+    const uint64_t sub = (sample - (uint64_t{1} << (width - 1))) >> granularity;
+    return static_cast<uint32_t>(
+        (uint64_t{granularity + 1} << subBucketBits) + sub);
+}
+
+uint64_t
+Histogram::bucketLow(uint32_t i) const
+{
+    const uint64_t subCount = uint64_t{1} << subBits_;
+    if (i < subCount)
+        return i;
+    const uint32_t granularity = i / static_cast<uint32_t>(subCount) - 1;
+    const uint64_t sub = i & (subCount - 1);
+    return (uint64_t{1} << (granularity + subBits_)) +
+           (sub << granularity);
+}
+
+uint64_t
+Histogram::bucketHigh(uint32_t i) const
+{
+    const uint64_t subCount = uint64_t{1} << subBits_;
+    if (i < subCount)
+        return i;
+    const uint32_t granularity = i / static_cast<uint32_t>(subCount) - 1;
+    return bucketLow(i) + ((uint64_t{1} << granularity) - 1);
+}
+
 void
 Histogram::observe(uint64_t sample)
 {
-    int b = sample == 0 ? 0 : std::bit_width(sample);
-    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    buckets_[bucketIndex(sample, subBits_)].fetch_add(
+        1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(sample, std::memory_order_relaxed);
     uint64_t cur = min_.load(std::memory_order_relaxed);
@@ -49,6 +93,63 @@ Histogram::observe(uint64_t sample)
            !max_.compare_exchange_weak(cur, sample,
                                        std::memory_order_relaxed))
     {}
+}
+
+uint64_t
+Histogram::quantile(double q) const
+{
+    const uint64_t n = count();
+    if (n == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    uint64_t cum = 0;
+    for (uint32_t i = 0; i < numBuckets(); ++i) {
+        cum += bucket(i);
+        if (cum >= rank) {
+            const uint64_t hi = bucketHigh(i);
+            const uint64_t mx = maxValue();
+            return hi < mx ? hi : mx;
+        }
+    }
+    // Unreachable when count matches the bucket totals; fall back to
+    // the recorded max so a torn concurrent snapshot stays sane.
+    return maxValue();
+}
+
+bool
+Histogram::mergeFrom(const Histogram& other)
+{
+    if (other.subBits_ != subBits_)
+        return false;
+    for (uint32_t i = 0; i < numBuckets(); ++i) {
+        const uint64_t v = other.bucket(i);
+        if (v)
+            buckets_[i].fetch_add(v, std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+    const uint64_t omin = other.minValue();
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (omin < cur &&
+           !min_.compare_exchange_weak(cur, omin,
+                                       std::memory_order_relaxed))
+    {}
+    const uint64_t omax = other.maxValue();
+    cur = max_.load(std::memory_order_relaxed);
+    while (omax > cur &&
+           !max_.compare_exchange_weak(cur, omax,
+                                       std::memory_order_relaxed))
+    {}
+    return true;
 }
 
 void
@@ -91,13 +192,61 @@ Registry::real(const std::string& name)
 }
 
 Histogram&
-Registry::histogram(const std::string& name)
+Registry::histogram(const std::string& name, uint32_t subBucketBits)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     auto& slot = histograms_[sanitizeName(name)];
     if (!slot)
-        slot = std::make_unique<Histogram>();
+        slot = std::make_unique<Histogram>(subBucketBits);
     return *slot;
+}
+
+std::vector<std::string>
+Registry::histogramNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_)
+        names.push_back(name);
+    return names;
+}
+
+const Histogram*
+Registry::findHistogram(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(sanitizeName(name));
+    return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+size_t
+Registry::mergeFrom(const Registry& other)
+{
+    if (&other == this)
+        return 0;
+    std::scoped_lock lock(mutex_, other.mutex_);
+    for (const auto& [name, c] : other.counters_) {
+        auto& slot = counters_[name];
+        if (!slot)
+            slot = std::make_unique<Counter>();
+        slot->mergeFrom(*c);
+    }
+    for (const auto& [name, r] : other.reals_) {
+        auto& slot = reals_[name];
+        if (!slot)
+            slot = std::make_unique<RealAccum>();
+        slot->mergeFrom(*r);
+    }
+    size_t skipped = 0;
+    for (const auto& [name, h] : other.histograms_) {
+        auto& slot = histograms_[name];
+        if (!slot)
+            slot = std::make_unique<Histogram>(h->subBucketBits());
+        if (!slot->mergeFrom(*h))
+            ++skipped;
+    }
+    return skipped;
 }
 
 void
@@ -145,13 +294,18 @@ Registry::toJson() const
             << "\"count\": " << h->count() << ", \"sum\": " << h->sum();
         if (h->count() > 0)
             out << ", \"min\": " << h->minValue()
-                << ", \"max\": " << h->maxValue();
-        out << ", \"log2_buckets\": [";
+                << ", \"max\": " << h->maxValue()
+                << ", \"p50\": " << h->quantile(0.50)
+                << ", \"p90\": " << h->quantile(0.90)
+                << ", \"p99\": " << h->quantile(0.99)
+                << ", \"p999\": " << h->quantile(0.999);
+        out << ", \"sub_bucket_bits\": " << h->subBucketBits();
+        out << ", \"buckets\": [";
         // Trailing zero buckets are elided to keep dumps compact.
-        int top = Histogram::kBuckets;
+        uint32_t top = h->numBuckets();
         while (top > 0 && h->bucket(top - 1) == 0)
             --top;
-        for (int i = 0; i < top; ++i)
+        for (uint32_t i = 0; i < top; ++i)
             out << (i ? ", " : "") << h->bucket(i);
         out << "]}";
         first = false;

@@ -3,13 +3,14 @@
  * obs layer piece 1: the metrics registry.
  *
  * A process-wide registry of named counters, real-valued accumulators
- * and log2-bucket histograms that the simulator's instrumentation
+ * and log-linear histograms that the simulator's instrumentation
  * points (DpuCore::launch, the PimSystem transfer paths, the runtime
- * sanitizer) report into. Always compiled, **off by default**: every
- * report site guards on `Registry::global().enabled()`, a single
- * relaxed atomic load, and no instrumentation ever touches a modeled
- * statistic — cycles/instructions/DMA/energy are bit-identical with
- * the registry on or off (asserted by the extended determinism test).
+ * sanitizer, the serve pipeline) report into. Always compiled, **off
+ * by default**: every report site guards on
+ * `Registry::global().enabled()`, a single relaxed atomic load, and no
+ * instrumentation ever touches a modeled statistic — cycles/
+ * instructions/DMA/energy are bit-identical with the registry on or
+ * off (asserted by the extended determinism test).
  *
  * Naming is hierarchical by convention: "/"-separated paths such as
  * `pimsim/dpu/instr/softfloat` or `pimcheck/sanitizer/tasklet-race`.
@@ -37,6 +38,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace tpl {
 namespace obs {
@@ -48,6 +50,9 @@ class Counter
     void add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
     uint64_t value() const { return value_.load(std::memory_order_relaxed); }
     void reset() { value_.store(0, std::memory_order_relaxed); }
+
+    /** Fold @p other's value into this counter. */
+    void mergeFrom(const Counter& other) { add(other.value()); }
 
   private:
     std::atomic<uint64_t> value_{0};
@@ -68,20 +73,35 @@ class RealAccum
     double value() const { return value_.load(std::memory_order_relaxed); }
     void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
+    /** Fold @p other's value into this accumulator. */
+    void mergeFrom(const RealAccum& other) { add(other.value()); }
+
   private:
     std::atomic<double> value_{0.0};
 };
 
 /**
- * Log2-bucket histogram over uint64 samples: bucket i counts samples
- * with bit_width(sample) == i (bucket 0: sample == 0). Tracks count,
- * sum, min and max alongside, enough for latency/size distributions
- * without per-sample storage.
+ * HDR-style log-linear histogram over uint64 samples: each power-of-
+ * two range is subdivided into 2^subBucketBits equal-width
+ * sub-buckets, so quantiles extracted from the bucket array carry a
+ * bounded *relative* error of at most 2^-subBucketBits (6.25% at the
+ * default 4 bits) while the footprint stays a few hundred words.
+ * Samples below 2^(subBucketBits+1) land in width-1 buckets and are
+ * recovered exactly.
+ *
+ * Tracks count, sum, min and max alongside (sum wraps mod 2^64).
+ * observe() is lock-free (relaxed atomics); quantile() walks the
+ * bucket array deterministically — the result is a pure function of
+ * the recorded multiset, identical at any thread count.
  */
 class Histogram
 {
   public:
-    static constexpr int kBuckets = 65;
+    /** Default sub-bucket resolution: 16 sub-buckets per octave,
+     * relative quantile error <= 1/16. */
+    static constexpr uint32_t kDefaultSubBucketBits = 4;
+
+    explicit Histogram(uint32_t subBucketBits = kDefaultSubBucketBits);
 
     void observe(uint64_t sample);
 
@@ -89,12 +109,40 @@ class Histogram
     uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
     uint64_t minValue() const { return min_.load(std::memory_order_relaxed); }
     uint64_t maxValue() const { return max_.load(std::memory_order_relaxed); }
-    uint64_t bucket(int i) const { return buckets_[i].load(std::memory_order_relaxed); }
+
+    uint32_t subBucketBits() const { return subBits_; }
+    uint32_t numBuckets() const { return static_cast<uint32_t>(buckets_.size()); }
+    uint64_t bucket(uint32_t i) const { return buckets_[i].load(std::memory_order_relaxed); }
+
+    /** Flat bucket index a sample maps to, for @p subBucketBits of
+     * resolution (pure function; exposed for tests/consumers). */
+    static uint32_t bucketIndex(uint64_t sample, uint32_t subBucketBits);
+
+    /** Smallest / largest sample value bucket @p i can hold. */
+    uint64_t bucketLow(uint32_t i) const;
+    uint64_t bucketHigh(uint32_t i) const;
+
+    /**
+     * Deterministic nearest-rank quantile: the upper edge of the
+     * bucket holding the ceil(q * count)'th smallest sample, clamped
+     * to [minValue, maxValue]. @p q in [0, 1]; returns 0 on an empty
+     * histogram. Guarantee: result >= the true quantile and <= true *
+     * (1 + 2^-subBucketBits); exact below 2^(subBucketBits+1).
+     */
+    uint64_t quantile(double q) const;
+
+    /**
+     * Fold @p other's samples into this histogram. Returns false
+     * (and merges nothing) when the sub-bucket resolutions differ —
+     * bucket arrays of different shapes cannot be added losslessly.
+     */
+    bool mergeFrom(const Histogram& other);
 
     void reset();
 
   private:
-    std::atomic<uint64_t> buckets_[kBuckets]{};
+    uint32_t subBits_;
+    std::vector<std::atomic<uint64_t>> buckets_;
     std::atomic<uint64_t> count_{0};
     std::atomic<uint64_t> sum_{0};
     std::atomic<uint64_t> min_{UINT64_MAX};
@@ -104,7 +152,7 @@ class Histogram
 /**
  * The registry: named metric families, create-on-first-use. One
  * global instance serves the whole process; independent instances
- * exist only for tests.
+ * exist for tests and per-shard aggregation (see mergeFrom).
  */
 class Registry
 {
@@ -131,17 +179,40 @@ class Registry
     /// @{
     Counter& counter(const std::string& name);
     RealAccum& real(const std::string& name);
-    Histogram& histogram(const std::string& name);
+
+    /** The histogram named @p name, created on first use with
+     * @p subBucketBits of resolution (later calls return the existing
+     * handle; the resolution of the *first* call wins). */
+    Histogram& histogram(
+        const std::string& name,
+        uint32_t subBucketBits = Histogram::kDefaultSubBucketBits);
     /// @}
+
+    /** Names of every registered histogram family, sorted. */
+    std::vector<std::string> histogramNames() const;
+
+    /** The histogram named @p name, or nullptr if never registered
+     * (never creates — safe for read-only consumers). */
+    const Histogram* findHistogram(const std::string& name) const;
+
+    /**
+     * Fold every metric of @p other into this registry (missing
+     * families are created), so per-shard/per-test registries can be
+     * aggregated without double-counting — call once per source
+     * registry. Histograms whose sub-bucket resolutions disagree with
+     * an existing family are skipped; @return how many were.
+     */
+    size_t mergeFrom(const Registry& other);
 
     /** Zero every registered metric (registrations stay). */
     void reset();
 
     /**
      * Dump as JSON: {"counters": {name: value, ...}, "reals": {...},
-     * "histograms": {name: {count, sum, min, max, buckets}, ...}},
-     * names sorted. Valid JSON by construction (names are sanitized
-     * of quotes/backslashes on registration).
+     * "histograms": {name: {count, sum, min, max, sub_bucket_bits,
+     * p50, p90, p99, buckets}, ...}}, names sorted. Valid JSON by
+     * construction (names are sanitized of quotes/backslashes on
+     * registration).
      */
     std::string toJson() const;
 

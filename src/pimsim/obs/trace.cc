@@ -220,6 +220,54 @@ Tracer::counterValue(const std::string& name, const char* cat,
 }
 
 void
+Tracer::flowBegin(const std::string& name, const char* cat, uint64_t id)
+{
+    if (!enabled())
+        return;
+    ThreadBuffer& buf = localBuffer();
+    TraceEvent ev;
+    ev.phase = 's';
+    ev.tsUs = nowUs();
+    ev.tid = buf.tid;
+    ev.flowId = id;
+    ev.name = name;
+    ev.cat = cat;
+    buf.events.push_back(std::move(ev));
+}
+
+void
+Tracer::flowStep(const std::string& name, const char* cat, uint64_t id)
+{
+    if (!enabled())
+        return;
+    ThreadBuffer& buf = localBuffer();
+    TraceEvent ev;
+    ev.phase = 't';
+    ev.tsUs = nowUs();
+    ev.tid = buf.tid;
+    ev.flowId = id;
+    ev.name = name;
+    ev.cat = cat;
+    buf.events.push_back(std::move(ev));
+}
+
+void
+Tracer::flowEnd(const std::string& name, const char* cat, uint64_t id)
+{
+    if (!enabled())
+        return;
+    ThreadBuffer& buf = localBuffer();
+    TraceEvent ev;
+    ev.phase = 'f';
+    ev.tsUs = nowUs();
+    ev.tid = buf.tid;
+    ev.flowId = id;
+    ev.name = name;
+    ev.cat = cat;
+    buf.events.push_back(std::move(ev));
+}
+
+void
 Tracer::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -269,6 +317,13 @@ Tracer::toChromeJson() const
                 << "\", \"cat\": \"" << jsonEscape(ev->cat) << "\"";
             if (ev->phase == 'i')
                 out << ", \"s\": \"t\"";
+            if (ev->phase == 's' || ev->phase == 't' ||
+                ev->phase == 'f') {
+                out << ", \"id\": " << ev->flowId;
+                // Bind the flow terminus to the enclosing slice's end.
+                if (ev->phase == 'f')
+                    out << ", \"bp\": \"e\"";
+            }
             if (!ev->args.empty())
                 out << ", \"args\": {" << ev->args << "}";
         }

@@ -52,13 +52,14 @@
 namespace tpl {
 namespace obs {
 
-/** One Chrome trace event (phases used: B, E, X, i). */
+/** One Chrome trace event (phases used: B, E, X, i, C, s, t, f). */
 struct TraceEvent
 {
     char phase = 'X';
     double tsUs = 0.0;  ///< microseconds since tracer epoch
     double durUs = 0.0; ///< X events only
     uint32_t tid = 0;   ///< dense host-thread index
+    uint64_t flowId = 0; ///< flow events (s/t/f) only
     std::string name;
     std::string cat;
     std::string args;   ///< preformatted JSON object body, may be ""
@@ -117,6 +118,24 @@ class Tracer
      */
     void counterValue(const std::string& name, const char* cat,
                       double value);
+
+    /**
+     * Perfetto flow events (phases s/t/f): arrows connecting slices
+     * across lanes. All three take the same @p id — every event with
+     * the same id joins one flow chain. The serve pipeline emits one
+     * flow per request (id = the request's journal span ID), linking
+     * its enqueue point through the waves that carried it, so a
+     * Perfetto view can follow one request across wave/DPU lanes.
+     */
+    void flowBegin(const std::string& name, const char* cat,
+                   uint64_t id);
+
+    /** A mid-chain flow point (phase t). */
+    void flowStep(const std::string& name, const char* cat,
+                  uint64_t id);
+
+    /** The flow's terminal point (phase f, binding point "e"). */
+    void flowEnd(const std::string& name, const char* cat, uint64_t id);
     /// @}
 
     /**

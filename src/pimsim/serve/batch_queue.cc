@@ -5,6 +5,8 @@
 
 #include "pimsim/serve/batch_queue.h"
 
+#include "pimsim/obs/journal.h"
+
 #include <algorithm>
 
 namespace tpl {
@@ -20,9 +22,25 @@ BatchQueue::push(Request request)
     request.id = nextId_++;
     ++totalPushed_;
     uint64_t id = request.id;
+    if (journal_) {
+        obs::JournalEvent ev;
+        ev.kind = "enqueue";
+        ev.t = request.arrivalSeconds;
+        ev.request = id;
+        ev.elements = request.elements;
+        ev.table = request.table.label;
+        journal_->record(ev);
+    }
     queue_.push_back(std::move(request));
     cv_.notify_one();
     return id;
+}
+
+void
+BatchQueue::setJournal(obs::Journal* journal)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    journal_ = journal;
 }
 
 void
@@ -94,10 +112,11 @@ BatchQueue::popWave(uint64_t maxElements)
         if (taken == budget)
             break;
         uint64_t take = std::min(it->elements, budget - taken);
-        wave.items.push_back(
-            {it->id, it->input, it->output, take});
+        const bool wholeTail = take == it->elements;
+        wave.items.push_back({it->id, it->input, it->output, take,
+                              it->arrivalSeconds, wholeTail});
         taken += take;
-        if (take == it->elements) {
+        if (wholeTail) {
             ++wave.requestsClosed;
             it = queue_.erase(it);
         } else {

@@ -29,6 +29,11 @@
 #include <vector>
 
 namespace tpl {
+
+namespace obs {
+class Journal;
+} // namespace obs
+
 namespace sim {
 namespace serve {
 
@@ -61,6 +66,12 @@ struct Request
     const float* input = nullptr;
     float* output = nullptr;
     uint64_t elements = 0;
+    /** Modeled arrival time (seconds). The producer stamps it — trace
+     * replay uses offered timestamps, synthetic load uses 0 — and the
+     * journal's queue-wait accounting measures from it. Never a wall
+     * clock, so latency records are bit-identical at any thread
+     * count. */
+    double arrivalSeconds = 0.0;
 };
 
 /** A contiguous piece of one request scheduled into a wave. */
@@ -70,6 +81,12 @@ struct WaveItem
     const float* input = nullptr;
     float* output = nullptr;
     uint64_t elements = 0;
+    double arrivalSeconds = 0.0; ///< copied from the parent request
+    /** True iff this item carries the *tail* of its request — the
+     * queue set it when the sweep fully consumed the request. The
+     * pipeline uses it (plus element accounting) to detect request
+     * completion without a queue round-trip. */
+    bool last = false;
 };
 
 /** One batched unit of work: same-table items, at most the element
@@ -127,6 +144,13 @@ class BatchQueue
     /** Total requests ever accepted by push(). */
     uint64_t totalPushed() const;
 
+    /**
+     * Attach a journal: every push() records an `enqueue` span event
+     * stamped at the request's arrivalSeconds. nullptr detaches;
+     * off-path costs nothing (one pointer test under the push lock).
+     */
+    void setJournal(obs::Journal* journal);
+
   private:
     mutable std::mutex mutex_;
     std::condition_variable cv_;
@@ -134,6 +158,7 @@ class BatchQueue
     bool closed_ = false;
     uint64_t nextId_ = 1;
     uint64_t totalPushed_ = 0;
+    obs::Journal* journal_ = nullptr;
 };
 
 } // namespace serve

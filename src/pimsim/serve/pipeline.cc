@@ -18,9 +18,11 @@
 #include <array>
 #include <cstring>
 #include <deque>
+#include <map>
 #include <optional>
 #include <string>
 
+#include "pimsim/obs/journal.h"
 #include "pimsim/obs/metrics.h"
 #include "pimsim/obs/trace.h"
 
@@ -38,6 +40,15 @@ struct PendingWave
     uint32_t generation = 0;
 };
 
+/** One request's share of a wave (journal/flow bookkeeping). */
+struct WaveReq
+{
+    uint64_t id = 0;
+    uint64_t elements = 0; ///< this request's elements in the wave
+    bool last = false;     ///< wave carries the request's tail
+    double arrival = 0.0;
+};
+
 /** Everything one in-flight wave carries between its begin (scatter)
  * and finish (gather + distribute) steps. */
 struct WaveExec
@@ -45,14 +56,38 @@ struct WaveExec
     Wave wave;
     uint32_t generation = 0;
     uint32_t parity = 0;
+    uint64_t waveIndex = 0; ///< execution-order wave number
     const TableBinding* binding = nullptr;
     std::vector<float> stagingIn;  ///< packed item inputs
     std::vector<ShardTask> slices; ///< one per participating DPU
     std::vector<uint64_t> itemStart; ///< wave-relative item offsets
+    std::vector<WaveReq> reqs; ///< unique requests, item order
     WaveStats stats;
     PipelineEvent scatterEv;
     PipelineEvent computeEv;
 };
+
+/** Collapse a wave's items into per-request shares, item order. */
+std::vector<WaveReq>
+collectWaveReqs(const Wave& w)
+{
+    std::vector<WaveReq> reqs;
+    for (const WaveItem& it : w.items) {
+        WaveReq* r = nullptr;
+        for (WaveReq& q : reqs)
+            if (q.id == it.requestId) {
+                r = &q;
+                break;
+            }
+        if (!r) {
+            reqs.push_back({it.requestId, 0, false, it.arrivalSeconds});
+            r = &reqs.back();
+        }
+        r->elements += it.elements;
+        r->last = r->last || it.last;
+    }
+    return reqs;
+}
 
 /** Move the first @p budget elements of @p w into the returned wave;
  * @p w keeps the remainder. Items crossing the cut are split against
@@ -71,10 +106,13 @@ takeHead(Wave& w, uint64_t budget)
             head.items.push_back(it);
         } else {
             uint64_t take = budget - off;
-            head.items.push_back(
-                {it.requestId, it.input, it.output, take});
+            // The `last` flag follows the request's tail: it stays on
+            // the remainder, never the split-off head.
+            head.items.push_back({it.requestId, it.input, it.output,
+                                  take, it.arrivalSeconds, false});
             tail.push_back({it.requestId, it.input + take,
-                            it.output + take, it.elements - take});
+                            it.output + take, it.elements - take,
+                            it.arrivalSeconds, it.last});
         }
         off += it.elements;
     }
@@ -188,6 +226,60 @@ ServePipeline::run(BatchQueue& queue)
     double chain = 0.0;
     std::deque<PendingWave> retries;
     bool outOfCores = false;
+    uint64_t waveSeq = 0; ///< execution-order wave numbering
+
+    // ---- Request-span bookkeeping (journal / flow events) ----
+    // All of it runs on this (consumer) thread against modeled times
+    // read off the timeline, so the journal's content is a pure
+    // function of the workload — bit-identical at any thread count —
+    // and none of it feeds back into the modeled schedule.
+    obs::Journal* const journal = opts_.journal;
+    const bool trackReqs = journal != nullptr || tracer.enabled();
+
+    struct ReqAcc
+    {
+        std::string table;
+        double arrival = 0.0;
+        double firstScatter = -1.0; ///< <0 = not scattered yet
+        double completed = 0.0;
+        double transferSeconds = 0.0;
+        double computeSeconds = 0.0;
+        uint64_t elementsTotal = 0; ///< gen-0 elements issued
+        uint64_t elementsDone = 0;  ///< healthy gathered elements
+        uint64_t waves = 0;
+        bool sawLast = false; ///< a wave carried the request's tail
+        bool complete = false;
+    };
+    std::map<uint64_t, ReqAcc> reqAccs;
+
+    auto accFor = [&](const WaveReq& r,
+                      const TableKey& table) -> ReqAcc& {
+        auto [it, fresh] = reqAccs.try_emplace(r.id);
+        if (fresh) {
+            it->second.table = table.label;
+            it->second.arrival = r.arrival;
+        }
+        return it->second;
+    };
+
+    auto jev = [&](const char* kind, double t, double dur,
+                   uint64_t request, uint64_t wave, uint64_t elements,
+                   uint64_t cycles, const std::string& table,
+                   const std::string& note = {}) {
+        if (!journal)
+            return;
+        obs::JournalEvent ev;
+        ev.kind = kind;
+        ev.t = t;
+        ev.dur = dur;
+        ev.request = request;
+        ev.wave = wave;
+        ev.elements = elements;
+        ev.cycles = cycles;
+        ev.table = table;
+        ev.note = note;
+        journal->record(ev);
+    };
 
     auto noteFailedDpu = [&](uint32_t d) {
         if (std::find(report.failedDpus.begin(),
@@ -286,13 +378,26 @@ ServePipeline::run(BatchQueue& queue)
         uint64_t waveElems = ex.wave.elements();
         if (!ex.binding || !ex.binding->valid) {
             report.infeasibleElements += waveElems;
+            if (trackReqs)
+                for (const WaveReq& r : collectWaveReqs(ex.wave)) {
+                    ReqAcc& acc = accFor(r, ex.wave.table);
+                    if (ex.generation == 0) {
+                        acc.elementsTotal += r.elements;
+                        acc.sawLast = acc.sawLast || r.last;
+                    }
+                    jev("drop", chain, 0.0, r.id,
+                        obs::JournalEvent::kNoWave, r.elements, 0,
+                        ex.wave.table.label, "no valid table binding");
+                }
             return false;
         }
+        PipelineEvent bcastEv{};
         if (found.miss && ex.binding->tableBytes > 0) {
             PipelineEvent ev = sys_.broadcastAsync(
                 timeline, opts_.pipelined ? 0.0 : chain,
                 ex.binding->tableBytes);
             ex.stats.broadcastSeconds = ev.seconds();
+            bcastEv = ev;
             chain = ev.end;
         }
 
@@ -362,6 +467,42 @@ ServePipeline::run(BatchQueue& queue)
         ex.scatterEv = sys_.scatterAsync(timeline, readyAt, scatter);
         chain = ex.scatterEv.end;
         ex.stats.scatterSeconds = ex.scatterEv.seconds();
+        ex.waveIndex = waveSeq++;
+
+        // Per-request span accounting (post-split, so every element
+        // is attributed to exactly the wave that carries it).
+        if (trackReqs) {
+            ex.reqs = collectWaveReqs(ex.wave);
+            const double waveXfer =
+                ex.stats.broadcastSeconds + ex.stats.scatterSeconds;
+            for (const WaveReq& r : ex.reqs) {
+                ReqAcc& acc = accFor(r, ex.wave.table);
+                ++acc.waves;
+                if (acc.firstScatter < 0.0)
+                    acc.firstScatter = ex.scatterEv.start;
+                acc.transferSeconds += waveXfer;
+                if (ex.generation == 0) {
+                    acc.elementsTotal += r.elements;
+                    acc.sawLast = acc.sawLast || r.last;
+                }
+                if (tracer.enabled()) {
+                    const std::string flowName =
+                        "req " + std::to_string(r.id);
+                    if (acc.waves == 1)
+                        tracer.flowBegin(flowName, "serve", r.id);
+                    else
+                        tracer.flowStep(flowName, "serve", r.id);
+                }
+                jev("coalesce", ex.scatterEv.start, 0.0, r.id,
+                    ex.waveIndex, r.elements, 0, ex.wave.table.label);
+                jev("scatter", ex.scatterEv.start,
+                    ex.scatterEv.seconds(), r.id, ex.waveIndex,
+                    r.elements, 0, ex.wave.table.label);
+            }
+            if (ex.stats.tableMiss && ex.stats.broadcastSeconds > 0.0)
+                jev("broadcast", bcastEv.start, bcastEv.seconds(), 0,
+                    ex.waveIndex, 0, 0, ex.wave.table.label);
+        }
         ++wavesExecuted_;
         return true;
     };
@@ -392,6 +533,60 @@ ServePipeline::run(BatchQueue& queue)
                 ? static_cast<double>(ex.stats.maxCycles) / freq
                 : 0.0;
         report.computeCycles += ex.stats.maxCycles;
+
+        // Straggler detection: a pure function of the per-DPU cycle
+        // counts the sequential failure sweep recorded, so it is
+        // deterministic at any thread count and costs nothing on the
+        // modeled schedule.
+        const std::vector<uint64_t>& perDpu = sys_.lastLaunchCycles();
+        std::vector<uint64_t> sliceCycles;
+        sliceCycles.reserve(ex.slices.size());
+        for (const ShardTask& t : ex.slices)
+            if (t.dpu < perDpu.size())
+                sliceCycles.push_back(perDpu[t.dpu]);
+        std::sort(sliceCycles.begin(), sliceCycles.end());
+        if (!sliceCycles.empty())
+            ex.stats.medianCycles =
+                sliceCycles[sliceCycles.size() / 2];
+        if (sliceCycles.size() >= 2 && ex.stats.medianCycles > 0) {
+            const double limit =
+                opts_.stragglerFactor *
+                static_cast<double>(ex.stats.medianCycles);
+            uint32_t stragglers = 0;
+            for (uint64_t c : sliceCycles)
+                if (static_cast<double>(c) > limit)
+                    ++stragglers;
+            if (stragglers > 0) {
+                ex.stats.stragglerDpus = stragglers;
+                ++report.anomalousWaves;
+                if (reg.enabled()) {
+                    reg.counter("serve/anomaly/straggler_waves")
+                        .add(1);
+                    reg.counter("serve/anomaly/straggler_dpus")
+                        .add(stragglers);
+                }
+                jev("anomaly", ex.computeEv.start,
+                    ex.computeEv.seconds(), 0, ex.waveIndex,
+                    ex.stats.elements, sliceCycles.back(),
+                    ex.wave.table.label,
+                    "max " + std::to_string(sliceCycles.back()) +
+                        " cycles vs median " +
+                        std::to_string(ex.stats.medianCycles) +
+                        " across " +
+                        std::to_string(sliceCycles.size()) +
+                        " slices");
+            }
+        }
+
+        if (trackReqs)
+            for (const WaveReq& r : ex.reqs) {
+                ReqAcc& acc = accFor(r, ex.wave.table);
+                acc.computeSeconds += ex.computeEv.seconds();
+                jev("compute", ex.computeEv.start,
+                    ex.computeEv.seconds(), r.id, ex.waveIndex,
+                    r.elements, ex.stats.maxCycles,
+                    ex.wave.table.label);
+            }
     };
 
     /** Gather, distribute outputs, and re-queue failed slices. */
@@ -436,6 +631,7 @@ ServePipeline::run(BatchQueue& queue)
                         fn(ex.wave.items[i], s, s - a, e - s);
                 }
             };
+        std::map<uint64_t, uint64_t> gatheredByReq;
         for (const ShardTask& t : ex.slices) {
             uint64_t lo = t.firstElement;
             uint64_t hi = lo + t.elements;
@@ -447,6 +643,8 @@ ServePipeline::run(BatchQueue& queue)
                         std::memcpy(it.output + itemOff,
                                     stagingOut.data() + waveOff,
                                     count * sizeof(float));
+                        if (trackReqs)
+                            gatheredByReq[it.requestId] += count;
                     });
             } else {
                 ++ex.stats.retriedSlices;
@@ -455,16 +653,50 @@ ServePipeline::run(BatchQueue& queue)
                     lo, hi,
                     [&](const WaveItem& it, uint64_t /*waveOff*/,
                         uint64_t itemOff, uint64_t count) {
+                        // The tail flag survives a retry only if the
+                        // retried range still covers the item's tail.
                         retry.items.push_back(
                             {it.requestId, it.input + itemOff,
-                             it.output + itemOff, count});
+                             it.output + itemOff, count,
+                             it.arrivalSeconds,
+                             it.last &&
+                                 itemOff + count == it.elements});
                     });
             }
         }
+
+        if (trackReqs)
+            for (const WaveReq& r : ex.reqs) {
+                ReqAcc& acc = accFor(r, ex.wave.table);
+                acc.transferSeconds += gatherEv.seconds();
+                jev("gather", gatherEv.start, gatherEv.seconds(),
+                    r.id, ex.waveIndex, r.elements, 0,
+                    ex.wave.table.label);
+                auto g = gatheredByReq.find(r.id);
+                if (g != gatheredByReq.end())
+                    acc.elementsDone += g->second;
+                if (!acc.complete && acc.sawLast &&
+                    acc.elementsTotal > 0 &&
+                    acc.elementsDone == acc.elementsTotal) {
+                    acc.complete = true;
+                    acc.completed = gatherEv.end;
+                    jev("done", gatherEv.end, 0.0, r.id, ex.waveIndex,
+                        acc.elementsTotal, 0, ex.wave.table.label);
+                    if (tracer.enabled())
+                        tracer.flowEnd("req " + std::to_string(r.id),
+                                       "serve", r.id);
+                }
+            }
         uint64_t retryElems = retry.elements();
         if (retryElems > 0) {
             if (ex.generation + 1 > opts_.maxRetryWaves) {
                 report.droppedElements += retryElems;
+                if (trackReqs)
+                    for (const WaveReq& r : collectWaveReqs(retry))
+                        jev("drop", gatherEv.end, 0.0, r.id,
+                            ex.waveIndex, r.elements, 0,
+                            retry.table.label,
+                            "retry budget exhausted");
                 if (reg.enabled())
                     reg.counter("serve/retry/dropped_elements")
                         .add(retryElems);
@@ -524,8 +756,21 @@ ServePipeline::run(BatchQueue& queue)
     }
 
     // Anything still pending when we ran out of cores is dropped.
-    for (const PendingWave& pw : retries)
+    const double drainT = timeline.makespan();
+    for (const PendingWave& pw : retries) {
         report.droppedElements += pw.wave.elements();
+        if (trackReqs)
+            for (const WaveReq& r : collectWaveReqs(pw.wave)) {
+                ReqAcc& acc = accFor(r, pw.wave.table);
+                if (pw.generation == 0) {
+                    acc.elementsTotal += r.elements;
+                    acc.sawLast = acc.sawLast || r.last;
+                }
+                jev("drop", drainT, 0.0, r.id,
+                    obs::JournalEvent::kNoWave, r.elements, 0,
+                    pw.wave.table.label, "out of cores");
+            }
+    }
     retries.clear();
 
     report.waves = report.waveStats.size();
@@ -535,6 +780,41 @@ ServePipeline::run(BatchQueue& queue)
     report.complete = !outOfCores && report.droppedElements == 0 &&
                       report.infeasibleElements == 0 &&
                       queue.closed() && queue.depth() == 0;
+
+    // Finalize one RequestLatency per tracked request. The std::map
+    // iterates in request-id order, and every timestamp came off the
+    // modeled timeline — the journal serializes byte-identically at
+    // any thread count. Decomposition identity (complete requests):
+    //   latency = queueWait + transfer + compute + stall
+    // holds exactly because stall is defined as the residual; it goes
+    // negative when a multi-wave request's legs overlap in the
+    // double-buffered schedule (legs then sum past the span).
+    if (journal) {
+        for (const auto& [id, acc] : reqAccs) {
+            obs::RequestLatency lat;
+            lat.request = id;
+            lat.table = acc.table;
+            lat.elements = acc.elementsTotal;
+            lat.waves = acc.waves;
+            lat.complete = acc.complete;
+            lat.arrivalSeconds = acc.arrival;
+            lat.firstScatterSeconds = acc.firstScatter < 0.0
+                                          ? acc.arrival
+                                          : acc.firstScatter;
+            lat.completedSeconds = acc.completed;
+            lat.queueWaitSeconds =
+                lat.firstScatterSeconds - acc.arrival;
+            lat.transferSeconds = acc.transferSeconds;
+            lat.computeSeconds = acc.computeSeconds;
+            lat.stallSeconds =
+                acc.complete
+                    ? (acc.completed - acc.arrival) -
+                          lat.queueWaitSeconds - acc.transferSeconds -
+                          acc.computeSeconds
+                    : 0.0;
+            journal->recordLatency(lat);
+        }
+    }
 
     if (reg.enabled()) {
         reg.counter("serve/waves").add(report.waves);

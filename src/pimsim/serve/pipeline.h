@@ -76,6 +76,28 @@ struct PipelineOptions
      * book alive for the pipeline's lifetime.
      */
     const CostBook* costBook = nullptr;
+
+    /**
+     * Request journal (kill switch: nullptr, the default). When set,
+     * the pipeline stamps per-request causal events (coalesce /
+     * scatter / compute / gather / done / drop) and a fully-decomposed
+     * RequestLatency per request, all in modeled time read off the
+     * PipelineTimeline — bit-identical at any thread count and
+     * statistics-neutral (the modeled schedule never consults it).
+     * The caller keeps the journal alive for the run. Pair with
+     * BatchQueue::setJournal to also capture enqueue events.
+     */
+    obs::Journal* journal = nullptr;
+
+    /**
+     * Straggler detector threshold: a wave is flagged anomalous when
+     * its slowest participating DPU exceeds stragglerFactor × the
+     * wave's median per-DPU cycles (upper median; waves with fewer
+     * than two slices or a zero median are never flagged). Detection
+     * is a pure function of modeled cycles, so it is deterministic
+     * and always on; <= 1 effectively flags every uneven wave.
+     */
+    double stragglerFactor = 4.0;
 };
 
 /** Modeled timing of one executed wave. */
@@ -90,6 +112,11 @@ struct WaveStats
     double gatherSeconds = 0.0;
     uint64_t maxCycles = 0;    ///< slowest healthy core, cycles
     uint32_t retriedSlices = 0; ///< slices lost to masked cores
+    /** Upper median of the participating DPUs' cycle counts. */
+    uint64_t medianCycles = 0;
+    /** DPUs whose cycles exceeded stragglerFactor × medianCycles;
+     * nonzero iff the wave was flagged anomalous. */
+    uint32_t stragglerDpus = 0;
 };
 
 /** Outcome of one ServePipeline::run. */
@@ -108,6 +135,9 @@ struct ServeReport
     std::vector<uint32_t> failedDpus; ///< cores masked during the run
     uint64_t reshardedElements = 0; ///< elements re-queued off them
     uint64_t computeCycles = 0; ///< sum of per-wave max cycles
+    /** Waves flagged by the straggler detector (see
+     * PipelineOptions::stragglerFactor). */
+    uint64_t anomalousWaves = 0;
     std::vector<WaveStats> waveStats;
 
     /** Fraction of the synchronous schedule hidden by overlap. */

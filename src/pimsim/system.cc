@@ -458,6 +458,7 @@ PimSystem::sweepLaunchFailures(const std::vector<uint8_t>& ran,
     for (uint64_t c : cycles)
         maxCycles = std::max(maxCycles, c);
     lastMaxCycles_ = maxCycles;
+    lastCycles_ = cycles;
     report.maxCycles = maxCycles;
     lastReport_ = std::move(report);
 }

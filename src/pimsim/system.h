@@ -434,6 +434,19 @@ class PimSystem
     /** Cycles of the slowest DPU in the last launchAll. */
     uint64_t lastMaxCycles() const { return lastMaxCycles_; }
 
+    /**
+     * Per-DPU cycle counts of the last launchAll/launchAsync, indexed
+     * by DPU (0 for cores that did not run the wave; straggler
+     * entries already fenced at the policy's launch timeout). Filled
+     * by the same sequential failure sweep that computes
+     * lastMaxCycles(), so it is deterministic at any thread count —
+     * the serve pipeline's straggler detector reads its spread.
+     */
+    const std::vector<uint64_t>& lastLaunchCycles() const
+    {
+        return lastCycles_;
+    }
+
     /** Failure accounting of the last launchAll. */
     const LaunchReport& lastLaunchReport() const { return lastReport_; }
 
@@ -575,6 +588,7 @@ class PimSystem
     CostModel model_;
     std::vector<std::unique_ptr<DpuCore>> dpus_;
     uint64_t lastMaxCycles_ = 0;
+    std::vector<uint64_t> lastCycles_;
     uint32_t simThreads_ = 0;
     ThreadPool* pool_ = nullptr; ///< nullptr = the global pool
     TransferStats transferStats_;

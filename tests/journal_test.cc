@@ -1,0 +1,379 @@
+/**
+ * @file
+ * pimjournal tests: per-request causal spans through the serve
+ * pipeline, the exact latency-decomposition identity, byte-identity
+ * of the journal across simulation thread counts, statistics
+ * neutrality, exact percentile extraction, SLO spec grammar and
+ * accounting, and straggler-anomaly cross-validation against
+ * pimfault-injected stragglers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pimsim/obs/journal.h"
+#include "pimsim/serve/pipeline.h"
+#include "transpim/serve_glue.h"
+
+using namespace tpl;
+using namespace tpl::sim;
+using namespace tpl::transpim;
+
+namespace {
+
+serve::Request
+makeRequest(const serve::TableKey& key, const float* in, float* out,
+            uint64_t elements, double arrival = 0.0)
+{
+    serve::Request r;
+    r.table = key;
+    r.input = in;
+    r.output = out;
+    r.elements = elements;
+    r.arrivalSeconds = arrival;
+    return r;
+}
+
+/** One pipelined serve run of three sin requests (one multi-wave, two
+ * coalescing) with an optional journal attached. */
+struct RunResult
+{
+    serve::ServeReport rep;
+    std::string jsonl;
+    std::vector<obs::RequestLatency> latencies;
+    std::vector<obs::JournalEvent> events;
+    std::vector<float> out;
+    double makespan = 0.0;
+};
+
+RunResult
+runServe(uint32_t simThreads, bool withJournal,
+         const char* faultPlanText = nullptr)
+{
+    PimSystem sys(4);
+    sys.setSimThreads(simThreads);
+    if (faultPlanText) {
+        auto plan = fault::FaultPlan::parse(faultPlanText);
+        EXPECT_TRUE(plan.has_value());
+        sys.armFaults(*plan);
+    }
+    EvaluatorCatalog catalog;
+    MethodSpec spec;
+    serve::TableKey key = catalog.add(Function::Sin, spec);
+
+    const uint32_t big = 4096, small = 512;
+    std::vector<float> in(big + 2 * small), out(big + 2 * small, 0.0f);
+    for (uint32_t i = 0; i < in.size(); ++i)
+        in[i] = 6.28f * static_cast<float>(i) /
+                static_cast<float>(in.size());
+
+    obs::Journal journal;
+    serve::BatchQueue queue;
+    if (withJournal)
+        queue.setJournal(&journal);
+    queue.push(makeRequest(key, in.data(), out.data(), big, 0.0));
+    queue.push(makeRequest(key, in.data() + big, out.data() + big,
+                           small, 1e-6));
+    queue.push(makeRequest(key, in.data() + big + small,
+                           out.data() + big + small, small, 2e-6));
+    queue.close();
+
+    serve::PipelineOptions popts;
+    popts.numTasklets = 8;
+    popts.perDpuElements = 256; // 4 DPUs -> 1024-element waves
+    if (withJournal)
+        popts.journal = &journal;
+    serve::ServePipeline pipeline(sys, catalog.provider(), popts);
+
+    RunResult res;
+    res.rep = pipeline.run(queue);
+    res.jsonl = journal.toJsonl();
+    res.latencies = journal.latencies();
+    res.events = journal.events();
+    res.out = out;
+    res.makespan = res.rep.modeledSeconds;
+    return res;
+}
+
+uint64_t
+countEvents(const std::vector<obs::JournalEvent>& evs,
+            const std::string& kind, uint64_t request)
+{
+    uint64_t n = 0;
+    for (const auto& ev : evs)
+        if (ev.kind == kind && ev.request == request)
+            ++n;
+    return n;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Causal spans.
+
+TEST(Journal, RequestSpansCoverEveryStage)
+{
+    RunResult res = runServe(1, true);
+    ASSERT_TRUE(res.rep.complete);
+    EXPECT_EQ(res.rep.waves, 5u); // 4 waves of req 1 + 1 coalesced
+
+    // Request 1 (4096 elements) rides 4 waves; requests 2 and 3
+    // coalesce into the final wave.
+    EXPECT_EQ(countEvents(res.events, "enqueue", 1), 1u);
+    EXPECT_EQ(countEvents(res.events, "coalesce", 1), 4u);
+    EXPECT_EQ(countEvents(res.events, "scatter", 1), 4u);
+    EXPECT_EQ(countEvents(res.events, "compute", 1), 4u);
+    EXPECT_EQ(countEvents(res.events, "gather", 1), 4u);
+    EXPECT_EQ(countEvents(res.events, "done", 1), 1u);
+    for (uint64_t r : {2u, 3u}) {
+        EXPECT_EQ(countEvents(res.events, "enqueue", r), 1u);
+        EXPECT_EQ(countEvents(res.events, "coalesce", r), 1u);
+        EXPECT_EQ(countEvents(res.events, "done", r), 1u);
+    }
+    EXPECT_EQ(countEvents(res.events, "anomaly", 0), 0u);
+
+    ASSERT_EQ(res.latencies.size(), 3u);
+    for (const obs::RequestLatency& lat : res.latencies) {
+        EXPECT_TRUE(lat.complete);
+        EXPECT_NE(lat.table.find("sin"), std::string::npos) << lat.table;
+        EXPECT_GT(lat.latencySeconds(), 0.0);
+        EXPECT_GE(lat.queueWaitSeconds, 0.0);
+        EXPECT_GT(lat.transferSeconds, 0.0);
+        EXPECT_GT(lat.computeSeconds, 0.0);
+    }
+    EXPECT_EQ(res.latencies[0].waves, 4u);
+    EXPECT_EQ(res.latencies[0].elements, 4096u);
+    EXPECT_EQ(res.latencies[1].waves, 1u);
+    EXPECT_EQ(res.latencies[2].waves, 1u);
+}
+
+TEST(Journal, DecompositionIdentityIsExact)
+{
+    RunResult res = runServe(1, true);
+    ASSERT_TRUE(res.rep.complete);
+    ASSERT_EQ(res.latencies.size(), 3u);
+    for (const obs::RequestLatency& lat : res.latencies) {
+        const double sum = lat.queueWaitSeconds + lat.transferSeconds +
+                           lat.computeSeconds + lat.stallSeconds;
+        const double latency = lat.latencySeconds();
+        // stall is the residual, so the identity holds to rounding.
+        EXPECT_NEAR(latency, sum, 1e-12 + 1e-9 * latency)
+            << "request " << lat.request;
+        EXPECT_DOUBLE_EQ(lat.queueWaitSeconds,
+                         lat.firstScatterSeconds - lat.arrivalSeconds);
+    }
+    // The multi-wave request overlaps its own waves in the double-
+    // buffered schedule: its legs sum past the span, so the residual
+    // goes negative — that is the documented signature of overlap.
+    EXPECT_LT(res.latencies[0].stallSeconds, 0.0);
+}
+
+TEST(Journal, ByteIdenticalAcrossSimThreadCounts)
+{
+    RunResult ref = runServe(1, true);
+    ASSERT_FALSE(ref.jsonl.empty());
+    for (uint32_t threads : {4u, 16u}) {
+        RunResult res = runServe(threads, true);
+        EXPECT_EQ(ref.jsonl, res.jsonl) << "threads=" << threads;
+    }
+}
+
+TEST(Journal, StatisticsNeutralWhenAttached)
+{
+    RunResult off = runServe(4, false);
+    RunResult on = runServe(4, true);
+    ASSERT_TRUE(off.rep.complete);
+    ASSERT_TRUE(on.rep.complete);
+    // Modeled statistics are bit-identical with the journal on/off.
+    EXPECT_EQ(off.rep.modeledSeconds, on.rep.modeledSeconds);
+    EXPECT_EQ(off.rep.syncSeconds, on.rep.syncSeconds);
+    EXPECT_EQ(off.rep.computeCycles, on.rep.computeCycles);
+    EXPECT_EQ(off.rep.waves, on.rep.waves);
+    EXPECT_EQ(off.rep.anomalousWaves, on.rep.anomalousWaves);
+    ASSERT_EQ(off.out.size(), on.out.size());
+    EXPECT_EQ(0, std::memcmp(off.out.data(), on.out.data(),
+                             off.out.size() * sizeof(float)));
+    // And the off run really recorded nothing.
+    EXPECT_TRUE(off.jsonl.empty());
+    EXPECT_FALSE(on.jsonl.empty());
+}
+
+// ---------------------------------------------------------------------
+// Straggler anomaly detection, cross-validated against pimfault.
+
+TEST(Journal, InjectedStragglerWaveIsFlagged)
+{
+    // DPU 3 runs 8x slow on every launch (pure slowdown, no launch
+    // timeout armed, so it is never masked — exactly the anomaly the
+    // detector exists for).
+    RunResult res = runServe(
+        1, true, "seed 1\nfault kind=dpu-straggler dpu=3 prob=1 slowdown=8\n");
+    ASSERT_TRUE(res.rep.complete);
+    EXPECT_GT(res.rep.anomalousWaves, 0u);
+    EXPECT_EQ(res.rep.anomalousWaves, res.rep.waves);
+    uint64_t anomalies = 0;
+    for (const auto& ev : res.events)
+        if (ev.kind == "anomaly") {
+            ++anomalies;
+            EXPECT_NE(ev.wave, obs::JournalEvent::kNoWave);
+            EXPECT_GT(ev.cycles, 0u);
+            EXPECT_NE(ev.note.find("median"), std::string::npos);
+        }
+    EXPECT_EQ(anomalies, res.rep.anomalousWaves);
+    for (const serve::WaveStats& ws : res.rep.waveStats) {
+        EXPECT_EQ(ws.stragglerDpus, 1u);
+        EXPECT_GT(ws.medianCycles, 0u);
+        EXPECT_GT(static_cast<double>(ws.maxCycles),
+                  4.0 * static_cast<double>(ws.medianCycles));
+    }
+
+    // Control: the fault-free run flags nothing (see
+    // RequestSpansCoverEveryStage) and a uniform system never
+    // trips the detector spuriously.
+    RunResult clean = runServe(1, true);
+    EXPECT_EQ(clean.rep.anomalousWaves, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Exact percentiles.
+
+TEST(Journal, SummarizeComputesExactNearestRankPercentiles)
+{
+    obs::Journal j;
+    // 100 completed requests with latencies 1ms..100ms, plus one
+    // incomplete straggler that must not pollute the percentiles.
+    for (uint64_t i = 1; i <= 100; ++i) {
+        obs::RequestLatency lat;
+        lat.request = i;
+        lat.table = "t";
+        lat.complete = true;
+        lat.arrivalSeconds = 0.0;
+        lat.completedSeconds = static_cast<double>(i) * 1e-3;
+        j.recordLatency(lat);
+    }
+    obs::RequestLatency bad;
+    bad.request = 101;
+    bad.complete = false;
+    j.recordLatency(bad);
+
+    obs::LatencySummary s = j.summarize(2.0);
+    EXPECT_EQ(s.requests, 100u);
+    EXPECT_EQ(s.incomplete, 1u);
+    EXPECT_DOUBLE_EQ(s.p50, 0.050);
+    EXPECT_DOUBLE_EQ(s.p90, 0.090);
+    EXPECT_DOUBLE_EQ(s.p99, 0.099);
+    EXPECT_DOUBLE_EQ(s.p999, 0.100);
+    EXPECT_DOUBLE_EQ(s.max, 0.100);
+    EXPECT_NEAR(s.mean, 0.0505, 1e-12);
+    EXPECT_DOUBLE_EQ(s.requestsPerSecond, 50.0);
+}
+
+TEST(Journal, JsonlIsCanonicalAndSorted)
+{
+    RunResult res = runServe(1, true);
+    ASSERT_FALSE(res.jsonl.empty());
+    // Every line is one JSON object; event lines come time-sorted,
+    // then latency lines sorted by request id.
+    double lastT = -1.0;
+    bool inLatencies = false;
+    size_t lines = 0;
+    size_t pos = 0;
+    while (pos < res.jsonl.size()) {
+        size_t eol = res.jsonl.find('\n', pos);
+        ASSERT_NE(eol, std::string::npos);
+        const std::string line = res.jsonl.substr(pos, eol - pos);
+        pos = eol + 1;
+        ++lines;
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        if (line.find("\"kind\": \"latency\"") != std::string::npos) {
+            inLatencies = true;
+            continue;
+        }
+        EXPECT_FALSE(inLatencies)
+            << "event line after latency lines: " << line;
+        const size_t tKey = line.find("\"t\": ");
+        ASSERT_NE(tKey, std::string::npos);
+        const double t = std::strtod(line.c_str() + tKey + 5, nullptr);
+        EXPECT_GE(t, lastT);
+        lastT = t;
+    }
+    EXPECT_GT(lines, 10u);
+}
+
+// ---------------------------------------------------------------------
+// SLO spec grammar + accounting.
+
+TEST(Slo, SpecGrammarParses)
+{
+    obs::SloSpec s;
+    ASSERT_TRUE(obs::SloSpec::parse("p99<2ms", s));
+    EXPECT_DOUBLE_EQ(s.percentile, 99.0);
+    EXPECT_DOUBLE_EQ(s.targetSeconds, 2e-3);
+
+    ASSERT_TRUE(obs::SloSpec::parse("p50:150us", s));
+    EXPECT_DOUBLE_EQ(s.percentile, 50.0);
+    EXPECT_DOUBLE_EQ(s.targetSeconds, 150e-6);
+
+    ASSERT_TRUE(obs::SloSpec::parse("p99.9<1s", s));
+    EXPECT_DOUBLE_EQ(s.percentile, 99.9);
+    EXPECT_DOUBLE_EQ(s.targetSeconds, 1.0);
+
+    ASSERT_TRUE(obs::SloSpec::parse("p90<500ns", s));
+    EXPECT_DOUBLE_EQ(s.targetSeconds, 500e-9);
+
+    // Malformed specs are rejected and leave the spec untouched.
+    obs::SloSpec keep;
+    keep.percentile = 42.0;
+    keep.targetSeconds = 0.042;
+    for (const char* bad :
+         {"", "99<2ms", "p0<1ms", "p100<1ms", "p99<", "p99<5",
+          "p99<5m", "p99>5ms", "p99<5msx", "p<5ms", "p99<-5ms"}) {
+        EXPECT_FALSE(obs::SloSpec::parse(bad, keep)) << bad;
+        EXPECT_DOUBLE_EQ(keep.percentile, 42.0) << bad;
+        EXPECT_DOUBLE_EQ(keep.targetSeconds, 0.042) << bad;
+    }
+
+    ASSERT_TRUE(obs::SloSpec::parse("p99<2ms", s));
+    EXPECT_EQ(s.toText(), "p99<0.002s");
+    EXPECT_NEAR(s.allowedBadFraction(), 0.01, 1e-12);
+}
+
+TEST(Slo, TrackerAccountsPerTableAndCountsIncompleteAsBad)
+{
+    obs::SloSpec spec;
+    ASSERT_TRUE(obs::SloSpec::parse("p90<15ms", spec));
+    obs::SloTracker tracker(spec);
+
+    // Table A: exactly at the error budget (1 of 10 over target).
+    for (int i = 0; i < 9; ++i)
+        tracker.observe("a", 0.010, true);
+    tracker.observe("a", 0.020, true);
+    // Table B: within latency but one answer never arrived.
+    tracker.observe("b", 0.001, true);
+    tracker.observe("b", 0.0, false); // incomplete => bad
+
+    std::vector<obs::SloResult> results = tracker.results();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].table, "a");
+    EXPECT_EQ(results[0].good, 9u);
+    EXPECT_EQ(results[0].bad, 1u);
+    EXPECT_NEAR(results[0].badFraction, 0.1, 1e-12);
+    EXPECT_NEAR(results[0].burnRate, 1.0, 1e-9);
+    EXPECT_TRUE(results[0].met);
+
+    EXPECT_EQ(results[1].table, "b");
+    EXPECT_EQ(results[1].good, 1u);
+    EXPECT_EQ(results[1].bad, 1u);
+    EXPECT_FALSE(results[1].met); // burn rate 5 >> 1
+
+    obs::SloResult total = tracker.total();
+    EXPECT_EQ(total.table, "*");
+    EXPECT_EQ(total.good, 10u);
+    EXPECT_EQ(total.bad, 2u);
+    EXPECT_NEAR(total.badFraction, 2.0 / 12.0, 1e-12);
+}

@@ -12,6 +12,7 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <cstdint>
@@ -19,6 +20,7 @@
 #include <memory>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -408,12 +410,28 @@ TEST(Metrics, RegistryAccumulatesAndDumpsValidJson)
     EXPECT_EQ(0.0 + 7.0 + (1u << 20), hist.at("sum").number);
     EXPECT_EQ(0.0, hist.at("min").number);
     EXPECT_EQ(static_cast<double>(1u << 20), hist.at("max").number);
-    // log2 buckets: 0 -> bucket 0, 7 -> bucket 3, 2^20 -> bucket 21.
-    const Json& buckets = hist.at("log2_buckets");
+    EXPECT_EQ(static_cast<double>(
+                  obs::Histogram::kDefaultSubBucketBits),
+              hist.at("sub_bucket_bits").number);
+    // Quantile keys ride along for any non-empty histogram.
+    EXPECT_TRUE(hist.has("p50"));
+    EXPECT_TRUE(hist.has("p99"));
+    // Log-linear buckets: small samples land exactly, large ones in
+    // the sub-bucket the index math names.
+    const uint32_t bits = obs::Histogram::kDefaultSubBucketBits;
+    const Json& buckets = hist.at("buckets");
     ASSERT_EQ(Json::Type::Array, buckets.type);
-    EXPECT_EQ(1.0, buckets.array.at(0).number);
-    EXPECT_EQ(1.0, buckets.array.at(3).number);
-    EXPECT_EQ(1.0, buckets.array.at(21).number);
+    EXPECT_EQ(1.0,
+              buckets.array.at(obs::Histogram::bucketIndex(0, bits))
+                  .number);
+    EXPECT_EQ(1.0,
+              buckets.array.at(obs::Histogram::bucketIndex(7, bits))
+                  .number);
+    EXPECT_EQ(
+        1.0,
+        buckets.array
+            .at(obs::Histogram::bucketIndex(uint64_t{1} << 20, bits))
+            .number);
 
     // reset() zeroes values but keeps the registrations.
     reg.reset();
@@ -437,8 +455,205 @@ TEST(Metrics, NamesAreSanitizedIntoValidJson)
     obs::Registry reg;
     reg.setEnabled(true);
     reg.counter("weird\"name\\with\nstuff").add(1);
+    reg.histogram("hist\"with\\escapes").observe(42);
     Json doc = parseJson(reg.toJson()); // must not blow up the parser
     ASSERT_EQ(1u, doc.at("counters").object.size());
+    // The sanitized name round-trips: what toJson emitted is the key
+    // the consumer reads back, with no quote/backslash survivors.
+    const std::string key = doc.at("counters").object.begin()->first;
+    EXPECT_EQ(std::string::npos, key.find('"'));
+    EXPECT_EQ(std::string::npos, key.find('\\'));
+    EXPECT_EQ(1.0, doc.at("counters").at(key).number);
+    ASSERT_EQ(1u, doc.at("histograms").object.size());
+    EXPECT_EQ(
+        1.0,
+        doc.at("histograms").object.begin()->second.at("count").number);
+}
+
+TEST(Metrics, HistogramEdgeSamples)
+{
+    obs::Histogram h;
+    h.observe(0);
+    h.observe(1);
+    h.observe(UINT64_MAX);
+
+    EXPECT_EQ(3u, h.count());
+    EXPECT_EQ(0u, h.minValue());
+    EXPECT_EQ(UINT64_MAX, h.maxValue());
+    // sum wraps mod 2^64: 0 + 1 + (2^64 - 1) == 0.
+    EXPECT_EQ(0u, h.sum());
+
+    const uint32_t bits = h.subBucketBits();
+    EXPECT_EQ(0u, obs::Histogram::bucketIndex(0, bits));
+    EXPECT_EQ(1u, obs::Histogram::bucketIndex(1, bits));
+    // UINT64_MAX lands in the very last bucket, whose upper edge is
+    // exactly UINT64_MAX — no sample can overflow the array.
+    const uint32_t last = h.numBuckets() - 1;
+    EXPECT_EQ(last, obs::Histogram::bucketIndex(UINT64_MAX, bits));
+    EXPECT_EQ(UINT64_MAX, h.bucketHigh(last));
+    EXPECT_EQ(1u, h.bucket(0));
+    EXPECT_EQ(1u, h.bucket(1));
+    EXPECT_EQ(1u, h.bucket(last));
+
+    // Quantiles: exact at the small end, clamped to max at the top.
+    EXPECT_EQ(0u, h.quantile(0.0));
+    EXPECT_EQ(1u, h.quantile(0.5));
+    EXPECT_EQ(UINT64_MAX, h.quantile(1.0));
+}
+
+TEST(Metrics, HistogramBucketEdgesTileTheDomain)
+{
+    obs::Histogram h(4);
+    // Every bucket's range is [low, high], high(i) + 1 == low(i + 1),
+    // and the index math maps both edges back to the bucket.
+    for (uint32_t i = 0; i < h.numBuckets(); ++i) {
+        const uint64_t lo = h.bucketLow(i);
+        const uint64_t hi = h.bucketHigh(i);
+        ASSERT_LE(lo, hi);
+        ASSERT_EQ(i, obs::Histogram::bucketIndex(lo, 4));
+        ASSERT_EQ(i, obs::Histogram::bucketIndex(hi, 4));
+        if (i + 1 < h.numBuckets()) {
+            ASSERT_EQ(hi + 1, h.bucketLow(i + 1));
+        }
+    }
+}
+
+TEST(Metrics, HistogramQuantileRelativeErrorBound)
+{
+    // Property test against the documented guarantee: for any sample
+    // multiset, quantile(q) >= the true nearest-rank quantile and
+    // <= true * (1 + 2^-B); exact below 2^(B+1).
+    const uint32_t bits = obs::Histogram::kDefaultSubBucketBits;
+    obs::Histogram h(bits);
+    std::vector<uint64_t> samples;
+    uint64_t x = 0x9e3779b97f4a7c15ull; // deterministic xorshift
+    for (int i = 0; i < 5000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        // Mix magnitudes: spread samples across ~48 octaves.
+        uint64_t s = x >> (x % 48);
+        samples.push_back(s);
+        h.observe(s);
+    }
+    std::sort(samples.begin(), samples.end());
+    const double relBound = 1.0 / static_cast<double>(1u << bits);
+    for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+        uint64_t rank = static_cast<uint64_t>(
+            std::ceil(q * static_cast<double>(samples.size())));
+        rank = std::max<uint64_t>(1, std::min<uint64_t>(
+                                         rank, samples.size()));
+        const uint64_t exact = samples[rank - 1];
+        const uint64_t approx = h.quantile(q);
+        ASSERT_GE(approx, exact) << "q=" << q;
+        if (exact < (uint64_t{1} << (bits + 1)))
+            ASSERT_EQ(approx, exact) << "q=" << q;
+        else
+            ASSERT_LE(static_cast<double>(approx),
+                      static_cast<double>(exact) * (1.0 + relBound))
+                << "q=" << q;
+    }
+}
+
+TEST(Metrics, HistogramMergeFrom)
+{
+    obs::Histogram a, b, whole;
+    for (uint64_t s : {uint64_t{1}, uint64_t{5}, uint64_t{100},
+                       uint64_t{1} << 30}) {
+        a.observe(s);
+        whole.observe(s);
+    }
+    for (uint64_t s : {uint64_t{0}, uint64_t{7}, uint64_t{9000},
+                       UINT64_MAX}) {
+        b.observe(s);
+        whole.observe(s);
+    }
+    ASSERT_TRUE(a.mergeFrom(b));
+    EXPECT_EQ(whole.count(), a.count());
+    EXPECT_EQ(whole.sum(), a.sum());
+    EXPECT_EQ(whole.minValue(), a.minValue());
+    EXPECT_EQ(whole.maxValue(), a.maxValue());
+    for (uint32_t i = 0; i < whole.numBuckets(); ++i)
+        ASSERT_EQ(whole.bucket(i), a.bucket(i)) << "bucket " << i;
+    for (double q : {0.25, 0.5, 0.99})
+        EXPECT_EQ(whole.quantile(q), a.quantile(q));
+
+    // Mismatched resolutions refuse to merge (and change nothing).
+    obs::Histogram coarse(2);
+    const uint64_t before = a.count();
+    EXPECT_FALSE(a.mergeFrom(coarse));
+    EXPECT_FALSE(coarse.mergeFrom(a));
+    EXPECT_EQ(before, a.count());
+    EXPECT_EQ(0u, coarse.count());
+}
+
+TEST(Metrics, RegistryMergeFromAggregatesWithoutDoubleCounting)
+{
+    obs::Registry shardA, shardB, total;
+    shardA.counter("serve/waves").add(3);
+    shardA.real("serve/seconds").add(0.5);
+    shardA.histogram("serve/latency").observe(100);
+    shardB.counter("serve/waves").add(4);
+    shardB.counter("serve/only_b").add(1);
+    shardB.real("serve/seconds").add(0.25);
+    shardB.histogram("serve/latency").observe(900);
+
+    EXPECT_EQ(0u, total.mergeFrom(shardA));
+    EXPECT_EQ(0u, total.mergeFrom(shardB));
+    EXPECT_EQ(7u, total.counter("serve/waves").value());
+    EXPECT_EQ(1u, total.counter("serve/only_b").value());
+    EXPECT_DOUBLE_EQ(0.75, total.real("serve/seconds").value());
+    EXPECT_EQ(2u, total.histogram("serve/latency").count());
+    EXPECT_EQ(100u, total.histogram("serve/latency").minValue());
+    EXPECT_EQ(900u, total.histogram("serve/latency").maxValue());
+
+    // Self-merge is a no-op, not a double count.
+    EXPECT_EQ(0u, total.mergeFrom(total));
+    EXPECT_EQ(7u, total.counter("serve/waves").value());
+
+    // Resolution conflicts are skipped and counted, not merged.
+    obs::Registry coarse;
+    coarse.histogram("serve/latency", 2).observe(5);
+    EXPECT_EQ(1u, total.mergeFrom(coarse));
+    EXPECT_EQ(2u, total.histogram("serve/latency").count());
+
+    // histogramNames covers every registered family, sorted.
+    const std::vector<std::string> names = total.histogramNames();
+    ASSERT_EQ(1u, names.size());
+    EXPECT_EQ("serve/latency", names[0]);
+    EXPECT_NE(nullptr, total.findHistogram("serve/latency"));
+    EXPECT_EQ(nullptr, total.findHistogram("no/such/family"));
+}
+
+TEST(Metrics, ResetUnderConcurrentObserveIsSafe)
+{
+    // reset() racing observe() must stay memory-safe (ASan/TSan
+    // clean): counts may land on either side of the reset, but no
+    // torn state and no out-of-bounds bucket writes.
+    obs::Registry reg;
+    reg.setEnabled(true);
+    obs::Histogram& h = reg.histogram("race/hist");
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t)
+        writers.emplace_back([&h, &stop, t] {
+            uint64_t x = 0x243f6a8885a308d3ull + t;
+            while (!stop.load(std::memory_order_relaxed)) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                h.observe(x >> (x % 60));
+            }
+        });
+    for (int i = 0; i < 200; ++i) {
+        reg.reset();
+        (void)h.quantile(0.99);
+        (void)reg.toJson();
+    }
+    stop.store(true);
+    for (std::thread& w : writers)
+        w.join();
+    SUCCEED();
 }
 
 // -------------------------------------------------------- trace export
@@ -545,9 +760,48 @@ TEST(Trace, DisabledTracerRecordsNothing)
     tracer.begin("nope", "host");
     tracer.end();
     tracer.instant("nope", "host");
+    tracer.flowBegin("nope", "serve", 1);
     EXPECT_EQ(0u, tracer.eventCount());
     Json doc = parseJson(tracer.toChromeJson());
     EXPECT_EQ(0u, doc.at("traceEvents").array.size());
+}
+
+TEST(Trace, FlowEventsCarryIdAndBindingPoint)
+{
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
+    tracer.begin("wave 0", "serve");
+    tracer.flowBegin("req 17", "serve", 17);
+    tracer.end();
+    tracer.begin("wave 1", "serve");
+    tracer.flowStep("req 17", "serve", 17);
+    tracer.flowEnd("req 17", "serve", 17);
+    tracer.end();
+
+    Json doc = parseJson(tracer.toChromeJson());
+    const auto& events = doc.at("traceEvents").array;
+    int sSeen = 0, tSeen = 0, fSeen = 0;
+    for (const Json& ev : events) {
+        const std::string& ph = ev.at("ph").str;
+        if (ph != "s" && ph != "t" && ph != "f")
+            continue;
+        ASSERT_TRUE(ev.has("id"));
+        EXPECT_EQ(17.0, ev.at("id").number);
+        EXPECT_EQ("req 17", ev.at("name").str);
+        if (ph == "s")
+            ++sSeen;
+        if (ph == "t")
+            ++tSeen;
+        if (ph == "f") {
+            ++fSeen;
+            // Terminal flow points bind to the enclosing slice's end.
+            ASSERT_TRUE(ev.has("bp"));
+            EXPECT_EQ("e", ev.at("bp").str);
+        }
+    }
+    EXPECT_EQ(1, sSeen);
+    EXPECT_EQ(1, tSeen);
+    EXPECT_EQ(1, fSeen);
 }
 
 // ------------------------------------------------ transfer-split lock

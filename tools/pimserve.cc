@@ -33,9 +33,18 @@
  *   --seed N               input-generation seed
  *   --json PATH            write a JSON summary ('-' for stdout)
  *   --metrics PATH         dump the metrics registry (serve/...)
+ *   --journal PATH         write the per-request journal as JSONL
+ *                          ('-' for stdout); see docs/observability.md
+ *   --slo SPEC             check an SLO like p99<2ms or p50:150us
+ *                          against modeled per-request latency
  *
- * Exit status: 0 when every request was served completely, 1 when
- * elements were dropped / infeasible / the run is incomplete, 2 on
+ * Per-request modeled latency (p50/p90/p99/p999, exact nearest-rank
+ * over the journal) and sustained requests/s are always reported for
+ * the primary run; the sync-comparison replay is never journaled.
+ *
+ * Exit status: 0 when every request was served completely (and the
+ * --slo target, if given, was met), 1 when elements were dropped /
+ * infeasible / the run is incomplete / the SLO was missed, 2 on
  * usage or parse errors.
  */
 
@@ -50,6 +59,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "pimsim/obs/journal.h"
 #include "pimsim/obs/metrics.h"
 #include "pimsim/serve/pipeline.h"
 #include "transpim/harness.h"
@@ -68,7 +78,8 @@ usage()
            "                [--per-dpu-elements N] [--chunk N]"
            " [--sync]\n"
            "                [--plan PATH] [--seed N] [--json PATH]\n"
-           "                [--metrics PATH]\n"
+           "                [--metrics PATH] [--journal PATH]"
+           " [--slo SPEC]\n"
            "       pimserve --demo-trace\n";
 }
 
@@ -226,7 +237,8 @@ const char* kDemoTrace =
 
 void
 writeJson(std::ostream& out, const sim::serve::ServeReport& rep,
-          const sim::serve::ServeReport* syncRep)
+          const sim::serve::ServeReport* syncRep,
+          const obs::LatencySummary& lat, const obs::SloTracker* slo)
 {
     out << "{\n"
         << "  \"requests\": " << rep.requests << ",\n"
@@ -263,6 +275,41 @@ writeJson(std::ostream& out, const sim::serve::ServeReport& rep,
         std::snprintf(buf, sizeof(buf), "%.4f", speedup);
         out << ",\n  \"speedup\": " << buf;
     }
+    auto secs = [&](double v) -> const char* {
+        std::snprintf(buf, sizeof(buf), "%.9e", v);
+        return buf;
+    };
+    out << ",\n  \"latency\": {\n"
+        << "    \"requests\": " << lat.requests << ",\n"
+        << "    \"incomplete\": " << lat.incomplete << ",\n"
+        << "    \"p50\": " << secs(lat.p50) << ",\n"
+        << "    \"p90\": " << secs(lat.p90) << ",\n"
+        << "    \"p99\": " << secs(lat.p99) << ",\n"
+        << "    \"p999\": " << secs(lat.p999) << ",\n"
+        << "    \"mean\": " << secs(lat.mean) << ",\n"
+        << "    \"max\": " << secs(lat.max) << "\n  },\n"
+        << "  \"requests_per_second\": "
+        << secs(lat.requestsPerSecond) << ",\n"
+        << "  \"anomalous_waves\": " << rep.anomalousWaves;
+    if (slo) {
+        out << ",\n  \"slo\": {\n    \"spec\": \""
+            << slo->spec().toText() << "\",\n    \"tables\": [";
+        bool first = true;
+        for (const obs::SloResult& r : slo->results()) {
+            out << (first ? "" : ",") << "\n      {\"table\": \""
+                << r.table << "\", \"good\": " << r.good
+                << ", \"bad\": " << r.bad << ", \"burn_rate\": "
+                << secs(r.burnRate) << ", \"met\": "
+                << (r.met ? "true" : "false") << "}";
+            first = false;
+        }
+        const obs::SloResult total = slo->total();
+        out << (first ? "" : "\n    ") << "],\n    \"good\": "
+            << total.good << ",\n    \"bad\": " << total.bad
+            << ",\n    \"burn_rate\": " << secs(total.burnRate)
+            << ",\n    \"met\": " << (total.met ? "true" : "false")
+            << "\n  }";
+    }
     out << "\n}\n";
 }
 
@@ -275,6 +322,8 @@ main(int argc, char** argv)
     std::string planPath;
     std::string jsonPath;
     std::string metricsPath;
+    std::string journalPath;
+    std::string sloText;
     bool demoTrace = false;
     bool syncOnly = false;
     uint32_t dpus = 64;
@@ -320,6 +369,10 @@ main(int argc, char** argv)
             jsonPath = value();
         } else if (arg == "--metrics") {
             metricsPath = value();
+        } else if (arg == "--journal") {
+            journalPath = value();
+        } else if (arg == "--slo") {
+            sloText = value();
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -388,6 +441,17 @@ main(int argc, char** argv)
         }
     }
 
+    std::optional<obs::SloSpec> sloSpec;
+    if (!sloText.empty()) {
+        obs::SloSpec spec;
+        if (!obs::SloSpec::parse(sloText, spec)) {
+            std::cerr << "pimserve: bad --slo spec '" << sloText
+                      << "' (want e.g. p99<2ms or p50:150us)\n";
+            return 2;
+        }
+        sloSpec = spec;
+    }
+
     obs::Registry::global().setEnabled(true);
 
     // Generate per-request inputs over each function's domain.
@@ -410,8 +474,10 @@ main(int argc, char** argv)
         }
     }
 
-    // One run of the whole trace on a fresh system.
-    auto serveOnce = [&](bool pipelined) -> sim::serve::ServeReport {
+    // One run of the whole trace on a fresh system. Only the primary
+    // run carries the journal; the sync-comparison replay does not.
+    auto serveOnce = [&](bool pipelined, obs::Journal* journal)
+        -> sim::serve::ServeReport {
         sim::PimSystem sys(dpus);
         if (plan)
             sys.armFaults(*plan);
@@ -419,6 +485,8 @@ main(int argc, char** argv)
         catalog.setChunkElements(chunk);
 
         sim::serve::BatchQueue queue;
+        if (journal)
+            queue.setJournal(journal);
         uint64_t off = 0;
         for (const TraceRequest& r : trace) {
             sim::serve::Request req;
@@ -435,15 +503,27 @@ main(int argc, char** argv)
         popts.numTasklets = tasklets;
         popts.perDpuElements = perDpuElements;
         popts.pipelined = pipelined;
+        popts.journal = journal;
         sim::serve::ServePipeline pipeline(sys, catalog.provider(),
                                            popts);
         return pipeline.run(queue);
     };
 
-    sim::serve::ServeReport rep = serveOnce(!syncOnly);
+    obs::Journal journal;
+    sim::serve::ServeReport rep = serveOnce(!syncOnly, &journal);
     std::optional<sim::serve::ServeReport> syncRep;
     if (!syncOnly)
-        syncRep = serveOnce(false);
+        syncRep = serveOnce(false, nullptr);
+
+    obs::LatencySummary latency =
+        journal.summarize(rep.modeledSeconds);
+    std::optional<obs::SloTracker> slo;
+    if (sloSpec) {
+        slo.emplace(*sloSpec);
+        for (const obs::RequestLatency& lat : journal.latencies())
+            slo->observe(lat.table, lat.latencySeconds(),
+                         lat.complete);
+    }
 
     std::cout << "== pimserve: " << trace.size() << " request"
               << (trace.size() == 1 ? "" : "s") << ", " << total
@@ -483,10 +563,46 @@ main(int argc, char** argv)
     std::printf("   complete            %13s\n",
                 rep.complete ? "yes" : "NO");
 
+    std::cout << "\n-- latency (modeled, per request)\n";
+    std::printf("   p50                 %13.3e s\n", latency.p50);
+    std::printf("   p90                 %13.3e s\n", latency.p90);
+    std::printf("   p99                 %13.3e s\n", latency.p99);
+    std::printf("   p99.9               %13.3e s\n", latency.p999);
+    std::printf("   mean / max          %11.3e / %.3e s\n",
+                latency.mean, latency.max);
+    std::printf("   sustained           %13.3f requests/s\n",
+                latency.requestsPerSecond);
+    std::printf("   incomplete          %13llu\n",
+                static_cast<unsigned long long>(latency.incomplete));
+    if (rep.anomalousWaves > 0)
+        std::printf("   straggler waves     %10llu of %llu flagged\n",
+                    static_cast<unsigned long long>(
+                        rep.anomalousWaves),
+                    static_cast<unsigned long long>(rep.waves));
+
+    if (slo) {
+        const obs::SloResult total = slo->total();
+        std::cout << "\n-- slo " << slo->spec().toText() << "\n";
+        for (const obs::SloResult& r : slo->results())
+            std::printf("   %-28s %6llu good, %llu bad, burn "
+                        "%.3f -> %s\n",
+                        r.table.c_str(),
+                        static_cast<unsigned long long>(r.good),
+                        static_cast<unsigned long long>(r.bad),
+                        r.burnRate, r.met ? "met" : "MISSED");
+        std::printf("   %-28s %6llu good, %llu bad, burn "
+                    "%.3f -> %s\n",
+                    "(all tables)",
+                    static_cast<unsigned long long>(total.good),
+                    static_cast<unsigned long long>(total.bad),
+                    total.burnRate, total.met ? "met" : "MISSED");
+    }
+
     if (!jsonPath.empty()) {
+        const obs::SloTracker* sloPtr = slo ? &*slo : nullptr;
         if (jsonPath == "-") {
-            writeJson(std::cout,
-                      rep, syncRep ? &*syncRep : nullptr);
+            writeJson(std::cout, rep, syncRep ? &*syncRep : nullptr,
+                      latency, sloPtr);
         } else {
             std::ofstream jsonOut(jsonPath);
             if (!jsonOut) {
@@ -494,8 +610,20 @@ main(int argc, char** argv)
                           << "'\n";
                 return 2;
             }
-            writeJson(jsonOut, rep, syncRep ? &*syncRep : nullptr);
+            writeJson(jsonOut, rep, syncRep ? &*syncRep : nullptr,
+                      latency, sloPtr);
             std::cout << "\nwrote " << jsonPath << "\n";
+        }
+    }
+    if (!journalPath.empty()) {
+        if (journalPath == "-") {
+            std::cout << journal.toJsonl();
+        } else if (!journal.writeJsonl(journalPath)) {
+            std::cerr << "pimserve: cannot write '" << journalPath
+                      << "'\n";
+            return 2;
+        } else {
+            std::cout << "wrote " << journalPath << "\n";
         }
     }
     if (!metricsPath.empty()) {
@@ -506,5 +634,9 @@ main(int argc, char** argv)
         }
         std::cout << "wrote " << metricsPath << "\n";
     }
-    return rep.complete ? 0 : 1;
+    if (!rep.complete)
+        return 1;
+    if (slo && !slo->total().met)
+        return 1;
+    return 0;
 }

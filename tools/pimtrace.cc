@@ -26,6 +26,9 @@
  *   --metrics PATH    metrics JSON output (default pimtrace.metrics.json,
  *                     "" disables)
  *   --top N           cost centers to print (default all)
+ *   --quantiles       print p50/p90/p99 for every histogram in the
+ *                     metrics registry (deterministic log-linear
+ *                     quantiles, relative error <= 2^-sub_bucket_bits)
  *
  * Exit status: 0 on success, 1 when the configuration is infeasible
  * (tables do not fit), 2 on usage errors.
@@ -57,7 +60,8 @@ usage()
            " [--log2-entries N]\n"
            "                [--iterations N] [--placement wram|mram]"
            " [--no-interp]\n"
-           "                [--trace PATH] [--metrics PATH] [--top N]\n";
+           "                [--trace PATH] [--metrics PATH] [--top N]"
+           " [--quantiles]\n";
 }
 
 const std::map<std::string, Function>&
@@ -134,6 +138,7 @@ main(int argc, char** argv)
     std::string tracePath = "pimtrace.trace.json";
     std::string metricsPath = "pimtrace.metrics.json";
     uint32_t topN = UINT32_MAX;
+    bool quantiles = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -195,6 +200,8 @@ main(int argc, char** argv)
             metricsPath = value();
         } else if (arg == "--top") {
             u32Arg(topN);
+        } else if (arg == "--quantiles") {
+            quantiles = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -309,6 +316,40 @@ main(int argc, char** argv)
     std::printf("   setup             %12.6f s host gen"
                 " + %.6f s transfer\n",
                 res.hostGenSeconds, res.transferSeconds);
+
+    // ---- Registry histogram quantiles. ----------------------------
+    if (quantiles) {
+        const obs::Registry& reg = obs::Registry::global();
+        std::vector<std::string> names = reg.histogramNames();
+        std::cout << "\n-- histogram quantiles";
+        if (names.empty()) {
+            std::cout << " (none recorded)\n";
+        } else {
+            // All current registry histograms share the default
+            // resolution; the bound is per-histogram regardless.
+            std::cout << "\n";
+            for (const std::string& name : names) {
+                const obs::Histogram* h = reg.findHistogram(name);
+                if (!h || h->count() == 0)
+                    continue;
+                std::printf("   %-32s n=%-8llu p50=%-10llu"
+                            " p90=%-10llu p99=%-10llu max=%llu\n",
+                            name.c_str(),
+                            static_cast<unsigned long long>(
+                                h->count()),
+                            static_cast<unsigned long long>(
+                                h->quantile(0.50)),
+                            static_cast<unsigned long long>(
+                                h->quantile(0.90)),
+                            static_cast<unsigned long long>(
+                                h->quantile(0.99)),
+                            static_cast<unsigned long long>(
+                                h->maxValue()));
+                std::printf("   %-32s relative error <= 2^-%u\n", "",
+                            h->subBucketBits());
+            }
+        }
+    }
 
     // ---- File outputs. --------------------------------------------
     if (!tracePath.empty()) {
