@@ -47,6 +47,13 @@
 # max seconds plus an "incomplete" count — "requests_per_second", and
 # "anomalous_waves" (straggler-flagged waves). The full output schema
 # is documented in docs/bench.md.
+#
+# Schema 5 adds a "fleet_sweep" object: the pimserve synthetic demo
+# trace replayed over a 20x2x64 fleet topology (40 ranks, 2560 DPUs)
+# and over a single 1x1x64 rank, each embedded verbatim (pimserve
+# --json with topology + rank_stats), plus the fleet-over-single-rank
+# "requests_per_second_ratio". In --quick mode the request count
+# shrinks with TPL_BENCH_ELEMENTS; the full run replays 1M requests.
 set -u
 
 if [ "${1:-}" = "--quick" ]; then
@@ -166,6 +173,54 @@ else
     echo "== pimserve not built; serve_sweep omitted" >&2
 fi
 
+# Schema-5 fleet sweep: the synthetic demo trace replayed over the
+# full 20x2x64 fleet and over a single 1x1x64 rank. Both runs use the
+# same in-memory trace (same seed, same request mix), so the
+# requests/s ratio is the modeled scale-out of the cluster scheduler.
+# The full run replays 1M requests; --quick scales the count down
+# with TPL_BENCH_ELEMENTS (512 -> 16k requests).
+fleet_sweep=""
+if [ -x "$PIMSERVE" ]; then
+    fleet_reqs=$(( ${TPL_BENCH_ELEMENTS:-32768} * 32 ))
+    [ "$fleet_reqs" -gt 1000000 ] && fleet_reqs=1000000
+    echo "== pimserve fleet sweep (20x2x64 vs 1x1x64, $fleet_reqs requests)" >&2
+    FLEET_JSON_TMP=$(mktemp)
+    RANK_JSON_TMP=$(mktemp)
+    fleet_ok=1
+    for topo in 20x2x64 1x1x64; do
+        out="$FLEET_JSON_TMP"
+        [ "$topo" = 1x1x64 ] && out="$RANK_JSON_TMP"
+        if ! "$PIMSERVE" --demo-trace --topology "$topo" \
+            --demo-requests "$fleet_reqs" --no-sync-replay \
+            --json "$out" > /dev/null 2> "$ERR_TMP"; then
+            fleet_ok=0
+            failures=$((failures + 1))
+            echo "   $topo FAILED" >&2
+            tail -5 "$ERR_TMP" >&2
+        fi
+    done
+    if [ "$fleet_ok" = 1 ]; then
+        ratio=$(awk 'function rps(f) {
+            while ((getline line < f) > 0)
+                if (line ~ /"requests_per_second"/) {
+                    sub(/.*:/, "", line)
+                    gsub(/[^0-9.eE+-]/, "", line)
+                    close(f); return line + 0
+                }
+            close(f); return 0
+        }
+        BEGIN {
+            a = rps(ARGV[1]); b = rps(ARGV[2])
+            printf "%.4f", (b > 0) ? a / b : 0
+        }' "$FLEET_JSON_TMP" "$RANK_JSON_TMP")
+        fleet_sweep="{\"requests\": $fleet_reqs, \"fleet\": $(cat "$FLEET_JSON_TMP"), \"single_rank\": $(cat "$RANK_JSON_TMP"), \"requests_per_second_ratio\": $ratio}"
+        echo "   fleet over single rank: ${ratio}x requests/s" >&2
+    fi
+    rm -f "$FLEET_JSON_TMP" "$RANK_JSON_TMP"
+else
+    echo "== pimserve not built; fleet_sweep omitted" >&2
+fi
+
 # Schema-3 simulator-throughput probe: the Figure-5 sweep replayed with
 # the batch execution path enabled (the default) and disabled
 # (TPL_BATCH_EVAL=0). CSV mode is used so the row count gives the
@@ -234,12 +289,15 @@ fi
 
 {
     echo "{"
-    echo "  \"schema\": 4,"
+    echo "  \"schema\": 5,"
     echo "  \"git_sha\": \"$GIT_SHA\","
     echo "  \"sim_threads\": \"${TPL_SIM_THREADS:-default}\","
     echo "  \"bench_elements\": \"${TPL_BENCH_ELEMENTS:-default}\","
     if [ -n "$serve_sweep" ]; then
         echo "  \"serve_sweep\": $serve_sweep,"
+    fi
+    if [ -n "$fleet_sweep" ]; then
+        echo "  \"fleet_sweep\": $fleet_sweep,"
     fi
     if [ -n "$sim_throughput" ]; then
         echo "  \"sim_throughput\": $sim_throughput,"

@@ -18,12 +18,14 @@ FAULT_TMP=""
 DOCS_TMP=""
 CHECK_TMP=""
 OBS_TMP=""
+FLEET_TMP=""
 cleanup() {
     [ -n "$TRACE_TMP" ] && rm -rf "$TRACE_TMP"
     [ -n "$FAULT_TMP" ] && rm -rf "$FAULT_TMP"
     [ -n "$DOCS_TMP" ] && rm -rf "$DOCS_TMP"
     [ -n "$CHECK_TMP" ] && rm -rf "$CHECK_TMP"
     [ -n "$OBS_TMP" ] && rm -rf "$OBS_TMP"
+    [ -n "$FLEET_TMP" ] && rm -rf "$FLEET_TMP"
     return 0
 }
 trap cleanup EXIT
@@ -225,4 +227,58 @@ assert cert["interleave"]["verdict"] == "race-free", cert
 PYEOF
     done
     echo "pimkernels + pimlint cost/interleave certificates OK"
+fi
+
+# With TPL_TIER1_FLEET=1, exercise the fleet topology tier on the real
+# CLI: the synthetic demo trace replayed over a 20x2x64 fleet (40
+# ranks, 2560 DPUs), journal byte-identity across TPL_SIM_THREADS=
+# 1/4/16, and a Python check that the per-rank journal spans and
+# rank_stats rows partition the fleet totals (makespan = max over
+# ranks, waves/elements sum exactly).
+if [ "${TPL_TIER1_FLEET:-0}" = "1" ]; then
+    FLEET_TMP=$(mktemp -d)
+    for threads in 1 4 16; do
+        TPL_SIM_THREADS=$threads \
+            "$BUILD_DIR/tools/pimserve" --demo-trace \
+            --topology 20x2x64 --demo-requests 20000 \
+            --no-sync-replay \
+            --journal "$FLEET_TMP/fleet.t$threads.jsonl" \
+            --json "$FLEET_TMP/fleet.t$threads.json" > /dev/null
+    done
+    cmp "$FLEET_TMP/fleet.t1.jsonl" "$FLEET_TMP/fleet.t4.jsonl"
+    cmp "$FLEET_TMP/fleet.t1.jsonl" "$FLEET_TMP/fleet.t16.jsonl"
+    python3 - "$FLEET_TMP" <<'PYEOF'
+import json, sys
+tmp = sys.argv[1]
+doc = json.load(open(tmp + "/fleet.t1.json"))
+assert doc["topology"] == "20x2x64", doc.get("topology")
+ranks = doc["rank_stats"]
+assert len(ranks) == 40, len(ranks)
+# The fleet clock is the slowest rank's clock; waves and elements
+# partition exactly across the rank rows.
+spans = [r["makespan_seconds"] for r in ranks]
+assert abs(max(spans) - doc["modeled_seconds"]) <= \
+    1e-12 * doc["modeled_seconds"], (max(spans), doc["modeled_seconds"])
+assert sum(r["waves"] for r in ranks) == doc["waves"]
+assert sum(r["elements"] for r in ranks) == doc["elements"]
+assert doc["latency"]["p50"] > 0 and doc["requests_per_second"] > 0
+# Journal: every transfer/compute event carries its executing rank,
+# and no rank's events outrun that rank's reported span.
+span_by_rank = {}
+with open(tmp + "/fleet.t1.jsonl") as f:
+    for line in f:
+        ev = json.loads(line)
+        if ev["kind"] in ("scatter", "compute", "gather",
+                          "broadcast"):
+            assert 0 <= ev["rank"] < 40, ev
+            end = ev["t"] + ev["dur"]
+            r = ev["rank"]
+            span_by_rank[r] = max(span_by_rank.get(r, 0.0), end)
+for r, end in span_by_rank.items():
+    assert end <= ranks[r]["makespan_seconds"] + 1e-12, (r, end)
+assert abs(max(span_by_rank.values()) - doc["modeled_seconds"]) <= \
+    1e-9 * doc["modeled_seconds"]
+print("fleet journal spans partition the fleet total OK")
+PYEOF
+    echo "pimserve fleet replay byte-identical at 1/4/16 sim threads"
 fi

@@ -72,6 +72,8 @@ appendEventLine(std::ostringstream& out, const JournalEvent& ev)
         out << ", \"wave\": " << ev.wave;
     if (ev.cycles != 0)
         out << ", \"cycles\": " << ev.cycles;
+    if (ev.rank >= 0)
+        out << ", \"rank\": " << ev.rank;
     if (!ev.table.empty())
         out << ", \"table\": \"" << jsonEscape(ev.table) << "\"";
     if (!ev.note.empty())
@@ -106,6 +108,8 @@ void
 Journal::record(const JournalEvent& ev)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (!eventsEnabled_)
+        return;
     events_.push_back(ev);
 }
 
@@ -179,13 +183,17 @@ Journal::toJsonl() const
 {
     std::vector<JournalEvent> evs = events();
     std::vector<RequestLatency> lats = latencies();
-    // Canonical order: events by (t, kind, request, wave) — modeled
-    // time first so the log reads causally; stable_sort keeps any
-    // residual ties in (deterministic single-consumer) append order.
+    // Canonical order: events by (t, kind, request, wave, rank) —
+    // modeled time first so the log reads causally; rank last so the
+    // fleet path stays canonical when two ranks tie on everything
+    // else; stable_sort keeps any residual ties in (deterministic
+    // single-consumer) append order.
     std::stable_sort(evs.begin(), evs.end(),
                      [](const JournalEvent& a, const JournalEvent& b) {
-                         return std::tie(a.t, a.kind, a.request, a.wave) <
-                                std::tie(b.t, b.kind, b.request, b.wave);
+                         return std::tie(a.t, a.kind, a.request, a.wave,
+                                         a.rank) <
+                                std::tie(b.t, b.kind, b.request, b.wave,
+                                         b.rank);
                      });
     std::stable_sort(lats.begin(), lats.end(),
                      [](const RequestLatency& a, const RequestLatency& b) {
@@ -207,6 +215,20 @@ Journal::writeJsonl(const std::string& path) const
         return false;
     out << toJsonl();
     return static_cast<bool>(out);
+}
+
+void
+Journal::setEventsEnabled(bool enabled)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    eventsEnabled_ = enabled;
+}
+
+bool
+Journal::eventsEnabled() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return eventsEnabled_;
 }
 
 void

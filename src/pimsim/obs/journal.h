@@ -65,6 +65,7 @@ struct JournalEvent
     uint64_t wave = kNoWave; ///< serving wave index, if any
     uint64_t elements = 0; ///< elements this event covers
     uint64_t cycles = 0;   ///< modeled DPU cycles (compute events)
+    int32_t rank = -1;     ///< executing rank (fleet path); -1 = flat
     std::string table;     ///< TableKey label
     std::string note;      ///< free-form detail (anomaly reason, drop cause)
 };
@@ -118,6 +119,15 @@ class Journal
     void record(const JournalEvent& ev);
     void recordLatency(const RequestLatency& lat);
 
+    /**
+     * When disabled, record() drops events; recordLatency is
+     * unaffected. pimserve turns event capture off on large replays
+     * that requested no --journal output, so a million-request trace
+     * costs per-request latency records only, not per-wave spans.
+     */
+    void setEventsEnabled(bool enabled);
+    bool eventsEnabled() const;
+
     std::vector<JournalEvent> events() const;
     std::vector<RequestLatency> latencies() const;
 
@@ -144,6 +154,7 @@ class Journal
 
   private:
     mutable std::mutex mutex_;
+    bool eventsEnabled_ = true;
     std::vector<JournalEvent> events_;
     std::vector<RequestLatency> latencies_;
 };

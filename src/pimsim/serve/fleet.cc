@@ -1,18 +1,19 @@
 /**
  * @file
- * ServePipeline implementation.
+ * FleetScheduler implementation.
  *
- * The drive loop is a two-deep software pipeline over the modeled
- * timeline: while wave N is "computing" (its cycles reserved on the
- * DPU lanes), the host lane already streams wave N+1's scatter, and
- * wave N's gather queues up behind it. The wall-clock simulation is
- * eager — each leg simulates fully when issued — so issue order only
- * decides how legs queue on the modeled lanes, never what they
- * compute; results are bit-identical between pipelined and
- * synchronous modes (fault-free), and across TPL_SIM_THREADS.
+ * The drive loop generalizes ServePipeline's two-deep software
+ * pipeline to one in-flight wave per rank: a freshly begun wave on
+ * rank r first finishes (gathers) r's previous wave, then launches —
+ * which on a single rank flattens to exactly the flat pipeline's leg
+ * order (begin 0, compute 0, begin 1, finish 0, compute 1, ...), so
+ * a Topology{1, 1, N} fleet reproduces the flat modeled numbers. As
+ * in the flat path, the wall-clock simulation is eager and all
+ * bookkeeping runs on the consumer thread against modeled times, so
+ * results and journal bytes are identical at any TPL_SIM_THREADS.
  */
 
-#include "pimsim/serve/pipeline.h"
+#include "pimsim/serve/fleet.h"
 
 #include <algorithm>
 #include <array>
@@ -25,32 +26,22 @@
 #include "pimsim/obs/journal.h"
 #include "pimsim/obs/metrics.h"
 #include "pimsim/obs/trace.h"
-#include "pimsim/serve/fleet.h"
 #include "pimsim/serve/wave_util.h"
 
 namespace tpl {
 namespace sim {
 namespace serve {
 
-ServePipeline::ServePipeline(PimSystem& system, TableProvider provider,
-                             const PipelineOptions& options)
-    : sys_(system), cache_(system, std::move(provider)), opts_(options)
+FleetScheduler::FleetScheduler(PimSystem& system, TableCache& cache,
+                               const PipelineOptions& options)
+    : sys_(system), cache_(cache), opts_(options),
+      topo_(*options.topology)
 {
 }
 
 ServeReport
-ServePipeline::run(BatchQueue& queue)
+FleetScheduler::run(BatchQueue& queue)
 {
-    // Fleet dispatch (kill switch): with a valid topology matching
-    // the system's DPU count, the FleetScheduler drives the run over
-    // per-rank lanes. A null (or mismatched) topology keeps the flat
-    // single-system path below byte-for-byte.
-    if (opts_.topology && opts_.topology->valid() &&
-        opts_.topology->numDpus() == sys_.numDpus()) {
-        FleetScheduler fleet(sys_, cache_, opts_);
-        return fleet.run(queue);
-    }
-
     ServeReport report;
     const uint32_t n = sys_.numDpus();
     if (n == 0) {
@@ -59,19 +50,23 @@ ServePipeline::run(BatchQueue& queue)
     }
     const uint32_t cap = std::max<uint32_t>(opts_.perDpuElements, 1);
     const double freq = sys_.model().frequencyHz;
+    const uint32_t ranks = topo_.numRanks();
+    cache_.setRankCount(ranks);
 
     obs::TraceSpan runSpan(
-        "serve run", "serve",
+        "fleet run", "serve",
         obs::argsObject(
             {obs::argKv("dpus", static_cast<uint64_t>(n)),
+             obs::argKv("ranks", static_cast<uint64_t>(ranks)),
              obs::argKv("per_dpu_elements",
                         static_cast<uint64_t>(cap))}));
     obs::Registry& reg = obs::Registry::global();
     obs::Tracer& tracer = obs::Tracer::global();
 
-    // Double-buffered per-DPU MRAM: two input and two output buffers
-    // of `cap` floats each (parity = wave index mod 2).
-    const uint32_t bufBytes = cap * static_cast<uint32_t>(sizeof(float));
+    // Double-buffered per-DPU MRAM, allocated in the same order as
+    // the flat path so addresses (and thus data movement) match.
+    const uint32_t bufBytes =
+        cap * static_cast<uint32_t>(sizeof(float));
     std::vector<std::array<uint32_t, 2>> inAddr(n), outAddr(n);
     for (uint32_t d = 0; d < n; ++d)
         for (uint32_t p = 0; p < 2; ++p) {
@@ -80,22 +75,30 @@ ServePipeline::run(BatchQueue& queue)
         }
 
     PipelineTimeline timeline(n);
-    // Buffer-reuse fences: a parity's input buffers are free once the
-    // compute that read them ended; its output buffers once the
-    // gather that drained them ended.
-    double computeEndByParity[2] = {0.0, 0.0};
-    double gatherEndByParity[2] = {0.0, 0.0};
-    // Synchronous mode chains every leg on the previous one.
+    timeline.configureRanks(ranks, topo_.dpusPerRank,
+                            topo_.channelMap());
+
+    // Per-rank buffer-reuse fences (parity = per-rank wave count mod
+    // 2): ranks use disjoint DPUs, so the fences are independent.
+    std::vector<std::array<double, 2>> computeEndByParity(
+        ranks, {0.0, 0.0});
+    std::vector<std::array<double, 2>> gatherEndByParity(
+        ranks, {0.0, 0.0});
+    std::vector<uint64_t> rankWaves(ranks, 0); ///< parity source
+    // Synchronous mode chains every leg on the previous one, fleet
+    // wide — the baseline has no overlap to measure.
     double chain = 0.0;
     std::deque<PendingWave> retries;
     bool outOfCores = false;
     uint64_t waveSeq = 0; ///< execution-order wave numbering
 
+    report.rankStats.resize(ranks);
+    for (uint32_t r = 0; r < ranks; ++r)
+        report.rankStats[r].rank = r;
+
     // ---- Request-span bookkeeping (journal / flow events) ----
-    // All of it runs on this (consumer) thread against modeled times
-    // read off the timeline, so the journal's content is a pure
-    // function of the workload — bit-identical at any thread count —
-    // and none of it feeds back into the modeled schedule.
+    // Identical to the flat path: consumer-thread only, modeled
+    // times only, never feeds back into the schedule.
     obs::Journal* const journal = opts_.journal;
     const bool trackReqs = journal != nullptr || tracer.enabled();
 
@@ -127,7 +130,8 @@ ServePipeline::run(BatchQueue& queue)
 
     auto jev = [&](const char* kind, double t, double dur,
                    uint64_t request, uint64_t wave, uint64_t elements,
-                   uint64_t cycles, const std::string& table,
+                   uint64_t cycles, int32_t rank,
+                   const std::string& table,
                    const std::string& note = {}) {
         if (!journal)
             return;
@@ -139,6 +143,7 @@ ServePipeline::run(BatchQueue& queue)
         ev.wave = wave;
         ev.elements = elements;
         ev.cycles = cycles;
+        ev.rank = rank;
         ev.table = table;
         ev.note = note;
         journal->record(ev);
@@ -151,7 +156,30 @@ ServePipeline::run(BatchQueue& queue)
             report.failedDpus.push_back(d);
     };
 
-    /** Next wave to execute: pending retries first, then the queue. */
+    /** Healthy DPUs of one rank, ascending. */
+    auto healthyOfRank = [&](uint32_t r) {
+        std::vector<uint32_t> out;
+        const uint32_t lo = topo_.firstDpuOfRank(r);
+        const uint32_t hi = std::min(n, lo + topo_.dpusPerRank);
+        for (uint32_t d = lo; d < hi; ++d)
+            if (!sys_.isMasked(d))
+                out.push_back(d);
+        return out;
+    };
+
+    /** Largest healthy-DPU count of any rank (wave pop budget). */
+    auto maxHealthyPerRank = [&]() {
+        uint32_t best = 0;
+        for (uint32_t r = 0; r < ranks; ++r)
+            best = std::max(
+                best,
+                static_cast<uint32_t>(healthyOfRank(r).size()));
+        return best;
+    };
+
+    /** Next wave to execute: pending retries first, then the queue.
+     * Waves are sized for one rank — the placement step later picks
+     * which. */
     auto nextWave = [&]() -> std::optional<PendingWave> {
         for (;;) {
             if (!retries.empty()) {
@@ -159,7 +187,7 @@ ServePipeline::run(BatchQueue& queue)
                 retries.pop_front();
                 return pw;
             }
-            uint32_t healthy = sys_.healthyDpus();
+            uint32_t healthy = maxHealthyPerRank();
             if (healthy == 0) {
                 outOfCores = true;
                 return std::nullopt;
@@ -180,11 +208,8 @@ ServePipeline::run(BatchQueue& queue)
                 continue; // zero-element requests only
             report.elements += w->elements();
 
-            // Cost-aware wave sizing: with a certified compute
-            // envelope for this table, rank the candidate sub-wave
-            // splits on the predicted double-buffered makespan and
-            // issue the fastest shape. Splits land at the front of
-            // the retry deque (generation 0) so they pop in order.
+            // Cost-aware wave sizing, identical to the flat path
+            // (the wave runs on one rank's cores either way).
             if (opts_.costBook && opts_.pipelined) {
                 const WaveCost* wc = opts_.costBook->find(w->table);
                 uint64_t waveElems = w->elements();
@@ -227,17 +252,80 @@ ServePipeline::run(BatchQueue& queue)
         }
     };
 
-    /** Resolve the binding and reserve scatter (+ table broadcast on
-     * a miss). Returns false when the wave cannot run at all. */
-    auto beginWave = [&](PendingWave&& pw,
+    /**
+     * Placement: pick the rank a wave of @p key runs on.
+     *   1. Only ranks with a healthy DPU are candidates (none ->
+     *      nullopt, the fleet is out of cores).
+     *   2. A known valid table prefers the least-busy rank already
+     *      holding it — unless the least-busy rank overall is ahead
+     *      by more than one single-rank broadcast, in which case the
+     *      table replicates there (the broadcast pays for itself).
+     *   3. A table with no holder (or unknown/infeasible) goes to
+     *      the candidate with the fewest resident tables, ties
+     *      broken by load then rank id — first sightings spread.
+     * Busy-ness is the rank's modeled makespan so far; everything
+     * here is a pure function of modeled state (deterministic).
+     */
+    auto placeRank =
+        [&](const TableKey& key) -> std::optional<uint32_t> {
+        std::optional<uint32_t> bestAll;
+        double bestAllBusy = 0.0;
+        std::optional<uint32_t> bestRes;
+        double bestResBusy = 0.0;
+        std::optional<uint32_t> bestFresh;
+        size_t bestFreshRes = 0;
+        double bestFreshBusy = 0.0;
+        const TableBinding* binding = cache_.peek(key);
+        const bool known = binding && binding->valid;
+        for (uint32_t r = 0; r < ranks; ++r) {
+            if (healthyOfRank(r).empty())
+                continue;
+            double busy = timeline.rankMakespan(r);
+            if (!bestAll || busy < bestAllBusy) {
+                bestAll = r;
+                bestAllBusy = busy;
+            }
+            if (known && cache_.residentOnRank(key, r)) {
+                if (!bestRes || busy < bestResBusy) {
+                    bestRes = r;
+                    bestResBusy = busy;
+                }
+            } else {
+                size_t res = cache_.residency(r);
+                if (!bestFresh || res < bestFreshRes ||
+                    (res == bestFreshRes && busy < bestFreshBusy)) {
+                    bestFresh = r;
+                    bestFreshRes = res;
+                    bestFreshBusy = busy;
+                }
+            }
+        }
+        if (!bestAll)
+            return std::nullopt;
+        if (!known)
+            return bestAll;
+        if (!bestRes)
+            return bestFresh ? bestFresh : bestAll;
+        double bcast =
+            sys_.rankParallelTransferSeconds(binding->tableBytes);
+        if (bestResBusy - bestAllBusy > bcast)
+            return bestAll; // replicate: the broadcast pays off
+        return bestRes;
+    };
+
+    /** Resolve the binding on @p rank and reserve scatter (+ one
+     * single-rank table broadcast when the rank does not hold the
+     * table yet). Returns false when the wave cannot run at all. */
+    auto beginWave = [&](uint32_t rank, PendingWave&& pw,
                          WaveExec& ex) -> bool {
         ex.wave = std::move(pw.wave);
         ex.generation = pw.generation;
-        ex.parity = static_cast<uint32_t>(wavesExecuted_ % 2);
+        ex.parity = static_cast<uint32_t>(rankWaves[rank] % 2);
 
-        TableCache::Lookup found = cache_.lookup(ex.wave.table);
+        TableCache::RankLookup found =
+            cache_.lookupOnRank(ex.wave.table, rank);
         ex.binding = found.binding;
-        ex.stats.tableMiss = found.miss;
+        ex.stats.tableMiss = found.rankMiss;
         uint64_t waveElems = ex.wave.elements();
         if (!ex.binding || !ex.binding->valid) {
             report.infeasibleElements += waveElems;
@@ -250,31 +338,31 @@ ServePipeline::run(BatchQueue& queue)
                     }
                     jev("drop", chain, 0.0, r.id,
                         obs::JournalEvent::kNoWave, r.elements, 0,
+                        static_cast<int32_t>(rank),
                         ex.wave.table.label, "no valid table binding");
                 }
             return false;
         }
         PipelineEvent bcastEv{};
-        if (found.miss && ex.binding->tableBytes > 0) {
+        if (found.rankMiss && ex.binding->tableBytes > 0) {
             PipelineEvent ev = sys_.broadcastAsync(
                 timeline, opts_.pipelined ? 0.0 : chain,
-                ex.binding->tableBytes);
+                ex.binding->tableBytes, static_cast<int32_t>(rank));
             ex.stats.broadcastSeconds = ev.seconds();
             bcastEv = ev;
             chain = ev.end;
+            ++report.rankStats[rank].broadcasts;
         }
 
-        // Slice across the currently healthy cores. If cores died
-        // since the wave was sized, the tail that no longer fits is
-        // split off and re-queued ahead of everything else.
-        std::vector<uint32_t> healthy;
-        for (uint32_t d = 0; d < n; ++d)
-            if (!sys_.isMasked(d))
-                healthy.push_back(d);
+        // Slice across the rank's currently healthy cores. If cores
+        // died since the wave was sized, the tail that no longer
+        // fits is split off and re-queued ahead of everything else.
+        std::vector<uint32_t> healthy = healthyOfRank(rank);
         if (healthy.empty()) {
-            outOfCores = true;
             retries.push_front(
                 PendingWave{std::move(ex.wave), ex.generation});
+            if (maxHealthyPerRank() == 0)
+                outOfCores = true;
             return false;
         }
         uint64_t budget =
@@ -301,7 +389,8 @@ ServePipeline::run(BatchQueue& queue)
         }
 
         const uint64_t per = std::min<uint64_t>(
-            cap, (waveElems + healthy.size() - 1) / healthy.size());
+            cap,
+            (waveElems + healthy.size() - 1) / healthy.size());
         std::vector<ScatterSlice> scatter;
         uint64_t first = 0;
         for (uint32_t d : healthy) {
@@ -324,10 +413,11 @@ ServePipeline::run(BatchQueue& queue)
         ex.stats.elements = waveElems;
         ex.stats.slices = static_cast<uint32_t>(ex.slices.size());
 
-        double readyAt = opts_.pipelined
-                             ? computeEndByParity[ex.parity]
-                             : chain;
-        ex.scatterEv = sys_.scatterAsync(timeline, readyAt, scatter);
+        double readyAt =
+            opts_.pipelined ? computeEndByParity[rank][ex.parity]
+                            : chain;
+        ex.scatterEv = sys_.scatterAsync(timeline, readyAt, scatter,
+                                         static_cast<int32_t>(rank));
         chain = ex.scatterEv.end;
         ex.stats.scatterSeconds = ex.scatterEv.seconds();
         ex.waveIndex = waveSeq++;
@@ -357,28 +447,33 @@ ServePipeline::run(BatchQueue& queue)
                         tracer.flowStep(flowName, "serve", r.id);
                 }
                 jev("coalesce", ex.scatterEv.start, 0.0, r.id,
-                    ex.waveIndex, r.elements, 0, ex.wave.table.label);
+                    ex.waveIndex, r.elements, 0,
+                    static_cast<int32_t>(rank), ex.wave.table.label);
                 jev("scatter", ex.scatterEv.start,
                     ex.scatterEv.seconds(), r.id, ex.waveIndex,
-                    r.elements, 0, ex.wave.table.label);
+                    r.elements, 0, static_cast<int32_t>(rank),
+                    ex.wave.table.label);
             }
             if (ex.stats.tableMiss && ex.stats.broadcastSeconds > 0.0)
                 jev("broadcast", bcastEv.start, bcastEv.seconds(), 0,
-                    ex.waveIndex, 0, 0, ex.wave.table.label);
+                    ex.waveIndex, 0, 0, static_cast<int32_t>(rank),
+                    ex.wave.table.label);
         }
-        ++wavesExecuted_;
+        ++rankWaves[rank];
+        report.rankStats[rank].waves += 1;
+        report.rankStats[rank].elements += waveElems;
         return true;
     };
 
-    /** Launch the wave's kernels (per-DPU lanes). */
-    auto computeWave = [&](WaveExec& ex) {
+    /** Launch the wave's kernels (the rank's DPU lanes). */
+    auto computeWave = [&](uint32_t rank, WaveExec& ex) {
         std::vector<int> sliceOfDpu(n, -1);
         for (size_t s = 0; s < ex.slices.size(); ++s)
             sliceOfDpu[ex.slices[s].dpu] = static_cast<int>(s);
         double readyAt =
             opts_.pipelined
                 ? std::max(ex.scatterEv.end,
-                           gatherEndByParity[ex.parity])
+                           gatherEndByParity[rank][ex.parity])
                 : chain;
         ex.computeEv = sys_.launchAsync(
             timeline, readyAt, opts_.numTasklets,
@@ -389,18 +484,17 @@ ServePipeline::run(BatchQueue& queue)
                 return ex.binding->makeKernel(ex.slices[s]);
             });
         chain = ex.computeEv.end;
-        computeEndByParity[ex.parity] = ex.computeEv.end;
+        computeEndByParity[rank][ex.parity] = ex.computeEv.end;
         ex.stats.maxCycles = sys_.lastMaxCycles();
         ex.stats.computeSeconds =
             freq > 0.0
                 ? static_cast<double>(ex.stats.maxCycles) / freq
                 : 0.0;
         report.computeCycles += ex.stats.maxCycles;
+        report.rankStats[rank].computeCycles += ex.stats.maxCycles;
 
-        // Straggler detection: a pure function of the per-DPU cycle
-        // counts the sequential failure sweep recorded, so it is
-        // deterministic at any thread count and costs nothing on the
-        // modeled schedule.
+        // Straggler detection: identical to the flat path, scoped to
+        // the wave's own (single-rank) slices.
         const std::vector<uint64_t>& perDpu = sys_.lastLaunchCycles();
         std::vector<uint64_t> sliceCycles;
         sliceCycles.reserve(ex.slices.size());
@@ -431,7 +525,7 @@ ServePipeline::run(BatchQueue& queue)
                 jev("anomaly", ex.computeEv.start,
                     ex.computeEv.seconds(), 0, ex.waveIndex,
                     ex.stats.elements, sliceCycles.back(),
-                    ex.wave.table.label,
+                    static_cast<int32_t>(rank), ex.wave.table.label,
                     "max " + std::to_string(sliceCycles.back()) +
                         " cycles vs median " +
                         std::to_string(ex.stats.medianCycles) +
@@ -448,12 +542,14 @@ ServePipeline::run(BatchQueue& queue)
                 jev("compute", ex.computeEv.start,
                     ex.computeEv.seconds(), r.id, ex.waveIndex,
                     r.elements, ex.stats.maxCycles,
+                    static_cast<int32_t>(rank),
                     ex.wave.table.label);
             }
     };
 
-    /** Gather, distribute outputs, and re-queue failed slices. */
-    auto finishWave = [&](WaveExec& ex) {
+    /** Gather, distribute outputs, and re-queue failed slices (the
+     * retry wave is free to land on any healthy rank). */
+    auto finishWave = [&](uint32_t rank, WaveExec& ex) {
         uint64_t waveElems = ex.stats.elements;
         std::vector<float> stagingOut(waveElems);
         std::vector<GatherSlice> gather;
@@ -465,20 +561,14 @@ ServePipeline::run(BatchQueue& queue)
                      static_cast<uint32_t>(sizeof(float))});
         double readyAt =
             opts_.pipelined ? ex.computeEv.end : chain;
-        PipelineEvent gatherEv =
-            sys_.gatherAsync(timeline, readyAt, gather);
+        PipelineEvent gatherEv = sys_.gatherAsync(
+            timeline, readyAt, gather, static_cast<int32_t>(rank));
         chain = gatherEv.end;
-        gatherEndByParity[ex.parity] = gatherEv.end;
+        gatherEndByParity[rank][ex.parity] = gatherEv.end;
         ex.stats.gatherSeconds = gatherEv.seconds();
 
-        // Distribute healthy slice ranges to the item outputs; turn
-        // failed slice ranges into retry items against the original
-        // request memory (the staging buffers die with this wave).
         Wave retry;
         retry.table = ex.wave.table;
-        // Visit every (item, overlap) of the wave-relative range
-        // [lo, hi): waveOff is the overlap's start in wave space,
-        // itemOff the same point relative to the item's own spans.
         auto forEachItemRange =
             [&](uint64_t lo, uint64_t hi,
                 const std::function<void(const WaveItem&,
@@ -516,8 +606,6 @@ ServePipeline::run(BatchQueue& queue)
                     lo, hi,
                     [&](const WaveItem& it, uint64_t /*waveOff*/,
                         uint64_t itemOff, uint64_t count) {
-                        // The tail flag survives a retry only if the
-                        // retried range still covers the item's tail.
                         retry.items.push_back(
                             {it.requestId, it.input + itemOff,
                              it.output + itemOff, count,
@@ -534,6 +622,7 @@ ServePipeline::run(BatchQueue& queue)
                 acc.transferSeconds += gatherEv.seconds();
                 jev("gather", gatherEv.start, gatherEv.seconds(),
                     r.id, ex.waveIndex, r.elements, 0,
+                    static_cast<int32_t>(rank),
                     ex.wave.table.label);
                 auto g = gatheredByReq.find(r.id);
                 if (g != gatheredByReq.end())
@@ -543,8 +632,10 @@ ServePipeline::run(BatchQueue& queue)
                     acc.elementsDone == acc.elementsTotal) {
                     acc.complete = true;
                     acc.completed = gatherEv.end;
-                    jev("done", gatherEv.end, 0.0, r.id, ex.waveIndex,
-                        acc.elementsTotal, 0, ex.wave.table.label);
+                    jev("done", gatherEv.end, 0.0, r.id,
+                        ex.waveIndex, acc.elementsTotal, 0,
+                        static_cast<int32_t>(rank),
+                        ex.wave.table.label);
                     if (tracer.enabled())
                         tracer.flowEnd("req " + std::to_string(r.id),
                                        "serve", r.id);
@@ -558,6 +649,7 @@ ServePipeline::run(BatchQueue& queue)
                     for (const WaveReq& r : collectWaveReqs(retry))
                         jev("drop", gatherEv.end, 0.0, r.id,
                             ex.waveIndex, r.elements, 0,
+                            static_cast<int32_t>(rank),
                             retry.table.label,
                             "retry budget exhausted");
                 if (reg.enabled())
@@ -583,40 +675,62 @@ ServePipeline::run(BatchQueue& queue)
         report.waveStats.push_back(ex.stats);
     };
 
-    // The two-deep software pipeline: scatter of the next wave is
-    // issued between the current wave's launch and gather, so the
-    // host lane interleaves ... scatter(k+1), gather(k) ... while
-    // the DPU lanes run compute(k).
-    auto takeRunnable = [&]() -> std::optional<WaveExec> {
-        for (;;) {
-            auto pw = nextWave();
-            if (!pw)
-                return std::nullopt;
-            WaveExec ex;
-            if (beginWave(std::move(*pw), ex))
-                return ex;
-            // Infeasible or un-sliceable wave: try the next one
-            // (outOfCores aborts via nextWave on the next spin).
-            if (outOfCores)
-                return std::nullopt;
+    // Drive loop: one in-flight wave per rank. Beginning a second
+    // wave on a rank first finishes the rank's previous wave (its
+    // gather queues behind the new scatter on the rank lane), which
+    // keeps the two-deep per-rank pipeline and flattens to the flat
+    // leg order on a single rank.
+    std::vector<std::optional<WaveExec>> inflight(ranks);
+    for (;;) {
+        auto pw = nextWave();
+        if (!pw) {
+            // Stream exhausted *for now*: finishing the in-flight
+            // waves may re-queue retry waves (a failed rank's gather
+            // re-shards its lost slices), so drain and re-check
+            // before concluding the run is over.
+            bool drained = false;
+            for (uint32_t r = 0; r < ranks; ++r)
+                if (inflight[r]) {
+                    finishWave(r, *inflight[r]);
+                    inflight[r].reset();
+                    drained = true;
+                }
+            if (drained)
+                continue;
+            break;
         }
-    };
-
-    std::optional<WaveExec> cur = takeRunnable();
-    while (cur) {
+        auto rank = placeRank(pw->wave.table);
+        if (!rank) {
+            outOfCores = true;
+            retries.push_front(std::move(*pw));
+            break;
+        }
         obs::TraceSpan waveSpan(
-            "wave " + std::to_string(report.waveStats.size()),
-            "serve",
-            obs::argKv("elements", cur->stats.elements));
-        computeWave(*cur);
-        std::optional<WaveExec> next;
-        if (opts_.pipelined)
-            next = takeRunnable();
-        finishWave(*cur);
-        if (!opts_.pipelined)
-            next = takeRunnable();
-        cur = std::move(next);
+            "wave " + std::to_string(waveSeq), "serve",
+            obs::argKv("rank", static_cast<uint64_t>(*rank)));
+        WaveExec ex;
+        if (!beginWave(*rank, std::move(*pw), ex)) {
+            if (outOfCores)
+                break;
+            continue; // infeasible wave: try the next one
+        }
+        if (opts_.pipelined) {
+            if (inflight[*rank]) {
+                finishWave(*rank, *inflight[*rank]);
+                inflight[*rank].reset();
+            }
+            computeWave(*rank, ex);
+            inflight[*rank] = std::move(ex);
+        } else {
+            computeWave(*rank, ex);
+            finishWave(*rank, ex);
+        }
     }
+    for (uint32_t r = 0; r < ranks; ++r)
+        if (inflight[r]) {
+            finishWave(r, *inflight[r]);
+            inflight[r].reset();
+        }
 
     // Anything still pending when we ran out of cores is dropped.
     const double drainT = timeline.makespan();
@@ -630,7 +744,7 @@ ServePipeline::run(BatchQueue& queue)
                     acc.sawLast = acc.sawLast || r.last;
                 }
                 jev("drop", drainT, 0.0, r.id,
-                    obs::JournalEvent::kNoWave, r.elements, 0,
+                    obs::JournalEvent::kNoWave, r.elements, 0, -1,
                     pw.wave.table.label, "out of cores");
             }
     }
@@ -640,18 +754,16 @@ ServePipeline::run(BatchQueue& queue)
     report.cacheHits = cache_.hits();
     report.cacheMisses = cache_.misses();
     report.modeledSeconds = timeline.makespan();
+    for (uint32_t r = 0; r < ranks; ++r) {
+        report.rankStats[r].makespanSeconds = timeline.rankMakespan(r);
+        report.rankStats[r].residentTables = cache_.residency(r);
+    }
     report.complete = !outOfCores && report.droppedElements == 0 &&
                       report.infeasibleElements == 0 &&
                       queue.closed() && queue.depth() == 0;
 
-    // Finalize one RequestLatency per tracked request. The std::map
-    // iterates in request-id order, and every timestamp came off the
-    // modeled timeline — the journal serializes byte-identically at
-    // any thread count. Decomposition identity (complete requests):
-    //   latency = queueWait + transfer + compute + stall
-    // holds exactly because stall is defined as the residual; it goes
-    // negative when a multi-wave request's legs overlap in the
-    // double-buffered schedule (legs then sum past the span).
+    // Finalize one RequestLatency per tracked request, exactly as
+    // the flat path does (request-id order, modeled times only).
     if (journal) {
         for (const auto& [id, acc] : reqAccs) {
             obs::RequestLatency lat;

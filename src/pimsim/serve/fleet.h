@@ -1,0 +1,74 @@
+/**
+ * @file
+ * pimserve piece 4: the fleet scheduler.
+ *
+ * Drives a BatchQueue across a multi-rank/multi-DIMM Topology
+ * (pimsim/topology.h). Each wave executes on exactly one rank: its
+ * scatter/gather ride that rank's transfer lane (lanes of ranks on
+ * distinct memory channels overlap; the ranks of one DIMM serialize
+ * on their shared channel), its compute rides the rank's own DPU
+ * lanes, and each rank runs the same two-deep double-buffered
+ * software pipeline as the flat ServePipeline — so the fleet
+ * makespan is the max over ranks of each rank's timeline.
+ *
+ * Placement balances hot tables through per-rank TableCache
+ * residency: a wave prefers the least-busy rank already holding its
+ * table, spreads first sightings onto the least-loaded rank, and
+ * replicates a table to a fresh rank when the backlog gap on the
+ * holding ranks exceeds the cost of one single-rank broadcast. A
+ * table is broadcast once per holding rank — never once per DPU.
+ *
+ * Degradation composes with pimfault per rank: slices lost to masked
+ * DPUs are re-queued as retry waves that the placement step is free
+ * to move to any healthy rank, so a fully-masked rank's work
+ * re-shards onto the survivors; with every rank dead the remaining
+ * elements are dropped and the run reports incomplete, exactly like
+ * the flat path.
+ *
+ * Run a fleet through ServePipeline by setting
+ * PipelineOptions::topology — ServePipeline::run dispatches here and
+ * the flat path stays bit-identical when the pointer is null. With
+ * Topology{1, 1, N} this scheduler reproduces the flat pipeline's
+ * modeled numbers exactly (one rank, one channel, same leg order).
+ */
+
+#ifndef TPL_PIMSIM_SERVE_FLEET_H
+#define TPL_PIMSIM_SERVE_FLEET_H
+
+#include "pimsim/serve/pipeline.h"
+#include "pimsim/topology.h"
+
+namespace tpl {
+namespace sim {
+namespace serve {
+
+/**
+ * The fleet wave executor. Normally constructed by
+ * ServePipeline::run when PipelineOptions::topology is set; usable
+ * directly by tests. @p options.topology must be non-null, valid,
+ * and describe exactly @p system.numDpus() DPUs; @p cache is the
+ * owning pipeline's table cache (its per-rank residency is re-armed
+ * by each run).
+ */
+class FleetScheduler
+{
+  public:
+    FleetScheduler(PimSystem& system, TableCache& cache,
+                   const PipelineOptions& options);
+
+    /** Serve every request in @p queue; blocks the calling thread.
+     * Mirrors ServePipeline::run, adding ServeReport::rankStats. */
+    ServeReport run(BatchQueue& queue);
+
+  private:
+    PimSystem& sys_;
+    TableCache& cache_;
+    const PipelineOptions& opts_;
+    const Topology& topo_;
+};
+
+} // namespace serve
+} // namespace sim
+} // namespace tpl
+
+#endif // TPL_PIMSIM_SERVE_FLEET_H

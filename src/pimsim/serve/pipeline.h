@@ -35,6 +35,7 @@
 #include "pimsim/serve/cost_book.h"
 #include "pimsim/serve/table_cache.h"
 #include "pimsim/system.h"
+#include "pimsim/topology.h"
 
 namespace tpl {
 namespace sim {
@@ -90,6 +91,20 @@ struct PipelineOptions
     obs::Journal* journal = nullptr;
 
     /**
+     * Fleet topology (kill switch: nullptr, the default, keeps
+     * today's flat single-system schedule bit-for-bit at any thread
+     * count). When set, valid, and describing exactly the system's
+     * DPU count, run() dispatches to the FleetScheduler (see
+     * serve/fleet.h): waves are placed per rank, transfers ride
+     * per-rank lanes that overlap across memory channels, tables are
+     * broadcast once per holding rank, and ServeReport::rankStats is
+     * filled. A topology whose numDpus() does not match the system
+     * falls back to the flat path. The caller keeps the object alive
+     * for the pipeline's lifetime.
+     */
+    const Topology* topology = nullptr;
+
+    /**
      * Straggler detector threshold: a wave is flagged anomalous when
      * its slowest participating DPU exceeds stragglerFactor × the
      * wave's median per-DPU cycles (upper median; waves with fewer
@@ -119,6 +134,21 @@ struct WaveStats
     uint32_t stragglerDpus = 0;
 };
 
+/** Per-rank slice of a fleet run (ServeReport::rankStats; filled
+ * only on the topology path). */
+struct RankStats
+{
+    uint32_t rank = 0;
+    uint64_t waves = 0;    ///< waves executed on this rank
+    uint64_t elements = 0; ///< elements those waves carried
+    uint64_t computeCycles = 0; ///< sum of per-wave max cycles
+    /** Latest completion on the rank's lanes (transfer + DPU);
+     * the fleet makespan is the max of these. */
+    double makespanSeconds = 0.0;
+    uint64_t residentTables = 0; ///< distinct tables held at run end
+    uint64_t broadcasts = 0; ///< single-rank table broadcasts paid
+};
+
 /** Outcome of one ServePipeline::run. */
 struct ServeReport
 {
@@ -139,6 +169,9 @@ struct ServeReport
      * PipelineOptions::stragglerFactor). */
     uint64_t anomalousWaves = 0;
     std::vector<WaveStats> waveStats;
+    /** Per-rank accounting; empty on the flat (topology == nullptr)
+     * path. */
+    std::vector<RankStats> rankStats;
 
     /** Fraction of the synchronous schedule hidden by overlap. */
     double

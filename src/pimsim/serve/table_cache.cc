@@ -33,6 +33,69 @@ TableCache::lookup(const TableKey& key)
     return {&pos->second, true};
 }
 
+void
+TableCache::setRankCount(uint32_t ranks)
+{
+    rankCount_ = ranks;
+    resident_.clear();
+    rankBroadcasts_ = 0;
+}
+
+TableCache::RankLookup
+TableCache::lookupOnRank(const TableKey& key, uint32_t rank)
+{
+    RankLookup out;
+    auto it = entries_.find(key.hash);
+    if (it == entries_.end()) {
+        Lookup first = lookup(key); // provider path + hit/miss counters
+        out.binding = first.binding;
+        out.providerMiss = true;
+    } else {
+        ++hits_;
+        obs::Registry& reg = obs::Registry::global();
+        if (reg.enabled())
+            reg.counter("serve/lut_cache/hits").add(1);
+        out.binding = &it->second;
+    }
+    std::vector<bool>& res = resident_[key.hash];
+    if (res.size() < rankCount_)
+        res.resize(rankCount_, false);
+    if (out.binding->valid && rank < res.size() && !res[rank]) {
+        res[rank] = true;
+        out.rankMiss = true;
+        ++rankBroadcasts_;
+        obs::Registry& reg = obs::Registry::global();
+        if (reg.enabled())
+            reg.counter("serve/lut_cache/rank_broadcasts").add(1);
+    }
+    return out;
+}
+
+const TableBinding*
+TableCache::peek(const TableKey& key) const
+{
+    auto it = entries_.find(key.hash);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool
+TableCache::residentOnRank(const TableKey& key, uint32_t rank) const
+{
+    auto it = resident_.find(key.hash);
+    return it != resident_.end() && rank < it->second.size() &&
+           it->second[rank];
+}
+
+size_t
+TableCache::residency(uint32_t rank) const
+{
+    size_t n = 0;
+    for (const auto& [hash, res] : resident_)
+        if (rank < res.size() && res[rank])
+            ++n;
+    return n;
+}
+
 } // namespace serve
 } // namespace sim
 } // namespace tpl

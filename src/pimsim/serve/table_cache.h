@@ -43,8 +43,12 @@ struct TableBinding
 {
     bool valid = false;
 
-    /** Per-core table footprint in bytes: the modeled cost of one
-     * rank-parallel broadcast on a cache miss. */
+    /** Per-core table footprint in bytes. A cache miss pays one
+     * modeled broadcast of this footprint: the whole-system parallel
+     * rate on the flat path (lookup), or one single-rank parallel
+     * pass per holding rank on the fleet path (lookupOnRank) — a
+     * table is broadcast once per rank that hosts it, never once per
+     * DPU. */
     uint32_t tableBytes = 0;
 
     /** Builds the kernel evaluating one wave slice (reuses the
@@ -83,6 +87,46 @@ class TableCache
 
     Lookup lookup(const TableKey& key);
 
+    /**
+     * Arm per-rank residency tracking for a fleet of @p ranks ranks.
+     * Resets any prior residency state; rank 0..ranks-1 become valid
+     * arguments to lookupOnRank/residentOnRank/residency.
+     */
+    void setRankCount(uint32_t ranks);
+
+    /** Result of a fleet-path lookup: the binding, whether the
+     * provider had to generate tables (first sighting fleet-wide),
+     * and whether this rank still had to receive its broadcast
+     * (first sighting on the rank — the caller charges one
+     * single-rank broadcast). */
+    struct RankLookup
+    {
+        const TableBinding* binding = nullptr;
+        bool providerMiss = false;
+        bool rankMiss = false;
+    };
+
+    /**
+     * Fleet-path lookup: resolve @p key (consulting the provider on
+     * first sighting, exactly like lookup) and mark the table
+     * resident on @p rank. rankMiss is set — and one rank broadcast
+     * counted — when a valid binding was not yet resident there.
+     */
+    RankLookup lookupOnRank(const TableKey& key, uint32_t rank);
+
+    /** Binding for @p key if cached, else nullptr. No counters move:
+     * this is the scheduler's placement peek, not a lookup. */
+    const TableBinding* peek(const TableKey& key) const;
+
+    /** Whether @p key's table is resident on @p rank. */
+    bool residentOnRank(const TableKey& key, uint32_t rank) const;
+
+    /** Number of distinct valid tables resident on @p rank. */
+    size_t residency(uint32_t rank) const;
+
+    /** Total single-rank broadcasts charged by lookupOnRank. */
+    uint64_t rankBroadcasts() const { return rankBroadcasts_; }
+
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
     size_t size() const { return entries_.size(); }
@@ -91,6 +135,11 @@ class TableCache
     PimSystem& system_;
     TableProvider provider_;
     std::map<uint64_t, TableBinding> entries_;
+    // Fleet residency: per cached table, which ranks hold it. Sized
+    // lazily to rankCount_ on first touch of each entry.
+    std::map<uint64_t, std::vector<bool>> resident_;
+    uint32_t rankCount_ = 0;
+    uint64_t rankBroadcasts_ = 0;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
 };

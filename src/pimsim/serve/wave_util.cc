@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Shared wave helpers (see wave_util.h).
+ */
+
+#include "pimsim/serve/wave_util.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace tpl {
+namespace sim {
+namespace serve {
+
+std::vector<WaveReq>
+collectWaveReqs(const Wave& w)
+{
+    std::vector<WaveReq> reqs;
+    // Index by request id so a wave of many thousands of items stays
+    // linear; output order is still first appearance in item order.
+    std::unordered_map<uint64_t, size_t> index;
+    index.reserve(w.items.size());
+    for (const WaveItem& it : w.items) {
+        auto [pos, fresh] = index.try_emplace(it.requestId, reqs.size());
+        if (fresh)
+            reqs.push_back(
+                {it.requestId, 0, false, it.arrivalSeconds});
+        WaveReq& r = reqs[pos->second];
+        r.elements += it.elements;
+        r.last = r.last || it.last;
+    }
+    return reqs;
+}
+
+Wave
+takeWaveHead(Wave& w, uint64_t budget)
+{
+    Wave head;
+    head.table = w.table;
+    std::vector<WaveItem> tail;
+    uint64_t off = 0;
+    for (WaveItem& it : w.items) {
+        if (off >= budget) {
+            tail.push_back(it);
+        } else if (off + it.elements <= budget) {
+            head.items.push_back(it);
+        } else {
+            uint64_t take = budget - off;
+            // The `last` flag follows the request's tail: it stays on
+            // the remainder, never the split-off head.
+            head.items.push_back({it.requestId, it.input, it.output,
+                                  take, it.arrivalSeconds, false});
+            tail.push_back({it.requestId, it.input + take,
+                            it.output + take, it.elements - take,
+                            it.arrivalSeconds, it.last});
+        }
+        off += it.elements;
+    }
+    w.items = std::move(tail);
+    return head;
+}
+
+double
+predictSplitMakespan(uint64_t elems, uint32_t k, uint32_t healthy,
+                     uint32_t cap, const WaveCost& cost,
+                     PimSystem& sys, double freq)
+{
+    std::vector<uint64_t> part(k);
+    uint64_t base = elems / k, rem = elems % k;
+    for (uint32_t i = 0; i < k; ++i)
+        part[i] = base + (i < rem ? 1 : 0);
+
+    auto xferSeconds = [&](uint64_t e) {
+        return sys.serialTransferSeconds(e * sizeof(float));
+    };
+    auto computeSeconds = [&](uint64_t e) {
+        uint64_t perSlice =
+            std::min<uint64_t>(cap, (e + healthy - 1) / healthy);
+        return freq > 0.0 ? static_cast<double>(
+                                cost.sliceCycles(perSlice)) /
+                                freq
+                          : 0.0;
+    };
+
+    double host = 0.0, dpuFree = 0.0;
+    double computeByParity[2] = {0.0, 0.0};
+    double gatherByParity[2] = {0.0, 0.0};
+    std::vector<double> scatterEnd(k, 0.0);
+    host = std::max(computeByParity[0], host) + xferSeconds(part[0]);
+    scatterEnd[0] = host;
+    double makespan = host;
+    for (uint32_t i = 0; i < k; ++i) {
+        uint32_t parity = i % 2;
+        double ready =
+            std::max(scatterEnd[i], gatherByParity[parity]);
+        dpuFree = std::max(ready, dpuFree) + computeSeconds(part[i]);
+        computeByParity[parity] = dpuFree;
+        if (i + 1 < k) {
+            double sStart =
+                std::max(computeByParity[(i + 1) % 2], host);
+            host = sStart + xferSeconds(part[i + 1]);
+            scatterEnd[i + 1] = host;
+        }
+        host = std::max(dpuFree, host) + xferSeconds(part[i]);
+        gatherByParity[parity] = host;
+        makespan = std::max(makespan, host);
+    }
+    return makespan;
+}
+
+} // namespace serve
+} // namespace sim
+} // namespace tpl

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Wave bookkeeping shared by the flat ServePipeline drive loop and
+ * the fleet FleetScheduler: pending-wave queuing, per-request share
+ * collection, wave splitting, and the cost-aware split predictor.
+ * Both drivers issue the same begin (scatter) / compute (launch) /
+ * finish (gather) legs; these helpers keep their accounting
+ * identical so the flat path and a Topology{1, 1, N} fleet produce
+ * the same modeled numbers.
+ */
+
+#ifndef TPL_PIMSIM_SERVE_WAVE_UTIL_H
+#define TPL_PIMSIM_SERVE_WAVE_UTIL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "pimsim/serve/batch_queue.h"
+#include "pimsim/serve/cost_book.h"
+#include "pimsim/serve/pipeline.h"
+#include "pimsim/serve/table_cache.h"
+#include "pimsim/system.h"
+
+namespace tpl {
+namespace sim {
+namespace serve {
+
+/** A wave waiting to execute: fresh from the queue (generation 0) or
+ * re-queued after failures. */
+struct PendingWave
+{
+    Wave wave;
+    uint32_t generation = 0;
+};
+
+/** One request's share of a wave (journal/flow bookkeeping). */
+struct WaveReq
+{
+    uint64_t id = 0;
+    uint64_t elements = 0; ///< this request's elements in the wave
+    bool last = false;     ///< wave carries the request's tail
+    double arrival = 0.0;
+};
+
+/** Everything one in-flight wave carries between its begin (scatter)
+ * and finish (gather + distribute) steps. */
+struct WaveExec
+{
+    Wave wave;
+    uint32_t generation = 0;
+    uint32_t parity = 0;
+    uint64_t waveIndex = 0; ///< execution-order wave number
+    const TableBinding* binding = nullptr;
+    std::vector<float> stagingIn;  ///< packed item inputs
+    std::vector<ShardTask> slices; ///< one per participating DPU
+    std::vector<uint64_t> itemStart; ///< wave-relative item offsets
+    std::vector<WaveReq> reqs; ///< unique requests, item order
+    WaveStats stats;
+    PipelineEvent scatterEv;
+    PipelineEvent computeEv;
+};
+
+/** Collapse a wave's items into per-request shares, first-appearance
+ * item order. */
+std::vector<WaveReq> collectWaveReqs(const Wave& w);
+
+/** Move the first @p budget elements of @p w into the returned wave;
+ * @p w keeps the remainder. Items crossing the cut are split against
+ * the original request memory, and the `last` flag follows the
+ * request's tail (it stays on the remainder, never the head). */
+Wave takeWaveHead(Wave& w, uint64_t budget);
+
+/**
+ * Predicted double-buffered makespan of one popped wave run as @p k
+ * equal sub-waves over @p healthy cores of @p cap element slices: a
+ * mirror of the reservation sequence the drive loop issues (scatter
+ * 0; then compute i, scatter i+1, gather i), against the same serial
+ * transfer model and per-slice compute envelope. Only the *ranking*
+ * across k matters — common shifts (the table broadcast, lanes still
+ * busy from earlier waves) move every candidate equally.
+ */
+double predictSplitMakespan(uint64_t elems, uint32_t k,
+                            uint32_t healthy, uint32_t cap,
+                            const WaveCost& cost, PimSystem& sys,
+                            double freq);
+
+} // namespace serve
+} // namespace sim
+} // namespace tpl
+
+#endif // TPL_PIMSIM_SERVE_WAVE_UTIL_H

@@ -168,6 +168,18 @@ PimSystem::serialTransferSeconds(uint64_t totalBytes) const
 }
 
 double
+PimSystem::rankParallelTransferSeconds(uint64_t totalBytes) const
+{
+    // A single rank engages one rank's worth of parallel bandwidth,
+    // regardless of how many ranks the whole system has.
+    double bw = std::min(model_.hostParallelBandwidth,
+                         model_.hostAggregateBandwidthCap);
+    if (bw <= 0.0)
+        return 0.0;
+    return static_cast<double>(totalBytes) / bw;
+}
+
+double
 PimSystem::accountTransfer(TransferStats::Cell (&cells)[2],
                            const char* direction, TransferMode mode,
                            uint64_t streamBytes, double extraSeconds)
@@ -176,6 +188,16 @@ PimSystem::accountTransfer(TransferStats::Cell (&cells)[2],
                           ? parallelTransferSeconds(streamBytes)
                           : serialTransferSeconds(streamBytes)) +
                      extraSeconds;
+    return accountTransferSeconds(cells, direction, mode, streamBytes,
+                                  seconds);
+}
+
+double
+PimSystem::accountTransferSeconds(TransferStats::Cell (&cells)[2],
+                                  const char* direction,
+                                  TransferMode mode,
+                                  uint64_t streamBytes, double seconds)
+{
     TransferStats::Cell& cell = cells[static_cast<int>(mode)];
     ++cell.transfers;
     cell.bytes += streamBytes;
@@ -465,10 +487,22 @@ PimSystem::sweepLaunchFailures(const std::vector<uint8_t>& ran,
 
 PipelineEvent
 PimSystem::broadcastAsync(PipelineTimeline& timeline, double readyAt,
-                          uint64_t tableBytes)
+                          uint64_t tableBytes, int32_t rank)
 {
     obs::TraceSpan span("broadcastAsync", "xfer",
                         obs::argKv("bytes", tableBytes));
+    if (rank >= 0) {
+        // Fleet path: one single-rank parallel pass, reserved on the
+        // rank's transfer lane (serializing with any sibling rank on
+        // the same channel).
+        double seconds = accountTransferSeconds(
+            transferStats_.broadcast, "broadcast",
+            TransferMode::Parallel, tableBytes,
+            rankParallelTransferSeconds(tableBytes));
+        double end = timeline.reserveRank(
+            static_cast<uint32_t>(rank), readyAt, seconds);
+        return {end - seconds, end};
+    }
     double seconds =
         accountTransfer(transferStats_.broadcast, "broadcast",
                         TransferMode::Parallel, tableBytes);
@@ -479,7 +513,8 @@ PimSystem::broadcastAsync(PipelineTimeline& timeline, double readyAt,
 
 PipelineEvent
 PimSystem::scatterAsync(PipelineTimeline& timeline, double readyAt,
-                        std::span<const ScatterSlice> slices)
+                        std::span<const ScatterSlice> slices,
+                        int32_t rank)
 {
     uint64_t total = 0;
     for (const ScatterSlice& s : slices)
@@ -504,6 +539,11 @@ PimSystem::scatterAsync(PipelineTimeline& timeline, double readyAt,
     double seconds =
         accountTransfer(transferStats_.scatter, "scatter",
                         TransferMode::Serial, streamBytes, extra);
+    if (rank >= 0) {
+        double end = timeline.reserveRank(
+            static_cast<uint32_t>(rank), readyAt, seconds);
+        return {end - seconds, end};
+    }
     double start = std::max(readyAt, timeline.hostFree());
     double end = timeline.reserveHost(readyAt, seconds);
     return {start, end};
@@ -511,7 +551,8 @@ PimSystem::scatterAsync(PipelineTimeline& timeline, double readyAt,
 
 PipelineEvent
 PimSystem::gatherAsync(PipelineTimeline& timeline, double readyAt,
-                       std::span<const GatherSlice> slices)
+                       std::span<const GatherSlice> slices,
+                       int32_t rank)
 {
     uint64_t total = 0;
     for (const GatherSlice& s : slices)
@@ -534,6 +575,11 @@ PimSystem::gatherAsync(PipelineTimeline& timeline, double readyAt,
     double seconds =
         accountTransfer(transferStats_.gather, "gather",
                         TransferMode::Serial, streamBytes, extra);
+    if (rank >= 0) {
+        double end = timeline.reserveRank(
+            static_cast<uint32_t>(rank), readyAt, seconds);
+        return {end - seconds, end};
+    }
     double start = std::max(readyAt, timeline.hostFree());
     double end = timeline.reserveHost(readyAt, seconds);
     return {start, end};

@@ -199,6 +199,68 @@ class PipelineTimeline
     double dpuFree(uint32_t dpu) const { return dpus_[dpu]; }
 
     /**
+     * Arm per-rank transfer lanes: @p ranks rank lanes of
+     * @p dpusPerRank DPUs each, with rank r's transfers carried on
+     * channel @p channelOfRank[r]. Ranks mapped to distinct channels
+     * overlap; ranks sharing a channel serialize against each other.
+     * Until this is called (the flat single-system path), rank lanes
+     * do not exist and reserveRank must not be used.
+     */
+    void
+    configureRanks(uint32_t ranks, uint32_t dpusPerRank,
+                   std::vector<uint32_t> channelOfRank)
+    {
+        rankDpus_ = dpusPerRank;
+        channelOfRank_ = std::move(channelOfRank);
+        rankLane_.assign(ranks, 0.0);
+        rankMakespan_.assign(ranks, 0.0);
+        uint32_t channels = 0;
+        for (uint32_t c : channelOfRank_)
+            channels = std::max(channels, c + 1);
+        channelLane_.assign(channels, 0.0);
+    }
+
+    /** Number of rank lanes armed by configureRanks (0 = flat). */
+    uint32_t rankCount() const
+    {
+        return static_cast<uint32_t>(rankLane_.size());
+    }
+
+    /** When @p rank's transfer lane (and its channel) next free up. */
+    double
+    rankFree(uint32_t rank) const
+    {
+        return std::max(rankLane_[rank],
+                        channelLane_[channelOfRank_[rank]]);
+    }
+
+    /**
+     * Occupy @p rank's transfer lane and its channel for @p seconds
+     * starting no earlier than @p readyAt. @return the completion
+     * time.
+     */
+    double
+    reserveRank(uint32_t rank, double readyAt, double seconds)
+    {
+        double start = std::max(readyAt, rankFree(rank));
+        double end = start + seconds;
+        rankLane_[rank] = end;
+        channelLane_[channelOfRank_[rank]] = end;
+        rankMakespan_[rank] = std::max(rankMakespan_[rank], end);
+        makespan_ = std::max(makespan_, end);
+        return end;
+    }
+
+    /**
+     * Latest completion of any reservation attributed to @p rank:
+     * its transfer lane plus the compute lanes of its DPUs.
+     */
+    double rankMakespan(uint32_t rank) const
+    {
+        return rankMakespan_[rank];
+    }
+
+    /**
      * Occupy the host lane for @p seconds starting no earlier than
      * @p readyAt. @return the completion time.
      */
@@ -218,6 +280,12 @@ class PipelineTimeline
         double start = std::max(readyAt, dpus_[dpu]);
         dpus_[dpu] = start + seconds;
         makespan_ = std::max(makespan_, dpus_[dpu]);
+        if (rankDpus_ > 0) {
+            uint32_t rank = dpu / rankDpus_;
+            if (rank < rankMakespan_.size())
+                rankMakespan_[rank] =
+                    std::max(rankMakespan_[rank], dpus_[dpu]);
+        }
         return dpus_[dpu];
     }
 
@@ -228,6 +296,14 @@ class PipelineTimeline
     double host_ = 0.0;
     std::vector<double> dpus_;
     double makespan_ = 0.0;
+    // Rank lanes (empty until configureRanks): per-rank transfer
+    // lanes, the channel lanes they serialize on, and per-rank
+    // makespans folding in DPU-lane reservations.
+    uint32_t rankDpus_ = 0;
+    std::vector<uint32_t> channelOfRank_;
+    std::vector<double> rankLane_;
+    std::vector<double> channelLane_;
+    std::vector<double> rankMakespan_;
 };
 
 /**
@@ -377,25 +453,36 @@ class PimSystem
      * been staged through direct core writes (e.g. an evaluator's
      * attach()). Used by the serve layer to model LUT distribution on
      * a cache miss.
+     *
+     * With @p rank >= 0 the leg is reserved on that rank's transfer
+     * lane (the timeline must have configureRanks armed) and costs
+     * one single-rank parallel pass (rankParallelTransferSeconds)
+     * instead of the whole-system parallel rate — the fleet path
+     * broadcasts a table once per holding rank, not once per DPU.
      */
     PipelineEvent broadcastAsync(PipelineTimeline& timeline,
-                                 double readyAt, uint64_t tableBytes);
+                                 double readyAt, uint64_t tableBytes,
+                                 int32_t rank = -1);
 
     /**
      * Scatter variable-size @p slices (serialized on the host lane)
      * starting no earlier than @p readyAt. Copies happen immediately;
      * with a fault plan armed each slice is one retryable transfer
      * leg and a slice whose DPU dies is dropped (check isMasked()
-     * afterwards). @return the leg's reservation on the host lane.
+     * afterwards). @return the leg's reservation on the host lane,
+     * or on @p rank's transfer lane when @p rank >= 0 (fleet path:
+     * the slices must all target DPUs of that rank).
      */
     PipelineEvent scatterAsync(PipelineTimeline& timeline,
                                double readyAt,
-                               std::span<const ScatterSlice> slices);
+                               std::span<const ScatterSlice> slices,
+                               int32_t rank = -1);
 
     /** Gather variable-size @p slices; mirror of scatterAsync. */
     PipelineEvent gatherAsync(PipelineTimeline& timeline,
                               double readyAt,
-                              std::span<const GatherSlice> slices);
+                              std::span<const GatherSlice> slices,
+                              int32_t rank = -1);
 
     /**
      * Launch a wave on every DPU for which @p makeKernel returns a
@@ -519,6 +606,15 @@ class PimSystem
     double parallelTransferSeconds(uint64_t totalBytes) const;
 
     /**
+     * Modeled seconds one *rank* takes to stream @p totalBytes in
+     * parallel mode: a single rank engages only its own per-rank
+     * bandwidth, however many DPUs it carries. The fleet path charges
+     * this per holding rank; ranks on distinct channels overlap on
+     * the timeline instead of multiplying the rate here.
+     */
+    double rankParallelTransferSeconds(uint64_t totalBytes) const;
+
+    /**
      * Modeled seconds a transfer of @p totalBytes takes in serial mode
      * (distinct buffer sizes serialize on the host interface).
      * Returns 0 if the model's serial bandwidth is non-positive.
@@ -555,6 +651,17 @@ class PimSystem
                            const char* direction, TransferMode mode,
                            uint64_t streamBytes,
                            double extraSeconds = 0.0);
+
+    /**
+     * accountTransfer with the stream seconds supplied by the caller
+     * instead of derived from @p mode — used by the fleet path to
+     * charge a broadcast at the single-rank parallel rate.
+     */
+    double accountTransferSeconds(TransferStats::Cell (&cells)[2],
+                                  const char* direction,
+                                  TransferMode mode,
+                                  uint64_t streamBytes,
+                                  double seconds);
 
     /**
      * One per-DPU leg of a bulk transfer under the armed plan's retry

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Topology parsing and rendering.
+ */
+
+#include "pimsim/topology.h"
+
+#include <cstdint>
+
+namespace tpl {
+namespace sim {
+
+std::vector<uint32_t>
+Topology::channelMap() const
+{
+    std::vector<uint32_t> map(numRanks());
+    for (uint32_t r = 0; r < numRanks(); ++r)
+        map[r] = channelOfRank(r);
+    return map;
+}
+
+std::string
+Topology::toText() const
+{
+    return std::to_string(dimms) + "x" + std::to_string(ranksPerDimm) +
+           "x" + std::to_string(dpusPerRank);
+}
+
+namespace {
+
+// Parse one decimal field of the DxRxP grammar. Rejects empty
+// fields, non-digits, and values above the uint32 range.
+bool
+parseField(const std::string& text, size_t begin, size_t end,
+           uint32_t& out)
+{
+    if (begin >= end)
+        return false;
+    uint64_t value = 0;
+    for (size_t i = begin; i < end; ++i) {
+        char c = text[i];
+        if (c < '0' || c > '9')
+            return false;
+        value = value * 10 + static_cast<uint64_t>(c - '0');
+        if (value > UINT32_MAX)
+            return false;
+    }
+    out = static_cast<uint32_t>(value);
+    return true;
+}
+
+} // namespace
+
+std::optional<Topology>
+Topology::parse(const std::string& text)
+{
+    size_t first = text.find('x');
+    if (first == std::string::npos)
+        return std::nullopt;
+    size_t second = text.find('x', first + 1);
+    if (second == std::string::npos)
+        return std::nullopt;
+    if (text.find('x', second + 1) != std::string::npos)
+        return std::nullopt;
+
+    Topology t;
+    if (!parseField(text, 0, first, t.dimms) ||
+        !parseField(text, first + 1, second, t.ranksPerDimm) ||
+        !parseField(text, second + 1, text.size(), t.dpusPerRank))
+        return std::nullopt;
+    if (!t.valid())
+        return std::nullopt;
+
+    // The DPU count must fit uint32: dimms * ranksPerDimm * dpusPerRank.
+    uint64_t dpus = static_cast<uint64_t>(t.dimms) * t.ranksPerDimm *
+                    t.dpusPerRank;
+    if (dpus > UINT32_MAX)
+        return std::nullopt;
+    return t;
+}
+
+bool
+operator==(const Topology& a, const Topology& b)
+{
+    return a.dimms == b.dimms && a.ranksPerDimm == b.ranksPerDimm &&
+           a.dpusPerRank == b.dpusPerRank;
+}
+
+} // namespace sim
+} // namespace tpl

@@ -8,11 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <thread>
 #include <vector>
 
 #include "pimsim/serve/pipeline.h"
+#include "pimsim/topology.h"
 #include "transpim/harness.h"
 #include "transpim/serve_glue.h"
 
@@ -467,4 +469,69 @@ TEST(ServeAcceptance, PipelinedBeatsSyncByThirtyPercent)
     EXPECT_GT(res.overlapPercent(), 0.0);
     EXPECT_GT(res.pipelined.elementsPerSecond(), 0.0);
     EXPECT_GT(res.cyclesPerElement, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Fleet property: with a topology armed, the fleet clock is exactly
+// the slowest rank's clock, and the per-rank rows partition the
+// report's cycle totals — cross-checked against every core's own
+// LaunchStats partition.
+
+TEST(ServePipeline, FleetMakespanIsMaxOfRankTimelines)
+{
+    sim::Topology topo{2, 2, 2}; // 4 ranks x 2 DPUs on 2 channels
+    sim::PimSystem sys(topo.numDpus());
+    EvaluatorCatalog catalog;
+    MethodSpec spec;
+    serve::TableKey sin = catalog.add(Function::Sin, spec);
+    serve::TableKey cos = catalog.add(Function::Cos, spec);
+
+    const uint32_t elements = 6144;
+    std::vector<float> in(elements), out(elements, 0.0f);
+    for (uint32_t i = 0; i < elements; ++i)
+        in[i] = 3.0f * static_cast<float>(i) / elements;
+
+    serve::BatchQueue queue;
+    queue.push(
+        makeRequest(sin, in.data(), out.data(), elements / 2));
+    queue.push(makeRequest(cos, in.data() + elements / 2,
+                           out.data() + elements / 2,
+                           elements / 2));
+    queue.close();
+
+    serve::PipelineOptions popts;
+    popts.numTasklets = 8;
+    popts.perDpuElements = 128;
+    popts.topology = &topo;
+    serve::ServePipeline pipeline(sys, catalog.provider(), popts);
+    serve::ServeReport rep = pipeline.run(queue);
+    ASSERT_TRUE(rep.complete);
+    ASSERT_EQ(rep.rankStats.size(), topo.numRanks());
+
+    double maxSpan = 0.0;
+    uint64_t rankCycles = 0;
+    uint64_t rankElements = 0;
+    for (const serve::RankStats& r : rep.rankStats) {
+        maxSpan = std::max(maxSpan, r.makespanSeconds);
+        rankCycles += r.computeCycles;
+        rankElements += r.elements;
+        EXPECT_LE(r.makespanSeconds, rep.modeledSeconds);
+    }
+    // Exactly ==, not NEAR: both sides read the same timeline.
+    EXPECT_EQ(rep.modeledSeconds, maxSpan);
+    EXPECT_EQ(rankCycles, rep.computeCycles);
+    EXPECT_EQ(rankElements, rep.elements);
+
+    // Per-core cross-check: each core's last launch still satisfies
+    // the exact cycle partition under the fleet schedule.
+    for (uint32_t d = 0; d < sys.numDpus(); ++d) {
+        const LaunchStats& st = sys.dpu(d).lastLaunch();
+        if (st.cycles == 0)
+            continue; // a core the placement never used
+        uint64_t classSum = 0;
+        for (uint64_t c : st.classInstructions)
+            classSum += c;
+        EXPECT_EQ(classSum, st.totalInstructions);
+        EXPECT_EQ(classSum + st.stallCycles, st.cycles);
+    }
 }

@@ -21,7 +21,21 @@
  *
  * Options:
  *   --trace PATH           request trace to replay
- *   --demo-trace           print a built-in demo trace and exit
+ *   --demo-trace           print a built-in demo trace and exit.
+ *                          Combined with a replay option (--topology,
+ *                          --demo-requests, --json, --journal,
+ *                          --metrics, --slo, --plan, --sync,
+ *                          --no-sync-replay) and no --trace, the
+ *                          demo trace is *replayed* instead: a
+ *                          synthetic mixed-config trace of
+ *                          --demo-requests requests (default
+ *                          1000000) built in memory.
+ *   --demo-requests N      size of the synthetic demo replay
+ *   --topology DxRxP       fleet topology (e.g. 20x2x64: 20 DIMMs x
+ *                          2 ranks x 64 DPUs); implies
+ *                          --dpus D*R*P and per-rank scheduling
+ *                          (see docs/fleet.md)
+ *   --no-sync-replay       skip the sync-comparison second run
  *   --dpus N               simulated DPUs (default 64)
  *   --tasklets N           tasklets per DPU (default 16)
  *   --per-dpu-elements N   per-wave slice capacity per DPU
@@ -48,6 +62,7 @@
  * usage or parse errors.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -62,6 +77,7 @@
 #include "pimsim/obs/journal.h"
 #include "pimsim/obs/metrics.h"
 #include "pimsim/serve/pipeline.h"
+#include "pimsim/topology.h"
 #include "transpim/harness.h"
 #include "transpim/serve_glue.h"
 
@@ -75,12 +91,17 @@ usage()
 {
     std::cerr
         << "usage: pimserve --trace PATH [--dpus N] [--tasklets N]\n"
-           "                [--per-dpu-elements N] [--chunk N]"
-           " [--sync]\n"
+           "                [--topology DxRxP]"
+           " [--per-dpu-elements N]\n"
+           "                [--chunk N] [--sync] [--no-sync-replay]\n"
            "                [--plan PATH] [--seed N] [--json PATH]\n"
            "                [--metrics PATH] [--journal PATH]"
            " [--slo SPEC]\n"
-           "       pimserve --demo-trace\n";
+           "       pimserve --demo-trace   # print the demo trace\n"
+           "       pimserve --demo-trace --topology 20x2x64"
+           " [--demo-requests N] ...\n"
+           "                               # replay a synthetic demo"
+           " trace\n";
 }
 
 const std::map<std::string, Function>&
@@ -235,10 +256,47 @@ const char* kDemoTrace =
     "request function=exp method=llut elements=32768\n"
     "request function=exp method=llut elements=32768\n";
 
+/** Build the synthetic demo-replay trace: @p requests small
+ * inference-style requests over four llut configs. Requests arrive
+ * grouped into eight same-config phases (two passes over the four
+ * configs) so waves coalesce deep same-table runs from the queue
+ * front and the second pass exercises the table cache; element
+ * counts cycle 8..24 (mean ~16). */
+std::vector<TraceRequest>
+demoReplayTrace(uint32_t requests)
+{
+    struct Cfg
+    {
+        Function function;
+        Method method;
+    };
+    static const Cfg cfgs[4] = {
+        {Function::Sin, Method::LLut},
+        {Function::Cos, Method::LLut},
+        {Function::Exp, Method::LLut},
+        {Function::Sigmoid, Method::LLut},
+    };
+    std::vector<TraceRequest> trace;
+    trace.reserve(requests);
+    const uint32_t phases = 8;
+    for (uint32_t i = 0; i < requests; ++i) {
+        uint64_t phase =
+            static_cast<uint64_t>(i) * phases / requests;
+        const Cfg& cfg = cfgs[phase % 4];
+        TraceRequest req;
+        req.function = cfg.function;
+        req.spec.method = cfg.method;
+        req.elements = 8 + i % 17;
+        trace.push_back(req);
+    }
+    return trace;
+}
+
 void
 writeJson(std::ostream& out, const sim::serve::ServeReport& rep,
           const sim::serve::ServeReport* syncRep,
-          const obs::LatencySummary& lat, const obs::SloTracker* slo)
+          const obs::LatencySummary& lat, const obs::SloTracker* slo,
+          const sim::Topology* topo)
 {
     out << "{\n"
         << "  \"requests\": " << rep.requests << ",\n"
@@ -291,6 +349,24 @@ writeJson(std::ostream& out, const sim::serve::ServeReport& rep,
         << "  \"requests_per_second\": "
         << secs(lat.requestsPerSecond) << ",\n"
         << "  \"anomalous_waves\": " << rep.anomalousWaves;
+    if (topo && !rep.rankStats.empty()) {
+        out << ",\n  \"topology\": \"" << topo->toText()
+            << "\",\n  \"ranks\": " << rep.rankStats.size()
+            << ",\n  \"rank_stats\": [";
+        bool first = true;
+        for (const sim::serve::RankStats& r : rep.rankStats) {
+            out << (first ? "" : ",") << "\n    {\"rank\": "
+                << r.rank << ", \"waves\": " << r.waves
+                << ", \"elements\": " << r.elements
+                << ", \"compute_cycles\": " << r.computeCycles
+                << ", \"makespan_seconds\": "
+                << secs(r.makespanSeconds)
+                << ", \"resident_tables\": " << r.residentTables
+                << ", \"broadcasts\": " << r.broadcasts << "}";
+            first = false;
+        }
+        out << "\n  ]";
+    }
     if (slo) {
         out << ",\n  \"slo\": {\n    \"spec\": \""
             << slo->spec().toText() << "\",\n    \"tables\": [";
@@ -326,6 +402,9 @@ main(int argc, char** argv)
     std::string sloText;
     bool demoTrace = false;
     bool syncOnly = false;
+    bool noSyncReplay = false;
+    std::optional<sim::Topology> topology;
+    uint32_t demoRequests = 0;
     uint32_t dpus = 64;
     uint32_t tasklets = 16;
     uint32_t perDpuElements = 512;
@@ -351,6 +430,19 @@ main(int argc, char** argv)
             tracePath = value();
         } else if (arg == "--demo-trace") {
             demoTrace = true;
+        } else if (arg == "--demo-requests") {
+            u32Arg(demoRequests);
+        } else if (arg == "--topology") {
+            std::string spec = value();
+            topology = sim::Topology::parse(spec);
+            if (!topology) {
+                std::cerr << "pimserve: bad --topology '" << spec
+                          << "' (want DIMMSxRANKSxDPUS, e.g."
+                             " 20x2x64)\n";
+                return 2;
+            }
+        } else if (arg == "--no-sync-replay") {
+            noSyncReplay = true;
         } else if (arg == "--dpus") {
             u32Arg(dpus);
         } else if (arg == "--tasklets") {
@@ -383,43 +475,61 @@ main(int argc, char** argv)
         }
     }
 
-    if (demoTrace) {
+    // `--demo-trace` alone prints the demo trace file. Combined with
+    // a replay-shaping option (and no --trace) it replays a
+    // synthetic in-memory trace instead.
+    bool replayDemo =
+        demoTrace && tracePath.empty() &&
+        (topology || demoRequests > 0 || syncOnly || noSyncReplay ||
+         !jsonPath.empty() || !journalPath.empty() ||
+         !metricsPath.empty() || !sloText.empty() ||
+         !planPath.empty());
+    if (demoTrace && !replayDemo) {
         std::cout << kDemoTrace;
         return 0;
     }
-    if (tracePath.empty() || dpus == 0 || tasklets == 0) {
+    if (topology)
+        dpus = topology->numDpus();
+    if ((tracePath.empty() && !replayDemo) || dpus == 0 ||
+        tasklets == 0) {
         usage();
         return 2;
     }
 
-    std::ifstream in(tracePath);
-    if (!in) {
-        std::cerr << "pimserve: cannot read '" << tracePath << "'\n";
-        return 2;
-    }
     std::vector<TraceRequest> trace;
-    std::string line;
-    int lineNo = 0;
-    while (std::getline(in, line)) {
-        ++lineNo;
-        size_t hash = line.find('#');
-        if (hash != std::string::npos)
-            line.resize(hash);
-        if (line.find_first_not_of(" \t\r") == std::string::npos)
-            continue;
-        TraceRequest req;
-        std::string error;
-        if (!parseTraceLine(line, req, error)) {
-            std::cerr << "pimserve: " << tracePath << ":" << lineNo
-                      << ": " << error << "\n";
+    if (replayDemo) {
+        trace =
+            demoReplayTrace(demoRequests ? demoRequests : 1000000u);
+    } else {
+        std::ifstream in(tracePath);
+        if (!in) {
+            std::cerr << "pimserve: cannot read '" << tracePath
+                      << "'\n";
             return 2;
         }
-        trace.push_back(req);
-    }
-    if (trace.empty()) {
-        std::cerr << "pimserve: " << tracePath
-                  << ": no requests\n";
-        return 2;
+        std::string line;
+        int lineNo = 0;
+        while (std::getline(in, line)) {
+            ++lineNo;
+            size_t hash = line.find('#');
+            if (hash != std::string::npos)
+                line.resize(hash);
+            if (line.find_first_not_of(" \t\r") == std::string::npos)
+                continue;
+            TraceRequest req;
+            std::string error;
+            if (!parseTraceLine(line, req, error)) {
+                std::cerr << "pimserve: " << tracePath << ":"
+                          << lineNo << ": " << error << "\n";
+                return 2;
+            }
+            trace.push_back(req);
+        }
+        if (trace.empty()) {
+            std::cerr << "pimserve: " << tracePath
+                      << ": no requests\n";
+            return 2;
+        }
     }
 
     std::optional<sim::fault::FaultPlan> plan;
@@ -504,15 +614,21 @@ main(int argc, char** argv)
         popts.perDpuElements = perDpuElements;
         popts.pipelined = pipelined;
         popts.journal = journal;
+        if (topology)
+            popts.topology = &*topology;
         sim::serve::ServePipeline pipeline(sys, catalog.provider(),
                                            popts);
         return pipeline.run(queue);
     };
 
     obs::Journal journal;
+    // Per-request latencies are always tracked; the per-event stream
+    // is only worth its memory when it will be written somewhere.
+    if (journalPath.empty())
+        journal.setEventsEnabled(false);
     sim::serve::ServeReport rep = serveOnce(!syncOnly, &journal);
     std::optional<sim::serve::ServeReport> syncRep;
-    if (!syncOnly)
+    if (!syncOnly && !noSyncReplay)
         syncRep = serveOnce(false, nullptr);
 
     obs::LatencySummary latency =
@@ -527,8 +643,13 @@ main(int argc, char** argv)
 
     std::cout << "== pimserve: " << trace.size() << " request"
               << (trace.size() == 1 ? "" : "s") << ", " << total
-              << " elements over " << dpus << " DPUs ("
-              << (syncOnly ? "synchronous" : "double-buffered")
+              << " elements over ";
+    if (topology)
+        std::cout << topology->toText() << " fleet (" << dpus
+                  << " DPUs)";
+    else
+        std::cout << dpus << " DPUs";
+    std::cout << " (" << (syncOnly ? "synchronous" : "double-buffered")
               << " schedule)\n\n";
 
     std::cout << "-- pipeline\n";
@@ -544,6 +665,41 @@ main(int argc, char** argv)
                     rep.reshardedElements));
     std::printf("   dropped elements    %10llu\n",
                 static_cast<unsigned long long>(rep.droppedElements));
+
+    if (topology && !rep.rankStats.empty()) {
+        double minSpan = rep.rankStats.front().makespanSeconds;
+        double maxSpan = minSpan;
+        double sumSpan = 0.0;
+        uint64_t broadcasts = 0;
+        uint64_t resident = 0;
+        for (const sim::serve::RankStats& r : rep.rankStats) {
+            minSpan = std::min(minSpan, r.makespanSeconds);
+            maxSpan = std::max(maxSpan, r.makespanSeconds);
+            sumSpan += r.makespanSeconds;
+            broadcasts += r.broadcasts;
+            resident += r.residentTables;
+        }
+        std::cout << "\n-- fleet " << topology->toText() << "\n";
+        std::printf("   ranks               %10zu\n",
+                    rep.rankStats.size());
+        std::printf("   rank makespan       %13.6f s min, %.6f s"
+                    " mean, %.6f s max\n",
+                    minSpan, sumSpan / rep.rankStats.size(), maxSpan);
+        std::printf("   rank broadcasts     %10llu (%llu resident"
+                    " table slots)\n",
+                    static_cast<unsigned long long>(broadcasts),
+                    static_cast<unsigned long long>(resident));
+        if (rep.rankStats.size() <= 8) {
+            for (const sim::serve::RankStats& r : rep.rankStats)
+                std::printf("   rank %-3u %10llu waves, %llu"
+                            " elements, %.6f s\n",
+                            r.rank,
+                            static_cast<unsigned long long>(r.waves),
+                            static_cast<unsigned long long>(
+                                r.elements),
+                            r.makespanSeconds);
+        }
+    }
 
     std::cout << "\n-- throughput (modeled)\n";
     std::printf("   makespan            %13.6f s\n",
@@ -600,9 +756,11 @@ main(int argc, char** argv)
 
     if (!jsonPath.empty()) {
         const obs::SloTracker* sloPtr = slo ? &*slo : nullptr;
+        const sim::Topology* topoPtr =
+            topology ? &*topology : nullptr;
         if (jsonPath == "-") {
             writeJson(std::cout, rep, syncRep ? &*syncRep : nullptr,
-                      latency, sloPtr);
+                      latency, sloPtr, topoPtr);
         } else {
             std::ofstream jsonOut(jsonPath);
             if (!jsonOut) {
@@ -611,7 +769,7 @@ main(int argc, char** argv)
                 return 2;
             }
             writeJson(jsonOut, rep, syncRep ? &*syncRep : nullptr,
-                      latency, sloPtr);
+                      latency, sloPtr, topoPtr);
             std::cout << "\nwrote " << jsonPath << "\n";
         }
     }
