@@ -9,9 +9,20 @@
  * evaluations (flat setup), interpolated/fixed L-LUT for streaming
  * workloads, CORDIC-family again when the memory budget is tight at
  * high accuracy.
+ *
+ * With `--json PATH` ('-' for stdout) the same recommendations are
+ * also emitted as a JSON array, one object per (sweep, target,
+ * evals) cell, so the bench harness can embed them next to the
+ * online tuner_sweep results and CI can diff online vs static picks.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+#include <string>
 
 #include "transpim/tuner.h"
 
@@ -20,7 +31,8 @@ namespace {
 using namespace tpl::transpim;
 
 void
-sweep(Function f, const char* title, TunerConstraints base)
+sweep(Function f, const char* title, TunerConstraints base,
+      std::ostream* json, bool* jsonFirst)
 {
     std::printf("--- %s ---\n", title);
     std::printf("%-12s %-12s %-24s %12s %12s %10s\n", "targetRMSE",
@@ -30,6 +42,33 @@ sweep(Function f, const char* title, TunerConstraints base)
             TunerConstraints c = base;
             c.expectedEvaluations = evals;
             auto rec = recommendSpec(f, target, c);
+            if (json) {
+                char buf[64];
+                *json << (*jsonFirst ? "" : ",") << "\n    {"
+                      << "\"sweep\": \"" << title << "\", "
+                      << "\"function\": \"" << functionName(f)
+                      << "\", ";
+                std::snprintf(buf, sizeof(buf), "%.0e", target);
+                *json << "\"target_rmse\": " << buf
+                      << ", \"evals\": " << evals
+                      << ", \"table_budget_bytes\": "
+                      << base.maxTableBytes << ", \"feasible\": "
+                      << (rec ? "true" : "false");
+                if (rec) {
+                    *json << ", \"choice\": \""
+                          << methodLabel(rec->best.spec) << "\"";
+                    std::snprintf(buf, sizeof(buf), "%.6e",
+                                  rec->best.rmse);
+                    *json << ", \"rmse\": " << buf;
+                    std::snprintf(buf, sizeof(buf), "%.1f",
+                                  rec->best.instructionsPerEval);
+                    *json << ", \"instructions_per_eval\": " << buf
+                          << ", \"table_bytes\": "
+                          << rec->best.tableBytes;
+                }
+                *json << "}";
+                *jsonFirst = false;
+            }
             if (!rec) {
                 std::printf("%-12.0e %-12llu (no feasible method)\n",
                             target, (unsigned long long)evals);
@@ -49,19 +88,55 @@ sweep(Function f, const char* title, TunerConstraints base)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: ablation_tuner [--json PATH]\n");
+            return 2;
+        }
+    }
+
     std::printf("=== Ablation: auto-tuner recommendations ===\n\n");
+
+    std::ostringstream json;
+    std::ostream* jsonOut = jsonPath.empty() ? nullptr : &json;
+    bool jsonFirst = true;
+    if (jsonOut)
+        json << "{\n  \"recommendations\": [";
 
     TunerConstraints roomy;
     roomy.maxTableBytes = 48 * 1024;
-    sweep(Function::Sin, "sine, 48 KB table budget", roomy);
+    sweep(Function::Sin, "sine, 48 KB table budget", roomy, jsonOut,
+          &jsonFirst);
 
     TunerConstraints tight;
     tight.maxTableBytes = 512;
     sweep(Function::Sin, "sine, 512 B table budget (dataset-heavy "
-                         "kernel)", tight);
+                         "kernel)", tight, jsonOut, &jsonFirst);
 
-    sweep(Function::Tanh, "tanh, 48 KB table budget", roomy);
+    sweep(Function::Tanh, "tanh, 48 KB table budget", roomy, jsonOut,
+          &jsonFirst);
+
+    if (jsonOut) {
+        json << "\n  ]\n}\n";
+        if (jsonPath == "-") {
+            std::cout << json.str();
+        } else {
+            std::ofstream out(jsonPath);
+            if (!out) {
+                std::fprintf(stderr,
+                             "ablation_tuner: cannot write '%s'\n",
+                             jsonPath.c_str());
+                return 2;
+            }
+            out << json.str();
+            std::printf("wrote %s\n", jsonPath.c_str());
+        }
+    }
     return 0;
 }

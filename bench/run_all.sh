@@ -54,6 +54,16 @@
 # --json with topology + rank_stats), plus the fleet-over-single-rank
 # "requests_per_second_ratio". In --quick mode the request count
 # shrinks with TPL_BENCH_ELEMENTS; the full run replays 1M requests.
+#
+# Schema 6 adds a "tuner_sweep" object: the pimtune mixed-tenant demo
+# trace replayed three ways (as requested / best static config /
+# online per-tenant auto-tuner; pimtune --json embedded verbatim as
+# "replay") next to the offline tuner's recommendation table
+# (ablation_tuner --json, embedded as "ablation") so CI can diff
+# online picks against static ones. The run FAILS unless the online
+# replay beats the best static configuration
+# (cycles_ratio_vs_static < 1) while meeting every tenant SLA
+# (sla_met) — the headline claim of the online tuner.
 set -u
 
 if [ "${1:-}" = "--quick" ]; then
@@ -221,6 +231,61 @@ else
     echo "== pimserve not built; fleet_sweep omitted" >&2
 fi
 
+# Schema-6 tuner sweep: the pimtune mixed-tenant demo trace, three
+# replays in one invocation (as-requested / static-best / online),
+# with small waves (--per-dpu-elements 8) so the tuner sees enough
+# waves to explore and commit. The ablation_tuner recommendation
+# table rides along so online and static picks can be diffed. The
+# win is asserted, not just recorded: ratio >= 1 or a missed tenant
+# SLA counts as a bench failure.
+tuner_sweep=""
+PIMTUNE="$BUILD_DIR/tools/pimtune"
+ABLATION="$BENCH_DIR/ablation_tuner"
+if [ -x "$PIMTUNE" ]; then
+    tuner_reqs=$(( ${TPL_BENCH_ELEMENTS:-32768} * 4 ))
+    [ "$tuner_reqs" -gt 6000 ] && tuner_reqs=6000
+    [ "$tuner_reqs" -lt 2000 ] && tuner_reqs=2000
+    echo "== pimtune online-vs-static tuner sweep ($tuner_reqs requests)" >&2
+    TUNE_JSON_TMP=$(mktemp)
+    ABL_JSON_TMP=$(mktemp)
+    tuner_ok=1
+    if ! "$PIMTUNE" --demo "$tuner_reqs" --per-dpu-elements 8 \
+        --explore 512 --json "$TUNE_JSON_TMP" \
+        > /dev/null 2> "$ERR_TMP"; then
+        tuner_ok=0
+        failures=$((failures + 1))
+        echo "   pimtune FAILED" >&2
+        tail -5 "$ERR_TMP" >&2
+    fi
+    ablation_json=""
+    if [ -x "$ABLATION" ] &&
+        "$ABLATION" --json "$ABL_JSON_TMP" > /dev/null 2> "$ERR_TMP"; then
+        ablation_json=$(cat "$ABL_JSON_TMP")
+    fi
+    if [ "$tuner_ok" = 1 ]; then
+        ratio=$(awk -F': ' '/"cycles_ratio_vs_static"/ {
+            gsub(/[^0-9.eE+-]/, "", $2); print $2 + 0; exit
+        }' "$TUNE_JSON_TMP")
+        sla_met=$(awk -F': ' '/"sla_met"/ {
+            gsub(/[^a-z]/, "", $2); print $2; exit
+        }' "$TUNE_JSON_TMP")
+        echo "   online over static-best: ${ratio}x cycles, SLAs met: $sla_met" >&2
+        if ! awk -v r="$ratio" 'BEGIN { exit !(r > 0 && r < 1) }' ||
+            [ "$sla_met" != "true" ]; then
+            failures=$((failures + 1))
+            echo "   FAILED: online must beat static-best with SLAs met" >&2
+        fi
+        tuner_sweep="{\"requests\": $tuner_reqs, \"replay\": $(cat "$TUNE_JSON_TMP")"
+        if [ -n "$ablation_json" ]; then
+            tuner_sweep="$tuner_sweep, \"ablation\": $ablation_json"
+        fi
+        tuner_sweep="$tuner_sweep}"
+    fi
+    rm -f "$TUNE_JSON_TMP" "$ABL_JSON_TMP"
+else
+    echo "== pimtune not built; tuner_sweep omitted" >&2
+fi
+
 # Schema-3 simulator-throughput probe: the Figure-5 sweep replayed with
 # the batch execution path enabled (the default) and disabled
 # (TPL_BATCH_EVAL=0). CSV mode is used so the row count gives the
@@ -289,7 +354,7 @@ fi
 
 {
     echo "{"
-    echo "  \"schema\": 5,"
+    echo "  \"schema\": 6,"
     echo "  \"git_sha\": \"$GIT_SHA\","
     echo "  \"sim_threads\": \"${TPL_SIM_THREADS:-default}\","
     echo "  \"bench_elements\": \"${TPL_BENCH_ELEMENTS:-default}\","
@@ -298,6 +363,9 @@ fi
     fi
     if [ -n "$fleet_sweep" ]; then
         echo "  \"fleet_sweep\": $fleet_sweep,"
+    fi
+    if [ -n "$tuner_sweep" ]; then
+        echo "  \"tuner_sweep\": $tuner_sweep,"
     fi
     if [ -n "$sim_throughput" ]; then
         echo "  \"sim_throughput\": $sim_throughput,"

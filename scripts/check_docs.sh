@@ -3,14 +3,20 @@
 # TPL_TIER1_DOCS leg:
 #
 #   1. Every intra-repo markdown link ([text](relative/path)) in a
-#      tracked .md file must point at an existing file.
+#      tracked .md file must point at an existing file, and every
+#      anchored link (path#heading or #heading) must point at a
+#      heading that actually exists in the target file (GitHub
+#      slugs: lowercased, punctuation stripped, spaces to hyphens).
 #   2. Every public symbol (class / struct / enum class / using alias /
 #      free function at namespace scope) declared in a header under
 #      src/pimsim/serve/ or src/transpim/ must be mentioned in
 #      docs/API.md — new API surface ships documented or not at all.
+#   3. Every tool binary (tools/*.cc) must be named in README.md —
+#      the tools table keeps pace with the tools directory.
 #
 # Usage: scripts/check_docs.sh
-# Exit: 0 clean, 1 on any broken link or undocumented symbol.
+# Exit: 0 clean, 1 on any broken link, dead anchor, undocumented
+# symbol, or unlisted tool.
 set -u
 
 SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
@@ -25,6 +31,18 @@ failures=0
 md_files=$(git ls-files -c -o --exclude-standard '*.md' 2>/dev/null)
 [ -n "$md_files" ] || md_files=$(find . -name '*.md' -not -path './build*' -not -path './.git/*')
 
+# GitHub-style anchor slugs of a markdown file's headings, one per
+# line: lowercase, punctuation stripped (keep alnum/space/hyphen/
+# underscore), spaces to hyphens. Fenced blocks are skipped so
+# '# comment' lines inside shell snippets are not headings.
+anchors_of() {
+    awk '/^[[:space:]]*```/ { fence = !fence; next }
+         !fence && /^#{1,6} /' "$1" |
+        sed -E 's/^#{1,6} +//' |
+        tr 'A-Z' 'a-z' |
+        sed -E 's/[^a-z0-9 _-]//g; s/ /-/g'
+}
+
 for md in $md_files; do
     # Pull out link targets: [text](target). One per line; markdown
     # in this repo never nests parentheses inside link targets.
@@ -38,13 +56,35 @@ for md in $md_files; do
     dir=$(dirname "$md")
     while IFS= read -r target; do
         case "$target" in
-            http://* | https://* | mailto:* | '#'*) continue ;;
+            http://* | https://* | mailto:*) continue ;;
         esac
-        path="${target%%#*}" # drop the anchor
-        [ -n "$path" ] || continue
-        if [ ! -e "$dir/$path" ]; then
-            echo "check_docs: $md: broken link '$target'" >&2
-            failures=$((failures + 1))
+        path="${target%%#*}" # the anchor comes after the path
+        anchor=""
+        case "$target" in
+            *'#'*) anchor="${target#*#}" ;;
+        esac
+        # Resolve the anchor's target file: same file for '#...'
+        # links, the linked file otherwise.
+        anchor_file="$md"
+        if [ -n "$path" ]; then
+            if [ ! -e "$dir/$path" ]; then
+                echo "check_docs: $md: broken link '$target'" >&2
+                failures=$((failures + 1))
+                continue
+            fi
+            anchor_file="$dir/$path"
+        fi
+        if [ -n "$anchor" ] && [ -f "$anchor_file" ]; then
+            case "$anchor_file" in
+                *.md) ;;
+                *) continue ;; # anchors into non-markdown: skip
+            esac
+            if ! anchors_of "$anchor_file" |
+                grep -qxF "$anchor"; then
+                echo "check_docs: $md: dead anchor '$target'" \
+                    "(no such heading in $anchor_file)" >&2
+                failures=$((failures + 1))
+            fi
         fi
     done <<EOF
 $targets
@@ -93,9 +133,21 @@ for header in src/pimsim/serve/*.h src/transpim/*.h; do
     done
 done
 
+# --- 3. tools directory vs README.md ---------------------------------
+
+for tool_src in tools/*.cc; do
+    [ -f "$tool_src" ] || continue
+    tool=$(basename "$tool_src" .cc)
+    if ! grep -qE "\\b$tool\\b" README.md; then
+        echo "check_docs: tool '$tool' ($tool_src) not mentioned" \
+            "in README.md" >&2
+        failures=$((failures + 1))
+    fi
+done
+
 if [ "$failures" -ne 0 ]; then
     echo "check_docs: $failures problem(s)" >&2
     exit 1
 fi
-echo "check_docs: all markdown links valid, API surface documented"
+echo "check_docs: links and anchors valid, API surface and tools documented"
 exit 0

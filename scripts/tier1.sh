@@ -123,10 +123,14 @@ if [ "${TPL_TIER1_FAULT:-0}" = "1" ]; then
 fi
 
 # With TPL_TIER1_DOCS=1, run the documentation checks: every
-# intra-repo markdown link resolves, and every public symbol in
-# src/pimsim/serve/ and src/transpim/ headers is covered by
-# docs/API.md. Additionally smoke the pimserve CLI (demo trace →
-# replay → JSON round-trip) so the documented examples keep working.
+# intra-repo markdown link (and anchor) resolves, every public symbol
+# in src/pimsim/serve/ and src/transpim/ headers is covered by
+# docs/API.md, and every tool is listed in README.md. Additionally
+# smoke the pimserve CLI (demo trace → replay → JSON round-trip) and
+# the tuner CLIs (pimtune's three-way replay must show the online
+# tuner beating the best static configuration with every SLA met;
+# pimserve --auto-tune must emit its tuner section) so the documented
+# examples keep working.
 if [ "${TPL_TIER1_DOCS:-0}" = "1" ]; then
     bash "$SRC_DIR/scripts/check_docs.sh"
     DOCS_TMP=$(mktemp -d)
@@ -137,7 +141,25 @@ if [ "${TPL_TIER1_DOCS:-0}" = "1" ]; then
     python3 -m json.tool "$DOCS_TMP/serve.json" > /dev/null
     python3 -m json.tool "$DOCS_TMP/serve.metrics.json" > /dev/null
     grep -q 'serve/' "$DOCS_TMP/serve.metrics.json"
-    echo "check_docs + pimserve demo replay JSON round-trip OK"
+    "$BUILD_DIR/tools/pimtune" --demo 2000 --per-dpu-elements 8 \
+        --explore 512 --json "$DOCS_TMP/tune.json" > /dev/null
+    python3 - "$DOCS_TMP/tune.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["sla_met"] is True, doc
+assert 0 < doc["cycles_ratio_vs_static"] < 1, \
+    doc["cycles_ratio_vs_static"]
+for replay in ("as_requested", "static_best", "online"):
+    assert doc[replay]["complete"], (replay, doc[replay])
+print("pimtune: online beats static-best with SLAs met OK")
+PYEOF
+    "$BUILD_DIR/tools/pimserve" --demo-trace --demo-requests 2000 \
+        --per-dpu-elements 8 --explore 512 --no-sync-replay \
+        --tenant-sla '*:rmse<1e-3' \
+        --json "$DOCS_TMP/serve.tune.json" > /dev/null
+    python3 -m json.tool "$DOCS_TMP/serve.tune.json" > /dev/null
+    grep -q '"tuner"' "$DOCS_TMP/serve.tune.json"
+    echo "check_docs + pimserve/pimtune demo replay JSON round-trip OK"
 fi
 
 # With TPL_TIER1_OBS=1, exercise the serve observability tier end to

@@ -74,6 +74,8 @@ appendEventLine(std::ostringstream& out, const JournalEvent& ev)
         out << ", \"cycles\": " << ev.cycles;
     if (ev.rank >= 0)
         out << ", \"rank\": " << ev.rank;
+    if (ev.tenant != 0)
+        out << ", \"tenant\": " << ev.tenant;
     if (!ev.table.empty())
         out << ", \"table\": \"" << jsonEscape(ev.table) << "\"";
     if (!ev.note.empty())

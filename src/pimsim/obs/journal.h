@@ -58,7 +58,7 @@ struct JournalEvent
 {
     static constexpr uint64_t kNoWave = UINT64_MAX;
 
-    std::string kind;      ///< enqueue|coalesce|scatter|compute|gather|done|drop|anomaly
+    std::string kind;      ///< enqueue|coalesce|scatter|compute|gather|done|drop|anomaly|tune
     double t = 0.0;        ///< modeled seconds (event start)
     double dur = 0.0;      ///< modeled seconds (0 for instant events)
     uint64_t request = 0;  ///< stable span ID (BatchQueue request id)
@@ -66,6 +66,9 @@ struct JournalEvent
     uint64_t elements = 0; ///< elements this event covers
     uint64_t cycles = 0;   ///< modeled DPU cycles (compute events)
     int32_t rank = -1;     ///< executing rank (fleet path); -1 = flat
+    /** Owning tenant (enqueue / tune events); serialized only when
+     * nonzero, so tenant-oblivious runs keep their exact bytes. */
+    uint64_t tenant = 0;
     std::string table;     ///< TableKey label
     std::string note;      ///< free-form detail (anomaly reason, drop cause)
 };

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * TenantSla grammar (parse/print), following the SloSpec idiom: a
+ * char-pointer walk over strtod, no allocation on the happy path,
+ * malformed input leaves the output untouched.
+ */
+
+#include "pimsim/serve/auto_tuner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tpl {
+namespace sim {
+namespace serve {
+
+AutoTuner::~AutoTuner() = default;
+
+bool
+TenantSla::parse(const std::string& text, TenantSla& out)
+{
+    TenantSla sla;
+    const char* p = text.c_str();
+    if (*p == '\0')
+        return false;
+    for (;;) {
+        // One clause: knob name, optional ':pP' (cycles only), then
+        // '<' or ':' and the value.
+        double* target = nullptr;
+        bool isCycles = false;
+        if (std::strncmp(p, "rmse", 4) == 0) {
+            target = &sla.maxRmse;
+            p += 4;
+        } else if (std::strncmp(p, "ulp", 3) == 0) {
+            target = &sla.maxUlp;
+            p += 3;
+        } else if (std::strncmp(p, "cycles", 6) == 0) {
+            target = &sla.maxCyclesPerElement;
+            isCycles = true;
+            p += 6;
+        } else {
+            return false;
+        }
+        if (isCycles && p[0] == ':' && (p[1] == 'p' || p[1] == 'P')) {
+            const char* q = p + 2;
+            char* end = nullptr;
+            const double pct = std::strtod(q, &end);
+            if (end == q || !(pct > 0.0) || !(pct < 100.0))
+                return false;
+            sla.cyclesPercentile = pct;
+            p = end;
+        }
+        if (*p != '<' && *p != ':')
+            return false;
+        ++p;
+        char* end = nullptr;
+        const double value = std::strtod(p, &end);
+        if (end == p || !(value > 0.0))
+            return false;
+        if (*target > 0.0)
+            return false; // duplicate clause
+        *target = value;
+        p = end;
+        if (*p == '\0')
+            break;
+        if (*p != ';')
+            return false;
+        ++p;
+    }
+    if (!sla.constrained())
+        return false;
+    out = sla;
+    return true;
+}
+
+std::string
+TenantSla::toText() const
+{
+    std::string out;
+    char buf[64];
+    auto append = [&]() {
+        if (!out.empty())
+            out += ';';
+        out += buf;
+    };
+    if (maxRmse > 0.0) {
+        std::snprintf(buf, sizeof(buf), "rmse<%g", maxRmse);
+        append();
+    }
+    if (maxUlp > 0.0) {
+        std::snprintf(buf, sizeof(buf), "ulp<%g", maxUlp);
+        append();
+    }
+    if (maxCyclesPerElement > 0.0) {
+        if (cyclesPercentile > 0.0)
+            std::snprintf(buf, sizeof(buf), "cycles:p%g<%g",
+                          cyclesPercentile, maxCyclesPerElement);
+        else
+            std::snprintf(buf, sizeof(buf), "cycles<%g",
+                          maxCyclesPerElement);
+        append();
+    }
+    return out;
+}
+
+} // namespace serve
+} // namespace sim
+} // namespace tpl

@@ -28,6 +28,7 @@ BatchQueue::push(Request request)
         ev.t = request.arrivalSeconds;
         ev.request = id;
         ev.elements = request.elements;
+        ev.tenant = request.tenant;
         ev.table = request.table.label;
         journal_->record(ev);
     }
@@ -93,14 +94,16 @@ BatchQueue::popWave(uint64_t maxElements)
     const uint64_t budget = std::max<uint64_t>(maxElements, 1);
     Wave wave;
     wave.table = queue_.front().table;
+    wave.tenant = queue_.front().tenant;
 
     // FIFO sweep: absorb every request matching the front request's
-    // table until the budget is spent. Zero-element requests are
-    // closed for free; a request larger than the remaining budget is
-    // consumed partially and its spans advance in place.
+    // table and tenant until the budget is spent. Zero-element
+    // requests are closed for free; a request larger than the
+    // remaining budget is consumed partially and its spans advance
+    // in place.
     uint64_t taken = 0;
     for (auto it = queue_.begin(); it != queue_.end();) {
-        if (!(it->table == wave.table)) {
+        if (!(it->table == wave.table) || it->tenant != wave.tenant) {
             ++it;
             continue;
         }

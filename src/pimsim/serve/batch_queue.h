@@ -9,9 +9,12 @@
  * input span, an output span, and the TableKey naming the evaluator
  * configuration); the single pipeline consumer pops waves.
  *
- * Coalescing is FIFO-fair: a wave adopts the table of the oldest
- * queued request and then sweeps the queue in order, absorbing every
- * request with the same key until the element budget is reached.
+ * Coalescing is FIFO-fair: a wave adopts the table *and tenant* of
+ * the oldest queued request and then sweeps the queue in order,
+ * absorbing every request with the same key and tenant until the
+ * element budget is reached (tenants have independent SLAs, so their
+ * elements never mix in one wave; the default tenant 0 reproduces
+ * the tenant-oblivious batching exactly).
  * Requests larger than one wave are consumed incrementally — the
  * queue advances their spans in place, so a 10-wave request simply
  * yields ten consecutive waves without copying.
@@ -63,6 +66,11 @@ struct Request
 {
     uint64_t id = 0; ///< assigned by BatchQueue::push
     TableKey table;
+    /** Owning tenant: requests of different tenants never share a
+     * wave (their SLAs — and thus the tuner's table choice — may
+     * differ). The default tenant 0 keeps single-tenant workloads
+     * byte-identical to the pre-tenant queue. */
+    uint64_t tenant = 0;
     const float* input = nullptr;
     float* output = nullptr;
     uint64_t elements = 0;
@@ -94,6 +102,7 @@ struct WaveItem
 struct Wave
 {
     TableKey table;
+    uint64_t tenant = 0; ///< every item's owner (waves are per-tenant)
     std::vector<WaveItem> items;
     /** Requests fully consumed from the queue while building this
      * wave (partials still queued do not count). */

@@ -26,6 +26,7 @@
 #include "pimsim/obs/journal.h"
 #include "pimsim/obs/metrics.h"
 #include "pimsim/obs/trace.h"
+#include "pimsim/serve/auto_tuner.h"
 #include "pimsim/serve/wave_util.h"
 
 namespace tpl {
@@ -42,6 +43,10 @@ FleetScheduler::FleetScheduler(PimSystem& system, TableCache& cache,
 ServeReport
 FleetScheduler::run(BatchQueue& queue)
 {
+    // Auto-tuner (kill switch), exactly as on the flat path.
+    if (opts_.autoTuner)
+        opts_.autoTuner->bindCache(&cache_);
+
     ServeReport report;
     const uint32_t n = sys_.numDpus();
     if (n == 0) {
@@ -208,6 +213,23 @@ FleetScheduler::run(BatchQueue& queue)
                 continue; // zero-element requests only
             report.elements += w->elements();
 
+            // Auto-tuner routing: fresh generation-0 waves only,
+            // identical to the flat path.
+            std::string tuneNote;
+            if (opts_.autoTuner) {
+                AutoTuner::Routing tr =
+                    opts_.autoTuner->route(w->table, w->tenant);
+                // `switched` only marks the first wave after a route
+                // change (it drives the `tune` journal event); every
+                // wave runs whatever table route() picked.
+                if (tr.table.hash != w->table.hash &&
+                    reg.enabled())
+                    reg.counter("tuner/rerouted_waves").add(1);
+                w->table = tr.table;
+                if (tr.switched)
+                    tuneNote = std::move(tr.note);
+            }
+
             // Cost-aware wave sizing, identical to the flat path
             // (the wave runs on one rank's cores either way).
             if (opts_.costBook && opts_.pipelined) {
@@ -241,6 +263,10 @@ FleetScheduler::run(BatchQueue& queue)
                              it != pieces.rend(); ++it)
                             retries.push_front(
                                 PendingWave{std::move(*it), 0});
+                        // Retries was empty here; the tune note
+                        // rides on the first split piece.
+                        retries.front().tuneNote =
+                            std::move(tuneNote);
                         if (reg.enabled())
                             reg.counter("serve/cost/split_waves")
                                 .add(1);
@@ -248,7 +274,9 @@ FleetScheduler::run(BatchQueue& queue)
                     }
                 }
             }
-            return PendingWave{std::move(*w), 0};
+            PendingWave pw{std::move(*w), 0};
+            pw.tuneNote = std::move(tuneNote);
+            return pw;
         }
     };
 
@@ -318,6 +346,7 @@ FleetScheduler::run(BatchQueue& queue)
      * table yet). Returns false when the wave cannot run at all. */
     auto beginWave = [&](uint32_t rank, PendingWave&& pw,
                          WaveExec& ex) -> bool {
+        std::string tuneNote = std::move(pw.tuneNote);
         ex.wave = std::move(pw.wave);
         ex.generation = pw.generation;
         ex.parity = static_cast<uint32_t>(rankWaves[rank] % 2);
@@ -422,6 +451,21 @@ FleetScheduler::run(BatchQueue& queue)
         ex.stats.scatterSeconds = ex.scatterEv.seconds();
         ex.waveIndex = waveSeq++;
 
+        // Tuner redirect: stamped at scatter start with the tenant
+        // and executing rank, exactly like the flat path.
+        if (journal && !tuneNote.empty()) {
+            obs::JournalEvent ev;
+            ev.kind = "tune";
+            ev.t = ex.scatterEv.start;
+            ev.wave = ex.waveIndex;
+            ev.elements = ex.stats.elements;
+            ev.rank = static_cast<int32_t>(rank);
+            ev.tenant = ex.wave.tenant;
+            ev.table = ex.wave.table.label;
+            ev.note = tuneNote;
+            journal->record(ev);
+        }
+
         // Per-request span accounting (post-split, so every element
         // is attributed to exactly the wave that carries it).
         if (trackReqs) {
@@ -501,6 +545,8 @@ FleetScheduler::run(BatchQueue& queue)
         for (const ShardTask& t : ex.slices)
             if (t.dpu < perDpu.size())
                 sliceCycles.push_back(perDpu[t.dpu]);
+        for (uint64_t c : sliceCycles)
+            ex.stats.totalCycles += c;
         std::sort(sliceCycles.begin(), sliceCycles.end());
         if (!sliceCycles.empty())
             ex.stats.medianCycles =
@@ -569,6 +615,7 @@ FleetScheduler::run(BatchQueue& queue)
 
         Wave retry;
         retry.table = ex.wave.table;
+        retry.tenant = ex.wave.tenant;
         auto forEachItemRange =
             [&](uint64_t lo, uint64_t hi,
                 const std::function<void(const WaveItem&,
@@ -585,6 +632,7 @@ FleetScheduler::run(BatchQueue& queue)
                 }
             };
         std::map<uint64_t, uint64_t> gatheredByReq;
+        std::vector<WaveOutcome::Span> tuneSpans;
         for (const ShardTask& t : ex.slices) {
             uint64_t lo = t.firstElement;
             uint64_t hi = lo + t.elements;
@@ -598,6 +646,10 @@ FleetScheduler::run(BatchQueue& queue)
                                     count * sizeof(float));
                         if (trackReqs)
                             gatheredByReq[it.requestId] += count;
+                        if (opts_.autoTuner)
+                            tuneSpans.push_back(
+                                {it.input + itemOff,
+                                 it.output + itemOff, count});
                     });
             } else {
                 ++ex.stats.retriedSlices;
@@ -665,6 +717,18 @@ FleetScheduler::run(BatchQueue& queue)
                         .add(retryElems);
                 }
             }
+        }
+
+        // Close the tuner's loop, exactly as on the flat path.
+        if (opts_.autoTuner) {
+            WaveOutcome oc;
+            oc.table = ex.wave.table;
+            oc.tenant = ex.wave.tenant;
+            oc.waveIndex = ex.waveIndex;
+            oc.elements = ex.stats.elements;
+            oc.totalCycles = ex.stats.totalCycles;
+            oc.spans = std::move(tuneSpans);
+            opts_.autoTuner->observe(oc);
         }
 
         report.syncSeconds +=

@@ -25,6 +25,7 @@
 #include "pimsim/obs/journal.h"
 #include "pimsim/obs/metrics.h"
 #include "pimsim/obs/trace.h"
+#include "pimsim/serve/auto_tuner.h"
 #include "pimsim/serve/fleet.h"
 #include "pimsim/serve/wave_util.h"
 
@@ -50,6 +51,11 @@ ServePipeline::run(BatchQueue& queue)
         FleetScheduler fleet(sys_, cache_, opts_);
         return fleet.run(queue);
     }
+
+    // Auto-tuner (kill switch): give the tuner this run's cache so
+    // MRAM-budget arbitration can evict and re-broadcast tables.
+    if (opts_.autoTuner)
+        opts_.autoTuner->bindCache(&cache_);
 
     ServeReport report;
     const uint32_t n = sys_.numDpus();
@@ -180,6 +186,24 @@ ServePipeline::run(BatchQueue& queue)
                 continue; // zero-element requests only
             report.elements += w->elements();
 
+            // Auto-tuner routing: only fresh generation-0 waves are
+            // routed — retries and cost-book split pieces keep the
+            // table they were issued with.
+            std::string tuneNote;
+            if (opts_.autoTuner) {
+                AutoTuner::Routing r =
+                    opts_.autoTuner->route(w->table, w->tenant);
+                // `switched` only marks the first wave after a route
+                // change (it drives the `tune` journal event); every
+                // wave runs whatever table route() picked.
+                if (r.table.hash != w->table.hash &&
+                    reg.enabled())
+                    reg.counter("tuner/rerouted_waves").add(1);
+                w->table = r.table;
+                if (r.switched)
+                    tuneNote = std::move(r.note);
+            }
+
             // Cost-aware wave sizing: with a certified compute
             // envelope for this table, rank the candidate sub-wave
             // splits on the predicted double-buffered makespan and
@@ -216,6 +240,11 @@ ServePipeline::run(BatchQueue& queue)
                              it != pieces.rend(); ++it)
                             retries.push_front(
                                 PendingWave{std::move(*it), 0});
+                        // Retries was empty (we only reach the queue
+                        // pop then), so the first split piece is at
+                        // the front; the tune note rides on it.
+                        retries.front().tuneNote =
+                            std::move(tuneNote);
                         if (reg.enabled())
                             reg.counter("serve/cost/split_waves")
                                 .add(1);
@@ -223,7 +252,9 @@ ServePipeline::run(BatchQueue& queue)
                     }
                 }
             }
-            return PendingWave{std::move(*w), 0};
+            PendingWave pw{std::move(*w), 0};
+            pw.tuneNote = std::move(tuneNote);
+            return pw;
         }
     };
 
@@ -231,6 +262,7 @@ ServePipeline::run(BatchQueue& queue)
      * a miss). Returns false when the wave cannot run at all. */
     auto beginWave = [&](PendingWave&& pw,
                          WaveExec& ex) -> bool {
+        std::string tuneNote = std::move(pw.tuneNote);
         ex.wave = std::move(pw.wave);
         ex.generation = pw.generation;
         ex.parity = static_cast<uint32_t>(wavesExecuted_ % 2);
@@ -332,6 +364,20 @@ ServePipeline::run(BatchQueue& queue)
         ex.stats.scatterSeconds = ex.scatterEv.seconds();
         ex.waveIndex = waveSeq++;
 
+        // Tuner redirect: stamp the decision on the wave it first
+        // applies to, at scatter start, tagged with the tenant.
+        if (journal && !tuneNote.empty()) {
+            obs::JournalEvent ev;
+            ev.kind = "tune";
+            ev.t = ex.scatterEv.start;
+            ev.wave = ex.waveIndex;
+            ev.elements = ex.stats.elements;
+            ev.tenant = ex.wave.tenant;
+            ev.table = ex.wave.table.label;
+            ev.note = tuneNote;
+            journal->record(ev);
+        }
+
         // Per-request span accounting (post-split, so every element
         // is attributed to exactly the wave that carries it).
         if (trackReqs) {
@@ -407,6 +453,8 @@ ServePipeline::run(BatchQueue& queue)
         for (const ShardTask& t : ex.slices)
             if (t.dpu < perDpu.size())
                 sliceCycles.push_back(perDpu[t.dpu]);
+        for (uint64_t c : sliceCycles)
+            ex.stats.totalCycles += c;
         std::sort(sliceCycles.begin(), sliceCycles.end());
         if (!sliceCycles.empty())
             ex.stats.medianCycles =
@@ -476,6 +524,7 @@ ServePipeline::run(BatchQueue& queue)
         // request memory (the staging buffers die with this wave).
         Wave retry;
         retry.table = ex.wave.table;
+        retry.tenant = ex.wave.tenant;
         // Visit every (item, overlap) of the wave-relative range
         // [lo, hi): waveOff is the overlap's start in wave space,
         // itemOff the same point relative to the item's own spans.
@@ -495,6 +544,7 @@ ServePipeline::run(BatchQueue& queue)
                 }
             };
         std::map<uint64_t, uint64_t> gatheredByReq;
+        std::vector<WaveOutcome::Span> tuneSpans;
         for (const ShardTask& t : ex.slices) {
             uint64_t lo = t.firstElement;
             uint64_t hi = lo + t.elements;
@@ -508,6 +558,10 @@ ServePipeline::run(BatchQueue& queue)
                                     count * sizeof(float));
                         if (trackReqs)
                             gatheredByReq[it.requestId] += count;
+                        if (opts_.autoTuner)
+                            tuneSpans.push_back(
+                                {it.input + itemOff,
+                                 it.output + itemOff, count});
                     });
             } else {
                 ++ex.stats.retriedSlices;
@@ -573,6 +627,21 @@ ServePipeline::run(BatchQueue& queue)
                         .add(retryElems);
                 }
             }
+        }
+
+        // Close the tuner's loop with what this wave actually did:
+        // exact gathered outputs (healthy ranges only) plus the
+        // summed modeled cycles — all consumer-thread, all modeled,
+        // so tuned runs stay deterministic at any thread count.
+        if (opts_.autoTuner) {
+            WaveOutcome oc;
+            oc.table = ex.wave.table;
+            oc.tenant = ex.wave.tenant;
+            oc.waveIndex = ex.waveIndex;
+            oc.elements = ex.stats.elements;
+            oc.totalCycles = ex.stats.totalCycles;
+            oc.spans = std::move(tuneSpans);
+            opts_.autoTuner->observe(oc);
         }
 
         report.syncSeconds +=

@@ -41,6 +41,8 @@ namespace tpl {
 namespace sim {
 namespace serve {
 
+class AutoTuner;
+
 /** Pipeline knobs. */
 struct PipelineOptions
 {
@@ -105,6 +107,21 @@ struct PipelineOptions
     const Topology* topology = nullptr;
 
     /**
+     * Online per-tenant auto-tuner (kill switch: nullptr, the
+     * default, keeps the untuned path bit-identical — including
+     * journal bytes — at any TPL_SIM_THREADS, like costBook and
+     * topology before it; locked by test). When set, both serve
+     * drivers route every generation-0 wave through
+     * AutoTuner::route() — which may rewrite the wave's table to a
+     * cheaper configuration meeting the owning tenant's SLA — and
+     * feed AutoTuner::observe() each wave's exact gathered outputs
+     * and modeled cycles after its gather. Switched waves journal a
+     * `tune` event. The caller keeps the tuner alive for the run;
+     * the tuner is stateful, so use a fresh instance per replay.
+     */
+    AutoTuner* autoTuner = nullptr;
+
+    /**
      * Straggler detector threshold: a wave is flagged anomalous when
      * its slowest participating DPU exceeds stragglerFactor × the
      * wave's median per-DPU cycles (upper median; waves with fewer
@@ -126,6 +143,9 @@ struct WaveStats
     double computeSeconds = 0.0; ///< slowest healthy core
     double gatherSeconds = 0.0;
     uint64_t maxCycles = 0;    ///< slowest healthy core, cycles
+    /** Sum of every participating DPU's cycles (what the tuner
+     * charges a configuration with, fleet-wide work not makespan). */
+    uint64_t totalCycles = 0;
     uint32_t retriedSlices = 0; ///< slices lost to masked cores
     /** Upper median of the participating DPUs' cycle counts. */
     uint64_t medianCycles = 0;

@@ -20,17 +20,17 @@ TableCache::lookup(const TableKey& key)
         ++hits_;
         if (reg.enabled())
             reg.counter("serve/lut_cache/hits").add(1);
-        return {&it->second, false};
+        return {it->second.get(), false};
     }
     ++misses_;
     if (reg.enabled())
         reg.counter("serve/lut_cache/misses").add(1);
     TableBinding binding =
         provider_ ? provider_(key, system_) : TableBinding{};
-    auto [pos, inserted] =
-        entries_.emplace(key.hash, std::move(binding));
+    auto [pos, inserted] = entries_.emplace(
+        key.hash, std::make_unique<TableBinding>(std::move(binding)));
     (void)inserted;
-    return {&pos->second, true};
+    return {pos->second.get(), true};
 }
 
 void
@@ -55,7 +55,7 @@ TableCache::lookupOnRank(const TableKey& key, uint32_t rank)
         obs::Registry& reg = obs::Registry::global();
         if (reg.enabled())
             reg.counter("serve/lut_cache/hits").add(1);
-        out.binding = &it->second;
+        out.binding = it->second.get();
     }
     std::vector<bool>& res = resident_[key.hash];
     if (res.size() < rankCount_)
@@ -75,7 +75,27 @@ const TableBinding*
 TableCache::peek(const TableKey& key) const
 {
     auto it = entries_.find(key.hash);
-    return it == entries_.end() ? nullptr : &it->second;
+    return it == entries_.end() ? nullptr : it->second.get();
+}
+
+uint32_t
+TableCache::evict(const TableKey& key)
+{
+    auto it = entries_.find(key.hash);
+    if (it == entries_.end())
+        return 0;
+    const uint32_t bytes = it->second->tableBytes;
+    // Retire, don't destroy: in-flight waves may still reference the
+    // binding (kernels capture evaluator state by shared_ptr, but
+    // the pipeline holds the raw binding pointer).
+    retired_.push_back(std::move(it->second));
+    entries_.erase(it);
+    resident_.erase(key.hash);
+    ++evictions_;
+    obs::Registry& reg = obs::Registry::global();
+    if (reg.enabled())
+        reg.counter("serve/lut_cache/evictions").add(1);
+    return bytes;
 }
 
 bool

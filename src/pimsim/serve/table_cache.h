@@ -118,6 +118,21 @@ class TableCache
      * this is the scheduler's placement peek, not a lookup. */
     const TableBinding* peek(const TableKey& key) const;
 
+    /**
+     * Drop @p key from the cache (MRAM-budget arbitration): the next
+     * lookup re-consults the provider and pays the table broadcast
+     * again, and any per-rank residency is cleared so every holding
+     * rank re-broadcasts too. The old binding object stays alive
+     * until the cache is destroyed — an in-flight wave still holding
+     * its pointer (one-wave decision lag in pipelined mode) keeps a
+     * valid table. @return the evicted footprint in bytes (0 when
+     * the key was not cached).
+     */
+    uint32_t evict(const TableKey& key);
+
+    /** Evictions performed so far. */
+    uint64_t evictions() const { return evictions_; }
+
     /** Whether @p key's table is resident on @p rank. */
     bool residentOnRank(const TableKey& key, uint32_t rank) const;
 
@@ -134,7 +149,11 @@ class TableCache
   private:
     PimSystem& system_;
     TableProvider provider_;
-    std::map<uint64_t, TableBinding> entries_;
+    // Bindings live behind stable pointers: evict() retires the
+    // entry instead of destroying it, so pointers handed out by
+    // lookup stay valid for the cache's lifetime.
+    std::map<uint64_t, std::unique_ptr<TableBinding>> entries_;
+    std::vector<std::unique_ptr<TableBinding>> retired_;
     // Fleet residency: per cached table, which ranks hold it. Sized
     // lazily to rankCount_ on first touch of each entry.
     std::map<uint64_t, std::vector<bool>> resident_;
@@ -142,6 +161,7 @@ class TableCache
     uint64_t rankBroadcasts_ = 0;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
 };
 
 } // namespace serve

@@ -37,6 +37,7 @@ takeWaveHead(Wave& w, uint64_t budget)
 {
     Wave head;
     head.table = w.table;
+    head.tenant = w.tenant;
     std::vector<WaveItem> tail;
     uint64_t off = 0;
     for (WaveItem& it : w.items) {

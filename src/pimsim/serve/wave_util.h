@@ -31,6 +31,10 @@ struct PendingWave
 {
     Wave wave;
     uint32_t generation = 0;
+    /** Set when the auto-tuner rerouted this wave to another table;
+     * the driver stamps it as a `tune` journal event at scatter
+     * start. Empty on the untuned path. */
+    std::string tuneNote;
 };
 
 /** One request's share of a wave (journal/flow bookkeeping). */

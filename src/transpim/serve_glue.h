@@ -16,6 +16,8 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
+#include <utility>
 
 #include "pimsim/serve/pipeline.h"
 #include "transpim/evaluator.h"
@@ -65,6 +67,18 @@ class EvaluatorCatalog
 
     /** Number of registered configurations. */
     size_t size() const { return entries_.size(); }
+
+    /** The (function, spec) registered under @p keyHash, if any —
+     * how the online tuner recovers evaluator configurations from
+     * the serve layer's opaque TableKeys. */
+    std::optional<std::pair<Function, MethodSpec>>
+    find(uint64_t keyHash) const
+    {
+        auto it = entries_.find(keyHash);
+        if (it == entries_.end())
+            return std::nullopt;
+        return std::make_pair(it->second.function, it->second.spec);
+    }
 
     /**
      * The TableProvider for ServePipeline/TableCache. Binds `this`:

@@ -186,5 +186,14 @@ recommendSpec(Function f, double targetRmse,
     return result;
 }
 
+ErrorMetric
+resolveMetric(Function f, ErrorMetric metric)
+{
+    if (metric != ErrorMetric::Auto)
+        return metric;
+    return useRelative(f, metric) ? ErrorMetric::Relative
+                                  : ErrorMetric::Absolute;
+}
+
 } // namespace transpim
 } // namespace tpl

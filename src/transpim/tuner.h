@@ -92,6 +92,15 @@ std::optional<TunerResult> recommendSpec(
     Function f, double targetRmse,
     const TunerConstraints& constraints = {});
 
+/**
+ * Resolve ErrorMetric::Auto for @p f: Relative for the functions with
+ * large output ranges (Exp, Exp2, Sinh, Cosh), Absolute otherwise.
+ * Explicit metrics pass through unchanged. This is the classification
+ * recommendSpec and the online AutoTuner both score against.
+ */
+ErrorMetric resolveMetric(Function f,
+                          ErrorMetric metric = ErrorMetric::Auto);
+
 } // namespace transpim
 } // namespace tpl
 

@@ -134,6 +134,84 @@ TEST(Tuner, WorksAcrossFunctions)
     }
 }
 
+TEST(Tuner, EmptyMethodListMeansEveryMethod)
+{
+    // An empty candidate-method list is "no filter", not "no
+    // candidates": the search must behave exactly like the default
+    // constraints.
+    TunerConstraints empty;
+    empty.methods = {};
+    auto open = recommendSpec(Function::Sin, 1e-5, empty);
+    auto deflt = recommendSpec(Function::Sin, 1e-5);
+    ASSERT_TRUE(open.has_value());
+    ASSERT_TRUE(deflt.has_value());
+    EXPECT_EQ(open->best.spec.method, deflt->best.spec.method);
+    EXPECT_EQ(open->candidates.size(), deflt->candidates.size());
+    // And it genuinely spans method families, not one survivor.
+    bool sawCordicFamily = false;
+    bool sawLutFamily = false;
+    for (const auto& cand : open->candidates) {
+        switch (cand.spec.method) {
+        case Method::Cordic:
+        case Method::CordicFixed:
+        case Method::CordicLut:
+            sawCordicFamily = true;
+            break;
+        default:
+            sawLutFamily = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(sawCordicFamily);
+    EXPECT_TRUE(sawLutFamily);
+}
+
+TEST(Tuner, TableBudgetBelowAnyViableTableReturnsNothing)
+{
+    // LUT-only search with a budget smaller than the smallest table
+    // any LUT method can build: there is no feasible candidate at
+    // all, so the result must be empty rather than a best-effort
+    // over-budget pick.
+    TunerConstraints c;
+    c.methods = {Method::MLut, Method::LLut, Method::LLutFixed,
+                 Method::DLut, Method::DlLut};
+    c.maxTableBytes = 8; // two float entries
+    auto rec = recommendSpec(Function::Sin, 1e-2, c);
+    EXPECT_FALSE(rec.has_value());
+}
+
+TEST(Tuner, AutoMetricClassificationCoversEveryFunction)
+{
+    // ErrorMetric::Auto resolves to Relative exactly for the
+    // functions with large output ranges; everything else is
+    // Absolute. This is the classification the online AutoTuner
+    // scores SLAs against, so lock it for the whole catalog.
+    for (Function f :
+         {Function::Sin,   Function::Cos,     Function::Tan,
+          Function::Sinh,  Function::Cosh,    Function::Tanh,
+          Function::Exp,   Function::Log,     Function::Sqrt,
+          Function::Gelu,  Function::Sigmoid, Function::Cndf,
+          Function::Atan,  Function::Asin,    Function::Acos,
+          Function::Atanh, Function::Log2,    Function::Log10,
+          Function::Exp2,  Function::Rsqrt,   Function::Erf,
+          Function::Silu,  Function::Softplus}) {
+        const bool largeRange =
+            f == Function::Exp || f == Function::Exp2 ||
+            f == Function::Sinh || f == Function::Cosh;
+        EXPECT_EQ(resolveMetric(f), largeRange
+                                        ? ErrorMetric::Relative
+                                        : ErrorMetric::Absolute)
+            << functionName(f);
+        // Explicit metrics pass through unchanged.
+        EXPECT_EQ(resolveMetric(f, ErrorMetric::Absolute),
+                  ErrorMetric::Absolute)
+            << functionName(f);
+        EXPECT_EQ(resolveMetric(f, ErrorMetric::Relative),
+                  ErrorMetric::Relative)
+            << functionName(f);
+    }
+}
+
 } // namespace
 } // namespace transpim
 } // namespace tpl

@@ -12,12 +12,14 @@
  *
  *   request function=sin method=llut elements=32768
  *   request function=exp method=llut elements=16384 log2-entries=12
+ *   request function=sin method=cordic elements=4096 tenant=2
  *
  * Recognized request keys: function, method, elements, log2-entries,
- * interpolated (0|1), iterations, placement (wram|mram). Blank lines
- * and '#' comments are skipped. Requests with the same configuration
- * coalesce into shared waves and hit the table cache after the first
- * broadcast.
+ * interpolated (0|1), iterations, placement (wram|mram), tenant.
+ * Blank lines and '#' comments are skipped. Requests with the same
+ * configuration coalesce into shared waves and hit the table cache
+ * after the first broadcast; requests from different tenants never
+ * share a wave.
  *
  * Options:
  *   --trace PATH           request trace to replay
@@ -51,15 +53,28 @@
  *                          ('-' for stdout); see docs/observability.md
  *   --slo SPEC             check an SLO like p99<2ms or p50:150us
  *                          against modeled per-request latency
+ *   --auto-tune            route waves through the online per-tenant
+ *                          auto-tuner (docs/autotuner.md); both the
+ *                          primary run and the sync-comparison
+ *                          replay get their own fresh tuner
+ *   --tenant-sla T:SPEC    SLA for tenant T ('*' = default SLA for
+ *                          tenants without their own; repeatable;
+ *                          implies --auto-tune). SPEC grammar:
+ *                          docs/autotuner.md, e.g.
+ *                          'rmse<1e-6;cycles:p99<600'
+ *   --explore N            tuner: elements each candidate is
+ *                          explored for before a stream commits
+ *                          (default 2048)
  *
  * Per-request modeled latency (p50/p90/p99/p999, exact nearest-rank
  * over the journal) and sustained requests/s are always reported for
  * the primary run; the sync-comparison replay is never journaled.
  *
  * Exit status: 0 when every request was served completely (and the
- * --slo target, if given, was met), 1 when elements were dropped /
- * infeasible / the run is incomplete / the SLO was missed, 2 on
- * usage or parse errors.
+ * --slo target, if given, was met, and no tuned stream ended on a
+ * candidate violating its SLA), 1 when elements were dropped /
+ * infeasible / the run is incomplete / the SLO or an SLA was missed,
+ * 2 on usage or parse errors.
  */
 
 #include <algorithm>
@@ -78,6 +93,7 @@
 #include "pimsim/obs/metrics.h"
 #include "pimsim/serve/pipeline.h"
 #include "pimsim/topology.h"
+#include "transpim/auto_tuner.h"
 #include "transpim/harness.h"
 #include "transpim/serve_glue.h"
 
@@ -97,6 +113,8 @@ usage()
            "                [--plan PATH] [--seed N] [--json PATH]\n"
            "                [--metrics PATH] [--journal PATH]"
            " [--slo SPEC]\n"
+           "                [--auto-tune] [--tenant-sla T:SPEC]..."
+           " [--explore N]\n"
            "       pimserve --demo-trace   # print the demo trace\n"
            "       pimserve --demo-trace --topology 20x2x64"
            " [--demo-requests N] ...\n"
@@ -156,12 +174,28 @@ parseU32(const std::string& text, uint32_t& out)
     }
 }
 
+bool
+parseU64(const std::string& text, uint64_t& out)
+{
+    try {
+        size_t pos = 0;
+        unsigned long long v = std::stoull(text, &pos, 0);
+        if (pos != text.size())
+            return false;
+        out = v;
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
 /** One parsed trace line. */
 struct TraceRequest
 {
     Function function = Function::Sin;
     MethodSpec spec;
     uint32_t elements = 0;
+    uint64_t tenant = 0;
 };
 
 /** Parse `request key=value ...`; returns false + error on bad input. */
@@ -232,6 +266,11 @@ parseTraceLine(const std::string& line, TraceRequest& req,
                 error = "bad placement '" + value + "'";
                 return false;
             }
+        } else if (key == "tenant") {
+            if (!parseU64(value, req.tenant)) {
+                error = "bad tenant '" + value + "'";
+                return false;
+            }
         } else {
             error = "unknown key '" + key + "'";
             return false;
@@ -296,7 +335,9 @@ void
 writeJson(std::ostream& out, const sim::serve::ServeReport& rep,
           const sim::serve::ServeReport* syncRep,
           const obs::LatencySummary& lat, const obs::SloTracker* slo,
-          const sim::Topology* topo)
+          const sim::Topology* topo,
+          const std::vector<StreamReport>* tunerStreams,
+          const std::vector<sim::serve::TuneDecision>* tunerDecisions)
 {
     out << "{\n"
         << "  \"requests\": " << rep.requests << ",\n"
@@ -386,6 +427,34 @@ writeJson(std::ostream& out, const sim::serve::ServeReport& rep,
             << ",\n    \"met\": " << (total.met ? "true" : "false")
             << "\n  }";
     }
+    if (tunerStreams) {
+        uint64_t switches = 0;
+        for (const StreamReport& s : *tunerStreams)
+            switches += s.switches;
+        out << ",\n  \"tuner\": {\n    \"route_switches\": "
+            << switches << ",\n    \"decisions\": "
+            << (tunerDecisions ? tunerDecisions->size() : 0)
+            << ",\n    \"streams\": [";
+        bool first = true;
+        for (const StreamReport& s : *tunerStreams) {
+            out << (first ? "" : ",") << "\n      {\"tenant\": "
+                << s.tenant << ", \"requested\": \"" << s.requested
+                << "\", \"chosen\": \"" << s.chosen
+                << "\", \"sla\": \"" << s.sla << "\", \"state\": \""
+                << (s.tunable
+                        ? (s.committed ? "committed" : "exploring")
+                        : "untunable")
+                << "\", \"elements\": " << s.elements;
+            std::snprintf(buf, sizeof(buf), "%.1f",
+                          s.cyclesPerElement);
+            out << ", \"cycles_per_element\": " << buf;
+            std::snprintf(buf, sizeof(buf), "%.6e", s.rmse);
+            out << ", \"rmse\": " << buf << ", \"sla_violated\": "
+                << (s.slaViolated ? "true" : "false") << "}";
+            first = false;
+        }
+        out << "\n    ]\n  }";
+    }
     out << "\n}\n";
 }
 
@@ -403,13 +472,17 @@ main(int argc, char** argv)
     bool demoTrace = false;
     bool syncOnly = false;
     bool noSyncReplay = false;
+    bool autoTune = false;
     std::optional<sim::Topology> topology;
     uint32_t demoRequests = 0;
     uint32_t dpus = 64;
     uint32_t tasklets = 16;
     uint32_t perDpuElements = 512;
     uint32_t chunk = 32;
+    uint32_t explore = 2048;
     uint32_t seed = 0x7ea9c0de;
+    std::optional<sim::serve::TenantSla> defaultSla;
+    std::map<uint64_t, sim::serve::TenantSla> tenantSlas;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -465,6 +538,39 @@ main(int argc, char** argv)
             journalPath = value();
         } else if (arg == "--slo") {
             sloText = value();
+        } else if (arg == "--auto-tune") {
+            autoTune = true;
+        } else if (arg == "--tenant-sla") {
+            std::string spec = value();
+            size_t colon = spec.find(':');
+            if (colon == std::string::npos || colon == 0) {
+                std::cerr << "pimserve: bad --tenant-sla '" << spec
+                          << "' (want T:SPEC or '*:SPEC')\n";
+                return 2;
+            }
+            std::string who = spec.substr(0, colon);
+            sim::serve::TenantSla sla;
+            if (!sim::serve::TenantSla::parse(spec.substr(colon + 1),
+                                              sla)) {
+                std::cerr << "pimserve: bad SLA spec in '" << spec
+                          << "' (want e.g. rmse<1e-6;cycles:p99<600)"
+                          << "\n";
+                return 2;
+            }
+            autoTune = true;
+            if (who == "*") {
+                defaultSla = sla;
+            } else {
+                uint64_t tenant = 0;
+                if (!parseU64(who, tenant)) {
+                    std::cerr << "pimserve: bad tenant id '" << who
+                              << "'\n";
+                    return 2;
+                }
+                tenantSlas[tenant] = sla;
+            }
+        } else if (arg == "--explore") {
+            u32Arg(explore);
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -481,7 +587,7 @@ main(int argc, char** argv)
     bool replayDemo =
         demoTrace && tracePath.empty() &&
         (topology || demoRequests > 0 || syncOnly || noSyncReplay ||
-         !jsonPath.empty() || !journalPath.empty() ||
+         autoTune || !jsonPath.empty() || !journalPath.empty() ||
          !metricsPath.empty() || !sloText.empty() ||
          !planPath.empty());
     if (demoTrace && !replayDemo) {
@@ -585,7 +691,11 @@ main(int argc, char** argv)
     }
 
     // One run of the whole trace on a fresh system. Only the primary
-    // run carries the journal; the sync-comparison replay does not.
+    // run carries the journal (and surfaces its tuner's reports);
+    // the sync-comparison replay gets its own fresh tuner so the
+    // speedup compares like against like.
+    std::vector<StreamReport> tunerStreams;
+    std::vector<sim::serve::TuneDecision> tunerDecisions;
     auto serveOnce = [&](bool pipelined, obs::Journal* journal)
         -> sim::serve::ServeReport {
         sim::PimSystem sys(dpus);
@@ -604,21 +714,40 @@ main(int argc, char** argv)
             req.input = inputs.data() + off;
             req.output = outputs.data() + off;
             req.elements = r.elements;
+            req.tenant = r.tenant;
             queue.push(req);
             off += r.elements;
         }
         queue.close();
+
+        std::optional<OnlineAutoTuner> tuner;
+        if (autoTune) {
+            AutoTunerOptions topts;
+            topts.exploreElements = explore;
+            if (defaultSla)
+                topts.defaultSla = *defaultSla;
+            tuner.emplace(catalog, topts);
+            for (const auto& [tenant, sla] : tenantSlas)
+                tuner->setTenantSla(tenant, sla);
+        }
 
         sim::serve::PipelineOptions popts;
         popts.numTasklets = tasklets;
         popts.perDpuElements = perDpuElements;
         popts.pipelined = pipelined;
         popts.journal = journal;
+        if (tuner)
+            popts.autoTuner = &*tuner;
         if (topology)
             popts.topology = &*topology;
         sim::serve::ServePipeline pipeline(sys, catalog.provider(),
                                            popts);
-        return pipeline.run(queue);
+        sim::serve::ServeReport rep = pipeline.run(queue);
+        if (tuner && journal) {
+            tunerStreams = tuner->streamReports();
+            tunerDecisions = tuner->decisions();
+        }
+        return rep;
     };
 
     obs::Journal journal;
@@ -754,13 +883,44 @@ main(int argc, char** argv)
                     total.burnRate, total.met ? "met" : "MISSED");
     }
 
+    if (autoTune) {
+        uint64_t switches = 0;
+        for (const StreamReport& s : tunerStreams)
+            switches += s.switches;
+        std::cout << "\n-- tuner (" << tunerStreams.size()
+                  << " stream" << (tunerStreams.size() == 1 ? "" : "s")
+                  << ", " << switches << " wave route switch"
+                  << (switches == 1 ? "" : "es") << ")\n";
+        for (const StreamReport& s : tunerStreams)
+            std::printf("   tenant %-4llu %-34s -> %-34s %s"
+                        " %9.1f cyc/el  rmse %.3e%s\n",
+                        static_cast<unsigned long long>(s.tenant),
+                        s.requested.c_str(), s.chosen.c_str(),
+                        s.tunable
+                            ? (s.committed ? "committed"
+                                           : "exploring")
+                            : "untunable",
+                        s.cyclesPerElement, s.rmse,
+                        s.slaViolated ? "  SLA VIOLATED" : "");
+        for (const sim::serve::TuneDecision& d : tunerDecisions)
+            std::printf("   #%-3llu tenant %-4llu %-10s %s -> %s\n",
+                        static_cast<unsigned long long>(d.sequence),
+                        static_cast<unsigned long long>(d.tenant),
+                        d.reason.c_str(), d.fromTable.c_str(),
+                        d.toTable.c_str());
+    }
+
     if (!jsonPath.empty()) {
         const obs::SloTracker* sloPtr = slo ? &*slo : nullptr;
         const sim::Topology* topoPtr =
             topology ? &*topology : nullptr;
+        const std::vector<StreamReport>* streamsPtr =
+            autoTune ? &tunerStreams : nullptr;
+        const std::vector<sim::serve::TuneDecision>* decPtr =
+            autoTune ? &tunerDecisions : nullptr;
         if (jsonPath == "-") {
             writeJson(std::cout, rep, syncRep ? &*syncRep : nullptr,
-                      latency, sloPtr, topoPtr);
+                      latency, sloPtr, topoPtr, streamsPtr, decPtr);
         } else {
             std::ofstream jsonOut(jsonPath);
             if (!jsonOut) {
@@ -769,7 +929,7 @@ main(int argc, char** argv)
                 return 2;
             }
             writeJson(jsonOut, rep, syncRep ? &*syncRep : nullptr,
-                      latency, sloPtr, topoPtr);
+                      latency, sloPtr, topoPtr, streamsPtr, decPtr);
             std::cout << "\nwrote " << jsonPath << "\n";
         }
     }
@@ -796,5 +956,8 @@ main(int argc, char** argv)
         return 1;
     if (slo && !slo->total().met)
         return 1;
+    for (const StreamReport& s : tunerStreams)
+        if (s.slaViolated)
+            return 1;
     return 0;
 }
